@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark module regenerates one table or figure of the paper: it runs
+the original and optimized flows through :mod:`repro`, prints the rows in the
+paper's layout (visible with ``pytest benchmarks/ -s`` and stored in the
+pytest-benchmark ``extra_info``), and asserts the qualitative claims (who
+wins, by roughly what factor) rather than the absolute Synopsys numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+
+def record_rows(benchmark, title: str, rows: List[Dict]) -> None:
+    """Attach the regenerated table to the benchmark record and print it."""
+    from repro.analysis import format_records
+
+    text = format_records(rows, title=title)
+    benchmark.extra_info["table"] = rows
+    print("\n" + text)
+
+
+@pytest.fixture
+def paper_library():
+    """The Table I calibrated technology library used by every experiment."""
+    from repro.techlib import default_library
+
+    return default_library()

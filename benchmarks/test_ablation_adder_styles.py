@@ -1,0 +1,68 @@
+"""Experiment E6 (ablation) -- adder architectures.
+
+Section 2 of the paper closes with the remark that "big reductions in both
+the cycle length and the datapath area can also be achieved by using faster
+and more expensive adders (carry-lookahead, fast lookahead, and carry-save)".
+This ablation quantifies that remark with the library's adder models: the
+motivational example is synthesized (original and optimized flows) with each
+adder architecture, and the cycle-length saving of the transformation is
+reported per style.
+"""
+
+import pytest
+
+from conftest import record_rows
+from repro.analysis import compare_flows
+from repro.techlib import AdderStyle, default_library
+from repro.workloads import motivational_example
+
+
+def _run_style(style: AdderStyle):
+    library = default_library().with_adder_style(style)
+    return compare_flows(motivational_example(), latency=3, library=library)
+
+
+@pytest.mark.benchmark(group="ablation-adders")
+@pytest.mark.parametrize("style", list(AdderStyle), ids=lambda s: s.value)
+def test_adder_style_ablation(benchmark, style):
+    comparison = benchmark.pedantic(_run_style, args=(style,), rounds=2, iterations=1)
+    row = {
+        "adder_style": style.value,
+        "original_cycle_ns": round(comparison.original.cycle_length_ns, 2),
+        "optimized_cycle_ns": round(comparison.optimized.cycle_length_ns, 2),
+        "saved_pct": round(100 * comparison.cycle_saving, 2),
+        "original_fu_gates": round(comparison.original.fu_area),
+        "optimized_fu_gates": round(comparison.optimized.fu_area),
+    }
+    record_rows(benchmark, f"Ablation -- adder style {style.value}", [row])
+
+    # The transformation helps for every adder family.
+    assert comparison.optimized.execution_time_ns <= comparison.original.execution_time_ns + 1e-6
+
+
+@pytest.mark.benchmark(group="ablation-adders-summary")
+def test_adder_style_summary(benchmark):
+    def run():
+        return {style: _run_style(style) for style in AdderStyle}
+
+    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "adder_style": style.value,
+            "original_cycle_ns": round(c.original.cycle_length_ns, 2),
+            "optimized_cycle_ns": round(c.optimized.cycle_length_ns, 2),
+            "saved_pct": round(100 * c.cycle_saving, 2),
+            "original_fu_gates": round(c.original.fu_area),
+            "optimized_fu_gates": round(c.optimized.fu_area),
+        }
+        for style, c in comparisons.items()
+    ]
+    record_rows(benchmark, "Ablation -- adder architectures", rows)
+
+    ripple = comparisons[AdderStyle.RIPPLE_CARRY]
+    lookahead = comparisons[AdderStyle.CARRY_LOOKAHEAD]
+    # Faster adder families shorten the *original* cycle (as the paper notes),
+    # so the relative gain of the transformation is largest on ripple-carry.
+    assert lookahead.original.cycle_length_ns < ripple.original.cycle_length_ns
+    assert lookahead.original.fu_area > ripple.original.fu_area
+    assert ripple.cycle_saving >= lookahead.cycle_saving - 0.05

@@ -1,0 +1,87 @@
+"""Experiment E2 -- Fig. 3: the eight-addition worked example.
+
+Regenerates the Fig. 3 h comparison (cycle duration and area breakdown of the
+original versus the optimized implementation at latency 3) and checks the
+intermediate quantities the figure is built on: the 9-chained-bit critical
+path, the 3-bit cycle budget, and the fragmentations of operations F and B.
+
+Paper reference values (Fig. 3 h): cycle duration 4.64 ns -> 1.77 ns (62%
+saved); area 712 -> 510 gates (28% saved) with the controller growing from 60
+to 78 gates.
+"""
+
+import pytest
+
+from conftest import record_rows
+from repro.analysis import compare_flows
+from repro.core import TransformOptions, transform
+from repro.workloads import fig3_example
+from repro.workloads.fig3 import FIG3_CRITICAL_PATH_BITS, FIG3_CYCLE_BUDGET, FIG3_LATENCY
+
+
+def _run_fig3():
+    return compare_flows(fig3_example(), FIG3_LATENCY, include_blc=False)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_area_and_cycle_comparison(benchmark):
+    comparison = benchmark.pedantic(_run_fig3, rounds=3, iterations=1)
+    original, optimized = comparison.original, comparison.optimized
+    rows = []
+    for label, synthesis in (("original", original), ("optimized", optimized)):
+        rows.append(
+            {
+                "implementation": label,
+                "cycle_ns": round(synthesis.cycle_length_ns, 2),
+                "fu_gates": round(synthesis.fu_area),
+                "register_gates": round(synthesis.register_area),
+                "routing_gates": round(synthesis.routing_area),
+                "controller_gates": round(synthesis.controller_area),
+                "total_gates": round(synthesis.total_area),
+            }
+        )
+    record_rows(benchmark, "Fig. 3 h -- original vs optimized (latency 3)", rows)
+
+    # Phase 2 quantities stated in the text of Section 3.2.
+    assert comparison.transform_result.critical_path_bits == FIG3_CRITICAL_PATH_BITS
+    assert comparison.transform_result.chained_bits_per_cycle == FIG3_CYCLE_BUDGET
+    # Fig. 3 h: 62% cycle reduction; we accept the 50-75% band.
+    assert 0.50 <= comparison.cycle_saving <= 0.75
+    # Total area stays in the same ballpark (the paper even saves 28%).
+    assert comparison.optimized.total_area < 1.3 * comparison.original.total_area
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_fragmentation_detail(benchmark):
+    """The fragment structure of Fig. 3 c-f."""
+
+    def run():
+        return transform(
+            fig3_example(), FIG3_LATENCY, TransformOptions(check_equivalence=False)
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    fragments_by_origin = {}
+    for operation, fragments in result.fragmentation.fragments.items():
+        fragments_by_origin[operation.origin] = [
+            (fragment.width, fragment.asap, fragment.alap) for fragment in fragments
+        ]
+    rows = [
+        {"operation": origin, "fragments": str(fragments)}
+        for origin, fragments in sorted(fragments_by_origin.items())
+    ]
+    record_rows(benchmark, "Fig. 3 -- fragments (width, asap, alap)", rows)
+
+    # Operations F, G and H are already scheduled (ASAP = ALAP on every bit).
+    for origin in ("F", "G", "H"):
+        assert all(asap == alap for _w, asap, alap in fragments_by_origin[origin])
+    # F fragments into 3 + 3 + 2 bits across the three cycles (Fig. 3 c).
+    assert [w for w, _a, _l in fragments_by_origin["F"]] == [3, 3, 2]
+    # B fragments into 2 + 1 + 2 + 1 bits with growing mobility (Fig. 3 d-f).
+    assert [w for w, _a, _l in fragments_by_origin["B"]] == [2, 1, 2, 1]
+    assert [(a, l) for _w, a, l in fragments_by_origin["B"]] == [
+        (1, 1),
+        (1, 2),
+        (2, 2),
+        (2, 3),
+    ]

@@ -1,0 +1,56 @@
+"""Experiment E5 -- Fig. 4: cycle length versus latency.
+
+Regenerates the two curves of Fig. 4: the cycle length of the schedules
+obtained from the original and from the optimized specification as the
+circuit latency sweeps from 3 to 15 cycles.  The paper's qualitative claim is
+that the curves diverge as the latency grows: the conventional schedule's
+cycle length saturates at the delay of the slowest operation, while the
+transformed specification keeps converting extra latency into a shorter
+clock, so "the cycle length saved has grown with the circuit latency".
+"""
+
+import pytest
+
+from conftest import record_rows
+from repro.analysis import latency_sweep
+from repro.workloads import addition_chain
+
+#: The latency axis of Fig. 4.
+FIG4_LATENCIES = list(range(3, 16))
+
+
+def _run_sweep():
+    # A fixed behavioural description whose conventional schedule saturates
+    # early (three chained 16-bit additions, the paper's running example).
+    return latency_sweep(lambda: addition_chain(3, 16), FIG4_LATENCIES)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_latency_sweep(benchmark):
+    sweep = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    rows = sweep.as_rows()
+    record_rows(benchmark, "Fig. 4 -- cycle length vs latency", rows)
+    print(sweep.render_ascii(width=40))
+
+    originals = sweep.original_series()
+    optimized = sweep.optimized_series()
+
+    # The conventional curve saturates: beyond one operation per cycle the
+    # original specification cannot exploit additional latency.
+    assert max(originals) == pytest.approx(min(originals), rel=0.05)
+
+    # The optimized curve keeps decreasing (monotonically non-increasing) and
+    # ends well below where it started.
+    assert all(
+        later <= earlier + 1e-9 for earlier, later in zip(optimized, optimized[1:])
+    )
+    assert optimized[-1] < 0.5 * optimized[0]
+
+    # Fig. 4's headline: the gap between the curves grows with the latency.
+    assert sweep.divergence() > 0
+    first, last = sweep.points[0], sweep.points[-1]
+    assert last.cycle_saving > first.cycle_saving
+
+    # At every point the optimized cycle is no longer than the original one.
+    for point in sweep.points:
+        assert point.optimized_cycle_ns <= point.original_cycle_ns + 1e-9

@@ -1,0 +1,92 @@
+"""Experiment E1 -- Table I: the motivational example.
+
+Regenerates the comparison of the three implementations of the three-chained-
+additions example (Fig. 1 a): the conventional schedule, the fully chained
+(BLC) schedule and the schedule of the transformed specification.  Columns
+follow Table I: latency, cycle length, execution time, functional-unit cost,
+register cost, routing area, controller area and total area.
+
+Paper reference values (Synopsys DC, for shape comparison only):
+
+===================  ==========  ========  =========
+column               original    Fig. 1 d  optimized
+===================  ==========  ========  =========
+latency              3           1         3
+cycle length (ns)    9.4         9.57      3.55
+execution time (ns)  28.22       9.57      10.66
+FU cost (gates)      162         486       176
+registers (gates)    81          --        55
+routing (gates)      176         --        159
+controller (gates)   60          32        62
+total (gates)        479         518       452
+===================  ==========  ========  =========
+"""
+
+import pytest
+
+from conftest import record_rows
+from repro.core import TransformOptions, transform
+from repro.hls import FlowMode, synthesize
+from repro.workloads import motivational_example
+
+
+def _run_table1(library):
+    spec = motivational_example()
+    result = transform(spec, latency=3, options=TransformOptions(check_equivalence=False))
+    original = synthesize(spec, 3, library, FlowMode.CONVENTIONAL)
+    chained = synthesize(spec, 1, library, FlowMode.BLC)
+    optimized = synthesize(
+        result.transformed,
+        3,
+        library,
+        FlowMode.FRAGMENTED,
+        chained_bits_per_cycle=result.chained_bits_per_cycle,
+    )
+    return original, chained, optimized
+
+
+def _row(label, synthesis):
+    return {
+        "implementation": label,
+        "latency": synthesis.latency,
+        "cycle_ns": round(synthesis.cycle_length_ns, 2),
+        "execution_ns": round(synthesis.execution_time_ns, 2),
+        "fu_gates": round(synthesis.fu_area),
+        "register_gates": round(synthesis.register_area),
+        "routing_gates": round(synthesis.routing_area),
+        "controller_gates": round(synthesis.controller_area),
+        "total_gates": round(synthesis.total_area),
+    }
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_motivational_example(benchmark, paper_library):
+    original, chained, optimized = benchmark.pedantic(
+        _run_table1, args=(paper_library,), rounds=3, iterations=1
+    )
+    rows = [
+        _row("original (Fig 1b)", original),
+        _row("bit-level chaining (Fig 1d)", chained),
+        _row("optimized (Fig 2a)", optimized),
+    ]
+    record_rows(benchmark, "Table I -- motivational example", rows)
+
+    # Shape assertions against the paper's Table I.
+    assert original.cycle_length_ns == pytest.approx(9.4, abs=0.2)
+    assert optimized.cycle_length_ns == pytest.approx(3.55, abs=0.2)
+    assert optimized.cycle_length_ns < 0.45 * original.cycle_length_ns
+    # Execution time: optimized within ~15% of the fully chained single cycle.
+    assert optimized.execution_time_ns == pytest.approx(
+        chained.execution_time_ns, rel=0.15
+    )
+    # Area: BLC needs three full-width adders; the optimized datapath needs
+    # three narrow ones and stays close to (here: below) the original total.
+    assert chained.fu_area == pytest.approx(3 * original.fu_area, rel=0.05)
+    assert optimized.fu_area < 0.5 * chained.fu_area
+    # Paper Table I totals: 479 / 518 / 452 gates.  Our conventional flow's
+    # binder shares the C/E register, which makes the original total smaller
+    # than the paper's, so the optimized/original ratio is asserted loosely
+    # while the optimized absolute total is checked against the paper's value.
+    assert optimized.total_area == pytest.approx(452, rel=0.10)
+    assert optimized.total_area < 1.2 * original.total_area
+    assert optimized.total_area < chained.total_area

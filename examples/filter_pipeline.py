@@ -1,0 +1,54 @@
+"""Domain example: time-constrained synthesis of digital filters.
+
+The workloads of the paper's Table II are digital-filter kernels.  This
+example takes the fifth-order elliptic wave filter and the second-order FIR
+filter, sweeps a few latency constraints, and reports how the presynthesis
+transformation trades clock period against datapath area -- the exploration a
+designer would run when fitting a filter into a given sample-rate budget.
+
+Run with::
+
+    python examples/filter_pipeline.py
+"""
+
+from repro.analysis import compare_flows, format_records
+from repro.workloads import elliptic, fir2
+
+
+def explore(name, factory, latencies):
+    rows = []
+    for latency in latencies:
+        comparison = compare_flows(factory(), latency)
+        rows.append(
+            {
+                "benchmark": name,
+                "latency": latency,
+                "original_cycle_ns": round(comparison.original.cycle_length_ns, 2),
+                "optimized_cycle_ns": round(comparison.optimized.cycle_length_ns, 2),
+                "saved_pct": round(100 * comparison.cycle_saving, 1),
+                "original_area": round(comparison.original.datapath_area),
+                "optimized_area": round(comparison.optimized.datapath_area),
+                "extra_operations_pct": round(100 * comparison.operation_growth, 1),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print("Latency exploration of the Table II filter benchmarks\n")
+    rows = []
+    rows += explore("elliptic", elliptic, (11, 6, 4))
+    rows += explore("fir2", fir2, (5, 3))
+    print(format_records(rows, title="cycle length and area vs latency"))
+
+    print(
+        "\nReading the table: the optimized specification keeps converting"
+        "\nlatency into a shorter clock (the 'saved' column grows with the"
+        "\nlatency), while the conventional schedule is stuck at the delay of"
+        "\nits slowest chained operations -- the effect behind Fig. 4 of the"
+        "\npaper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-build-isolation --no-use-pep517`` works on
+offline machines that lack the ``wheel`` package (the CI container used for
+the reproduction is one of them).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro -- reproduction of "Behavioural Transformation to Improve Circuit
+Performance in High-Level Synthesis" (Ruiz-Sautua et al., DATE 2005).
+
+The package is organised in layers:
+
+* :mod:`repro.ir` -- behavioural intermediate representation (types, values,
+  operations, specifications, dataflow graphs, parser, validation);
+* :mod:`repro.techlib` -- gate-level area/delay models replacing the Synopsys
+  library used in the paper;
+* :mod:`repro.core` -- the paper's contribution: operative kernel extraction,
+  clock-cycle estimation and bit-level fragmentation of operations;
+* :mod:`repro.hls` -- a conventional HLS substrate (scheduling, allocation,
+  binding, controller and datapath assembly) replacing Synopsys Behavioral
+  Compiler;
+* :mod:`repro.simulation` -- a bit-accurate interpreter and equivalence
+  checker used as the functional oracle;
+* :mod:`repro.rtl` -- bit-level netlists and event-driven simulation of adder
+  structures, validating the chained-bit delay model;
+* :mod:`repro.workloads` -- the benchmark specifications of the paper's
+  evaluation (motivational example, Fig. 3 DFG, classical HLS benchmarks,
+  ADPCM G.721 decoder modules) plus a random DFG generator;
+* :mod:`repro.analysis` -- area/timing reports, comparison tables and the
+  latency sweep behind Fig. 4.
+
+Quick start::
+
+    from repro import transform, synthesize, default_library
+    from repro.workloads import motivational_example
+
+    spec = motivational_example()
+    result = transform(spec, latency=3)
+    original = synthesize(spec, latency=3)
+    optimized = synthesize(result.transformed, latency=3,
+                           chained_bits_per_cycle=result.chained_bits_per_cycle)
+    print(original.cycle_length_ns, optimized.cycle_length_ns)
+"""
+
+from .core import (
+    BehaviouralTransformer,
+    TransformOptions,
+    TransformResult,
+    transform,
+)
+from .ir import (
+    BitRange,
+    OpKind,
+    Operation,
+    SpecBuilder,
+    Specification,
+    parse_specification,
+)
+from .simulation import assert_equivalent, check_equivalence, simulate
+from .techlib import AdderStyle, TechnologyLibrary, default_library
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdderStyle",
+    "BehaviouralTransformer",
+    "BitRange",
+    "OpKind",
+    "Operation",
+    "SpecBuilder",
+    "Specification",
+    "TechnologyLibrary",
+    "TransformOptions",
+    "TransformResult",
+    "assert_equivalent",
+    "check_equivalence",
+    "default_library",
+    "parse_specification",
+    "simulate",
+    "transform",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazy access to the HLS layer to avoid import cycles at package load."""
+    if name in ("synthesize", "SynthesisResult", "HlsFlow"):
+        from . import hls
+
+        return getattr(hls, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,16 @@
+"""Analysis and reporting: flow comparisons, latency sweeps, table formatting."""
+
+from .comparison import FlowComparison, compare_flows
+from .sweeps import LatencySweep, SweepPoint, latency_sweep
+from .tables import format_records, format_table, percentage
+
+__all__ = [
+    "FlowComparison",
+    "LatencySweep",
+    "SweepPoint",
+    "compare_flows",
+    "format_records",
+    "format_table",
+    "latency_sweep",
+    "percentage",
+]

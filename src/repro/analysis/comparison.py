@@ -1,0 +1,122 @@
+"""Side-by-side comparison of the original and optimized synthesis flows.
+
+This module packages the experiment the paper runs on every benchmark: apply
+the conventional flow to the original specification, apply the presynthesis
+transformation and then the conventional flow to the optimized specification,
+and report cycle length, execution time and the area breakdown of both --
+the rows of Tables I, II and III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.transform import TransformOptions, TransformResult, transform
+from ..hls.flow import FlowMode, SynthesisResult, synthesize
+from ..ir.spec import Specification
+from ..techlib.library import TechnologyLibrary, default_library
+
+
+@dataclass
+class FlowComparison:
+    """Original-vs-optimized synthesis results for one benchmark and latency."""
+
+    name: str
+    latency: int
+    transform_result: TransformResult
+    original: SynthesisResult
+    optimized: SynthesisResult
+    bit_level_chained: Optional[SynthesisResult] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle_saving(self) -> float:
+        """Fractional cycle-length reduction (the paper's "Saved" column)."""
+        if self.original.cycle_length_ns == 0:
+            return 0.0
+        return 1.0 - self.optimized.cycle_length_ns / self.original.cycle_length_ns
+
+    @property
+    def execution_time_saving(self) -> float:
+        if self.original.execution_time_ns == 0:
+            return 0.0
+        return 1.0 - self.optimized.execution_time_ns / self.original.execution_time_ns
+
+    @property
+    def area_increment(self) -> float:
+        """Fractional datapath-area increase (negative means area was saved)."""
+        if self.original.datapath_area == 0:
+            return 0.0
+        return self.optimized.datapath_area / self.original.datapath_area - 1.0
+
+    @property
+    def total_area_increment(self) -> float:
+        if self.original.total_area == 0:
+            return 0.0
+        return self.optimized.total_area / self.original.total_area - 1.0
+
+    @property
+    def operation_growth(self) -> float:
+        return self.transform_result.operation_growth()
+
+    def as_row(self) -> Dict[str, float]:
+        """A flat dictionary row, convenient for table formatting."""
+        return {
+            "benchmark": self.name,
+            "latency": self.latency,
+            "original_cycle_ns": self.original.cycle_length_ns,
+            "optimized_cycle_ns": self.optimized.cycle_length_ns,
+            "cycle_saving_pct": 100.0 * self.cycle_saving,
+            "original_execution_ns": self.original.execution_time_ns,
+            "optimized_execution_ns": self.optimized.execution_time_ns,
+            "original_datapath_area": self.original.datapath_area,
+            "optimized_datapath_area": self.optimized.datapath_area,
+            "area_increment_pct": 100.0 * self.area_increment,
+            "original_total_area": self.original.total_area,
+            "optimized_total_area": self.optimized.total_area,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.name} (latency {self.latency}): cycle "
+            f"{self.original.cycle_length_ns:.2f} ns -> "
+            f"{self.optimized.cycle_length_ns:.2f} ns "
+            f"({100 * self.cycle_saving:.1f}% saved), datapath area "
+            f"{self.original.datapath_area:.0f} -> {self.optimized.datapath_area:.0f} "
+            f"gates ({100 * self.area_increment:+.1f}%)"
+        )
+
+
+def compare_flows(
+    specification: Specification,
+    latency: int,
+    library: Optional[TechnologyLibrary] = None,
+    transform_options: Optional[TransformOptions] = None,
+    include_blc: bool = False,
+    balance_fragments: bool = True,
+) -> FlowComparison:
+    """Run the paper's original-vs-optimized experiment on one specification."""
+    library = library or default_library()
+    options = transform_options or TransformOptions(check_equivalence=False)
+    result = transform(specification, latency, options)
+    original = synthesize(specification, latency, library, FlowMode.CONVENTIONAL)
+    optimized = synthesize(
+        result.transformed,
+        latency,
+        library,
+        FlowMode.FRAGMENTED,
+        chained_bits_per_cycle=result.chained_bits_per_cycle,
+        balance_fragments=balance_fragments,
+    )
+    blc = None
+    if include_blc:
+        blc = synthesize(specification, 1, library, FlowMode.BLC)
+    return FlowComparison(
+        name=specification.name,
+        latency=latency,
+        transform_result=result,
+        original=original,
+        optimized=optimized,
+        bit_level_chained=blc,
+    )

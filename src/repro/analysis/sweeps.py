@@ -1,0 +1,140 @@
+"""Parameter sweeps: the latency sweep behind Fig. 4 and general DSE helpers.
+
+Fig. 4 of the paper plots the cycle length of the schedules obtained from the
+original and the optimized specification as the circuit latency grows from 3
+to 15 cycles, showing the two curves diverging: the conventional schedule's
+cycle length saturates at the delay of the slowest operation, while the
+optimized specification keeps trading latency for a shorter clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.transform import TransformOptions, transform
+from ..hls.flow import FlowMode, synthesize
+from ..ir.spec import Specification
+from ..techlib.library import TechnologyLibrary, default_library
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One latency point of the Fig. 4 sweep."""
+
+    latency: int
+    original_cycle_ns: float
+    optimized_cycle_ns: float
+    original_execution_ns: float
+    optimized_execution_ns: float
+
+    @property
+    def cycle_saving(self) -> float:
+        if self.original_cycle_ns == 0:
+            return 0.0
+        return 1.0 - self.optimized_cycle_ns / self.original_cycle_ns
+
+
+@dataclass
+class LatencySweep:
+    """The full cycle-length-versus-latency sweep for one specification."""
+
+    specification_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def latencies(self) -> List[int]:
+        return [point.latency for point in self.points]
+
+    def original_series(self) -> List[float]:
+        return [point.original_cycle_ns for point in self.points]
+
+    def optimized_series(self) -> List[float]:
+        return [point.optimized_cycle_ns for point in self.points]
+
+    def savings_series(self) -> List[float]:
+        return [point.cycle_saving for point in self.points]
+
+    def divergence(self) -> float:
+        """Gap growth between the curves: (last gap) - (first gap), in ns.
+
+        Positive divergence is the qualitative claim of Fig. 4: the curves
+        separate as the latency becomes bigger.
+        """
+        if len(self.points) < 2:
+            return 0.0
+        first = self.points[0]
+        last = self.points[-1]
+        first_gap = first.original_cycle_ns - first.optimized_cycle_ns
+        last_gap = last.original_cycle_ns - last.optimized_cycle_ns
+        return last_gap - first_gap
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        return [
+            {
+                "latency": point.latency,
+                "original_cycle_ns": point.original_cycle_ns,
+                "optimized_cycle_ns": point.optimized_cycle_ns,
+                "cycle_saving_pct": 100.0 * point.cycle_saving,
+            }
+            for point in self.points
+        ]
+
+    def render_ascii(self, width: int = 60) -> str:
+        """A terminal rendering of the two curves (original = 'o', optimized = '+')."""
+        if not self.points:
+            return "(empty sweep)"
+        peak = max(point.original_cycle_ns for point in self.points) or 1.0
+        lines = [f"cycle length vs latency for {self.specification_name}"]
+        for point in self.points:
+            original_bar = int(round(width * point.original_cycle_ns / peak))
+            optimized_bar = int(round(width * point.optimized_cycle_ns / peak))
+            lines.append(
+                f"  lambda={point.latency:2d} "
+                f"|{'o' * original_bar:<{width}}| {point.original_cycle_ns:6.2f} ns"
+            )
+            lines.append(
+                f"            "
+                f"|{'+' * optimized_bar:<{width}}| {point.optimized_cycle_ns:6.2f} ns"
+            )
+        return "\n".join(lines)
+
+
+def latency_sweep(
+    specification_factory,
+    latencies: Iterable[int],
+    library: Optional[TechnologyLibrary] = None,
+    transform_options: Optional[TransformOptions] = None,
+) -> LatencySweep:
+    """Run the Fig. 4 experiment: sweep the latency, synthesize both flows.
+
+    ``specification_factory`` is called once per latency so that every point
+    works on a fresh specification object (operation identities are not shared
+    across points).
+    """
+    library = library or default_library()
+    options = transform_options or TransformOptions(check_equivalence=False)
+    sweep: Optional[LatencySweep] = None
+    for latency in latencies:
+        specification: Specification = specification_factory()
+        if sweep is None:
+            sweep = LatencySweep(specification.name)
+        result = transform(specification, latency, options)
+        original = synthesize(specification, latency, library, FlowMode.CONVENTIONAL)
+        optimized = synthesize(
+            result.transformed,
+            latency,
+            library,
+            FlowMode.FRAGMENTED,
+            chained_bits_per_cycle=result.chained_bits_per_cycle,
+        )
+        sweep.points.append(
+            SweepPoint(
+                latency=latency,
+                original_cycle_ns=original.cycle_length_ns,
+                optimized_cycle_ns=optimized.cycle_length_ns,
+                original_execution_ns=original.execution_time_ns,
+                optimized_execution_ns=optimized.execution_time_ns,
+            )
+        )
+    assert sweep is not None
+    return sweep

@@ -1,0 +1,70 @@
+"""Plain-text table formatting for experiment reports.
+
+The benchmark harnesses print their results in the same row/column layout as
+the paper's tables, so that a reader can put the two side by side.  Only the
+standard library is used (no tabulate dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    """Render one table cell: floats to fixed precision, the rest verbatim."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(separator)
+    for row in rendered_rows:
+        padded = [cell.rjust(widths[index]) for index, cell in enumerate(row)]
+        lines.append(" | ".join(padded))
+    return "\n".join(lines)
+
+
+def format_records(
+    records: Sequence[Dict[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dictionaries (e.g. ``FlowComparison.as_row()`` output)."""
+    if not records:
+        return title or "(no rows)"
+    if columns is None:
+        columns = list(records[0].keys())
+    rows = [[record.get(column, "") for column in columns] for record in records]
+    return format_table(columns, rows, precision=precision, title=title)
+
+
+def percentage(fraction: float) -> str:
+    """Render a fraction as a percentage string, paper style."""
+    return f"{100.0 * fraction:.2f} %"

@@ -1,0 +1,77 @@
+"""The paper's contribution: the presynthesis behavioural transformation.
+
+Phase 1 (operative kernel extraction), phase 2 (clock-cycle estimation) and
+phase 3 (fragmentation of operations), plus the rewrite that materialises the
+optimized specification and the orchestrating :class:`BehaviouralTransformer`.
+"""
+
+from .fragmentation import (
+    BitSchedule,
+    BitSlot,
+    Fragment,
+    FragmentationError,
+    FragmentationResult,
+    SimpleFragment,
+    compute_bit_schedule,
+    fragment_specification,
+    fragment_widths_simple,
+    fragments_of_operation,
+    minimum_feasible_budget,
+)
+from .kernel import ExtractionResult, ExtractionStatistics, KernelExtractor, extract_kernel
+from .rewrite import (
+    RewriteResult,
+    RewriteStatistics,
+    SpecificationRewriter,
+    rewrite_specification,
+)
+from .timing import (
+    CycleEstimate,
+    TimingError,
+    critical_path_bits,
+    critical_path_by_walk,
+    estimate_cycle_budget,
+    operation_execution_bits,
+    operation_mobility_cycles,
+    path_execution_time,
+)
+from .transform import (
+    BehaviouralTransformer,
+    TransformOptions,
+    TransformResult,
+    transform,
+)
+
+__all__ = [
+    "BehaviouralTransformer",
+    "BitSchedule",
+    "BitSlot",
+    "CycleEstimate",
+    "ExtractionResult",
+    "ExtractionStatistics",
+    "Fragment",
+    "FragmentationError",
+    "FragmentationResult",
+    "KernelExtractor",
+    "RewriteResult",
+    "RewriteStatistics",
+    "SimpleFragment",
+    "SpecificationRewriter",
+    "TimingError",
+    "TransformOptions",
+    "TransformResult",
+    "compute_bit_schedule",
+    "critical_path_bits",
+    "critical_path_by_walk",
+    "estimate_cycle_budget",
+    "extract_kernel",
+    "fragment_specification",
+    "fragment_widths_simple",
+    "fragments_of_operation",
+    "minimum_feasible_budget",
+    "operation_execution_bits",
+    "operation_mobility_cycles",
+    "path_execution_time",
+    "rewrite_specification",
+    "transform",
+]

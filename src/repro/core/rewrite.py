@@ -1,0 +1,227 @@
+"""Rewriting the kernel-extracted specification into the transformed one.
+
+Given the fragments computed by :mod:`repro.core.fragmentation`, this module
+produces the optimized behavioural specification the paper's Fig. 2 a shows:
+every fragmented addition becomes a chain of narrower additions over slices of
+the original operands, connected through explicit carry bits, and writing
+slices of the original result variable.
+
+Carry representation
+--------------------
+The paper's VHDL stores each fragment's carry in the extra most significant
+bit of the fragment result (``C(6 downto 0) := ("0" & A(5 downto 0)) + ...``)
+and later overwrites that bit with the true sum bit.  The IR of this library
+enforces bit-level single assignment, so the rewrite instead lets every
+non-final fragment write a ``width + 1``-bit temporary whose top bit is the
+carry; a zero-delay MOVE forwards the data bits into the destination slice and
+the next fragment reads the carry bit directly from the temporary.  The
+datapath cost is identical (the temporary's data bits and the destination
+slice are the same wires; only the carry bit may need storing, exactly as in
+the paper's Table I register accounting).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.operations import Operation, OpKind, make_binary, make_unary
+from ..ir.spec import Specification
+from ..ir.types import BitRange, BitVectorType
+from ..ir.values import Destination, Operand, Variable
+from .fragmentation import Fragment, FragmentationResult
+
+
+@dataclass
+class RewriteStatistics:
+    """Bookkeeping of the rewrite, used by reports and experiments."""
+
+    additive_operations_in: int = 0
+    additive_operations_out: int = 0
+    glue_operations_created: int = 0
+    carry_bits_created: int = 0
+    fragmented_operations: int = 0
+
+    @property
+    def operation_growth(self) -> float:
+        """Relative growth of the additive operation count (paper: ~34%)."""
+        if self.additive_operations_in == 0:
+            return 0.0
+        return (
+            self.additive_operations_out - self.additive_operations_in
+        ) / self.additive_operations_in
+
+
+@dataclass
+class RewriteResult:
+    """The transformed specification plus provenance information."""
+
+    specification: Specification
+    statistics: RewriteStatistics
+    #: Mapping from every fragment to the operation that implements it.
+    fragment_operations: Dict[Fragment, Operation] = field(default_factory=dict)
+
+    def mobility_of(self, operation: Operation) -> Tuple[int, int]:
+        """ASAP/ALAP cycles recorded on a transformed operation."""
+        return (
+            int(operation.attributes.get("asap", 1)),
+            int(operation.attributes.get("alap", 1)),
+        )
+
+
+class SpecificationRewriter:
+    """Builds the transformed specification from a fragmentation result."""
+
+    def __init__(self, fragmentation: FragmentationResult) -> None:
+        self.fragmentation = fragmentation
+        self.source = fragmentation.specification
+        self.target = Specification(
+            self.source.name.replace("_kernel", "") + "_optimized"
+        )
+        self.statistics = RewriteStatistics()
+        self.result = RewriteResult(self.target, self.statistics)
+        self._temp_counter = itertools.count()
+        for variable in self.source.variables:
+            self.target.add_variable(variable)
+
+    # ------------------------------------------------------------------
+    def rewrite(self) -> RewriteResult:
+        for operation in self.source.operations:
+            if not operation.is_additive:
+                self._copy_glue(operation)
+                continue
+            fragments = self.fragmentation.fragments.get(operation)
+            if not fragments or len(fragments) == 1:
+                self._copy_additive(operation, fragments)
+                continue
+            self._emit_fragments(operation, fragments)
+        return self.result
+
+    # ------------------------------------------------------------------
+    def _fresh_variable(self, width: int, hint: str) -> Variable:
+        name = f"f_{hint}_{next(self._temp_counter)}"
+        variable = Variable(name, BitVectorType(width, signed=False))
+        self.target.add_variable(variable)
+        return variable
+
+    def _copy_glue(self, operation: Operation) -> None:
+        self.target.add_operation(
+            Operation(
+                kind=operation.kind,
+                operands=operation.operands,
+                destination=operation.destination,
+                carry_in=operation.carry_in,
+                name=operation.name,
+                origin=operation.origin,
+                attributes=dict(operation.attributes),
+            )
+        )
+        self.statistics.glue_operations_created += 1
+
+    def _copy_additive(
+        self, operation: Operation, fragments: Optional[List[Fragment]]
+    ) -> None:
+        """Copy an unfragmented additive operation, annotating its mobility."""
+        attributes = dict(operation.attributes)
+        if fragments:
+            attributes["asap"] = fragments[0].asap
+            attributes["alap"] = fragments[0].alap
+        copied = Operation(
+            kind=operation.kind,
+            operands=operation.operands,
+            destination=operation.destination,
+            carry_in=operation.carry_in,
+            name=operation.name,
+            origin=operation.origin,
+            attributes=attributes,
+        )
+        self.target.add_operation(copied)
+        self.statistics.additive_operations_in += 1
+        self.statistics.additive_operations_out += 1
+        if fragments:
+            self.result.fragment_operations[fragments[0]] = copied
+
+    # ------------------------------------------------------------------
+    def _operand_slice(self, operand: Operand, bits: BitRange) -> Operand:
+        """The slice of an operand feeding a fragment covering *bits*.
+
+        Operands were normalised to the operation width by the kernel
+        extraction, so the slice exists; defensive clamping covers operands
+        that are nevertheless narrower (their high bits read as zero).
+        """
+        if bits.lo >= operand.width:
+            # Fragment lies entirely above this operand: contribute zeros.
+            from ..ir.values import Constant, operand_of
+
+            return operand_of(Constant(0, BitVectorType(bits.width, signed=False)))
+        hi = min(bits.hi, operand.width - 1)
+        return operand.subrange(BitRange(bits.lo, hi))
+
+    def _emit_fragments(self, operation: Operation, fragments: List[Fragment]) -> None:
+        self.statistics.additive_operations_in += 1
+        self.statistics.fragmented_operations += 1
+        carry_source: Optional[Operand] = operation.carry_in
+        destination_variable = operation.destination.variable
+        for fragment in fragments:
+            is_last = fragment.index == len(fragments) - 1
+            data_bits = fragment.destination_bits()
+            left = self._operand_slice(operation.operands[0], fragment.bits)
+            right = self._operand_slice(operation.operands[1], fragment.bits)
+            attributes = {
+                "asap": fragment.asap,
+                "alap": fragment.alap,
+                "fragment_bits": (fragment.bits.lo, fragment.bits.hi),
+                "parent": operation.name,
+            }
+            if is_last:
+                destination = Destination(destination_variable, data_bits)
+                emitted = make_binary(
+                    OpKind.ADD,
+                    left,
+                    right,
+                    destination,
+                    name=f"{operation.name}_f{fragment.index}",
+                    carry_in=carry_source,
+                    origin=operation.origin,
+                    fragment_index=fragment.index,
+                    attributes=attributes,
+                )
+                self.target.add_operation(emitted)
+            else:
+                temp = self._fresh_variable(
+                    fragment.width + 1, f"{operation.name}_f{fragment.index}"
+                )
+                emitted = make_binary(
+                    OpKind.ADD,
+                    left,
+                    right,
+                    Destination(temp, temp.full_range()),
+                    name=f"{operation.name}_f{fragment.index}",
+                    carry_in=carry_source,
+                    origin=operation.origin,
+                    fragment_index=fragment.index,
+                    attributes=attributes,
+                )
+                self.target.add_operation(emitted)
+                # Forward the data bits into the destination slice (pure wiring).
+                self.target.add_operation(
+                    make_unary(
+                        OpKind.MOVE,
+                        temp.slice(fragment.width - 1, 0),
+                        Destination(destination_variable, data_bits),
+                        name=f"{operation.name}_f{fragment.index}_data",
+                        origin=operation.origin,
+                        attributes={"asap": fragment.asap, "alap": fragment.alap},
+                    )
+                )
+                self.statistics.glue_operations_created += 1
+                carry_source = temp.bit(fragment.width)
+                self.statistics.carry_bits_created += 1
+            self.statistics.additive_operations_out += 1
+            self.result.fragment_operations[fragment] = emitted
+
+
+def rewrite_specification(fragmentation: FragmentationResult) -> RewriteResult:
+    """Build the optimized specification from a fragmentation result."""
+    return SpecificationRewriter(fragmentation).rewrite()

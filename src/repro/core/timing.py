@@ -1,0 +1,199 @@
+"""Phase 2 -- estimation of the clock cycle duration.
+
+The second phase of the optimization (Section 3.2 of the paper) identifies
+the critical path of the behavioural description, measures it in **chained
+1-bit additions**, and divides it by the latency to obtain the per-cycle
+chained-bit budget::
+
+    cycle_duration = ceil(execution_time(critical_path) / latency)
+
+Two equivalent measurements are implemented:
+
+* :func:`path_execution_time` -- the literal transcription of the path-walk
+  algorithm printed in the paper (walk the path from output to input, start
+  from the width of the last operation, add one per operation crossed plus the
+  number of truncated least-significant bits when an operation is wider than
+  its successor);
+* :func:`critical_path_bits` -- the bit-level longest arrival depth over the
+  :class:`~repro.ir.dfg.BitDependencyGraph`, which accounts for the rippling
+  effect exactly (Fig. 3 b: the F-H / G-H paths of 9 chained bits beat the
+  B-C-E path that has more operations).
+
+The two agree on well-formed additive DFGs; the property tests in
+``tests/core/test_timing.py`` check the relationship on random graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.dfg import BitDependencyGraph, DataFlowGraph
+from ..ir.operations import Operation, OpKind, is_glue
+from ..ir.spec import Specification
+
+
+class TimingError(ValueError):
+    """Raised for invalid latencies or malformed paths."""
+
+
+def operation_execution_bits(operation: Operation) -> int:
+    """Execution time of one operation in chained 1-bit additions.
+
+    Additive operations take as many chained bit-delays as their carry chain
+    is long (the width of the widest operand); pure carry-out bits beyond the
+    operand width are free.  Glue logic costs nothing, as in the paper.
+    Multiplications, which only survive to this phase in the *original*
+    (non-extracted) specification, are priced at the ripple depth of an array
+    multiplier, ``m + n - 1``.
+    """
+    if is_glue(operation.kind):
+        return 0
+    if operation.kind is OpKind.MUL:
+        left = operation.operands[0].width
+        right = operation.operands[1].width
+        return left + right - 1
+    if operation.kind in (OpKind.MAX, OpKind.MIN):
+        return operation.max_operand_width() + 1
+    return max(operation.max_operand_width(), 1)
+
+
+def _truncated_right(producer: Operation, consumer: Operation, graph: DataFlowGraph) -> int:
+    """Least-significant result bits of *producer* not consumed by *consumer*.
+
+    This is the ``truncated_right(ope)`` quantity of the paper's path
+    algorithm: when an operation is wider than its successor (the successor
+    reads only the high part of its result), the successor's ripple cannot
+    start until those truncated low bits have been produced, so they add to
+    the path execution time.
+    """
+    lowest_consumed: Optional[int] = None
+    for edge in graph.in_edges(consumer):
+        if edge.producer is not producer:
+            continue
+        relative_low = edge.bits.lo - producer.destination.range.lo
+        if lowest_consumed is None or relative_low < lowest_consumed:
+            lowest_consumed = relative_low
+    if lowest_consumed is None:
+        return 0
+    return max(0, lowest_consumed)
+
+
+def path_execution_time(path: Sequence[Operation], graph: DataFlowGraph) -> int:
+    """Execution time of one DFG path, per the paper's Section 3.2 algorithm.
+
+    Non-additive (glue) operations on the path are skipped, matching the
+    paper's convention of measuring paths in chained 1-bit additions only.
+    """
+    additive_path = [op for op in path if not is_glue(op.kind)]
+    if not additive_path:
+        return 0
+    time = operation_execution_bits(additive_path[-1])
+    for index in range(len(additive_path) - 2, -1, -1):
+        current = additive_path[index]
+        successor = additive_path[index + 1]
+        current_width = operation_execution_bits(current)
+        successor_width = operation_execution_bits(successor)
+        if current_width <= successor_width:
+            time += 1
+        else:
+            time += 1 + _truncated_right(current, successor, graph)
+    return time
+
+
+def critical_path_by_walk(specification: Specification, path_limit: int = 20000) -> int:
+    """Critical path length via explicit path enumeration (paper's algorithm)."""
+    graph = DataFlowGraph(specification)
+    best = 0
+    for path in graph.all_paths(limit=path_limit):
+        best = max(best, path_execution_time(path, graph))
+    return best
+
+
+def critical_path_bits(specification: Specification) -> int:
+    """Critical path length in chained 1-bit additions (bit-accurate)."""
+    return BitDependencyGraph(specification).critical_depth()
+
+
+@dataclass(frozen=True)
+class CycleEstimate:
+    """Result of the clock-cycle estimation phase."""
+
+    critical_path_bits: int
+    latency: int
+    chained_bits_per_cycle: int
+
+    @property
+    def minimum_latency(self) -> int:
+        """Cycles needed if every cycle packed exactly the budget."""
+        if self.chained_bits_per_cycle == 0:
+            return 1
+        return math.ceil(self.critical_path_bits / self.chained_bits_per_cycle)
+
+    def cycle_length_ns(self, delta_ns: float, overhead_ns: float = 0.0) -> float:
+        """Convert the chained-bit budget to nanoseconds."""
+        return self.chained_bits_per_cycle * delta_ns + overhead_ns
+
+
+def estimate_cycle_budget(
+    specification: Specification,
+    latency: int,
+    critical_bits: Optional[int] = None,
+) -> CycleEstimate:
+    """Phase 2: ``cycle_duration = ceil(critical_path / latency)``.
+
+    Parameters
+    ----------
+    specification:
+        The kernel-extracted specification (phase 1 output).
+    latency:
+        The number of clock cycles the circuit must fit in (the paper's
+        lambda), imposed by the time-constrained scheduling problem.
+    critical_bits:
+        Precomputed critical path length, if available.
+    """
+    if latency <= 0:
+        raise TimingError(f"latency must be a positive cycle count, got {latency}")
+    if critical_bits is None:
+        critical_bits = critical_path_bits(specification)
+    if critical_bits == 0:
+        return CycleEstimate(0, latency, 0)
+    budget = math.ceil(critical_bits / latency)
+    return CycleEstimate(critical_bits, latency, budget)
+
+
+def operation_mobility_cycles(
+    specification: Specification, latency: int
+) -> Dict[Operation, range]:
+    """Coarse operation-level ASAP/ALAP mobility (in cycles) for reporting.
+
+    This is the conventional operation-level mobility (each additive
+    operation occupies one cycle), used only for descriptive statistics; the
+    fragmentation phase uses the bit-level schedules instead.
+    """
+    graph = DataFlowGraph(specification)
+    order = graph.topological_order()
+    asap: Dict[Operation, int] = {}
+    for operation in order:
+        predecessors = graph.predecessors(operation)
+        level = 1
+        if predecessors:
+            level = max(asap[p] + (0 if is_glue(p.kind) else 1) for p in predecessors)
+            level = max(level, 1)
+        asap[operation] = level
+    depth = max(asap.values()) if asap else 1
+    horizon = max(latency, depth)
+    alap: Dict[Operation, int] = {}
+    for operation in reversed(order):
+        successors = graph.successors(operation)
+        if not successors:
+            alap[operation] = horizon
+        else:
+            alap[operation] = min(
+                alap[s] - (0 if is_glue(operation.kind) else 1) for s in successors
+            )
+    return {
+        operation: range(asap[operation], max(asap[operation], alap[operation]) + 1)
+        for operation in order
+    }

@@ -1,0 +1,80 @@
+"""Conventional HLS substrate: scheduling, allocation, binding, datapath.
+
+This package replaces Synopsys Behavioral Compiler (scheduling, allocation,
+binding) and the structural side of Design Compiler in the paper's
+experimental flow.  See DESIGN.md for the substitution rationale.
+"""
+
+from .controller import ControllerEstimate, estimate_controller
+from .datapath import Datapath, build_datapath
+from .flow import FlowMode, HlsFlow, SynthesisResult, synthesize
+from .schedule import Schedule, ScheduleError
+from .timing import (
+    CycleTiming,
+    analyze_bit_level,
+    analyze_operation_level,
+    bit_level_cycle_depths,
+    operation_level_cycle_delays,
+)
+from .allocation import (
+    FunctionalUnitAllocation,
+    FunctionalUnitInstance,
+    InterconnectEstimate,
+    MultiplexerRequirement,
+    RegisterAllocation,
+    RegisterInstance,
+    ValueGroup,
+    allocate_functional_units,
+    allocate_registers,
+    analyze_lifetimes,
+    estimate_interconnect,
+)
+from .scheduling import (
+    BlcScheduleResult,
+    ClockSearchResult,
+    FragmentSchedulerOptions,
+    SchedulingError,
+    minimize_clock_period,
+    schedule_bit_level_chaining,
+    schedule_conventional,
+    schedule_fragments,
+    verify_budget,
+)
+
+__all__ = [
+    "BlcScheduleResult",
+    "ClockSearchResult",
+    "ControllerEstimate",
+    "CycleTiming",
+    "Datapath",
+    "FlowMode",
+    "FragmentSchedulerOptions",
+    "FunctionalUnitAllocation",
+    "FunctionalUnitInstance",
+    "HlsFlow",
+    "InterconnectEstimate",
+    "MultiplexerRequirement",
+    "RegisterAllocation",
+    "RegisterInstance",
+    "Schedule",
+    "ScheduleError",
+    "SchedulingError",
+    "SynthesisResult",
+    "ValueGroup",
+    "allocate_functional_units",
+    "allocate_registers",
+    "analyze_bit_level",
+    "analyze_lifetimes",
+    "analyze_operation_level",
+    "bit_level_cycle_depths",
+    "build_datapath",
+    "estimate_controller",
+    "estimate_interconnect",
+    "minimize_clock_period",
+    "operation_level_cycle_delays",
+    "schedule_bit_level_chaining",
+    "schedule_conventional",
+    "schedule_fragments",
+    "synthesize",
+    "verify_budget",
+]

@@ -1,0 +1,33 @@
+"""Allocation and binding: functional units, registers, interconnect."""
+
+from .functional_units import (
+    FunctionalUnitAllocation,
+    FunctionalUnitInstance,
+    allocate_functional_units,
+)
+from .interconnect import (
+    InterconnectEstimate,
+    MultiplexerRequirement,
+    estimate_interconnect,
+)
+from .registers import (
+    RegisterAllocation,
+    RegisterInstance,
+    ValueGroup,
+    allocate_registers,
+    analyze_lifetimes,
+)
+
+__all__ = [
+    "FunctionalUnitAllocation",
+    "FunctionalUnitInstance",
+    "InterconnectEstimate",
+    "MultiplexerRequirement",
+    "RegisterAllocation",
+    "RegisterInstance",
+    "ValueGroup",
+    "allocate_functional_units",
+    "allocate_registers",
+    "analyze_lifetimes",
+    "estimate_interconnect",
+]

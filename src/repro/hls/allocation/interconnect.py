@@ -1,0 +1,223 @@
+"""Interconnect (routing) estimation: multiplexers in front of units and registers.
+
+Sharing functional units and registers across cycles requires steering logic:
+each functional-unit input port needs a multiplexer wide enough to select
+among every distinct source that ever feeds it, and each shared register needs
+one to select among its writers.  Table I of the paper itemises exactly these
+costs (two 16-bit 3-to-1 multiplexers plus one 16-bit 2-to-1 for the
+conventional datapath; six 6-bit 3-to-1 plus five 1-bit 2-to-1 for the
+optimized one), so the estimator reproduces that accounting:
+
+* a *source* is an input port, a register, or another functional unit whose
+  result is chained combinationally in the same cycle;
+* the fan-in of a port is the number of distinct sources across all the
+  operations bound to the unit;
+* multiplexer width equals the port width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log2
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...ir.operations import Operation, OpKind
+from ...ir.spec import Specification
+from ...techlib.library import TechnologyLibrary
+from ..schedule import Schedule
+from .functional_units import FunctionalUnitAllocation, FunctionalUnitInstance
+from .registers import RegisterAllocation, ValueGroup, _AliasResolver
+
+#: a steering source feeding a port: ("port", uid) | ("reg", index) | ("fu", id) | ("const",)
+SourceKey = Tuple
+
+
+@dataclass(frozen=True)
+class MultiplexerRequirement:
+    """One multiplexer of the datapath."""
+
+    location: str
+    fan_in: int
+    width: int
+    area_gates: float
+
+    @property
+    def select_signals(self) -> int:
+        """Control bits needed to drive the selector."""
+        if self.fan_in <= 1:
+            return 0
+        return max(1, ceil(log2(self.fan_in)))
+
+
+@dataclass
+class InterconnectEstimate:
+    """All multiplexers plus aggregate area and control-signal counts."""
+
+    multiplexers: List[MultiplexerRequirement] = field(default_factory=list)
+
+    @property
+    def total_area(self) -> float:
+        return sum(mux.area_gates for mux in self.multiplexers)
+
+    @property
+    def total_select_signals(self) -> int:
+        return sum(mux.select_signals for mux in self.multiplexers)
+
+    def describe(self) -> str:
+        lines = ["interconnect:"]
+        for mux in self.multiplexers:
+            if mux.fan_in <= 1:
+                continue
+            lines.append(
+                f"  {mux.location}: {mux.fan_in}-to-1 x {mux.width} bits "
+                f"({mux.area_gates:.0f} gates)"
+            )
+        return "\n".join(lines)
+
+
+class _SourceResolver:
+    """Maps operand bits to the physical source driving them."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        functional_units: FunctionalUnitAllocation,
+        registers: RegisterAllocation,
+    ) -> None:
+        self.schedule = schedule
+        self.specification = schedule.specification
+        self.functional_units = functional_units
+        self.registers = registers
+        self.alias = _AliasResolver(self.specification)
+        self._group_register: Dict[Tuple[int, int], int] = {}
+        for index, register in enumerate(registers.registers):
+            for group in register.groups:
+                for bit in range(group.low_bit, group.low_bit + group.width):
+                    self._group_register[(group.variable.uid, bit)] = index
+
+    def _bit_source(self, operation: Operation, variable, bit: int) -> SourceKey:
+        """Physical source of one operand bit read by *operation*."""
+        consumer_cycle = self.schedule.cycle(operation)
+        canonical = self.alias.canonical(variable, bit)
+        if canonical is None:
+            return ("const", 0)
+        variable_uid, canonical_bit = canonical
+        resolved_variable = self.alias.variable_of(canonical)
+        definition = self.specification.bit_writer(resolved_variable, canonical_bit)
+        if definition is None:
+            return ("port", variable_uid, canonical_bit)
+        producer = definition.operation
+        producer_cycle = self.schedule.cycle(producer)
+        if producer_cycle == consumer_cycle:
+            instance = self.functional_units.instance_of(producer)
+            if instance is None:
+                # Chained (non-wiring) glue logic: the wire comes from that
+                # gate's output.
+                return ("glue", producer.uid, canonical_bit)
+            return ("fu", instance.identifier, canonical_bit)
+        register_index = self._group_register.get(canonical)
+        if register_index is None:
+            # Value crosses a cycle but was not storage-allocated (e.g. it is
+            # produced and only consumed by glue); treat as a stable wire.
+            return ("wire", variable_uid, canonical_bit)
+        return ("reg", register_index, canonical_bit)
+
+    def operand_signature(self, operation: Operation, operand) -> Tuple:
+        """The wire bundle an operand is connected to, as a hashable signature.
+
+        Two operands of operations bound to the same unit require a
+        multiplexer leg each exactly when their signatures differ: the
+        signature identifies, bit by bit (run-length compressed), which
+        physical net drives the port.  Reading ``A(5 downto 0)`` in one cycle
+        and ``A(11 downto 6)`` in another therefore counts as two sources --
+        the 3-to-1 multiplexers of the paper's Table I routing breakdown come
+        out of exactly this accounting.
+        """
+        if not operand.is_variable:
+            return (("const", operand.constant.value, operand.width),)
+        runs: List[Tuple] = []
+        for bit in operand.range:
+            source = self._bit_source(operation, operand.variable, bit)
+            head = source[:2]
+            position = source[2] if len(source) > 2 else 0
+            if runs:
+                last_head, last_start, last_length = runs[-1]
+                if last_head == head and position == last_start + last_length:
+                    runs[-1] = (last_head, last_start, last_length + 1)
+                    continue
+            runs.append((head, position, 1))
+        return tuple(runs)
+
+    def sources_of_operand(self, operation: Operation, operand) -> Set[SourceKey]:
+        """Back-compatible wrapper returning the operand's signature as a set."""
+        return {self.operand_signature(operation, operand)}
+
+
+def estimate_interconnect(
+    schedule: Schedule,
+    functional_units: FunctionalUnitAllocation,
+    registers: RegisterAllocation,
+    library: TechnologyLibrary,
+) -> InterconnectEstimate:
+    """Multiplexer requirements of a bound datapath."""
+    estimate = InterconnectEstimate()
+    resolver = _SourceResolver(schedule, functional_units, registers)
+
+    # Functional-unit input ports.
+    for instance in functional_units.instances:
+        operations = functional_units.operations_on(instance)
+        if not operations:
+            continue
+        port_sources: Dict[int, Set[SourceKey]] = {}
+        carry_sources: Set[SourceKey] = set()
+        for operation in operations:
+            for port_index, operand in enumerate(operation.operands):
+                port_sources.setdefault(port_index, set()).update(
+                    resolver.sources_of_operand(operation, operand)
+                )
+            if operation.carry_in is not None:
+                carry_sources.update(
+                    resolver.sources_of_operand(operation, operation.carry_in)
+                )
+        for port_index, sources in sorted(port_sources.items()):
+            fan_in = max(1, len(sources))
+            estimate.multiplexers.append(
+                MultiplexerRequirement(
+                    location=f"{instance.identifier}.in{port_index}",
+                    fan_in=fan_in,
+                    width=instance.width,
+                    area_gates=library.multiplexer_area(fan_in, instance.width),
+                )
+            )
+        if carry_sources:
+            fan_in = max(1, len(carry_sources))
+            estimate.multiplexers.append(
+                MultiplexerRequirement(
+                    location=f"{instance.identifier}.carry",
+                    fan_in=fan_in,
+                    width=1,
+                    area_gates=library.multiplexer_area(fan_in, 1),
+                )
+            )
+
+    # Register input ports: one writer per value group stored in the register.
+    for index, register in enumerate(registers.registers):
+        writer_keys: Set[SourceKey] = set()
+        for group in register.groups:
+            if group.producer is None:
+                continue
+            instance = functional_units.instance_of(group.producer)
+            if instance is None:
+                writer_keys.add(("glue", group.producer.uid))
+            else:
+                writer_keys.add(("fu", instance.identifier))
+        fan_in = max(1, len(writer_keys))
+        estimate.multiplexers.append(
+            MultiplexerRequirement(
+                location=f"reg{index}.in",
+                fan_in=fan_in,
+                width=register.width,
+                area_gates=library.multiplexer_area(fan_in, register.width),
+            )
+        )
+    return estimate

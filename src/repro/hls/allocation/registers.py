@@ -1,0 +1,324 @@
+"""Register allocation: lifetime analysis and left-edge sharing.
+
+Only values that *cross a cycle boundary* need storage.  The paper leans on
+this heavily: in the optimized schedule of the motivational example "most
+result bits calculated in every cycle are also consumed in that same cycle",
+so only five 1-bit values (two data bits and three carries per boundary, with
+the two boundaries sharing registers) ever need flip-flops, against one full
+16-bit register for the conventional schedule.
+
+As in the paper's Table I accounting, the dedicated registers that stabilise
+input and output ports are excluded ("they coincide in both implementations").
+
+MOVE operations introduced by the specification rewrite are pure renamings of
+wires; their destinations are treated as aliases of their sources so that the
+same physical value is never counted twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...ir.operations import Operation, OpKind
+from ...ir.spec import Specification
+from ...ir.values import Variable
+from ...techlib.library import TechnologyLibrary
+from ..schedule import Schedule
+
+#: a canonical value bit: (variable uid, bit index) after alias resolution
+CanonicalBit = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ValueGroup:
+    """A run of bits of one variable sharing producer, birth and death cycles."""
+
+    variable: Variable
+    low_bit: int
+    width: int
+    producer: Optional[Operation]
+    birth_cycle: int
+    death_cycle: int
+
+    @property
+    def needs_storage(self) -> bool:
+        return self.death_cycle > self.birth_cycle
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        hi = self.low_bit + self.width - 1
+        return (
+            f"{self.variable.name}[{hi}:{self.low_bit}] "
+            f"({self.birth_cycle} -> {self.death_cycle})"
+        )
+
+
+@dataclass
+class RegisterInstance:
+    """One physical register and the value groups time-sharing it."""
+
+    identifier: str
+    width: int
+    groups: List[ValueGroup] = field(default_factory=list)
+    area_gates: float = 0.0
+
+
+@dataclass
+class RegisterAllocation:
+    """All registers of the datapath plus lifetime statistics."""
+
+    registers: List[RegisterInstance] = field(default_factory=list)
+    groups: List[ValueGroup] = field(default_factory=list)
+    stored_bits: int = 0
+
+    @property
+    def total_area(self) -> float:
+        return sum(register.area_gates for register in self.registers)
+
+    @property
+    def register_count(self) -> int:
+        return len(self.registers)
+
+    def register_of(self, group: ValueGroup) -> Optional[RegisterInstance]:
+        for register in self.registers:
+            if group in register.groups:
+                return register
+        return None
+
+    def describe(self) -> str:
+        lines = [f"registers ({self.register_count}, {self.stored_bits} stored bits):"]
+        for register in self.registers:
+            stored = ", ".join(str(group) for group in register.groups)
+            lines.append(
+                f"  {register.identifier}[{register.width}] "
+                f"({register.area_gates:.0f} gates) <- {stored}"
+            )
+        return "\n".join(lines)
+
+
+#: Glue kinds that are pure wiring: their output bits are the very same nets
+#: as their input bits, so storage and steering analyses must not count them
+#: as separate values.
+_WIRING_KINDS = frozenset({OpKind.MOVE, OpKind.CONCAT, OpKind.SHL, OpKind.SHR})
+
+
+class _AliasResolver:
+    """Resolves wiring-introduced aliases down to the physical producing bit.
+
+    MOVEs, CONCATs and constant shifts introduced by the kernel extraction and
+    by the fragment rewrite are renamings of existing nets; the resolver
+    follows them (using the same kind-specific bit wiring as the bit-level
+    dependency graph) so that every stored or steered bit is attributed to the
+    operation that actually computes it.
+    """
+
+    def __init__(self, specification: Specification) -> None:
+        self.specification = specification
+        self._cache: Dict[CanonicalBit, Optional[CanonicalBit]] = {}
+        self._variables: Dict[int, Variable] = {
+            variable.uid: variable for variable in specification.variables
+        }
+
+    def canonical(self, variable: Variable, bit: int) -> Optional[CanonicalBit]:
+        """Physical (variable uid, bit) behind an IR bit; None for constants."""
+        key = (variable.uid, bit)
+        if key in self._cache:
+            return self._cache[key]
+        resolved = self._resolve(variable, bit, 0)
+        self._cache[key] = resolved
+        return resolved
+
+    def _resolve(self, variable: Variable, bit: int, depth: int) -> Optional[CanonicalBit]:
+        if depth > 64:
+            return (variable.uid, bit)
+        definition = self.specification.bit_writer(variable, bit)
+        if definition is None:
+            return (variable.uid, bit)
+        operation = definition.operation
+        if operation.kind not in _WIRING_KINDS:
+            return (variable.uid, bit)
+        from ...ir.dfg import BitDependencyGraph
+
+        sources = BitDependencyGraph.glue_source_bits(operation, definition.result_bit)
+        for operand, position in sources:
+            if not operand.is_variable:
+                return None
+            source_bit = operand.range.lo + position
+            return self._resolve(operand.variable, source_bit, depth + 1)
+        # No driving operand (e.g. a shifted-in zero): the bit is a constant.
+        return None
+
+    def variable_of(self, canonical: CanonicalBit) -> Variable:
+        return self._variables[canonical[0]]
+
+
+def _storage_sources(
+    specification: Specification,
+    variable: Variable,
+    bit: int,
+    _depth: int = 0,
+) -> List[CanonicalBit]:
+    """The additive result bits that must be *stored* for a read of this bit.
+
+    Glue logic of every kind (wiring as well as gates such as the partial
+    product ANDs of a decomposed multiplication) is combinational and can be
+    replicated next to its consumer, so what actually occupies a register when
+    a glue output is consumed in a later cycle is the glue's transitive
+    non-glue inputs -- additive operation results.  Input-port bits need no
+    datapath register (the paper excludes the dedicated I/O registers from its
+    accounting), so they resolve to nothing.
+    """
+    if _depth > 64:
+        return []
+    definition = specification.bit_writer(variable, bit)
+    if definition is None:
+        return []
+    operation = definition.operation
+    if operation.is_additive:
+        return [(variable.uid, bit)]
+    sources: List[CanonicalBit] = []
+    from ...ir.dfg import BitDependencyGraph
+
+    for operand, position in BitDependencyGraph.glue_source_bits(
+        operation, definition.result_bit
+    ):
+        if not operand.is_variable:
+            continue
+        sources.extend(
+            _storage_sources(
+                specification, operand.variable, operand.range.lo + position, _depth + 1
+            )
+        )
+    return sources
+
+
+def analyze_lifetimes(schedule: Schedule) -> List[ValueGroup]:
+    """Birth/death cycles of every produced value bit, grouped into runs."""
+    spec = schedule.specification
+    resolver = _AliasResolver(spec)
+    birth: Dict[CanonicalBit, int] = {}
+    death: Dict[CanonicalBit, int] = {}
+    producer: Dict[CanonicalBit, Optional[Operation]] = {}
+
+    # Births: every bit produced by an additive (functional-unit) operation.
+    # Glue outputs are never stored: glue is combinational logic replicated
+    # next to whichever cycle consumes it.
+    for operation in spec.operations:
+        if not operation.is_additive:
+            continue
+        cycle = schedule.cycle(operation)
+        destination = operation.destination
+        for bit in destination.range:
+            canonical = (destination.variable.uid, bit)
+            birth[canonical] = cycle
+            producer[canonical] = operation
+            death.setdefault(canonical, cycle)
+    _ = resolver  # kept for interconnect sharing of the alias cache semantics
+
+    # Deaths: the latest cycle any additive operation (transitively through
+    # glue) reads the stored bit.
+    cache: Dict[Tuple[int, int], List[CanonicalBit]] = {}
+    for operation in spec.operations:
+        if not operation.is_additive:
+            continue
+        cycle = schedule.cycle(operation)
+        for operand in operation.all_read_operands():
+            if not operand.is_variable:
+                continue
+            for bit in operand.range:
+                key = (operand.variable.uid, bit)
+                if key not in cache:
+                    cache[key] = _storage_sources(spec, operand.variable, bit)
+                for canonical in cache[key]:
+                    if canonical in birth:
+                        death[canonical] = max(death[canonical], cycle)
+
+    # Group contiguous bits of the same variable with identical lifetimes.
+    groups: List[ValueGroup] = []
+    by_variable: Dict[int, List[Tuple[int, CanonicalBit]]] = {}
+    for canonical in birth:
+        by_variable.setdefault(canonical[0], []).append((canonical[1], canonical))
+    for variable_uid, entries in by_variable.items():
+        variable = resolver.variable_of((variable_uid, 0))
+        entries.sort()
+        run: List[Tuple[int, CanonicalBit]] = []
+
+        def flush() -> None:
+            if not run:
+                return
+            low = run[0][0]
+            canonical = run[0][1]
+            groups.append(
+                ValueGroup(
+                    variable=variable,
+                    low_bit=low,
+                    width=len(run),
+                    producer=producer[canonical],
+                    birth_cycle=birth[canonical],
+                    death_cycle=death[canonical],
+                )
+            )
+
+        previous_bit: Optional[int] = None
+        previous_key: Optional[Tuple] = None
+        for bit, canonical in entries:
+            key = (birth[canonical], death[canonical], producer[canonical])
+            if (
+                previous_bit is not None
+                and bit == previous_bit + 1
+                and key == previous_key
+            ):
+                run.append((bit, canonical))
+            else:
+                flush()
+                run = [(bit, canonical)]
+            previous_bit, previous_key = bit, key
+        flush()
+    groups.sort(key=lambda group: (group.birth_cycle, group.variable.name, group.low_bit))
+    return groups
+
+
+def allocate_registers(
+    schedule: Schedule, library: TechnologyLibrary
+) -> RegisterAllocation:
+    """Left-edge register allocation over the cycle-crossing value groups.
+
+    A value produced in cycle ``b`` and last consumed in cycle ``d > b``
+    occupies a register during the interval ``(b, d]``; two values can share a
+    register when their intervals do not overlap.  Groups are packed into the
+    narrowest compatible register first so that 1-bit carries do not inflate a
+    16-bit register's width.
+    """
+    groups = analyze_lifetimes(schedule)
+    stored = [group for group in groups if group.needs_storage]
+    allocation = RegisterAllocation(groups=groups)
+    allocation.stored_bits = sum(group.width for group in stored)
+
+    registers: List[RegisterInstance] = []
+    register_last_death: Dict[int, int] = {}
+    stored.sort(key=lambda group: (group.birth_cycle, -group.width))
+    for group in stored:
+        candidates = []
+        for index, register in enumerate(registers):
+            if register_last_death[index] <= group.birth_cycle:
+                # Prefer a register that already fits the group's width, then
+                # the narrowest one (which will have to grow the least).
+                grow = max(0, group.width - register.width)
+                candidates.append((grow, register.width, index))
+        if candidates:
+            candidates.sort()
+            index = candidates[0][2]
+            register = registers[index]
+            register.width = max(register.width, group.width)
+            register.groups.append(group)
+            register_last_death[index] = group.death_cycle
+        else:
+            register = RegisterInstance(
+                identifier=f"reg{len(registers)}", width=group.width, groups=[group]
+            )
+            registers.append(register)
+            register_last_death[len(registers) - 1] = group.death_cycle
+    for register in registers:
+        register.area_gates = library.register_area(register.width)
+    allocation.registers = registers
+    return allocation

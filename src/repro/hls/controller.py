@@ -1,0 +1,50 @@
+"""FSM controller estimation.
+
+The controller of the synthesized circuit sequences the datapath: one state
+per clock cycle of the schedule, and one control signal per multiplexer select
+bit and per register load enable.  Its cost is estimated with the linear model
+of :meth:`repro.techlib.TechnologyLibrary.controller_area`, which stands in
+for the controller gate counts Table I reports (60 / 32 / 62 gates for the
+three implementations of the motivational example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..techlib.library import TechnologyLibrary
+from .allocation.interconnect import InterconnectEstimate
+from .allocation.registers import RegisterAllocation
+from .schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ControllerEstimate:
+    """States, control signals and area of the sequencing FSM."""
+
+    states: int
+    control_signals: int
+    area_gates: float
+
+    def describe(self) -> str:
+        return (
+            f"controller: {self.states} states, {self.control_signals} control "
+            f"signals, {self.area_gates:.0f} gates"
+        )
+
+
+def estimate_controller(
+    schedule: Schedule,
+    registers: RegisterAllocation,
+    interconnect: InterconnectEstimate,
+    library: TechnologyLibrary,
+) -> ControllerEstimate:
+    """Estimate the FSM controller of a bound datapath."""
+    states = max(1, schedule.latency)
+    control_signals = (
+        interconnect.total_select_signals + registers.register_count
+    )
+    area = library.controller_area(states, control_signals)
+    return ControllerEstimate(
+        states=states, control_signals=control_signals, area_gates=area
+    )

@@ -1,0 +1,98 @@
+"""The assembled RTL datapath and its area breakdown.
+
+A :class:`Datapath` bundles the outcome of allocation and binding -- the
+functional units, registers, interconnect and controller of one synthesized
+implementation -- and exposes the area breakdown in the exact categories the
+paper's Table I and Fig. 3 h report: functional units, registers, routing,
+controller, datapath (FU + registers + routing) and total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..techlib.library import TechnologyLibrary
+from .allocation.functional_units import (
+    FunctionalUnitAllocation,
+    allocate_functional_units,
+)
+from .allocation.interconnect import InterconnectEstimate, estimate_interconnect
+from .allocation.registers import RegisterAllocation, allocate_registers
+from .controller import ControllerEstimate, estimate_controller
+from .schedule import Schedule
+
+
+@dataclass
+class Datapath:
+    """One synthesized implementation's structural resources."""
+
+    schedule: Schedule
+    functional_units: FunctionalUnitAllocation
+    registers: RegisterAllocation
+    interconnect: InterconnectEstimate
+    controller: ControllerEstimate
+
+    # ------------------------------------------------------------------
+    @property
+    def fu_area(self) -> float:
+        return self.functional_units.total_area
+
+    @property
+    def register_area(self) -> float:
+        return self.registers.total_area
+
+    @property
+    def routing_area(self) -> float:
+        return self.interconnect.total_area
+
+    @property
+    def controller_area(self) -> float:
+        return self.controller.area_gates
+
+    @property
+    def datapath_area(self) -> float:
+        """Functional units plus storage plus steering (no controller)."""
+        return self.fu_area + self.register_area + self.routing_area
+
+    @property
+    def total_area(self) -> float:
+        return self.datapath_area + self.controller_area
+
+    # ------------------------------------------------------------------
+    def area_breakdown(self) -> Dict[str, float]:
+        """The Table I style breakdown as a plain dictionary."""
+        return {
+            "functional_units": self.fu_area,
+            "registers": self.register_area,
+            "routing": self.routing_area,
+            "controller": self.controller_area,
+            "datapath": self.datapath_area,
+            "total": self.total_area,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            self.functional_units.describe(),
+            self.registers.describe(),
+            self.interconnect.describe(),
+            self.controller.describe(),
+            f"datapath area: {self.datapath_area:.0f} gates, "
+            f"total area: {self.total_area:.0f} gates",
+        ]
+        return "\n".join(lines)
+
+
+def build_datapath(schedule: Schedule, library: TechnologyLibrary) -> Datapath:
+    """Run allocation, binding and estimation for a scheduled specification."""
+    functional_units = allocate_functional_units(schedule, library)
+    registers = allocate_registers(schedule, library)
+    interconnect = estimate_interconnect(schedule, functional_units, registers, library)
+    controller = estimate_controller(schedule, registers, interconnect, library)
+    return Datapath(
+        schedule=schedule,
+        functional_units=functional_units,
+        registers=registers,
+        interconnect=interconnect,
+        controller=controller,
+    )

@@ -1,0 +1,120 @@
+"""Schedule representation shared by every scheduler in the HLS substrate.
+
+A :class:`Schedule` maps every operation of a specification to the clock
+cycle (1-based) it executes in.  Glue-logic operations are also given a cycle
+(the cycle of their latest producer) so that downstream analyses -- register
+lifetimes, interconnect estimation -- can reason uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..ir.dfg import DataFlowGraph
+from ..ir.operations import Operation
+from ..ir.spec import Specification
+
+
+class ScheduleError(ValueError):
+    """Raised for inconsistent schedules (precedence violations, bad cycles)."""
+
+
+@dataclass
+class Schedule:
+    """An assignment of operations to clock cycles."""
+
+    specification: Specification
+    latency: int
+    cycle_of: Dict[Operation, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.latency <= 0:
+            raise ScheduleError(f"latency must be positive, got {self.latency}")
+
+    # ------------------------------------------------------------------
+    def assign(self, operation: Operation, cycle: int) -> None:
+        if not (1 <= cycle <= self.latency):
+            raise ScheduleError(
+                f"cycle {cycle} outside [1, {self.latency}] for {operation.name}"
+            )
+        self.cycle_of[operation] = cycle
+
+    def cycle(self, operation: Operation) -> int:
+        try:
+            return self.cycle_of[operation]
+        except KeyError:
+            raise ScheduleError(f"operation {operation.name} is not scheduled") from None
+
+    def is_complete(self) -> bool:
+        """True when every operation of the specification has a cycle."""
+        return all(op in self.cycle_of for op in self.specification.operations)
+
+    def operations_in_cycle(self, cycle: int) -> List[Operation]:
+        return [
+            op
+            for op in self.specification.operations
+            if self.cycle_of.get(op) == cycle
+        ]
+
+    def additive_operations_in_cycle(self, cycle: int) -> List[Operation]:
+        return [op for op in self.operations_in_cycle(cycle) if op.is_additive]
+
+    def cycles(self) -> range:
+        return range(1, self.latency + 1)
+
+    def used_cycles(self) -> int:
+        """Highest cycle actually containing an operation."""
+        if not self.cycle_of:
+            return 0
+        return max(self.cycle_of.values())
+
+    # ------------------------------------------------------------------
+    def check_precedence(self, graph: Optional[DataFlowGraph] = None) -> None:
+        """Raise :class:`ScheduleError` on any dependency scheduled backwards.
+
+        Producers must execute no later than their consumers; executing in the
+        *same* cycle is allowed (operation chaining / bit-level chaining), the
+        timing analyses decide whether the resulting chains fit the cycle.
+        """
+        if graph is None:
+            graph = DataFlowGraph(self.specification)
+        for operation in self.specification.operations:
+            if operation not in self.cycle_of:
+                raise ScheduleError(f"operation {operation.name} is not scheduled")
+            for predecessor in graph.predecessors(operation):
+                if self.cycle_of[predecessor] > self.cycle_of[operation]:
+                    raise ScheduleError(
+                        f"{predecessor.name} (cycle {self.cycle_of[predecessor]}) "
+                        f"feeds {operation.name} (cycle {self.cycle_of[operation]})"
+                    )
+
+    def check_bit_precedence(self, bit_graph) -> None:
+        """Bit-level precedence check for bit-chained (fragmented) schedules.
+
+        Glue logic is pure wiring whose different bits may effectively belong
+        to different cycles, so the operation-level check is too strict for
+        transformed specifications; the correct requirement is that every
+        additive result bit is computed no earlier than the additive result
+        bits it depends on (tracing through glue), which is what this checks.
+        """
+        for node in bit_graph.nodes:
+            consumer_cycle = self.cycle(node.operation)
+            for predecessor in bit_graph.predecessors(node):
+                producer_cycle = self.cycle(predecessor.operation)
+                if producer_cycle > consumer_cycle:
+                    raise ScheduleError(
+                        f"bit {predecessor} (cycle {producer_cycle}) feeds "
+                        f"bit {node} (cycle {consumer_cycle})"
+                    )
+
+    def describe(self) -> str:
+        lines = [f"schedule of {self.specification.name} over {self.latency} cycles"]
+        for cycle in self.cycles():
+            ops = self.operations_in_cycle(cycle)
+            names = ", ".join(op.name for op in ops) or "(idle)"
+            lines.append(f"  cycle {cycle}: {names}")
+        return "\n".join(lines)
+
+    def copy(self) -> "Schedule":
+        return Schedule(self.specification, self.latency, dict(self.cycle_of))

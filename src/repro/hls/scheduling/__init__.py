@@ -1,0 +1,49 @@
+"""Schedulers of the HLS substrate.
+
+* :mod:`~repro.hls.scheduling.asap_alap` -- operation-level chained ASAP/ALAP;
+* :mod:`~repro.hls.scheduling.list_scheduler` -- conventional time-constrained
+  flow (clock-period minimisation + load-balancing list scheduler);
+* :mod:`~repro.hls.scheduling.fragment_scheduler` -- scheduler for the
+  transformed specifications produced by :mod:`repro.core`;
+* :mod:`~repro.hls.scheduling.chaining` -- the bit-level chaining baseline of
+  Fig. 1 d.
+"""
+
+from .asap_alap import (
+    ChainedPlacement,
+    SchedulingError,
+    alap_chained,
+    asap_chained,
+    asap_cycles_needed,
+    mobility_windows,
+)
+from .chaining import BlcScheduleResult, schedule_bit_level_chaining
+from .fragment_scheduler import (
+    FragmentSchedulerOptions,
+    schedule_fragments,
+    verify_budget,
+)
+from .list_scheduler import (
+    ClockSearchResult,
+    list_schedule,
+    minimize_clock_period,
+    schedule_conventional,
+)
+
+__all__ = [
+    "BlcScheduleResult",
+    "ChainedPlacement",
+    "ClockSearchResult",
+    "FragmentSchedulerOptions",
+    "SchedulingError",
+    "alap_chained",
+    "asap_chained",
+    "asap_cycles_needed",
+    "list_schedule",
+    "minimize_clock_period",
+    "mobility_windows",
+    "schedule_bit_level_chaining",
+    "schedule_conventional",
+    "schedule_fragments",
+    "verify_budget",
+]

@@ -1,0 +1,158 @@
+"""Operation-level ASAP / ALAP scheduling with operation chaining.
+
+These are the conventional scheduling primitives of the HLS substrate: given
+a candidate clock period ``T`` (nanoseconds), the ASAP pass packs operations
+greedily into cycles, chaining data-dependent operations within a cycle as
+long as the accumulated functional-unit delay fits ``T``; the ALAP pass is the
+mirror image, anchored at a target latency.  Both return per-operation cycles
+plus the chained start time inside the cycle.
+
+They are used by the conventional flow on the *original* specification
+(Table I column 1, Table II "original" columns) and by the clock-period
+minimisation search in :mod:`repro.hls.scheduling.list_scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ...ir.dfg import DataFlowGraph
+from ...ir.operations import Operation
+from ...ir.spec import Specification
+from ...techlib.library import TechnologyLibrary
+
+
+class SchedulingError(ValueError):
+    """Raised when no schedule exists under the given constraints."""
+
+
+@dataclass(frozen=True)
+class ChainedPlacement:
+    """Cycle plus chained start/finish times (ns inside the cycle)."""
+
+    cycle: int
+    start_ns: float
+    finish_ns: float
+
+
+def asap_chained(
+    specification: Specification,
+    clock_period_ns: float,
+    library: TechnologyLibrary,
+    graph: Optional[DataFlowGraph] = None,
+) -> Dict[Operation, ChainedPlacement]:
+    """As-soon-as-possible schedule with operation chaining under a clock period.
+
+    Raises :class:`SchedulingError` when some single operation is slower than
+    the clock period (the conventional flow does not multi-cycle operations;
+    that is precisely the limitation the paper's transformation removes).
+    """
+    if clock_period_ns <= 0:
+        raise SchedulingError(f"clock period must be positive, got {clock_period_ns}")
+    if graph is None:
+        graph = DataFlowGraph(specification)
+    placements: Dict[Operation, ChainedPlacement] = {}
+    for operation in graph.topological_order():
+        delay = library.operation_delay_ns(operation)
+        if delay > clock_period_ns + 1e-9:
+            raise SchedulingError(
+                f"operation {operation.name} ({delay:.3f} ns) does not fit a "
+                f"{clock_period_ns:.3f} ns clock period"
+            )
+        cycle = 1
+        start = 0.0
+        for predecessor in graph.predecessors(operation):
+            previous = placements[predecessor]
+            if previous.cycle > cycle:
+                cycle, start = previous.cycle, 0.0
+        for predecessor in graph.predecessors(operation):
+            previous = placements[predecessor]
+            if previous.cycle == cycle:
+                start = max(start, previous.finish_ns)
+        if start + delay > clock_period_ns + 1e-9:
+            cycle += 1
+            start = 0.0
+        placements[operation] = ChainedPlacement(cycle, start, start + delay)
+    return placements
+
+
+def alap_chained(
+    specification: Specification,
+    clock_period_ns: float,
+    latency: int,
+    library: TechnologyLibrary,
+    graph: Optional[DataFlowGraph] = None,
+) -> Dict[Operation, ChainedPlacement]:
+    """As-late-as-possible schedule, anchored at cycle *latency*.
+
+    The returned ``start_ns``/``finish_ns`` are measured from the start of the
+    cycle (forward convention) so ASAP and ALAP placements are directly
+    comparable.
+    """
+    if clock_period_ns <= 0:
+        raise SchedulingError(f"clock period must be positive, got {clock_period_ns}")
+    if latency <= 0:
+        raise SchedulingError(f"latency must be positive, got {latency}")
+    if graph is None:
+        graph = DataFlowGraph(specification)
+    # Work in "reverse time": tail_ns is the chained delay from the start of
+    # the operation to the end of its cycle.
+    cycles: Dict[Operation, int] = {}
+    tails: Dict[Operation, float] = {}
+    for operation in reversed(graph.topological_order()):
+        delay = library.operation_delay_ns(operation)
+        if delay > clock_period_ns + 1e-9:
+            raise SchedulingError(
+                f"operation {operation.name} ({delay:.3f} ns) does not fit a "
+                f"{clock_period_ns:.3f} ns clock period"
+            )
+        cycle = latency
+        tail = 0.0
+        successors = graph.successors(operation)
+        if successors:
+            cycle = min(cycles[s] for s in successors)
+            for successor in successors:
+                if cycles[successor] == cycle:
+                    tail = max(tail, tails[successor])
+        if tail + delay > clock_period_ns + 1e-9:
+            cycle -= 1
+            tail = 0.0
+        if cycle < 1:
+            raise SchedulingError(
+                f"operation {operation.name} cannot be scheduled within "
+                f"{latency} cycles of {clock_period_ns:.3f} ns"
+            )
+        cycles[operation] = cycle
+        tails[operation] = tail + delay
+    placements: Dict[Operation, ChainedPlacement] = {}
+    for operation, cycle in cycles.items():
+        finish = clock_period_ns - tails[operation] + library.operation_delay_ns(operation)
+        start = finish - library.operation_delay_ns(operation)
+        placements[operation] = ChainedPlacement(cycle, start, finish)
+    return placements
+
+
+def asap_cycles_needed(
+    specification: Specification,
+    clock_period_ns: float,
+    library: TechnologyLibrary,
+    graph: Optional[DataFlowGraph] = None,
+) -> int:
+    """Number of cycles the ASAP schedule needs under the given clock period."""
+    placements = asap_chained(specification, clock_period_ns, library, graph)
+    if not placements:
+        return 0
+    return max(p.cycle for p in placements.values())
+
+
+def mobility_windows(
+    asap: Dict[Operation, ChainedPlacement],
+    alap: Dict[Operation, ChainedPlacement],
+) -> Dict[Operation, Tuple[int, int]]:
+    """Per-operation cycle windows derived from ASAP and ALAP placements."""
+    windows: Dict[Operation, Tuple[int, int]] = {}
+    for operation, early in asap.items():
+        late = alap[operation]
+        windows[operation] = (early.cycle, max(early.cycle, late.cycle))
+    return windows

@@ -1,0 +1,234 @@
+"""Scheduler for transformed (fragmented) specifications.
+
+The transformed specification produced by :mod:`repro.core` carries, on every
+additive operation, the bit-level mobility computed by the fragmentation phase
+(``asap``/``alap`` attributes).  A conventional scheduler only has to place
+each fragment in one cycle of its mobility window while
+
+* respecting the new data dependencies (carry chains between fragments and
+  value dependencies between chained fragments of different operations,
+  including dependencies threaded through glue logic), and
+* keeping the chained 1-bit-addition depth of every cycle within the budget
+  estimated in phase 2,
+
+and, secondarily, balancing the number of addition bits executed per cycle so
+that the allocation stage needs as few (and as narrow) adders as possible --
+this is what lets operation ``A`` of Fig. 3 g execute in cycles 1 and 3, two
+non-consecutive cycles.
+
+Strategy: place fragments greedily inside their mobility windows (balancing
+addition bits per cycle), then verify the per-cycle chained-bit depths with
+the bit-level timing analysis; if the balanced placement exceeds the budget,
+fall back to the pure ASAP placement, which is feasible by construction of the
+mobility windows.
+
+Glue-logic operations (wiring moves, slices, selectors, operand extensions)
+are placed in the cycle of their latest producer: they cost no time and no
+functional unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...ir.dfg import BitDependencyGraph, DataFlowGraph
+from ...ir.operations import Operation
+from ...ir.spec import Specification
+from ..schedule import Schedule, ScheduleError
+from ..timing import bit_level_cycle_depths
+from .asap_alap import SchedulingError
+
+
+def _recorded_mobility(operation: Operation, latency: int) -> Optional[Tuple[int, int]]:
+    """The (asap, alap) window recorded by the transformation, if any."""
+    if "asap" not in operation.attributes or "alap" not in operation.attributes:
+        return None
+    asap = int(operation.attributes["asap"])
+    alap = int(operation.attributes["alap"])
+    asap = max(1, min(asap, latency))
+    alap = max(asap, min(alap, latency))
+    return asap, alap
+
+
+def _bit_level_mobility(
+    specification: Specification, latency: int, budget: int
+) -> Dict[Operation, Tuple[int, int]]:
+    """Recompute mobility windows from the transformed spec's own bit graph.
+
+    Used when the specification was not produced by this library's rewriter
+    (e.g. hand-written fragmented specifications in the tests) and therefore
+    carries no mobility attributes.
+    """
+    from ...core.fragmentation import compute_bit_schedule
+
+    graph = BitDependencyGraph(specification)
+    schedule = compute_bit_schedule(specification, latency, budget, graph)
+    if not schedule.is_feasible():
+        raise SchedulingError(
+            f"{specification.name} has no feasible bit-level schedule with "
+            f"{budget} chained bits per cycle and latency {latency}"
+        )
+    windows: Dict[Operation, Tuple[int, int]] = {}
+    for operation in specification.operations:
+        if not operation.is_additive:
+            continue
+        asap = 1
+        alap = latency
+        for bit in range(operation.width):
+            node = graph.node(operation, bit)
+            asap = max(asap, schedule.asap_cycle(node))
+            alap = min(alap, schedule.alap_cycle(node))
+        windows[operation] = (asap, max(asap, alap))
+    return windows
+
+
+@dataclass
+class FragmentSchedulerOptions:
+    """Tuning knobs of the fragment scheduler."""
+
+    #: balance addition bits across cycles (False = pure ASAP placement).
+    balance: bool = True
+    #: verify the balanced placement against the budget and fall back to the
+    #: ASAP placement when the balancing broke a cycle's chained depth.
+    verify: bool = True
+
+
+class _FragmentPlacer:
+    """Shared machinery of the balanced and ASAP placements."""
+
+    def __init__(
+        self,
+        specification: Specification,
+        latency: int,
+        windows: Dict[Operation, Tuple[int, int]],
+        graph: DataFlowGraph,
+        bit_graph: BitDependencyGraph,
+    ) -> None:
+        self.specification = specification
+        self.latency = latency
+        self.windows = windows
+        self.graph = graph
+        self.bit_graph = bit_graph
+
+    def _bit_lower_bound(self, operation: Operation, schedule: Schedule) -> int:
+        """Earliest cycle allowed by already-placed producers, bit-accurately.
+
+        A fragment may start as soon as the additive result bits its own bits
+        depend on are available; dependencies are traced through glue logic at
+        the bit level, so reading the low bits of a partially produced value
+        does not wait for the fragments that produce its high bits.
+        """
+        bound = 1
+        for bit in range(operation.width):
+            if not self.bit_graph.has_node(operation, bit):
+                continue
+            node = self.bit_graph.node(operation, bit)
+            for predecessor in self.bit_graph.predecessors(node):
+                if predecessor.operation is operation:
+                    continue
+                placed = schedule.cycle_of.get(predecessor.operation)
+                if placed is not None:
+                    bound = max(bound, placed)
+        return bound
+
+    def _glue_lower_bound(
+        self, operation: Operation, schedule: Schedule, depth: int = 0
+    ) -> int:
+        """Cycle assigned to glue logic: after its latest placed producer."""
+        if depth > 64:
+            return 1
+        bound = 1
+        for predecessor in self.graph.predecessors(operation):
+            placed = schedule.cycle_of.get(predecessor)
+            if placed is not None:
+                bound = max(bound, placed)
+            elif not predecessor.is_additive:
+                bound = max(
+                    bound, self._glue_lower_bound(predecessor, schedule, depth + 1)
+                )
+        return bound
+
+    def place(self, balance: bool) -> Schedule:
+        schedule = Schedule(self.specification, self.latency)
+        additive_bits: Dict[int, int] = {c: 0 for c in range(1, self.latency + 1)}
+        for operation in self.graph.topological_order():
+            if not operation.is_additive:
+                continue
+            lo, hi = self.windows.get(operation, (1, self.latency))
+            lo = max(lo, self._bit_lower_bound(operation, schedule))
+            hi = max(hi, lo)
+            lo = min(lo, self.latency)
+            hi = min(hi, self.latency)
+            if balance and hi > lo:
+                chosen = min(
+                    range(lo, hi + 1), key=lambda cycle: (additive_bits[cycle], cycle)
+                )
+            else:
+                chosen = lo
+            schedule.assign(operation, chosen)
+            additive_bits[chosen] += operation.max_operand_width()
+        # Glue logic follows its producers (pure wiring: no time, no unit).
+        for operation in self.graph.topological_order():
+            if operation.is_additive:
+                continue
+            cycle = self._glue_lower_bound(operation, schedule)
+            schedule.assign(operation, min(cycle, self.latency))
+        schedule.check_bit_precedence(self.bit_graph)
+        return schedule
+
+
+def schedule_fragments(
+    specification: Specification,
+    latency: int,
+    chained_bits_per_cycle: int,
+    options: Optional[FragmentSchedulerOptions] = None,
+) -> Schedule:
+    """Schedule a transformed specification under a chained-bit budget."""
+    options = options or FragmentSchedulerOptions()
+    if latency <= 0:
+        raise SchedulingError(f"latency must be positive, got {latency}")
+    if chained_bits_per_cycle <= 0:
+        raise SchedulingError(
+            f"chained-bit budget must be positive, got {chained_bits_per_cycle}"
+        )
+    graph = DataFlowGraph(specification)
+
+    windows: Dict[Operation, Tuple[int, int]] = {}
+    missing_attributes = False
+    for operation in specification.operations:
+        if not operation.is_additive:
+            continue
+        recorded = _recorded_mobility(operation, latency)
+        if recorded is None:
+            missing_attributes = True
+            break
+        windows[operation] = recorded
+    if missing_attributes:
+        windows = _bit_level_mobility(specification, latency, chained_bits_per_cycle)
+
+    bit_graph = BitDependencyGraph(specification)
+    placer = _FragmentPlacer(specification, latency, windows, graph, bit_graph)
+    schedule = placer.place(balance=options.balance)
+    if options.balance and options.verify:
+        depths = bit_level_cycle_depths(schedule, bit_graph)
+        if depths and max(depths.values()) > chained_bits_per_cycle:
+            asap_schedule = placer.place(balance=False)
+            asap_depths = bit_level_cycle_depths(asap_schedule, bit_graph)
+            if max(asap_depths.values()) <= max(depths.values()):
+                schedule = asap_schedule
+    return schedule
+
+
+def verify_budget(
+    schedule: Schedule, chained_bits_per_cycle: int
+) -> Dict[int, int]:
+    """Return per-cycle depths, raising when any cycle exceeds the budget."""
+    depths = bit_level_cycle_depths(schedule)
+    for cycle, depth in depths.items():
+        if depth > chained_bits_per_cycle:
+            raise ScheduleError(
+                f"cycle {cycle} chains {depth} bits, exceeding the budget of "
+                f"{chained_bits_per_cycle}"
+            )
+    return depths

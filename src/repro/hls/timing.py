@@ -1,0 +1,144 @@
+"""Timing analysis of schedules.
+
+Two views are needed, matching the two flows of the experiments:
+
+* **operation-level chaining** (the conventional flow on the original
+  specification): within a cycle, data-dependent operations chain and the
+  cycle must accommodate the longest chain of functional-unit propagation
+  delays (nanoseconds from :class:`~repro.techlib.TechnologyLibrary`);
+* **bit-level chaining** (the optimized flow on the transformed
+  specification, and the BLC baseline): the cycle must accommodate the
+  longest chain of *1-bit additions*, counted on the
+  :class:`~repro.ir.dfg.BitDependencyGraph` restricted to each cycle --
+  operation results produced in earlier cycles arrive from registers at the
+  start of the cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..ir.dfg import BitDependencyGraph, DataFlowGraph
+from ..ir.operations import Operation
+from ..ir.spec import Specification
+from ..techlib.library import TechnologyLibrary
+from .schedule import Schedule
+
+
+@dataclass(frozen=True)
+class CycleTiming:
+    """Per-cycle timing of a schedule plus the derived clock and run time."""
+
+    latency: int
+    #: worst chained delay of every cycle, nanoseconds
+    cycle_delay_ns: Dict[int, float]
+    #: worst chained 1-bit-addition depth of every cycle (bit-level metric)
+    cycle_chained_bits: Dict[int, int]
+    #: sequential overhead added once per cycle (register setup, clock skew)
+    overhead_ns: float
+
+    @property
+    def cycle_length_ns(self) -> float:
+        """Clock period: the slowest cycle plus the sequential overhead."""
+        worst = max(self.cycle_delay_ns.values()) if self.cycle_delay_ns else 0.0
+        return worst + self.overhead_ns
+
+    @property
+    def max_chained_bits(self) -> int:
+        if not self.cycle_chained_bits:
+            return 0
+        return max(self.cycle_chained_bits.values())
+
+    @property
+    def execution_time_ns(self) -> float:
+        """Total run time: latency times the clock period."""
+        return self.latency * self.cycle_length_ns
+
+
+def operation_level_cycle_delays(
+    schedule: Schedule,
+    library: TechnologyLibrary,
+    graph: Optional[DataFlowGraph] = None,
+) -> Dict[int, float]:
+    """Worst chained functional-unit delay of every cycle (operation chaining).
+
+    Operations are walked in dependency order; an operation chained after a
+    same-cycle predecessor starts when the predecessor finishes, while values
+    produced in earlier cycles are available at the start of the cycle.
+    """
+    spec = schedule.specification
+    if graph is None:
+        graph = DataFlowGraph(spec)
+    finish: Dict[Operation, float] = {}
+    delays: Dict[int, float] = {cycle: 0.0 for cycle in schedule.cycles()}
+    for operation in graph.topological_order():
+        cycle = schedule.cycle(operation)
+        start = 0.0
+        for predecessor in graph.predecessors(operation):
+            if schedule.cycle(predecessor) == cycle:
+                start = max(start, finish[predecessor])
+        finish[operation] = start + library.operation_delay_ns(operation)
+        delays[cycle] = max(delays[cycle], finish[operation])
+    return delays
+
+
+def bit_level_cycle_depths(
+    schedule: Schedule,
+    graph: Optional[BitDependencyGraph] = None,
+) -> Dict[int, int]:
+    """Worst chained 1-bit-addition depth of every cycle (bit-level chaining).
+
+    This is the quantity the paper annotates next to every cycle of Fig. 2 b
+    ("6 bits delay"): result bits produced in earlier cycles arrive from
+    registers at time zero, bits produced in the same cycle chain.
+    """
+    spec = schedule.specification
+    if graph is None:
+        graph = BitDependencyGraph(spec)
+    arrivals: Dict = {}
+    depths: Dict[int, int] = {cycle: 0 for cycle in schedule.cycles()}
+    for node in graph.topological_order():
+        cycle = schedule.cycle(node.operation)
+        start = 0
+        for predecessor in graph.predecessors(node):
+            if schedule.cycle(predecessor.operation) == cycle:
+                start = max(start, arrivals[predecessor])
+        arrivals[node] = start + graph.node_cost(node)
+        depths[cycle] = max(depths[cycle], arrivals[node])
+    return depths
+
+
+def analyze_operation_level(
+    schedule: Schedule, library: TechnologyLibrary
+) -> CycleTiming:
+    """Timing of a conventional (operation-chaining) schedule."""
+    delays = operation_level_cycle_delays(schedule, library)
+    chained = {
+        cycle: int(round(library.ns_to_chained_bits(delay)))
+        for cycle, delay in delays.items()
+    }
+    return CycleTiming(
+        latency=schedule.latency,
+        cycle_delay_ns=delays,
+        cycle_chained_bits=chained,
+        overhead_ns=library.gates.cycle_overhead_ns,
+    )
+
+
+def analyze_bit_level(
+    schedule: Schedule,
+    library: TechnologyLibrary,
+    graph: Optional[BitDependencyGraph] = None,
+) -> CycleTiming:
+    """Timing of a bit-level-chaining schedule (optimized and BLC flows)."""
+    depths = bit_level_cycle_depths(schedule, graph)
+    delays = {
+        cycle: library.chained_bits_to_ns(depth) for cycle, depth in depths.items()
+    }
+    return CycleTiming(
+        latency=schedule.latency,
+        cycle_delay_ns=delays,
+        cycle_chained_bits=depths,
+        overhead_ns=library.gates.cycle_overhead_ns,
+    )

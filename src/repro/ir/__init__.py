@@ -1,0 +1,103 @@
+"""Behavioural intermediate representation (IR).
+
+The IR layer models everything the DATE'05 transformation needs from a
+behavioural specification: bit-vector types, ports and variables, sliced
+operands and destinations, operations with optional carry-in, the ordered
+specification body, and the operation- and bit-level dataflow graphs.
+"""
+
+from .builder import BuildError, SpecBuilder
+from .dfg import BitDependencyGraph, BitNode, DataEdge, DataFlowGraph
+from .operations import (
+    ADDITIVE_KINDS,
+    COMMUTATIVE_KINDS,
+    COMPARISON_KINDS,
+    GLUE_KINDS,
+    Operation,
+    OpKind,
+    is_additive,
+    is_comparison,
+    is_glue,
+    make_binary,
+    make_unary,
+)
+from .parser import ParseError, parse_specification
+from .spec import BitDef, BitRef, Specification, SpecificationError
+from .types import (
+    BitRange,
+    BitVectorType,
+    IRTypeError,
+    bits_of,
+    extract_bits,
+    from_bits,
+    insert_bits,
+    sign_extend,
+    signed,
+    unsigned,
+    zero_extend,
+)
+from .validate import (
+    ValidationError,
+    ValidationIssue,
+    ValidationReport,
+    require_valid,
+    validate,
+)
+from .values import (
+    Constant,
+    Destination,
+    Operand,
+    PortDirection,
+    Variable,
+    destination_of,
+    operand_of,
+)
+
+__all__ = [
+    "ADDITIVE_KINDS",
+    "BitDef",
+    "BitDependencyGraph",
+    "BitNode",
+    "BitRange",
+    "BitRef",
+    "BitVectorType",
+    "BuildError",
+    "COMMUTATIVE_KINDS",
+    "COMPARISON_KINDS",
+    "Constant",
+    "DataEdge",
+    "DataFlowGraph",
+    "Destination",
+    "GLUE_KINDS",
+    "IRTypeError",
+    "Operand",
+    "Operation",
+    "OpKind",
+    "ParseError",
+    "PortDirection",
+    "SpecBuilder",
+    "Specification",
+    "SpecificationError",
+    "ValidationError",
+    "ValidationIssue",
+    "ValidationReport",
+    "Variable",
+    "bits_of",
+    "destination_of",
+    "extract_bits",
+    "from_bits",
+    "insert_bits",
+    "is_additive",
+    "is_comparison",
+    "is_glue",
+    "make_binary",
+    "make_unary",
+    "operand_of",
+    "parse_specification",
+    "require_valid",
+    "sign_extend",
+    "signed",
+    "unsigned",
+    "validate",
+    "zero_extend",
+]

@@ -1,0 +1,321 @@
+"""A fluent builder for behavioural specifications.
+
+The builder hides the plumbing of :class:`~repro.ir.spec.Specification`
+construction -- creating result variables, picking result widths per operation
+kind, wrapping raw integers into constants -- so that benchmark descriptions
+(see :mod:`repro.workloads`) read close to the original dataflow equations.
+
+Example
+-------
+The motivational example of the paper (Fig. 1 a)::
+
+    builder = SpecBuilder("example")
+    a = builder.input("A", 16)
+    b = builder.input("B", 16)
+    d = builder.input("D", 16)
+    f = builder.input("F", 16)
+    g = builder.output("G", 16)
+    c = builder.add(a, b, name="C")
+    e = builder.add(c, d, name="E")
+    builder.add(e, f, dest=g, name="G_add")
+    spec = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from .operations import (
+    COMPARISON_KINDS,
+    Operation,
+    OpKind,
+    make_binary,
+    make_unary,
+)
+from .spec import Specification
+from .types import BitRange, BitVectorType, IRTypeError
+from .values import (
+    Constant,
+    Destination,
+    Operand,
+    PortDirection,
+    Variable,
+    operand_of,
+)
+
+SourceLike = Union[Variable, Constant, Operand, int]
+
+
+class BuildError(IRTypeError):
+    """Raised when the builder is asked to construct something inconsistent."""
+
+
+class SpecBuilder:
+    """Incrementally build a :class:`~repro.ir.spec.Specification`."""
+
+    def __init__(self, name: str) -> None:
+        self._spec = Specification(name)
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------------
+    # Ports and variables
+    # ------------------------------------------------------------------
+    def input(self, name: str, width: int, signed: bool = False) -> Variable:
+        """Declare an input port."""
+        return self._spec.add_variable(
+            Variable(name, BitVectorType(width, signed), PortDirection.INPUT)
+        )
+
+    def output(self, name: str, width: int, signed: bool = False) -> Variable:
+        """Declare an output port."""
+        return self._spec.add_variable(
+            Variable(name, BitVectorType(width, signed), PortDirection.OUTPUT)
+        )
+
+    def variable(self, name: str, width: int, signed: bool = False) -> Variable:
+        """Declare an internal process variable."""
+        return self._spec.add_variable(
+            Variable(name, BitVectorType(width, signed), PortDirection.INTERNAL)
+        )
+
+    def constant(self, value: int, width: int, signed: Optional[bool] = None) -> Constant:
+        """Create a literal constant of an explicit width."""
+        if signed is None:
+            signed = value < 0
+        return Constant(value, BitVectorType(width, signed))
+
+    def _fresh_name(self, prefix: str) -> str:
+        while True:
+            self._temp_counter += 1
+            candidate = f"{prefix}{self._temp_counter}"
+            if not self._spec.has_variable(candidate):
+                return candidate
+
+    # ------------------------------------------------------------------
+    # Operand coercion
+    # ------------------------------------------------------------------
+    def as_operand(self, source: SourceLike, width_hint: Optional[int] = None) -> Operand:
+        """Coerce a variable, constant, operand or raw integer into an operand."""
+        if isinstance(source, Operand):
+            return source
+        if isinstance(source, Variable):
+            return source.whole()
+        if isinstance(source, Constant):
+            return operand_of(source)
+        if isinstance(source, int):
+            if width_hint is None:
+                width_hint = max(1, abs(source).bit_length() + (1 if source < 0 else 0))
+            return operand_of(self.constant(source, width_hint))
+        raise BuildError(f"cannot interpret {source!r} as an operand")
+
+    # ------------------------------------------------------------------
+    # Result-width rules
+    # ------------------------------------------------------------------
+    @staticmethod
+    def result_width(kind: OpKind, left_width: int, right_width: Optional[int]) -> int:
+        """Natural result width for an operation kind.
+
+        Additions and subtractions keep the width of the widest operand (the
+        carry out, when needed, is modelled explicitly by the transformation),
+        multiplications produce the sum of the operand widths, comparisons a
+        single bit, and everything else the widest operand width.
+        """
+        right = right_width if right_width is not None else 0
+        if kind is OpKind.MUL:
+            return left_width + right
+        if kind in COMPARISON_KINDS:
+            return 1
+        return max(left_width, right)
+
+    # ------------------------------------------------------------------
+    # Operation emission
+    # ------------------------------------------------------------------
+    def _destination(
+        self,
+        dest: Optional[Union[Variable, Destination]],
+        width: int,
+        name_hint: str,
+        signed: bool,
+    ) -> Destination:
+        if dest is None:
+            variable = self.variable(self._fresh_name(f"t_{name_hint}_"), width, signed)
+            return Destination(variable, variable.full_range())
+        if isinstance(dest, Destination):
+            if dest.width != width:
+                raise BuildError(
+                    f"destination {dest.describe()} is {dest.width} bits, "
+                    f"operation result is {width} bits"
+                )
+            return dest
+        if isinstance(dest, Variable):
+            if dest.width < width:
+                raise BuildError(
+                    f"destination variable {dest.name} ({dest.width} bits) narrower "
+                    f"than result ({width} bits)"
+                )
+            return Destination(dest, BitRange(0, width - 1)) if dest.width != width \
+                else Destination(dest, dest.full_range())
+        raise BuildError(f"cannot interpret {dest!r} as a destination")
+
+    def binary(
+        self,
+        kind: OpKind,
+        left: SourceLike,
+        right: SourceLike,
+        *,
+        dest: Optional[Union[Variable, Destination]] = None,
+        name: Optional[str] = None,
+        width: Optional[int] = None,
+        carry_in: Optional[SourceLike] = None,
+        signed_result: bool = False,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> Variable:
+        """Emit a binary operation; return the variable holding its result."""
+        left_op = self.as_operand(left)
+        right_op = self.as_operand(right, width_hint=left_op.width)
+        if width is None:
+            width = self.result_width(kind, left_op.width, right_op.width)
+        carry = self.as_operand(carry_in) if carry_in is not None else None
+        hint = name or kind.value
+        destination = self._destination(dest, width, hint, signed_result)
+        operation = make_binary(
+            kind,
+            left_op,
+            right_op,
+            destination,
+            name=name,
+            carry_in=carry,
+            attributes=attributes,
+        )
+        self._spec.add_operation(operation)
+        return destination.variable
+
+    def unary(
+        self,
+        kind: OpKind,
+        source: SourceLike,
+        *,
+        dest: Optional[Union[Variable, Destination]] = None,
+        name: Optional[str] = None,
+        width: Optional[int] = None,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> Variable:
+        """Emit a unary operation; return the variable holding its result."""
+        operand = self.as_operand(source)
+        if width is None:
+            width = operand.width
+        hint = name or kind.value
+        destination = self._destination(dest, width, hint, False)
+        operation = make_unary(
+            kind, operand, destination, name=name, attributes=attributes
+        )
+        self._spec.add_operation(operation)
+        return destination.variable
+
+    # Convenience wrappers -------------------------------------------------
+    def add(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.ADD, left, right, **kwargs)
+
+    def sub(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.SUB, left, right, **kwargs)
+
+    def mul(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.MUL, left, right, **kwargs)
+
+    def lt(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.LT, left, right, **kwargs)
+
+    def le(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.LE, left, right, **kwargs)
+
+    def gt(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.GT, left, right, **kwargs)
+
+    def ge(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.GE, left, right, **kwargs)
+
+    def eq(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.EQ, left, right, **kwargs)
+
+    def ne(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.NE, left, right, **kwargs)
+
+    def max(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.MAX, left, right, **kwargs)
+
+    def min(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.MIN, left, right, **kwargs)
+
+    def bit_and(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.AND, left, right, **kwargs)
+
+    def bit_or(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.OR, left, right, **kwargs)
+
+    def bit_xor(self, left: SourceLike, right: SourceLike, **kwargs) -> Variable:
+        return self.binary(OpKind.XOR, left, right, **kwargs)
+
+    def bit_not(self, source: SourceLike, **kwargs) -> Variable:
+        return self.unary(OpKind.NOT, source, **kwargs)
+
+    def neg(self, source: SourceLike, **kwargs) -> Variable:
+        return self.unary(OpKind.NEG, source, **kwargs)
+
+    def move(self, source: SourceLike, **kwargs) -> Variable:
+        """Copy a value (zero-delay glue; used to retarget results to ports)."""
+        return self.unary(OpKind.MOVE, source, **kwargs)
+
+    def shl(self, source: SourceLike, amount: int, **kwargs) -> Variable:
+        """Shift left by a constant amount (glue logic, zero delay)."""
+        kwargs.setdefault("attributes", {})["shift"] = amount
+        operand = self.as_operand(source)
+        kwargs.setdefault("width", operand.width + amount)
+        return self.unary(OpKind.SHL, operand, **kwargs)
+
+    def shr(self, source: SourceLike, amount: int, **kwargs) -> Variable:
+        """Shift right by a constant amount (glue logic, zero delay)."""
+        kwargs.setdefault("attributes", {})["shift"] = amount
+        operand = self.as_operand(source)
+        kwargs.setdefault("width", max(1, operand.width - amount))
+        return self.unary(OpKind.SHR, operand, **kwargs)
+
+    def select(
+        self,
+        condition: SourceLike,
+        if_true: SourceLike,
+        if_false: SourceLike,
+        **kwargs,
+    ) -> Variable:
+        """Two-way multiplexer controlled by a 1-bit condition (glue logic)."""
+        cond = self.as_operand(condition)
+        if cond.width != 1:
+            raise BuildError(
+                f"select condition must be 1 bit wide, got {cond.width}"
+            )
+        true_op = self.as_operand(if_true)
+        false_op = self.as_operand(if_false, width_hint=true_op.width)
+        width = kwargs.pop("width", max(true_op.width, false_op.width))
+        name = kwargs.pop("name", None)
+        dest = kwargs.pop("dest", None)
+        destination = self._destination(dest, width, name or "select", False)
+        operation = Operation(
+            kind=OpKind.SELECT,
+            operands=(cond, true_op, false_op),
+            destination=destination,
+            name=name,
+        )
+        self._spec.add_operation(operation)
+        return destination.variable
+
+    # ------------------------------------------------------------------
+    def raw_operation(self, operation: Operation) -> Operation:
+        """Append a pre-built operation (escape hatch for the transformer)."""
+        return self._spec.add_operation(operation)
+
+    def build(self) -> Specification:
+        """Return the completed specification."""
+        return self._spec
+
+    @property
+    def specification(self) -> Specification:
+        return self._spec

@@ -1,0 +1,466 @@
+"""Dataflow graphs derived from a behavioural specification.
+
+Two graph views are provided:
+
+* :class:`DataFlowGraph` -- the conventional operation-level DFG used by the
+  HLS scheduler (nodes are operations, edges are read-after-write
+  dependencies, annotated with the bit range transferred).
+* :class:`BitDependencyGraph` -- the bit-level dependency graph used by the
+  paper's clock-cycle estimation (phase 2) and fragmentation (phase 3).  Its
+  nodes are individual *result bits* of additive operations; edges express the
+  ripple-carry dependency between consecutive bits of the same operation and
+  the value dependency between a result bit and the operand bits at the same
+  position.  Glue-logic operations are collapsed (zero delay), matching the
+  paper's statement that non-additive operations are not considered when
+  measuring paths in chained 1-bit additions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .operations import Operation, OpKind
+from .spec import Specification, SpecificationError
+from .types import BitRange
+from .values import Variable
+
+
+@dataclass(frozen=True)
+class DataEdge:
+    """A read-after-write dependency between two operations.
+
+    ``producer`` writes bits of a variable later read by ``consumer``; the
+    ``bits`` range is the overlap, in variable bit coordinates.
+    """
+
+    producer: Operation
+    consumer: Operation
+    variable: Variable
+    bits: BitRange
+
+
+class DataFlowGraph:
+    """Operation-level dataflow graph of a specification."""
+
+    def __init__(self, specification: Specification) -> None:
+        self.specification = specification
+        self._predecessors: Dict[Operation, List[DataEdge]] = {
+            op: [] for op in specification.operations
+        }
+        self._successors: Dict[Operation, List[DataEdge]] = {
+            op: [] for op in specification.operations
+        }
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        spec = self.specification
+        seen_edges: Set[Tuple[int, int, int, int, int]] = set()
+        for consumer in spec.operations:
+            for operand in consumer.all_read_operands():
+                if not operand.is_variable:
+                    continue
+                variable = operand.variable
+                if variable.is_input() and spec.bit_writer(variable, operand.range.lo) is None:
+                    # Fast path: pure input-port reads have no producer edges
+                    # unless some bits of the port are also driven internally
+                    # (inout ports).  Fall through to the per-bit scan below
+                    # only when a writer exists somewhere in the range.
+                    if not any(
+                        spec.bit_writer(variable, bit) is not None
+                        for bit in operand.range
+                    ):
+                        continue
+                # Group the read range by producing operation.
+                current_producer: Optional[Operation] = None
+                run_start: Optional[int] = None
+                previous_bit: Optional[int] = None
+
+                def emit(producer: Optional[Operation], lo: int, hi: int) -> None:
+                    if producer is None:
+                        return
+                    key = (producer.uid, consumer.uid, variable.uid, lo, hi)
+                    if key in seen_edges:
+                        return
+                    seen_edges.add(key)
+                    edge = DataEdge(producer, consumer, variable, BitRange(lo, hi))
+                    self._successors[producer].append(edge)
+                    self._predecessors[consumer].append(edge)
+
+                for bit in operand.range:
+                    definition = spec.bit_writer(variable, bit)
+                    producer = definition.operation if definition else None
+                    if producer is not current_producer:
+                        if previous_bit is not None:
+                            emit(current_producer, run_start, previous_bit)
+                        current_producer = producer
+                        run_start = bit
+                    previous_bit = bit
+                if previous_bit is not None:
+                    emit(current_producer, run_start, previous_bit)
+
+    # ------------------------------------------------------------------
+    @property
+    def operations(self) -> Sequence[Operation]:
+        return self.specification.operations
+
+    def predecessors(self, operation: Operation) -> List[Operation]:
+        """Distinct operations this operation depends on."""
+        result: List[Operation] = []
+        for edge in self._predecessors[operation]:
+            if edge.producer not in result:
+                result.append(edge.producer)
+        return result
+
+    def successors(self, operation: Operation) -> List[Operation]:
+        """Distinct operations depending on this operation."""
+        result: List[Operation] = []
+        for edge in self._successors[operation]:
+            if edge.consumer not in result:
+                result.append(edge.consumer)
+        return result
+
+    def in_edges(self, operation: Operation) -> Sequence[DataEdge]:
+        return tuple(self._predecessors[operation])
+
+    def out_edges(self, operation: Operation) -> Sequence[DataEdge]:
+        return tuple(self._successors[operation])
+
+    def sources(self) -> List[Operation]:
+        """Operations with no predecessors (fed only by ports and constants)."""
+        return [op for op in self.operations if not self._predecessors[op]]
+
+    def sinks(self) -> List[Operation]:
+        """Operations whose results are not consumed by other operations."""
+        return [op for op in self.operations if not self._successors[op]]
+
+    def topological_order(self) -> List[Operation]:
+        """Operations sorted so producers precede consumers.
+
+        Raises :class:`SpecificationError` when the graph contains a cycle,
+        which cannot happen for specifications built through
+        :class:`~repro.ir.spec.Specification` (single assignment forbids it)
+        but protects against hand-constructed graphs.
+        """
+        in_degree: Dict[Operation, int] = {
+            op: len(self.predecessors(op)) for op in self.operations
+        }
+        ready = [op for op in self.operations if in_degree[op] == 0]
+        order: List[Operation] = []
+        while ready:
+            operation = ready.pop(0)
+            order.append(operation)
+            for successor in self.successors(operation):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+        if len(order) != len(list(self.operations)):
+            raise SpecificationError(
+                f"dataflow graph of {self.specification.name} contains a cycle"
+            )
+        return order
+
+    def longest_path_operations(self) -> List[Operation]:
+        """One longest path (by number of operations), source to sink."""
+        order = self.topological_order()
+        best_length: Dict[Operation, int] = {}
+        best_pred: Dict[Operation, Optional[Operation]] = {}
+        for operation in order:
+            preds = self.predecessors(operation)
+            if not preds:
+                best_length[operation] = 1
+                best_pred[operation] = None
+            else:
+                parent = max(preds, key=lambda p: best_length[p])
+                best_length[operation] = best_length[parent] + 1
+                best_pred[operation] = parent
+        if not best_length:
+            return []
+        tail = max(best_length, key=lambda op: best_length[op])
+        path: List[Operation] = []
+        current: Optional[Operation] = tail
+        while current is not None:
+            path.append(current)
+            current = best_pred[current]
+        path.reverse()
+        return path
+
+    def all_paths(self, limit: int = 10000) -> List[List[Operation]]:
+        """Enumerate all source-to-sink operation paths (bounded by *limit*).
+
+        Used by the path-walk critical-path algorithm transcribed from the
+        paper; the bit-level estimator in :mod:`repro.core.timing` does not
+        need explicit enumeration.
+        """
+        paths: List[List[Operation]] = []
+
+        def visit(operation: Operation, prefix: List[Operation]) -> None:
+            if len(paths) >= limit:
+                return
+            successors = self.successors(operation)
+            if not successors:
+                paths.append(prefix + [operation])
+                return
+            for successor in successors:
+                visit(successor, prefix + [operation])
+
+        for source in self.sources():
+            visit(source, [])
+        return paths
+
+    def depth(self) -> int:
+        """Number of operations on the longest dependency chain."""
+        return len(self.longest_path_operations())
+
+
+@dataclass(frozen=True)
+class BitNode:
+    """A single result bit of an operation (bit 0 = least significant)."""
+
+    operation: Operation
+    bit: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.operation.name}[{self.bit}]"
+
+
+class BitDependencyGraph:
+    """Bit-level dependency graph over the additive operations of a spec.
+
+    Edges (implicit through :meth:`predecessors`) connect a result bit to:
+
+    * the previous result bit of the same operation (ripple carry), and to the
+      operation's carry-in producer bit for result bit 0;
+    * the operand bits at the same relative position, traced *through* glue
+      logic to the additive operation bits (or primary inputs) that actually
+      produce them.
+
+    This is exactly the structure behind Fig. 1 e and Fig. 3 b of the paper:
+    bit *i* of ``C``, bit *i-1* of ``E`` and bit *i-2* of ``G`` lie on
+    parallel diagonals of the graph.
+    """
+
+    def __init__(self, specification: Specification) -> None:
+        self.specification = specification
+        self._nodes: List[BitNode] = []
+        self._node_index: Dict[Tuple[int, int], BitNode] = {}
+        self._predecessors: Dict[BitNode, List[BitNode]] = {}
+        self._successors: Dict[BitNode, List[BitNode]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for operation in self.specification.operations:
+            if not operation.is_additive:
+                continue
+            for bit in range(operation.width):
+                node = BitNode(operation, bit)
+                self._nodes.append(node)
+                self._node_index[(operation.uid, bit)] = node
+                self._predecessors[node] = []
+                self._successors[node] = []
+        for node in self._nodes:
+            for predecessor in self._compute_predecessors(node):
+                self._predecessors[node].append(predecessor)
+                self._successors[predecessor].append(node)
+
+    @staticmethod
+    def glue_source_bits(operation: Operation, result_bit: int) -> List[Tuple]:
+        """The operand bits a glue operation's result bit is wired from.
+
+        Returns ``(operand, source_position)`` pairs with the position relative
+        to the operand's LSB.  The mapping is kind-specific: MOVE, NOT and the
+        bitwise logic operations are position-aligned; SHL/SHR apply the shift
+        offset; CONCAT routes the bit to exactly one of its parts; SELECT
+        depends on both data operands at the same position plus the condition
+        bit.
+        """
+        kind = operation.kind
+        pairs: List[Tuple] = []
+        if kind is OpKind.CONCAT:
+            offset = 0
+            for operand in operation.operands:
+                if offset <= result_bit < offset + operand.width:
+                    pairs.append((operand, result_bit - offset))
+                    break
+                offset += operand.width
+            return pairs
+        if kind is OpKind.SHL:
+            shift = int(operation.attributes.get("shift", 0))
+            source = operation.operands[0]
+            position = result_bit - shift
+            if 0 <= position < source.width:
+                pairs.append((source, position))
+            return pairs
+        if kind is OpKind.SHR:
+            shift = int(operation.attributes.get("shift", 0))
+            source = operation.operands[0]
+            position = result_bit + shift
+            if 0 <= position < source.width:
+                pairs.append((source, position))
+            return pairs
+        if kind is OpKind.SELECT:
+            condition, if_true, if_false = operation.operands
+            pairs.append((condition, 0))
+            for operand in (if_true, if_false):
+                if result_bit < operand.width:
+                    pairs.append((operand, result_bit))
+            return pairs
+        # MOVE, NOT, AND, OR, XOR and any other position-aligned glue.
+        for operand in operation.all_read_operands():
+            if not operand.is_variable and not operand.is_constant:
+                continue
+            if result_bit < operand.width:
+                pairs.append((operand, result_bit))
+        return pairs
+
+    def _trace_variable_bit(
+        self, variable: Variable, bit: int, _depth: int = 0
+    ) -> List[BitNode]:
+        """Resolve a variable bit to the additive result bits producing it.
+
+        Glue-logic producers are traced through transparently (following the
+        kind-specific bit wiring of :meth:`glue_source_bits`), since glue
+        logic contributes no delay in the chained-additions metric.
+        """
+        if _depth > 64:
+            return []
+        definition = self.specification.bit_writer(variable, bit)
+        if definition is None:
+            return []
+        operation = definition.operation
+        result_bit = definition.result_bit
+        if operation.is_additive:
+            node = self._node_index.get((operation.uid, result_bit))
+            return [node] if node is not None else []
+        producers: List[BitNode] = []
+        for operand, position in self.glue_source_bits(operation, result_bit):
+            if not operand.is_variable:
+                continue
+            source_bit = operand.range.lo + position
+            producers.extend(
+                self._trace_variable_bit(operand.variable, source_bit, _depth + 1)
+            )
+        return producers
+
+    def _compute_predecessors(self, node: BitNode) -> List[BitNode]:
+        operation = node.operation
+        predecessors: List[BitNode] = []
+        # Ripple dependency on the previous bit of the same operation.
+        if node.bit > 0:
+            previous = self._node_index.get((operation.uid, node.bit - 1))
+            if previous is not None:
+                predecessors.append(previous)
+        # Value dependency on operand bits at the same relative position.
+        for operand in operation.operands:
+            if not operand.is_variable:
+                continue
+            if node.bit >= operand.width:
+                continue
+            source_bit = operand.range.lo + node.bit
+            predecessors.extend(
+                self._trace_variable_bit(operand.variable, source_bit)
+            )
+        # Carry-in feeds the least significant bit.
+        if node.bit == 0 and operation.carry_in is not None:
+            carry = operation.carry_in
+            if carry.is_variable:
+                predecessors.extend(
+                    self._trace_variable_bit(carry.variable, carry.range.lo)
+                )
+        # Deduplicate preserving order.
+        unique: List[BitNode] = []
+        for predecessor in predecessors:
+            if predecessor not in unique:
+                unique.append(predecessor)
+        return unique
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Sequence[BitNode]:
+        return tuple(self._nodes)
+
+    def node(self, operation: Operation, bit: int) -> BitNode:
+        try:
+            return self._node_index[(operation.uid, bit)]
+        except KeyError:
+            raise SpecificationError(
+                f"no bit node for {operation.name}[{bit}]"
+            ) from None
+
+    def has_node(self, operation: Operation, bit: int) -> bool:
+        return (operation.uid, bit) in self._node_index
+
+    def predecessors(self, node: BitNode) -> Sequence[BitNode]:
+        return tuple(self._predecessors[node])
+
+    def successors(self, node: BitNode) -> Sequence[BitNode]:
+        return tuple(self._successors[node])
+
+    def sources(self) -> List[BitNode]:
+        return [n for n in self._nodes if not self._predecessors[n]]
+
+    def sinks(self) -> List[BitNode]:
+        return [n for n in self._nodes if not self._successors[n]]
+
+    def topological_order(self) -> List[BitNode]:
+        in_degree = {node: len(self._predecessors[node]) for node in self._nodes}
+        ready = [node for node in self._nodes if in_degree[node] == 0]
+        order: List[BitNode] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for successor in self._successors[node]:
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+        if len(order) != len(self._nodes):
+            raise SpecificationError(
+                f"bit dependency graph of {self.specification.name} contains a cycle"
+            )
+        return order
+
+    def node_cost(self, node: BitNode) -> int:
+        """Chained-addition cost of computing one result bit.
+
+        Normal result bits cost one 1-bit adder delay.  The *pure carry-out*
+        bit of an addition or subtraction (a result bit beyond the width of
+        every input operand) is produced by the same full adder that computes
+        the most significant data bit, so it adds no extra chained delay.  The
+        transformed specifications rely on this: a 6-bit fragment with an
+        explicit carry-out still only contributes six chained bits to the
+        cycle (Fig. 2 b annotates each cycle with "6 bits delay").
+        """
+        operation = node.operation
+        if operation.kind in (OpKind.ADD, OpKind.SUB):
+            if node.bit >= operation.max_operand_width():
+                return 0
+        return 1
+
+    def arrival_depths(self) -> Dict[BitNode, int]:
+        """Longest-path depth of every bit node, in chained 1-bit additions.
+
+        Depth 1 means the bit can be computed one adder delay after the cycle
+        (or chain) starts.  The maximum over all nodes is the execution time of
+        the whole specification in the paper's delta units (e.g. 18 for the
+        three chained 16-bit additions of Fig. 1 e).
+        """
+        depths: Dict[BitNode, int] = {}
+        for node in self.topological_order():
+            predecessors = self._predecessors[node]
+            cost = self.node_cost(node)
+            if predecessors:
+                depths[node] = cost + max(depths[p] for p in predecessors)
+            else:
+                depths[node] = cost if cost else 1
+        return depths
+
+    def critical_depth(self) -> int:
+        """Execution time of the specification in chained 1-bit additions."""
+        if not self._nodes:
+            return 0
+        return max(self.arrival_depths().values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,304 @@
+"""Operation kinds and operation nodes of the behavioural IR.
+
+The paper's optimization targets *additive* operations -- operations whose
+operative kernel can be expressed as one or more binary additions: additions,
+subtractions, comparisons, maximum/minimum and multiplications (whose partial
+product accumulation is additive).  Non-additive operations (bitwise logic,
+shifts by constants, concatenations) are treated as *glue logic* with
+negligible delay, exactly as in the paper's critical path estimation
+("non-additive operations are not considered").
+
+An :class:`Operation` reads a list of :class:`~repro.ir.values.Operand`
+slices, optionally a 1-bit carry-in operand (used by fragments to chain the
+carry produced by the previous fragment of the same original operation), and
+writes a :class:`~repro.ir.values.Destination` slice.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .types import IRTypeError
+from .values import Destination, Operand
+
+
+class OpKind(enum.Enum):
+    """The behavioural operation repertoire supported by the library."""
+
+    # Additive kernel operations -----------------------------------------
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    EQ = "eq"
+    NE = "ne"
+    MAX = "max"
+    MIN = "min"
+    NEG = "neg"
+    ABS = "abs"
+    # Glue logic / non-additive operations --------------------------------
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    CONCAT = "concat"
+    SELECT = "select"
+    MOVE = "move"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Operations whose operative kernel is one or more additions.  Phase 1 of the
+#: transformation rewrites every member of this set (except plain ADD) into
+#: additions plus glue logic.
+ADDITIVE_KINDS = frozenset(
+    {
+        OpKind.ADD,
+        OpKind.SUB,
+        OpKind.MUL,
+        OpKind.LT,
+        OpKind.LE,
+        OpKind.GT,
+        OpKind.GE,
+        OpKind.EQ,
+        OpKind.NE,
+        OpKind.MAX,
+        OpKind.MIN,
+        OpKind.NEG,
+        OpKind.ABS,
+    }
+)
+
+#: Operations treated as zero-delay glue logic by the timing model.
+GLUE_KINDS = frozenset(
+    {
+        OpKind.AND,
+        OpKind.OR,
+        OpKind.XOR,
+        OpKind.NOT,
+        OpKind.SHL,
+        OpKind.SHR,
+        OpKind.CONCAT,
+        OpKind.SELECT,
+        OpKind.MOVE,
+    }
+)
+
+#: Commutative binary operations (used by binding to canonicalise operand order).
+COMMUTATIVE_KINDS = frozenset(
+    {
+        OpKind.ADD,
+        OpKind.MUL,
+        OpKind.EQ,
+        OpKind.NE,
+        OpKind.MAX,
+        OpKind.MIN,
+        OpKind.AND,
+        OpKind.OR,
+        OpKind.XOR,
+    }
+)
+
+#: Comparison operations producing a 1-bit result.
+COMPARISON_KINDS = frozenset(
+    {OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE, OpKind.EQ, OpKind.NE}
+)
+
+
+def is_additive(kind: OpKind) -> bool:
+    """Return True for operations with an additive operative kernel."""
+    return kind in ADDITIVE_KINDS
+
+
+def is_glue(kind: OpKind) -> bool:
+    """Return True for zero-delay glue logic operations."""
+    return kind in GLUE_KINDS
+
+
+def is_comparison(kind: OpKind) -> bool:
+    """Return True for comparison operations (1-bit result)."""
+    return kind in COMPARISON_KINDS
+
+
+_operation_counter = itertools.count()
+
+
+@dataclass(eq=False)
+class Operation:
+    """A single behavioural operation.
+
+    Parameters
+    ----------
+    kind:
+        The operation repertoire member.
+    operands:
+        Input operand slices (two for binary operations, one for unary).
+    destination:
+        The variable slice the result is written to.
+    carry_in:
+        Optional 1-bit operand chained into the addition (used by fragments
+        produced by the paper's phase 3 and by the subtraction rewrite of
+        phase 1, where the ``+1`` of two's complement arrives as carry-in).
+    origin:
+        Name of the original specification operation this one descends from.
+        The transformation records provenance here so schedules and reports
+        can relate fragments back to the source operation.
+    fragment_index:
+        Position of this fragment within its original operation (0 = least
+        significant fragment).  ``None`` for unfragmented operations.
+    attributes:
+        Free-form metadata (e.g. shift amounts for SHL/SHR, selector operands).
+    """
+
+    kind: OpKind
+    operands: Tuple[Operand, ...]
+    destination: Destination
+    carry_in: Optional[Operand] = None
+    name: Optional[str] = None
+    origin: Optional[str] = None
+    fragment_index: Optional[int] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_operation_counter))
+
+    def __post_init__(self) -> None:
+        self.operands = tuple(self.operands)
+        if not self.operands:
+            raise IRTypeError(f"operation {self.kind} requires at least one operand")
+        if self.carry_in is not None and self.carry_in.width != 1:
+            raise IRTypeError(
+                f"carry-in operand must be 1 bit wide, got {self.carry_in.width}"
+            )
+        if self.name is None:
+            self.name = f"{self.kind.value}_{self.uid}"
+        if self.origin is None:
+            self.origin = self.name
+
+    # -- structural queries ------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Width of the result written by this operation."""
+        return self.destination.width
+
+    @property
+    def result_variable(self):
+        return self.destination.variable
+
+    @property
+    def is_additive(self) -> bool:
+        return is_additive(self.kind)
+
+    @property
+    def is_glue(self) -> bool:
+        return is_glue(self.kind)
+
+    @property
+    def is_fragment(self) -> bool:
+        """True when this operation is a fragment of a wider original operation."""
+        return self.fragment_index is not None
+
+    def all_read_operands(self) -> List[Operand]:
+        """All operands read by the operation, including the carry-in."""
+        reads = list(self.operands)
+        if self.carry_in is not None:
+            reads.append(self.carry_in)
+        return reads
+
+    def read_variables(self) -> List:
+        """Distinct variables read by the operation (constants excluded)."""
+        seen = []
+        for operand in self.all_read_operands():
+            if operand.is_variable and operand.variable not in seen:
+                seen.append(operand.variable)
+        return seen
+
+    def max_operand_width(self) -> int:
+        """Width of the widest input operand."""
+        return max(op.width for op in self.operands)
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def describe(self) -> str:
+        """Readable one-line rendering, VHDL-assignment style."""
+        symbol = {
+            OpKind.ADD: "+",
+            OpKind.SUB: "-",
+            OpKind.MUL: "*",
+            OpKind.LT: "<",
+            OpKind.LE: "<=",
+            OpKind.GT: ">",
+            OpKind.GE: ">=",
+            OpKind.EQ: "==",
+            OpKind.NE: "/=",
+            OpKind.AND: "and",
+            OpKind.OR: "or",
+            OpKind.XOR: "xor",
+        }.get(self.kind)
+        operand_text = [op.describe() for op in self.operands]
+        if symbol is not None and len(operand_text) == 2:
+            rhs = f"{operand_text[0]} {symbol} {operand_text[1]}"
+        else:
+            rhs = f"{self.kind.value}({', '.join(operand_text)})"
+        if self.carry_in is not None:
+            rhs = f"{rhs} + {self.carry_in.describe()}"
+        return f"{self.destination.describe()} := {rhs}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Operation<{self.name}: {self.describe()}>"
+
+
+def make_binary(
+    kind: OpKind,
+    left: Operand,
+    right: Operand,
+    destination: Destination,
+    *,
+    name: Optional[str] = None,
+    carry_in: Optional[Operand] = None,
+    origin: Optional[str] = None,
+    fragment_index: Optional[int] = None,
+    attributes: Optional[Dict[str, object]] = None,
+) -> Operation:
+    """Convenience constructor for two-operand operations."""
+    return Operation(
+        kind=kind,
+        operands=(left, right),
+        destination=destination,
+        carry_in=carry_in,
+        name=name,
+        origin=origin,
+        fragment_index=fragment_index,
+        attributes=dict(attributes or {}),
+    )
+
+
+def make_unary(
+    kind: OpKind,
+    operand: Operand,
+    destination: Destination,
+    *,
+    name: Optional[str] = None,
+    origin: Optional[str] = None,
+    attributes: Optional[Dict[str, object]] = None,
+) -> Operation:
+    """Convenience constructor for single-operand operations."""
+    return Operation(
+        kind=kind,
+        operands=(operand,),
+        destination=destination,
+        name=name,
+        origin=origin,
+        attributes=dict(attributes or {}),
+    )

@@ -1,0 +1,358 @@
+"""A small textual behavioural specification language.
+
+The paper writes its specifications in VHDL processes; for the reproduction a
+compact textual language keeps examples and tests readable while still
+exercising the full IR (ports, internal variables, slices, carries).  Grammar
+(one statement per line, ``#`` starts a comment)::
+
+    spec <name>
+    input  <name>[, <name>...] : [signed|unsigned] <width>
+    output <name>[, <name>...] : [signed|unsigned] <width>
+    var    <name>[, <name>...] : [signed|unsigned] <width>
+    <dest> = <expr>
+
+    <dest>  ::= <name> | <name>[hi:lo]
+    <expr>  ::= <term> (('+'|'-') <term>)*
+    <term>  ::= <factor> (('*') <factor>)*
+    <factor>::= <atom> | max(<expr>, <expr>) | min(<expr>, <expr>)
+              | <atom> <cmp> <atom>
+    <atom>  ::= <name> | <name>[hi:lo] | <integer> | (<expr>)
+              | <atom> << <integer> | <atom> >> <integer>
+
+Every assignment statement produces one or more IR operations through the
+:class:`~repro.ir.builder.SpecBuilder`; compound right-hand sides introduce
+temporary variables, mirroring what a behavioural front end would do.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from .builder import SpecBuilder
+from .operations import OpKind
+from .spec import Specification
+from .types import BitRange, IRTypeError
+from .values import Destination, Operand, Variable
+
+
+class ParseError(IRTypeError):
+    """Raised on malformed specification text."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:"
+    r"(?P<number>\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><<|>>|<=|>=|==|!=|[-+*<>=(),:\[\]])"
+    r")"
+)
+
+_CMP_KINDS = {
+    "<": OpKind.LT,
+    "<=": OpKind.LE,
+    ">": OpKind.GT,
+    ">=": OpKind.GE,
+    "==": OpKind.EQ,
+    "!=": OpKind.NE,
+}
+
+
+@dataclass
+class _Token:
+    kind: str  # "number" | "name" | "op" | "end"
+    text: str
+
+
+def _tokenize(text: str, line_number: int) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            remaining = text[position:].strip()
+            if not remaining:
+                break
+            raise ParseError(f"unexpected character near {remaining[:10]!r}", line_number)
+        position = match.end()
+        if match.lastgroup == "number":
+            tokens.append(_Token("number", match.group("number")))
+        elif match.lastgroup == "name":
+            tokens.append(_Token("name", match.group("name")))
+        else:
+            tokens.append(_Token("op", match.group("op")))
+    tokens.append(_Token("end", ""))
+    return tokens
+
+
+class _ExpressionParser:
+    """Recursive-descent parser for the right-hand side of assignments."""
+
+    def __init__(self, tokens: List[_Token], builder: SpecBuilder, line: int) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._builder = builder
+        self._line = line
+
+    # Token helpers -----------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._advance()
+        if token.text != text:
+            raise ParseError(f"expected {text!r}, found {token.text!r}", self._line)
+        return token
+
+    def at_end(self) -> bool:
+        return self._peek().kind == "end"
+
+    # Grammar -----------------------------------------------------------
+    def parse_expression(self) -> Operand:
+        left = self.parse_additive()
+        if self._peek().text in _CMP_KINDS:
+            comparator = self._advance().text
+            right = self.parse_additive()
+            result = self._builder.binary(_CMP_KINDS[comparator], left, right)
+            return result.whole()
+        return left
+
+    def parse_additive(self) -> Operand:
+        left = self.parse_term()
+        while self._peek().text in ("+", "-"):
+            operator = self._advance().text
+            right = self.parse_term()
+            kind = OpKind.ADD if operator == "+" else OpKind.SUB
+            left = self._builder.binary(kind, left, right).whole()
+        return left
+
+    def parse_term(self) -> Operand:
+        left = self.parse_shift()
+        while self._peek().text == "*":
+            self._advance()
+            right = self.parse_shift()
+            left = self._builder.mul(left, right).whole()
+        return left
+
+    def parse_shift(self) -> Operand:
+        operand = self.parse_atom()
+        while self._peek().text in ("<<", ">>"):
+            operator = self._advance().text
+            amount_token = self._advance()
+            if amount_token.kind != "number":
+                raise ParseError("shift amount must be an integer literal", self._line)
+            amount = int(amount_token.text)
+            if operator == "<<":
+                operand = self._builder.shl(operand, amount).whole()
+            else:
+                operand = self._builder.shr(operand, amount).whole()
+        return operand
+
+    def parse_atom(self) -> Operand:
+        token = self._advance()
+        if token.text == "(":
+            inner = self.parse_expression()
+            self._expect(")")
+            return inner
+        if token.kind == "number":
+            value = int(token.text)
+            width = max(1, value.bit_length())
+            return self._builder.as_operand(self._builder.constant(value, width))
+        if token.kind == "name":
+            name = token.text
+            if name in ("max", "min"):
+                self._expect("(")
+                left = self.parse_expression()
+                self._expect(",")
+                right = self.parse_expression()
+                self._expect(")")
+                kind = OpKind.MAX if name == "max" else OpKind.MIN
+                return self._builder.binary(kind, left, right).whole()
+            variable = self._lookup(name)
+            if self._peek().text == "[":
+                hi, lo = self._parse_slice()
+                return variable.slice(hi, lo)
+            return variable.whole()
+        raise ParseError(f"unexpected token {token.text!r}", self._line)
+
+    def _parse_slice(self) -> Tuple[int, int]:
+        self._expect("[")
+        hi_token = self._advance()
+        if hi_token.kind != "number":
+            raise ParseError("slice bounds must be integer literals", self._line)
+        hi = int(hi_token.text)
+        lo = hi
+        if self._peek().text == ":":
+            self._advance()
+            lo_token = self._advance()
+            if lo_token.kind != "number":
+                raise ParseError("slice bounds must be integer literals", self._line)
+            lo = int(lo_token.text)
+        self._expect("]")
+        if lo > hi:
+            raise ParseError(f"slice [{hi}:{lo}] has low bound above high bound", self._line)
+        return hi, lo
+
+    def _lookup(self, name: str) -> Variable:
+        spec = self._builder.specification
+        if not spec.has_variable(name):
+            raise ParseError(f"reference to undeclared variable {name!r}", self._line)
+        return spec.variable(name)
+
+
+_DECL_PATTERN = re.compile(
+    r"^(?P<kind>input|output|var)\s+(?P<names>[A-Za-z_0-9,\s]+?)\s*:\s*"
+    r"(?P<sign>signed|unsigned)?\s*(?P<width>\d+)\s*$"
+)
+_SPEC_PATTERN = re.compile(r"^spec\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*$")
+_ASSIGN_PATTERN = re.compile(
+    r"^(?P<dest>[A-Za-z_][A-Za-z_0-9]*(\s*\[\s*\d+(\s*:\s*\d+)?\s*\])?)\s*=\s*(?P<expr>.+)$"
+)
+_DEST_SLICE_PATTERN = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*(\[\s*(?P<hi>\d+)(\s*:\s*(?P<lo>\d+))?\s*\])?$"
+)
+
+
+def parse_specification(text: str) -> Specification:
+    """Parse the textual language into a :class:`Specification`."""
+    builder: Optional[SpecBuilder] = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        spec_match = _SPEC_PATTERN.match(line)
+        if spec_match:
+            if builder is not None:
+                raise ParseError("duplicate 'spec' header", line_number)
+            builder = SpecBuilder(spec_match.group("name"))
+            continue
+        if builder is None:
+            raise ParseError("specification must start with a 'spec <name>' line", line_number)
+        decl_match = _DECL_PATTERN.match(line)
+        if decl_match:
+            _handle_declaration(builder, decl_match, line_number)
+            continue
+        assign_match = _ASSIGN_PATTERN.match(line)
+        if assign_match:
+            _handle_assignment(builder, assign_match, line_number)
+            continue
+        raise ParseError(f"cannot parse statement {line!r}", line_number)
+    if builder is None:
+        raise ParseError("empty specification text")
+    return builder.build()
+
+
+def _handle_declaration(builder: SpecBuilder, match: "re.Match", line_number: int) -> None:
+    kind = match.group("kind")
+    width = int(match.group("width"))
+    signed = match.group("sign") == "signed"
+    names = [name.strip() for name in match.group("names").split(",") if name.strip()]
+    if not names:
+        raise ParseError("declaration lists no names", line_number)
+    for name in names:
+        if kind == "input":
+            builder.input(name, width, signed)
+        elif kind == "output":
+            builder.output(name, width, signed)
+        else:
+            builder.variable(name, width, signed)
+
+
+def _handle_assignment(builder: SpecBuilder, match: "re.Match", line_number: int) -> None:
+    dest_text = match.group("dest").strip()
+    expr_text = match.group("expr").strip()
+    dest_match = _DEST_SLICE_PATTERN.match(dest_text)
+    if dest_match is None:
+        raise ParseError(f"cannot parse assignment target {dest_text!r}", line_number)
+    dest_name = dest_match.group("name")
+    spec = builder.specification
+    if not spec.has_variable(dest_name):
+        raise ParseError(
+            f"assignment to undeclared variable {dest_name!r}", line_number
+        )
+    variable = spec.variable(dest_name)
+    if dest_match.group("hi") is not None:
+        hi = int(dest_match.group("hi"))
+        lo = int(dest_match.group("lo")) if dest_match.group("lo") is not None else hi
+        destination = Destination(variable, BitRange(lo, hi))
+    else:
+        destination = Destination(variable, variable.full_range())
+
+    tokens = _tokenize(expr_text, line_number)
+    parser = _ExpressionParser(tokens, builder, line_number)
+    result = parser.parse_expression()
+    if not parser.at_end():
+        raise ParseError(
+            f"trailing input after expression: {parser._peek().text!r}", line_number
+        )
+    _assign_result(builder, result, destination, line_number)
+
+
+def _assign_result(
+    builder: SpecBuilder,
+    result: Operand,
+    destination: Destination,
+    line_number: int,
+) -> None:
+    """Retarget the expression result onto the declared destination.
+
+    When the expression result is the whole value of a freshly created
+    temporary produced by exactly the last emitted operation, the operation is
+    retargeted in place (avoiding a gratuitous MOVE); otherwise an explicit
+    MOVE (glue logic) copies the value.
+    """
+    spec = builder.specification
+    operations = spec.operations
+    if (
+        result.is_variable
+        and operations
+        and operations[-1].destination.variable is result.variable
+        and result.covers_whole_source()
+        and operations[-1].destination.covers_whole_variable()
+        and result.variable.name.startswith("t_")
+        and result.width == destination.width
+    ):
+        # Rebuild the last operation with the new destination.  The
+        # Specification API is append-only, so we reconstruct the body.
+        last = operations[-1]
+        rebuilt = Specification(spec.name)
+        for variable in spec.variables:
+            if variable is not last.destination.variable:
+                rebuilt.add_variable(variable)
+        from .operations import Operation as _Operation
+
+        for operation in operations[:-1]:
+            rebuilt.add_operation(operation)
+        retargeted = _Operation(
+            kind=last.kind,
+            operands=last.operands,
+            destination=destination,
+            carry_in=last.carry_in,
+            name=last.name,
+            origin=last.origin,
+            fragment_index=last.fragment_index,
+            attributes=dict(last.attributes),
+        )
+        rebuilt.add_operation(retargeted)
+        builder._spec = rebuilt
+        return
+    width = destination.width
+    source = result
+    if result.width > width:
+        source = result.subrange(BitRange(0, width - 1))
+    # Narrower expressions are zero-extended by the MOVE (upper bits read 0),
+    # matching the behavioural semantics of assigning a short value to a wider
+    # signal.
+    builder.unary(OpKind.MOVE, source, dest=destination, width=width)

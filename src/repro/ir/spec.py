@@ -1,0 +1,278 @@
+"""The behavioural specification container.
+
+A :class:`Specification` corresponds to the straight-line body of the VHDL
+process in the paper's examples (Fig. 1 a, Fig. 2 a): an ordered sequence of
+operations over a set of ports and process variables.  The transformed
+specification produced by the optimization method is represented with exactly
+the same class -- only the operations are narrower and write *slices* of the
+original variables.
+
+The class also provides the bit-level definition/use analysis the rest of the
+library relies on:
+
+* :meth:`Specification.bit_writer` -- which operation produces a given bit of
+  a variable (``None`` for input-port bits),
+* :meth:`Specification.bit_readers` -- which operations consume it,
+* single-assignment validation at the bit level (each variable bit written at
+  most once), which is the structural property the fragmentation phase
+  preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .operations import Operation
+from .types import BitRange, IRTypeError
+from .values import Constant, Destination, Operand, PortDirection, Variable
+
+
+class SpecificationError(IRTypeError):
+    """Raised for structurally invalid specifications."""
+
+
+@dataclass(frozen=True)
+class BitRef:
+    """A reference to one bit of a variable."""
+
+    variable: Variable
+    bit: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.bit < self.variable.width):
+            raise SpecificationError(
+                f"bit {self.bit} out of range for {self.variable.width}-bit "
+                f"variable {self.variable.name}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.variable.name}[{self.bit}]"
+
+
+@dataclass(frozen=True)
+class BitDef:
+    """The producing operation of a variable bit.
+
+    ``result_bit`` is the index of the bit within the operation's result
+    (0 = least significant result bit).
+    """
+
+    operation: Operation
+    result_bit: int
+
+
+class Specification:
+    """An ordered behavioural specification (straight-line dataflow).
+
+    Parameters
+    ----------
+    name:
+        Entity name, used in reports.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise SpecificationError("specification name must be non-empty")
+        self.name = name
+        self._variables: Dict[str, Variable] = {}
+        self._operations: List[Operation] = []
+        self._dirty = True
+        self._bit_defs: Dict[Tuple[int, int], BitDef] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_variable(self, variable: Variable) -> Variable:
+        """Register a port or process variable.  Names must be unique."""
+        if variable.name in self._variables:
+            raise SpecificationError(
+                f"duplicate variable name {variable.name!r} in specification {self.name}"
+            )
+        self._variables[variable.name] = variable
+        self._dirty = True
+        return variable
+
+    def add_operation(self, operation: Operation) -> Operation:
+        """Append an operation to the specification body.
+
+        All variables referenced by the operation must already be registered,
+        and no bit of the destination slice may have been written before
+        (bit-level single assignment).
+        """
+        for operand in operation.all_read_operands():
+            if operand.is_variable and operand.variable.name not in self._variables:
+                raise SpecificationError(
+                    f"operation {operation.name} reads unregistered variable "
+                    f"{operand.variable.name!r}"
+                )
+        dest = operation.destination
+        if dest.variable.name not in self._variables:
+            raise SpecificationError(
+                f"operation {operation.name} writes unregistered variable "
+                f"{dest.variable.name!r}"
+            )
+        if dest.variable.is_input():
+            raise SpecificationError(
+                f"operation {operation.name} writes input port {dest.variable.name!r}"
+            )
+        self._ensure_analysis()
+        for bit in dest.range:
+            key = (dest.variable.uid, bit)
+            if key in self._bit_defs:
+                previous = self._bit_defs[key].operation
+                raise SpecificationError(
+                    f"bit {bit} of variable {dest.variable.name!r} written by both "
+                    f"{previous.name} and {operation.name}"
+                )
+        self._operations.append(operation)
+        for result_bit, bit in enumerate(dest.range):
+            self._bit_defs[(dest.variable.uid, bit)] = BitDef(operation, result_bit)
+        return operation
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def operations(self) -> Sequence[Operation]:
+        return tuple(self._operations)
+
+    @property
+    def variables(self) -> Sequence[Variable]:
+        return tuple(self._variables.values())
+
+    def variable(self, name: str) -> Variable:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise SpecificationError(
+                f"no variable named {name!r} in specification {self.name}"
+            ) from None
+
+    def has_variable(self, name: str) -> bool:
+        return name in self._variables
+
+    def inputs(self) -> List[Variable]:
+        """Input ports, in declaration order."""
+        return [v for v in self._variables.values() if v.is_input()]
+
+    def outputs(self) -> List[Variable]:
+        """Output ports, in declaration order."""
+        return [v for v in self._variables.values() if v.is_output()]
+
+    def internals(self) -> List[Variable]:
+        """Process variables that are neither inputs nor outputs."""
+        return [
+            v
+            for v in self._variables.values()
+            if v.direction is PortDirection.INTERNAL
+        ]
+
+    def operation_named(self, name: str) -> Operation:
+        for operation in self._operations:
+            if operation.name == name:
+                return operation
+        raise SpecificationError(
+            f"no operation named {name!r} in specification {self.name}"
+        )
+
+    def operations_of_origin(self, origin: str) -> List[Operation]:
+        """All operations descending from the original operation *origin*."""
+        return [op for op in self._operations if op.origin == origin]
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._operations)
+
+    # ------------------------------------------------------------------
+    # Bit-level definition / use analysis
+    # ------------------------------------------------------------------
+    def _ensure_analysis(self) -> None:
+        if not self._dirty:
+            return
+        self._bit_defs = {}
+        for operation in self._operations:
+            dest = operation.destination
+            for result_bit, bit in enumerate(dest.range):
+                self._bit_defs[(dest.variable.uid, bit)] = BitDef(
+                    operation, result_bit
+                )
+        self._dirty = False
+
+    def bit_writer(self, variable: Variable, bit: int) -> Optional[BitDef]:
+        """Return the :class:`BitDef` producing ``variable[bit]``.
+
+        ``None`` means the bit is a primary input of the specification (an
+        input-port bit, or an undriven bit that validation will flag).
+        """
+        self._ensure_analysis()
+        BitRef(variable, bit)  # bounds check
+        return self._bit_defs.get((variable.uid, bit))
+
+    def bit_readers(self, variable: Variable, bit: int) -> List[Tuple[Operation, int]]:
+        """Operations reading ``variable[bit]``, with the operand bit position.
+
+        The returned position is the bit index *within the reading operand*
+        (position 0 = the operand's least significant bit), which for additive
+        operations is also the result-bit position the read feeds.
+        """
+        BitRef(variable, bit)
+        readers: List[Tuple[Operation, int]] = []
+        for operation in self._operations:
+            for operand in operation.all_read_operands():
+                if not operand.is_variable or operand.variable is not variable:
+                    continue
+                if bit in operand.range:
+                    readers.append((operation, bit - operand.range.lo))
+        return readers
+
+    def written_bits(self, variable: Variable) -> List[int]:
+        """Bit positions of *variable* written by some operation."""
+        self._ensure_analysis()
+        return sorted(
+            bit
+            for (uid, bit) in self._bit_defs
+            if uid == variable.uid
+        )
+
+    def undriven_output_bits(self) -> List[BitRef]:
+        """Output-port bits never written by any operation."""
+        self._ensure_analysis()
+        missing: List[BitRef] = []
+        for variable in self.outputs():
+            for bit in range(variable.width):
+                if (variable.uid, bit) not in self._bit_defs:
+                    missing.append(BitRef(variable, bit))
+        return missing
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics used by the experiments
+    # ------------------------------------------------------------------
+    def operation_count(self) -> int:
+        return len(self._operations)
+
+    def additive_operation_count(self) -> int:
+        return sum(1 for op in self._operations if op.is_additive)
+
+    def total_additive_bits(self) -> int:
+        """Total result bits of additive operations (a crude size measure)."""
+        return sum(op.width for op in self._operations if op.is_additive)
+
+    def describe(self) -> str:
+        """Multi-line readable rendering of the whole specification."""
+        lines = [f"specification {self.name}"]
+        for variable in self._variables.values():
+            lines.append(
+                f"  {variable.direction.value:8s} {variable.name}: {variable.type}"
+            )
+        for operation in self._operations:
+            lines.append(f"  {operation.describe()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Specification({self.name!r}, {len(self._variables)} variables, "
+            f"{len(self._operations)} operations)"
+        )

@@ -1,0 +1,225 @@
+"""Bit-vector types and bit-range arithmetic used across the behavioural IR.
+
+The paper operates on fixed-width bit-vector operands (``std_logic_vector`` in
+the VHDL specifications).  This module provides the small value-type layer the
+rest of the library builds on:
+
+* :class:`BitVectorType` -- a width plus signedness.
+* :class:`BitRange` -- an inclusive ``[lo, hi]`` bit range (LSB = bit 0),
+  mirroring VHDL's ``hi downto lo`` slices used throughout the transformed
+  specifications of the paper (e.g. ``C(6 downto 0)``).
+
+Both are immutable, hashable value objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+class IRTypeError(ValueError):
+    """Raised when widths, ranges or signedness are inconsistent."""
+
+
+@dataclass(frozen=True, order=True)
+class BitRange:
+    """An inclusive bit range ``[lo, hi]`` with bit 0 the least significant bit.
+
+    The paper's fragmentation phase splits operations into contiguous groups of
+    bits; a :class:`BitRange` is the canonical representation of such a group.
+    ``BitRange(0, 5)`` corresponds to VHDL ``(5 downto 0)``.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise IRTypeError(f"bit range low bound must be >= 0, got {self.lo}")
+        if self.hi < self.lo:
+            raise IRTypeError(
+                f"bit range high bound {self.hi} below low bound {self.lo}"
+            )
+
+    @property
+    def width(self) -> int:
+        """Number of bits covered by the range."""
+        return self.hi - self.lo + 1
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.lo, self.hi + 1))
+
+    def __contains__(self, bit: int) -> bool:
+        return self.lo <= bit <= self.hi
+
+    def overlaps(self, other: "BitRange") -> bool:
+        """Return True when the two ranges share at least one bit position."""
+        return not (self.hi < other.lo or other.hi < self.lo)
+
+    def contains_range(self, other: "BitRange") -> bool:
+        """Return True when *other* is fully inside this range."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def intersection(self, other: "BitRange") -> Optional["BitRange"]:
+        """Return the overlapping sub-range, or ``None`` if disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return BitRange(lo, hi)
+
+    def shifted(self, amount: int) -> "BitRange":
+        """Return the range translated by *amount* bit positions."""
+        return BitRange(self.lo + amount, self.hi + amount)
+
+    def adjacent_above(self, other: "BitRange") -> bool:
+        """Return True when this range starts exactly one bit above *other*."""
+        return self.lo == other.hi + 1
+
+    @staticmethod
+    def full(width: int) -> "BitRange":
+        """Range covering all bits of a *width*-bit vector."""
+        if width <= 0:
+            raise IRTypeError(f"width must be positive, got {width}")
+        return BitRange(0, width - 1)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.lo == self.hi:
+            return f"({self.lo})"
+        return f"({self.hi} downto {self.lo})"
+
+
+@dataclass(frozen=True)
+class BitVectorType:
+    """A fixed-width bit-vector type with signedness.
+
+    ``signed`` follows two's-complement interpretation.  The operative kernel
+    extraction phase of the paper rewrites signed operations into unsigned
+    ones, so after phase 1 every operation in the specification carries an
+    unsigned :class:`BitVectorType`.
+    """
+
+    width: int
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise IRTypeError(f"bit-vector width must be positive, got {self.width}")
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable integer."""
+        if self.signed:
+            return -(1 << (self.width - 1))
+        return 0
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable integer."""
+        if self.signed:
+            return (1 << (self.width - 1)) - 1
+        return (1 << self.width) - 1
+
+    @property
+    def mask(self) -> int:
+        """Bit mask covering the full width."""
+        return (1 << self.width) - 1
+
+    def full_range(self) -> BitRange:
+        """The :class:`BitRange` spanning every bit of this type."""
+        return BitRange.full(self.width)
+
+    def contains(self, value: int) -> bool:
+        """Return True when *value* is representable without wrapping."""
+        return self.min_value <= value <= self.max_value
+
+    def wrap(self, value: int) -> int:
+        """Wrap an arbitrary integer into this type (two's complement for signed)."""
+        value &= self.mask
+        if self.signed and value > self.max_value:
+            value -= 1 << self.width
+        return value
+
+    def to_unsigned_bits(self, value: int) -> int:
+        """Return the raw bit pattern of *value* as a non-negative integer."""
+        if not self.contains(value):
+            raise IRTypeError(
+                f"value {value} not representable in {self}"
+            )
+        return value & self.mask
+
+    def from_unsigned_bits(self, bits: int) -> int:
+        """Interpret a raw bit pattern according to the type's signedness."""
+        bits &= self.mask
+        if self.signed and bits > self.max_value:
+            return bits - (1 << self.width)
+        return bits
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        prefix = "signed" if self.signed else "unsigned"
+        return f"{prefix}[{self.width}]"
+
+
+def unsigned(width: int) -> BitVectorType:
+    """Shorthand constructor for an unsigned bit-vector type."""
+    return BitVectorType(width, signed=False)
+
+
+def signed(width: int) -> BitVectorType:
+    """Shorthand constructor for a signed (two's complement) bit-vector type."""
+    return BitVectorType(width, signed=True)
+
+
+def bits_of(value: int, width: int) -> list:
+    """Return the *width* least significant bits of *value*, LSB first."""
+    if width <= 0:
+        raise IRTypeError(f"width must be positive, got {width}")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits) -> int:
+    """Assemble an unsigned integer from a LSB-first bit list."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise IRTypeError(f"bit value must be 0 or 1, got {bit!r}")
+        value |= bit << i
+    return value
+
+
+def sign_extend(value: int, from_width: int, to_width: int) -> int:
+    """Sign-extend the *from_width*-bit pattern *value* to *to_width* bits."""
+    if to_width < from_width:
+        raise IRTypeError(
+            f"cannot sign-extend from {from_width} to narrower width {to_width}"
+        )
+    value &= (1 << from_width) - 1
+    sign_bit = (value >> (from_width - 1)) & 1
+    if sign_bit:
+        extension = ((1 << (to_width - from_width)) - 1) << from_width
+        value |= extension
+    return value
+
+
+def zero_extend(value: int, from_width: int, to_width: int) -> int:
+    """Zero-extend the *from_width*-bit pattern *value* to *to_width* bits."""
+    if to_width < from_width:
+        raise IRTypeError(
+            f"cannot zero-extend from {from_width} to narrower width {to_width}"
+        )
+    return value & ((1 << from_width) - 1)
+
+
+def extract_bits(value: int, bit_range: BitRange) -> int:
+    """Extract the bits covered by *bit_range* from an unsigned pattern."""
+    return (value >> bit_range.lo) & ((1 << bit_range.width) - 1)
+
+
+def insert_bits(target: int, bit_range: BitRange, value: int) -> int:
+    """Return *target* with the bits of *bit_range* replaced by *value*."""
+    mask = ((1 << bit_range.width) - 1) << bit_range.lo
+    return (target & ~mask) | ((value << bit_range.lo) & mask)

@@ -1,0 +1,209 @@
+"""Structural validation of behavioural specifications.
+
+Validation is used in two places:
+
+* before the transformation, to reject malformed input specifications early
+  (undriven outputs, reads of never-written internal bits, width mismatches);
+* after the transformation, as a sanity gate -- the transformed specification
+  must satisfy exactly the same structural rules as the original, plus the
+  fragment-specific invariants checked by the property tests in
+  ``tests/core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .operations import COMPARISON_KINDS, OpKind
+from .spec import Specification
+
+
+@dataclass
+class ValidationIssue:
+    """A single validation finding."""
+
+    severity: str  # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.severity}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """The collected findings for one specification."""
+
+    specification_name: str
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "error"]
+
+    @property
+    def warnings(self) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found (warnings allowed)."""
+        return not self.errors
+
+    def error(self, message: str) -> None:
+        self.issues.append(ValidationIssue("error", message))
+
+    def warning(self, message: str) -> None:
+        self.issues.append(ValidationIssue("warning", message))
+
+    def summary(self) -> str:
+        lines = [
+            f"validation of {self.specification_name}: "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        ]
+        lines.extend(str(issue) for issue in self.issues)
+        return "\n".join(lines)
+
+
+class ValidationError(ValueError):
+    """Raised by :func:`require_valid` when a specification has errors."""
+
+    def __init__(self, report: ValidationReport) -> None:
+        super().__init__(report.summary())
+        self.report = report
+
+
+def validate(specification: Specification) -> ValidationReport:
+    """Run every structural check and return the full report."""
+    report = ValidationReport(specification.name)
+    _check_interface(specification, report)
+    _check_output_bits(specification, report)
+    _check_read_before_write(specification, report)
+    _check_operand_widths(specification, report)
+    _check_fragment_provenance(specification, report)
+    return report
+
+
+def require_valid(specification: Specification) -> Specification:
+    """Validate and raise :class:`ValidationError` on any error."""
+    report = validate(specification)
+    if not report.ok:
+        raise ValidationError(report)
+    return specification
+
+
+# ----------------------------------------------------------------------
+# Individual checks
+# ----------------------------------------------------------------------
+def _check_interface(specification: Specification, report: ValidationReport) -> None:
+    if not specification.inputs():
+        report.warning("specification has no input ports")
+    if not specification.outputs():
+        report.error("specification has no output ports")
+    if not specification.operations:
+        report.error("specification has no operations")
+
+
+def _check_output_bits(specification: Specification, report: ValidationReport) -> None:
+    for missing in specification.undriven_output_bits():
+        report.error(
+            f"output bit {missing.variable.name}[{missing.bit}] is never written"
+        )
+
+
+def _check_read_before_write(
+    specification: Specification, report: ValidationReport
+) -> None:
+    """Every read of a non-input bit must be preceded by its write."""
+    written_position = {}
+    for position, operation in enumerate(specification.operations):
+        for operand in operation.all_read_operands():
+            if not operand.is_variable:
+                continue
+            variable = operand.variable
+            if variable.is_input():
+                continue
+            for bit in operand.range:
+                key = (variable.uid, bit)
+                if key not in written_position:
+                    report.error(
+                        f"operation {operation.name} reads {variable.name}[{bit}] "
+                        "before any operation writes it"
+                    )
+                elif written_position[key] >= position:
+                    report.error(
+                        f"operation {operation.name} reads {variable.name}[{bit}] "
+                        "before its producer in program order"
+                    )
+        destination = operation.destination
+        for bit in destination.range:
+            written_position[(destination.variable.uid, bit)] = position
+
+
+def _check_operand_widths(
+    specification: Specification, report: ValidationReport
+) -> None:
+    for operation in specification.operations:
+        widths = [operand.width for operand in operation.operands]
+        if operation.kind in (OpKind.ADD, OpKind.SUB):
+            if operation.width < max(widths):
+                report.warning(
+                    f"operation {operation.name} result ({operation.width} bits) "
+                    f"narrower than widest operand ({max(widths)} bits); "
+                    "high-order bits are truncated"
+                )
+        elif operation.kind is OpKind.MUL:
+            natural = sum(widths)
+            if operation.width > natural:
+                report.warning(
+                    f"multiplication {operation.name} result ({operation.width} bits) "
+                    f"wider than the product of its operands ({natural} bits); "
+                    "high-order bits are zero"
+                )
+        elif operation.kind in COMPARISON_KINDS:
+            if operation.width != 1:
+                report.error(
+                    f"comparison {operation.name} must produce a 1-bit result, "
+                    f"found {operation.width} bits"
+                )
+        elif operation.kind is OpKind.SELECT:
+            if len(operation.operands) != 3:
+                report.error(
+                    f"select {operation.name} must have exactly three operands"
+                )
+            elif operation.operands[0].width != 1:
+                report.error(
+                    f"select {operation.name} condition must be 1 bit wide"
+                )
+        if operation.carry_in is not None and operation.kind not in (
+            OpKind.ADD,
+            OpKind.SUB,
+        ):
+            report.error(
+                f"operation {operation.name} of kind {operation.kind} cannot take a carry-in"
+            )
+
+
+def _check_fragment_provenance(
+    specification: Specification, report: ValidationReport
+) -> None:
+    """Fragments of the same parent operation must carry contiguous indices.
+
+    Fragments are grouped by the ``parent`` attribute the rewriter records
+    (the kernel-extracted operation they descend from); ``origin`` alone is
+    not a valid group key because one original operation (e.g. a
+    multiplication) expands into several kernel additions that are fragmented
+    independently.
+    """
+    by_parent = {}
+    for operation in specification.operations:
+        if operation.is_fragment:
+            key = operation.attributes.get("parent", operation.origin)
+            by_parent.setdefault(key, []).append(operation)
+    for parent, fragments in by_parent.items():
+        fragments = sorted(fragments, key=lambda op: op.fragment_index)
+        indices = [fragment.fragment_index for fragment in fragments]
+        if indices != list(range(len(fragments))):
+            report.error(
+                f"fragments of {parent} have non-contiguous indices {indices}"
+            )

@@ -1,0 +1,259 @@
+"""Storage objects and operand references of the behavioural IR.
+
+A behavioural specification (paper Fig. 1 a / Fig. 2 a) manipulates three
+kinds of storage:
+
+* **ports** -- circuit inputs and outputs (``A, B, D, F: in``; ``G: inout``),
+* **variables** -- process-local intermediate values (``variable C, E``),
+* **constants** -- literal values appearing in expressions.
+
+Operations read *slices* of these (``A(5 downto 0)``) and write slices of the
+destination (``C(6 downto 0) := ...``).  :class:`Operand` and
+:class:`Destination` capture exactly that: a reference to a storage object
+plus a :class:`~repro.ir.types.BitRange`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .types import BitRange, BitVectorType, IRTypeError
+
+
+class PortDirection(enum.Enum):
+    """Role of a storage object in the specification interface."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INTERNAL = "internal"
+
+    def is_input(self) -> bool:
+        return self is PortDirection.INPUT
+
+    def is_output(self) -> bool:
+        return self is PortDirection.OUTPUT
+
+
+_variable_counter = itertools.count()
+
+
+@dataclass(eq=False)
+class Variable:
+    """A named bit-vector storage object (port or process variable).
+
+    Identity (not name equality) is used for hashing so two distinct variables
+    with the same name in different specifications never alias.
+    """
+
+    name: str
+    type: BitVectorType
+    direction: PortDirection = PortDirection.INTERNAL
+    uid: int = field(default_factory=lambda: next(_variable_counter))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRTypeError("variable name must be non-empty")
+
+    @property
+    def width(self) -> int:
+        return self.type.width
+
+    @property
+    def signed(self) -> bool:
+        return self.type.signed
+
+    def full_range(self) -> BitRange:
+        return self.type.full_range()
+
+    def is_input(self) -> bool:
+        return self.direction.is_input()
+
+    def is_output(self) -> bool:
+        return self.direction.is_output()
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Variable({self.name!r}, {self.type}, {self.direction.value})"
+
+    # Convenience slicing -------------------------------------------------
+    def slice(self, hi: int, lo: Optional[int] = None) -> "Operand":
+        """Return an operand referencing bits ``hi downto lo`` of the variable."""
+        if lo is None:
+            lo = hi
+        rng = BitRange(lo, hi)
+        if not self.full_range().contains_range(rng):
+            raise IRTypeError(
+                f"slice {rng} out of bounds for {self.width}-bit variable {self.name}"
+            )
+        return Operand(self, rng)
+
+    def whole(self) -> "Operand":
+        """Return an operand referencing all the bits of the variable."""
+        return Operand(self, self.full_range())
+
+    def bit(self, index: int) -> "Operand":
+        """Return an operand referencing a single bit of the variable."""
+        return self.slice(index, index)
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A literal value with an explicit width and signedness."""
+
+    value: int
+    type: BitVectorType
+
+    def __post_init__(self) -> None:
+        if not self.type.contains(self.value):
+            raise IRTypeError(
+                f"constant {self.value} does not fit in {self.type}"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.type.width
+
+    @property
+    def signed(self) -> bool:
+        return self.type.signed
+
+    @property
+    def bits(self) -> int:
+        """The raw unsigned bit pattern of the constant."""
+        return self.type.to_unsigned_bits(self.value)
+
+    @staticmethod
+    def of(value: int, width: int, signed: bool = False) -> "Constant":
+        return Constant(value, BitVectorType(width, signed))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Constant({self.value}, {self.type})"
+
+
+SourceObject = Union[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A read reference: a slice of a variable or constant used as an input.
+
+    ``Operand(C, BitRange(0, 4))`` models the VHDL expression ``C(4 downto 0)``.
+    Constants may also be sliced, which is used by the operative kernel
+    extraction when decomposing wide constant operands.
+    """
+
+    source: SourceObject
+    range: BitRange
+
+    def __post_init__(self) -> None:
+        full = BitRange.full(self.source.width)
+        if not full.contains_range(self.range):
+            raise IRTypeError(
+                f"operand slice {self.range} exceeds width of {self.source!r}"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.range.width
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self.source, Constant)
+
+    @property
+    def is_variable(self) -> bool:
+        return isinstance(self.source, Variable)
+
+    @property
+    def variable(self) -> Variable:
+        if not isinstance(self.source, Variable):
+            raise IRTypeError("operand does not reference a variable")
+        return self.source
+
+    @property
+    def constant(self) -> Constant:
+        if not isinstance(self.source, Constant):
+            raise IRTypeError("operand does not reference a constant")
+        return self.source
+
+    def covers_whole_source(self) -> bool:
+        """True when the operand reads every bit of its source object."""
+        return self.range == BitRange.full(self.source.width)
+
+    def subrange(self, rng: BitRange) -> "Operand":
+        """Return an operand for the bits *rng* (relative to this operand's LSB)."""
+        absolute = rng.shifted(self.range.lo)
+        if not self.range.contains_range(absolute):
+            raise IRTypeError(
+                f"sub-range {rng} exceeds operand of width {self.width}"
+            )
+        return Operand(self.source, absolute)
+
+    def describe(self) -> str:
+        """Human-readable rendering, VHDL-slice style."""
+        if isinstance(self.source, Constant):
+            return f"{self.source.value}{self.range}"
+        if self.covers_whole_source():
+            return self.source.name
+        return f"{self.source.name}{self.range}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Operand({self.describe()})"
+
+
+@dataclass(frozen=True)
+class Destination:
+    """A write reference: the slice of a variable an operation assigns to.
+
+    In the transformed specification of the paper each fragment writes a slice
+    of the original result variable (``C(6 downto 0) := ...``); in the original
+    specification destinations cover the whole variable.
+    """
+
+    variable: Variable
+    range: BitRange
+
+    def __post_init__(self) -> None:
+        full = self.variable.full_range()
+        if not full.contains_range(self.range):
+            raise IRTypeError(
+                f"destination slice {self.range} exceeds width of "
+                f"{self.variable.width}-bit variable {self.variable.name}"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.range.width
+
+    def covers_whole_variable(self) -> bool:
+        return self.range == self.variable.full_range()
+
+    def describe(self) -> str:
+        if self.covers_whole_variable():
+            return self.variable.name
+        return f"{self.variable.name}{self.range}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Destination({self.describe()})"
+
+
+def operand_of(source: SourceObject, rng: Optional[BitRange] = None) -> Operand:
+    """Build an :class:`Operand`, defaulting to the full width of *source*."""
+    if rng is None:
+        rng = BitRange.full(source.width)
+    return Operand(source, rng)
+
+
+def destination_of(variable: Variable, rng: Optional[BitRange] = None) -> Destination:
+    """Build a :class:`Destination`, defaulting to the full variable width."""
+    if rng is None:
+        rng = variable.full_range()
+    return Destination(variable, rng)

@@ -1,0 +1,33 @@
+"""Gate-level substrate: netlists, adder structures, simulation, elaboration."""
+
+from .adders import AdderNets, build_adder_chain, build_full_adder, build_ripple_adder
+from .elaborate import ElaboratedDesign, ElaborationError, Elaborator, elaborate
+from .netlist import Gate, GateKind, Net, Netlist, NetlistError
+from .simulator import (
+    DelayModel,
+    NetlistSimulationResult,
+    NetlistSimulator,
+    nanosecond_delay_model,
+    unit_full_adder_delay_model,
+)
+
+__all__ = [
+    "AdderNets",
+    "DelayModel",
+    "ElaboratedDesign",
+    "ElaborationError",
+    "Elaborator",
+    "Gate",
+    "GateKind",
+    "Net",
+    "Netlist",
+    "NetlistError",
+    "NetlistSimulationResult",
+    "NetlistSimulator",
+    "build_adder_chain",
+    "build_full_adder",
+    "build_ripple_adder",
+    "elaborate",
+    "nanosecond_delay_model",
+    "unit_full_adder_delay_model",
+]

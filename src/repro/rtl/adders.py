@@ -1,0 +1,78 @@
+"""Gate-level adder construction.
+
+Builds the ripple-carry structures whose behaviour the paper's chained-1-bit
+additions metric abstracts: full adders, ripple-carry adders and chains of
+data-dependent ripple-carry adders (the structure of Fig. 1 e).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .netlist import Net, Netlist
+
+
+@dataclass(frozen=True)
+class AdderNets:
+    """The nets of one instantiated adder."""
+
+    sum_bits: Tuple[Net, ...]
+    carry_out: Net
+
+    @property
+    def width(self) -> int:
+        return len(self.sum_bits)
+
+
+def build_full_adder(
+    netlist: Netlist, a: Net, b: Net, carry_in: Net
+) -> Tuple[Net, Net]:
+    """One full adder (two XORs, two ANDs, one OR); returns (sum, carry_out)."""
+    partial = netlist.xor_gate(a, b)
+    sum_bit = netlist.xor_gate(partial, carry_in)
+    generate = netlist.and_gate(a, b)
+    propagate = netlist.and_gate(partial, carry_in)
+    carry_out = netlist.or_gate(generate, propagate)
+    return sum_bit, carry_out
+
+
+def build_ripple_adder(
+    netlist: Netlist,
+    a_bits: Sequence[Net],
+    b_bits: Sequence[Net],
+    carry_in: Optional[Net] = None,
+) -> AdderNets:
+    """A ripple-carry adder over two equally long input buses."""
+    if len(a_bits) != len(b_bits):
+        raise ValueError(
+            f"operand widths differ: {len(a_bits)} vs {len(b_bits)}"
+        )
+    if not a_bits:
+        raise ValueError("adder width must be at least one bit")
+    carry = carry_in if carry_in is not None else netlist.constant(0)
+    sums: List[Net] = []
+    for a_bit, b_bit in zip(a_bits, b_bits):
+        sum_bit, carry = build_full_adder(netlist, a_bit, b_bit, carry)
+        sums.append(sum_bit)
+    return AdderNets(sum_bits=tuple(sums), carry_out=carry)
+
+
+def build_adder_chain(width: int, length: int, name: str = "adder_chain") -> Netlist:
+    """A chain of *length* data-dependent ripple-carry additions of *width* bits.
+
+    ``build_adder_chain(16, 3)`` is the gate-level equivalent of the paper's
+    motivational example (Fig. 1 a / Fig. 1 e): ``G = ((A + B) + D) + F``.
+    The netlist exposes the chain inputs as ``IN0 .. INlength`` and the final
+    sum as its outputs.
+    """
+    if width <= 0 or length <= 0:
+        raise ValueError("width and length must be positive")
+    netlist = Netlist(f"{name}_{length}x{width}")
+    accumulator = netlist.add_input_bus("IN0", width)
+    for stage in range(length):
+        operand = netlist.add_input_bus(f"IN{stage + 1}", width)
+        adder = build_ripple_adder(netlist, accumulator, operand)
+        accumulator = list(adder.sum_bits)
+    netlist.mark_output_bus(accumulator)
+    return netlist

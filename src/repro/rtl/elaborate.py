@@ -1,0 +1,198 @@
+"""Elaboration of behavioural specifications into gate-level netlists.
+
+The elaborator turns a (kernel-extracted or transformed) specification whose
+additive operations are plain additions into a flat combinational netlist of
+full adders and glue gates.  It closes the loop between the three delay views
+of the library:
+
+* the behavioural interpreter (:mod:`repro.simulation`),
+* the chained-1-bit-additions metric (:class:`~repro.ir.dfg.BitDependencyGraph`),
+* and real gate-level structures simulated by :mod:`repro.rtl.simulator`.
+
+Tests use it to check that (a) the netlist computes the same values as the
+interpreter and (b) the measured full-adder-unit critical path of a fully
+chained implementation equals the bit-level critical depth (18 for the
+motivational example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.operations import Operation, OpKind
+from ..ir.spec import Specification
+from ..ir.values import Constant, Operand, Variable
+from .adders import build_ripple_adder
+from .netlist import Net, Netlist, NetlistError
+
+
+class ElaborationError(NetlistError):
+    """Raised when a specification contains operations the elaborator cannot map."""
+
+
+@dataclass
+class ElaboratedDesign:
+    """The produced netlist plus the mapping from IR bits to nets."""
+
+    specification: Specification
+    netlist: Netlist
+    #: net holding each (variable uid, bit) of the specification
+    bit_nets: Dict[Tuple[int, int], Net] = field(default_factory=dict)
+
+    def output_nets(self, variable: Variable) -> List[Net]:
+        return [self.bit_nets[(variable.uid, bit)] for bit in range(variable.width)]
+
+
+class Elaborator:
+    """Maps a specification's operations onto gates."""
+
+    #: operation kinds the elaborator supports
+    SUPPORTED = {
+        OpKind.ADD,
+        OpKind.MOVE,
+        OpKind.CONCAT,
+        OpKind.SHL,
+        OpKind.SHR,
+        OpKind.NOT,
+        OpKind.AND,
+        OpKind.OR,
+        OpKind.XOR,
+        OpKind.SELECT,
+    }
+
+    def __init__(self, specification: Specification) -> None:
+        self.specification = specification
+        self.netlist = Netlist(f"{specification.name}_rtl")
+        self.design = ElaboratedDesign(specification, self.netlist)
+        self._zero: Optional[Net] = None
+
+    # ------------------------------------------------------------------
+    def elaborate(self) -> ElaboratedDesign:
+        for port in self.specification.inputs():
+            nets = self.netlist.add_input_bus(port.name, port.width)
+            for bit, net in enumerate(nets):
+                self.design.bit_nets[(port.uid, bit)] = net
+        for operation in self.specification.operations:
+            self._elaborate_operation(operation)
+        for port in self.specification.outputs():
+            for bit in range(port.width):
+                net = self.design.bit_nets.get((port.uid, bit))
+                if net is None:
+                    raise ElaborationError(
+                        f"output bit {port.name}[{bit}] was never driven"
+                    )
+                self.netlist.mark_output(net)
+        return self.design
+
+    # ------------------------------------------------------------------
+    def _zero_net(self) -> Net:
+        if self._zero is None:
+            self._zero = self.netlist.constant(0)
+        return self._zero
+
+    def _operand_nets(self, operand: Operand, width: int) -> List[Net]:
+        """Nets of an operand slice, zero-padded to *width*."""
+        nets: List[Net] = []
+        if operand.is_constant:
+            constant: Constant = operand.constant
+            for position in range(min(width, operand.width)):
+                bit = (constant.bits >> (operand.range.lo + position)) & 1
+                nets.append(self.netlist.constant(bit))
+        else:
+            variable = operand.variable
+            for position in range(min(width, operand.width)):
+                key = (variable.uid, operand.range.lo + position)
+                net = self.design.bit_nets.get(key)
+                if net is None:
+                    raise ElaborationError(
+                        f"operation reads undriven bit {variable.name}"
+                        f"[{operand.range.lo + position}]"
+                    )
+                nets.append(net)
+        while len(nets) < width:
+            nets.append(self._zero_net())
+        return nets
+
+    def _store_result(self, operation: Operation, nets: List[Net]) -> None:
+        destination = operation.destination
+        for position, bit in enumerate(destination.range):
+            if position < len(nets):
+                net = nets[position]
+            else:
+                net = self._zero_net()
+            self.design.bit_nets[(destination.variable.uid, bit)] = net
+
+    # ------------------------------------------------------------------
+    def _elaborate_operation(self, operation: Operation) -> None:
+        kind = operation.kind
+        if kind not in self.SUPPORTED:
+            raise ElaborationError(
+                f"elaborator does not support {kind} (operation {operation.name}); "
+                "run the operative kernel extraction first"
+            )
+        width = operation.width
+        if kind is OpKind.ADD:
+            carry = None
+            if operation.carry_in is not None:
+                carry = self._operand_nets(operation.carry_in, 1)[0]
+            a_nets = self._operand_nets(operation.operands[0], width)
+            b_nets = self._operand_nets(operation.operands[1], width)
+            adder = build_ripple_adder(self.netlist, a_nets, b_nets, carry)
+            self._store_result(operation, list(adder.sum_bits))
+            return
+        if kind is OpKind.MOVE:
+            self._store_result(operation, self._operand_nets(operation.operands[0], width))
+            return
+        if kind is OpKind.CONCAT:
+            nets: List[Net] = []
+            for operand in operation.operands:
+                nets.extend(self._operand_nets(operand, operand.width))
+            self._store_result(operation, nets[:width])
+            return
+        if kind is OpKind.SHL:
+            amount = int(operation.attributes.get("shift", 0))
+            source = self._operand_nets(operation.operands[0], operation.operands[0].width)
+            nets = [self._zero_net()] * amount + source
+            self._store_result(operation, nets[:width])
+            return
+        if kind is OpKind.SHR:
+            amount = int(operation.attributes.get("shift", 0))
+            source = self._operand_nets(operation.operands[0], operation.operands[0].width)
+            nets = source[amount:]
+            self._store_result(operation, nets[:width])
+            return
+        if kind is OpKind.NOT:
+            source = self._operand_nets(operation.operands[0], width)
+            self._store_result(operation, [self.netlist.not_gate(net) for net in source])
+            return
+        if kind in (OpKind.AND, OpKind.OR, OpKind.XOR):
+            a_nets = self._operand_nets(operation.operands[0], width)
+            b_nets = self._operand_nets(operation.operands[1], width)
+            builder = {
+                OpKind.AND: self.netlist.and_gate,
+                OpKind.OR: self.netlist.or_gate,
+                OpKind.XOR: self.netlist.xor_gate,
+            }[kind]
+            self._store_result(
+                operation, [builder(a, b) for a, b in zip(a_nets, b_nets)]
+            )
+            return
+        if kind is OpKind.SELECT:
+            condition = self._operand_nets(operation.operands[0], 1)[0]
+            true_nets = self._operand_nets(operation.operands[1], width)
+            false_nets = self._operand_nets(operation.operands[2], width)
+            inverted = self.netlist.not_gate(condition)
+            nets = []
+            for true_net, false_net in zip(true_nets, false_nets):
+                chosen_true = self.netlist.and_gate(true_net, condition)
+                chosen_false = self.netlist.and_gate(false_net, inverted)
+                nets.append(self.netlist.or_gate(chosen_true, chosen_false))
+            self._store_result(operation, nets)
+            return
+        raise ElaborationError(f"unhandled operation kind {kind}")  # pragma: no cover
+
+
+def elaborate(specification: Specification) -> ElaboratedDesign:
+    """Elaborate a specification into a gate-level netlist."""
+    return Elaborator(specification).elaborate()

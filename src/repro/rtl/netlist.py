@@ -1,0 +1,206 @@
+"""Gate-level netlists.
+
+The paper's central delay metric -- chained 1-bit additions -- abstracts a
+ripple-carry structure built from full adders.  This package provides a small
+gate-level substrate (nets, gates, netlists) so that the abstraction can be
+validated: :mod:`repro.rtl.adders` builds real full-adder netlists,
+:mod:`repro.rtl.simulator` evaluates them with per-gate delays, and the tests
+check that the measured critical paths agree with the
+:class:`~repro.ir.dfg.BitDependencyGraph` depths the transformation relies on
+(e.g. 18 full-adder stages for the three chained 16-bit additions of
+Fig. 1 e).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class GateKind(enum.Enum):
+    """Primitive gate types of the netlist."""
+
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    BUF = "buf"
+    CONST0 = "const0"
+    CONST1 = "const1"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_net_counter = itertools.count()
+
+
+@dataclass(eq=False)
+class Net:
+    """A single-bit wire."""
+
+    name: str
+    uid: int = field(default_factory=lambda: next(_net_counter))
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Net({self.name})"
+
+
+@dataclass(eq=False)
+class Gate:
+    """A primitive gate driving exactly one net."""
+
+    kind: GateKind
+    inputs: Tuple[Net, ...]
+    output: Net
+    name: str
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+class NetlistError(ValueError):
+    """Raised for malformed netlists (multiple drivers, missing nets, cycles)."""
+
+
+class Netlist:
+    """A combinational gate-level netlist."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nets: List[Net] = []
+        self._gates: List[Gate] = []
+        self._driver: Dict[Net, Gate] = {}
+        self._inputs: List[Net] = []
+        self._outputs: List[Net] = []
+        self._gate_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    @property
+    def nets(self) -> Sequence[Net]:
+        return tuple(self._nets)
+
+    @property
+    def gates(self) -> Sequence[Gate]:
+        return tuple(self._gates)
+
+    @property
+    def inputs(self) -> Sequence[Net]:
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> Sequence[Net]:
+        return tuple(self._outputs)
+
+    def gate_count(self, kind: Optional[GateKind] = None) -> int:
+        if kind is None:
+            return len(self._gates)
+        return sum(1 for gate in self._gates if gate.kind is kind)
+
+    # ------------------------------------------------------------------
+    def new_net(self, name: Optional[str] = None) -> Net:
+        net = Net(name or f"n{len(self._nets)}")
+        self._nets.append(net)
+        return net
+
+    def add_input(self, name: str) -> Net:
+        net = self.new_net(name)
+        self._inputs.append(net)
+        return net
+
+    def add_input_bus(self, name: str, width: int) -> List[Net]:
+        return [self.add_input(f"{name}[{bit}]") for bit in range(width)]
+
+    def mark_output(self, net: Net) -> Net:
+        if net not in self._outputs:
+            self._outputs.append(net)
+        return net
+
+    def mark_output_bus(self, nets: Iterable[Net]) -> List[Net]:
+        return [self.mark_output(net) for net in nets]
+
+    def driver_of(self, net: Net) -> Optional[Gate]:
+        return self._driver.get(net)
+
+    # ------------------------------------------------------------------
+    def add_gate(
+        self, kind: GateKind, inputs: Sequence[Net], output: Optional[Net] = None
+    ) -> Net:
+        """Instantiate a gate; returns (and possibly creates) its output net."""
+        expected_arity = {
+            GateKind.NOT: 1,
+            GateKind.BUF: 1,
+            GateKind.CONST0: 0,
+            GateKind.CONST1: 0,
+        }.get(kind, 2)
+        if len(inputs) != expected_arity:
+            raise NetlistError(
+                f"gate {kind} expects {expected_arity} input(s), got {len(inputs)}"
+            )
+        for net in inputs:
+            if net not in self._driver and net not in self._inputs:
+                # Allow nets created earlier but not yet driven -- they must be
+                # driven eventually; the simulator validates completeness.
+                pass
+        if output is None:
+            output = self.new_net()
+        if output in self._driver:
+            raise NetlistError(f"net {output.name} already has a driver")
+        gate = Gate(
+            kind=kind,
+            inputs=tuple(inputs),
+            output=output,
+            name=f"{kind.value}{next(self._gate_counter)}",
+        )
+        self._gates.append(gate)
+        self._driver[output] = gate
+        return output
+
+    # Convenience wrappers -------------------------------------------------
+    def and_gate(self, a: Net, b: Net) -> Net:
+        return self.add_gate(GateKind.AND, (a, b))
+
+    def or_gate(self, a: Net, b: Net) -> Net:
+        return self.add_gate(GateKind.OR, (a, b))
+
+    def xor_gate(self, a: Net, b: Net) -> Net:
+        return self.add_gate(GateKind.XOR, (a, b))
+
+    def not_gate(self, a: Net) -> Net:
+        return self.add_gate(GateKind.NOT, (a,))
+
+    def buf_gate(self, a: Net) -> Net:
+        return self.add_gate(GateKind.BUF, (a,))
+
+    def constant(self, value: int) -> Net:
+        kind = GateKind.CONST1 if value else GateKind.CONST0
+        return self.add_gate(kind, ())
+
+    def constant_bus(self, value: int, width: int) -> List[Net]:
+        return [self.constant((value >> bit) & 1) for bit in range(width)]
+
+    # ------------------------------------------------------------------
+    def undriven_nets(self) -> List[Net]:
+        """Nets that are neither primary inputs nor driven by a gate."""
+        driven = set(self._driver)
+        primary = set(self._inputs)
+        used: List[Net] = []
+        for gate in self._gates:
+            for net in gate.inputs:
+                if net not in driven and net not in primary and net not in used:
+                    used.append(net)
+        for net in self._outputs:
+            if net not in driven and net not in primary and net not in used:
+                used.append(net)
+        return used
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Netlist({self.name!r}, {len(self._gates)} gates, "
+            f"{len(self._inputs)} inputs, {len(self._outputs)} outputs)"
+        )

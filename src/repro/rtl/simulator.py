@@ -1,0 +1,185 @@
+"""Levelised simulation of combinational netlists with per-gate delays.
+
+The simulator computes, for every net, its logic value and its arrival time.
+Two delay models are provided:
+
+* ``unit_full_adder`` -- every XOR/AND/OR/NOT costs a fraction of a full-adder
+  delay such that one full-adder stage (two XOR levels on the sum path, an
+  AND-OR pair on the carry path) costs exactly one unit.  Measured critical
+  paths in this model are directly comparable to the chained-1-bit-additions
+  metric of the paper and to :meth:`repro.ir.dfg.BitDependencyGraph.critical_depth`.
+* ``nanoseconds`` -- per-gate delays from :class:`repro.techlib.GateCosts`,
+  comparable to the technology library's adder delay model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..techlib.gates import DEFAULT_GATES, GateCosts
+from .netlist import Gate, GateKind, Net, Netlist, NetlistError
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Per-gate-kind delay assignment."""
+
+    name: str
+    delays: Mapping[GateKind, float]
+
+    def delay_of(self, kind: GateKind) -> float:
+        return self.delays.get(kind, 0.0)
+
+
+def unit_full_adder_delay_model() -> DelayModel:
+    """Delays normalised so one full-adder stage costs exactly 1.0 units.
+
+    The carry path of a full adder goes through one AND and one OR per stage
+    and the sum path through two XORs; assigning half a unit to each of XOR,
+    AND and OR makes both the per-stage carry propagation (AND + OR = 1.0) and
+    the sum computation (XOR + XOR = 1.0) cost exactly one unit per chained
+    bit, matching the abstraction of the paper.
+    """
+    return DelayModel(
+        name="unit_full_adder",
+        delays={
+            GateKind.XOR: 0.5,
+            GateKind.AND: 0.5,
+            GateKind.OR: 0.5,
+            GateKind.NOT: 0.0,
+            GateKind.BUF: 0.0,
+            GateKind.CONST0: 0.0,
+            GateKind.CONST1: 0.0,
+        },
+    )
+
+
+def nanosecond_delay_model(gates: GateCosts = DEFAULT_GATES) -> DelayModel:
+    """Per-gate delays in nanoseconds from the technology library."""
+    return DelayModel(
+        name="nanoseconds",
+        delays={
+            GateKind.XOR: gates.xor_gate_delay_ns,
+            GateKind.AND: gates.and_gate_delay_ns,
+            GateKind.OR: gates.or_gate_delay_ns,
+            GateKind.NOT: gates.inverter_delay_ns,
+            GateKind.BUF: 0.0,
+            GateKind.CONST0: 0.0,
+            GateKind.CONST1: 0.0,
+        },
+    )
+
+
+@dataclass
+class NetlistSimulationResult:
+    """Values and arrival times of every net after one evaluation."""
+
+    netlist_name: str
+    values: Dict[Net, int] = field(default_factory=dict)
+    arrivals: Dict[Net, float] = field(default_factory=dict)
+
+    def value_of_bus(self, nets: Sequence[Net]) -> int:
+        """Assemble an unsigned integer from a LSB-first net bus."""
+        value = 0
+        for index, net in enumerate(nets):
+            value |= (self.values[net] & 1) << index
+        return value
+
+    def critical_arrival(self, nets: Optional[Sequence[Net]] = None) -> float:
+        """Latest arrival time over the given nets (default: every net)."""
+        pool = nets if nets is not None else list(self.arrivals)
+        if not pool:
+            return 0.0
+        return max(self.arrivals[net] for net in pool)
+
+
+class NetlistSimulator:
+    """Levelised evaluation of a combinational netlist."""
+
+    def __init__(self, netlist: Netlist, delay_model: Optional[DelayModel] = None) -> None:
+        self.netlist = netlist
+        self.delay_model = delay_model or unit_full_adder_delay_model()
+        self._order = self._levelise()
+
+    def _levelise(self) -> List[Gate]:
+        """Topologically order gates; raise on combinational cycles."""
+        remaining: Dict[Gate, int] = {}
+        consumers: Dict[Net, List[Gate]] = {}
+        ready: List[Gate] = []
+        available = set(self.netlist.inputs)
+        for gate in self.netlist.gates:
+            unresolved = 0
+            for net in gate.inputs:
+                if net in available:
+                    continue
+                unresolved += 1
+                consumers.setdefault(net, []).append(gate)
+            remaining[gate] = unresolved
+            if unresolved == 0:
+                ready.append(gate)
+        order: List[Gate] = []
+        while ready:
+            gate = ready.pop()
+            order.append(gate)
+            for successor in consumers.get(gate.output, []):
+                remaining[successor] -= 1
+                if remaining[successor] == 0:
+                    ready.append(successor)
+        if len(order) != len(self.netlist.gates):
+            raise NetlistError(
+                f"netlist {self.netlist.name} contains a combinational cycle "
+                "or reads an undriven net"
+            )
+        return order
+
+    def run(self, inputs: Mapping[Net, int]) -> NetlistSimulationResult:
+        """Evaluate the netlist for one input assignment."""
+        result = NetlistSimulationResult(self.netlist.name)
+        for net in self.netlist.inputs:
+            if net not in inputs:
+                raise NetlistError(f"missing value for input net {net.name}")
+            result.values[net] = inputs[net] & 1
+            result.arrivals[net] = 0.0
+        for gate in self._order:
+            input_values = [result.values[net] for net in gate.inputs]
+            value = _evaluate_gate(gate.kind, input_values)
+            arrival = 0.0
+            for net in gate.inputs:
+                arrival = max(arrival, result.arrivals[net])
+            arrival += self.delay_model.delay_of(gate.kind)
+            result.values[gate.output] = value
+            result.arrivals[gate.output] = arrival
+        return result
+
+    def run_bus(self, bus_values: Mapping[str, int]) -> NetlistSimulationResult:
+        """Evaluate with values given per input bus name (``name[bit]`` nets)."""
+        assignment: Dict[Net, int] = {}
+        for net in self.netlist.inputs:
+            name, _, bit_text = net.name.partition("[")
+            if not bit_text:
+                if name in bus_values:
+                    assignment[net] = bus_values[name] & 1
+                continue
+            bit = int(bit_text.rstrip("]"))
+            if name in bus_values:
+                assignment[net] = (bus_values[name] >> bit) & 1
+        return self.run(assignment)
+
+
+def _evaluate_gate(kind: GateKind, values: List[int]) -> int:
+    if kind is GateKind.AND:
+        return values[0] & values[1]
+    if kind is GateKind.OR:
+        return values[0] | values[1]
+    if kind is GateKind.XOR:
+        return values[0] ^ values[1]
+    if kind is GateKind.NOT:
+        return 1 - (values[0] & 1)
+    if kind is GateKind.BUF:
+        return values[0] & 1
+    if kind is GateKind.CONST0:
+        return 0
+    if kind is GateKind.CONST1:
+        return 1
+    raise NetlistError(f"unknown gate kind {kind}")

@@ -1,0 +1,27 @@
+"""Behavioural simulation: interpreter, stimulus generation, equivalence."""
+
+from .equivalence import (
+    EquivalenceError,
+    EquivalenceReport,
+    Mismatch,
+    assert_equivalent,
+    check_equivalence,
+)
+from .interpreter import Interpreter, SimulationError, SimulationResult, simulate
+from .vectors import corner_vectors, random_vector, random_vectors, stimulus
+
+__all__ = [
+    "EquivalenceError",
+    "EquivalenceReport",
+    "Interpreter",
+    "Mismatch",
+    "SimulationError",
+    "SimulationResult",
+    "assert_equivalent",
+    "check_equivalence",
+    "corner_vectors",
+    "random_vector",
+    "random_vectors",
+    "simulate",
+    "stimulus",
+]

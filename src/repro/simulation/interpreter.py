@@ -1,0 +1,236 @@
+"""Bit-accurate interpretation of behavioural specifications.
+
+The interpreter is the functional oracle of the reproduction: the transformed
+specification produced by :mod:`repro.core.transform` must compute exactly the
+same output values as the original one, bit for bit, including the carry bits
+threaded between fragments.  The equivalence checker in
+:mod:`repro.simulation.equivalence` drives this interpreter on both
+specifications with common random stimuli.
+
+Value semantics
+---------------
+Every variable holds a raw (unsigned) bit pattern of its declared width.
+Operand values are the raw bits of the referenced slice; an operand is
+interpreted as a two's complement number only when it covers the *whole* of a
+signed variable (the usual HLS behavioural semantics -- slicing yields raw
+bits).  Results are wrapped to the destination width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..ir.operations import Operation, OpKind
+from ..ir.spec import Specification
+from ..ir.types import BitRange, extract_bits, insert_bits
+from ..ir.values import Constant, Operand, Variable
+
+
+class SimulationError(RuntimeError):
+    """Raised when a specification cannot be interpreted."""
+
+
+@dataclass
+class SimulationResult:
+    """Outputs and full execution trace of one interpreter run."""
+
+    specification_name: str
+    inputs: Dict[str, int]
+    outputs: Dict[str, int]
+    #: Raw bit pattern of every variable at the end of execution.
+    final_state: Dict[str, int]
+    #: Result bits written by each operation, keyed by operation name.
+    operation_results: Dict[str, int] = field(default_factory=dict)
+
+    def output(self, name: str) -> int:
+        try:
+            return self.outputs[name]
+        except KeyError:
+            raise SimulationError(f"no output named {name!r}") from None
+
+
+class Interpreter:
+    """Evaluates a :class:`~repro.ir.spec.Specification` on concrete inputs."""
+
+    def __init__(self, specification: Specification) -> None:
+        self.specification = specification
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: Mapping[str, int]) -> SimulationResult:
+        """Execute the specification body once.
+
+        Parameters
+        ----------
+        inputs:
+            Mapping of input-port name to integer value.  Signed ports accept
+            negative values; all values must fit the port type.
+        """
+        state = self._initial_state(inputs)
+        operation_results: Dict[str, int] = {}
+        for operation in self.specification.operations:
+            result_bits = self._evaluate(operation, state)
+            operation_results[operation.name] = result_bits
+            destination = operation.destination
+            variable = destination.variable
+            state[variable.uid] = insert_bits(
+                state.get(variable.uid, 0), destination.range, result_bits
+            )
+        outputs: Dict[str, int] = {}
+        final_state: Dict[str, int] = {}
+        for variable in self.specification.variables:
+            raw = state.get(variable.uid, 0) & variable.type.mask
+            final_state[variable.name] = raw
+            if variable.is_output():
+                outputs[variable.name] = variable.type.from_unsigned_bits(raw)
+        return SimulationResult(
+            specification_name=self.specification.name,
+            inputs=dict(inputs),
+            outputs=outputs,
+            final_state=final_state,
+            operation_results=operation_results,
+        )
+
+    # ------------------------------------------------------------------
+    def _initial_state(self, inputs: Mapping[str, int]) -> Dict[int, int]:
+        state: Dict[int, int] = {}
+        declared_inputs = {port.name: port for port in self.specification.inputs()}
+        unknown = set(inputs) - set(declared_inputs)
+        if unknown:
+            raise SimulationError(
+                f"unknown input(s) {sorted(unknown)} for specification "
+                f"{self.specification.name}"
+            )
+        missing = set(declared_inputs) - set(inputs)
+        if missing:
+            raise SimulationError(
+                f"missing value(s) for input(s) {sorted(missing)}"
+            )
+        for name, port in declared_inputs.items():
+            value = inputs[name]
+            if not port.type.contains(value):
+                raise SimulationError(
+                    f"input {name}={value} does not fit {port.type}"
+                )
+            state[port.uid] = port.type.to_unsigned_bits(value)
+        for variable in self.specification.variables:
+            state.setdefault(variable.uid, 0)
+        return state
+
+    # ------------------------------------------------------------------
+    def _operand_bits(self, operand: Operand, state: Dict[int, int]) -> int:
+        """Raw bit pattern of an operand slice."""
+        if operand.is_constant:
+            constant: Constant = operand.constant
+            return extract_bits(constant.bits, operand.range)
+        variable: Variable = operand.variable
+        return extract_bits(state[variable.uid], operand.range)
+
+    def _operand_value(self, operand: Operand, state: Dict[int, int]) -> int:
+        """Operand value with signedness applied when meaningful."""
+        bits = self._operand_bits(operand, state)
+        source = operand.source
+        if source.signed and operand.covers_whole_source():
+            width = operand.width
+            if bits >= 1 << (width - 1):
+                return bits - (1 << width)
+        return bits
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, operation: Operation, state: Dict[int, int]) -> int:
+        kind = operation.kind
+        width = operation.width
+        mask = (1 << width) - 1
+        operands = operation.operands
+        carry = 0
+        if operation.carry_in is not None:
+            carry = self._operand_bits(operation.carry_in, state) & 1
+
+        if kind is OpKind.ADD:
+            a = self._operand_value(operands[0], state)
+            b = self._operand_value(operands[1], state)
+            return (a + b + carry) & mask
+        if kind is OpKind.SUB:
+            a = self._operand_value(operands[0], state)
+            b = self._operand_value(operands[1], state)
+            return (a - b + carry) & mask
+        if kind is OpKind.MUL:
+            a = self._operand_value(operands[0], state)
+            b = self._operand_value(operands[1], state)
+            return (a * b) & mask
+        if kind in (
+            OpKind.LT,
+            OpKind.LE,
+            OpKind.GT,
+            OpKind.GE,
+            OpKind.EQ,
+            OpKind.NE,
+        ):
+            a = self._operand_value(operands[0], state)
+            b = self._operand_value(operands[1], state)
+            outcome = {
+                OpKind.LT: a < b,
+                OpKind.LE: a <= b,
+                OpKind.GT: a > b,
+                OpKind.GE: a >= b,
+                OpKind.EQ: a == b,
+                OpKind.NE: a != b,
+            }[kind]
+            return int(outcome) & mask
+        if kind is OpKind.MAX:
+            a = self._operand_value(operands[0], state)
+            b = self._operand_value(operands[1], state)
+            return max(a, b) & mask
+        if kind is OpKind.MIN:
+            a = self._operand_value(operands[0], state)
+            b = self._operand_value(operands[1], state)
+            return min(a, b) & mask
+        if kind is OpKind.NEG:
+            a = self._operand_value(operands[0], state)
+            return (-a) & mask
+        if kind is OpKind.ABS:
+            a = self._operand_value(operands[0], state)
+            return abs(a) & mask
+        if kind is OpKind.AND:
+            return (
+                self._operand_bits(operands[0], state)
+                & self._operand_bits(operands[1], state)
+            ) & mask
+        if kind is OpKind.OR:
+            return (
+                self._operand_bits(operands[0], state)
+                | self._operand_bits(operands[1], state)
+            ) & mask
+        if kind is OpKind.XOR:
+            return (
+                self._operand_bits(operands[0], state)
+                ^ self._operand_bits(operands[1], state)
+            ) & mask
+        if kind is OpKind.NOT:
+            return (~self._operand_bits(operands[0], state)) & mask
+        if kind is OpKind.SHL:
+            amount = int(operation.attributes.get("shift", 0))
+            return (self._operand_bits(operands[0], state) << amount) & mask
+        if kind is OpKind.SHR:
+            amount = int(operation.attributes.get("shift", 0))
+            return (self._operand_bits(operands[0], state) >> amount) & mask
+        if kind is OpKind.CONCAT:
+            # operands[0] provides the least significant bits.
+            value = 0
+            offset = 0
+            for operand in operands:
+                value |= self._operand_bits(operand, state) << offset
+                offset += operand.width
+            return value & mask
+        if kind is OpKind.SELECT:
+            condition = self._operand_bits(operands[0], state) & 1
+            chosen = operands[1] if condition else operands[2]
+            return self._operand_bits(chosen, state) & mask
+        if kind is OpKind.MOVE:
+            return self._operand_bits(operands[0], state) & mask
+        raise SimulationError(f"interpreter does not support operation kind {kind}")
+
+
+def simulate(specification: Specification, inputs: Mapping[str, int]) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    return Interpreter(specification).run(inputs)

@@ -1,0 +1,60 @@
+"""Technology library: gate-level area and delay models.
+
+This package replaces the Synopsys Design Compiler numbers of the paper with
+an explicit, calibrated cost model (see DESIGN.md, substitution table).
+"""
+
+from .adders import (
+    AdderModel,
+    AdderStyle,
+    adder_area,
+    adder_delay,
+    build_adder,
+    chained_bits_delay,
+)
+from .gates import DEFAULT_GATES, GateCosts
+from .library import FunctionalUnitSpec, TechnologyLibrary, default_library
+from .multipliers import (
+    MultiplierModel,
+    MultiplierStyle,
+    build_multiplier,
+    multiplier_area,
+    multiplier_delay,
+)
+from .storage import (
+    MultiplexerModel,
+    RegisterModel,
+    build_multiplexer,
+    build_register,
+    multiplexer_area,
+    register_area,
+    register_setup_ns,
+    routing_area,
+)
+
+__all__ = [
+    "AdderModel",
+    "AdderStyle",
+    "DEFAULT_GATES",
+    "FunctionalUnitSpec",
+    "GateCosts",
+    "MultiplexerModel",
+    "MultiplierModel",
+    "MultiplierStyle",
+    "RegisterModel",
+    "TechnologyLibrary",
+    "adder_area",
+    "adder_delay",
+    "build_adder",
+    "build_multiplexer",
+    "build_multiplier",
+    "build_register",
+    "chained_bits_delay",
+    "default_library",
+    "multiplexer_area",
+    "multiplier_area",
+    "multiplier_delay",
+    "register_area",
+    "register_setup_ns",
+    "routing_area",
+]

@@ -1,0 +1,140 @@
+"""Adder architecture models: area, total delay and per-bit arrival times.
+
+The paper's motivational example executes additions on ripple-carry adders
+but notes that "big reductions in both the cycle length and the datapath area
+can also be achieved by using faster and more expensive adders
+(carry-lookahead, fast lookahead, and carry-save)".  The ablation benchmark
+``benchmarks/test_ablation_adder_styles.py`` exercises exactly that remark, so
+the library models several adder families:
+
+* ``RIPPLE_CARRY`` -- linear delay, minimal area; the default and the one the
+  chained-1-bit-addition delay metric of the paper corresponds to.
+* ``CARRY_LOOKAHEAD`` -- logarithmic delay in 4-bit groups, larger area.
+* ``FAST_LOOKAHEAD`` -- two-level lookahead, nearly flat delay, largest area.
+* ``CARRY_SAVE`` -- for accumulation contexts; constant delay per level but it
+  defers the final carry propagation, modelled as a final ripple stage.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List
+
+from .gates import DEFAULT_GATES, GateCosts
+
+
+class AdderStyle(enum.Enum):
+    """Supported adder architectures."""
+
+    RIPPLE_CARRY = "ripple_carry"
+    CARRY_LOOKAHEAD = "carry_lookahead"
+    FAST_LOOKAHEAD = "fast_lookahead"
+    CARRY_SAVE = "carry_save"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AdderModel:
+    """Area/delay model of one adder instance."""
+
+    style: AdderStyle
+    width: int
+    area_gates: float
+    delay_ns: float
+    #: arrival time of every result bit (ns), LSB first -- the quantity behind
+    #: the ``t + i*delta`` annotations of Fig. 1 e.
+    bit_arrival_ns: List[float]
+
+
+def _ripple_arrivals(width: int, gates: GateCosts) -> List[float]:
+    return [(bit + 1) * gates.full_adder_delay_ns for bit in range(width)]
+
+
+def _lookahead_arrivals(width: int, gates: GateCosts, group: int) -> List[float]:
+    """Arrival model for group-based carry-lookahead adders.
+
+    Within a group the sum bits ripple; group carries are produced by the
+    lookahead network after roughly two gate levels per group crossed.
+    """
+    lookahead_level_ns = 2 * gates.and_gate_delay_ns + gates.or_gate_delay_ns
+    arrivals: List[float] = []
+    for bit in range(width):
+        group_index = bit // group
+        position_in_group = bit % group
+        carry_ready = group_index * lookahead_level_ns
+        arrivals.append(carry_ready + (position_in_group + 1) * gates.full_adder_delay_ns * 0.75)
+    return arrivals
+
+
+def _fast_lookahead_arrivals(width: int, gates: GateCosts) -> List[float]:
+    """Two-level lookahead: delay grows with log2(width)."""
+    level_ns = 2 * gates.and_gate_delay_ns + gates.or_gate_delay_ns
+    levels = max(1, math.ceil(math.log2(max(2, width))))
+    arrivals = []
+    for bit in range(width):
+        depth = max(1, math.ceil(math.log2(bit + 2)))
+        arrivals.append(gates.xor_gate_delay_ns + depth * level_ns + gates.xor_gate_delay_ns)
+        _ = levels
+    return arrivals
+
+
+def _carry_save_arrivals(width: int, gates: GateCosts) -> List[float]:
+    """Carry-save stage (constant) followed by a final ripple merge."""
+    save_stage = gates.full_adder_delay_ns
+    return [save_stage + (bit + 1) * gates.full_adder_delay_ns for bit in range(width)]
+
+
+def build_adder(
+    width: int,
+    style: AdderStyle = AdderStyle.RIPPLE_CARRY,
+    gates: GateCosts = DEFAULT_GATES,
+) -> AdderModel:
+    """Construct the area/delay model for an adder of the given width."""
+    if width <= 0:
+        raise ValueError(f"adder width must be positive, got {width}")
+    if style is AdderStyle.RIPPLE_CARRY:
+        area = width * gates.full_adder_area
+        arrivals = _ripple_arrivals(width, gates)
+    elif style is AdderStyle.CARRY_LOOKAHEAD:
+        group = 4
+        groups = math.ceil(width / group)
+        area = width * gates.full_adder_area + groups * 14.0
+        arrivals = _lookahead_arrivals(width, gates, group)
+    elif style is AdderStyle.FAST_LOOKAHEAD:
+        area = width * gates.full_adder_area + width * 6.0
+        arrivals = _fast_lookahead_arrivals(width, gates)
+    elif style is AdderStyle.CARRY_SAVE:
+        area = 2 * width * gates.full_adder_area
+        arrivals = _carry_save_arrivals(width, gates)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown adder style {style}")
+    return AdderModel(
+        style=style,
+        width=width,
+        area_gates=area,
+        delay_ns=max(arrivals),
+        bit_arrival_ns=arrivals,
+    )
+
+
+def adder_area(width: int, style: AdderStyle = AdderStyle.RIPPLE_CARRY,
+               gates: GateCosts = DEFAULT_GATES) -> float:
+    """Area in equivalent gates of a *width*-bit adder."""
+    return build_adder(width, style, gates).area_gates
+
+
+def adder_delay(width: int, style: AdderStyle = AdderStyle.RIPPLE_CARRY,
+                gates: GateCosts = DEFAULT_GATES) -> float:
+    """Worst-case delay in ns of a *width*-bit adder."""
+    return build_adder(width, style, gates).delay_ns
+
+
+def chained_bits_delay(chained_bits: int, gates: GateCosts = DEFAULT_GATES) -> float:
+    """Delay of *chained_bits* chained 1-bit additions -- the paper's metric."""
+    if chained_bits < 0:
+        raise ValueError("chained bit count must be non-negative")
+    return chained_bits * gates.full_adder_delay_ns

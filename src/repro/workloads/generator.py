@@ -1,0 +1,133 @@
+"""Random dataflow-graph generator.
+
+Property-based tests and the scalability benchmarks need a supply of
+well-formed behavioural specifications with controllable size, width mix and
+dependency depth.  The generator builds layered DAGs of additive operations:
+each operation draws its operands from earlier layers (or the primary
+inputs), so the result is always a valid single-assignment specification.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..ir.builder import SpecBuilder
+from ..ir.operations import OpKind
+from ..ir.spec import Specification
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shape of the random specifications."""
+
+    operation_count: int = 12
+    minimum_width: int = 4
+    maximum_width: int = 16
+    input_count: int = 4
+    #: probability of drawing each operation kind (renormalised internally).
+    add_weight: float = 0.6
+    sub_weight: float = 0.2
+    mul_weight: float = 0.0
+    compare_weight: float = 0.1
+    maxmin_weight: float = 0.1
+    #: probability that an operand comes from a previous result rather than an
+    #: input port (controls the dependency depth).
+    chaining_probability: float = 0.6
+
+    def validate(self) -> None:
+        if self.operation_count <= 0:
+            raise ValueError("operation_count must be positive")
+        if not (1 <= self.minimum_width <= self.maximum_width):
+            raise ValueError("width bounds must satisfy 1 <= min <= max")
+        if self.input_count <= 0:
+            raise ValueError("input_count must be positive")
+
+
+def random_specification(
+    seed: int,
+    config: Optional[GeneratorConfig] = None,
+    name: Optional[str] = None,
+) -> Specification:
+    """Generate a random, valid, additive-heavy specification."""
+    config = config or GeneratorConfig()
+    config.validate()
+    rng = random.Random(seed)
+    builder = SpecBuilder(name or f"random_{seed}")
+
+    inputs = [
+        builder.input(f"in{i}", rng.randint(config.minimum_width, config.maximum_width))
+        for i in range(config.input_count)
+    ]
+    produced = []
+
+    kinds = [
+        (OpKind.ADD, config.add_weight),
+        (OpKind.SUB, config.sub_weight),
+        (OpKind.MUL, config.mul_weight),
+        (OpKind.LT, config.compare_weight),
+        (OpKind.MAX, config.maxmin_weight),
+    ]
+    total_weight = sum(weight for _kind, weight in kinds) or 1.0
+
+    def pick_kind() -> OpKind:
+        target = rng.uniform(0, total_weight)
+        accumulated = 0.0
+        for kind, weight in kinds:
+            accumulated += weight
+            if target <= accumulated:
+                return kind
+        return OpKind.ADD
+
+    def pick_operand():
+        if produced and rng.random() < config.chaining_probability:
+            return rng.choice(produced)
+        return rng.choice(inputs)
+
+    for index in range(config.operation_count):
+        kind = pick_kind()
+        left = pick_operand()
+        right = pick_operand()
+        width = rng.randint(config.minimum_width, config.maximum_width)
+        if kind is OpKind.LT:
+            result = builder.binary(kind, left, right, name=f"op{index}")
+        elif kind is OpKind.MUL:
+            result = builder.binary(
+                kind, left, right, name=f"op{index}",
+                width=min(left.width + right.width, config.maximum_width * 2),
+            )
+        else:
+            result = builder.binary(
+                kind, left, right, name=f"op{index}",
+                width=max(width, 1),
+            )
+        produced.append(result)
+
+    # Expose the sink results (values nobody consumes) as outputs so that the
+    # specification is valid and nothing is dead code.
+    consumed = set()
+    spec = builder.specification
+    for operation in spec.operations:
+        for operand in operation.all_read_operands():
+            if operand.is_variable:
+                consumed.add(operand.variable.uid)
+    sink_index = 0
+    for variable in list(spec.internals()):
+        if variable.uid in consumed:
+            continue
+        output = builder.output(f"out{sink_index}", variable.width)
+        builder.move(variable, dest=output, name=f"expose{sink_index}")
+        sink_index += 1
+    if sink_index == 0:
+        last = produced[-1]
+        output = builder.output("out0", last.width)
+        builder.move(last, dest=output, name="expose0")
+    return builder.build()
+
+
+def random_suite(
+    count: int, seed: int = 2005, config: Optional[GeneratorConfig] = None
+) -> List[Specification]:
+    """A reproducible list of random specifications."""
+    return [random_specification(seed + index, config) for index in range(count)]

@@ -1,0 +1,87 @@
+"""The paper's motivational example (Fig. 1 a) and generalisations of it.
+
+The motivational example is a chain of three data-dependent 16-bit additions::
+
+    C := A + B;   E := C + D;   G <= E + F;
+
+Its conventional schedule needs a 9.4 ns cycle (one 16-bit ripple-carry
+addition); the fully chained schedule needs a single 9.57 ns cycle and three
+adders; the transformed specification runs in three 3.55 ns cycles on three
+6-bit adders (Table I).  :func:`addition_chain` generalises the example to an
+arbitrary chain length and width, which the latency-sweep experiment (Fig. 4)
+and several property tests use.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import SpecBuilder
+from ..ir.spec import Specification
+
+
+def motivational_example(width: int = 16) -> Specification:
+    """The three-addition chain of Fig. 1 a."""
+    builder = SpecBuilder("example")
+    a = builder.input("A", width)
+    b = builder.input("B", width)
+    d = builder.input("D", width)
+    f = builder.input("F", width)
+    g = builder.output("G", width)
+    c = builder.add(a, b, name="add_C")
+    e = builder.add(c, d, name="add_E")
+    builder.add(e, f, dest=g, name="add_G")
+    return builder.build()
+
+
+def addition_chain(length: int, width: int = 16, name: str = "addition_chain") -> Specification:
+    """A chain of *length* data-dependent additions of the given width.
+
+    ``addition_chain(3, 16)`` is structurally identical to
+    :func:`motivational_example`; longer chains give the latency sweep of
+    Fig. 4 enough depth to show the divergence between the original and the
+    optimized cycle lengths as the latency grows.
+    """
+    if length <= 0:
+        raise ValueError(f"chain length must be positive, got {length}")
+    builder = SpecBuilder(f"{name}_{length}x{width}")
+    accumulator = builder.input("IN0", width)
+    result = builder.output("OUT", width)
+    for index in range(length):
+        operand = builder.input(f"IN{index + 1}", width)
+        if index == length - 1:
+            builder.add(accumulator, operand, dest=result, name=f"add_{index}")
+        else:
+            accumulator = builder.add(accumulator, operand, name=f"add_{index}")
+    return builder.build()
+
+
+def addition_tree(leaves: int, width: int = 16, name: str = "addition_tree") -> Specification:
+    """A balanced reduction tree of additions (a high-parallelism contrast case).
+
+    Trees have much shorter critical paths than chains for the same operation
+    count, so they exercise the transformation in the regime where fewer
+    operations need to be fragmented.
+    """
+    if leaves < 2:
+        raise ValueError(f"an addition tree needs at least 2 leaves, got {leaves}")
+    builder = SpecBuilder(f"{name}_{leaves}x{width}")
+    level = [builder.input(f"IN{i}", width) for i in range(leaves)]
+    result = builder.output("OUT", width)
+    counter = 0
+    while len(level) > 1:
+        next_level = []
+        for index in range(0, len(level) - 1, 2):
+            is_last = len(level) == 2
+            if is_last:
+                builder.add(level[index], level[index + 1], dest=result, name=f"add_{counter}")
+            else:
+                next_level.append(
+                    builder.add(level[index], level[index + 1], name=f"add_{counter}")
+                )
+            counter += 1
+        if len(level) % 2 == 1:
+            next_level.append(level[-1])
+        if len(level) == 2:
+            level = []
+            break
+        level = next_level
+    return builder.build()

@@ -1,0 +1,132 @@
+"""Tests for flow comparison, the latency sweep and table formatting."""
+
+import pytest
+
+from repro.analysis import (
+    FlowComparison,
+    LatencySweep,
+    compare_flows,
+    format_records,
+    format_table,
+    latency_sweep,
+    percentage,
+)
+from repro.core import TransformOptions
+from repro.workloads import addition_chain, fig3_example, motivational_example
+
+
+class TestCompareFlows:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_flows(motivational_example(), latency=3, include_blc=True)
+
+    def test_cycle_saving_matches_paper_band(self, comparison):
+        # The paper reports roughly 62% cycle-length reduction on Table I.
+        assert 0.55 <= comparison.cycle_saving <= 0.70
+
+    def test_execution_time_saving(self, comparison):
+        assert comparison.execution_time_saving > 0.5
+
+    def test_area_increment_is_slight(self, comparison):
+        assert abs(comparison.area_increment) < 0.25
+        assert abs(comparison.total_area_increment) < 0.25
+
+    def test_operation_growth_positive(self, comparison):
+        assert comparison.operation_growth > 0
+
+    def test_blc_included(self, comparison):
+        assert comparison.bit_level_chained is not None
+        assert comparison.bit_level_chained.fu_area > comparison.original.fu_area
+
+    def test_as_row_keys(self, comparison):
+        row = comparison.as_row()
+        for key in (
+            "benchmark",
+            "latency",
+            "original_cycle_ns",
+            "optimized_cycle_ns",
+            "cycle_saving_pct",
+            "area_increment_pct",
+        ):
+            assert key in row
+
+    def test_summary_text(self, comparison):
+        assert "cycle" in comparison.summary()
+
+    def test_equivalence_can_be_requested(self):
+        comparison = compare_flows(
+            fig3_example(),
+            latency=3,
+            transform_options=TransformOptions(check_equivalence=True, equivalence_vectors=15),
+        )
+        assert comparison.transform_result.equivalence.equivalent
+
+
+class TestLatencySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        # Fig. 4 sweeps the latency of a fixed behavioural description from 3
+        # upward: the conventional schedule saturates at the delay of the
+        # slowest operation while the optimized one keeps shrinking its cycle.
+        return latency_sweep(lambda: addition_chain(3, 16), latencies=range(3, 10))
+
+    def test_point_count(self, sweep):
+        assert sweep.latencies() == list(range(3, 10))
+
+    def test_optimized_cycle_shrinks_with_latency(self, sweep):
+        optimized = sweep.optimized_series()
+        assert optimized == sorted(optimized, reverse=True)
+
+    def test_optimized_always_at_most_original(self, sweep):
+        for point in sweep.points:
+            assert point.optimized_cycle_ns <= point.original_cycle_ns + 1e-9
+
+    def test_curves_diverge(self, sweep):
+        # Fig. 4: the gap between the curves grows with the latency.
+        assert sweep.divergence() > 0
+
+    def test_savings_grow_with_latency(self, sweep):
+        savings = sweep.savings_series()
+        assert savings[-1] > savings[0]
+
+    def test_rows_and_ascii_rendering(self, sweep):
+        rows = sweep.as_rows()
+        assert len(rows) == len(sweep.points)
+        art = sweep.render_ascii(width=30)
+        assert "lambda= 3" in art or "lambda=3" in art.replace(" ", "")
+
+    def test_empty_sweep_renders(self):
+        assert "empty" in LatencySweep("nothing").render_ascii()
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["beta", 20]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_records(self):
+        records = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.25}]
+        text = format_records(records)
+        assert "2.50" in text and "4.25" in text
+
+    def test_format_records_empty(self):
+        assert format_records([], title="nothing") == "nothing"
+
+    def test_format_records_column_subset(self):
+        records = [{"a": 1, "b": 2}]
+        text = format_records(records, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_percentage(self):
+        assert percentage(0.625) == "62.50 %"
+
+    def test_boolean_cells(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text

@@ -1,0 +1,199 @@
+"""Unit tests for phase 3 -- bit-level ASAP/ALAP schedules and fragmentation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fragmentation import (
+    FragmentationError,
+    compute_bit_schedule,
+    fragment_specification,
+    fragment_widths_simple,
+    fragments_of_operation,
+    minimum_feasible_budget,
+)
+from repro.core.kernel import extract_kernel
+from repro.core.timing import critical_path_bits, estimate_cycle_budget
+from repro.ir.dfg import BitDependencyGraph
+from repro.workloads import fig3_example, motivational_example
+from repro.workloads.fig3 import FIG3_CYCLE_BUDGET, FIG3_LATENCY
+
+
+@pytest.fixture
+def motivational_kernel():
+    return extract_kernel(motivational_example()).specification
+
+
+@pytest.fixture
+def fig3_kernel():
+    return extract_kernel(fig3_example()).specification
+
+
+class TestBitSchedule:
+    def test_motivational_schedule_feasible(self, motivational_kernel):
+        schedule = compute_bit_schedule(motivational_kernel, latency=3, chained_bits_per_cycle=6)
+        assert schedule.is_feasible()
+
+    def test_budget_too_small_is_infeasible(self, motivational_kernel):
+        schedule = compute_bit_schedule(motivational_kernel, latency=3, chained_bits_per_cycle=4)
+        assert not schedule.is_feasible()
+
+    def test_asap_never_exceeds_alap_when_feasible(self, fig3_kernel):
+        schedule = compute_bit_schedule(fig3_kernel, FIG3_LATENCY, FIG3_CYCLE_BUDGET)
+        assert schedule.is_feasible()
+        for node in schedule.asap:
+            assert schedule.asap_cycle(node) <= schedule.alap_cycle(node)
+
+    def test_offsets_respect_budget(self, fig3_kernel):
+        budget = FIG3_CYCLE_BUDGET
+        schedule = compute_bit_schedule(fig3_kernel, FIG3_LATENCY, budget)
+        for slot in schedule.asap.values():
+            assert 1 <= slot.offset <= budget
+
+    def test_mobility_of_scheduled_bits(self, fig3_kernel):
+        schedule = compute_bit_schedule(fig3_kernel, FIG3_LATENCY, FIG3_CYCLE_BUDGET)
+        graph = BitDependencyGraph(fig3_kernel)
+        f_op = next(op for op in fig3_kernel.operations if op.origin == "F")
+        # Operation F is already scheduled: ASAP and ALAP coincide on every bit.
+        for bit in range(f_op.width):
+            node = graph.node(f_op, bit)
+            assert schedule.mobility(node) == 1
+
+    def test_invalid_parameters_rejected(self, motivational_kernel):
+        with pytest.raises(FragmentationError):
+            compute_bit_schedule(motivational_kernel, 0, 6)
+        with pytest.raises(FragmentationError):
+            compute_bit_schedule(motivational_kernel, 3, 0)
+
+
+class TestMinimumFeasibleBudget:
+    def test_estimate_is_already_feasible_for_motivational(self, motivational_kernel):
+        estimate = estimate_cycle_budget(motivational_kernel, 3)
+        budget, schedule, _graph = minimum_feasible_budget(
+            motivational_kernel, 3, estimate.chained_bits_per_cycle
+        )
+        assert budget == 6
+        assert schedule.is_feasible()
+
+    def test_budget_search_increases_when_needed(self, motivational_kernel):
+        budget, schedule, _graph = minimum_feasible_budget(motivational_kernel, 3, 1)
+        assert budget >= 6
+        assert schedule.is_feasible()
+
+    @given(latency=st.integers(1, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_feasible_for_any_latency(self, latency):
+        kernel = extract_kernel(motivational_example()).specification
+        estimate = estimate_cycle_budget(kernel, latency)
+        budget, schedule, _graph = minimum_feasible_budget(
+            kernel, latency, estimate.chained_bits_per_cycle
+        )
+        assert schedule.is_feasible()
+        assert budget * latency >= critical_path_bits(kernel)
+
+
+class TestFragments:
+    def test_paper_fig2_fragment_widths(self, motivational_kernel):
+        """The motivational example fragments exactly as in Fig. 2 a."""
+        result = fragment_specification(motivational_kernel, 3, 6)
+        widths_by_origin = {}
+        for operation, fragments in result.fragments.items():
+            widths_by_origin[operation.origin] = [f.width for f in fragments]
+        assert widths_by_origin["add_C"] == [6, 6, 4]
+        assert widths_by_origin["add_E"] == [5, 6, 5]
+        assert widths_by_origin["add_G"] == [4, 6, 6]
+
+    def test_paper_fig3_fragmentation_of_F_and_B(self, fig3_kernel):
+        """Operation F fragments into 3+3+2 bits, operation B into 2+1+2+1."""
+        result = fragment_specification(fig3_kernel, FIG3_LATENCY, FIG3_CYCLE_BUDGET)
+        by_origin = {
+            operation.origin: fragments
+            for operation, fragments in result.fragments.items()
+        }
+        assert [f.width for f in by_origin["F"]] == [3, 3, 2]
+        assert [(f.asap, f.alap) for f in by_origin["F"]] == [(1, 1), (2, 2), (3, 3)]
+        assert [f.width for f in by_origin["B"]] == [2, 1, 2, 1]
+        assert [(f.asap, f.alap) for f in by_origin["B"]] == [
+            (1, 1),
+            (1, 2),
+            (2, 2),
+            (2, 3),
+        ]
+
+    def test_fragment_invariants(self, fig3_kernel):
+        result = fragment_specification(fig3_kernel, FIG3_LATENCY, FIG3_CYCLE_BUDGET)
+        for operation, fragments in result.fragments.items():
+            assert sum(f.width for f in fragments) == operation.width
+            assert fragments[0].bits.lo == 0
+            assert fragments[-1].bits.hi == operation.width - 1
+            for earlier, later in zip(fragments, fragments[1:]):
+                assert later.bits.lo == earlier.bits.hi + 1
+                assert later.asap >= earlier.asap
+                assert later.alap >= earlier.alap
+            pairs = [(f.asap, f.alap) for f in fragments]
+            assert len(set(pairs)) == len(pairs)
+
+    def test_fragment_count_statistics(self, motivational_kernel):
+        result = fragment_specification(motivational_kernel, 3, 6)
+        assert result.fragment_count() == 9
+        assert len(result.fragmented_operations()) == 3
+        assert result.operation_growth() == pytest.approx(2.0)
+
+    def test_single_cycle_means_no_fragmentation(self, motivational_kernel):
+        result = fragment_specification(motivational_kernel, 1, 18)
+        assert all(len(fragments) == 1 for fragments in result.fragments.values())
+
+    def test_fragments_of_operation_direct(self, motivational_kernel):
+        graph = BitDependencyGraph(motivational_kernel)
+        schedule = compute_bit_schedule(motivational_kernel, 3, 6, graph)
+        operation = next(op for op in motivational_kernel.operations if op.is_additive)
+        fragments = fragments_of_operation(operation, schedule, graph)
+        assert fragments[0].index == 0
+        assert all(f.operation is operation for f in fragments)
+
+
+class TestSimpleFragmentation:
+    """The per-operation pseudo-code transcribed from the paper."""
+
+    def test_exact_fill(self):
+        fragments = fragment_widths_simple(width=9, asap=1, alap=3, n_bits=3)
+        assert [f.size for f in fragments] == [3, 3, 3]
+        assert [(f.asap, f.alap) for f in fragments] == [(1, 1), (2, 2), (3, 3)]
+
+    def test_partial_last_fragment_creates_mobility(self):
+        fragments = fragment_widths_simple(width=8, asap=1, alap=3, n_bits=3)
+        assert sum(f.size for f in fragments) == 8
+        assert fragments[0].asap == 1 and fragments[-1].alap == 3
+
+    def test_single_fragment_when_budget_covers_width(self):
+        fragments = fragment_widths_simple(width=5, asap=2, alap=4, n_bits=8)
+        assert len(fragments) == 1
+        assert fragments[0].size == 5
+        assert (fragments[0].asap, fragments[0].alap) == (2, 4)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(FragmentationError):
+            fragment_widths_simple(0, 1, 1, 3)
+        with pytest.raises(FragmentationError):
+            fragment_widths_simple(4, 1, 1, 0)
+        with pytest.raises(FragmentationError):
+            fragment_widths_simple(4, 3, 1, 2)
+
+    def test_overfull_window_rejected(self):
+        with pytest.raises(FragmentationError):
+            fragment_widths_simple(width=10, asap=1, alap=2, n_bits=3)
+
+    @given(
+        width=st.integers(1, 64),
+        asap=st.integers(1, 6),
+        extra=st.integers(0, 6),
+        n_bits=st.integers(1, 16),
+    )
+    def test_sizes_always_sum_to_width(self, width, asap, extra, n_bits):
+        from hypothesis import assume
+
+        assume(width <= n_bits * (extra + 1))
+        fragments = fragment_widths_simple(width, asap, asap + extra, n_bits)
+        assert sum(f.size for f in fragments) == width
+        assert all(f.size > 0 for f in fragments)
+        assert all(asap <= f.asap and f.alap <= asap + extra for f in fragments)
+        assert all(f.size <= n_bits for f in fragments)

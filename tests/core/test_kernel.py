@@ -1,0 +1,152 @@
+"""Unit tests for phase 1 -- operative kernel extraction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kernel import extract_kernel
+from repro.ir.builder import SpecBuilder
+from repro.ir.operations import ADDITIVE_KINDS, OpKind
+from repro.ir.validate import validate
+from repro.simulation import assert_equivalent, check_equivalence
+from repro.workloads import motivational_example
+
+
+def _single_op_spec(kind_helper, a_width, b_width, signed=False, **kwargs):
+    builder = SpecBuilder(f"kernel_{kind_helper}")
+    a = builder.input("a", a_width, signed)
+    b = builder.input("b", b_width, signed)
+    helper = getattr(builder, kind_helper)
+    result = helper(a, b, name="the_op", **kwargs)
+    out = builder.output("o", result.width)
+    builder.move(result, dest=out, name="expose")
+    return builder.build()
+
+
+def _extracted_kinds(specification):
+    return {op.kind for op in extract_kernel(specification).specification.operations}
+
+
+class TestKernelStructure:
+    def test_only_additions_remain_additive(self):
+        for helper in ("add", "sub", "mul", "lt", "gt", "le", "ge", "max", "min"):
+            spec = _single_op_spec(helper, 8, 8)
+            extracted = extract_kernel(spec).specification
+            additive = {op.kind for op in extracted.operations if op.is_additive}
+            assert additive <= {OpKind.ADD}, f"{helper} left {additive}"
+
+    def test_equality_becomes_pure_glue(self):
+        spec = _single_op_spec("eq", 8, 8)
+        extracted = extract_kernel(spec).specification
+        assert all(not op.is_additive for op in extracted.operations)
+
+    def test_addition_operands_are_normalised_to_result_width(self):
+        builder = SpecBuilder("norm")
+        a = builder.input("a", 4)
+        b = builder.input("b", 12)
+        out = builder.output("o", 12)
+        builder.add(a, b, dest=out, name="wide_add")
+        extracted = extract_kernel(builder.build()).specification
+        for operation in extracted.operations:
+            if operation.kind is OpKind.ADD:
+                assert all(op.width == operation.width for op in operation.operands)
+
+    def test_extracted_specification_is_valid(self):
+        extracted = extract_kernel(motivational_example()).specification
+        assert validate(extracted).ok
+
+    def test_statistics_counts(self):
+        result = extract_kernel(_single_op_spec("sub", 8, 8))
+        assert result.statistics.original_operations == 2  # sub + expose move
+        assert result.statistics.additions_created >= 1
+        assert result.statistics.rewritten_by_kind.get("sub") == 1
+        assert result.statistics.extracted_operations == len(result.specification.operations)
+
+    def test_operation_growth_reported(self):
+        result = extract_kernel(_single_op_spec("mul", 8, 8))
+        assert result.statistics.operation_growth > 0
+
+    def test_constant_multiplication_strength_reduced(self):
+        builder = SpecBuilder("constmul")
+        a = builder.input("a", 8)
+        out = builder.output("o", 12)
+        builder.mul(a, builder.constant(5, 4), dest=out, width=12, name="by5")
+        result = extract_kernel(builder.build())
+        adds = [op for op in result.specification.operations if op.kind is OpKind.ADD]
+        # 5 = 0b101 has two set bits: a single accumulation addition suffices.
+        assert len(adds) == 1
+
+    def test_variable_multiplication_produces_row_adds(self):
+        result = extract_kernel(_single_op_spec("mul", 6, 6))
+        adds = [op for op in result.specification.operations if op.kind is OpKind.ADD]
+        assert len(adds) == 5  # one per multiplier bit beyond the first
+
+    def test_plain_addition_kept_single(self):
+        result = extract_kernel(_single_op_spec("add", 8, 8))
+        adds = [op for op in result.specification.operations if op.kind is OpKind.ADD]
+        assert len(adds) == 1
+
+    def test_origin_recorded_on_rewritten_operations(self):
+        result = extract_kernel(_single_op_spec("sub", 8, 8))
+        rewritten = [
+            op for op in result.specification.operations if op.origin == "the_op"
+        ]
+        assert rewritten, "rewritten operations must carry their origin"
+
+
+class TestKernelEquivalence:
+    """The extracted kernel computes exactly what the original spec computes."""
+
+    CASES = [
+        ("add", 8, 8, False),
+        ("add", 4, 12, False),
+        ("sub", 8, 8, False),
+        ("sub", 8, 8, True),
+        ("mul", 6, 6, False),
+        ("mul", 6, 6, True),
+        ("mul", 4, 7, True),
+        ("lt", 8, 8, False),
+        ("lt", 8, 8, True),
+        ("le", 6, 6, False),
+        ("gt", 8, 8, True),
+        ("ge", 5, 5, False),
+        ("eq", 8, 8, False),
+        ("ne", 8, 8, False),
+        ("max", 8, 8, False),
+        ("max", 8, 8, True),
+        ("min", 6, 6, True),
+    ]
+
+    @pytest.mark.parametrize("helper,a_width,b_width,signed", CASES)
+    def test_extraction_preserves_behaviour(self, helper, a_width, b_width, signed):
+        spec = _single_op_spec(helper, a_width, b_width, signed)
+        extracted = extract_kernel(spec).specification
+        assert_equivalent(spec, extracted, random_count=60)
+
+    def test_neg_and_abs_preserved(self):
+        builder = SpecBuilder("unary_kernel")
+        a = builder.input("a", 8, signed=True)
+        neg_out = builder.output("neg_o", 8)
+        abs_out = builder.output("abs_o", 8)
+        builder.neg(a, dest=neg_out, name="negate")
+        builder.unary(OpKind.ABS, a, dest=abs_out, name="absolute")
+        spec = builder.build()
+        extracted = extract_kernel(spec).specification
+        assert_equivalent(spec, extracted, random_count=60)
+
+    def test_motivational_example_unchanged_behaviour(self):
+        spec = motivational_example()
+        extracted = extract_kernel(spec).specification
+        assert_equivalent(spec, extracted, random_count=40)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        helper=st.sampled_from(["add", "sub", "mul", "lt", "max", "min", "ge"]),
+        a_width=st.integers(2, 10),
+        b_width=st.integers(2, 10),
+        signed=st.booleans(),
+    )
+    def test_random_single_operations(self, helper, a_width, b_width, signed):
+        spec = _single_op_spec(helper, a_width, b_width, signed)
+        extracted = extract_kernel(spec).specification
+        report = check_equivalence(spec, extracted, random_count=25)
+        assert report.equivalent, report.summary()

@@ -1,0 +1,159 @@
+"""Unit tests for phase 2 -- critical path and clock cycle estimation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kernel import extract_kernel
+from repro.core.timing import (
+    CycleEstimate,
+    TimingError,
+    critical_path_bits,
+    critical_path_by_walk,
+    estimate_cycle_budget,
+    operation_execution_bits,
+    operation_mobility_cycles,
+    path_execution_time,
+)
+from repro.ir.builder import SpecBuilder
+from repro.ir.dfg import DataFlowGraph
+from repro.workloads import addition_chain, fig3_example, motivational_example
+from repro.workloads.fig3 import FIG3_CRITICAL_PATH_BITS, FIG3_CYCLE_BUDGET, FIG3_LATENCY
+
+
+class TestOperationExecutionBits:
+    def test_addition_costs_its_operand_width(self):
+        spec = motivational_example()
+        assert operation_execution_bits(spec.operation_named("add_C")) == 16
+
+    def test_glue_costs_nothing(self):
+        builder = SpecBuilder("glue")
+        a = builder.input("a", 8)
+        out = builder.output("o", 8)
+        moved = builder.bit_and(a, a, name="and_op")
+        builder.move(moved, dest=out, name="move_op")
+        spec = builder.build()
+        assert operation_execution_bits(spec.operation_named("and_op")) == 0
+        assert operation_execution_bits(spec.operation_named("move_op")) == 0
+
+    def test_multiplication_costs_array_depth(self):
+        builder = SpecBuilder("mul")
+        a = builder.input("a", 8)
+        b = builder.input("b", 6)
+        out = builder.output("o", 14)
+        builder.mul(a, b, dest=out, name="mul_op")
+        assert operation_execution_bits(builder.build().operation_named("mul_op")) == 13
+
+
+class TestCriticalPath:
+    def test_motivational_example_is_18_chained_bits(self):
+        # Fig. 1 e: three chained 16-bit additions = 18 chained 1-bit adds.
+        assert critical_path_bits(motivational_example()) == 18
+
+    def test_fig3_example_is_9_chained_bits(self):
+        assert critical_path_bits(fig3_example()) == FIG3_CRITICAL_PATH_BITS
+
+    def test_path_walk_agrees_on_motivational_example(self):
+        assert critical_path_by_walk(motivational_example()) == 18
+
+    def test_path_walk_agrees_on_fig3(self):
+        assert critical_path_by_walk(fig3_example()) == FIG3_CRITICAL_PATH_BITS
+
+    def test_path_execution_time_single_operation(self):
+        spec = motivational_example()
+        graph = DataFlowGraph(spec)
+        path = [spec.operation_named("add_C")]
+        assert path_execution_time(path, graph) == 16
+
+    def test_path_execution_time_full_chain(self):
+        spec = motivational_example()
+        graph = DataFlowGraph(spec)
+        path = graph.longest_path_operations()
+        assert path_execution_time(path, graph) == 18
+
+    def test_truncated_lsbs_add_to_path_time(self):
+        # A wide addition feeding only its high bits to a successor forces the
+        # successor to wait for the truncated low bits as well.
+        builder = SpecBuilder("trunc")
+        a = builder.input("a", 16)
+        b = builder.input("b", 16)
+        c = builder.input("c", 4)
+        out = builder.output("o", 4)
+        wide = builder.add(a, b, name="wide")
+        builder.add(wide.slice(15, 12), c, dest=out, name="narrow", width=4)
+        spec = builder.build()
+        graph = DataFlowGraph(spec)
+        path = graph.longest_path_operations()
+        # narrow contributes 4 bits, crossing wide adds 1 + 12 truncated bits.
+        assert path_execution_time(path, graph) == 4 + 1 + 12
+        assert critical_path_bits(spec) == 17
+
+    @settings(max_examples=20, deadline=None)
+    @given(length=st.integers(1, 6), width=st.integers(2, 20))
+    def test_addition_chain_formula(self, length, width):
+        # A chain of n equal-width additions ripples in width + (n - 1) bits.
+        spec = addition_chain(length, width)
+        assert critical_path_bits(spec) == width + length - 1
+        assert critical_path_by_walk(spec) == width + length - 1
+
+
+class TestCycleEstimate:
+    def test_paper_motivational_budget(self):
+        kernel = extract_kernel(motivational_example()).specification
+        estimate = estimate_cycle_budget(kernel, latency=3)
+        assert estimate.critical_path_bits == 18
+        assert estimate.chained_bits_per_cycle == 6
+
+    def test_fig3_budget(self):
+        kernel = extract_kernel(fig3_example()).specification
+        estimate = estimate_cycle_budget(kernel, FIG3_LATENCY)
+        assert estimate.chained_bits_per_cycle == FIG3_CYCLE_BUDGET
+
+    def test_ceiling_division(self):
+        estimate = CycleEstimate(critical_path_bits=17, latency=3, chained_bits_per_cycle=6)
+        assert estimate.minimum_latency == 3
+        assert estimate_cycle_budget(
+            extract_kernel(motivational_example()).specification, 4
+        ).chained_bits_per_cycle == math.ceil(18 / 4)
+
+    def test_cycle_length_conversion(self):
+        estimate = estimate_cycle_budget(
+            extract_kernel(motivational_example()).specification, 3
+        )
+        assert estimate.cycle_length_ns(0.5875, 0.0) == pytest.approx(6 * 0.5875)
+
+    def test_latency_one_gives_full_chain(self):
+        kernel = extract_kernel(motivational_example()).specification
+        estimate = estimate_cycle_budget(kernel, 1)
+        assert estimate.chained_bits_per_cycle == 18
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(TimingError):
+            estimate_cycle_budget(motivational_example(), 0)
+
+    @given(latency=st.integers(1, 20))
+    def test_budget_times_latency_covers_critical_path(self, latency):
+        kernel = extract_kernel(motivational_example()).specification
+        estimate = estimate_cycle_budget(kernel, latency)
+        assert estimate.chained_bits_per_cycle * latency >= estimate.critical_path_bits
+        assert (estimate.chained_bits_per_cycle - 1) * latency < estimate.critical_path_bits
+
+
+class TestOperationMobility:
+    def test_chain_has_no_mobility_at_minimum_latency(self):
+        spec = motivational_example()
+        mobility = operation_mobility_cycles(spec, latency=3)
+        for operation in spec.operations:
+            assert len(mobility[operation]) == 1
+
+    def test_extra_latency_creates_mobility(self):
+        spec = motivational_example()
+        mobility = operation_mobility_cycles(spec, latency=5)
+        assert any(len(window) > 1 for window in mobility.values())
+
+    def test_mobility_windows_are_ordered(self):
+        spec = fig3_example()
+        mobility = operation_mobility_cycles(spec, latency=3)
+        for window in mobility.values():
+            assert window.start <= window.stop - 1

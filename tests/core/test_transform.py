@@ -1,0 +1,182 @@
+"""Tests for the specification rewrite and the end-to-end transformation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BehaviouralTransformer,
+    TransformOptions,
+    transform,
+)
+from repro.core.fragmentation import fragment_specification
+from repro.core.kernel import extract_kernel
+from repro.core.rewrite import rewrite_specification
+from repro.ir.builder import SpecBuilder
+from repro.ir.operations import OpKind
+from repro.ir.types import BitRange
+from repro.ir.validate import validate
+from repro.simulation import assert_equivalent, check_equivalence
+from repro.workloads import (
+    GeneratorConfig,
+    addition_chain,
+    fig3_example,
+    motivational_example,
+    random_specification,
+)
+
+
+class TestRewrite:
+    def test_motivational_rewrite_matches_fig2(self):
+        """The rewritten motivational example has Fig. 2 a's structure."""
+        kernel = extract_kernel(motivational_example()).specification
+        fragmentation = fragment_specification(kernel, 3, 6)
+        rewritten = rewrite_specification(fragmentation)
+        spec = rewritten.specification
+        adds = [op for op in spec.operations if op.kind is OpKind.ADD]
+        assert len(adds) == 9
+        # Every non-final fragment produces an explicit carry bit consumed by
+        # the next fragment of the same original addition.
+        for origin in ("add_C", "add_E", "add_G"):
+            fragments = [op for op in adds if op.origin == origin]
+            assert len(fragments) == 3
+            assert fragments[0].carry_in is None
+            assert fragments[1].carry_in is not None
+            assert fragments[2].carry_in is not None
+
+    def test_fragment_destinations_cover_original_bits(self):
+        kernel = extract_kernel(motivational_example()).specification
+        fragmentation = fragment_specification(kernel, 3, 6)
+        rewritten = rewrite_specification(fragmentation)
+        g_port = rewritten.specification.variable("G")
+        assert rewritten.specification.written_bits(g_port) == list(range(16))
+
+    def test_statistics(self):
+        kernel = extract_kernel(motivational_example()).specification
+        fragmentation = fragment_specification(kernel, 3, 6)
+        rewritten = rewrite_specification(fragmentation)
+        stats = rewritten.statistics
+        assert stats.additive_operations_in == 3
+        assert stats.additive_operations_out == 9
+        assert stats.fragmented_operations == 3
+        assert stats.carry_bits_created == 6
+        assert stats.operation_growth == pytest.approx(2.0)
+
+    def test_mobility_attributes_recorded(self):
+        kernel = extract_kernel(motivational_example()).specification
+        fragmentation = fragment_specification(kernel, 3, 6)
+        rewritten = rewrite_specification(fragmentation)
+        for operation in rewritten.specification.operations:
+            if operation.is_additive:
+                assert "asap" in operation.attributes
+                assert "alap" in operation.attributes
+                assert operation.attributes["asap"] <= operation.attributes["alap"]
+
+    def test_unfragmented_operations_copied(self):
+        kernel = extract_kernel(motivational_example()).specification
+        fragmentation = fragment_specification(kernel, 1, 18)
+        rewritten = rewrite_specification(fragmentation)
+        assert rewritten.specification.additive_operation_count() == 3
+
+
+class TestTransform:
+    def test_motivational_transform(self):
+        result = transform(motivational_example(), latency=3)
+        assert result.critical_path_bits == 18
+        assert result.chained_bits_per_cycle == 6
+        assert result.equivalence is not None and result.equivalence.equivalent
+        assert result.operation_growth() == pytest.approx(2.0)
+
+    def test_transformed_specification_validates(self):
+        result = transform(
+            fig3_example(), latency=3, options=TransformOptions(check_equivalence=False)
+        )
+        assert validate(result.transformed).ok
+
+    def test_equivalence_check_can_be_disabled(self):
+        result = transform(
+            motivational_example(),
+            latency=3,
+            options=TransformOptions(check_equivalence=False),
+        )
+        assert result.equivalence is None
+
+    def test_budget_override(self):
+        result = transform(
+            motivational_example(),
+            latency=3,
+            options=TransformOptions(check_equivalence=False, chained_bits_override=9),
+        )
+        assert result.chained_bits_per_cycle == 9
+
+    def test_summary_mentions_key_numbers(self):
+        result = transform(motivational_example(), latency=3)
+        summary = result.summary()
+        assert "18" in summary and "6" in summary
+
+    def test_transformer_reusable(self):
+        transformer = BehaviouralTransformer(TransformOptions(check_equivalence=False))
+        first = transformer.transform(motivational_example(), 3)
+        second = transformer.transform(fig3_example(), 3)
+        assert first.transformed.name != second.transformed.name
+
+    @pytest.mark.parametrize("latency", [1, 2, 3, 4, 6, 9])
+    def test_motivational_equivalence_across_latencies(self, latency):
+        result = transform(
+            motivational_example(),
+            latency=latency,
+            options=TransformOptions(equivalence_vectors=30),
+        )
+        assert result.equivalence is not None and result.equivalence.equivalent
+
+    @pytest.mark.parametrize(
+        "factory,latency",
+        [
+            (fig3_example, 3),
+            (lambda: addition_chain(5, 12), 4),
+            (lambda: addition_chain(2, 24), 5),
+        ],
+    )
+    def test_other_specifications_equivalent(self, factory, latency):
+        result = transform(
+            factory(), latency=latency, options=TransformOptions(equivalence_vectors=30)
+        )
+        assert result.equivalence is not None and result.equivalence.equivalent
+
+    def test_fragments_respect_budget_in_bit_graph(self):
+        from repro.ir.dfg import BitDependencyGraph
+
+        result = transform(
+            motivational_example(), latency=3, options=TransformOptions(check_equivalence=False)
+        )
+        graph = BitDependencyGraph(result.transformed)
+        # Fragments must never be wider than the per-cycle chained-bit budget.
+        for operation in result.transformed.operations:
+            if operation.is_fragment:
+                assert operation.max_operand_width() <= result.chained_bits_per_cycle
+
+    def test_mixed_operation_specification(self):
+        builder = SpecBuilder("mixed")
+        a = builder.input("a", 12)
+        b = builder.input("b", 12)
+        c = builder.input("c", 12, signed=True)
+        out1 = builder.output("sum_out", 12)
+        out2 = builder.output("cmp_out", 1)
+        out3 = builder.output("max_out", 12)
+        total = builder.add(a, b, name="a_plus_b")
+        builder.sub(total, c, dest=out1, name="minus_c", width=12)
+        builder.lt(a, b, dest=out2, name="is_less")
+        builder.max(total, c, dest=out3, name="biggest", width=12)
+        spec = builder.build()
+        result = transform(spec, latency=4, options=TransformOptions(equivalence_vectors=40))
+        assert result.equivalence is not None and result.equivalence.equivalent
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), latency=st.integers(2, 5))
+    def test_random_specifications_stay_equivalent(self, seed, latency):
+        config = GeneratorConfig(operation_count=8, maximum_width=10, input_count=3)
+        spec = random_specification(seed, config)
+        result = transform(
+            spec, latency=latency, options=TransformOptions(check_equivalence=False)
+        )
+        report = check_equivalence(spec, result.transformed, random_count=20)
+        assert report.equivalent, report.summary()

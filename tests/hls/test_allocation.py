@@ -1,0 +1,235 @@
+"""Unit tests for allocation and binding: functional units, registers, muxes."""
+
+import pytest
+
+from repro.core import TransformOptions, transform
+from repro.hls import (
+    allocate_functional_units,
+    allocate_registers,
+    analyze_lifetimes,
+    build_datapath,
+    estimate_controller,
+    estimate_interconnect,
+    synthesize,
+)
+from repro.hls.flow import FlowMode
+from repro.hls.schedule import Schedule
+from repro.hls.scheduling import schedule_conventional, schedule_fragments
+from repro.techlib import default_library
+from repro.workloads import motivational_example
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+@pytest.fixture
+def conventional_schedule(library):
+    spec = motivational_example()
+    schedule, _ = schedule_conventional(spec, 3, library)
+    return schedule
+
+
+@pytest.fixture
+def optimized_schedule():
+    result = transform(
+        motivational_example(), latency=3, options=TransformOptions(check_equivalence=False)
+    )
+    schedule = schedule_fragments(result.transformed, 3, result.chained_bits_per_cycle)
+    return schedule
+
+
+class TestFunctionalUnitAllocation:
+    def test_conventional_motivational_needs_one_16bit_adder(
+        self, conventional_schedule, library
+    ):
+        allocation = allocate_functional_units(conventional_schedule, library)
+        adders = allocation.instances_of("adder")
+        assert len(adders) == 1
+        assert adders[0].width == 16
+        assert allocation.total_area == pytest.approx(162, abs=1)
+
+    def test_optimized_motivational_needs_three_6bit_adders(
+        self, optimized_schedule, library
+    ):
+        allocation = allocate_functional_units(optimized_schedule, library)
+        adders = allocation.instances_of("adder")
+        assert len(adders) == 3
+        assert sorted(adder.width for adder in adders) == [6, 6, 6]
+
+    def test_every_additive_operation_is_bound(self, optimized_schedule, library):
+        allocation = allocate_functional_units(optimized_schedule, library)
+        for operation in optimized_schedule.specification.operations:
+            if operation.is_additive:
+                assert allocation.instance_of(operation) is not None
+            else:
+                assert allocation.instance_of(operation) is None
+
+    def test_same_cycle_operations_never_share(self, optimized_schedule, library):
+        allocation = allocate_functional_units(optimized_schedule, library)
+        for cycle in optimized_schedule.cycles():
+            instances = [
+                allocation.instance_of(op)
+                for op in optimized_schedule.additive_operations_in_cycle(cycle)
+            ]
+            assert len(instances) == len(set(instances))
+
+    def test_affinity_keeps_fragments_of_one_parent_together(
+        self, optimized_schedule, library
+    ):
+        allocation = allocate_functional_units(optimized_schedule, library)
+        by_parent = {}
+        for operation in optimized_schedule.specification.operations:
+            if operation.is_fragment:
+                by_parent.setdefault(operation.attributes.get("parent"), set()).add(
+                    allocation.instance_of(operation)
+                )
+        for parent, instances in by_parent.items():
+            assert len(instances) == 1, f"fragments of {parent} use several adders"
+
+    def test_affinity_can_be_disabled(self, optimized_schedule, library):
+        allocation = allocate_functional_units(optimized_schedule, library, affinity=False)
+        assert len(allocation.instances_of("adder")) >= 3
+
+    def test_describe_lists_instances(self, optimized_schedule, library):
+        allocation = allocate_functional_units(optimized_schedule, library)
+        assert "adder0" in allocation.describe()
+
+
+class TestRegisterAllocation:
+    def test_conventional_motivational_needs_one_16bit_register(
+        self, conventional_schedule, library
+    ):
+        allocation = allocate_registers(conventional_schedule, library)
+        assert allocation.register_count == 1
+        assert allocation.registers[0].width == 16
+        assert allocation.stored_bits == 32  # C and E, sharing one register
+
+    def test_optimized_motivational_needs_few_one_bit_registers(
+        self, optimized_schedule, library
+    ):
+        allocation = allocate_registers(optimized_schedule, library)
+        # The paper stores 5 one-bit values per cycle boundary (two data bits
+        # plus three carries); the two boundaries share the same registers.
+        assert allocation.stored_bits == 10
+        assert sum(register.width for register in allocation.registers) == 5
+        assert allocation.register_count <= 5
+        assert allocation.total_area < 70
+
+    def test_lifetimes_exclude_io_ports(self, conventional_schedule):
+        groups = analyze_lifetimes(conventional_schedule)
+        for group in groups:
+            assert not group.variable.is_input()
+
+    def test_values_consumed_same_cycle_need_no_storage(self, library):
+        spec = motivational_example()
+        schedule = Schedule(spec, 1)
+        for operation in spec.operations:
+            schedule.assign(operation, 1)
+        allocation = allocate_registers(schedule, library)
+        assert allocation.register_count == 0
+        assert allocation.stored_bits == 0
+
+    def test_left_edge_sharing(self, library):
+        # With one operation per cycle over 3 cycles, C dies when E is born,
+        # so both share a single register.
+        spec = motivational_example()
+        schedule = Schedule(spec, 3)
+        for cycle, operation in enumerate(spec.operations, start=1):
+            schedule.assign(operation, cycle)
+        allocation = allocate_registers(schedule, library)
+        assert allocation.register_count == 1
+        assert len(allocation.registers[0].groups) == 2
+
+
+class TestInterconnectAndController:
+    def test_conventional_routing_counts_three_sources_per_port(
+        self, conventional_schedule, library
+    ):
+        fus = allocate_functional_units(conventional_schedule, library)
+        registers = allocate_registers(conventional_schedule, library)
+        interconnect = estimate_interconnect(
+            conventional_schedule, fus, registers, library
+        )
+        fan_ins = sorted(
+            mux.fan_in for mux in interconnect.multiplexers if "adder" in mux.location
+        )
+        assert fan_ins[-1] == 3  # A / C / E on one port, B / D / F on the other
+        assert interconnect.total_area > 0
+
+    def test_optimized_routing_close_to_paper(self, optimized_schedule, library):
+        fus = allocate_functional_units(optimized_schedule, library)
+        registers = allocate_registers(optimized_schedule, library)
+        interconnect = estimate_interconnect(optimized_schedule, fus, registers, library)
+        # Paper: 6 three-to-one 6-bit muxes plus 5 two-to-one 1-bit muxes, 159 gates.
+        assert interconnect.total_area == pytest.approx(159, rel=0.25)
+
+    def test_controller_estimate_scales_with_signals(
+        self, conventional_schedule, library
+    ):
+        fus = allocate_functional_units(conventional_schedule, library)
+        registers = allocate_registers(conventional_schedule, library)
+        interconnect = estimate_interconnect(conventional_schedule, fus, registers, library)
+        controller = estimate_controller(
+            conventional_schedule, registers, interconnect, library
+        )
+        assert controller.states == 3
+        assert controller.control_signals > 0
+        assert controller.area_gates > library.controller_area(3, 0)
+
+    def test_datapath_breakdown_totals(self, optimized_schedule, library):
+        datapath = build_datapath(optimized_schedule, library)
+        breakdown = datapath.area_breakdown()
+        assert breakdown["datapath"] == pytest.approx(
+            breakdown["functional_units"] + breakdown["registers"] + breakdown["routing"]
+        )
+        assert breakdown["total"] == pytest.approx(
+            breakdown["datapath"] + breakdown["controller"]
+        )
+        assert "adder" in datapath.describe()
+
+
+class TestTableOneShape:
+    """End-to-end Table I assertions through the synthesize() facade."""
+
+    def test_original_flow_matches_table1(self, library):
+        result = synthesize(motivational_example(), 3, library, FlowMode.CONVENTIONAL)
+        assert result.cycle_length_ns == pytest.approx(9.45, abs=0.1)
+        assert result.fu_area == pytest.approx(162, abs=2)
+        assert result.register_area == pytest.approx(81, abs=2)
+
+    def test_blc_flow_matches_table1(self, library):
+        result = synthesize(motivational_example(), 1, library, FlowMode.BLC)
+        assert result.fu_area == pytest.approx(486, abs=5)
+        assert result.register_area == 0
+        assert result.execution_time_ns < 11
+
+    def test_optimized_flow_matches_table1(self, library):
+        transformed = transform(
+            motivational_example(), latency=3, options=TransformOptions(check_equivalence=False)
+        )
+        result = synthesize(
+            transformed.transformed,
+            3,
+            library,
+            FlowMode.FRAGMENTED,
+            chained_bits_per_cycle=transformed.chained_bits_per_cycle,
+        )
+        assert result.cycle_length_ns == pytest.approx(3.575, abs=0.1)
+        assert result.fu_area == pytest.approx(182, abs=5)
+        assert result.total_area == pytest.approx(452, rel=0.1)
+
+    def test_optimized_beats_original_execution_time(self, library):
+        spec = motivational_example()
+        original = synthesize(spec, 3, library)
+        transformed = transform(spec, 3, TransformOptions(check_equivalence=False))
+        optimized = synthesize(
+            transformed.transformed,
+            3,
+            library,
+            FlowMode.FRAGMENTED,
+            chained_bits_per_cycle=transformed.chained_bits_per_cycle,
+        )
+        assert optimized.execution_time_ns < 0.45 * original.execution_time_ns
+        assert optimized.total_area < 1.25 * original.total_area

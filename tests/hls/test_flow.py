@@ -1,0 +1,113 @@
+"""Tests for the synthesize() facade and the HlsFlow helper."""
+
+import pytest
+
+from repro.core import TransformOptions, transform
+from repro.hls import FlowMode, HlsFlow, synthesize
+from repro.techlib import AdderStyle, default_library
+from repro.workloads import addition_chain, fig3_example, motivational_example
+
+
+class TestSynthesizeFacade:
+    def test_default_mode_is_conventional(self):
+        result = synthesize(motivational_example(), 3)
+        assert result.mode is FlowMode.CONVENTIONAL
+        assert result.chained_bits_per_cycle is None
+
+    def test_fragmented_mode_derives_budget_when_missing(self):
+        transformed = transform(
+            motivational_example(), 3, TransformOptions(check_equivalence=False)
+        ).transformed
+        result = synthesize(transformed, 3, mode=FlowMode.FRAGMENTED)
+        assert result.chained_bits_per_cycle is not None
+        assert result.chained_bits_per_cycle >= 6
+
+    def test_blc_mode_records_budget(self):
+        result = synthesize(motivational_example(), 1, mode=FlowMode.BLC)
+        assert result.chained_bits_per_cycle == 18
+
+    def test_area_breakdown_keys(self):
+        result = synthesize(motivational_example(), 3)
+        breakdown = result.area_breakdown()
+        assert set(breakdown) == {
+            "functional_units",
+            "registers",
+            "routing",
+            "controller",
+            "datapath",
+            "total",
+        }
+
+    def test_summary_text(self):
+        result = synthesize(motivational_example(), 3)
+        text = result.summary()
+        assert "cycle length" in text and "total area" in text
+
+    def test_custom_library_changes_results(self):
+        ripple = synthesize(motivational_example(), 3, default_library())
+        lookahead = synthesize(
+            motivational_example(),
+            3,
+            default_library().with_adder_style(AdderStyle.CARRY_LOOKAHEAD),
+        )
+        assert lookahead.cycle_length_ns < ripple.cycle_length_ns
+        assert lookahead.fu_area > ripple.fu_area
+
+    def test_schedule_is_exposed_and_legal(self):
+        result = synthesize(fig3_example(), 3)
+        assert result.schedule.is_complete()
+        result.schedule.check_precedence()
+
+    def test_execution_time_is_latency_times_cycle(self):
+        result = synthesize(motivational_example(), 3)
+        assert result.execution_time_ns == pytest.approx(3 * result.cycle_length_ns)
+
+
+class TestHlsFlowHelper:
+    def test_three_flows(self):
+        flow = HlsFlow()
+        spec = motivational_example()
+        conventional = flow.conventional(spec, 3)
+        chained = flow.bit_level_chaining(spec)
+        transformed = transform(spec, 3, TransformOptions(check_equivalence=False))
+        fragmented = flow.fragmented(
+            transformed.transformed, 3, transformed.chained_bits_per_cycle
+        )
+        assert conventional.mode is FlowMode.CONVENTIONAL
+        assert chained.mode is FlowMode.BLC
+        assert fragmented.mode is FlowMode.FRAGMENTED
+        assert fragmented.cycle_length_ns < conventional.cycle_length_ns
+
+    def test_flow_reuses_library(self):
+        library = default_library().with_adder_style(AdderStyle.FAST_LOOKAHEAD)
+        flow = HlsFlow(library)
+        result = flow.conventional(addition_chain(4, 8), 4)
+        assert result.library is library
+
+    def test_latency_one_conventional_chains_everything(self):
+        flow = HlsFlow()
+        result = flow.conventional(motivational_example(), 1)
+        assert result.schedule.used_cycles() == 1
+        assert result.cycle_length_ns == pytest.approx(3 * 9.4 + 0.05, abs=0.2)
+
+
+class TestCrossFlowProperties:
+    @pytest.mark.parametrize("latency", [2, 3, 4, 6])
+    def test_fragmented_never_slower_than_conventional(self, latency):
+        spec = motivational_example()
+        transformed = transform(spec, latency, TransformOptions(check_equivalence=False))
+        conventional = synthesize(spec, latency)
+        fragmented = synthesize(
+            transformed.transformed,
+            latency,
+            mode=FlowMode.FRAGMENTED,
+            chained_bits_per_cycle=transformed.chained_bits_per_cycle,
+        )
+        assert fragmented.cycle_length_ns <= conventional.cycle_length_ns + 1e-6
+        assert fragmented.execution_time_ns <= conventional.execution_time_ns + 1e-6
+
+    def test_blc_single_cycle_is_fastest_execution(self):
+        spec = motivational_example()
+        blc = synthesize(spec, 1, mode=FlowMode.BLC)
+        conventional = synthesize(spec, 3)
+        assert blc.execution_time_ns < conventional.execution_time_ns

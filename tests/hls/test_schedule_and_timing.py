@@ -1,0 +1,139 @@
+"""Unit tests for the Schedule data structure and schedule timing analysis."""
+
+import pytest
+
+from repro.core import TransformOptions, transform
+from repro.hls.schedule import Schedule, ScheduleError
+from repro.hls.timing import (
+    analyze_bit_level,
+    analyze_operation_level,
+    bit_level_cycle_depths,
+    operation_level_cycle_delays,
+)
+from repro.ir.dfg import BitDependencyGraph, DataFlowGraph
+from repro.techlib import default_library
+from repro.workloads import motivational_example
+
+
+@pytest.fixture
+def spec():
+    return motivational_example()
+
+
+def chain_schedule(spec, cycles):
+    schedule = Schedule(spec, max(cycles))
+    for operation, cycle in zip(spec.operations, cycles):
+        schedule.assign(operation, cycle)
+    return schedule
+
+
+class TestSchedule:
+    def test_assign_and_query(self, spec):
+        schedule = chain_schedule(spec, [1, 2, 3])
+        assert schedule.cycle(spec.operation_named("add_E")) == 2
+        assert schedule.is_complete()
+        assert schedule.used_cycles() == 3
+
+    def test_assign_out_of_range_rejected(self, spec):
+        schedule = Schedule(spec, 3)
+        with pytest.raises(ScheduleError):
+            schedule.assign(spec.operations[0], 4)
+        with pytest.raises(ScheduleError):
+            schedule.assign(spec.operations[0], 0)
+
+    def test_unscheduled_query_rejected(self, spec):
+        schedule = Schedule(spec, 3)
+        with pytest.raises(ScheduleError):
+            schedule.cycle(spec.operations[0])
+
+    def test_latency_must_be_positive(self, spec):
+        with pytest.raises(ScheduleError):
+            Schedule(spec, 0)
+
+    def test_operations_in_cycle(self, spec):
+        schedule = chain_schedule(spec, [1, 1, 2])
+        assert len(schedule.operations_in_cycle(1)) == 2
+        assert len(schedule.additive_operations_in_cycle(2)) == 1
+        assert schedule.operations_in_cycle(3) == []
+
+    def test_precedence_check_accepts_chaining(self, spec):
+        schedule = chain_schedule(spec, [1, 1, 1])
+        schedule.check_precedence()
+
+    def test_precedence_check_rejects_backwards_edges(self, spec):
+        schedule = chain_schedule(spec, [2, 1, 3])
+        with pytest.raises(ScheduleError):
+            schedule.check_precedence()
+
+    def test_incomplete_schedule_rejected_by_precedence_check(self, spec):
+        schedule = Schedule(spec, 3)
+        schedule.assign(spec.operations[0], 1)
+        with pytest.raises(ScheduleError):
+            schedule.check_precedence()
+
+    def test_copy_is_independent(self, spec):
+        schedule = chain_schedule(spec, [1, 2, 3])
+        clone = schedule.copy()
+        clone.assign(spec.operations[0], 2)
+        assert schedule.cycle(spec.operations[0]) == 1
+
+    def test_describe_lists_cycles(self, spec):
+        schedule = chain_schedule(spec, [1, 2, 3])
+        text = schedule.describe()
+        assert "cycle 1" in text and "add_C" in text
+
+    def test_bit_precedence_check(self, spec):
+        schedule = chain_schedule(spec, [2, 1, 3])
+        with pytest.raises(ScheduleError):
+            schedule.check_bit_precedence(BitDependencyGraph(spec))
+
+
+class TestOperationLevelTiming:
+    def test_one_operation_per_cycle(self, spec):
+        library = default_library()
+        schedule = chain_schedule(spec, [1, 2, 3])
+        delays = operation_level_cycle_delays(schedule, library)
+        for cycle in (1, 2, 3):
+            assert delays[cycle] == pytest.approx(9.4, abs=0.05)
+        timing = analyze_operation_level(schedule, library)
+        assert timing.cycle_length_ns == pytest.approx(9.45, abs=0.05)
+        assert timing.execution_time_ns == pytest.approx(3 * 9.45, abs=0.2)
+
+    def test_chained_operations_accumulate(self, spec):
+        library = default_library()
+        schedule = chain_schedule(spec, [1, 1, 2])
+        delays = operation_level_cycle_delays(schedule, library)
+        assert delays[1] == pytest.approx(2 * 9.4, abs=0.1)
+        assert delays[2] == pytest.approx(9.4, abs=0.05)
+
+    def test_idle_cycles_have_zero_delay(self, spec):
+        library = default_library()
+        schedule = chain_schedule(spec, [1, 1, 1])
+        schedule.latency = 3
+        delays = operation_level_cycle_delays(schedule, library)
+        assert delays[2] == 0.0 and delays[3] == 0.0
+
+
+class TestBitLevelTiming:
+    def test_fully_chained_single_cycle(self, spec):
+        schedule = chain_schedule(spec, [1, 1, 1])
+        depths = bit_level_cycle_depths(schedule)
+        assert depths[1] == 18
+
+    def test_one_operation_per_cycle_depths(self, spec):
+        schedule = chain_schedule(spec, [1, 2, 3])
+        depths = bit_level_cycle_depths(schedule)
+        assert depths == {1: 16, 2: 16, 3: 16}
+
+    def test_transformed_schedule_meets_budget(self):
+        result = transform(
+            motivational_example(), latency=3, options=TransformOptions(check_equivalence=False)
+        )
+        from repro.hls.scheduling import schedule_fragments
+
+        schedule = schedule_fragments(result.transformed, 3, result.chained_bits_per_cycle)
+        depths = bit_level_cycle_depths(schedule)
+        assert max(depths.values()) <= result.chained_bits_per_cycle
+        timing = analyze_bit_level(schedule, default_library())
+        assert timing.cycle_length_ns == pytest.approx(3.575, abs=0.05)
+        assert timing.max_chained_bits == 6

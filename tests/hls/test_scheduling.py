@@ -1,0 +1,168 @@
+"""Unit tests for the schedulers of the HLS substrate."""
+
+import pytest
+
+from repro.core import TransformOptions, transform
+from repro.hls.scheduling import (
+    FragmentSchedulerOptions,
+    SchedulingError,
+    asap_chained,
+    asap_cycles_needed,
+    alap_chained,
+    minimize_clock_period,
+    mobility_windows,
+    schedule_bit_level_chaining,
+    schedule_conventional,
+    schedule_fragments,
+    verify_budget,
+)
+from repro.hls.timing import bit_level_cycle_depths
+from repro.techlib import default_library
+from repro.workloads import addition_chain, fig3_example, motivational_example
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+class TestChainedAsapAlap:
+    def test_wide_clock_fits_everything_in_one_cycle(self, library):
+        spec = motivational_example()
+        placements = asap_chained(spec, 30.0, library)
+        assert all(p.cycle == 1 for p in placements.values())
+
+    def test_tight_clock_needs_one_cycle_per_operation(self, library):
+        spec = motivational_example()
+        assert asap_cycles_needed(spec, 9.5, library) == 3
+
+    def test_clock_below_operation_delay_rejected(self, library):
+        spec = motivational_example()
+        with pytest.raises(SchedulingError):
+            asap_chained(spec, 5.0, library)
+
+    def test_alap_anchors_at_latency(self, library):
+        spec = motivational_example()
+        placements = alap_chained(spec, 9.5, 5, library)
+        assert placements[spec.operation_named("add_G")].cycle == 5
+        assert placements[spec.operation_named("add_C")].cycle == 3
+
+    def test_alap_rejects_impossible_latency(self, library):
+        spec = motivational_example()
+        with pytest.raises(SchedulingError):
+            alap_chained(spec, 9.5, 2, library)
+
+    def test_mobility_windows(self, library):
+        spec = motivational_example()
+        asap = asap_chained(spec, 9.5, library)
+        alap = alap_chained(spec, 9.5, 5, library)
+        windows = mobility_windows(asap, alap)
+        assert windows[spec.operation_named("add_C")] == (1, 3)
+        assert windows[spec.operation_named("add_G")] == (3, 5)
+
+
+class TestClockMinimisation:
+    def test_motivational_latency3_gives_single_addition_period(self, library):
+        result = minimize_clock_period(motivational_example(), 3, library)
+        assert result.clock_period_ns == pytest.approx(9.4, abs=0.05)
+
+    def test_motivational_latency1_gives_fully_chained_period(self, library):
+        result = minimize_clock_period(motivational_example(), 1, library)
+        assert result.clock_period_ns == pytest.approx(3 * 9.4, abs=0.1)
+
+    def test_latency2_chains_two_operations(self, library):
+        result = minimize_clock_period(motivational_example(), 2, library)
+        assert result.clock_period_ns == pytest.approx(2 * 9.4, abs=0.1)
+
+    def test_extra_latency_does_not_help_below_op_delay(self, library):
+        result = minimize_clock_period(motivational_example(), 10, library)
+        assert result.clock_period_ns == pytest.approx(9.4, abs=0.05)
+
+    def test_invalid_latency_rejected(self, library):
+        with pytest.raises(SchedulingError):
+            minimize_clock_period(motivational_example(), 0, library)
+
+
+class TestConventionalFlow:
+    def test_schedule_is_complete_and_legal(self, library):
+        spec = fig3_example()
+        schedule, search = schedule_conventional(spec, 3, library)
+        assert schedule.is_complete()
+        schedule.check_precedence()
+        assert search.cycles_needed <= 3
+
+    def test_longer_chain_needs_chaining(self, library):
+        spec = addition_chain(6, 8)
+        schedule, search = schedule_conventional(spec, 3, library)
+        assert schedule.used_cycles() <= 3
+        # Six 8-bit additions in three cycles: two chained additions per cycle.
+        assert search.clock_period_ns == pytest.approx(2 * 8 * 0.5875, abs=0.1)
+
+
+class TestFragmentScheduler:
+    def test_motivational_fragments_meet_budget(self):
+        result = transform(
+            motivational_example(), latency=3, options=TransformOptions(check_equivalence=False)
+        )
+        schedule = schedule_fragments(result.transformed, 3, result.chained_bits_per_cycle)
+        depths = verify_budget(schedule, result.chained_bits_per_cycle)
+        assert set(depths) == {1, 2, 3}
+
+    def test_asap_placement_option(self):
+        result = transform(
+            motivational_example(), latency=3, options=TransformOptions(check_equivalence=False)
+        )
+        options = FragmentSchedulerOptions(balance=False)
+        schedule = schedule_fragments(
+            result.transformed, 3, result.chained_bits_per_cycle, options
+        )
+        depths = bit_level_cycle_depths(schedule)
+        assert max(depths.values()) <= result.chained_bits_per_cycle
+
+    def test_unannotated_specification_gets_recomputed_mobility(self):
+        # Hand-built fragmented specification without asap/alap attributes.
+        spec = motivational_example()
+        schedule = schedule_fragments(spec, 3, 16)
+        assert schedule.is_complete()
+        assert max(bit_level_cycle_depths(schedule).values()) <= 16 + 2
+
+    def test_invalid_parameters_rejected(self):
+        spec = motivational_example()
+        with pytest.raises(SchedulingError):
+            schedule_fragments(spec, 0, 6)
+        with pytest.raises(SchedulingError):
+            schedule_fragments(spec, 3, 0)
+
+    def test_glue_follows_producers(self):
+        result = transform(
+            motivational_example(), latency=3, options=TransformOptions(check_equivalence=False)
+        )
+        schedule = schedule_fragments(result.transformed, 3, result.chained_bits_per_cycle)
+        from repro.ir.dfg import DataFlowGraph
+
+        graph = DataFlowGraph(result.transformed)
+        for operation in result.transformed.operations:
+            if operation.is_additive:
+                continue
+            for predecessor in graph.predecessors(operation):
+                if predecessor.is_additive:
+                    assert schedule.cycle(operation) >= schedule.cycle(predecessor)
+
+
+class TestBitLevelChainingScheduler:
+    def test_single_cycle_blc(self):
+        result = schedule_bit_level_chaining(motivational_example(), 1)
+        assert result.critical_path_bits == 18
+        assert result.chained_bits_per_cycle == 18
+        depths = bit_level_cycle_depths(result.schedule)
+        assert depths[1] == 18
+
+    def test_multi_cycle_blc(self):
+        result = schedule_bit_level_chaining(motivational_example(), 3)
+        assert result.schedule.used_cycles() <= 3
+        assert result.schedule.is_complete()
+        assert result.chained_bits_per_cycle >= 6
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(SchedulingError):
+            schedule_bit_level_chaining(motivational_example(), 0)

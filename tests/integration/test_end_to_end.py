@@ -1,0 +1,102 @@
+"""Integration tests: the full transform-and-synthesize pipeline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import compare_flows
+from repro.core import TransformOptions, transform
+from repro.hls import FlowMode, synthesize
+from repro.hls.timing import bit_level_cycle_depths
+from repro.simulation import check_equivalence
+from repro.workloads import (
+    ALL_WORKLOADS,
+    GeneratorConfig,
+    fig3_example,
+    inverse_adaptive_quantizer,
+    motivational_example,
+    random_specification,
+)
+
+#: benchmark -> latency used for the smoke-level integration sweep
+INTEGRATION_LATENCIES = {
+    "motivational": 3,
+    "fig3": 3,
+    "fir2": 3,
+    "iir4": 5,
+    "adpcm_iaq": 3,
+    "adpcm_ttd": 5,
+}
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("name", sorted(INTEGRATION_LATENCIES))
+    def test_benchmarks_improve_cycle_length(self, name):
+        latency = INTEGRATION_LATENCIES[name]
+        spec = ALL_WORKLOADS[name]()
+        comparison = compare_flows(spec, latency)
+        assert comparison.optimized.cycle_length_ns < comparison.original.cycle_length_ns
+        assert comparison.cycle_saving > 0.3
+        assert comparison.optimized.total_area > 0
+
+    @pytest.mark.parametrize("name", ["motivational", "fig3", "adpcm_iaq"])
+    def test_transformation_preserves_behaviour(self, name):
+        spec = ALL_WORKLOADS[name]()
+        result = transform(
+            spec,
+            latency=INTEGRATION_LATENCIES.get(name, 3),
+            options=TransformOptions(equivalence_vectors=25),
+        )
+        assert result.equivalence is not None
+        assert result.equivalence.equivalent
+
+    def test_fig3_reproduces_paper_numbers(self):
+        """Fig. 3: budget of 3 chained bits, large cycle reduction."""
+        comparison = compare_flows(fig3_example(), latency=3)
+        assert comparison.transform_result.critical_path_bits == 9
+        assert comparison.transform_result.chained_bits_per_cycle == 3
+        # Fig. 3 h reports a 62% cycle reduction.
+        assert comparison.cycle_saving > 0.5
+
+    def test_optimized_schedule_respects_budget(self):
+        spec = inverse_adaptive_quantizer()
+        result = transform(spec, latency=3, options=TransformOptions(check_equivalence=False))
+        synthesis = synthesize(
+            result.transformed,
+            3,
+            mode=FlowMode.FRAGMENTED,
+            chained_bits_per_cycle=result.chained_bits_per_cycle,
+        )
+        depths = bit_level_cycle_depths(synthesis.schedule)
+        assert max(depths.values()) <= result.chained_bits_per_cycle
+
+    def test_execution_time_never_worse_than_original(self):
+        for name in ("motivational", "fig3", "fir2"):
+            comparison = compare_flows(ALL_WORKLOADS[name](), INTEGRATION_LATENCIES[name])
+            assert (
+                comparison.optimized.execution_time_ns
+                <= comparison.original.execution_time_ns * 1.01
+            )
+
+    def test_blc_is_fastest_but_largest_fu(self):
+        comparison = compare_flows(motivational_example(), 3, include_blc=True)
+        blc = comparison.bit_level_chained
+        assert blc.execution_time_ns <= comparison.optimized.execution_time_ns * 1.05
+        assert blc.fu_area > comparison.optimized.fu_area
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_random_specifications_full_pipeline(self, seed):
+        config = GeneratorConfig(operation_count=7, input_count=3, maximum_width=10)
+        spec = random_specification(seed, config)
+        latency = 3
+        result = transform(spec, latency, TransformOptions(check_equivalence=False))
+        report = check_equivalence(spec, result.transformed, random_count=15)
+        assert report.equivalent, report.summary()
+        optimized = synthesize(
+            result.transformed,
+            latency,
+            mode=FlowMode.FRAGMENTED,
+            chained_bits_per_cycle=result.chained_bits_per_cycle,
+        )
+        original = synthesize(spec, latency)
+        assert optimized.cycle_length_ns <= original.cycle_length_ns + 1e-6

@@ -1,0 +1,155 @@
+"""Unit tests for the fluent specification builder."""
+
+import pytest
+
+from repro.ir.builder import BuildError, SpecBuilder
+from repro.ir.operations import OpKind
+from repro.ir.values import Constant
+
+
+class TestPorts:
+    def test_input_output_variable(self):
+        builder = SpecBuilder("ports")
+        a = builder.input("a", 8)
+        out = builder.output("out", 8, signed=True)
+        tmp = builder.variable("tmp", 4)
+        spec = builder.specification
+        assert a.is_input()
+        assert out.is_output() and out.signed
+        assert tmp in spec.internals()
+
+    def test_constant_signedness_inferred(self):
+        builder = SpecBuilder("c")
+        assert builder.constant(-3, 4).signed
+        assert not builder.constant(3, 4).signed
+
+
+class TestResultWidths:
+    def test_add_takes_widest_operand(self):
+        assert SpecBuilder.result_width(OpKind.ADD, 8, 12) == 12
+
+    def test_mul_sums_widths(self):
+        assert SpecBuilder.result_width(OpKind.MUL, 8, 12) == 20
+
+    def test_comparison_is_one_bit(self):
+        assert SpecBuilder.result_width(OpKind.LT, 8, 12) == 1
+
+    def test_builder_applies_widths(self):
+        builder = SpecBuilder("widths")
+        a = builder.input("a", 8)
+        b = builder.input("b", 6)
+        product = builder.mul(a, b)
+        comparison = builder.lt(a, b)
+        assert product.width == 14
+        assert comparison.width == 1
+
+
+class TestOperationEmission:
+    def test_add_creates_temporary(self):
+        builder = SpecBuilder("emit")
+        a = builder.input("a", 8)
+        b = builder.input("b", 8)
+        result = builder.add(a, b)
+        spec = builder.specification
+        assert result in spec.internals()
+        assert spec.operations[-1].kind is OpKind.ADD
+
+    def test_dest_variable_used_directly(self):
+        builder = SpecBuilder("emit")
+        a = builder.input("a", 8)
+        out = builder.output("out", 8)
+        result = builder.add(a, a, dest=out)
+        assert result is out
+
+    def test_narrow_destination_rejected(self):
+        builder = SpecBuilder("emit")
+        a = builder.input("a", 8)
+        narrow = builder.output("narrow", 4)
+        with pytest.raises(BuildError):
+            builder.add(a, a, dest=narrow)
+
+    def test_integer_operands_become_constants(self):
+        builder = SpecBuilder("emit")
+        a = builder.input("a", 8)
+        out = builder.output("out", 8)
+        builder.add(a, 5, dest=out, name="plus5")
+        operation = builder.specification.operation_named("plus5")
+        assert operation.operands[1].is_constant
+        assert operation.operands[1].constant.value == 5
+
+    def test_every_binary_helper_emits_expected_kind(self):
+        builder = SpecBuilder("kinds")
+        a = builder.input("a", 8)
+        b = builder.input("b", 8)
+        helpers = {
+            OpKind.ADD: builder.add,
+            OpKind.SUB: builder.sub,
+            OpKind.MUL: builder.mul,
+            OpKind.LT: builder.lt,
+            OpKind.LE: builder.le,
+            OpKind.GT: builder.gt,
+            OpKind.GE: builder.ge,
+            OpKind.EQ: builder.eq,
+            OpKind.NE: builder.ne,
+            OpKind.MAX: builder.max,
+            OpKind.MIN: builder.min,
+            OpKind.AND: builder.bit_and,
+            OpKind.OR: builder.bit_or,
+            OpKind.XOR: builder.bit_xor,
+        }
+        for kind, helper in helpers.items():
+            helper(a, b, name=f"op_{kind.value}")
+        emitted = {op.kind for op in builder.specification.operations}
+        assert emitted == set(helpers)
+
+    def test_shift_helpers_record_amount(self):
+        builder = SpecBuilder("shift")
+        a = builder.input("a", 8)
+        shifted_left = builder.shl(a, 3, name="left")
+        shifted_right = builder.shr(a, 2, name="right")
+        spec = builder.specification
+        assert spec.operation_named("left").attributes["shift"] == 3
+        assert shifted_left.width == 11
+        assert spec.operation_named("right").attributes["shift"] == 2
+        assert shifted_right.width == 6
+
+    def test_select_requires_single_bit_condition(self):
+        builder = SpecBuilder("select")
+        a = builder.input("a", 8)
+        b = builder.input("b", 8)
+        wide_condition = builder.input("cond", 2)
+        with pytest.raises(BuildError):
+            builder.select(wide_condition, a, b)
+
+    def test_select_emits_three_operand_operation(self):
+        builder = SpecBuilder("select")
+        a = builder.input("a", 8)
+        b = builder.input("b", 8)
+        condition = builder.input("cond", 1)
+        builder.select(condition, a, b, name="choose")
+        operation = builder.specification.operation_named("choose")
+        assert operation.kind is OpKind.SELECT
+        assert len(operation.operands) == 3
+
+    def test_carry_in_forwarded(self):
+        builder = SpecBuilder("carry")
+        a = builder.input("a", 8)
+        b = builder.input("b", 8)
+        carry = builder.input("cin", 1)
+        builder.add(a, b, carry_in=carry, name="add_c")
+        operation = builder.specification.operation_named("add_c")
+        assert operation.carry_in is not None
+
+    def test_fresh_names_do_not_collide(self):
+        builder = SpecBuilder("fresh")
+        a = builder.input("a", 4)
+        for _ in range(10):
+            builder.add(a, a)
+        names = [v.name for v in builder.specification.variables]
+        assert len(names) == len(set(names))
+
+    def test_unknown_operand_type_rejected(self):
+        builder = SpecBuilder("bad")
+        a = builder.input("a", 4)
+        with pytest.raises(BuildError):
+            builder.add(a, object())

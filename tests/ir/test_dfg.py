@@ -1,0 +1,197 @@
+"""Unit tests for the operation-level and bit-level dataflow graphs."""
+
+import pytest
+
+from repro.ir.builder import SpecBuilder
+from repro.ir.dfg import BitDependencyGraph, DataFlowGraph
+from repro.ir.operations import OpKind
+from repro.workloads import fig3_example, motivational_example
+from repro.workloads.fig3 import FIG3_BCE_PATH_BITS, FIG3_CRITICAL_PATH_BITS
+
+
+@pytest.fixture
+def motivational():
+    return motivational_example()
+
+
+@pytest.fixture
+def motivational_dfg(motivational):
+    return DataFlowGraph(motivational)
+
+
+class TestDataFlowGraph:
+    def test_edge_structure(self, motivational, motivational_dfg):
+        add_c = motivational.operation_named("add_C")
+        add_e = motivational.operation_named("add_E")
+        add_g = motivational.operation_named("add_G")
+        assert motivational_dfg.predecessors(add_c) == []
+        assert motivational_dfg.predecessors(add_e) == [add_c]
+        assert motivational_dfg.successors(add_e) == [add_g]
+
+    def test_edge_bit_ranges(self, motivational, motivational_dfg):
+        add_e = motivational.operation_named("add_E")
+        edges = motivational_dfg.in_edges(add_e)
+        assert len(edges) == 1
+        assert edges[0].bits.width == 16
+
+    def test_sources_and_sinks(self, motivational, motivational_dfg):
+        assert motivational_dfg.sources() == [motivational.operation_named("add_C")]
+        assert motivational_dfg.sinks() == [motivational.operation_named("add_G")]
+
+    def test_topological_order_respects_dependencies(self, motivational_dfg):
+        order = motivational_dfg.topological_order()
+        names = [op.name for op in order]
+        assert names.index("add_C") < names.index("add_E") < names.index("add_G")
+
+    def test_longest_path(self, motivational_dfg):
+        path = motivational_dfg.longest_path_operations()
+        assert [op.name for op in path] == ["add_C", "add_E", "add_G"]
+        assert motivational_dfg.depth() == 3
+
+    def test_all_paths_chain(self, motivational_dfg):
+        paths = motivational_dfg.all_paths()
+        assert len(paths) == 1
+        assert len(paths[0]) == 3
+
+    def test_fig3_paths(self):
+        spec = fig3_example()
+        graph = DataFlowGraph(spec)
+        assert graph.depth() == 3  # B -> C -> E
+        h = spec.operation_named("H")
+        assert {op.name for op in graph.predecessors(h)} == {"F", "G"}
+
+    def test_slice_edges_identify_partial_producers(self):
+        builder = SpecBuilder("slices")
+        a = builder.input("a", 8)
+        out = builder.output("out", 4)
+        low = builder.add(a.slice(3, 0), a.slice(3, 0), name="low", width=4)
+        high = builder.add(a.slice(7, 4), a.slice(7, 4), name="high", width=4)
+        combined = builder.add(low, high, name="combined", width=4)
+        builder.move(combined, dest=out, name="expose")
+        spec = builder.build()
+        graph = DataFlowGraph(spec)
+        combined_op = spec.operation_named("combined")
+        assert {op.name for op in graph.predecessors(combined_op)} == {"low", "high"}
+        expose = spec.operation_named("expose")
+        assert graph.predecessors(expose) == [combined_op]
+
+
+class TestBitDependencyGraph:
+    def test_node_count(self, motivational):
+        graph = BitDependencyGraph(motivational)
+        assert len(graph) == 3 * 16
+
+    def test_critical_depth_matches_paper(self, motivational):
+        # Fig. 1 e: three chained 16-bit additions take 18 chained 1-bit adds.
+        assert BitDependencyGraph(motivational).critical_depth() == 18
+
+    def test_fig3_critical_depth(self):
+        assert BitDependencyGraph(fig3_example()).critical_depth() == FIG3_CRITICAL_PATH_BITS
+
+    def test_fig3_bce_path_depth(self):
+        spec = fig3_example()
+        graph = BitDependencyGraph(spec)
+        depths = graph.arrival_depths()
+        e = spec.operation_named("E")
+        e_msb = graph.node(e, e.width - 1)
+        assert depths[e_msb] == FIG3_BCE_PATH_BITS
+
+    def test_ripple_dependency(self, motivational):
+        spec = motivational
+        graph = BitDependencyGraph(spec)
+        add_c = spec.operation_named("add_C")
+        node = graph.node(add_c, 5)
+        assert graph.node(add_c, 4) in graph.predecessors(node)
+
+    def test_cross_operation_dependency_same_position(self, motivational):
+        spec = motivational
+        graph = BitDependencyGraph(spec)
+        add_c = spec.operation_named("add_C")
+        add_e = spec.operation_named("add_E")
+        node = graph.node(add_e, 7)
+        assert graph.node(add_c, 7) in graph.predecessors(node)
+
+    def test_arrival_diagonal(self, motivational):
+        # Bits i of C, i-1 of E, i-2 of G are computed simultaneously (Fig 1 e).
+        spec = motivational
+        graph = BitDependencyGraph(spec)
+        depths = graph.arrival_depths()
+        add_c = spec.operation_named("add_C")
+        add_e = spec.operation_named("add_E")
+        add_g = spec.operation_named("add_G")
+        for i in range(2, 16):
+            d = depths[graph.node(add_c, i)]
+            assert depths[graph.node(add_e, i - 1)] == d
+            assert depths[graph.node(add_g, i - 2)] == d
+
+    def test_carry_out_bit_costs_nothing(self):
+        builder = SpecBuilder("carry")
+        a = builder.input("a", 8)
+        b = builder.input("b", 8)
+        out = builder.output("out", 9)
+        builder.add(a, b, dest=out, width=9, name="wide_add")
+        spec = builder.build()
+        graph = BitDependencyGraph(spec)
+        op = spec.operation_named("wide_add")
+        assert graph.node_cost(graph.node(op, 8)) == 0
+        assert graph.node_cost(graph.node(op, 7)) == 1
+        assert graph.critical_depth() == 8
+
+    def test_glue_is_traced_through(self):
+        builder = SpecBuilder("glue")
+        a = builder.input("a", 8)
+        b = builder.input("b", 8)
+        out = builder.output("out", 8)
+        first = builder.add(a, b, name="first")
+        inverted = builder.bit_not(first, name="invert")
+        builder.add(inverted, a, dest=out, name="second")
+        spec = builder.build()
+        graph = BitDependencyGraph(spec)
+        second = spec.operation_named("second")
+        first_op = spec.operation_named("first")
+        predecessors = graph.predecessors(graph.node(second, 3))
+        assert graph.node(first_op, 3) in predecessors
+
+    def test_shift_glue_offsets_positions(self):
+        builder = SpecBuilder("shift")
+        a = builder.input("a", 8)
+        b = builder.input("b", 8)
+        out = builder.output("out", 12)
+        first = builder.add(a, b, name="first")
+        shifted = builder.shl(first, 4, name="shift")
+        builder.add(shifted, shifted, dest=out, width=12, name="second")
+        spec = builder.build()
+        graph = BitDependencyGraph(spec)
+        second = spec.operation_named("second")
+        first_op = spec.operation_named("first")
+        # Bit 4 of the shifted operand is bit 0 of the first addition.
+        predecessors = graph.predecessors(graph.node(second, 4))
+        assert graph.node(first_op, 0) in predecessors
+        # Bits below the shift amount have no cross-operation producer.
+        low_preds = graph.predecessors(graph.node(second, 0))
+        assert all(p.operation is second for p in low_preds) or low_preds == ()
+
+    def test_glue_source_bits_concat(self):
+        builder = SpecBuilder("concat_map")
+        a = builder.input("a", 4)
+        b = builder.input("b", 4)
+        out = builder.output("out", 8)
+        from repro.ir.operations import Operation
+        from repro.ir.values import Destination
+
+        concat = Operation(
+            kind=OpKind.CONCAT,
+            operands=(a.whole(), b.whole()),
+            destination=Destination(builder.variable("cat", 8), builder.specification.variable("cat").full_range()),
+            name="cat_op",
+        )
+        builder.raw_operation(concat)
+        builder.add(builder.specification.variable("cat"), builder.specification.variable("cat"), dest=out, name="use")
+        pairs_low = BitDependencyGraph.glue_source_bits(concat, 1)
+        pairs_high = BitDependencyGraph.glue_source_bits(concat, 5)
+        assert pairs_low == [(a.whole(), 1)]
+        assert pairs_high == [(b.whole(), 1)]
+
+    def test_topological_order_covers_all_nodes(self, motivational):
+        graph = BitDependencyGraph(motivational)
+        assert len(graph.topological_order()) == len(graph)

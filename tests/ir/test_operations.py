@@ -1,0 +1,144 @@
+"""Unit tests for operation kinds and operation nodes."""
+
+import pytest
+
+from repro.ir.operations import (
+    ADDITIVE_KINDS,
+    COMMUTATIVE_KINDS,
+    COMPARISON_KINDS,
+    GLUE_KINDS,
+    Operation,
+    OpKind,
+    is_additive,
+    is_comparison,
+    is_glue,
+    make_binary,
+    make_unary,
+)
+from repro.ir.types import BitRange, BitVectorType, IRTypeError
+from repro.ir.values import Constant, Destination, Operand, Variable, operand_of
+
+
+@pytest.fixture
+def variables():
+    a = Variable("a", BitVectorType(8))
+    b = Variable("b", BitVectorType(8))
+    c = Variable("c", BitVectorType(8))
+    return a, b, c
+
+
+class TestKindClassification:
+    def test_additive_and_glue_partition_all_kinds(self):
+        assert ADDITIVE_KINDS | GLUE_KINDS == set(OpKind)
+        assert not ADDITIVE_KINDS & GLUE_KINDS
+
+    def test_add_is_additive(self):
+        assert is_additive(OpKind.ADD)
+        assert is_additive(OpKind.MUL)
+        assert is_additive(OpKind.MAX)
+
+    def test_logic_is_glue(self):
+        assert is_glue(OpKind.AND)
+        assert is_glue(OpKind.MOVE)
+        assert is_glue(OpKind.SHL)
+
+    def test_comparisons(self):
+        assert is_comparison(OpKind.LT)
+        assert not is_comparison(OpKind.ADD)
+        assert COMPARISON_KINDS <= ADDITIVE_KINDS
+
+    def test_commutativity(self):
+        assert OpKind.ADD in COMMUTATIVE_KINDS
+        assert OpKind.SUB not in COMMUTATIVE_KINDS
+
+
+class TestOperation:
+    def test_binary_construction(self, variables):
+        a, b, c = variables
+        op = make_binary(OpKind.ADD, a.whole(), b.whole(), Destination(c, c.full_range()))
+        assert op.width == 8
+        assert op.is_additive and not op.is_glue
+        assert op.max_operand_width() == 8
+        assert op.result_variable is c
+
+    def test_requires_at_least_one_operand(self, variables):
+        _, _, c = variables
+        with pytest.raises(IRTypeError):
+            Operation(kind=OpKind.ADD, operands=(), destination=Destination(c, c.full_range()))
+
+    def test_carry_in_must_be_one_bit(self, variables):
+        a, b, c = variables
+        with pytest.raises(IRTypeError):
+            make_binary(
+                OpKind.ADD,
+                a.whole(),
+                b.whole(),
+                Destination(c, c.full_range()),
+                carry_in=a.slice(3, 0),
+            )
+
+    def test_carry_in_accepted(self, variables):
+        a, b, c = variables
+        op = make_binary(
+            OpKind.ADD,
+            a.whole(),
+            b.whole(),
+            Destination(c, c.full_range()),
+            carry_in=operand_of(Constant.of(1, 1)),
+        )
+        assert op.carry_in is not None
+        assert len(op.all_read_operands()) == 3
+
+    def test_default_name_and_origin(self, variables):
+        a, b, c = variables
+        op = make_binary(OpKind.ADD, a.whole(), b.whole(), Destination(c, c.full_range()))
+        assert op.name
+        assert op.origin == op.name
+
+    def test_explicit_origin_preserved(self, variables):
+        a, b, c = variables
+        op = make_binary(
+            OpKind.ADD,
+            a.whole(),
+            b.whole(),
+            Destination(c, c.full_range()),
+            name="frag0",
+            origin="original_add",
+            fragment_index=0,
+        )
+        assert op.origin == "original_add"
+        assert op.is_fragment
+
+    def test_unfragmented_operation(self, variables):
+        a, _, c = variables
+        op = make_unary(OpKind.NOT, a.whole(), Destination(c, c.full_range()))
+        assert not op.is_fragment
+        assert op.is_glue
+
+    def test_read_variables_unique(self, variables):
+        a, _, c = variables
+        op = make_binary(OpKind.ADD, a.slice(3, 0), a.slice(7, 4), Destination(c, BitRange(0, 3)))
+        assert op.read_variables() == [a]
+
+    def test_identity_semantics(self, variables):
+        a, b, c = variables
+        op1 = make_binary(OpKind.ADD, a.whole(), b.whole(), Destination(c, c.full_range()))
+        op2 = make_binary(OpKind.ADD, a.whole(), b.whole(), Destination(c, BitRange(0, 7)))
+        assert op1 != op2
+        assert len({op1, op2}) == 2
+
+    def test_describe_infix(self, variables):
+        a, b, c = variables
+        op = make_binary(OpKind.ADD, a.whole(), b.whole(), Destination(c, c.full_range()))
+        assert "a + b" in op.describe()
+
+    def test_describe_with_carry(self, variables):
+        a, b, c = variables
+        op = make_binary(
+            OpKind.ADD,
+            a.whole(),
+            b.whole(),
+            Destination(c, c.full_range()),
+            carry_in=operand_of(Constant.of(1, 1)),
+        )
+        assert op.describe().count("+") == 2

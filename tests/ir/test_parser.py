@@ -1,0 +1,146 @@
+"""Unit tests for the textual specification language."""
+
+import pytest
+
+from repro.ir.operations import OpKind
+from repro.ir.parser import ParseError, parse_specification
+from repro.simulation import simulate
+
+
+MOTIVATIONAL_TEXT = """
+# The paper's Fig. 1 a example
+spec example
+input A, B, D, F : unsigned 16
+output G : unsigned 16
+var C, E : unsigned 16
+C = A + B
+E = C + D
+G = E + F
+"""
+
+
+class TestParsing:
+    def test_motivational_text_parses(self):
+        spec = parse_specification(MOTIVATIONAL_TEXT)
+        assert spec.name == "example"
+        assert len(spec.inputs()) == 4
+        assert len(spec.outputs()) == 1
+        assert spec.additive_operation_count() == 3
+
+    def test_parsed_spec_simulates_correctly(self):
+        spec = parse_specification(MOTIVATIONAL_TEXT)
+        result = simulate(spec, {"A": 1, "B": 2, "D": 3, "F": 4})
+        assert result.output("G") == 10
+
+    def test_declarations_support_signed(self):
+        spec = parse_specification(
+            "spec s\ninput a : signed 8\noutput o : signed 8\no = a + a\n"
+        )
+        assert spec.variable("a").signed
+
+    def test_comments_and_blank_lines_ignored(self):
+        spec = parse_specification(
+            "\n# header\nspec s\ninput a : unsigned 4\noutput o : unsigned 4\n\no = a + 1 # trailing\n"
+        )
+        assert spec.operation_count() >= 1
+
+    def test_subtraction_and_multiplication(self):
+        spec = parse_specification(
+            "spec s\ninput a, b : unsigned 8\noutput o : unsigned 8\no = a * b - a\n"
+        )
+        kinds = {op.kind for op in spec.operations}
+        assert OpKind.MUL in kinds and OpKind.SUB in kinds
+
+    def test_precedence_multiplication_before_addition(self):
+        spec = parse_specification(
+            "spec s\ninput a, b, c : unsigned 4\noutput o : unsigned 12\no = a + b * c\n"
+        )
+        result = simulate(spec, {"a": 2, "b": 3, "c": 4})
+        assert result.output("o") == 14
+
+    def test_parentheses_override_precedence(self):
+        spec = parse_specification(
+            "spec s\ninput a, b, c : unsigned 4\noutput o : unsigned 12\no = (a + b) * c\n"
+        )
+        result = simulate(spec, {"a": 2, "b": 3, "c": 4})
+        assert result.output("o") == 20
+
+    def test_slices_in_expressions(self):
+        spec = parse_specification(
+            "spec s\ninput a : unsigned 8\noutput o : unsigned 4\no = a[3:0] + a[7:4]\n"
+        )
+        result = simulate(spec, {"a": 0x21})
+        assert result.output("o") == 3
+
+    def test_destination_slice(self):
+        text = (
+            "spec s\ninput a : unsigned 4\noutput o : unsigned 8\n"
+            "o[3:0] = a + 0\no[7:4] = a + 1\n"
+        )
+        spec = parse_specification(text)
+        result = simulate(spec, {"a": 2})
+        assert result.output("o") == 0x32
+
+    def test_shift_operators(self):
+        spec = parse_specification(
+            "spec s\ninput a : unsigned 4\noutput o : unsigned 8\no = (a << 2) + (a >> 1)\n"
+        )
+        result = simulate(spec, {"a": 5})
+        assert result.output("o") == 20 + 2
+
+    def test_max_min_functions(self):
+        spec = parse_specification(
+            "spec s\ninput a, b : unsigned 8\noutput o : unsigned 8\no = max(a, b) + min(a, b)\n"
+        )
+        result = simulate(spec, {"a": 10, "b": 3})
+        assert result.output("o") == 13
+
+    def test_comparison_expression(self):
+        spec = parse_specification(
+            "spec s\ninput a, b : unsigned 8\noutput o : unsigned 1\no = a < b\n"
+        )
+        assert simulate(spec, {"a": 1, "b": 2}).output("o") == 1
+        assert simulate(spec, {"a": 3, "b": 2}).output("o") == 0
+
+
+class TestParseErrors:
+    def test_missing_spec_header(self):
+        with pytest.raises(ParseError):
+            parse_specification("input a : unsigned 4\n")
+
+    def test_duplicate_spec_header(self):
+        with pytest.raises(ParseError):
+            parse_specification("spec a\nspec b\n")
+
+    def test_empty_text(self):
+        with pytest.raises(ParseError):
+            parse_specification("   \n  # nothing\n")
+
+    def test_undeclared_variable_read(self):
+        with pytest.raises(ParseError):
+            parse_specification("spec s\noutput o : unsigned 4\no = missing + 1\n")
+
+    def test_undeclared_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_specification("spec s\ninput a : unsigned 4\nmissing = a + 1\n")
+
+    def test_malformed_statement(self):
+        with pytest.raises(ParseError):
+            parse_specification("spec s\ninput a : unsigned 4\nthis is not valid\n")
+
+    def test_bad_slice_bounds(self):
+        with pytest.raises(ParseError):
+            parse_specification(
+                "spec s\ninput a : unsigned 8\noutput o : unsigned 8\no = a[0:7] + 1\n"
+            )
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_specification(
+                "spec s\ninput a : unsigned 8\noutput o : unsigned 8\no = a + 1 )\n"
+            )
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_specification("spec s\ninput a : unsigned 4\nbad line here\n")
+        assert "line 3" in str(excinfo.value)

@@ -1,0 +1,137 @@
+"""Unit tests for the Specification container and its bit-level analysis."""
+
+import pytest
+
+from repro.ir.builder import SpecBuilder
+from repro.ir.operations import OpKind, make_binary
+from repro.ir.spec import Specification, SpecificationError
+from repro.ir.types import BitRange, BitVectorType
+from repro.ir.values import Destination, PortDirection, Variable
+from repro.workloads import motivational_example
+
+
+@pytest.fixture
+def simple_spec():
+    builder = SpecBuilder("simple")
+    a = builder.input("a", 8)
+    b = builder.input("b", 8)
+    out = builder.output("out", 8)
+    t = builder.add(a, b, name="add1")
+    builder.add(t, a, dest=out, name="add2")
+    return builder.build()
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecificationError):
+            Specification("")
+
+    def test_duplicate_variable_rejected(self):
+        spec = Specification("s")
+        spec.add_variable(Variable("x", BitVectorType(4)))
+        with pytest.raises(SpecificationError):
+            spec.add_variable(Variable("x", BitVectorType(8)))
+
+    def test_unregistered_read_rejected(self):
+        spec = Specification("s")
+        a = Variable("a", BitVectorType(4), PortDirection.INPUT)
+        out = spec.add_variable(Variable("out", BitVectorType(4), PortDirection.OUTPUT))
+        with pytest.raises(SpecificationError):
+            spec.add_operation(
+                make_binary(OpKind.ADD, a.whole(), a.whole(), Destination(out, out.full_range()))
+            )
+
+    def test_write_to_input_rejected(self):
+        spec = Specification("s")
+        a = spec.add_variable(Variable("a", BitVectorType(4), PortDirection.INPUT))
+        with pytest.raises(SpecificationError):
+            spec.add_operation(
+                make_binary(OpKind.ADD, a.whole(), a.whole(), Destination(a, a.full_range()))
+            )
+
+    def test_double_write_rejected(self, simple_spec):
+        out = simple_spec.variable("out")
+        a = simple_spec.variable("a")
+        with pytest.raises(SpecificationError):
+            simple_spec.add_operation(
+                make_binary(OpKind.ADD, a.whole(), a.whole(), Destination(out, out.full_range()))
+            )
+
+    def test_disjoint_slice_writes_allowed(self):
+        spec = Specification("s")
+        a = spec.add_variable(Variable("a", BitVectorType(8), PortDirection.INPUT))
+        out = spec.add_variable(Variable("out", BitVectorType(8), PortDirection.OUTPUT))
+        spec.add_operation(
+            make_binary(OpKind.ADD, a.slice(3, 0), a.slice(3, 0), Destination(out, BitRange(0, 3)))
+        )
+        spec.add_operation(
+            make_binary(OpKind.ADD, a.slice(7, 4), a.slice(7, 4), Destination(out, BitRange(4, 7)))
+        )
+        assert len(spec) == 2
+
+
+class TestIntrospection:
+    def test_port_queries(self, simple_spec):
+        assert [v.name for v in simple_spec.inputs()] == ["a", "b"]
+        assert [v.name for v in simple_spec.outputs()] == ["out"]
+        assert len(simple_spec.internals()) == 1
+
+    def test_variable_lookup(self, simple_spec):
+        assert simple_spec.variable("a").name == "a"
+        assert simple_spec.has_variable("out")
+        assert not simple_spec.has_variable("missing")
+        with pytest.raises(SpecificationError):
+            simple_spec.variable("missing")
+
+    def test_operation_lookup(self, simple_spec):
+        assert simple_spec.operation_named("add1").name == "add1"
+        with pytest.raises(SpecificationError):
+            simple_spec.operation_named("nope")
+
+    def test_operations_of_origin(self, simple_spec):
+        assert len(simple_spec.operations_of_origin("add1")) == 1
+
+    def test_counts(self, simple_spec):
+        assert simple_spec.operation_count() == 2
+        assert simple_spec.additive_operation_count() == 2
+        assert simple_spec.total_additive_bits() == 16
+
+    def test_describe_mentions_everything(self, simple_spec):
+        text = simple_spec.describe()
+        assert "out" in text and "a + b" in text
+        assert "input" in text and "output" in text
+
+
+class TestBitAnalysis:
+    def test_bit_writer_for_internal(self, simple_spec):
+        t = simple_spec.operation_named("add1").destination.variable
+        definition = simple_spec.bit_writer(t, 3)
+        assert definition is not None
+        assert definition.operation.name == "add1"
+        assert definition.result_bit == 3
+
+    def test_bit_writer_for_input_is_none(self, simple_spec):
+        assert simple_spec.bit_writer(simple_spec.variable("a"), 0) is None
+
+    def test_bit_readers(self, simple_spec):
+        a = simple_spec.variable("a")
+        readers = simple_spec.bit_readers(a, 0)
+        assert {op.name for op, _ in readers} == {"add1", "add2"}
+        assert all(position == 0 for _, position in readers)
+
+    def test_written_bits(self, simple_spec):
+        out = simple_spec.variable("out")
+        assert simple_spec.written_bits(out) == list(range(8))
+
+    def test_undriven_output_bits(self):
+        spec = Specification("s")
+        a = spec.add_variable(Variable("a", BitVectorType(4), PortDirection.INPUT))
+        out = spec.add_variable(Variable("out", BitVectorType(4), PortDirection.OUTPUT))
+        spec.add_operation(
+            make_binary(OpKind.ADD, a.slice(1, 0), a.slice(1, 0), Destination(out, BitRange(0, 1)))
+        )
+        missing = spec.undriven_output_bits()
+        assert {ref.bit for ref in missing} == {2, 3}
+
+    def test_motivational_example_has_no_undriven_outputs(self):
+        assert motivational_example().undriven_output_bits() == []

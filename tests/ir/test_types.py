@@ -1,0 +1,180 @@
+"""Unit tests for bit-vector types and bit-range arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import (
+    BitRange,
+    BitVectorType,
+    IRTypeError,
+    bits_of,
+    extract_bits,
+    from_bits,
+    insert_bits,
+    sign_extend,
+    signed,
+    unsigned,
+    zero_extend,
+)
+
+
+class TestBitRange:
+    def test_width_single_bit(self):
+        assert BitRange(3, 3).width == 1
+
+    def test_width_multi_bit(self):
+        assert BitRange(0, 15).width == 16
+
+    def test_len_matches_width(self):
+        assert len(BitRange(2, 9)) == 8
+
+    def test_iteration_yields_all_bits(self):
+        assert list(BitRange(4, 7)) == [4, 5, 6, 7]
+
+    def test_contains_bit(self):
+        rng = BitRange(2, 5)
+        assert 2 in rng and 5 in rng
+        assert 1 not in rng and 6 not in rng
+
+    def test_negative_low_rejected(self):
+        with pytest.raises(IRTypeError):
+            BitRange(-1, 3)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(IRTypeError):
+            BitRange(5, 2)
+
+    def test_overlaps(self):
+        assert BitRange(0, 5).overlaps(BitRange(5, 9))
+        assert not BitRange(0, 4).overlaps(BitRange(5, 9))
+
+    def test_contains_range(self):
+        assert BitRange(0, 15).contains_range(BitRange(3, 7))
+        assert not BitRange(0, 7).contains_range(BitRange(3, 9))
+
+    def test_intersection(self):
+        assert BitRange(0, 7).intersection(BitRange(4, 12)) == BitRange(4, 7)
+        assert BitRange(0, 3).intersection(BitRange(4, 12)) is None
+
+    def test_shifted(self):
+        assert BitRange(0, 5).shifted(6) == BitRange(6, 11)
+
+    def test_adjacent_above(self):
+        assert BitRange(6, 11).adjacent_above(BitRange(0, 5))
+        assert not BitRange(7, 11).adjacent_above(BitRange(0, 5))
+
+    def test_full(self):
+        assert BitRange.full(16) == BitRange(0, 15)
+
+    def test_full_rejects_non_positive(self):
+        with pytest.raises(IRTypeError):
+            BitRange.full(0)
+
+    def test_ordering(self):
+        assert BitRange(0, 3) < BitRange(1, 2)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_width_property(self, lo, span):
+        rng = BitRange(lo, lo + span)
+        assert rng.width == span + 1
+        assert list(rng)[0] == lo
+        assert list(rng)[-1] == lo + span
+
+
+class TestBitVectorType:
+    def test_unsigned_bounds(self):
+        t = unsigned(8)
+        assert t.min_value == 0
+        assert t.max_value == 255
+
+    def test_signed_bounds(self):
+        t = signed(8)
+        assert t.min_value == -128
+        assert t.max_value == 127
+
+    def test_mask(self):
+        assert unsigned(4).mask == 0xF
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(IRTypeError):
+            BitVectorType(0)
+
+    def test_contains(self):
+        assert unsigned(4).contains(15)
+        assert not unsigned(4).contains(16)
+        assert signed(4).contains(-8)
+        assert not signed(4).contains(-9)
+
+    def test_wrap_unsigned(self):
+        assert unsigned(4).wrap(16) == 0
+        assert unsigned(4).wrap(17) == 1
+
+    def test_wrap_signed(self):
+        assert signed(4).wrap(8) == -8
+        assert signed(4).wrap(-9) == 7
+
+    def test_bit_pattern_round_trip_signed(self):
+        t = signed(8)
+        for value in (-128, -1, 0, 1, 127):
+            assert t.from_unsigned_bits(t.to_unsigned_bits(value)) == value
+
+    def test_to_unsigned_bits_rejects_out_of_range(self):
+        with pytest.raises(IRTypeError):
+            unsigned(4).to_unsigned_bits(16)
+
+    def test_full_range(self):
+        assert unsigned(6).full_range() == BitRange(0, 5)
+
+    @given(st.integers(1, 32), st.integers())
+    def test_wrap_always_representable(self, width, value):
+        for type_ in (unsigned(width), signed(width)):
+            wrapped = type_.wrap(value)
+            assert type_.contains(wrapped)
+
+    @given(st.integers(1, 32), st.integers())
+    def test_wrap_is_congruent_modulo_width(self, width, value):
+        t = signed(width)
+        assert (t.wrap(value) - value) % (1 << width) == 0
+
+
+class TestBitHelpers:
+    def test_bits_of_lsb_first(self):
+        assert bits_of(0b1011, 4) == [1, 1, 0, 1]
+
+    def test_from_bits_round_trip(self):
+        assert from_bits(bits_of(0xABCD, 16)) == 0xABCD
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(IRTypeError):
+            from_bits([0, 2, 1])
+
+    def test_sign_extend_negative(self):
+        assert sign_extend(0b1000, 4, 8) == 0b11111000
+
+    def test_sign_extend_positive(self):
+        assert sign_extend(0b0111, 4, 8) == 0b0111
+
+    def test_sign_extend_rejects_narrowing(self):
+        with pytest.raises(IRTypeError):
+            sign_extend(3, 8, 4)
+
+    def test_zero_extend(self):
+        assert zero_extend(0b1111, 4, 8) == 0b1111
+
+    def test_extract_bits(self):
+        assert extract_bits(0b110101, BitRange(2, 4)) == 0b101
+
+    def test_insert_bits(self):
+        assert insert_bits(0, BitRange(4, 7), 0xF) == 0xF0
+        assert insert_bits(0xFF, BitRange(0, 3), 0) == 0xF0
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 11), st.integers(0, 4))
+    def test_extract_insert_round_trip(self, value, lo, span):
+        rng = BitRange(lo, lo + span)
+        extracted = extract_bits(value, rng)
+        assert insert_bits(value, rng, extracted) == value
+
+    @given(st.integers(1, 24), st.integers(0, 2**24 - 1))
+    def test_bits_round_trip(self, width, value):
+        value &= (1 << width) - 1
+        assert from_bits(bits_of(value, width)) == value

@@ -1,0 +1,110 @@
+"""Unit tests for structural validation of specifications."""
+
+import pytest
+
+from repro.ir.builder import SpecBuilder
+from repro.ir.operations import OpKind, make_binary
+from repro.ir.spec import Specification
+from repro.ir.types import BitRange, BitVectorType
+from repro.ir.values import Destination, PortDirection, Variable
+from repro.ir.validate import ValidationError, require_valid, validate
+from repro.workloads import fig3_example, motivational_example
+
+
+def _spec_with_partial_output():
+    spec = Specification("partial")
+    a = spec.add_variable(Variable("a", BitVectorType(8), PortDirection.INPUT))
+    out = spec.add_variable(Variable("out", BitVectorType(8), PortDirection.OUTPUT))
+    spec.add_operation(
+        make_binary(OpKind.ADD, a.slice(3, 0), a.slice(3, 0), Destination(out, BitRange(0, 3)))
+    )
+    return spec
+
+
+class TestValidation:
+    def test_motivational_example_is_valid(self):
+        report = validate(motivational_example())
+        assert report.ok
+        assert report.errors == []
+
+    def test_fig3_example_is_valid(self):
+        assert validate(fig3_example()).ok
+
+    def test_undriven_output_is_error(self):
+        report = validate(_spec_with_partial_output())
+        assert not report.ok
+        assert any("never written" in issue.message for issue in report.errors)
+
+    def test_require_valid_raises(self):
+        with pytest.raises(ValidationError):
+            require_valid(_spec_with_partial_output())
+
+    def test_require_valid_returns_specification(self):
+        spec = motivational_example()
+        assert require_valid(spec) is spec
+
+    def test_missing_outputs_is_error(self):
+        builder = SpecBuilder("no_outputs")
+        a = builder.input("a", 4)
+        builder.add(a, a, name="add")
+        report = validate(builder.build())
+        assert any("no output ports" in issue.message for issue in report.errors)
+
+    def test_empty_specification_is_error(self):
+        builder = SpecBuilder("empty")
+        builder.input("a", 4)
+        builder.output("o", 4)
+        report = validate(builder.build())
+        assert not report.ok
+
+    def test_no_inputs_is_only_warning(self):
+        builder = SpecBuilder("const_only")
+        out = builder.output("o", 4)
+        builder.add(builder.constant(1, 4), builder.constant(2, 4), dest=out)
+        report = validate(builder.build())
+        assert report.ok
+        assert any("no input ports" in issue.message for issue in report.warnings)
+
+    def test_comparison_width_error(self):
+        builder = SpecBuilder("badcmp")
+        a = builder.input("a", 8)
+        out = builder.output("o", 4)
+        builder.binary(OpKind.LT, a, a, dest=out, width=4, name="cmp")
+        report = validate(builder.build())
+        assert any("1-bit result" in issue.message for issue in report.errors)
+
+    def test_truncating_addition_is_warning(self):
+        builder = SpecBuilder("truncadd")
+        a = builder.input("a", 8)
+        out = builder.output("o", 4)
+        builder.add(a, a, dest=out, width=4, name="narrow")
+        report = validate(builder.build())
+        assert report.ok
+        assert any("truncated" in issue.message for issue in report.warnings)
+
+    def test_carry_on_non_additive_is_error(self):
+        spec = Specification("badcarry")
+        a = spec.add_variable(Variable("a", BitVectorType(4), PortDirection.INPUT))
+        c = spec.add_variable(Variable("c", BitVectorType(1), PortDirection.INPUT))
+        out = spec.add_variable(Variable("o", BitVectorType(4), PortDirection.OUTPUT))
+        spec.add_operation(
+            make_binary(
+                OpKind.AND, a.whole(), a.whole(), Destination(out, out.full_range()),
+                carry_in=c.whole(),
+            )
+        )
+        report = validate(spec)
+        assert any("cannot take a carry-in" in issue.message for issue in report.errors)
+
+    def test_report_summary_counts(self):
+        report = validate(_spec_with_partial_output())
+        summary = report.summary()
+        assert "error(s)" in summary and "partial" in summary
+
+    def test_transformed_specification_validates(self):
+        from repro.core import transform, TransformOptions
+
+        result = transform(
+            motivational_example(), latency=3, options=TransformOptions(check_equivalence=False)
+        )
+        assert validate(result.transformed).ok

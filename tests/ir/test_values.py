@@ -1,0 +1,132 @@
+"""Unit tests for variables, constants, operands and destinations."""
+
+import pytest
+
+from repro.ir.types import BitRange, BitVectorType, IRTypeError
+from repro.ir.values import (
+    Constant,
+    Destination,
+    Operand,
+    PortDirection,
+    Variable,
+    destination_of,
+    operand_of,
+)
+
+
+@pytest.fixture
+def port_a():
+    return Variable("A", BitVectorType(16), PortDirection.INPUT)
+
+
+@pytest.fixture
+def internal_c():
+    return Variable("C", BitVectorType(16), PortDirection.INTERNAL)
+
+
+class TestVariable:
+    def test_width_and_signedness(self):
+        v = Variable("x", BitVectorType(12, signed=True))
+        assert v.width == 12
+        assert v.signed is True
+
+    def test_direction_predicates(self, port_a, internal_c):
+        assert port_a.is_input() and not port_a.is_output()
+        assert not internal_c.is_input() and not internal_c.is_output()
+
+    def test_identity_equality(self):
+        a = Variable("same", BitVectorType(4))
+        b = Variable("same", BitVectorType(4))
+        assert a != b
+        assert a == a
+        assert len({a, b}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(IRTypeError):
+            Variable("", BitVectorType(4))
+
+    def test_slice_produces_operand(self, port_a):
+        operand = port_a.slice(5, 0)
+        assert isinstance(operand, Operand)
+        assert operand.range == BitRange(0, 5)
+
+    def test_slice_single_bit(self, port_a):
+        assert port_a.slice(7).range == BitRange(7, 7)
+        assert port_a.bit(7).range == BitRange(7, 7)
+
+    def test_slice_out_of_bounds_rejected(self, port_a):
+        with pytest.raises(IRTypeError):
+            port_a.slice(16, 0)
+
+    def test_whole(self, port_a):
+        assert port_a.whole().range == BitRange(0, 15)
+
+
+class TestConstant:
+    def test_bits_of_negative_constant(self):
+        c = Constant(-1, BitVectorType(4, signed=True))
+        assert c.bits == 0xF
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IRTypeError):
+            Constant(16, BitVectorType(4))
+
+    def test_of_helper(self):
+        c = Constant.of(5, 4)
+        assert c.value == 5 and c.width == 4 and not c.signed
+
+
+class TestOperand:
+    def test_width(self, port_a):
+        assert Operand(port_a, BitRange(4, 11)).width == 8
+
+    def test_out_of_bounds_rejected(self, port_a):
+        with pytest.raises(IRTypeError):
+            Operand(port_a, BitRange(10, 16))
+
+    def test_constant_operand(self):
+        operand = operand_of(Constant.of(3, 4))
+        assert operand.is_constant and not operand.is_variable
+        assert operand.constant.value == 3
+
+    def test_variable_accessor_raises_for_constant(self):
+        operand = operand_of(Constant.of(3, 4))
+        with pytest.raises(IRTypeError):
+            _ = operand.variable
+
+    def test_covers_whole_source(self, port_a):
+        assert port_a.whole().covers_whole_source()
+        assert not port_a.slice(7, 0).covers_whole_source()
+
+    def test_subrange_relative(self, port_a):
+        operand = port_a.slice(11, 4)
+        sub = operand.subrange(BitRange(0, 3))
+        assert sub.range == BitRange(4, 7)
+
+    def test_subrange_out_of_bounds(self, port_a):
+        operand = port_a.slice(7, 0)
+        with pytest.raises(IRTypeError):
+            operand.subrange(BitRange(0, 8))
+
+    def test_describe(self, port_a):
+        assert port_a.whole().describe() == "A"
+        assert "downto" in port_a.slice(5, 0).describe()
+
+
+class TestDestination:
+    def test_whole_variable(self, internal_c):
+        destination = destination_of(internal_c)
+        assert destination.covers_whole_variable()
+        assert destination.width == 16
+
+    def test_slice_destination(self, internal_c):
+        destination = Destination(internal_c, BitRange(6, 12))
+        assert destination.width == 7
+        assert not destination.covers_whole_variable()
+
+    def test_out_of_bounds_rejected(self, internal_c):
+        with pytest.raises(IRTypeError):
+            Destination(internal_c, BitRange(10, 16))
+
+    def test_describe(self, internal_c):
+        assert destination_of(internal_c).describe() == "C"

@@ -1,0 +1,188 @@
+"""Unit tests for the gate-level netlist substrate and adder structures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtl import (
+    GateKind,
+    Netlist,
+    NetlistError,
+    NetlistSimulator,
+    build_adder_chain,
+    build_full_adder,
+    build_ripple_adder,
+    nanosecond_delay_model,
+    unit_full_adder_delay_model,
+)
+
+
+class TestNetlist:
+    def test_gate_arity_checked(self):
+        netlist = Netlist("arity")
+        a = netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_gate(GateKind.AND, (a,))
+        with pytest.raises(NetlistError):
+            netlist.add_gate(GateKind.NOT, (a, a))
+
+    def test_single_driver_enforced(self):
+        netlist = Netlist("driver")
+        a = netlist.add_input("a")
+        out = netlist.not_gate(a)
+        with pytest.raises(NetlistError):
+            netlist.add_gate(GateKind.BUF, (a,), output=out)
+
+    def test_counts_and_outputs(self):
+        netlist = Netlist("counts")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.mark_output(netlist.and_gate(a, b))
+        netlist.mark_output(netlist.xor_gate(a, b))
+        assert netlist.gate_count() == 2
+        assert netlist.gate_count(GateKind.AND) == 1
+        assert len(netlist.outputs) == 2
+
+    def test_constant_bus(self):
+        netlist = Netlist("const")
+        nets = netlist.constant_bus(0b1010, 4)
+        simulator = NetlistSimulator(netlist)
+        result = simulator.run({})
+        assert result.value_of_bus(nets) == 0b1010
+
+    def test_undriven_net_detection(self):
+        netlist = Netlist("undriven")
+        floating = netlist.new_net("floating")
+        a = netlist.add_input("a")
+        netlist.and_gate(a, floating)
+        assert floating in netlist.undriven_nets()
+
+
+class TestGateEvaluation:
+    @pytest.mark.parametrize(
+        "kind,a,b,expected",
+        [
+            (GateKind.AND, 1, 1, 1),
+            (GateKind.AND, 1, 0, 0),
+            (GateKind.OR, 0, 0, 0),
+            (GateKind.OR, 1, 0, 1),
+            (GateKind.XOR, 1, 1, 0),
+            (GateKind.XOR, 1, 0, 1),
+        ],
+    )
+    def test_binary_gates(self, kind, a, b, expected):
+        netlist = Netlist("gate")
+        in_a = netlist.add_input("a")
+        in_b = netlist.add_input("b")
+        out = netlist.add_gate(kind, (in_a, in_b))
+        netlist.mark_output(out)
+        result = NetlistSimulator(netlist).run({in_a: a, in_b: b})
+        assert result.values[out] == expected
+
+    def test_not_gate(self):
+        netlist = Netlist("inv")
+        a = netlist.add_input("a")
+        out = netlist.not_gate(a)
+        result = NetlistSimulator(netlist).run({a: 0})
+        assert result.values[out] == 1
+
+    def test_missing_input_value_rejected(self):
+        netlist = Netlist("missing")
+        a = netlist.add_input("a")
+        netlist.mark_output(netlist.not_gate(a))
+        with pytest.raises(NetlistError):
+            NetlistSimulator(netlist).run({})
+
+
+class TestFullAdder:
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    @pytest.mark.parametrize("carry", [0, 1])
+    def test_truth_table(self, a, b, carry):
+        netlist = Netlist("fa")
+        in_a = netlist.add_input("a")
+        in_b = netlist.add_input("b")
+        in_c = netlist.add_input("c")
+        sum_net, carry_net = build_full_adder(netlist, in_a, in_b, in_c)
+        result = NetlistSimulator(netlist).run({in_a: a, in_b: b, in_c: carry})
+        total = a + b + carry
+        assert result.values[sum_net] == total & 1
+        assert result.values[carry_net] == total >> 1
+
+    def test_full_adder_gate_count(self):
+        netlist = Netlist("fa_count")
+        nets = [netlist.add_input(name) for name in "abc"]
+        build_full_adder(netlist, *nets)
+        assert netlist.gate_count(GateKind.XOR) == 2
+        assert netlist.gate_count(GateKind.AND) == 2
+        assert netlist.gate_count(GateKind.OR) == 1
+
+
+class TestRippleAdder:
+    def test_mismatched_widths_rejected(self):
+        netlist = Netlist("bad")
+        a = netlist.add_input_bus("a", 4)
+        b = netlist.add_input_bus("b", 3)
+        with pytest.raises(ValueError):
+            build_ripple_adder(netlist, a, b)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_addition_matches_python(self, a, b, carry):
+        netlist = Netlist("ripple")
+        a_bus = netlist.add_input_bus("a", 8)
+        b_bus = netlist.add_input_bus("b", 8)
+        carry_net = netlist.add_input("cin")
+        adder = build_ripple_adder(netlist, a_bus, b_bus, carry_net)
+        simulator = NetlistSimulator(netlist)
+        result = simulator.run_bus({"a": a, "b": b, "cin": carry})
+        value = result.value_of_bus(list(adder.sum_bits) + [adder.carry_out])
+        assert value == a + b + carry
+
+    def test_sixteen_bit_adder_critical_path_is_16_units(self):
+        netlist = Netlist("fa16")
+        a_bus = netlist.add_input_bus("a", 16)
+        b_bus = netlist.add_input_bus("b", 16)
+        adder = build_ripple_adder(netlist, a_bus, b_bus)
+        simulator = NetlistSimulator(netlist, unit_full_adder_delay_model())
+        result = simulator.run_bus({"a": 0xFFFF, "b": 1})
+        critical = result.critical_arrival(list(adder.sum_bits) + [adder.carry_out])
+        assert critical == pytest.approx(16, abs=0.5)
+
+    def test_nanosecond_model_close_to_techlib(self):
+        from repro.techlib import adder_delay
+
+        netlist = Netlist("ns16")
+        a_bus = netlist.add_input_bus("a", 16)
+        b_bus = netlist.add_input_bus("b", 16)
+        adder = build_ripple_adder(netlist, a_bus, b_bus)
+        simulator = NetlistSimulator(netlist, nanosecond_delay_model())
+        result = simulator.run_bus({"a": 0xFFFF, "b": 1})
+        critical = result.critical_arrival(list(adder.sum_bits))
+        # The gate-level carry chain is XOR + 15 x (AND+OR) + XOR: close to,
+        # and never slower than, the abstract 16-stage full-adder delay.
+        assert critical <= adder_delay(16)
+        assert critical >= 0.6 * adder_delay(16)
+
+
+class TestAdderChain:
+    def test_chain_value(self):
+        netlist = build_adder_chain(8, 3)
+        simulator = NetlistSimulator(netlist)
+        result = simulator.run_bus({"IN0": 10, "IN1": 20, "IN2": 30, "IN3": 40})
+        assert result.value_of_bus(list(netlist.outputs)) == 100
+
+    def test_chain_critical_path_matches_paper_metric(self):
+        # Three chained 16-bit additions: 18 chained full-adder stages (Fig 1 e).
+        netlist = build_adder_chain(16, 3)
+        simulator = NetlistSimulator(netlist, unit_full_adder_delay_model())
+        inputs = {"IN0": 0xFFFF, "IN1": 1, "IN2": 0xFFFF, "IN3": 0xFFFF}
+        result = simulator.run_bus(inputs)
+        critical = result.critical_arrival(list(netlist.outputs))
+        assert critical <= 18 + 0.5
+        assert critical >= 17
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            build_adder_chain(0, 3)
+        with pytest.raises(ValueError):
+            build_adder_chain(8, 0)

@@ -1,0 +1,170 @@
+"""Unit tests for the bit-accurate behavioural interpreter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.builder import SpecBuilder
+from repro.simulation import Interpreter, SimulationError, simulate
+from repro.workloads import motivational_example
+
+
+def _binary_spec(helper_name, a_width=8, b_width=8, signed=False, **kwargs):
+    builder = SpecBuilder(f"{helper_name}_spec")
+    a = builder.input("a", a_width, signed)
+    b = builder.input("b", b_width, signed)
+    helper = getattr(builder, helper_name)
+    result = helper(a, b, name="op", **kwargs)
+    out = builder.output("o", result.width, result.signed)
+    builder.move(result, dest=out, name="expose")
+    return builder.build()
+
+
+class TestArithmetic:
+    def test_add(self):
+        spec = _binary_spec("add")
+        assert simulate(spec, {"a": 100, "b": 55}).output("o") == 155
+
+    def test_add_wraps(self):
+        spec = _binary_spec("add")
+        assert simulate(spec, {"a": 200, "b": 100}).output("o") == (300 & 0xFF)
+
+    def test_sub(self):
+        spec = _binary_spec("sub")
+        assert simulate(spec, {"a": 40, "b": 15}).output("o") == 25
+
+    def test_sub_wraps_negative(self):
+        spec = _binary_spec("sub")
+        assert simulate(spec, {"a": 5, "b": 10}).output("o") == (5 - 10) & 0xFF
+
+    def test_mul_unsigned(self):
+        spec = _binary_spec("mul")
+        assert simulate(spec, {"a": 12, "b": 11}).output("o") == 132
+
+    def test_mul_signed(self):
+        spec = _binary_spec("mul", signed=True)
+        result = simulate(spec, {"a": -3, "b": 5})
+        assert result.final_state["o"] == ((-15) & 0xFFFF)
+
+    def test_max_min(self):
+        assert simulate(_binary_spec("max"), {"a": 9, "b": 200}).output("o") == 200
+        assert simulate(_binary_spec("min"), {"a": 9, "b": 200}).output("o") == 9
+
+    def test_max_signed_interpretation(self):
+        spec = _binary_spec("max", signed=True)
+        assert simulate(spec, {"a": -5, "b": 2}).output("o") == 2
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_add_matches_python(self, a, b):
+        spec = _binary_spec("add")
+        assert simulate(spec, {"a": a, "b": b}).output("o") == (a + b) & 0xFF
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    def test_signed_mul_matches_python(self, a, b):
+        spec = _binary_spec("mul", signed=True)
+        assert simulate(spec, {"a": a, "b": b}).final_state["o"] == (a * b) & 0xFFFF
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "helper,a,b,expected",
+        [
+            ("lt", 3, 5, 1),
+            ("lt", 5, 3, 0),
+            ("le", 5, 5, 1),
+            ("gt", 9, 2, 1),
+            ("ge", 2, 9, 0),
+            ("eq", 7, 7, 1),
+            ("ne", 7, 7, 0),
+        ],
+    )
+    def test_unsigned_comparisons(self, helper, a, b, expected):
+        spec = _binary_spec(helper)
+        assert simulate(spec, {"a": a, "b": b}).output("o") == expected
+
+    def test_signed_comparison(self):
+        spec = _binary_spec("lt", signed=True)
+        assert simulate(spec, {"a": -4, "b": 3}).output("o") == 1
+        assert simulate(spec, {"a": 3, "b": -4}).output("o") == 0
+
+
+class TestLogicAndGlue:
+    def test_bitwise(self):
+        assert simulate(_binary_spec("bit_and"), {"a": 0xF0, "b": 0xCC}).output("o") == 0xC0
+        assert simulate(_binary_spec("bit_or"), {"a": 0xF0, "b": 0x0C}).output("o") == 0xFC
+        assert simulate(_binary_spec("bit_xor"), {"a": 0xFF, "b": 0x0F}).output("o") == 0xF0
+
+    def test_not(self):
+        builder = SpecBuilder("not_spec")
+        a = builder.input("a", 8)
+        out = builder.output("o", 8)
+        inverted = builder.bit_not(a, name="inv")
+        builder.move(inverted, dest=out)
+        assert simulate(builder.build(), {"a": 0xA5}).output("o") == 0x5A
+
+    def test_shifts(self):
+        builder = SpecBuilder("shift_spec")
+        a = builder.input("a", 8)
+        left = builder.output("left", 11)
+        right = builder.output("right", 6)
+        builder.move(builder.shl(a, 3), dest=left)
+        builder.move(builder.shr(a, 2), dest=right)
+        result = simulate(builder.build(), {"a": 0b10110101})
+        assert result.output("left") == 0b10110101 << 3
+        assert result.output("right") == 0b10110101 >> 2
+
+    def test_select(self):
+        builder = SpecBuilder("select_spec")
+        cond = builder.input("cond", 1)
+        a = builder.input("a", 8)
+        b = builder.input("b", 8)
+        out = builder.output("o", 8)
+        builder.select(cond, a, b, dest=out)
+        spec = builder.build()
+        assert simulate(spec, {"cond": 1, "a": 11, "b": 22}).output("o") == 11
+        assert simulate(spec, {"cond": 0, "a": 11, "b": 22}).output("o") == 22
+
+    def test_neg_and_carry_in(self):
+        builder = SpecBuilder("neg_spec")
+        a = builder.input("a", 8)
+        out = builder.output("o", 8)
+        builder.neg(a, dest=out)
+        assert simulate(builder.build(), {"a": 5}).output("o") == (-5) & 0xFF
+
+    def test_slice_reads_raw_bits(self):
+        builder = SpecBuilder("slice_spec")
+        a = builder.input("a", 8, signed=True)
+        out = builder.output("o", 4)
+        builder.add(a.slice(7, 4), 0, dest=out, width=4, name="hi")
+        # Slicing a signed variable yields raw bits (no sign interpretation).
+        assert simulate(builder.build(), {"a": -1}).output("o") == 0xF
+
+
+class TestRunMechanics:
+    def test_operation_results_recorded(self):
+        spec = motivational_example()
+        result = simulate(spec, {"A": 1, "B": 2, "D": 3, "F": 4})
+        assert result.operation_results["add_C"] == 3
+        assert result.operation_results["add_E"] == 6
+        assert result.output("G") == 10
+
+    def test_missing_input_rejected(self):
+        spec = motivational_example()
+        with pytest.raises(SimulationError):
+            simulate(spec, {"A": 1, "B": 2, "D": 3})
+
+    def test_unknown_input_rejected(self):
+        spec = motivational_example()
+        with pytest.raises(SimulationError):
+            simulate(spec, {"A": 1, "B": 2, "D": 3, "F": 4, "Z": 9})
+
+    def test_out_of_range_input_rejected(self):
+        spec = motivational_example()
+        with pytest.raises(SimulationError):
+            simulate(spec, {"A": 1 << 16, "B": 0, "D": 0, "F": 0})
+
+    def test_interpreter_reusable(self):
+        interpreter = Interpreter(motivational_example())
+        first = interpreter.run({"A": 1, "B": 1, "D": 1, "F": 1})
+        second = interpreter.run({"A": 2, "B": 2, "D": 2, "F": 2})
+        assert first.output("G") == 4
+        assert second.output("G") == 8

@@ -1,0 +1,127 @@
+"""Tests for stimulus generation and the equivalence checker."""
+
+import pytest
+
+from repro.ir.builder import SpecBuilder
+from repro.simulation import (
+    EquivalenceError,
+    assert_equivalent,
+    check_equivalence,
+    corner_vectors,
+    random_vectors,
+    simulate,
+    stimulus,
+)
+from repro.simulation.interpreter import SimulationError
+from repro.workloads import motivational_example
+
+
+def _spec_plus(offset: int, name: str = "plus"):
+    """out = a + b + offset (used to manufacture near-miss specifications)."""
+    builder = SpecBuilder(f"{name}_{offset}")
+    a = builder.input("a", 8)
+    b = builder.input("b", 8)
+    out = builder.output("out", 8)
+    partial = builder.add(a, b, name="p")
+    builder.add(partial, builder.constant(offset, 8) if offset else 0, dest=out, name="q")
+    return builder.build()
+
+
+class TestVectors:
+    def test_corner_vectors_cover_extremes(self):
+        spec = motivational_example()
+        vectors = corner_vectors(spec)
+        flattened = {value for vector in vectors for value in vector.values()}
+        assert 0 in flattened
+        assert (1 << 16) - 1 in flattened
+
+    def test_corner_vectors_fit_port_types(self):
+        spec = motivational_example()
+        for vector in corner_vectors(spec):
+            for port in spec.inputs():
+                assert port.type.contains(vector[port.name])
+
+    def test_corner_vectors_respect_limit(self):
+        assert len(corner_vectors(motivational_example(), limit=5)) <= 5
+
+    def test_corner_vectors_signed_ports(self):
+        builder = SpecBuilder("signed_ports")
+        a = builder.input("a", 8, signed=True)
+        out = builder.output("o", 8)
+        builder.add(a, a, dest=out)
+        vectors = corner_vectors(builder.build())
+        values = {vector["a"] for vector in vectors}
+        assert -128 in values and 127 in values
+
+    def test_random_vectors_reproducible(self):
+        spec = motivational_example()
+        assert random_vectors(spec, 10, seed=3) == random_vectors(spec, 10, seed=3)
+        assert random_vectors(spec, 10, seed=3) != random_vectors(spec, 10, seed=4)
+
+    def test_random_vectors_simulatable(self):
+        spec = motivational_example()
+        for vector in random_vectors(spec, 20):
+            simulate(spec, vector)
+
+    def test_stimulus_combines_corner_and_random(self):
+        spec = motivational_example()
+        combined = stimulus(spec, random_count=7, corner_limit=4)
+        assert len(combined) == 11
+
+    def test_no_input_specification(self):
+        builder = SpecBuilder("noinputs")
+        out = builder.output("o", 4)
+        builder.add(builder.constant(1, 4), builder.constant(2, 4), dest=out)
+        assert corner_vectors(builder.build()) == [{}]
+
+
+class TestEquivalence:
+    def test_identical_specifications_are_equivalent(self):
+        report = check_equivalence(_spec_plus(0, "x"), _spec_plus(0, "y"), random_count=20)
+        assert report.equivalent
+        assert report.vectors_checked > 0
+        assert "EQUIVALENT" in report.summary()
+
+    def test_different_specifications_are_flagged(self):
+        report = check_equivalence(_spec_plus(0), _spec_plus(1), random_count=20)
+        assert not report.equivalent
+        assert report.mismatches
+        mismatch = report.mismatches[0]
+        assert mismatch.output == "out"
+        assert "NOT EQUIVALENT" in report.summary()
+
+    def test_assert_equivalent_raises(self):
+        with pytest.raises(EquivalenceError):
+            assert_equivalent(_spec_plus(0), _spec_plus(3), random_count=10)
+
+    def test_mismatch_stops_early(self):
+        report = check_equivalence(_spec_plus(0), _spec_plus(1), random_count=200, stop_at=5)
+        assert len(report.mismatches) >= 5
+        assert report.vectors_checked < 200 + 64
+
+    def test_interface_mismatch_rejected(self):
+        builder = SpecBuilder("narrow")
+        a = builder.input("a", 4)
+        b = builder.input("b", 4)
+        out = builder.output("out", 4)
+        builder.add(a, b, dest=out)
+        with pytest.raises(SimulationError):
+            check_equivalence(_spec_plus(0), builder.build())
+
+    def test_explicit_vectors_used(self):
+        vectors = [{"a": 1, "b": 2}, {"a": 200, "b": 100}]
+        report = check_equivalence(_spec_plus(0, "u"), _spec_plus(0, "v"), vectors=vectors)
+        assert report.vectors_checked == 2
+
+    def test_outputs_compared_as_raw_bits(self):
+        # One spec declares the output signed, the other unsigned: the bit
+        # patterns are identical so the checker must not flag a mismatch.
+        def build(signed):
+            builder = SpecBuilder(f"sign_{signed}")
+            a = builder.input("a", 8, signed=True)
+            out = builder.output("out", 8, signed=signed)
+            builder.add(a, a, dest=out)
+            return builder.build()
+
+        report = check_equivalence(build(True), build(False), random_count=15)
+        assert report.equivalent

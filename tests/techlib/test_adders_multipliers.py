@@ -1,0 +1,125 @@
+"""Unit tests for adder and multiplier area/delay models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.techlib import (
+    AdderStyle,
+    MultiplierStyle,
+    adder_area,
+    adder_delay,
+    build_adder,
+    build_multiplier,
+    chained_bits_delay,
+    multiplier_area,
+    multiplier_delay,
+)
+
+
+class TestRippleCarryCalibration:
+    """Ripple-carry constants reproduce the Table I adder figures."""
+
+    def test_sixteen_bit_adder_area(self):
+        assert adder_area(16) == pytest.approx(162, abs=1.0)
+
+    def test_sixteen_bit_adder_delay(self):
+        assert adder_delay(16) == pytest.approx(9.4, abs=0.05)
+
+    def test_six_bit_adder_matches_optimized_cycle(self):
+        # The optimized cycle of Table I is six chained bits: about 3.5 ns.
+        assert adder_delay(6) == pytest.approx(3.525, abs=0.01)
+
+    def test_three_six_bit_adders_cost_about_176_gates(self):
+        assert 3 * adder_area(6) == pytest.approx(182, abs=5)
+
+    def test_chained_bits_delay_is_linear(self):
+        assert chained_bits_delay(18) == pytest.approx(18 * 0.5875)
+
+    def test_chained_bits_delay_rejects_negative(self):
+        with pytest.raises(ValueError):
+            chained_bits_delay(-1)
+
+
+class TestAdderStyles:
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            build_adder(0)
+
+    @pytest.mark.parametrize("style", list(AdderStyle))
+    def test_every_style_builds(self, style):
+        model = build_adder(16, style)
+        assert model.width == 16
+        assert model.area_gates > 0
+        assert model.delay_ns > 0
+        assert len(model.bit_arrival_ns) == 16
+
+    def test_faster_adders_cost_more_area(self):
+        ripple = build_adder(16, AdderStyle.RIPPLE_CARRY)
+        lookahead = build_adder(16, AdderStyle.CARRY_LOOKAHEAD)
+        fast = build_adder(16, AdderStyle.FAST_LOOKAHEAD)
+        assert lookahead.area_gates > ripple.area_gates
+        assert fast.area_gates > ripple.area_gates
+
+    def test_lookahead_is_faster_than_ripple_for_wide_adders(self):
+        ripple = build_adder(32, AdderStyle.RIPPLE_CARRY)
+        lookahead = build_adder(32, AdderStyle.CARRY_LOOKAHEAD)
+        fast = build_adder(32, AdderStyle.FAST_LOOKAHEAD)
+        assert lookahead.delay_ns < ripple.delay_ns
+        assert fast.delay_ns < lookahead.delay_ns
+
+    def test_ripple_arrivals_are_monotonic(self):
+        model = build_adder(24, AdderStyle.RIPPLE_CARRY)
+        arrivals = model.bit_arrival_ns
+        assert all(later > earlier for earlier, later in zip(arrivals, arrivals[1:]))
+
+    @given(st.integers(1, 64))
+    def test_area_monotonic_in_width(self, width):
+        for style in AdderStyle:
+            assert adder_area(width + 1, style) > adder_area(width, style)
+
+    @given(st.integers(1, 64))
+    def test_delay_never_decreases_with_width(self, width):
+        for style in AdderStyle:
+            assert adder_delay(width + 1, style) >= adder_delay(width, style) - 1e-9
+
+
+class TestMultipliers:
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            build_multiplier(0, 8)
+        with pytest.raises(ValueError):
+            build_multiplier(8, -1)
+
+    def test_result_width(self):
+        assert build_multiplier(8, 6).result_width == 14
+
+    @pytest.mark.parametrize("style", list(MultiplierStyle))
+    def test_every_style_builds(self, style):
+        model = build_multiplier(16, 16, style)
+        assert model.area_gates > 0 and model.delay_ns > 0
+
+    def test_array_multiplier_delay_tracks_ripple_depth(self):
+        # An m x n array multiplier ripples through roughly m + n stages.
+        from repro.techlib import DEFAULT_GATES
+
+        model = build_multiplier(16, 16, MultiplierStyle.ARRAY)
+        expected = (16 + 16 - 2) * 0.5875 + DEFAULT_GATES.and_gate_delay_ns
+        assert model.delay_ns == pytest.approx(expected, abs=0.1)
+
+    def test_wallace_is_faster_than_array_for_wide_operands(self):
+        array = build_multiplier(24, 24, MultiplierStyle.ARRAY)
+        wallace = build_multiplier(24, 24, MultiplierStyle.WALLACE)
+        assert wallace.delay_ns < array.delay_ns
+
+    def test_multiplier_much_larger_than_adder(self):
+        assert multiplier_area(16, 16) > 10 * adder_area(16)
+
+    @given(st.integers(1, 24), st.integers(1, 24))
+    def test_area_monotonic(self, m, n):
+        assert multiplier_area(m + 1, n) > multiplier_area(m, n)
+        assert multiplier_area(m, n + 1) > multiplier_area(m, n)
+
+    @given(st.integers(2, 24), st.integers(2, 24))
+    def test_delay_positive_and_bounded(self, m, n):
+        delay = multiplier_delay(m, n)
+        assert 0 < delay < (m + n) * 1.0

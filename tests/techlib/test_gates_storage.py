@@ -1,0 +1,92 @@
+"""Unit tests for primitive gate costs, registers and multiplexers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.techlib import (
+    DEFAULT_GATES,
+    GateCosts,
+    build_multiplexer,
+    build_register,
+    multiplexer_area,
+    register_area,
+    register_setup_ns,
+    routing_area,
+)
+
+
+class TestCalibration:
+    """The default constants reproduce the component costs of Table I."""
+
+    def test_sixteen_bit_register_is_81_gates(self):
+        assert register_area(16) == pytest.approx(81, abs=1.0)
+
+    def test_one_bit_register_is_11_gates(self):
+        assert register_area(1) == pytest.approx(11, abs=0.5)
+
+    def test_five_one_bit_registers_are_55_gates(self):
+        assert 5 * register_area(1) == pytest.approx(55, abs=2.0)
+
+    def test_table1_routing_mix(self):
+        # 2 three-to-one and 1 two-to-one 16-bit multiplexers: 176 gates.
+        total = 2 * multiplexer_area(3, 16) + multiplexer_area(2, 16)
+        assert total == pytest.approx(176, rel=0.02)
+
+
+class TestRegisters:
+    def test_register_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            build_register(0)
+
+    def test_register_setup_positive(self):
+        assert register_setup_ns() > 0
+
+    @given(st.integers(1, 63))
+    def test_register_area_monotonic(self, width):
+        assert register_area(width + 1) > register_area(width)
+
+
+class TestMultiplexers:
+    def test_fan_in_one_costs_nothing(self):
+        assert multiplexer_area(1, 16) == 0.0
+        assert multiplexer_area(0, 16) == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            build_multiplexer(-1, 4)
+        with pytest.raises(ValueError):
+            build_multiplexer(2, 0)
+
+    def test_delay_grows_with_fan_in(self):
+        assert build_multiplexer(4, 8).delay_ns > build_multiplexer(2, 8).delay_ns
+
+    @given(st.integers(2, 10), st.integers(1, 32))
+    def test_area_monotonic_in_fan_in_and_width(self, fan_in, width):
+        assert multiplexer_area(fan_in + 1, width) > multiplexer_area(fan_in, width)
+        assert multiplexer_area(fan_in, width + 1) > multiplexer_area(fan_in, width)
+
+    def test_routing_area_sums_requirements(self):
+        mix = [(3, 16), (3, 16), (2, 16)]
+        assert routing_area(mix) == pytest.approx(
+            2 * multiplexer_area(3, 16) + multiplexer_area(2, 16)
+        )
+
+    def test_routing_area_skips_trivial_fan_in(self):
+        assert routing_area([(1, 16), (0, 8)]) == 0.0
+
+
+class TestGateCosts:
+    def test_default_instance_is_shared(self):
+        assert isinstance(DEFAULT_GATES, GateCosts)
+
+    def test_mux_tree_area_helper(self):
+        assert DEFAULT_GATES.mux_area_per_bit(1) == 0.0
+        assert DEFAULT_GATES.mux_area_per_bit(3) == pytest.approx(2 * 2.2)
+
+    def test_mux_tree_delay_levels(self):
+        assert DEFAULT_GATES.mux_delay_ns(2) == pytest.approx(0.1)
+        assert DEFAULT_GATES.mux_delay_ns(5) >= DEFAULT_GATES.mux_delay_ns(2)
+
+    def test_custom_costs_propagate(self):
+        expensive = GateCosts(flip_flop_area=10.0, register_overhead_area=0.0)
+        assert register_area(4, expensive) == pytest.approx(40.0)

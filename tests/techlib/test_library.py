@@ -1,0 +1,122 @@
+"""Unit tests for the TechnologyLibrary facade."""
+
+import pytest
+
+from repro.ir.builder import SpecBuilder
+from repro.ir.operations import OpKind
+from repro.techlib import AdderStyle, MultiplierStyle, TechnologyLibrary, default_library
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+@pytest.fixture
+def sample_operations():
+    builder = SpecBuilder("ops")
+    a = builder.input("a", 16)
+    b = builder.input("b", 16)
+    out = builder.output("o", 33)
+    builder.add(a, b, name="add")
+    builder.sub(a, b, name="sub")
+    builder.mul(a, b, name="mul")
+    builder.lt(a, b, name="lt")
+    builder.max(a, b, name="max")
+    builder.bit_and(a, b, name="and")
+    builder.shl(a, 2, name="shl")
+    builder.move(builder.mul(a, b, name="mul2"), dest=out, name="move")
+    return builder.specification
+
+
+class TestDelayUnits:
+    def test_delta_matches_full_adder(self, library):
+        assert library.delta_ns == pytest.approx(0.5875)
+
+    def test_cycle_length_includes_overhead(self, library):
+        assert library.cycle_length_ns(6) == pytest.approx(6 * 0.5875 + 0.05)
+
+    def test_round_trip_conversion(self, library):
+        assert library.ns_to_chained_bits(library.chained_bits_to_ns(12)) == pytest.approx(12)
+
+
+class TestFunctionalUnits:
+    def test_add_maps_to_adder(self, library, sample_operations):
+        spec = library.functional_unit_for(sample_operations.operation_named("add"))
+        assert spec.category == "adder" and spec.width == 16
+
+    def test_comparison_maps_to_comparator(self, library, sample_operations):
+        spec = library.functional_unit_for(sample_operations.operation_named("lt"))
+        assert spec.category == "comparator"
+
+    def test_max_maps_to_maxmin(self, library, sample_operations):
+        assert library.functional_unit_for(sample_operations.operation_named("max")).category == "maxmin"
+
+    def test_mul_maps_to_multiplier(self, library, sample_operations):
+        assert library.functional_unit_for(sample_operations.operation_named("mul")).category == "multiplier"
+
+    def test_glue_maps_to_none(self, library, sample_operations):
+        assert library.functional_unit_for(sample_operations.operation_named("and")) is None
+        assert library.functional_unit_for(sample_operations.operation_named("shl")) is None
+        assert library.functional_unit_for(sample_operations.operation_named("move")) is None
+
+    def test_unit_areas_ordered(self, library, sample_operations):
+        adder = library.functional_unit_for(sample_operations.operation_named("add"))
+        comparator = library.functional_unit_for(sample_operations.operation_named("lt"))
+        maxmin = library.functional_unit_for(sample_operations.operation_named("max"))
+        multiplier = library.functional_unit_for(sample_operations.operation_named("mul"))
+        areas = [
+            library.functional_unit_area(unit)
+            for unit in (adder, comparator, maxmin, multiplier)
+        ]
+        assert areas[0] < areas[1] < areas[2] < areas[3]
+
+    def test_controller_area_linear(self, library):
+        small = library.controller_area(3, 10)
+        bigger_states = library.controller_area(6, 10)
+        bigger_signals = library.controller_area(3, 20)
+        assert bigger_states > small and bigger_signals > small
+
+    def test_controller_rejects_negative(self, library):
+        with pytest.raises(ValueError):
+            library.controller_area(-1, 0)
+
+
+class TestOperationTiming:
+    def test_add_delay_matches_adder(self, library, sample_operations):
+        assert library.operation_delay_ns(
+            sample_operations.operation_named("add")
+        ) == pytest.approx(9.4, abs=0.05)
+
+    def test_glue_delay_is_zero(self, library, sample_operations):
+        assert library.operation_delay_ns(sample_operations.operation_named("and")) == 0.0
+
+    def test_chained_bits_of_add(self, library, sample_operations):
+        assert library.operation_chained_bits(sample_operations.operation_named("add")) == 16
+
+    def test_chained_bits_of_mul(self, library, sample_operations):
+        assert library.operation_chained_bits(sample_operations.operation_named("mul")) == 31
+
+    def test_chained_bits_of_glue(self, library, sample_operations):
+        assert library.operation_chained_bits(sample_operations.operation_named("shl")) == 0
+
+    def test_chained_bits_of_maxmin(self, library, sample_operations):
+        assert library.operation_chained_bits(sample_operations.operation_named("max")) == 17
+
+
+class TestVariants:
+    def test_with_adder_style_returns_new_library(self, library):
+        variant = library.with_adder_style(AdderStyle.CARRY_LOOKAHEAD)
+        assert variant is not library
+        assert variant.adder_style is AdderStyle.CARRY_LOOKAHEAD
+        assert library.adder_style is AdderStyle.RIPPLE_CARRY
+
+    def test_with_multiplier_style(self, library):
+        variant = library.with_multiplier_style(MultiplierStyle.WALLACE)
+        assert variant.multiplier_style is MultiplierStyle.WALLACE
+
+    def test_faster_adder_changes_operation_delay(self, sample_operations):
+        ripple = default_library()
+        lookahead = ripple.with_adder_style(AdderStyle.CARRY_LOOKAHEAD)
+        operation = sample_operations.operation_named("add")
+        assert lookahead.operation_delay_ns(operation) < ripple.operation_delay_ns(operation)

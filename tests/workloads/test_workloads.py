@@ -1,0 +1,197 @@
+"""Tests for the benchmark specifications and the random generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.operations import OpKind
+from repro.ir.validate import validate
+from repro.simulation import simulate
+from repro.workloads import (
+    ALL_WORKLOADS,
+    CLASSICAL_BENCHMARKS,
+    GeneratorConfig,
+    TABLE2_LATENCIES,
+    TABLE3_LATENCIES,
+    addition_chain,
+    addition_tree,
+    diffeq,
+    elliptic,
+    fig3_example,
+    fir2,
+    iir4,
+    motivational_example,
+    random_specification,
+    random_suite,
+)
+from repro.workloads.fig3 import FIG3_WIDTHS
+
+
+class TestRegistries:
+    def test_all_workloads_build_and_validate(self):
+        for name, factory in ALL_WORKLOADS.items():
+            spec = factory()
+            report = validate(spec)
+            assert report.ok, f"{name}: {report.summary()}"
+
+    def test_table2_latencies_reference_known_benchmarks(self):
+        assert set(TABLE2_LATENCIES) == set(CLASSICAL_BENCHMARKS)
+        assert TABLE2_LATENCIES["elliptic"] == [11, 6, 4]
+        assert TABLE2_LATENCIES["fir2"] == [5, 3]
+
+    def test_table3_latencies(self):
+        assert TABLE3_LATENCIES == {"iaq": 3, "ttd": 5, "opfc_sca": 12}
+
+
+class TestMotivational:
+    def test_structure(self):
+        spec = motivational_example()
+        assert spec.additive_operation_count() == 3
+        assert all(op.width == 16 for op in spec.operations)
+
+    def test_simulation(self):
+        result = simulate(motivational_example(), {"A": 5, "B": 6, "D": 7, "F": 8})
+        assert result.output("G") == 26
+
+    def test_addition_chain_length(self):
+        spec = addition_chain(7, 8)
+        assert spec.additive_operation_count() == 7
+        values = {f"IN{i}": i + 1 for i in range(8)}
+        assert simulate(spec, values).output("OUT") == sum(values.values())
+
+    def test_addition_chain_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            addition_chain(0)
+
+    def test_addition_tree(self):
+        spec = addition_tree(8, 8)
+        values = {f"IN{i}": i for i in range(8)}
+        assert simulate(spec, values).output("OUT") == sum(values.values()) & 0xFF
+        assert spec.additive_operation_count() == 7
+
+    def test_addition_tree_rejects_single_leaf(self):
+        with pytest.raises(ValueError):
+            addition_tree(1)
+
+
+class TestFig3:
+    def test_operation_widths_match_paper(self):
+        spec = fig3_example()
+        for name, width in FIG3_WIDTHS.items():
+            assert spec.operation_named(name).width == width
+
+    def test_dependency_structure(self):
+        from repro.ir.dfg import DataFlowGraph
+
+        spec = fig3_example()
+        graph = DataFlowGraph(spec)
+        c = spec.operation_named("C")
+        assert {op.name for op in graph.predecessors(c)} == {"B"}
+        h = spec.operation_named("H")
+        assert {op.name for op in graph.predecessors(h)} == {"F", "G"}
+
+    def test_simulation(self):
+        spec = fig3_example()
+        inputs = {port.name: 1 for port in spec.inputs()}
+        result = simulate(spec, inputs)
+        assert result.output("OA") == 2
+        assert result.output("OH") == 4
+
+
+class TestClassicalBenchmarks:
+    def test_elliptic_operation_mix(self):
+        spec = elliptic()
+        kinds = [op.kind for op in spec.operations]
+        assert kinds.count(OpKind.MUL) == 8
+        assert kinds.count(OpKind.ADD) == 26
+
+    def test_elliptic_coefficient_ports_variant(self):
+        by_constant = elliptic()
+        by_port = elliptic(coefficient_ports=True)
+        assert len(by_port.inputs()) == len(by_constant.inputs()) + 8
+
+    def test_diffeq_operation_mix(self):
+        spec = diffeq()
+        kinds = [op.kind for op in spec.operations]
+        assert kinds.count(OpKind.MUL) == 6
+        assert kinds.count(OpKind.SUB) == 2
+        assert kinds.count(OpKind.ADD) == 2
+        assert kinds.count(OpKind.LT) == 1
+
+    def test_diffeq_semantics(self):
+        spec = diffeq(width=16)
+        inputs = {"x": 10, "y": 20, "u": 3, "dx": 2, "a": 50}
+        result = simulate(spec, inputs)
+        assert result.output("x1") == 12
+        assert result.output("y1") == 20 + 3 * 2
+        assert result.output("u1") == (3 - 3 * 10 * 3 * 2 - 3 * 20 * 2) & 0xFFFF
+        assert result.output("c") == 1
+
+    def test_iir4_and_fir2_build(self):
+        assert iir4().additive_operation_count() >= 15
+        assert fir2().additive_operation_count() == 5
+
+    def test_fir2_semantics(self):
+        from repro.workloads.classical import FIR2_COEFFICIENTS
+
+        spec = fir2()
+        inputs = {"x0": 3, "x1": 5, "x2": 7}
+        expected = sum(c * x for c, x in zip(FIR2_COEFFICIENTS, (3, 5, 7))) & 0xFFFF
+        assert simulate(spec, inputs).output("y") == expected
+
+    @pytest.mark.parametrize("name", sorted(CLASSICAL_BENCHMARKS))
+    def test_width_parameter_respected(self, name):
+        spec = CLASSICAL_BENCHMARKS[name](width=12)
+        assert any(port.width == 12 for port in spec.inputs())
+
+
+class TestAdpcmModules:
+    def test_iaq_produces_nonzero_output(self):
+        from repro.workloads import inverse_adaptive_quantizer
+
+        spec = inverse_adaptive_quantizer()
+        result = simulate(spec, {"I": 7, "Y": 512})
+        assert result.final_state["DQ"] != 0
+
+    def test_ttd_flags(self):
+        from repro.workloads import tone_transition_detector
+
+        spec = tone_transition_detector()
+        quiet = simulate(spec, {"A2P": 0, "DQ": 10, "YL": 0})
+        assert quiet.output("TDP") == 0
+        tone = simulate(spec, {"A2P": -30000, "DQ": 30000, "YL": 0})
+        assert tone.output("TDP") == 1
+        assert tone.output("TR") == 1
+
+    def test_opfc_sca_segments(self):
+        from repro.workloads import output_pcm_and_sync
+
+        spec = output_pcm_and_sync()
+        low = simulate(spec, {"SR": 10, "SE": 5, "Y": 100, "I": 4})
+        high = simulate(spec, {"SR": 5000, "SE": 5, "Y": 100, "I": 4})
+        assert low.output("SP") < high.output("SP")
+
+
+class TestRandomGenerator:
+    def test_reproducible(self):
+        first = random_specification(42)
+        second = random_specification(42)
+        assert first.operation_count() == second.operation_count()
+        assert [op.kind for op in first.operations] == [op.kind for op in second.operations]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(operation_count=0).validate()
+        with pytest.raises(ValueError):
+            GeneratorConfig(minimum_width=8, maximum_width=4).validate()
+
+    def test_suite_size(self):
+        suite = random_suite(5, seed=7)
+        assert len(suite) == 5
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_generated_specifications_are_valid(self, seed):
+        config = GeneratorConfig(operation_count=10, input_count=3, maximum_width=12)
+        spec = random_specification(seed, config)
+        assert validate(spec).ok
+        assert spec.additive_operation_count() > 0
