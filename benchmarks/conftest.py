@@ -1,10 +1,11 @@
 """Shared helpers for the experiment benchmarks.
 
 Every benchmark module regenerates one table or figure of the paper: it runs
-the original and optimized flows through :mod:`repro`, prints the rows in the
-paper's layout (visible with ``pytest benchmarks/ -s`` and stored in the
-pytest-benchmark ``extra_info``), and asserts the qualitative claims (who
-wins, by roughly what factor) rather than the absolute Synopsys numbers.
+the original and optimized flows through the :mod:`repro.api` pipeline,
+prints the rows in the paper's layout (visible with ``pytest benchmarks/
+-s`` and stored in the pytest-benchmark ``extra_info``), and asserts the
+qualitative claims (who wins, by roughly what factor) rather than the
+absolute Synopsys numbers.
 """
 
 from __future__ import annotations
@@ -29,3 +30,19 @@ def paper_library():
     from repro.techlib import default_library
 
     return default_library()
+
+
+@pytest.fixture
+def pipeline():
+    """A stock :class:`repro.api.Pipeline` with an in-memory result cache."""
+    from repro.api import Pipeline, ResultCache
+
+    return Pipeline(cache=ResultCache())
+
+
+@pytest.fixture
+def sweep_engine(pipeline):
+    """A parallel :class:`repro.api.SweepEngine` (4 thread workers)."""
+    from repro.api import SweepEngine
+
+    return SweepEngine(pipeline, max_workers=4, executor="thread")

@@ -7,27 +7,43 @@ that the curves diverge as the latency grows: the conventional schedule's
 cycle length saturates at the delay of the slowest operation, while the
 transformed specification keeps converting extra latency into a shorter
 clock, so "the cycle length saved has grown with the circuit latency".
+
+The sweep fans out through :class:`repro.api.SweepEngine` with 4 parallel
+workers; a serial reference run checks that parallel execution changes
+nothing but the wall-clock time (recorded in ``extra_info``).
 """
+
+import time
 
 import pytest
 
 from conftest import record_rows
 from repro.analysis import latency_sweep
-from repro.workloads import addition_chain
 
 #: The latency axis of Fig. 4.
 FIG4_LATENCIES = list(range(3, 16))
 
+#: A fixed behavioural description whose conventional schedule saturates
+#: early: three chained 16-bit additions, the paper's running example,
+#: spelled as a serializable parametric workload so sweep points can run in
+#: any worker pool.
+FIG4_WORKLOAD = "chain:3:16"
 
-def _run_sweep():
-    # A fixed behavioural description whose conventional schedule saturates
-    # early (three chained 16-bit additions, the paper's running example).
-    return latency_sweep(lambda: addition_chain(3, 16), FIG4_LATENCIES)
+
+def _run_sweep(max_workers=4, executor="thread"):
+    return latency_sweep(
+        FIG4_WORKLOAD, FIG4_LATENCIES, max_workers=max_workers, executor=executor
+    )
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4_latency_sweep(benchmark):
-    sweep = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+def test_fig4_latency_sweep(benchmark, sweep_engine):
+    # The shared engine fixture: 4 thread workers over a cached pipeline.
+    sweep = benchmark.pedantic(
+        lambda: latency_sweep(FIG4_WORKLOAD, FIG4_LATENCIES, engine=sweep_engine),
+        rounds=1,
+        iterations=1,
+    )
     rows = sweep.as_rows()
     record_rows(benchmark, "Fig. 4 -- cycle length vs latency", rows)
     print(sweep.render_ascii(width=40))
@@ -54,3 +70,25 @@ def test_fig4_latency_sweep(benchmark):
     # At every point the optimized cycle is no longer than the original one.
     for point in sweep.points:
         assert point.optimized_cycle_ns <= point.original_cycle_ns + 1e-9
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_sweep_parallel_matches_serial(benchmark):
+    """Worker count must not change the sweep, only the wall-clock time."""
+    started = time.perf_counter()
+    serial = _run_sweep(max_workers=1, executor="serial")
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - started
+
+    assert parallel.points == serial.points
+    benchmark.extra_info["serial_s"] = round(serial_s, 4)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 4)
+    benchmark.extra_info["speedup"] = round(serial_s / max(parallel_s, 1e-9), 2)
+    print(
+        f"\nFig. 4 sweep: serial {serial_s:.3f}s, "
+        f"4 workers {parallel_s:.3f}s "
+        f"(speedup x{serial_s / max(parallel_s, 1e-9):.2f})"
+    )

@@ -2,50 +2,63 @@
 
 Reproduces the paper's Table III experiment as an application scenario:
 the Inverse Adaptive Quantizer, the Tone & Transition Detector and the
-Output PCM Format Conversion + Synchronous Coding Adjustment modules are
-transformed and synthesized at the latencies the paper used, the transformed
-specifications are checked for functional equivalence against the originals,
-and the resulting implementations are reported.
+Output PCM Format Conversion + Synchronous Coding Adjustment modules run
+through the :mod:`repro.api` pipeline at the latencies the paper used.  The
+fragmented-flow configs request the built-in equivalence check: the
+transform pass co-simulates every transformed specification against its
+original and refuses to hand a non-equivalent one to the scheduler (the
+run would abort with an error), so each reported row is a verified
+implementation.
 
 Run with::
 
     python examples/adpcm_decoder.py
 """
 
-from repro.analysis import compare_flows, format_records
-from repro.core import TransformOptions
-from repro.simulation import check_equivalence
-from repro.workloads import ADPCM_MODULES, TABLE3_LATENCIES
+from repro.api import FlowConfig, Pipeline, ResultCache
+from repro.analysis import format_records
+from repro.workloads import TABLE3_LATENCIES
 
 
 def main() -> None:
+    pipeline = Pipeline(cache=ResultCache())
     rows = []
-    for name, factory in ADPCM_MODULES.items():
-        latency = TABLE3_LATENCIES[name]
-        specification = factory()
-        comparison = compare_flows(
-            specification,
-            latency,
-            transform_options=TransformOptions(check_equivalence=False),
+    for name, latency in TABLE3_LATENCIES.items():
+        workload = f"adpcm_{name}"
+        original = pipeline.run(
+            FlowConfig(latency=latency, mode="conventional", workload=workload)
         )
-        equivalence = check_equivalence(
-            specification, comparison.transform_result.transformed, random_count=50
+        optimized = pipeline.run(
+            FlowConfig(
+                latency=latency,
+                mode="fragmented",
+                workload=workload,
+                check_equivalence=True,
+                equivalence_vectors=50,
+            )
+        )
+        report = optimized.report
+        saving = 1.0 - report["cycle_length_ns"] / original.report["cycle_length_ns"]
+        area_change = (
+            report["datapath_area"] / original.report["datapath_area"] - 1.0
         )
         rows.append(
             {
                 "module": name,
                 "latency": latency,
-                "original_cycle_ns": round(comparison.original.cycle_length_ns, 2),
-                "optimized_cycle_ns": round(comparison.optimized.cycle_length_ns, 2),
-                "saved_pct": round(100 * comparison.cycle_saving, 1),
-                "area_change_pct": round(100 * comparison.area_increment, 1),
-                "equivalent": equivalence.equivalent,
-                "vectors": equivalence.vectors_checked,
+                "original_cycle_ns": round(original.report["cycle_length_ns"], 2),
+                "optimized_cycle_ns": round(report["cycle_length_ns"], 2),
+                "saved_pct": round(100 * saving, 1),
+                "area_change_pct": round(100 * area_change, 1),
+                "equivalent": report["equivalent"],
+                "vectors": report["equivalence_vectors"],
             }
         )
-        print(f"{name}: {comparison.summary()}")
-        print(f"  functional equivalence: {'PASS' if equivalence.equivalent else 'FAIL'} "
-              f"({equivalence.vectors_checked} vectors)")
+        print(f"{workload}: {optimized.summary()}")
+        print(
+            f"  functional equivalence verified over "
+            f"{report['equivalence_vectors']} vectors"
+        )
     print()
     print(format_records(rows, title="Table III reproduction -- ADPCM decoder modules"))
 

@@ -6,39 +6,54 @@ filter, sweeps a few latency constraints, and reports how the presynthesis
 transformation trades clock period against datapath area -- the exploration a
 designer would run when fitting a filter into a given sample-rate budget.
 
+Every (benchmark, latency, flow) point is one declarative
+:class:`repro.api.FlowConfig`; the :class:`repro.api.SweepEngine` fans the
+whole batch across worker threads and returns the reports in order.
+
 Run with::
 
     python examples/filter_pipeline.py
 """
 
-from repro.analysis import compare_flows, format_records
-from repro.workloads import elliptic, fir2
+from repro.api import FlowConfig, Pipeline, ResultCache, SweepEngine
+from repro.analysis import change_pct, format_records, paired_reports
 
-
-def explore(name, factory, latencies):
-    rows = []
-    for latency in latencies:
-        comparison = compare_flows(factory(), latency)
-        rows.append(
-            {
-                "benchmark": name,
-                "latency": latency,
-                "original_cycle_ns": round(comparison.original.cycle_length_ns, 2),
-                "optimized_cycle_ns": round(comparison.optimized.cycle_length_ns, 2),
-                "saved_pct": round(100 * comparison.cycle_saving, 1),
-                "original_area": round(comparison.original.datapath_area),
-                "optimized_area": round(comparison.optimized.datapath_area),
-                "extra_operations_pct": round(100 * comparison.operation_growth, 1),
-            }
-        )
-    return rows
+#: The exploration grid: Table II filter benchmarks and latency budgets.
+GRID = [
+    ("elliptic", (11, 6, 4)),
+    ("fir2", (5, 3)),
+]
 
 
 def main() -> None:
+    configs = []
+    for workload, latencies in GRID:
+        for latency in latencies:
+            for mode in ("conventional", "fragmented"):
+                configs.append(
+                    FlowConfig(latency=latency, mode=mode, workload=workload)
+                )
+
+    engine = SweepEngine(
+        Pipeline(cache=ResultCache()), max_workers=4, executor="thread"
+    )
+    reports = engine.reports(configs)
+
     print("Latency exploration of the Table II filter benchmarks\n")
     rows = []
-    rows += explore("elliptic", elliptic, (11, 6, 4))
-    rows += explore("fir2", fir2, (5, 3))
+    for original, optimized in paired_reports(reports):
+        rows.append(
+            {
+                "benchmark": original["workload"],
+                "latency": original["latency"],
+                "original_cycle_ns": round(original["cycle_length_ns"], 2),
+                "optimized_cycle_ns": round(optimized["cycle_length_ns"], 2),
+                "saved_pct": round(change_pct(original, optimized, "cycle_length_ns"), 1),
+                "original_area": round(original["datapath_area"]),
+                "optimized_area": round(optimized["datapath_area"]),
+                "extra_operations_pct": round(optimized["operation_growth_pct"], 1),
+            }
+        )
     print(format_records(rows, title="cycle length and area vs latency"))
 
     print(

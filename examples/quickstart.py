@@ -1,19 +1,19 @@
 """Quickstart: transform and synthesize the paper's motivational example.
 
-Builds the three-chained-additions specification of Fig. 1 a, applies the
-presynthesis transformation for a latency of three cycles, synthesizes the
-original and the optimized specifications with the bundled HLS substrate, and
-prints a Table I style comparison.
+Builds the three-chained-additions specification of Fig. 1 a, then drives the
+:mod:`repro.api` pipeline three times -- the conventional flow, the
+bit-level-chaining baseline and the fragmented (optimized) flow -- and prints
+a Table I style comparison.  The same experiment is one shell command::
+
+    python -m repro table table1
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import SpecBuilder, transform
+from repro import FlowConfig, Pipeline, ResultCache, SpecBuilder
 from repro.analysis import format_table
-from repro.hls import FlowMode, synthesize
-from repro.techlib import default_library
 
 
 def build_specification():
@@ -32,35 +32,39 @@ def build_specification():
 
 def main() -> None:
     specification = build_specification()
-    library = default_library()
     latency = 3
 
-    # The paper's presynthesis optimization: kernel extraction, cycle
-    # estimation, fragmentation.  The result carries the optimized
-    # specification plus the per-cycle chained-bit budget.
-    result = transform(specification, latency)
+    # One pipeline, three declarative configs.  The cache means repeated
+    # runs of the same config (here: none) would be free.
+    pipeline = Pipeline(cache=ResultCache())
+    original = pipeline.run(
+        FlowConfig(latency=latency, mode="conventional"), specification=specification
+    )
+    chained = pipeline.run(
+        FlowConfig(latency=1, mode="blc"), specification=specification
+    )
+    optimized = pipeline.run(
+        FlowConfig(latency=latency, mode="fragmented"), specification=specification
+    )
+
+    # The fragmented run carries the paper's presynthesis transformation:
+    # kernel extraction, cycle estimation, fragmentation.
+    result = optimized.transform_result
     print("Transformed specification (compare with Fig. 2 a of the paper):")
     print(result.transformed.describe())
     print()
     print(result.summary())
     print()
-
-    original = synthesize(specification, latency, library, FlowMode.CONVENTIONAL)
-    chained = synthesize(specification, 1, library, FlowMode.BLC)
-    optimized = synthesize(
-        result.transformed,
-        latency,
-        library,
-        FlowMode.FRAGMENTED,
-        chained_bits_per_cycle=result.chained_bits_per_cycle,
-    )
+    print("pipeline passes:", " -> ".join(optimized.completed_passes()))
+    print()
 
     rows = []
-    for label, synthesis in (
+    for label, run in (
         ("original (Fig 1b)", original),
         ("bit-level chaining (Fig 1d)", chained),
         ("optimized (Fig 2a)", optimized),
     ):
+        synthesis = run.synthesis
         rows.append(
             [
                 label,
@@ -80,7 +84,7 @@ def main() -> None:
             title="Table I reproduction",
         )
     )
-    saving = 1 - optimized.cycle_length_ns / original.cycle_length_ns
+    saving = 1 - optimized.synthesis.cycle_length_ns / original.synthesis.cycle_length_ns
     print(f"\ncycle length saved by the transformation: {100 * saving:.1f}%")
 
 

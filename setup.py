@@ -1,11 +1,26 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
-The project metadata lives in ``pyproject.toml``; this file only exists so
-that ``pip install -e . --no-build-isolation --no-use-pep517`` works on
-offline machines that lack the ``wheel`` package (the CI container used for
-the reproduction is one of them).
+Kept as an executable ``setup.py`` (rather than ``pyproject.toml``) so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works on offline
+machines that lack the ``wheel`` package (the CI container used for the
+reproduction is one of them).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-ruiz-sautua-date2005",
+    version="1.1.0",
+    description=(
+        "Reproduction of Ruiz-Sautua et al. (DATE 2005): behavioural "
+        "transformation to improve circuit performance in high-level synthesis"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.api.cli:main",
+        ],
+    },
+)

@@ -1,7 +1,7 @@
 """repro -- reproduction of "Behavioural Transformation to Improve Circuit
 Performance in High-Level Synthesis" (Ruiz-Sautua et al., DATE 2005).
 
-The package is organised in layers:
+The package is organised in layers (lowest first):
 
 * :mod:`repro.ir` -- behavioural intermediate representation (types, values,
   operations, specifications, dataflow graphs, parser, validation);
@@ -19,20 +19,39 @@ The package is organised in layers:
 * :mod:`repro.workloads` -- the benchmark specifications of the paper's
   evaluation (motivational example, Fig. 3 DFG, classical HLS benchmarks,
   ADPCM G.721 decoder modules) plus a random DFG generator;
+* :mod:`repro.api` -- the canonical entry point: declarative
+  :class:`~repro.api.FlowConfig` objects, the composable pass
+  :class:`~repro.api.Pipeline`, the content-hash keyed
+  :class:`~repro.api.ResultCache`, the parallel
+  :class:`~repro.api.SweepEngine` and the ``python -m repro`` CLI;
 * :mod:`repro.analysis` -- area/timing reports, comparison tables and the
-  latency sweep behind Fig. 4.
+  latency sweep behind Fig. 4, built on :mod:`repro.api`.
 
-Quick start::
+Quick start (pipeline API)::
 
-    from repro import transform, synthesize, default_library
+    from repro import FlowConfig, Pipeline
+
+    pipeline = Pipeline()
+    original = pipeline.run(FlowConfig(latency=3, mode="conventional",
+                                       workload="motivational"))
+    optimized = pipeline.run(FlowConfig(latency=3, mode="fragmented",
+                                        workload="motivational"))
+    print(original.synthesis.cycle_length_ns,
+          optimized.synthesis.cycle_length_ns)
+
+or, from a shell::
+
+    python -m repro run motivational --latency 3 --mode fragmented
+
+The pre-pipeline free functions remain as thin backward-compatible wrappers::
+
+    from repro import transform, synthesize
     from repro.workloads import motivational_example
 
     spec = motivational_example()
     result = transform(spec, latency=3)
-    original = synthesize(spec, latency=3)
-    optimized = synthesize(result.transformed, latency=3,
+    optimized = synthesize(result.transformed, latency=3, mode="fragmented",
                            chained_bits_per_cycle=result.chained_bits_per_cycle)
-    print(original.cycle_length_ns, optimized.cycle_length_ns)
 """
 
 from .core import (
@@ -52,16 +71,40 @@ from .ir import (
 from .simulation import assert_equivalent, check_equivalence, simulate
 from .techlib import AdderStyle, TechnologyLibrary, default_library
 
-__version__ = "1.0.0"
+# The HLS facade sits above core/ir/techlib; importing it eagerly is safe now
+# that the api layer (below) owns the cross-layer wiring that used to force a
+# lazy __getattr__ hook here.
+from .hls import FlowMode, HlsFlow, SynthesisResult, synthesize
+
+# The api layer imports every other layer, so it must come last.
+from .api import (
+    FlowConfig,
+    Pipeline,
+    ResultCache,
+    RunArtifact,
+    SweepEngine,
+    SweepOutcome,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "AdderStyle",
     "BehaviouralTransformer",
     "BitRange",
+    "FlowConfig",
+    "FlowMode",
+    "HlsFlow",
     "OpKind",
     "Operation",
+    "Pipeline",
+    "ResultCache",
+    "RunArtifact",
     "SpecBuilder",
     "Specification",
+    "SweepEngine",
+    "SweepOutcome",
+    "SynthesisResult",
     "TechnologyLibrary",
     "TransformOptions",
     "TransformResult",
@@ -70,15 +113,7 @@ __all__ = [
     "default_library",
     "parse_specification",
     "simulate",
+    "synthesize",
     "transform",
     "__version__",
 ]
-
-
-def __getattr__(name):
-    """Lazy access to the HLS layer to avoid import cycles at package load."""
-    if name in ("synthesize", "SynthesisResult", "HlsFlow"):
-        from . import hls
-
-        return getattr(hls, name)
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,16 +1,39 @@
-"""Analysis and reporting: flow comparisons, latency sweeps, table formatting."""
+"""Analysis and reporting: flow comparisons, latency sweeps, table formatting.
+
+Everything here drives the :mod:`repro.api` pipeline: comparisons run
+through a (cacheable) :class:`~repro.api.Pipeline`, latency sweeps fan out
+through the :class:`~repro.api.SweepEngine`.
+"""
 
 from .comparison import FlowComparison, compare_flows
-from .sweeps import LatencySweep, SweepPoint, latency_sweep
-from .tables import format_records, format_table, percentage
+from .sweeps import (
+    LatencySweep,
+    SweepPoint,
+    change_pct,
+    latency_sweep,
+    paired_reports,
+    sweep_configs,
+)
+from .tables import (
+    REPORT_COLUMNS,
+    format_records,
+    format_reports,
+    format_table,
+    percentage,
+)
 
 __all__ = [
     "FlowComparison",
     "LatencySweep",
+    "REPORT_COLUMNS",
     "SweepPoint",
+    "change_pct",
     "compare_flows",
     "format_records",
+    "format_reports",
     "format_table",
     "latency_sweep",
+    "paired_reports",
     "percentage",
+    "sweep_configs",
 ]

@@ -12,10 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..core.transform import TransformOptions, TransformResult, transform
-from ..hls.flow import FlowMode, SynthesisResult, synthesize
+from ..api.config import FlowConfig
+from ..api.pipeline import Pipeline
+from ..core.transform import TransformOptions, TransformResult
+from ..hls.flow import SynthesisResult
 from ..ir.spec import Specification
-from ..techlib.library import TechnologyLibrary, default_library
+from ..techlib.library import TechnologyLibrary
 
 
 @dataclass
@@ -95,28 +97,55 @@ def compare_flows(
     transform_options: Optional[TransformOptions] = None,
     include_blc: bool = False,
     balance_fragments: bool = True,
+    pipeline: Optional[Pipeline] = None,
 ) -> FlowComparison:
-    """Run the paper's original-vs-optimized experiment on one specification."""
-    library = library or default_library()
+    """Run the paper's original-vs-optimized experiment on one specification.
+
+    The three flows run through :class:`repro.api.Pipeline`; pass one in to
+    share its result cache across comparisons.
+    """
+    if pipeline is None:
+        pipeline = Pipeline(library=library)
+    elif library is not None:
+        raise ValueError("give either a pipeline or a library, not both")
     options = transform_options or TransformOptions(check_equivalence=False)
-    result = transform(specification, latency, options)
-    original = synthesize(specification, latency, library, FlowMode.CONVENTIONAL)
-    optimized = synthesize(
-        result.transformed,
-        latency,
-        library,
-        FlowMode.FRAGMENTED,
-        chained_bits_per_cycle=result.chained_bits_per_cycle,
-        balance_fragments=balance_fragments,
+
+    def run_full(config: FlowConfig):
+        # The comparison needs the full synthesis objects, so report-only
+        # disk-tier rehydrations are rejected and replaced in the cache.
+        return pipeline.run(config, specification=specification, require_full=True)
+
+    original_run = run_full(
+        FlowConfig(
+            latency=latency,
+            mode="conventional",
+            validate_input=options.validate_input,
+        )
+    )
+    optimized_run = run_full(
+        FlowConfig(
+            latency=latency,
+            mode="fragmented",
+            balance_fragments=balance_fragments,
+            check_equivalence=options.check_equivalence,
+            equivalence_vectors=options.equivalence_vectors,
+            chained_bits_per_cycle=options.chained_bits_override,
+            validate_input=options.validate_input,
+            validate_output=options.validate_output,
+        )
     )
     blc = None
     if include_blc:
-        blc = synthesize(specification, 1, library, FlowMode.BLC)
+        blc = run_full(
+            FlowConfig(
+                latency=1, mode="blc", validate_input=options.validate_input
+            )
+        ).synthesis
     return FlowComparison(
         name=specification.name,
         latency=latency,
-        transform_result=result,
-        original=original,
-        optimized=optimized,
+        transform_result=optimized_run.require("transform_result"),
+        original=original_run.synthesis,
+        optimized=optimized_run.synthesis,
         bit_level_chained=blc,
     )

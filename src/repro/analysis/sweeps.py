@@ -5,17 +5,28 @@ original and the optimized specification as the circuit latency grows from 3
 to 15 cycles, showing the two curves diverging: the conventional schedule's
 cycle length saturates at the delay of the slowest operation, while the
 optimized specification keeps trading latency for a shorter clock.
+
+The sweep is powered by :class:`repro.api.SweepEngine`: every latency point
+becomes a pair of :class:`repro.api.FlowConfig` objects (conventional +
+fragmented) that fan out across workers.  Pass ``max_workers`` to
+parallelize; results are deterministic regardless of worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-from ..core.transform import TransformOptions, transform
-from ..hls.flow import FlowMode, synthesize
+from ..api.config import FlowConfig
+from ..api.pipeline import Pipeline
+from ..api.sweep import SweepEngine
+from ..core.transform import TransformOptions
 from ..ir.spec import Specification
-from ..techlib.library import TechnologyLibrary, default_library
+from ..techlib.library import TechnologyLibrary
+
+#: A latency-sweep subject: a workload name (serializable, usable with the
+#: process executor) or a factory returning a fresh specification per call.
+SweepSource = Union[str, Callable[[], Specification]]
 
 
 @dataclass(frozen=True)
@@ -99,42 +110,110 @@ class LatencySweep:
         return "\n".join(lines)
 
 
+def sweep_configs(
+    latencies: Iterable[int],
+    workload: Optional[str] = None,
+    transform_options: Optional[TransformOptions] = None,
+) -> List[FlowConfig]:
+    """The (conventional, fragmented) config pair of every latency point."""
+    options = transform_options or TransformOptions(check_equivalence=False)
+    configs: List[FlowConfig] = []
+    for latency in latencies:
+        common = dict(
+            latency=latency,
+            workload=workload,
+            check_equivalence=options.check_equivalence,
+            equivalence_vectors=options.equivalence_vectors,
+            chained_bits_per_cycle=options.chained_bits_override,
+            validate_input=options.validate_input,
+            validate_output=options.validate_output,
+        )
+        configs.append(FlowConfig(mode="conventional", label="original", **common))
+        configs.append(FlowConfig(mode="fragmented", label="optimized", **common))
+    return configs
+
+
+def paired_reports(reports: Sequence[Dict[str, float]]):
+    """(original, optimized) pairs from the interleaved report list a
+    :func:`sweep_configs`-shaped sweep produces."""
+    return zip(reports[0::2], reports[1::2])
+
+
+def change_pct(
+    original: Dict[str, float], optimized: Dict[str, float], key: str
+) -> float:
+    """Percentage saving of *key*, optimized versus original (negative when
+    the optimized flow costs more)."""
+    if not original[key]:
+        return 0.0
+    return 100.0 * (1.0 - optimized[key] / original[key])
+
+
 def latency_sweep(
-    specification_factory,
+    source: SweepSource,
     latencies: Iterable[int],
     library: Optional[TechnologyLibrary] = None,
     transform_options: Optional[TransformOptions] = None,
+    max_workers: Optional[int] = None,
+    executor: Optional[str] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> LatencySweep:
     """Run the Fig. 4 experiment: sweep the latency, synthesize both flows.
 
-    ``specification_factory`` is called once per latency so that every point
-    works on a fresh specification object (operation identities are not shared
-    across points).
+    Parameters
+    ----------
+    source:
+        A workload name (e.g. ``"chain:3:16"``; serializable, required for
+        the process executor) or a zero-argument factory called once per
+        (latency, flow) point so every run works on a fresh specification.
+    latencies:
+        The latency axis.
+    library:
+        Technology library override (serial/thread executors only).
+    transform_options:
+        Transformation knobs mapped onto the fragmented-flow configs.
+    max_workers / executor:
+        Fan the points across a :class:`repro.api.SweepEngine` pool.  The
+        default is the deterministic serial path; ``executor`` defaults to
+        ``"thread"`` when ``max_workers`` exceeds 1.
+    engine:
+        A pre-built engine (overrides ``max_workers``/``executor``).
     """
-    library = library or default_library()
-    options = transform_options or TransformOptions(check_equivalence=False)
-    sweep: Optional[LatencySweep] = None
-    for latency in latencies:
-        specification: Specification = specification_factory()
-        if sweep is None:
-            sweep = LatencySweep(specification.name)
-        result = transform(specification, latency, options)
-        original = synthesize(specification, latency, library, FlowMode.CONVENTIONAL)
-        optimized = synthesize(
-            result.transformed,
-            latency,
-            library,
-            FlowMode.FRAGMENTED,
-            chained_bits_per_cycle=result.chained_bits_per_cycle,
+    latencies = list(latencies)
+    if not latencies:
+        raise ValueError("latency_sweep needs at least one latency")
+    workload = source if isinstance(source, str) else None
+    configs = sweep_configs(latencies, workload, transform_options)
+
+    specifications: Optional[List[Optional[Specification]]] = None
+    name: Optional[str] = workload
+    if not isinstance(source, str):
+        # One fresh specification per config: runs never share mutable IR,
+        # which keeps the thread executor race-free.
+        specifications = [source() for _ in configs]
+        name = specifications[0].name if specifications else None
+
+    if engine is None:
+        if executor is None:
+            executor = "thread" if (max_workers or 1) > 1 else "serial"
+        pipeline = Pipeline(library=library)
+        engine = SweepEngine(pipeline, max_workers=max_workers, executor=executor)
+    elif library is not None:
+        raise ValueError(
+            "give either an engine or a library, not both "
+            "(set the library on the engine's pipeline instead)"
         )
+    reports = engine.reports(configs, specifications)
+
+    sweep = LatencySweep(name or reports[0]["name"])
+    for original, optimized in paired_reports(reports):
         sweep.points.append(
             SweepPoint(
-                latency=latency,
-                original_cycle_ns=original.cycle_length_ns,
-                optimized_cycle_ns=optimized.cycle_length_ns,
-                original_execution_ns=original.execution_time_ns,
-                optimized_execution_ns=optimized.execution_time_ns,
+                latency=original["latency"],
+                original_cycle_ns=original["cycle_length_ns"],
+                optimized_cycle_ns=optimized["cycle_length_ns"],
+                original_execution_ns=original["execution_time_ns"],
+                optimized_execution_ns=optimized["execution_time_ns"],
             )
         )
-    assert sweep is not None
     return sweep

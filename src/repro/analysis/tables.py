@@ -68,3 +68,65 @@ def format_records(
 def percentage(fraction: float) -> str:
     """Render a fraction as a percentage string, paper style."""
     return f"{100.0 * fraction:.2f} %"
+
+
+#: Default columns when tabulating pipeline run reports.
+REPORT_COLUMNS = (
+    "name",
+    "mode",
+    "latency",
+    "cycle_length_ns",
+    "execution_time_ns",
+    "fu_area",
+    "register_area",
+    "total_area",
+)
+
+
+def format_reports(
+    reports: Sequence[Dict[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render :mod:`repro.api` run reports (or sweep outcomes) as a table.
+
+    Accepts the flat report dictionaries produced by the pipeline's report
+    pass, :class:`~repro.api.RunArtifact` objects, or
+    :class:`~repro.api.SweepOutcome` objects (failed outcomes render their
+    error in place of metrics).
+    """
+    rows: List[Dict[str, Cell]] = []
+    for item in reports:
+        if isinstance(item, dict):
+            rows.append(item)
+            continue
+        report = getattr(item, "report", None)
+        if report is not None:
+            rows.append(report)
+            continue
+        error = getattr(item, "error", None)
+        config = getattr(item, "config", None)
+        if error is not None and config is not None:
+            rows.append(
+                {
+                    "name": config.workload or "<inline>",
+                    "mode": config.mode.value,
+                    "latency": config.latency,
+                    "error": error,
+                }
+            )
+            continue
+        raise TypeError(
+            f"cannot tabulate {type(item).__name__}: expected a report dict, "
+            "RunArtifact or SweepOutcome"
+        )
+    if columns is None:
+        columns = [
+            column
+            for column in REPORT_COLUMNS
+            if any(column in row for row in rows)
+        ]
+        if any("error" in row for row in rows):
+            columns = list(columns) + ["error"]
+    return format_records(rows, columns=columns, precision=precision, title=title)

@@ -1,0 +1,74 @@
+"""The canonical entry point of the reproduction: config -> pipeline -> runs.
+
+This package layers a declarative, cache-aware, parallelizable API over the
+lower-level :mod:`repro.core` / :mod:`repro.hls` machinery:
+
+* :class:`FlowConfig` -- frozen, JSON-serializable description of one run;
+* :class:`Pipeline` -- named, swappable passes over a :class:`RunArtifact`
+  (``parse -> validate -> transform -> schedule -> time -> allocate ->
+  report``);
+* :class:`ResultCache` -- content-hash keyed memory + disk result cache;
+* :class:`SweepEngine` -- fans configs across thread/process pools with
+  deterministic result ordering;
+* :mod:`repro.api.cli` -- the ``python -m repro`` command-line front end.
+
+Quick start::
+
+    from repro.api import FlowConfig, Pipeline, ResultCache, SweepEngine
+
+    pipeline = Pipeline(cache=ResultCache())
+    run = pipeline.run(FlowConfig(latency=3, mode="fragmented",
+                                  workload="motivational"))
+    print(run.synthesis.summary())
+
+    engine = SweepEngine(pipeline, max_workers=4, executor="thread")
+    outcomes = engine.run([FlowConfig(latency=l, mode="fragmented",
+                                      workload="chain:3:16")
+                           for l in range(3, 16)])
+"""
+
+from .artifacts import PassRecord, PipelineStateError, RunArtifact, build_report
+from .cache import ResultCache
+from .config import (
+    ConfigError,
+    FlowConfig,
+    available_workloads,
+    resolve_workload,
+    specification_fingerprint,
+)
+from .passes import (
+    DEFAULT_PASSES,
+    allocate_pass,
+    parse_pass,
+    report_pass,
+    schedule_pass,
+    time_pass,
+    transform_pass,
+    validate_pass,
+)
+from .pipeline import Pipeline
+from .sweep import SweepEngine, SweepOutcome
+
+__all__ = [
+    "DEFAULT_PASSES",
+    "ConfigError",
+    "FlowConfig",
+    "PassRecord",
+    "Pipeline",
+    "PipelineStateError",
+    "ResultCache",
+    "RunArtifact",
+    "SweepEngine",
+    "SweepOutcome",
+    "allocate_pass",
+    "available_workloads",
+    "build_report",
+    "parse_pass",
+    "report_pass",
+    "resolve_workload",
+    "schedule_pass",
+    "specification_fingerprint",
+    "time_pass",
+    "transform_pass",
+    "validate_pass",
+]

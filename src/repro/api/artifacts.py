@@ -1,0 +1,141 @@
+"""Typed run artifacts produced by the pipeline passes.
+
+A :class:`RunArtifact` is the single object threaded through a pipeline run:
+every pass reads the slots filled by its predecessors and fills its own.  The
+slots mirror the pass sequence (``parse`` fills the specification,
+``transform`` the transformation result, ``schedule`` the schedule, and so
+on), so a run stopped early simply leaves the later slots ``None``.
+
+The ``report`` slot is special: it is a flat, JSON-serializable dictionary of
+the numbers the paper's tables print, which is what the on-disk cache and the
+process-pool sweep workers exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.transform import TransformResult
+from ..hls.datapath import Datapath
+from ..hls.flow import SynthesisResult
+from ..hls.schedule import Schedule
+from ..hls.timing import CycleTiming
+from ..ir.spec import Specification
+from ..techlib.library import TechnologyLibrary
+from .config import FlowConfig
+
+
+class PipelineStateError(RuntimeError):
+    """Raised when a pass reads a slot no earlier pass has filled."""
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """Execution record of one pass: its name and wall-clock time."""
+
+    name: str
+    elapsed_s: float
+
+
+@dataclass
+class RunArtifact:
+    """Everything produced by one pipeline run (possibly stopped early).
+
+    Slots, in the order the default passes fill them:
+
+    * ``specification`` -- the input specification (``parse``);
+    * ``working_specification`` -- the specification actually synthesized:
+      the transformed one when the transform pass ran, the input otherwise;
+    * ``transform_result`` / ``budget`` -- presynthesis transformation output
+      and the per-cycle chained-bit budget (``transform``);
+    * ``schedule`` (``schedule``), ``timing`` (``time``), ``datapath``
+      (``allocate``);
+    * ``synthesis`` / ``report`` -- the backward-compatible
+      :class:`~repro.hls.flow.SynthesisResult` and the flat metric row
+      (``report``).
+    """
+
+    config: FlowConfig
+    library: TechnologyLibrary
+    specification: Optional[Specification] = None
+    working_specification: Optional[Specification] = None
+    transform_result: Optional[TransformResult] = None
+    budget: Optional[int] = None
+    schedule: Optional[Schedule] = None
+    timing: Optional[CycleTiming] = None
+    datapath: Optional[Datapath] = None
+    synthesis: Optional[SynthesisResult] = None
+    report: Optional[Dict[str, Any]] = None
+    passes: List[PassRecord] = field(default_factory=list)
+    from_cache: bool = False
+
+    # ------------------------------------------------------------------
+    def completed_passes(self) -> List[str]:
+        """Names of the passes that ran, in order."""
+        return [record.name for record in self.passes]
+
+    def elapsed_s(self) -> float:
+        """Total wall-clock time spent in passes."""
+        return sum(record.elapsed_s for record in self.passes)
+
+    def require(self, slot: str) -> Any:
+        """Read a slot, raising a diagnostic error when it is unfilled."""
+        value = getattr(self, slot)
+        if value is None:
+            raise PipelineStateError(
+                f"artifact slot {slot!r} is empty; ran passes: "
+                f"{self.completed_passes() or '(none)'}"
+            )
+        return value
+
+    def summary(self) -> str:
+        """One-paragraph human rendering of the run."""
+        if self.synthesis is not None:
+            return self.synthesis.summary()
+        if self.report is not None:
+            # Disk-tier rehydration: the metric report survived, the
+            # heavyweight objects did not.
+            return (
+                f"{self.report.get('name', '<cached>')} [{self.config.mode}] "
+                f"latency={self.config.latency} (cached report)"
+            )
+        name = self.specification.name if self.specification else "<unresolved>"
+        return (
+            f"{name} [{self.config.mode}] latency={self.config.latency} "
+            f"(stopped after {self.completed_passes()[-1] if self.passes else 'nothing'})"
+        )
+
+
+def build_report(artifact: RunArtifact) -> Dict[str, Any]:
+    """The flat, JSON-serializable metric row of a completed run."""
+    synthesis = artifact.require("synthesis")
+    config = artifact.config
+    report: Dict[str, Any] = {
+        "name": synthesis.specification.name,
+        "workload": config.workload,
+        "label": config.label,
+        "latency": synthesis.latency,
+        "mode": synthesis.mode.value,
+        "cycle_length_ns": synthesis.cycle_length_ns,
+        "execution_time_ns": synthesis.execution_time_ns,
+        "chained_bits_per_cycle": synthesis.chained_bits_per_cycle,
+        "fu_area": synthesis.fu_area,
+        "register_area": synthesis.register_area,
+        "routing_area": synthesis.routing_area,
+        "controller_area": synthesis.controller_area,
+        "datapath_area": synthesis.datapath_area,
+        "total_area": synthesis.total_area,
+        "operations": synthesis.specification.operation_count(),
+        "additive_operations": synthesis.specification.additive_operation_count(),
+        "library": artifact.library.name,
+        "config_hash": config.content_hash(),
+    }
+    if artifact.transform_result is not None:
+        result = artifact.transform_result
+        report["operation_growth_pct"] = 100.0 * result.operation_growth()
+        report["critical_path_bits"] = result.critical_path_bits
+        if result.equivalence is not None:
+            report["equivalent"] = result.equivalence.equivalent
+            report["equivalence_vectors"] = result.equivalence.vectors_checked
+    return report

@@ -1,0 +1,201 @@
+"""Content-hash keyed result cache for pipeline runs.
+
+Repeated sweeps hit the same (config, specification) points over and over --
+latency sweeps share the conventional baseline across adder-style
+explorations, tables re-run the points figures already computed.  The cache
+keys every run by the config's content hash (plus the fingerprint of an
+injected in-memory specification and the pass-list shape) and keeps two
+tiers:
+
+* an in-memory LRU of full :class:`~repro.api.artifacts.RunArtifact` objects
+  (schedules, datapaths and all), and
+* an optional on-disk tier storing the JSON metric report, surviving across
+  processes; a disk hit rehydrates an artifact carrying the report only.
+
+Thread-safe: the sweep engine shares one cache across its workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Union
+
+from .artifacts import RunArtifact
+from .config import FlowConfig
+
+_FORMAT_VERSION = 1
+
+
+class ResultCache:
+    """Two-tier (memory + optional disk) cache of pipeline runs.
+
+    Parameters
+    ----------
+    directory:
+        When given, completed runs also persist their metric report as
+        ``<key>.json`` below this directory (created on demand).
+    max_memory_entries:
+        LRU bound for the in-memory tier; ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        max_memory_entries: Optional[int] = None,
+    ) -> None:
+        if max_memory_entries is not None and max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be >= 1 or None")
+        self.directory = Path(directory) if directory is not None else None
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, RunArtifact]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(
+        config: FlowConfig,
+        spec_fingerprint: Optional[str] = None,
+        pass_shape: Optional[str] = None,
+    ) -> str:
+        """The cache key of one run.
+
+        ``spec_fingerprint`` covers in-memory specifications that bypass the
+        config source; ``pass_shape`` covers customized/truncated pipelines
+        (different pass lists must never share entries).
+        """
+        key = config.content_hash()
+        if spec_fingerprint:
+            key += f":spec={spec_fingerprint}"
+        if pass_shape:
+            key += f":passes={pass_shape}"
+        return key
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _isolated_copy(artifact: RunArtifact, from_cache: bool) -> RunArtifact:
+        """A copy whose mutable report/passes don't alias the cached entry.
+
+        Heavyweight slots (specification, schedule, datapath) are shared --
+        the pipeline never mutates them after a run -- but callers do
+        annotate reports, and that must not poison later cache hits.
+        """
+        return dataclasses.replace(
+            artifact,
+            from_cache=from_cache,
+            report=dict(artifact.report) if artifact.report is not None else None,
+            passes=list(artifact.passes),
+        )
+
+    def get(self, key: str) -> Optional[RunArtifact]:
+        """Look a run up, memory tier first, then disk."""
+        with self._lock:
+            artifact = self._memory.get(key)
+            if artifact is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return self._isolated_copy(artifact, from_cache=True)
+        artifact = self._load_from_disk(key)
+        with self._lock:
+            if artifact is not None:
+                self.hits += 1
+                self._memory[key] = artifact
+                self._memory.move_to_end(key)
+                while (
+                    self.max_memory_entries is not None
+                    and len(self._memory) > self.max_memory_entries
+                ):
+                    self._memory.popitem(last=False)
+                return self._isolated_copy(artifact, from_cache=True)
+            self.misses += 1
+            return None
+
+    def put(self, key: str, artifact: RunArtifact) -> None:
+        """Store a completed run in both tiers."""
+        artifact = self._isolated_copy(artifact, from_cache=artifact.from_cache)
+        with self._lock:
+            self._memory[key] = artifact
+            self._memory.move_to_end(key)
+            while (
+                self.max_memory_entries is not None
+                and len(self._memory) > self.max_memory_entries
+            ):
+                self._memory.popitem(last=False)
+        if self.directory is not None and artifact.report is not None:
+            self._store_to_disk(key, artifact)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._memory),
+                "hits": self.hits,
+                "misses": self.misses,
+                "directory": str(self.directory) if self.directory else None,
+            }
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        assert self.directory is not None
+        # Keys embed the pass shape and can grow arbitrarily long; hash them
+        # so filenames stay within filesystem limits.  The full key is
+        # stored inside the payload and checked on load.
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.directory / f"{digest}.json"
+
+    def _store_to_disk(self, key: str, artifact: RunArtifact) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "key": key,
+            "config": artifact.config.to_dict(),
+            "report": artifact.report,
+        }
+        path = self._path_for(key)
+        # Unique tmp name per writer: concurrent puts of the same key (thread
+        # workers, or processes sharing the directory) must not race on one
+        # tmp file; the final rename stays atomic either way.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+        )
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        tmp.replace(path)
+
+    def _load_from_disk(self, key: str) -> Optional[RunArtifact]:
+        if self.directory is None:
+            return None
+        path = self._path_for(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("version") != _FORMAT_VERSION or payload.get("key") != key:
+            return None
+        config = FlowConfig.from_dict(payload["config"])
+        artifact = RunArtifact(
+            config=config,
+            library=config.build_library(),
+            report=payload["report"],
+            from_cache=True,
+        )
+        return artifact

@@ -1,0 +1,393 @@
+"""``python -m repro`` -- the command-line front end of the flow pipeline.
+
+Four subcommands, all driving the same :mod:`repro.api` objects a Python
+caller would use:
+
+* ``repro list-workloads``          -- the registered benchmark specifications;
+* ``repro run <workload>``          -- one synthesis run, summary or JSON;
+* ``repro sweep <workload>``        -- the Fig. 4 latency sweep, optionally
+  parallel (``--workers``/``--executor``);
+* ``repro table table1|table2|table3`` -- reproduce a table of the paper.
+
+Examples::
+
+    python -m repro run motivational --latency 3 --mode fragmented
+    python -m repro sweep chain:3:16 --latencies 3:15 --workers 4
+    python -m repro table table2 --workers 4
+    python -m repro list-workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..techlib.adders import AdderStyle
+from ..techlib.multipliers import MultiplierStyle
+from .cache import ResultCache
+from .config import ConfigError, FlowConfig, available_workloads
+from .pipeline import Pipeline
+from .sweep import SweepEngine
+
+
+def _parse_latencies(text: str) -> List[int]:
+    """Parse ``"3:15"``, ``"3:15:2"`` (inclusive ranges) or ``"3,5,7"``."""
+    text = text.strip()
+    try:
+        if ":" in text:
+            parts = [int(part) for part in text.split(":")]
+            if len(parts) == 2:
+                start, stop = parts
+                step = 1
+            elif len(parts) == 3:
+                start, stop, step = parts
+            else:
+                raise ValueError
+            if step < 1 or stop < start:
+                raise ValueError
+            return list(range(start, stop + 1, step))
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"malformed latency list {text!r}: expected start:stop[:step] or "
+            "a comma-separated list of integers"
+        ) from None
+
+
+def _add_library_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--adder-style",
+        choices=[style.value for style in AdderStyle],
+        default=AdderStyle.RIPPLE_CARRY.value,
+        help="adder architecture of the technology library",
+    )
+    parser.add_argument(
+        "--multiplier-style",
+        choices=[style.value for style in MultiplierStyle],
+        default=MultiplierStyle.ARRAY.value,
+        help="multiplier architecture of the technology library",
+    )
+
+
+def _add_cache_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist run reports below this directory and reuse them",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ruiz-Sautua et al. (DATE 2005) behavioural-transformation "
+        "flow: run, sweep and tabulate synthesis experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # -- run -----------------------------------------------------------
+    run_parser = subparsers.add_parser(
+        "run", help="synthesize one workload at one latency"
+    )
+    run_parser.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="workload name (see list-workloads) or chain:<n>:<w> / tree:<n>:<w>",
+    )
+    run_parser.add_argument(
+        "--spec-file",
+        default=None,
+        help="read the specification from a file in the textual language "
+        "instead of naming a workload",
+    )
+    run_parser.add_argument("--latency", "-l", type=int, required=True)
+    run_parser.add_argument(
+        "--mode",
+        "-m",
+        default="conventional",
+        help="flow mode: conventional, fragmented or blc",
+    )
+    run_parser.add_argument(
+        "--chained-bits",
+        type=int,
+        default=None,
+        help="explicit per-cycle chained-bit budget (fragmented flow)",
+    )
+    run_parser.add_argument(
+        "--no-balance",
+        action="store_true",
+        help="disable fragment balancing (pure ASAP placement)",
+    )
+    run_parser.add_argument(
+        "--check-equivalence",
+        action="store_true",
+        help="co-simulate the transformed specification against the original",
+    )
+    run_parser.add_argument(
+        "--stop-after",
+        default=None,
+        help="stop the pipeline after this pass (parse, validate, transform, "
+        "schedule, time, allocate, report)",
+    )
+    run_parser.add_argument("--json", action="store_true", help="print the JSON report")
+    _add_library_options(run_parser)
+    _add_cache_option(run_parser)
+
+    # -- sweep ---------------------------------------------------------
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="Fig. 4 style latency sweep of one workload"
+    )
+    sweep_parser.add_argument("workload")
+    sweep_parser.add_argument(
+        "--latencies",
+        type=_parse_latencies,
+        default=list(range(3, 16)),
+        help="latency axis: start:stop[:step] or comma list (default 3:15)",
+    )
+    sweep_parser.add_argument(
+        "--workers", "-j", type=int, default=None, help="parallel worker count"
+    )
+    sweep_parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="worker pool type (default: serial, or thread when --workers > 1)",
+    )
+    sweep_parser.add_argument("--json", action="store_true")
+    _add_library_options(sweep_parser)
+    _add_cache_option(sweep_parser)
+
+    # -- table ---------------------------------------------------------
+    table_parser = subparsers.add_parser(
+        "table", help="reproduce a results table of the paper"
+    )
+    table_parser.add_argument(
+        "which",
+        choices=("table1", "table2", "table3"),
+        help="table1: motivational example; table2: classical HLS "
+        "benchmarks; table3: ADPCM decoder modules",
+    )
+    table_parser.add_argument("--workers", "-j", type=int, default=None)
+    table_parser.add_argument("--json", action="store_true")
+    _add_cache_option(table_parser)
+
+    # -- list-workloads ------------------------------------------------
+    list_parser = subparsers.add_parser(
+        "list-workloads", help="list the registered benchmark specifications"
+    )
+    list_parser.add_argument("--json", action="store_true")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _make_pipeline(cache_dir: Optional[str]) -> Pipeline:
+    cache = ResultCache(directory=cache_dir) if cache_dir else ResultCache()
+    return Pipeline(cache=cache)
+
+
+def _print_report(report: Dict[str, Any], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        width = max(len(key) for key in report)
+        for key, value in report.items():
+            if isinstance(value, float):
+                value = f"{value:.2f}"
+            print(f"  {key.ljust(width)} : {value}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if (args.workload is None) == (args.spec_file is None):
+        print("error: give exactly one of <workload> or --spec-file", file=sys.stderr)
+        return 2
+    spec_text = None
+    if args.spec_file is not None:
+        with open(args.spec_file, "r", encoding="utf-8") as handle:
+            spec_text = handle.read()
+    config = FlowConfig(
+        latency=args.latency,
+        mode=args.mode,
+        workload=args.workload,
+        spec_text=spec_text,
+        adder_style=args.adder_style,
+        multiplier_style=args.multiplier_style,
+        chained_bits_per_cycle=args.chained_bits,
+        balance_fragments=not args.no_balance,
+        check_equivalence=args.check_equivalence,
+    )
+    pipeline = _make_pipeline(args.cache_dir)
+    try:
+        artifact = pipeline.run(config, stop_after=args.stop_after)
+    except KeyError as error:
+        # An unknown --stop-after pass name (Pipeline._index_of).
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if artifact.report is not None:
+        if not args.json:
+            print(artifact.summary())
+            print()
+        _print_report(artifact.report, args.json)
+    elif args.json:
+        print(
+            json.dumps(
+                {
+                    "stopped_after": args.stop_after,
+                    "passes": [
+                        {"name": record.name, "elapsed_s": record.elapsed_s}
+                        for record in artifact.passes
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(artifact.summary())
+        for record in artifact.passes:
+            print(f"  pass {record.name:9s}: {1000 * record.elapsed_s:.1f} ms")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from ..analysis.sweeps import change_pct, paired_reports, sweep_configs
+    from ..analysis.tables import format_records
+
+    executor = args.executor
+    if executor is None:
+        executor = "thread" if (args.workers or 1) > 1 else "serial"
+    engine = SweepEngine(
+        pipeline=_make_pipeline(args.cache_dir),
+        max_workers=args.workers,
+        executor=executor,
+    )
+    configs = [
+        config.replace(
+            adder_style=args.adder_style, multiplier_style=args.multiplier_style
+        )
+        for config in sweep_configs(args.latencies, workload=args.workload)
+    ]
+    reports = engine.reports(configs)
+    rows = []
+    for original, optimized in paired_reports(reports):
+        rows.append(
+            {
+                "latency": original["latency"],
+                "original_cycle_ns": original["cycle_length_ns"],
+                "optimized_cycle_ns": optimized["cycle_length_ns"],
+                "cycle_saving_pct": change_pct(original, optimized, "cycle_length_ns"),
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(
+            format_records(
+                rows, title=f"cycle length vs latency -- {args.workload} ({executor})"
+            )
+        )
+    return 0
+
+
+def _table_points(which: str) -> List[Any]:
+    from ..workloads import TABLE2_LATENCIES, TABLE3_LATENCIES
+
+    if which == "table1":
+        return [("motivational", 3)]
+    if which == "table2":
+        return [
+            (name, latency)
+            for name, latencies in TABLE2_LATENCIES.items()
+            for latency in latencies
+        ]
+    return [(f"adpcm_{name}", latency) for name, latency in TABLE3_LATENCIES.items()]
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from ..analysis.sweeps import change_pct, paired_reports
+    from ..analysis.tables import format_records
+
+    points = _table_points(args.which)
+    configs: List[FlowConfig] = []
+    for name, latency in points:
+        configs.append(FlowConfig(latency=latency, mode="conventional", workload=name))
+        configs.append(FlowConfig(latency=latency, mode="fragmented", workload=name))
+    executor = "thread" if (args.workers or 1) > 1 else "serial"
+    engine = SweepEngine(
+        pipeline=_make_pipeline(args.cache_dir),
+        max_workers=args.workers,
+        executor=executor,
+    )
+    reports = engine.reports(configs)
+    rows = []
+    for original, optimized in paired_reports(reports):
+        rows.append(
+            {
+                "benchmark": original["workload"],
+                "latency": original["latency"],
+                "original_cycle_ns": original["cycle_length_ns"],
+                "optimized_cycle_ns": optimized["cycle_length_ns"],
+                "cycle_saving_pct": change_pct(original, optimized, "cycle_length_ns"),
+                "area_change_pct": -change_pct(original, optimized, "datapath_area"),
+                "original_total_area": original["total_area"],
+                "optimized_total_area": optimized["total_area"],
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(format_records(rows, title=f"{args.which} reproduction"))
+    return 0
+
+
+def _cmd_list_workloads(args: argparse.Namespace) -> int:
+    entries = []
+    for name, factory in sorted(available_workloads().items()):
+        spec = factory()
+        entries.append(
+            {
+                "workload": name,
+                "operations": spec.operation_count(),
+                "additive_operations": spec.additive_operation_count(),
+                "inputs": len(spec.inputs()),
+                "outputs": len(spec.outputs()),
+            }
+        )
+    if args.json:
+        print(json.dumps(entries, indent=2))
+    else:
+        from ..analysis.tables import format_records
+
+        print(format_records(entries, title="registered workloads"))
+        print("\nparametric families: chain:<n>:<w>, tree:<n>:<w>")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "table": _cmd_table,
+        "list-workloads": _cmd_list_workloads,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ConfigError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: not an error.
+        return 0
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,245 @@
+"""Declarative flow configuration.
+
+:class:`FlowConfig` is the serializable description of one synthesis run: the
+specification source, the latency constraint, the flow mode, the technology
+library knobs and the transformation/scheduler options.  It is frozen and
+hashable, round-trips losslessly through ``dict``/JSON, and its
+:meth:`~FlowConfig.content_hash` keys the result cache and the sweep engine.
+
+Specification sources
+---------------------
+
+A config names its specification in one of two serializable ways:
+
+* ``workload`` -- a named workload.  Either one of the registered benchmark
+  names (see :func:`available_workloads`) or a parametric family:
+  ``"chain:<n>:<w>"`` (a chain of *n* chained *w*-bit additions, the paper's
+  running example) and ``"tree:<n>:<w>"`` (a balanced addition tree).
+* ``spec_text`` -- a behavioural specification in the textual language of
+  :mod:`repro.ir.parser`.
+
+Callers holding an in-memory :class:`~repro.ir.spec.Specification` can skip
+both and pass it directly to :meth:`repro.api.Pipeline.run`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..hls.flow import FlowMode
+from ..ir.spec import Specification
+from ..techlib.adders import AdderStyle
+from ..techlib.library import TechnologyLibrary, default_library
+from ..techlib.multipliers import MultiplierStyle
+from ..util import coerce_enum
+
+
+class ConfigError(ValueError):
+    """Raised for invalid or unserializable flow configurations."""
+
+
+def _coerce_enum(enum_cls, value, what: str):
+    """Coerce into *enum_cls*, reporting failures as :class:`ConfigError`."""
+    try:
+        return coerce_enum(enum_cls, value, what)
+    except ValueError as error:
+        raise ConfigError(str(error)) from None
+
+
+def available_workloads() -> Dict[str, Callable[[], Specification]]:
+    """All registered workload factories, by name."""
+    from ..workloads import ALL_WORKLOADS
+
+    return dict(ALL_WORKLOADS)
+
+
+def resolve_workload(name: str) -> Specification:
+    """Build the specification a workload name stands for.
+
+    Accepts the registered benchmark names plus the parametric families
+    ``chain:<n>:<w>`` and ``tree:<n>:<w>``.
+    """
+    from ..workloads import ALL_WORKLOADS, addition_chain, addition_tree
+
+    if name in ALL_WORKLOADS:
+        return ALL_WORKLOADS[name]()
+    parts = name.split(":")
+    if len(parts) == 3 and parts[0] in ("chain", "tree"):
+        family, count, width = parts
+        try:
+            count_i, width_i = int(count), int(width)
+        except ValueError:
+            raise ConfigError(
+                f"malformed parametric workload {name!r}: "
+                f"expected {family}:<count>:<width> with integer parameters"
+            ) from None
+        factory = addition_chain if family == "chain" else addition_tree
+        return factory(count_i, width_i)
+    known = ", ".join(sorted(ALL_WORKLOADS))
+    raise ConfigError(
+        f"unknown workload {name!r}: expected one of {known}, "
+        "or a parametric chain:<n>:<w> / tree:<n>:<w>"
+    )
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """A complete, serializable description of one synthesis run.
+
+    Parameters
+    ----------
+    latency:
+        Circuit latency in cycles (the paper's lambda).  Must be >= 1.
+    mode:
+        Flow to run: ``conventional``, ``fragmented`` or ``blc`` (a
+        :class:`~repro.hls.flow.FlowMode` or its string name).
+    workload / spec_text:
+        Serializable specification source (at most one; see module docs).
+    adder_style / multiplier_style:
+        Functional-unit architectures of the technology library.
+    chained_bits_per_cycle:
+        Explicit per-cycle chained-bit budget.  ``None`` derives it (from the
+        transformation for the fragmented flow).  Must be positive when set.
+    balance_fragments:
+        Whether the fragment scheduler balances addition bits across cycles.
+    transform:
+        Whether to run the presynthesis transformation before scheduling.
+        ``None`` derives it from the mode: the fragmented flow transforms,
+        the others synthesize the specification as given.  Set it to
+        ``False`` to fragment-schedule an already-transformed specification.
+    validate_input / validate_output:
+        Structurally validate the input specification (the validate pass)
+        and the transformed specification (inside the transform pass).
+    check_equivalence / equivalence_vectors:
+        Co-simulate the transformed specification against the original.
+    label:
+        Free-form tag carried into reports (sweep annotations).
+    """
+
+    latency: int
+    mode: FlowMode = FlowMode.CONVENTIONAL
+    workload: Optional[str] = None
+    spec_text: Optional[str] = None
+    adder_style: AdderStyle = AdderStyle.RIPPLE_CARRY
+    multiplier_style: MultiplierStyle = MultiplierStyle.ARRAY
+    chained_bits_per_cycle: Optional[int] = None
+    balance_fragments: bool = True
+    transform: Optional[bool] = None
+    validate_input: bool = True
+    validate_output: bool = True
+    check_equivalence: bool = False
+    equivalence_vectors: int = 50
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mode", FlowMode.coerce(self.mode))
+        object.__setattr__(
+            self, "adder_style", _coerce_enum(AdderStyle, self.adder_style, "adder style")
+        )
+        object.__setattr__(
+            self,
+            "multiplier_style",
+            _coerce_enum(MultiplierStyle, self.multiplier_style, "multiplier style"),
+        )
+        if not isinstance(self.latency, int) or self.latency < 1:
+            raise ConfigError(f"latency must be a positive integer, got {self.latency!r}")
+        if self.chained_bits_per_cycle is not None and self.chained_bits_per_cycle <= 0:
+            raise ConfigError(
+                "chained_bits_per_cycle must be positive when given, got "
+                f"{self.chained_bits_per_cycle!r} (use None to derive it)"
+            )
+        if self.workload is not None and self.spec_text is not None:
+            raise ConfigError(
+                "give either a workload name or spec_text, not both "
+                f"(workload={self.workload!r})"
+            )
+        if self.equivalence_vectors < 1:
+            raise ConfigError("equivalence_vectors must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def wants_transform(self) -> bool:
+        """Whether the pipeline's transform pass runs for this config."""
+        if self.transform is not None:
+            return self.transform
+        return self.mode is FlowMode.FRAGMENTED
+
+    @property
+    def has_source(self) -> bool:
+        return self.workload is not None or self.spec_text is not None
+
+    def build_library(self) -> TechnologyLibrary:
+        """The technology library this config describes."""
+        library = default_library()
+        if self.adder_style is not library.adder_style:
+            library = library.with_adder_style(self.adder_style)
+        if self.multiplier_style is not library.multiplier_style:
+            library = library.with_multiplier_style(self.multiplier_style)
+        return library
+
+    def resolve_specification(self) -> Specification:
+        """Build the specification from the serializable source."""
+        if self.workload is not None:
+            return resolve_workload(self.workload)
+        if self.spec_text is not None:
+            from ..ir.parser import parse_specification
+
+            return parse_specification(self.spec_text)
+        raise ConfigError(
+            "config has no specification source: set workload or spec_text, "
+            "or pass a Specification to Pipeline.run()"
+        )
+
+    def replace(self, **changes: Any) -> "FlowConfig":
+        """A copy of the config with *changes* applied (validated again)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable dictionary (enums become their string values)."""
+        data = dataclasses.asdict(self)
+        data["mode"] = self.mode.value
+        data["adder_style"] = self.adder_style.value
+        data["multiplier_style"] = self.multiplier_style.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FlowConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - field_names
+        if unknown:
+            raise ConfigError(
+                f"unknown FlowConfig keys {sorted(unknown)}; "
+                f"valid keys are {sorted(field_names)}"
+            )
+        if "latency" not in data:
+            raise ConfigError("FlowConfig dictionary is missing 'latency'")
+        return cls(**data)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FlowConfig":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ConfigError("FlowConfig JSON must encode an object")
+        return cls.from_dict(data)
+
+    def content_hash(self) -> str:
+        """A stable digest of the config content, used as the cache key."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+
+def specification_fingerprint(specification: Specification) -> str:
+    """A stable digest of a specification, for cache keys of in-memory specs."""
+    return hashlib.sha256(specification.describe().encode("utf-8")).hexdigest()

@@ -1,0 +1,129 @@
+"""The composable passes of the synthesis pipeline.
+
+Each pass is a named function ``(RunArtifact) -> None`` that reads the
+artifact slots filled by its predecessors and fills its own.  The default
+sequence mirrors the paper's flow::
+
+    parse -> validate -> transform -> schedule -> time -> allocate -> report
+
+Passes are deliberately thin: they delegate to the same primitives the legacy
+:func:`repro.hls.flow.synthesize` facade composes, so the pipeline and the
+facade cannot drift apart numerically.  Callers swap a pass (for example an
+alternative scheduler) with :meth:`repro.api.Pipeline.replace_pass`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from ..core.transform import TransformOptions, transform
+from ..hls.datapath import build_datapath
+from ..hls.flow import FlowMode, SynthesisResult, run_schedule, run_timing
+from ..ir.validate import require_valid
+from .artifacts import RunArtifact, build_report
+
+#: The signature every pass implements.
+PassFn = Callable[[RunArtifact], None]
+
+
+def parse_pass(artifact: RunArtifact) -> None:
+    """Resolve the specification from the config's serializable source.
+
+    A specification injected by ``Pipeline.run(..., specification=...)`` is
+    already present and wins over the config source.
+    """
+    if artifact.specification is None:
+        artifact.specification = artifact.config.resolve_specification()
+    if artifact.working_specification is None:
+        artifact.working_specification = artifact.specification
+
+
+def validate_pass(artifact: RunArtifact) -> None:
+    """Structurally validate the input specification."""
+    if artifact.config.validate_input:
+        require_valid(artifact.require("specification"))
+
+
+def transform_pass(artifact: RunArtifact) -> None:
+    """Run the paper's presynthesis transformation when the config asks for it.
+
+    Fills ``transform_result``, rebinds ``working_specification`` to the
+    optimized specification, and records the per-cycle chained-bit budget the
+    scheduler must honour.  For flows that skip the transformation the pass
+    only forwards an explicit budget from the config.
+    """
+    config = artifact.config
+    if not config.wants_transform:
+        artifact.budget = config.chained_bits_per_cycle
+        return
+    options = TransformOptions(
+        check_equivalence=config.check_equivalence,
+        equivalence_vectors=config.equivalence_vectors,
+        chained_bits_override=config.chained_bits_per_cycle,
+        validate_input=False,  # the validate pass handles the input
+        validate_output=config.validate_output,
+    )
+    result = transform(artifact.require("specification"), config.latency, options)
+    artifact.transform_result = result
+    artifact.working_specification = result.transformed
+    if config.chained_bits_per_cycle is not None:
+        artifact.budget = config.chained_bits_per_cycle
+    else:
+        artifact.budget = result.chained_bits_per_cycle
+
+
+def schedule_pass(artifact: RunArtifact) -> None:
+    """Schedule the working specification with the mode's scheduler."""
+    config = artifact.config
+    schedule, budget_used = run_schedule(
+        artifact.require("working_specification"),
+        config.latency,
+        artifact.library,
+        config.mode,
+        chained_bits_per_cycle=artifact.budget,
+        balance_fragments=config.balance_fragments,
+    )
+    artifact.schedule = schedule
+    if budget_used is not None:
+        artifact.budget = budget_used
+
+
+def time_pass(artifact: RunArtifact) -> None:
+    """Timing analysis: operation-level or bit-level, depending on the mode."""
+    artifact.timing = run_timing(
+        artifact.require("schedule"), artifact.library, artifact.config.mode
+    )
+
+
+def allocate_pass(artifact: RunArtifact) -> None:
+    """Allocation, binding and datapath assembly."""
+    artifact.datapath = build_datapath(artifact.require("schedule"), artifact.library)
+
+
+def report_pass(artifact: RunArtifact) -> None:
+    """Assemble the backward-compatible result object and the metric row."""
+    config = artifact.config
+    budget = artifact.budget if config.mode is not FlowMode.CONVENTIONAL else None
+    artifact.synthesis = SynthesisResult(
+        specification=artifact.require("working_specification"),
+        latency=config.latency,
+        mode=config.mode,
+        schedule=artifact.require("schedule"),
+        timing=artifact.require("timing"),
+        datapath=artifact.require("datapath"),
+        library=artifact.library,
+        chained_bits_per_cycle=budget,
+    )
+    artifact.report = build_report(artifact)
+
+
+#: The canonical pass sequence, in execution order.
+DEFAULT_PASSES: Tuple[Tuple[str, PassFn], ...] = (
+    ("parse", parse_pass),
+    ("validate", validate_pass),
+    ("transform", transform_pass),
+    ("schedule", schedule_pass),
+    ("time", time_pass),
+    ("allocate", allocate_pass),
+    ("report", report_pass),
+)

@@ -1,0 +1,185 @@
+"""The synthesis pipeline: named passes over a shared run artifact.
+
+:class:`Pipeline` is the canonical way to run the paper's flow.  It holds an
+ordered list of named passes (see :mod:`repro.api.passes`), runs them over a
+:class:`~repro.api.artifacts.RunArtifact`, and optionally consults a
+:class:`~repro.api.cache.ResultCache` so repeated runs of the same config are
+free.  Callers can stop after any pass (``stop_after="schedule"`` to inspect
+a schedule without paying for allocation) or swap passes out
+(``replace_pass("schedule", my_scheduler)`` for scheduler experiments).
+
+Example::
+
+    from repro.api import FlowConfig, Pipeline
+
+    pipeline = Pipeline()
+    artifact = pipeline.run(FlowConfig(latency=3, mode="fragmented",
+                                       workload="motivational"))
+    print(artifact.synthesis.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..ir.spec import Specification
+from ..techlib.library import TechnologyLibrary
+from .artifacts import PassRecord, RunArtifact
+from .cache import ResultCache
+from .config import FlowConfig, specification_fingerprint
+from .passes import DEFAULT_PASSES, PassFn
+
+
+class Pipeline:
+    """A composable sequence of named synthesis passes.
+
+    Parameters
+    ----------
+    passes:
+        Ordered ``(name, fn)`` pairs; defaults to the canonical
+        ``parse -> validate -> transform -> schedule -> time -> allocate ->
+        report`` sequence.
+    library:
+        Technology library override.  When ``None`` every run builds the
+        library its config describes (adder/multiplier styles).
+    cache:
+        Result cache consulted before running and filled afterwards.
+    """
+
+    def __init__(
+        self,
+        passes: Optional[Iterable[Tuple[str, PassFn]]] = None,
+        library: Optional[TechnologyLibrary] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.passes: List[Tuple[str, PassFn]] = list(
+            passes if passes is not None else DEFAULT_PASSES
+        )
+        names = [name for name, _ in self.passes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate pass names in pipeline: {names}")
+        self.library = library
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def pass_names(self) -> List[str]:
+        return [name for name, _ in self.passes]
+
+    def _index_of(self, name: str) -> int:
+        for index, (pass_name, _) in enumerate(self.passes):
+            if pass_name == name:
+                return index
+        raise KeyError(
+            f"pipeline has no pass {name!r}; passes are {self.pass_names()}"
+        )
+
+    def replace_pass(self, name: str, fn: PassFn) -> "Pipeline":
+        """A new pipeline with the named pass swapped for *fn*."""
+        index = self._index_of(name)
+        passes = list(self.passes)
+        passes[index] = (name, fn)
+        return Pipeline(passes, library=self.library, cache=self.cache)
+
+    def without_pass(self, name: str) -> "Pipeline":
+        """A new pipeline with the named pass removed."""
+        index = self._index_of(name)
+        passes = list(self.passes)
+        del passes[index]
+        return Pipeline(passes, library=self.library, cache=self.cache)
+
+    def with_cache(self, cache: Optional[ResultCache]) -> "Pipeline":
+        return Pipeline(self.passes, library=self.library, cache=cache)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _pass_shape(self, stop_after: Optional[str]) -> str:
+        # Name + function identity, so a swapped-in pass never shares cache
+        # entries with the stock pass of the same name.
+        shape = ">".join(
+            f"{name}:{getattr(fn, '__qualname__', repr(fn))}"
+            for name, fn in self.passes
+        )
+        if stop_after is not None:
+            shape += f"!{stop_after}"
+        if self.library is not None:
+            # A library override bypasses the config's styles; key on it too.
+            shape += f"@{self.library!r}"
+        return shape
+
+    def run(
+        self,
+        config: FlowConfig,
+        specification: Optional[Specification] = None,
+        stop_after: Optional[str] = None,
+        use_cache: bool = True,
+        require_full: bool = False,
+    ) -> RunArtifact:
+        """Run the passes over *config* and return the artifact.
+
+        Parameters
+        ----------
+        config:
+            The declarative run description.
+        specification:
+            In-memory specification overriding the config's source (the
+            cache key then includes its fingerprint).
+        stop_after:
+            Name of the last pass to run; later slots stay ``None``.
+        use_cache:
+            Consult/fill the pipeline's cache (ignored without one).
+        require_full:
+            Reject report-only cache hits (disk-tier rehydrations carry the
+            metric report but no synthesis objects): re-run instead and
+            upgrade the cache entry with the full artifact.
+        """
+        if stop_after is not None:
+            self._index_of(stop_after)  # validate the name up front
+        cache_key: Optional[str] = None
+        if self.cache is not None and use_cache:
+            fingerprint = (
+                specification_fingerprint(specification)
+                if specification is not None
+                else None
+            )
+            cache_key = ResultCache.key_for(
+                config, fingerprint, self._pass_shape(stop_after)
+            )
+            cached = self.cache.get(cache_key)
+            if cached is not None and not (require_full and cached.synthesis is None):
+                return cached
+
+        artifact = RunArtifact(
+            config=config,
+            library=self.library if self.library is not None else config.build_library(),
+            specification=specification,
+        )
+        if specification is not None:
+            artifact.working_specification = specification
+        for name, pass_fn in self.passes:
+            started = time.perf_counter()
+            pass_fn(artifact)
+            artifact.passes.append(PassRecord(name, time.perf_counter() - started))
+            if name == stop_after:
+                break
+
+        if cache_key is not None:
+            self.cache.put(cache_key, artifact)
+        return artifact
+
+    def run_many(
+        self,
+        configs: Sequence[FlowConfig],
+        specifications: Optional[Sequence[Optional[Specification]]] = None,
+    ) -> List[RunArtifact]:
+        """Run several configs sequentially (use SweepEngine for parallelism)."""
+        if specifications is not None and len(specifications) != len(configs):
+            raise ValueError("specifications must align with configs")
+        artifacts = []
+        for index, config in enumerate(configs):
+            spec = specifications[index] if specifications is not None else None
+            artifacts.append(self.run(config, specification=spec))
+        return artifacts

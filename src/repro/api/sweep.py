@@ -1,0 +1,264 @@
+"""Parallel sweep engine: fan a list of configs across worker pools.
+
+:class:`SweepEngine` takes a list of :class:`~repro.api.config.FlowConfig`
+objects and runs each through a :class:`~repro.api.pipeline.Pipeline`,
+optionally in parallel.  Three executors are supported:
+
+* ``"serial"`` -- plain loop, no pool (the default when ``max_workers`` is
+  unset or 1);
+* ``"thread"`` -- a :class:`concurrent.futures.ThreadPoolExecutor` sharing
+  one pipeline and cache; full artifacts are returned;
+* ``"process"`` -- a :class:`concurrent.futures.ProcessPoolExecutor` for
+  CPU-bound sweeps.  Configs must be self-contained (a ``workload`` or
+  ``spec_text`` source, no injected specification or library override)
+  because each worker rebuilds its pipeline from the serialized config;
+  workers return the JSON metric report, not full artifacts.
+
+Results always come back in the order the configs were given, whatever order
+the workers finished in, so sweeps are deterministic.  Per-config failures
+are captured in the outcome (``error``) instead of aborting the whole sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..ir.spec import Specification
+from .artifacts import RunArtifact
+from .config import FlowConfig
+from .passes import DEFAULT_PASSES
+from .pipeline import Pipeline
+
+_EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass
+class SweepOutcome:
+    """The result of one config within a sweep."""
+
+    index: int
+    config: FlowConfig
+    report: Optional[Dict[str, Any]] = None
+    artifact: Optional[RunArtifact] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_config_in_worker(
+    config_dict: Dict[str, Any], cache_dir: Optional[str] = None
+) -> Dict[str, Any]:
+    """Process-pool entry point: rebuild the config, run, return the report.
+
+    When the parent pipeline has a disk-backed cache, its directory is
+    forwarded so workers share the on-disk tier (its writes are atomic).
+    The elapsed time is measured here, in the worker, so it reflects the
+    point's actual run time rather than how long the parent waited on the
+    future.
+    """
+    from .cache import ResultCache
+
+    config = FlowConfig.from_dict(config_dict)
+    cache = ResultCache(directory=cache_dir) if cache_dir is not None else None
+    started = time.perf_counter()
+    artifact = Pipeline(cache=cache).run(config)
+    assert artifact.report is not None
+    return {"report": artifact.report, "elapsed_s": time.perf_counter() - started}
+
+
+class SweepEngine:
+    """Fan configs across workers and collect ordered outcomes.
+
+    Parameters
+    ----------
+    pipeline:
+        The pipeline to run (serial/thread executors).  Defaults to a stock
+        :class:`Pipeline`; give it a cache to dedupe repeated points.
+    max_workers:
+        Pool width; ``None`` picks ``min(8, cpu_count)`` for pooled
+        executors.
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"`` (see module docs).
+    """
+
+    def __init__(
+        self,
+        pipeline: Optional[Pipeline] = None,
+        max_workers: Optional[int] = None,
+        executor: str = "serial",
+    ) -> None:
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}: expected one of {_EXECUTORS}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.pipeline = pipeline if pipeline is not None else Pipeline()
+        self.max_workers = max_workers
+        self.executor = executor
+
+    # ------------------------------------------------------------------
+    def _effective_workers(self, jobs: int) -> int:
+        if self.max_workers is not None:
+            return max(1, min(self.max_workers, jobs))
+        return max(1, min(8, os.cpu_count() or 1, jobs))
+
+    def run(
+        self,
+        configs: Sequence[FlowConfig],
+        specifications: Optional[Sequence[Optional[Specification]]] = None,
+    ) -> List[SweepOutcome]:
+        """Run every config; outcomes are ordered like the input list.
+
+        ``specifications`` optionally injects one in-memory specification per
+        config (serial and thread executors only).
+        """
+        configs = list(configs)
+        if specifications is not None:
+            specifications = list(specifications)
+            if len(specifications) != len(configs):
+                raise ValueError("specifications must align with configs")
+        if not configs:
+            return []
+
+        if self.executor == "process":
+            if specifications is not None and any(
+                spec is not None for spec in specifications
+            ):
+                raise ValueError(
+                    "the process executor cannot ship in-memory specifications; "
+                    "use workload/spec_text sources or the thread executor"
+                )
+            if self.pipeline.library is not None:
+                raise ValueError(
+                    "the process executor cannot ship a library override; "
+                    "encode adder/multiplier styles in the configs instead"
+                )
+            if self.pipeline.passes != list(DEFAULT_PASSES):
+                raise ValueError(
+                    "the process executor cannot ship a customized pass list "
+                    "(workers rebuild the stock pipeline); use the thread or "
+                    "serial executor for pass experiments"
+                )
+            for config in configs:
+                if not config.has_source:
+                    raise ValueError(
+                        "process-executor sweeps need self-contained configs "
+                        "(workload or spec_text); "
+                        f"config for latency {config.latency} has neither"
+                    )
+            return self._run_process(configs)
+
+        workers = self._effective_workers(len(configs))
+        if self.executor == "serial" or workers == 1:
+            return [
+                self._run_one(index, config, specifications)
+                for index, config in enumerate(configs)
+            ]
+        return self._run_threads(configs, specifications, workers)
+
+    # ------------------------------------------------------------------
+    def _run_one(
+        self,
+        index: int,
+        config: FlowConfig,
+        specifications: Optional[Sequence[Optional[Specification]]],
+    ) -> SweepOutcome:
+        spec = specifications[index] if specifications is not None else None
+        started = time.perf_counter()
+        try:
+            artifact = self.pipeline.run(config, specification=spec)
+            return SweepOutcome(
+                index=index,
+                config=config,
+                report=artifact.report,
+                artifact=artifact,
+                elapsed_s=time.perf_counter() - started,
+            )
+        except Exception as error:  # noqa: BLE001 - per-point isolation
+            return SweepOutcome(
+                index=index,
+                config=config,
+                error=f"{type(error).__name__}: {error}",
+                elapsed_s=time.perf_counter() - started,
+            )
+
+    def _run_threads(
+        self,
+        configs: Sequence[FlowConfig],
+        specifications: Optional[Sequence[Optional[Specification]]],
+        workers: int,
+    ) -> List[SweepOutcome]:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(self._run_one, index, config, specifications)
+                for index, config in enumerate(configs)
+            ]
+            return [future.result() for future in futures]
+
+    def _run_process(self, configs: Sequence[FlowConfig]) -> List[SweepOutcome]:
+        workers = self._effective_workers(len(configs))
+        outcomes: List[SweepOutcome] = []
+        cache = self.pipeline.cache
+        cache_dir = (
+            str(cache.directory) if cache is not None and cache.directory else None
+        )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_config_in_worker, config.to_dict(), cache_dir)
+                for config in configs
+            ]
+            for index, (config, future) in enumerate(zip(configs, futures)):
+                try:
+                    result = future.result()
+                    outcomes.append(
+                        SweepOutcome(
+                            index=index,
+                            config=config,
+                            report=result["report"],
+                            elapsed_s=result["elapsed_s"],
+                        )
+                    )
+                except Exception as error:  # noqa: BLE001 - per-point isolation
+                    outcomes.append(
+                        SweepOutcome(
+                            index=index,
+                            config=config,
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                    )
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def reports(
+        self,
+        configs: Sequence[FlowConfig],
+        specifications: Optional[Sequence[Optional[Specification]]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Run and return just the metric reports, raising on any failure."""
+        outcomes = self.run(configs, specifications)
+        failed = [outcome for outcome in outcomes if not outcome.ok]
+        if failed:
+            details = "; ".join(
+                f"#{outcome.index} ({outcome.config.workload or 'inline spec'}, "
+                f"latency {outcome.config.latency}): {outcome.error}"
+                for outcome in failed
+            )
+            raise RuntimeError(f"{len(failed)} sweep point(s) failed: {details}")
+        reportless = [outcome for outcome in outcomes if outcome.report is None]
+        if reportless:
+            # Succeeded but produced no report: the pipeline is missing its
+            # report pass.  Dropping these would silently mispair positional
+            # consumers, so fail loudly instead.
+            raise RuntimeError(
+                f"{len(reportless)} sweep point(s) completed without a report "
+                "(does the engine's pipeline still include the report pass?)"
+            )
+        return [outcome.report for outcome in outcomes]

@@ -133,7 +133,16 @@ class BehaviouralTransformer:
         # Phase 2 -- clock cycle estimation.
         critical = critical_path_bits(kernel.specification)
         estimate = estimate_cycle_budget(kernel.specification, latency, critical)
-        budget = options.chained_bits_override or estimate.chained_bits_per_cycle
+        if options.chained_bits_override is not None:
+            if options.chained_bits_override <= 0:
+                raise ValueError(
+                    "chained_bits_override must be positive, got "
+                    f"{options.chained_bits_override!r} (use None to apply "
+                    "the phase-2 estimate)"
+                )
+            budget = options.chained_bits_override
+        else:
+            budget = estimate.chained_bits_per_cycle
 
         # Phase 3 -- fragmentation and rewrite.
         fragmentation = fragment_specification(kernel.specification, latency, budget)

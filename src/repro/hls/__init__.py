@@ -7,7 +7,16 @@ experimental flow.  See DESIGN.md for the substitution rationale.
 
 from .controller import ControllerEstimate, estimate_controller
 from .datapath import Datapath, build_datapath
-from .flow import FlowMode, HlsFlow, SynthesisResult, synthesize
+from .flow import (
+    FlowMode,
+    FlowModeLike,
+    HlsFlow,
+    SynthesisResult,
+    resolve_budget,
+    run_schedule,
+    run_timing,
+    synthesize,
+)
 from .schedule import Schedule, ScheduleError
 from .timing import (
     CycleTiming,
@@ -48,6 +57,7 @@ __all__ = [
     "CycleTiming",
     "Datapath",
     "FlowMode",
+    "FlowModeLike",
     "FragmentSchedulerOptions",
     "FunctionalUnitAllocation",
     "FunctionalUnitInstance",
@@ -72,6 +82,9 @@ __all__ = [
     "estimate_interconnect",
     "minimize_clock_period",
     "operation_level_cycle_delays",
+    "resolve_budget",
+    "run_schedule",
+    "run_timing",
     "schedule_bit_level_chaining",
     "schedule_conventional",
     "schedule_fragments",

@@ -25,11 +25,12 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple, Union
 
 from ..ir.dfg import BitDependencyGraph
 from ..ir.spec import Specification
 from ..techlib.library import TechnologyLibrary, default_library
+from ..util import coerce_enum
 from .datapath import Datapath, build_datapath
 from .schedule import Schedule
 from .scheduling.chaining import schedule_bit_level_chaining
@@ -47,6 +48,19 @@ class FlowMode(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+    @classmethod
+    def coerce(cls, value: Union["FlowMode", str]) -> "FlowMode":
+        """Accept a :class:`FlowMode` or its string name, case-insensitively.
+
+        Raises :class:`ValueError` listing the valid modes on anything else,
+        so callers (CLI, config files) get an actionable message.
+        """
+        return coerce_enum(cls, value, "flow mode")
+
+
+#: Anything :func:`synthesize` accepts as a flow mode.
+FlowModeLike = Union[FlowMode, str]
 
 
 @dataclass
@@ -122,11 +136,75 @@ def _default_budget(specification: Specification, latency: int) -> int:
     return max(1, math.ceil(critical / latency))
 
 
+def resolve_budget(
+    specification: Specification,
+    latency: int,
+    chained_bits_per_cycle: Optional[int],
+) -> int:
+    """Validate an explicit per-cycle budget or derive the default one.
+
+    ``None`` means "derive from the specification"; an explicit value must be
+    a positive integer (0 is *not* treated as unset).
+    """
+    if chained_bits_per_cycle is None:
+        return _default_budget(specification, latency)
+    if chained_bits_per_cycle <= 0:
+        raise ValueError(
+            "chained_bits_per_cycle must be a positive number of chained "
+            f"1-bit additions, got {chained_bits_per_cycle!r} "
+            "(pass None to derive the budget from the specification)"
+        )
+    return chained_bits_per_cycle
+
+
+def run_schedule(
+    specification: Specification,
+    latency: int,
+    library: TechnologyLibrary,
+    mode: FlowModeLike = FlowMode.CONVENTIONAL,
+    chained_bits_per_cycle: Optional[int] = None,
+    balance_fragments: bool = True,
+) -> Tuple[Schedule, Optional[int]]:
+    """The scheduling stage of the flow, shared by :func:`synthesize` and the
+    :mod:`repro.api` pipeline.
+
+    Returns the schedule together with the chained-bit budget actually used
+    (``None`` for the conventional flow, which chains whole operations).
+    """
+    mode = FlowMode.coerce(mode)
+    if mode is FlowMode.CONVENTIONAL:
+        schedule, _search = schedule_conventional(specification, latency, library)
+        return schedule, None
+    if mode is FlowMode.FRAGMENTED:
+        budget = resolve_budget(specification, latency, chained_bits_per_cycle)
+        options = FragmentSchedulerOptions(balance=balance_fragments)
+        schedule = schedule_fragments(specification, latency, budget, options)
+        return schedule, budget
+    if mode is FlowMode.BLC:
+        blc = schedule_bit_level_chaining(specification, latency)
+        return blc.schedule, blc.chained_bits_per_cycle
+    raise ValueError(f"unknown flow mode {mode}")  # pragma: no cover - coerce()
+
+
+def run_timing(
+    schedule: Schedule, library: TechnologyLibrary, mode: FlowModeLike
+) -> CycleTiming:
+    """The timing-analysis stage of the flow.
+
+    The conventional flow chains whole operations, the fragmented and BLC
+    flows chain individual result bits, hence the two analyses.
+    """
+    mode = FlowMode.coerce(mode)
+    if mode is FlowMode.CONVENTIONAL:
+        return analyze_operation_level(schedule, library)
+    return analyze_bit_level(schedule, library)
+
+
 def synthesize(
     specification: Specification,
     latency: int,
     library: Optional[TechnologyLibrary] = None,
-    mode: FlowMode = FlowMode.CONVENTIONAL,
+    mode: FlowModeLike = FlowMode.CONVENTIONAL,
     chained_bits_per_cycle: Optional[int] = None,
     balance_fragments: bool = True,
 ) -> SynthesisResult:
@@ -141,32 +219,27 @@ def synthesize(
     library:
         Technology library; defaults to the Table I calibrated one.
     mode:
-        Which flow to run (see :class:`FlowMode`).
+        Which flow to run: a :class:`FlowMode` or its string name
+        (``"conventional"``, ``"fragmented"``, ``"blc"``).
     chained_bits_per_cycle:
         For the ``fragmented`` flow, the per-cycle budget estimated by the
-        transformation; derived from the specification when omitted.
+        transformation; derived from the specification when ``None``.  Must
+        be positive when given explicitly.
     balance_fragments:
         Whether the fragment scheduler balances addition bits across cycles
         (disable to obtain a pure ASAP placement).
     """
     library = library or default_library()
-    if mode is FlowMode.CONVENTIONAL:
-        schedule, _search = schedule_conventional(specification, latency, library)
-        timing = analyze_operation_level(schedule, library)
-        budget_used: Optional[int] = None
-    elif mode is FlowMode.FRAGMENTED:
-        budget = chained_bits_per_cycle or _default_budget(specification, latency)
-        options = FragmentSchedulerOptions(balance=balance_fragments)
-        schedule = schedule_fragments(specification, latency, budget, options)
-        timing = analyze_bit_level(schedule, library)
-        budget_used = budget
-    elif mode is FlowMode.BLC:
-        blc = schedule_bit_level_chaining(specification, latency)
-        schedule = blc.schedule
-        timing = analyze_bit_level(schedule, library)
-        budget_used = blc.chained_bits_per_cycle
-    else:  # pragma: no cover - exhaustive enum
-        raise ValueError(f"unknown flow mode {mode}")
+    mode = FlowMode.coerce(mode)
+    schedule, budget_used = run_schedule(
+        specification,
+        latency,
+        library,
+        mode,
+        chained_bits_per_cycle=chained_bits_per_cycle,
+        balance_fragments=balance_fragments,
+    )
+    timing = run_timing(schedule, library, mode)
     datapath = build_datapath(schedule, library)
     return SynthesisResult(
         specification=specification,

@@ -1,0 +1,20 @@
+"""Small cross-layer helpers with no dependencies on other repro modules."""
+
+from __future__ import annotations
+
+
+def coerce_enum(enum_cls, value, what: str):
+    """Coerce a string (case-insensitive, stripped) or member into *enum_cls*.
+
+    Raises :class:`ValueError` listing the valid values, so user-facing
+    surfaces (CLI, configs) get an actionable message.
+    """
+    if isinstance(value, enum_cls):
+        return value
+    if isinstance(value, str):
+        try:
+            return enum_cls(value.strip().lower())
+        except ValueError:
+            pass
+    valid = ", ".join(repr(member.value) for member in enum_cls)
+    raise ValueError(f"invalid {what} {value!r}: expected one of {valid}")

@@ -1,0 +1,184 @@
+"""Tests for the content-hash keyed result cache (memory + disk tiers)."""
+
+from repro.api import FlowConfig, Pipeline, ResultCache
+from repro.workloads import motivational_example
+
+
+def _config(**overrides):
+    base = dict(latency=3, mode="fragmented", workload="motivational")
+    base.update(overrides)
+    return FlowConfig(**base)
+
+
+class TestMemoryTier:
+    def test_same_config_hits(self):
+        cache = ResultCache()
+        pipeline = Pipeline(cache=cache)
+        first = pipeline.run(_config())
+        second = pipeline.run(_config())
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.report == first.report
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_changed_library_misses(self):
+        cache = ResultCache()
+        pipeline = Pipeline(cache=cache)
+        pipeline.run(_config())
+        other = pipeline.run(_config(adder_style="carry_lookahead"))
+        assert not other.from_cache
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_changed_latency_misses(self):
+        cache = ResultCache()
+        pipeline = Pipeline(cache=cache)
+        pipeline.run(_config())
+        assert not pipeline.run(_config(latency=4)).from_cache
+
+    def test_injected_specifications_are_fingerprinted(self):
+        cache = ResultCache()
+        pipeline = Pipeline(cache=cache)
+        config = FlowConfig(latency=3, mode="conventional")
+        first = pipeline.run(config, specification=motivational_example())
+        second = pipeline.run(config, specification=motivational_example())
+        assert second.from_cache
+        assert second.report == first.report
+
+    def test_stop_after_uses_distinct_entries(self):
+        cache = ResultCache()
+        pipeline = Pipeline(cache=cache)
+        partial = pipeline.run(_config(), stop_after="schedule")
+        full = pipeline.run(_config())
+        assert not full.from_cache
+        assert partial.report is None and full.report is not None
+
+    def test_use_cache_false_bypasses(self):
+        cache = ResultCache()
+        pipeline = Pipeline(cache=cache)
+        pipeline.run(_config())
+        again = pipeline.run(_config(), use_cache=False)
+        assert not again.from_cache
+
+    def test_lru_bound(self):
+        cache = ResultCache(max_memory_entries=2)
+        pipeline = Pipeline(cache=cache)
+        pipeline.run(_config(latency=3))
+        pipeline.run(_config(latency=4))
+        pipeline.run(_config(latency=5))
+        assert len(cache) == 2
+        # The oldest entry (latency 3) was evicted -> miss and re-run.
+        assert not pipeline.run(_config(latency=3)).from_cache
+
+    def test_swapped_pass_does_not_share_entries(self):
+        cache = ResultCache()
+        stock = Pipeline(cache=cache)
+        stock.run(_config())
+
+        def alternative_schedule_pass(artifact):
+            from repro.api import schedule_pass
+
+            schedule_pass(artifact)
+
+        swapped = stock.replace_pass("schedule", alternative_schedule_pass)
+        assert not swapped.run(_config()).from_cache
+
+
+class TestDiskTier:
+    def test_reports_survive_across_cache_instances(self, tmp_path):
+        directory = tmp_path / "runs"
+        first = Pipeline(cache=ResultCache(directory=directory)).run(_config())
+        assert list(directory.glob("*.json"))
+
+        # A fresh cache (fresh process, conceptually) finds the stored report.
+        rehydrated = Pipeline(cache=ResultCache(directory=directory)).run(_config())
+        assert rehydrated.from_cache
+        assert rehydrated.report == first.report
+        # Disk entries carry the report, not the heavyweight artifacts.
+        assert rehydrated.schedule is None
+
+    def test_corrupt_disk_entry_is_ignored(self, tmp_path):
+        directory = tmp_path / "runs"
+        cache = ResultCache(directory=directory)
+        Pipeline(cache=cache).run(_config())
+        for path in directory.glob("*.json"):
+            path.write_text("{not json")
+        fresh = ResultCache(directory=directory)
+        assert not Pipeline(cache=fresh).run(_config()).from_cache
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(directory=tmp_path / "runs")
+        pipeline = Pipeline(cache=cache)
+        pipeline.run(_config())
+        pipeline.run(_config())
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["hits"] == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestCacheIsolationAndRehydration:
+    def test_cache_hits_do_not_alias_caller_reports(self):
+        cache = ResultCache()
+        pipeline = Pipeline(cache=cache)
+        first = pipeline.run(_config())
+        first.report["annotation"] = "baseline"  # caller-side mutation
+        second = pipeline.run(_config())
+        assert "annotation" not in second.report
+
+    def test_compare_flows_survives_disk_rehydrated_cache(self, tmp_path):
+        from repro.analysis import compare_flows
+
+        directory = tmp_path / "runs"
+        warm = Pipeline(cache=ResultCache(directory=directory))
+        reference = compare_flows(motivational_example(), 3, pipeline=warm)
+        # A fresh cache only has the disk tier: rehydrated artifacts carry
+        # reports but no synthesis objects, so compare_flows must re-run.
+        cold = Pipeline(cache=ResultCache(directory=directory))
+        comparison = compare_flows(motivational_example(), 3, pipeline=cold)
+        assert comparison.original is not None
+        assert (
+            comparison.original.cycle_length_ns
+            == reference.original.cycle_length_ns
+        )
+        assert comparison.transform_result is not None
+
+    def test_require_full_upgrades_disk_rehydrated_entry(self, tmp_path):
+        directory = tmp_path / "runs"
+        Pipeline(cache=ResultCache(directory=directory)).run(_config())
+        cold = Pipeline(cache=ResultCache(directory=directory))
+        upgraded = cold.run(_config(), require_full=True)
+        assert upgraded.synthesis is not None
+        # The memory tier now holds the full artifact: the next full-run
+        # request is a plain hit, no re-synthesis.
+        hit = cold.run(_config(), require_full=True)
+        assert hit.from_cache and hit.synthesis is not None
+
+    def test_disk_promoted_entries_are_isolated(self, tmp_path):
+        directory = tmp_path / "runs"
+        Pipeline(cache=ResultCache(directory=directory)).run(_config())
+        cold = Pipeline(cache=ResultCache(directory=directory))
+        first = cold.run(_config())  # disk hit, promoted to memory
+        first.report["poison"] = True
+        second = cold.run(_config())  # memory hit
+        assert "poison" not in second.report
+
+    def test_concurrent_same_key_puts_do_not_race(self, tmp_path):
+        import threading
+
+        cache = ResultCache(directory=tmp_path / "runs")
+        artifact = Pipeline().run(_config())
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(100):
+                    cache.put("same-key", artifact)
+            except OSError as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors

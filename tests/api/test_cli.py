@@ -1,0 +1,149 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api.cli import main
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+
+def run_cli(*argv):
+    """Run the CLI in-process, capturing the exit code."""
+    return main(list(argv))
+
+
+class TestRun:
+    def test_run_fragmented(self, capsys):
+        assert run_cli("run", "motivational", "--latency", "3", "-m", "fragmented") == 0
+        out = capsys.readouterr().out
+        assert "cycle_length_ns" in out
+        assert "fragmented" in out
+
+    def test_run_json_report(self, capsys):
+        assert (
+            run_cli("run", "fig3", "-l", "3", "-m", "fragmented", "--json") == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["latency"] == 3
+        assert report["mode"] == "fragmented"
+        assert report["total_area"] > 0
+
+    def test_run_parametric_workload(self, capsys):
+        assert run_cli("run", "chain:3:16", "-l", "3", "--json") == 0
+        assert json.loads(capsys.readouterr().out)["mode"] == "conventional"
+
+    def test_run_stop_after(self, capsys):
+        assert run_cli("run", "motivational", "-l", "3", "--stop-after", "schedule") == 0
+        out = capsys.readouterr().out
+        assert "stopped after schedule" in out
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        spec_file = tmp_path / "tiny.spec"
+        spec_file.write_text(
+            "spec tiny\ninput a, b : 8\noutput y : 8\ny = a + b\n"
+        )
+        assert run_cli("run", "--spec-file", str(spec_file), "-l", "1", "--json") == 0
+        assert json.loads(capsys.readouterr().out)["name"] == "tiny"
+
+    def test_run_rejects_unknown_mode(self, capsys):
+        assert run_cli("run", "motivational", "-l", "3", "-m", "warp") == 2
+        assert "warp" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_workload(self, capsys):
+        assert run_cli("run", "no_such", "-l", "3") == 2
+
+    def test_run_requires_exactly_one_source(self, capsys):
+        assert run_cli("run", "-l", "3") == 2
+
+    def test_run_with_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert run_cli("run", "motivational", "-l", "3", "--cache-dir", cache_dir) == 0
+        assert os.listdir(cache_dir)
+        # Second invocation reuses the stored report.
+        assert run_cli("run", "motivational", "-l", "3", "--cache-dir", cache_dir) == 0
+
+
+class TestSweepAndTable:
+    def test_sweep_parallel_json(self, capsys):
+        assert (
+            run_cli(
+                "sweep",
+                "chain:3:16",
+                "--latencies",
+                "3:6",
+                "--workers",
+                "4",
+                "--json",
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["latency"] for row in rows] == [3, 4, 5, 6]
+        assert all(
+            row["optimized_cycle_ns"] <= row["original_cycle_ns"] + 1e-9
+            for row in rows
+        )
+
+    def test_sweep_comma_latencies(self, capsys):
+        assert run_cli("sweep", "chain:3:16", "--latencies", "3,5", "--json") == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["latency"] for row in rows] == [3, 5]
+
+    def test_table1(self, capsys):
+        assert run_cli("table", "table1", "--json") == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["benchmark"] == "motivational"
+        assert rows[0]["cycle_saving_pct"] > 50
+
+    def test_list_workloads(self, capsys):
+        assert run_cli("list-workloads") == 0
+        out = capsys.readouterr().out
+        assert "motivational" in out
+        assert "chain:<n>:<w>" in out
+
+
+class TestModuleEntryPoint:
+    @pytest.fixture(scope="class")
+    def env(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def test_python_dash_m_repro_run(self, env):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "motivational", "-l", "3", "--json"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        report = json.loads(completed.stdout)
+        assert report["name"] == "example"
+        assert report["mode"] == "conventional"
+
+    def test_python_dash_m_repro_bad_args(self, env):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "motivational", "-l", "3", "-m", "x"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert completed.returncode == 2
+        assert "invalid flow mode" in completed.stderr
+
+
+class TestStopAfterErrors:
+    def test_run_rejects_unknown_stop_after(self, capsys):
+        assert (
+            run_cli("run", "motivational", "-l", "3", "--stop-after", "bogus") == 2
+        )
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "Traceback" not in err

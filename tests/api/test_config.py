@@ -1,0 +1,157 @@
+"""Tests for FlowConfig: validation, coercion, serialization, hashing."""
+
+import json
+
+import pytest
+
+from repro.api import ConfigError, FlowConfig, available_workloads, resolve_workload
+from repro.hls import FlowMode
+from repro.techlib import AdderStyle
+
+
+class TestConstructionAndCoercion:
+    def test_string_mode_is_coerced(self):
+        config = FlowConfig(latency=3, mode="fragmented")
+        assert config.mode is FlowMode.FRAGMENTED
+
+    def test_string_mode_is_case_insensitive(self):
+        assert FlowConfig(latency=3, mode=" Fragmented ").mode is FlowMode.FRAGMENTED
+
+    def test_invalid_mode_lists_valid_ones(self):
+        with pytest.raises(ValueError) as excinfo:
+            FlowConfig(latency=3, mode="turbo")
+        message = str(excinfo.value)
+        assert "turbo" in message
+        for mode in FlowMode:
+            assert mode.value in message
+
+    def test_string_adder_style_is_coerced(self):
+        config = FlowConfig(latency=3, adder_style="carry_lookahead")
+        assert config.adder_style is AdderStyle.CARRY_LOOKAHEAD
+
+    def test_invalid_adder_style(self):
+        with pytest.raises(ConfigError):
+            FlowConfig(latency=3, adder_style="quantum")
+
+    def test_latency_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            FlowConfig(latency=0)
+
+    def test_zero_chained_bits_rejected(self):
+        # 0 must NOT be treated as "unset".
+        with pytest.raises(ConfigError):
+            FlowConfig(latency=3, chained_bits_per_cycle=0)
+
+    def test_both_sources_rejected(self):
+        with pytest.raises(ConfigError):
+            FlowConfig(latency=3, workload="motivational", spec_text="spec x")
+
+    def test_wants_transform_follows_mode(self):
+        assert FlowConfig(latency=3, mode="fragmented").wants_transform
+        assert not FlowConfig(latency=3, mode="conventional").wants_transform
+        assert not FlowConfig(
+            latency=3, mode="fragmented", transform=False
+        ).wants_transform
+
+
+class TestSerialization:
+    def test_dict_round_trip_is_lossless(self):
+        config = FlowConfig(
+            latency=5,
+            mode="fragmented",
+            workload="fig3",
+            adder_style="carry_lookahead",
+            chained_bits_per_cycle=7,
+            balance_fragments=False,
+            check_equivalence=True,
+            label="point-a",
+        )
+        assert FlowConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip_is_lossless(self):
+        config = FlowConfig(latency=4, mode="blc", workload="chain:3:16")
+        restored = FlowConfig.from_json(config.to_json())
+        assert restored == config
+        assert restored.content_hash() == config.content_hash()
+
+    def test_to_dict_is_json_serializable(self):
+        config = FlowConfig(latency=3, mode="fragmented")
+        json.dumps(config.to_dict())  # must not raise
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError) as excinfo:
+            FlowConfig.from_dict({"latency": 3, "warp_speed": True})
+        assert "warp_speed" in str(excinfo.value)
+
+    def test_content_hash_differs_on_library_change(self):
+        base = FlowConfig(latency=3, workload="motivational")
+        other = base.replace(adder_style="carry_lookahead")
+        assert base.content_hash() != other.content_hash()
+
+    def test_content_hash_stable(self):
+        config = FlowConfig(latency=3, workload="motivational")
+        assert config.content_hash() == config.content_hash()
+        assert config.content_hash() == FlowConfig(
+            latency=3, workload="motivational"
+        ).content_hash()
+
+
+class TestWorkloadResolution:
+    def test_registered_workloads_resolve(self):
+        for name in available_workloads():
+            spec = resolve_workload(name)
+            assert spec.operation_count() > 0
+
+    def test_parametric_chain(self):
+        spec = resolve_workload("chain:3:16")
+        assert spec.additive_operation_count() == 3
+
+    def test_parametric_tree(self):
+        spec = resolve_workload("tree:4:8")
+        assert spec.additive_operation_count() >= 3
+
+    def test_unknown_workload_lists_known_ones(self):
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_workload("nonexistent")
+        assert "motivational" in str(excinfo.value)
+
+    def test_malformed_parametric(self):
+        with pytest.raises(ConfigError):
+            resolve_workload("chain:three:16")
+
+    def test_config_without_source_raises_on_resolve(self):
+        with pytest.raises(ConfigError):
+            FlowConfig(latency=3).resolve_specification()
+
+    def test_spec_text_source(self):
+        text = "\n".join(
+            [
+                "spec tiny",
+                "input a, b : 8",
+                "output y : 8",
+                "y = a + b",
+            ]
+        )
+        config = FlowConfig(latency=1, spec_text=text)
+        spec = config.resolve_specification()
+        assert spec.name == "tiny"
+
+
+class TestValidationFlags:
+    def test_validate_flags_round_trip(self):
+        config = FlowConfig(latency=3, validate_input=False, validate_output=False)
+        assert FlowConfig.from_dict(config.to_dict()) == config
+
+    def test_validate_output_false_skips_output_validation(self):
+        # Smoke: the flag reaches the transform pass without error.
+        from repro.api import Pipeline
+
+        artifact = Pipeline().run(
+            FlowConfig(
+                latency=3,
+                mode="fragmented",
+                workload="motivational",
+                validate_output=False,
+            )
+        )
+        assert artifact.report is not None

@@ -1,0 +1,191 @@
+"""Tests for the pass pipeline: parity with the legacy facade, early stop,
+pass swapping."""
+
+import pytest
+
+from repro.api import FlowConfig, Pipeline, PipelineStateError, schedule_pass
+from repro.core import TransformOptions, transform
+from repro.hls import FlowMode, run_schedule, synthesize
+from repro.workloads import fig3_example, motivational_example
+
+
+class TestFullRuns:
+    def test_conventional_matches_legacy_synthesize(self):
+        spec = motivational_example()
+        artifact = Pipeline().run(
+            FlowConfig(latency=3, mode="conventional"), specification=spec
+        )
+        legacy = synthesize(motivational_example(), 3)
+        assert artifact.synthesis.cycle_length_ns == legacy.cycle_length_ns
+        assert artifact.synthesis.total_area == legacy.total_area
+        assert artifact.synthesis.mode is FlowMode.CONVENTIONAL
+
+    def test_fragmented_matches_legacy_transform_plus_synthesize(self):
+        artifact = Pipeline().run(
+            FlowConfig(latency=3, mode="fragmented", workload="motivational")
+        )
+        result = transform(
+            motivational_example(), 3, TransformOptions(check_equivalence=False)
+        )
+        legacy = synthesize(
+            result.transformed,
+            3,
+            mode=FlowMode.FRAGMENTED,
+            chained_bits_per_cycle=result.chained_bits_per_cycle,
+        )
+        assert artifact.synthesis.cycle_length_ns == legacy.cycle_length_ns
+        assert artifact.synthesis.execution_time_ns == legacy.execution_time_ns
+        assert artifact.synthesis.total_area == legacy.total_area
+        assert (
+            artifact.synthesis.chained_bits_per_cycle
+            == legacy.chained_bits_per_cycle
+        )
+
+    def test_blc_matches_legacy(self):
+        artifact = Pipeline().run(
+            FlowConfig(latency=1, mode="blc", workload="motivational")
+        )
+        legacy = synthesize(motivational_example(), 1, mode=FlowMode.BLC)
+        assert artifact.synthesis.cycle_length_ns == legacy.cycle_length_ns
+        assert artifact.synthesis.chained_bits_per_cycle == legacy.chained_bits_per_cycle
+
+    def test_report_is_filled_and_flat(self):
+        artifact = Pipeline().run(
+            FlowConfig(latency=3, mode="fragmented", workload="fig3")
+        )
+        report = artifact.report
+        assert report["mode"] == "fragmented"
+        assert report["latency"] == 3
+        assert report["cycle_length_ns"] > 0
+        assert report["total_area"] > 0
+        assert report["config_hash"] == artifact.config.content_hash()
+
+    def test_pass_records_in_order(self):
+        artifact = Pipeline().run(
+            FlowConfig(latency=3, mode="conventional", workload="motivational")
+        )
+        assert artifact.completed_passes() == [
+            "parse",
+            "validate",
+            "transform",
+            "schedule",
+            "time",
+            "allocate",
+            "report",
+        ]
+        assert artifact.elapsed_s() >= 0
+
+    def test_equivalence_check_lands_in_report(self):
+        artifact = Pipeline().run(
+            FlowConfig(
+                latency=3,
+                mode="fragmented",
+                workload="motivational",
+                check_equivalence=True,
+                equivalence_vectors=10,
+            )
+        )
+        assert artifact.report["equivalent"] is True
+
+
+class TestEarlyStopAndComposition:
+    def test_stop_after_schedule_leaves_later_slots_empty(self):
+        artifact = Pipeline().run(
+            FlowConfig(latency=3, mode="conventional", workload="motivational"),
+            stop_after="schedule",
+        )
+        assert artifact.schedule is not None
+        assert artifact.timing is None
+        assert artifact.datapath is None
+        assert artifact.report is None
+        assert artifact.completed_passes()[-1] == "schedule"
+
+    def test_stop_after_unknown_pass_raises(self):
+        with pytest.raises(KeyError):
+            Pipeline().run(
+                FlowConfig(latency=3, workload="motivational"),
+                stop_after="teleport",
+            )
+
+    def test_require_raises_on_empty_slot(self):
+        artifact = Pipeline().run(
+            FlowConfig(latency=3, workload="motivational"), stop_after="parse"
+        )
+        with pytest.raises(PipelineStateError):
+            artifact.require("schedule")
+
+    def test_replace_pass_swaps_scheduler(self):
+        calls = []
+
+        def asap_schedule_pass(artifact):
+            calls.append(artifact.config.latency)
+            config = artifact.config
+            schedule, budget = run_schedule(
+                artifact.require("working_specification"),
+                config.latency,
+                artifact.library,
+                config.mode,
+                chained_bits_per_cycle=artifact.budget,
+                balance_fragments=False,  # forced ASAP placement
+            )
+            artifact.schedule = schedule
+            artifact.budget = budget
+
+        pipeline = Pipeline().replace_pass("schedule", asap_schedule_pass)
+        artifact = pipeline.run(
+            FlowConfig(latency=3, mode="fragmented", workload="fig3")
+        )
+        assert calls == [3]
+        assert artifact.synthesis is not None
+        # The stock pipeline still uses the stock pass.
+        assert Pipeline().passes != pipeline.passes
+
+    def test_replace_unknown_pass_raises(self):
+        with pytest.raises(KeyError):
+            Pipeline().replace_pass("teleport", lambda artifact: None)
+
+    def test_without_pass(self):
+        pipeline = Pipeline().without_pass("validate")
+        assert "validate" not in pipeline.pass_names()
+        artifact = pipeline.run(
+            FlowConfig(latency=3, mode="conventional", workload="motivational")
+        )
+        assert artifact.report is not None
+
+    def test_duplicate_pass_names_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline(
+                passes=[("a", lambda artifact: None), ("a", lambda artifact: None)]
+            )
+
+    def test_injected_specification_wins_over_source(self):
+        # fig3 config source, but the injected motivational spec is used.
+        artifact = Pipeline().run(
+            FlowConfig(latency=3, mode="conventional", workload="fig3"),
+            specification=motivational_example(),
+        )
+        assert artifact.synthesis.specification.name == motivational_example().name
+
+
+class TestValidation:
+    def test_transform_false_skips_transformation(self):
+        result = transform(
+            fig3_example(), 3, TransformOptions(check_equivalence=False)
+        )
+        artifact = Pipeline().run(
+            FlowConfig(
+                latency=3,
+                mode="fragmented",
+                transform=False,
+                chained_bits_per_cycle=result.chained_bits_per_cycle,
+            ),
+            specification=result.transformed,
+        )
+        assert artifact.transform_result is None
+        legacy = synthesize(
+            result.transformed,
+            3,
+            mode=FlowMode.FRAGMENTED,
+            chained_bits_per_cycle=result.chained_bits_per_cycle,
+        )
+        assert artifact.synthesis.cycle_length_ns == legacy.cycle_length_ns

@@ -1,0 +1,182 @@
+"""Tests for the parallel sweep engine: determinism, error isolation,
+executor parity."""
+
+import pytest
+
+from repro.api import FlowConfig, Pipeline, ResultCache, SweepEngine
+from repro.analysis import latency_sweep
+from repro.workloads import addition_chain
+
+
+def _configs(latencies=(3, 4, 5), workload="chain:3:16"):
+    return [
+        FlowConfig(latency=latency, mode=mode, workload=workload)
+        for latency in latencies
+        for mode in ("conventional", "fragmented")
+    ]
+
+
+class TestOrderingAndParity:
+    def test_results_follow_input_order_under_threads(self):
+        configs = _configs(latencies=(7, 3, 5, 4, 6))
+        outcomes = SweepEngine(max_workers=4, executor="thread").run(configs)
+        assert [outcome.index for outcome in outcomes] == list(range(len(configs)))
+        assert [outcome.config.latency for outcome in outcomes] == [
+            config.latency for config in configs
+        ]
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_thread_and_serial_agree(self):
+        configs = _configs()
+        serial = SweepEngine(executor="serial").run(configs)
+        threaded = SweepEngine(max_workers=4, executor="thread").run(configs)
+        assert [outcome.report for outcome in serial] == [
+            outcome.report for outcome in threaded
+        ]
+
+    def test_process_executor_agrees(self):
+        configs = _configs(latencies=(3, 4))
+        serial = SweepEngine(executor="serial").run(configs)
+        process = SweepEngine(max_workers=2, executor="process").run(configs)
+        assert all(outcome.ok for outcome in process)
+        assert [outcome.report for outcome in process] == [
+            outcome.report for outcome in serial
+        ]
+        # Process workers return reports only; full artifacts stay local.
+        assert all(outcome.artifact is None for outcome in process)
+
+    def test_repeated_runs_are_deterministic(self):
+        configs = _configs()
+        engine = SweepEngine(max_workers=4, executor="thread")
+        first = engine.run(configs)
+        second = engine.run(configs)
+        assert [outcome.report for outcome in first] == [
+            outcome.report for outcome in second
+        ]
+
+
+class TestErrorsAndValidation:
+    def test_bad_point_is_isolated(self):
+        configs = [
+            FlowConfig(latency=3, mode="conventional", workload="chain:3:16"),
+            FlowConfig(latency=3, mode="conventional", workload="no_such_workload"),
+            FlowConfig(latency=4, mode="conventional", workload="chain:3:16"),
+        ]
+        outcomes = SweepEngine(max_workers=3, executor="thread").run(configs)
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert "no_such_workload" in outcomes[1].error
+
+    def test_reports_raises_on_failures(self):
+        configs = [
+            FlowConfig(latency=3, mode="conventional", workload="no_such_workload")
+        ]
+        with pytest.raises(RuntimeError):
+            SweepEngine().reports(configs)
+
+    def test_process_executor_rejects_injected_specs(self):
+        configs = [FlowConfig(latency=3, mode="conventional")]
+        engine = SweepEngine(executor="process")
+        with pytest.raises(ValueError):
+            engine.run(configs, specifications=[addition_chain(3, 16)])
+
+    def test_process_executor_rejects_sourceless_configs(self):
+        with pytest.raises(ValueError):
+            SweepEngine(executor="process").run([FlowConfig(latency=3)])
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            SweepEngine(executor="gpu")
+
+    def test_misaligned_specifications_rejected(self):
+        with pytest.raises(ValueError):
+            SweepEngine().run(
+                [FlowConfig(latency=3)], specifications=[]
+            )
+
+    def test_empty_sweep(self):
+        assert SweepEngine().run([]) == []
+
+
+class TestSharedCache:
+    def test_engine_shares_pipeline_cache_across_runs(self):
+        cache = ResultCache()
+        engine = SweepEngine(Pipeline(cache=cache), max_workers=4, executor="thread")
+        configs = _configs()
+        engine.run(configs)
+        misses_after_first = cache.misses
+        engine.run(configs)
+        assert cache.misses == misses_after_first  # all hits the second time
+        assert cache.hits >= len(configs)
+
+
+class TestLatencySweepIntegration:
+    def test_factory_and_workload_sources_agree(self):
+        latencies = (3, 4, 5)
+        by_name = latency_sweep("chain:3:16", latencies)
+        by_factory = latency_sweep(lambda: addition_chain(3, 16), latencies)
+        assert by_name.points == by_factory.points
+
+    def test_parallel_sweep_matches_serial(self):
+        latencies = (3, 4, 5, 6)
+        serial = latency_sweep("chain:3:16", latencies)
+        parallel = latency_sweep(
+            "chain:3:16", latencies, max_workers=4, executor="thread"
+        )
+        assert serial.points == parallel.points
+
+    def test_empty_latencies_rejected(self):
+        with pytest.raises(ValueError):
+            latency_sweep("chain:3:16", [])
+
+
+class TestRound3Regressions:
+    def test_reports_rejects_reportless_pipelines(self):
+        from repro.api import Pipeline
+
+        engine = SweepEngine(Pipeline().without_pass("report"))
+        with pytest.raises(RuntimeError) as excinfo:
+            engine.reports([FlowConfig(latency=3, workload="chain:3:16")])
+        assert "report pass" in str(excinfo.value)
+
+    def test_process_workers_share_disk_cache(self, tmp_path):
+        from repro.api import Pipeline, ResultCache
+
+        directory = tmp_path / "runs"
+        configs = [
+            FlowConfig(latency=latency, mode="fragmented", workload="chain:3:16")
+            for latency in (3, 4)
+        ]
+        engine = SweepEngine(
+            Pipeline(cache=ResultCache(directory=directory)),
+            max_workers=2,
+            executor="process",
+        )
+        first = engine.reports(configs)
+        assert len(list(directory.glob("*.json"))) >= len(configs)
+        second = engine.reports(configs)
+        assert second == first
+
+    def test_process_executor_rejects_customized_passes(self):
+        engine = SweepEngine(
+            Pipeline().without_pass("validate"), executor="process"
+        )
+        with pytest.raises(ValueError) as excinfo:
+            engine.run([FlowConfig(latency=3, workload="chain:3:16")])
+        assert "pass list" in str(excinfo.value)
+
+    def test_sweep_configs_map_validation_flags(self):
+        from repro.analysis import sweep_configs
+        from repro.core import TransformOptions
+
+        configs = sweep_configs(
+            [3],
+            workload="chain:3:16",
+            transform_options=TransformOptions(
+                check_equivalence=False,
+                validate_input=False,
+                validate_output=False,
+            ),
+        )
+        assert all(not config.validate_input for config in configs)
+        assert all(not config.validate_output for config in configs)

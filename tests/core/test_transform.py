@@ -180,3 +180,28 @@ class TestTransform:
         )
         report = check_equivalence(spec, result.transformed, random_count=20)
         assert report.equivalent, report.summary()
+
+
+class TestChainedBitsOverrideValidation:
+    def test_zero_override_raises(self):
+        from repro.workloads import motivational_example
+
+        with pytest.raises(ValueError) as excinfo:
+            transform(
+                motivational_example(),
+                3,
+                TransformOptions(
+                    check_equivalence=False, chained_bits_override=0
+                ),
+            )
+        assert "positive" in str(excinfo.value)
+
+    def test_positive_override_is_honoured(self):
+        from repro.workloads import motivational_example
+
+        result = transform(
+            motivational_example(),
+            3,
+            TransformOptions(check_equivalence=False, chained_bits_override=9),
+        )
+        assert result.chained_bits_per_cycle == 9

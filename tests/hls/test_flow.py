@@ -111,3 +111,70 @@ class TestCrossFlowProperties:
         blc = synthesize(spec, 1, mode=FlowMode.BLC)
         conventional = synthesize(spec, 3)
         assert blc.execution_time_ns < conventional.execution_time_ns
+
+
+class TestBudgetValidation:
+    """chained_bits_per_cycle=0 must be rejected, not treated as unset."""
+
+    def test_zero_budget_raises(self):
+        transformed = transform(
+            motivational_example(), 3, TransformOptions(check_equivalence=False)
+        ).transformed
+        with pytest.raises(ValueError) as excinfo:
+            synthesize(
+                transformed, 3, mode=FlowMode.FRAGMENTED, chained_bits_per_cycle=0
+            )
+        assert "positive" in str(excinfo.value)
+
+    def test_negative_budget_raises(self):
+        transformed = transform(
+            motivational_example(), 3, TransformOptions(check_equivalence=False)
+        ).transformed
+        with pytest.raises(ValueError):
+            synthesize(
+                transformed, 3, mode=FlowMode.FRAGMENTED, chained_bits_per_cycle=-4
+            )
+
+    def test_none_budget_still_derives_default(self):
+        transformed = transform(
+            motivational_example(), 3, TransformOptions(check_equivalence=False)
+        ).transformed
+        result = synthesize(
+            transformed, 3, mode=FlowMode.FRAGMENTED, chained_bits_per_cycle=None
+        )
+        assert result.chained_bits_per_cycle is not None
+        assert result.chained_bits_per_cycle > 0
+
+
+class TestFlowModeCoercion:
+    """synthesize and FlowMode.coerce accept plain strings everywhere."""
+
+    def test_string_mode_accepted(self):
+        result = synthesize(motivational_example(), 3, mode="conventional")
+        assert result.mode is FlowMode.CONVENTIONAL
+
+    def test_string_mode_case_insensitive(self):
+        result = synthesize(motivational_example(), 1, mode=" BLC ")
+        assert result.mode is FlowMode.BLC
+
+    def test_string_mode_matches_enum_result(self):
+        by_enum = synthesize(motivational_example(), 3, mode=FlowMode.CONVENTIONAL)
+        by_name = synthesize(motivational_example(), 3, mode="conventional")
+        assert by_enum.cycle_length_ns == by_name.cycle_length_ns
+        assert by_enum.total_area == by_name.total_area
+
+    def test_invalid_mode_lists_valid_modes(self):
+        with pytest.raises(ValueError) as excinfo:
+            synthesize(motivational_example(), 3, mode="warp")
+        message = str(excinfo.value)
+        assert "conventional" in message
+        assert "fragmented" in message
+        assert "blc" in message
+
+    def test_coerce_passthrough(self):
+        assert FlowMode.coerce(FlowMode.FRAGMENTED) is FlowMode.FRAGMENTED
+        assert FlowMode.coerce("fragmented") is FlowMode.FRAGMENTED
+
+    def test_coerce_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            FlowMode.coerce(3)
