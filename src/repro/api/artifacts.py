@@ -139,3 +139,38 @@ def build_report(artifact: RunArtifact) -> Dict[str, Any]:
             report["equivalent"] = result.equivalence.equivalent
             report["equivalence_vectors"] = result.equivalence.vectors_checked
     return report
+
+
+def build_timing_report(artifact: RunArtifact) -> Dict[str, Any]:
+    """The timing-only metric row of a run stopped after the ``time`` pass.
+
+    Latency sweeps (Fig. 4) consume cycle length and execution time only, so
+    their points skip allocation entirely; this row carries every
+    timing-derived key of :func:`build_report` (same names, same values) and
+    simply omits the area columns an unallocated run does not have.
+    """
+    timing = artifact.require("timing")
+    specification = artifact.require("working_specification")
+    config = artifact.config
+    report: Dict[str, Any] = {
+        "name": specification.name,
+        "workload": config.workload,
+        "label": config.label,
+        "latency": timing.latency,
+        "mode": config.mode.value,
+        "cycle_length_ns": timing.cycle_length_ns,
+        "execution_time_ns": timing.execution_time_ns,
+        "chained_bits_per_cycle": artifact.budget,
+        "operations": specification.operation_count(),
+        "additive_operations": specification.additive_operation_count(),
+        "library": artifact.library.name,
+        "config_hash": config.content_hash(),
+    }
+    if artifact.transform_result is not None:
+        result = artifact.transform_result
+        report["operation_growth_pct"] = 100.0 * result.operation_growth()
+        report["critical_path_bits"] = result.critical_path_bits
+        if result.equivalence is not None:
+            report["equivalent"] = result.equivalence.equivalent
+            report["equivalence_vectors"] = result.equivalence.vectors_checked
+    return report

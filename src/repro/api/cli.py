@@ -1,13 +1,16 @@
 """``python -m repro`` -- the command-line front end of the flow pipeline.
 
-Four subcommands, all driving the same :mod:`repro.api` objects a Python
+Five subcommands, all driving the same :mod:`repro.api` objects a Python
 caller would use:
 
 * ``repro list-workloads``          -- the registered benchmark specifications;
 * ``repro run <workload>``          -- one synthesis run, summary or JSON;
 * ``repro sweep <workload>``        -- the Fig. 4 latency sweep, optionally
   parallel (``--workers``/``--executor``);
-* ``repro table table1|table2|table3`` -- reproduce a table of the paper.
+* ``repro table table1|table2|table3`` -- reproduce a table of the paper;
+* ``repro perf``                    -- the performance harness: time the
+  pipeline stages and the Fig. 4 sweeps, refresh ``BENCH_sched.json`` and
+  optionally fail on regressions (``--max-regression``).
 
 Examples::
 
@@ -15,6 +18,7 @@ Examples::
     python -m repro sweep chain:3:16 --latencies 3:15 --workers 4
     python -m repro table table2 --workers 4
     python -m repro list-workloads
+    python -m repro perf --quick --max-regression 2.0
 """
 
 from __future__ import annotations
@@ -180,6 +184,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.add_argument("--json", action="store_true")
 
+    # -- perf ----------------------------------------------------------
+    perf_parser = subparsers.add_parser(
+        "perf",
+        help="run the performance harness and refresh BENCH_sched.json",
+    )
+    perf_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="measure the reduced CI-smoke benchmark set",
+    )
+    perf_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="best-of-N repetition count (default: 3, or 2 with --quick)",
+    )
+    perf_parser.add_argument(
+        "--output",
+        default="BENCH_sched.json",
+        help="bench file to write (default: BENCH_sched.json in the CWD)",
+    )
+    perf_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="compare (and gate) against the measurements recorded in this "
+        "bench file, without touching the anchor stored in --output",
+    )
+    perf_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="re-anchor the baseline to this run's measurements",
+    )
+    perf_parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        help="fail (exit 1) when any benchmark is more than this factor "
+        "slower than the reference: --baseline's measurements when given, "
+        "otherwise the last measurement recorded in --output (e.g. 2.0; "
+        "default: report only)",
+    )
+    perf_parser.add_argument(
+        "--no-write", action="store_true", help="measure and report without writing"
+    )
+    perf_parser.add_argument("--json", action="store_true")
+
     return parser
 
 
@@ -260,10 +310,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     executor = args.executor
     if executor is None:
         executor = "thread" if (args.workers or 1) > 1 else "serial"
+    # The sweep table reports cycle lengths only, so the points stop after
+    # the timing pass (no allocation) -- same numbers, a fraction of the work.
     engine = SweepEngine(
         pipeline=_make_pipeline(args.cache_dir),
         max_workers=args.workers,
         executor=executor,
+        stop_after="time",
     )
     configs = [
         config.replace(
@@ -344,6 +397,78 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from ..perf import (
+        check_regressions,
+        compute_speedups,
+        format_bench_text,
+        load_bench,
+        run_benchmarks,
+        write_bench,
+    )
+
+    repeats = args.repeats
+    if repeats is None:
+        repeats = 2 if args.quick else 3
+    current = run_benchmarks(quick=args.quick, repeats=repeats)
+
+    existing = load_bench(args.output)
+    # The written anchor: preserved from the output file unless explicitly
+    # re-anchored; an external --baseline file is for comparison only and
+    # never overwrites the committed anchor.
+    anchor = current if args.update_baseline else None
+    # The comparison reference for the speedup table and the regression
+    # gate: an explicit --baseline file wins; otherwise gate against the
+    # file's last recorded measurement (`current`) -- on a given machine
+    # that is the tightest honest reference -- falling back to its anchor.
+    if args.baseline is not None:
+        payload = load_bench(args.baseline)
+        if payload is None:
+            print(f"error: cannot read baseline file {args.baseline!r}", file=sys.stderr)
+            return 2
+        reference = payload.get("baseline") or payload.get("current")
+    elif args.update_baseline:
+        reference = current
+    elif existing is not None:
+        reference = existing.get("current") or existing.get("baseline")
+    else:
+        reference = None
+
+    if not args.no_write:
+        payload = write_bench(args.output, current, anchor)
+    else:
+        kept = anchor or (existing or {}).get("baseline") or current
+        payload = {
+            "schema": 1,
+            "paper": "conf_date_Ruiz-SautuaMMH05",
+            "baseline": kept,
+            "current": current,
+            "speedup": compute_speedups(kept, current),
+        }
+    if args.baseline is not None and reference is not None:
+        # An explicit comparison file also drives the displayed speedups.
+        payload = dict(payload)
+        payload["baseline"] = reference
+        payload["speedup"] = compute_speedups(reference, current)
+
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_bench_text(payload))
+    # One-line machine-greppable summary for CI logs.
+    print("BENCH " + json_module.dumps({"sweeps": current["sweeps"]}, sort_keys=True))
+
+    if args.max_regression is not None and reference is not None:
+        complaints = check_regressions(reference, current, args.max_regression)
+        if complaints:
+            for complaint in complaints:
+                print(f"perf regression: {complaint}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_list_workloads(args: argparse.Namespace) -> int:
     entries = []
     for name, factory in sorted(available_workloads().items()):
@@ -375,6 +500,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "table": _cmd_table,
         "list-workloads": _cmd_list_workloads,
+        "perf": _cmd_perf,
     }
     try:
         return handlers[args.command](args)

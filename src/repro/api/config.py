@@ -57,33 +57,58 @@ def available_workloads() -> Dict[str, Callable[[], Specification]]:
     return dict(ALL_WORKLOADS)
 
 
+#: Memoized workload specifications, by name.  Workload factories are
+#: deterministic and the flow never mutates an input specification, so every
+#: sweep point naming the same workload shares one instance -- which is what
+#: lets the specification-level graph and validation caches amortize across a
+#: whole latency sweep instead of being rebuilt per point.  Cached instances
+#: are frozen, so a caller trying to mutate one gets a loud error instead of
+#: silently poisoning the cache.
+_RESOLVED_WORKLOADS: Dict[str, Specification] = {}
+
+
+def clear_workload_cache() -> None:
+    """Drop the memoized workload specifications (test isolation hook)."""
+    _RESOLVED_WORKLOADS.clear()
+
+
 def resolve_workload(name: str) -> Specification:
     """Build the specification a workload name stands for.
 
     Accepts the registered benchmark names plus the parametric families
-    ``chain:<n>:<w>`` and ``tree:<n>:<w>``.
+    ``chain:<n>:<w>`` and ``tree:<n>:<w>``.  Resolved specifications are
+    memoized by name, shared between callers and **frozen** -- mutating one
+    raises; build a fresh instance through
+    :data:`~repro.workloads.ALL_WORKLOADS` to create a variant.
     """
     from ..workloads import ALL_WORKLOADS, addition_chain, addition_tree
 
+    cached = _RESOLVED_WORKLOADS.get(name)
+    if cached is not None:
+        return cached
     if name in ALL_WORKLOADS:
-        return ALL_WORKLOADS[name]()
-    parts = name.split(":")
-    if len(parts) == 3 and parts[0] in ("chain", "tree"):
-        family, count, width = parts
-        try:
-            count_i, width_i = int(count), int(width)
-        except ValueError:
+        specification = ALL_WORKLOADS[name]()
+    else:
+        parts = name.split(":")
+        if len(parts) == 3 and parts[0] in ("chain", "tree"):
+            family, count, width = parts
+            try:
+                count_i, width_i = int(count), int(width)
+            except ValueError:
+                raise ConfigError(
+                    f"malformed parametric workload {name!r}: "
+                    f"expected {family}:<count>:<width> with integer parameters"
+                ) from None
+            factory = addition_chain if family == "chain" else addition_tree
+            specification = factory(count_i, width_i)
+        else:
+            known = ", ".join(sorted(ALL_WORKLOADS))
             raise ConfigError(
-                f"malformed parametric workload {name!r}: "
-                f"expected {family}:<count>:<width> with integer parameters"
-            ) from None
-        factory = addition_chain if family == "chain" else addition_tree
-        return factory(count_i, width_i)
-    known = ", ".join(sorted(ALL_WORKLOADS))
-    raise ConfigError(
-        f"unknown workload {name!r}: expected one of {known}, "
-        "or a parametric chain:<n>:<w> / tree:<n>:<w>"
-    )
+                f"unknown workload {name!r}: expected one of {known}, "
+                "or a parametric chain:<n>:<w> / tree:<n>:<w>"
+            )
+    _RESOLVED_WORKLOADS[name] = specification.freeze()
+    return specification
 
 
 @dataclass(frozen=True)
@@ -236,8 +261,18 @@ class FlowConfig:
         return cls.from_dict(data)
 
     def content_hash(self) -> str:
-        """A stable digest of the config content, used as the cache key."""
-        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+        """A stable digest of the config content, used as the cache key.
+
+        Computed once per instance and cached: the config is frozen, and the
+        result cache, the sweep engine and every report row consult the hash
+        repeatedly, so re-serializing the whole config to JSON on each lookup
+        was measurable overhead at sweep scale.
+        """
+        cached = getattr(self, "_content_hash", None)
+        if cached is None:
+            cached = hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
 
 
 def specification_fingerprint(specification: Specification) -> str:

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..ir.spec import Specification
-from .artifacts import RunArtifact
+from .artifacts import RunArtifact, build_timing_report
 from .config import FlowConfig
 from .passes import DEFAULT_PASSES
 from .pipeline import Pipeline
@@ -53,7 +53,9 @@ class SweepOutcome:
 
 
 def _run_config_in_worker(
-    config_dict: Dict[str, Any], cache_dir: Optional[str] = None
+    config_dict: Dict[str, Any],
+    cache_dir: Optional[str] = None,
+    stop_after: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Process-pool entry point: rebuild the config, run, return the report.
 
@@ -68,9 +70,12 @@ def _run_config_in_worker(
     config = FlowConfig.from_dict(config_dict)
     cache = ResultCache(directory=cache_dir) if cache_dir is not None else None
     started = time.perf_counter()
-    artifact = Pipeline(cache=cache).run(config)
-    assert artifact.report is not None
-    return {"report": artifact.report, "elapsed_s": time.perf_counter() - started}
+    artifact = Pipeline(cache=cache).run(config, stop_after=stop_after)
+    report = artifact.report
+    if report is None and stop_after is not None:
+        report = build_timing_report(artifact)
+    assert report is not None
+    return {"report": report, "elapsed_s": time.perf_counter() - started}
 
 
 class SweepEngine:
@@ -86,6 +91,12 @@ class SweepEngine:
         executors.
     executor:
         ``"serial"``, ``"thread"`` or ``"process"`` (see module docs).
+    stop_after:
+        Stop every point's pipeline after this pass.  ``stop_after="time"``
+        is the latency-sweep fast path: points skip allocation and binding,
+        and outcome reports degrade to the timing-only rows of
+        :func:`~repro.api.artifacts.build_timing_report` (identical keys and
+        values for everything a timing sweep reads; no area columns).
     """
 
     def __init__(
@@ -93,6 +104,7 @@ class SweepEngine:
         pipeline: Optional[Pipeline] = None,
         max_workers: Optional[int] = None,
         executor: str = "serial",
+        stop_after: Optional[str] = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(
@@ -103,6 +115,7 @@ class SweepEngine:
         self.pipeline = pipeline if pipeline is not None else Pipeline()
         self.max_workers = max_workers
         self.executor = executor
+        self.stop_after = stop_after
 
     # ------------------------------------------------------------------
     def _effective_workers(self, jobs: int) -> int:
@@ -174,11 +187,16 @@ class SweepEngine:
         spec = specifications[index] if specifications is not None else None
         started = time.perf_counter()
         try:
-            artifact = self.pipeline.run(config, specification=spec)
+            artifact = self.pipeline.run(
+                config, specification=spec, stop_after=self.stop_after
+            )
+            report = artifact.report
+            if report is None and self.stop_after is not None:
+                report = build_timing_report(artifact)
             return SweepOutcome(
                 index=index,
                 config=config,
-                report=artifact.report,
+                report=report,
                 artifact=artifact,
                 elapsed_s=time.perf_counter() - started,
             )
@@ -212,7 +230,9 @@ class SweepEngine:
         )
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_run_config_in_worker, config.to_dict(), cache_dir)
+                pool.submit(
+                    _run_config_in_worker, config.to_dict(), cache_dir, self.stop_after
+                )
                 for config in configs
             ]
             for index, (config, future) in enumerate(zip(configs, futures)):

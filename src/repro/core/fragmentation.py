@@ -158,11 +158,236 @@ def compute_bit_schedule(
             f"chained-bit budget must be positive, got {chained_bits_per_cycle}"
         )
     if graph is None:
-        graph = BitDependencyGraph(specification)
+        graph = specification.bit_dependency_graph()
     schedule = BitSchedule(latency=latency, chained_bits_per_cycle=chained_bits_per_cycle)
     schedule.asap = _forward_schedule(graph, chained_bits_per_cycle)
     schedule.alap = _backward_schedule(graph, chained_bits_per_cycle, latency)
     return schedule
+
+
+class IncrementalBitScheduler:
+    """ASAP/ALAP bit schedules re-relaxed incrementally across budgets.
+
+    The budget search probes the same bit graph under many candidate budgets.
+    A full recomputation per candidate walks every node and hashes every
+    :class:`BitNode` lookup; this scheduler instead
+
+    * flattens the graph once into the index-based
+      :meth:`~repro.ir.dfg.BitDependencyGraph.dense_view` (no hashing in the
+      relaxation loops), and
+    * between consecutive probes only re-relaxes the nodes whose *slack
+      actually changed*: a node whose predecessors kept their slots and whose
+      cycle-overflow decision (``chained_before + cost > budget``) is the
+      same under the new budget provably keeps its slot, so whole untouched
+      regions of the graph are skipped.
+
+    The produced slots are bit-for-bit identical to
+    :func:`_forward_schedule` / :func:`_backward_schedule`; the equivalence
+    is pinned by the property tests in ``tests/core/test_fragmentation.py``.
+    """
+
+    def __init__(self, graph: BitDependencyGraph, latency: int) -> None:
+        self.graph = graph
+        self.latency = latency
+        order, predecessors, successors, costs = graph.dense_view()
+        self._order = order
+        self._preds = predecessors
+        self._succs = successors
+        self._costs = costs
+        count = len(order)
+        # Forward (ASAP) state of the previous probe.
+        self._fwd_budget: Optional[int] = None
+        self._fwd_cycle = [0] * count
+        self._fwd_offset = [0] * count
+        self._fwd_base = [0] * count  # chained bits before the node in its cycle
+        # Backward (ALAP) state of the previous probe.
+        self._bwd_budget: Optional[int] = None
+        self._bwd_cycle = [0] * count
+        self._bwd_tail = [0] * count  # chained bits from the node to cycle end
+        self._bwd_base = [0] * count  # chained bits after the node in its cycle
+
+    # -- forward -------------------------------------------------------
+    def _forward_full(self, budget: int) -> None:
+        preds, costs = self._preds, self._costs
+        cycles, offsets, bases = self._fwd_cycle, self._fwd_offset, self._fwd_base
+        for index in range(len(self._order)):
+            cost = costs[index]
+            cycle = 1
+            chained = 0
+            for p in preds[index]:
+                p_cycle = cycles[p]
+                if p_cycle > cycle:
+                    cycle = p_cycle
+            for p in preds[index]:
+                if cycles[p] == cycle and offsets[p] > chained:
+                    chained = offsets[p]
+            bases[index] = chained
+            if chained + cost > budget:
+                cycle += 1
+                chained = 0
+            cycles[index] = cycle
+            offsets[index] = chained + cost
+
+    def _forward_incremental(self, budget: int) -> None:
+        previous = self._fwd_budget
+        preds, costs = self._preds, self._costs
+        cycles, offsets, bases = self._fwd_cycle, self._fwd_offset, self._fwd_base
+        changed = bytearray(len(self._order))
+        for index in range(len(self._order)):
+            cost = costs[index]
+            node_preds = preds[index]
+            dirty = False
+            for p in node_preds:
+                if changed[p]:
+                    dirty = True
+                    break
+            if not dirty:
+                # Predecessor slots are untouched, so the chained depth in
+                # front of this node is exactly the recorded one; the slot
+                # can only move if the overflow decision flips with the
+                # budget.
+                base = bases[index]
+                if (base + cost > budget) == (base + cost > previous):
+                    continue
+                chained = base
+                cycle = cycles[index] - (1 if base + cost > previous else 0)
+            else:
+                cycle = 1
+                chained = 0
+                for p in node_preds:
+                    p_cycle = cycles[p]
+                    if p_cycle > cycle:
+                        cycle = p_cycle
+                for p in node_preds:
+                    if cycles[p] == cycle and offsets[p] > chained:
+                        chained = offsets[p]
+                bases[index] = chained
+            new_cycle = cycle
+            new_chained = chained
+            if new_chained + cost > budget:
+                new_cycle += 1
+                new_chained = 0
+            new_offset = new_chained + cost
+            if new_cycle != cycles[index] or new_offset != offsets[index]:
+                cycles[index] = new_cycle
+                offsets[index] = new_offset
+                changed[index] = 1
+
+    def forward(self, budget: int) -> None:
+        if self._fwd_budget is None:
+            self._forward_full(budget)
+        elif self._fwd_budget != budget:
+            self._forward_incremental(budget)
+        self._fwd_budget = budget
+
+    # -- backward ------------------------------------------------------
+    def _backward_full(self, budget: int) -> None:
+        succs, costs = self._succs, self._costs
+        cycles, tails, bases = self._bwd_cycle, self._bwd_tail, self._bwd_base
+        latency = self.latency
+        for index in range(len(self._order) - 1, -1, -1):
+            cost = costs[index]
+            cycle = latency
+            chained = 0
+            node_succs = succs[index]
+            if node_succs:
+                for s in node_succs:
+                    s_cycle = cycles[s]
+                    if s_cycle < cycle:
+                        cycle = s_cycle
+                for s in node_succs:
+                    if cycles[s] == cycle and tails[s] > chained:
+                        chained = tails[s]
+            bases[index] = chained
+            if chained + cost > budget:
+                cycle -= 1
+                chained = 0
+            cycles[index] = cycle
+            tails[index] = chained + cost
+
+    def _backward_incremental(self, budget: int) -> None:
+        previous = self._bwd_budget
+        succs, costs = self._succs, self._costs
+        cycles, tails, bases = self._bwd_cycle, self._bwd_tail, self._bwd_base
+        latency = self.latency
+        changed = bytearray(len(self._order))
+        for index in range(len(self._order) - 1, -1, -1):
+            cost = costs[index]
+            node_succs = succs[index]
+            dirty = False
+            for s in node_succs:
+                if changed[s]:
+                    dirty = True
+                    break
+            if not dirty:
+                base = bases[index]
+                if (base + cost > budget) == (base + cost > previous):
+                    continue
+                chained = base
+                cycle = cycles[index] + (1 if base + cost > previous else 0)
+            else:
+                cycle = latency
+                chained = 0
+                if node_succs:
+                    for s in node_succs:
+                        s_cycle = cycles[s]
+                        if s_cycle < cycle:
+                            cycle = s_cycle
+                    for s in node_succs:
+                        if cycles[s] == cycle and tails[s] > chained:
+                            chained = tails[s]
+                bases[index] = chained
+            new_cycle = cycle
+            new_chained = chained
+            if new_chained + cost > budget:
+                new_cycle -= 1
+                new_chained = 0
+            new_tail = new_chained + cost
+            if new_cycle != cycles[index] or new_tail != tails[index]:
+                cycles[index] = new_cycle
+                tails[index] = new_tail
+                changed[index] = 1
+
+    def backward(self, budget: int) -> None:
+        if self._bwd_budget is None:
+            self._backward_full(budget)
+        elif self._bwd_budget != budget:
+            self._backward_incremental(budget)
+        self._bwd_budget = budget
+
+    # -- queries -------------------------------------------------------
+    def is_feasible(self, budget: int) -> bool:
+        """Mirror of :meth:`BitSchedule.is_feasible` for one candidate budget."""
+        self.forward(budget)
+        latency = self.latency
+        fwd = self._fwd_cycle
+        for index in range(len(self._order)):
+            if fwd[index] > latency:
+                return False
+        self.backward(budget)
+        bwd = self._bwd_cycle
+        for index in range(len(self._order)):
+            if bwd[index] < 1 or fwd[index] > bwd[index]:
+                return False
+        return True
+
+    def bit_schedule(self, budget: int) -> BitSchedule:
+        """The :class:`BitSchedule` of *budget*, identical to the full passes."""
+        self.forward(budget)
+        self.backward(budget)
+        schedule = BitSchedule(latency=self.latency, chained_bits_per_cycle=budget)
+        order = self._order
+        costs = self._costs
+        fwd_cycle, fwd_offset = self._fwd_cycle, self._fwd_offset
+        bwd_cycle, bwd_tail = self._bwd_cycle, self._bwd_tail
+        asap = schedule.asap
+        alap = schedule.alap
+        for index, node in enumerate(order):
+            asap[node] = BitSlot(fwd_cycle[index], fwd_offset[index])
+            alap[node] = BitSlot(
+                bwd_cycle[index], budget - bwd_tail[index] + costs[index]
+            )
+        return schedule
 
 
 def minimum_feasible_budget(
@@ -170,24 +395,61 @@ def minimum_feasible_budget(
     latency: int,
     starting_budget: int,
     search_limit: int = 4096,
+    graph: Optional[BitDependencyGraph] = None,
 ) -> Tuple[int, BitSchedule, BitDependencyGraph]:
     """Smallest chained-bit budget >= *starting_budget* with a feasible schedule.
 
     Phase 2's estimate ``ceil(critical_path / latency)`` is occasionally one
     or two bits short because cycle boundaries quantise the chains; the
-    transformation searches upward from the estimate exactly as a designer
-    would relax the clock until the ASAP schedule fits the latency.
+    transformation relaxes the budget upward from the estimate exactly as a
+    designer would relax the clock until the ASAP schedule fits the latency.
+
+    The search used to probe every candidate budget with two full schedule
+    recomputations.  It now binary-searches between the estimate and the
+    critical depth (a budget that packs the whole critical path into cycle 1
+    is always feasible), probing candidates through an
+    :class:`IncrementalBitScheduler` so each probe only re-relaxes the bits
+    whose slack the budget change actually moved.  A final downward walk
+    guards the exact "smallest feasible" contract of the legacy linear scan.
     """
-    graph = BitDependencyGraph(specification)
-    budget = max(1, starting_budget)
-    for _ in range(search_limit):
-        schedule = compute_bit_schedule(specification, latency, budget, graph)
-        if schedule.is_feasible():
-            return budget, schedule, graph
-        budget += 1
-    raise FragmentationError(
-        f"no feasible chained-bit budget found below {budget} for latency {latency}"
-    )
+    if graph is None:
+        graph = specification.bit_dependency_graph()
+    start = max(1, starting_budget)
+    limit = start + search_limit  # first budget the legacy scan never probed
+    scheduler = IncrementalBitScheduler(graph, latency)
+    if scheduler.is_feasible(start):
+        return start, scheduler.bit_schedule(start), graph
+    # A budget the length of the whole critical path always fits (every bit
+    # lands in cycle 1 forward and cycle `latency` backward).
+    high = min(max(start + 1, graph.critical_depth()), limit - 1)
+    if not scheduler.is_feasible(high):
+        # Monotonicity safety net: scan the remaining window linearly, the
+        # legacy contract, before giving up with the legacy error.
+        budget = high + 1
+        while budget < limit:
+            if scheduler.is_feasible(budget):
+                high = budget
+                break
+            budget += 1
+        else:
+            raise FragmentationError(
+                f"no feasible chained-bit budget found below {limit} "
+                f"for latency {latency}"
+            )
+    else:
+        low = start  # known infeasible
+        while high - low > 1:
+            middle = (low + high) // 2
+            if scheduler.is_feasible(middle):
+                high = middle
+            else:
+                low = middle
+    # The incremental probes make the confirmation walk cheap; it pins the
+    # result to the smallest feasible budget even if feasibility were ever
+    # non-monotone in the budget.
+    while high - 1 > start and scheduler.is_feasible(high - 1):
+        high -= 1
+    return high, scheduler.bit_schedule(high), graph
 
 
 @dataclass(frozen=True)
@@ -315,7 +577,10 @@ def fragment_specification(
 ) -> FragmentationResult:
     """Run the bit-level fragmentation of every additive operation."""
     budget, schedule, graph = minimum_feasible_budget(
-        specification, latency, chained_bits_per_cycle
+        specification,
+        latency,
+        chained_bits_per_cycle,
+        graph=specification.bit_dependency_graph(),
     )
     result = FragmentationResult(
         specification=specification,

@@ -7,27 +7,37 @@ chained-bit budget::
 
     cycle_duration = ceil(execution_time(critical_path) / latency)
 
-Two equivalent measurements are implemented:
+Three equivalent measurements are implemented:
 
 * :func:`path_execution_time` -- the literal transcription of the path-walk
   algorithm printed in the paper (walk the path from output to input, start
   from the width of the last operation, add one per operation crossed plus the
   number of truncated least-significant bits when an operation is wider than
   its successor);
+* :func:`critical_path_dag` -- the same metric computed by a single
+  topological-order longest-path pass over the operation DFG (no path
+  enumeration): additive operations are linked through glue logic into a
+  contracted adjacency view, producer->consumer bit-truncation weights are
+  memoized per edge, and one backward sweep yields the maximum over *all*
+  paths in O(V+E) instead of O(paths x length);
 * :func:`critical_path_bits` -- the bit-level longest arrival depth over the
   :class:`~repro.ir.dfg.BitDependencyGraph`, which accounts for the rippling
   effect exactly (Fig. 3 b: the F-H / G-H paths of 9 chained bits beat the
   B-C-E path that has more operations).
 
-The two agree on well-formed additive DFGs; the property tests in
-``tests/core/test_timing.py`` check the relationship on random graphs.
+``critical_path_dag`` and the walker agree on every DFG by construction
+(the property tests in ``tests/core/test_timing.py`` check this on random
+graphs and on the paper workloads); :func:`critical_path_by_walk` therefore
+only enumerates paths when explicitly asked to and falls back to the exact
+DAG pass when the enumeration would be truncated.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.dfg import BitDependencyGraph, DataFlowGraph
 from ..ir.operations import Operation, OpKind, is_glue
@@ -36,6 +46,10 @@ from ..ir.spec import Specification
 
 class TimingError(ValueError):
     """Raised for invalid latencies or malformed paths."""
+
+
+class PathLimitWarning(RuntimeWarning):
+    """Emitted when path enumeration hits its limit and the DAG pass takes over."""
 
 
 def operation_execution_bits(operation: Operation) -> int:
@@ -102,18 +116,145 @@ def path_execution_time(path: Sequence[Operation], graph: DataFlowGraph) -> int:
     return time
 
 
-def critical_path_by_walk(specification: Specification, path_limit: int = 20000) -> int:
-    """Critical path length via explicit path enumeration (paper's algorithm)."""
-    graph = DataFlowGraph(specification)
+def critical_path_dag(
+    specification: Specification, graph: Optional[DataFlowGraph] = None
+) -> int:
+    """Critical path length by a single topological longest-path pass.
+
+    Computes exactly the maximum of :func:`path_execution_time` over *all*
+    source-to-sink paths of the DFG, without enumerating any of them:
+
+    * glue operations are contracted away (they cost nothing and merely
+      forward values), leaving a weighted adjacency between additive
+      operations: crossing from additive ``u`` to the next additive ``v`` on
+      a path costs ``1`` plus, when ``u`` rippled wider than ``v`` and feeds
+      it directly, the truncated low bits ``v`` must wait for;
+    * the truncation weight of each direct producer->consumer pair is
+      computed once and memoized;
+    * one backward sweep over the cached topological order then relaxes
+      ``suffix(u) = max(exec(u) if u can end a path, w(u, v) + suffix(v))``.
+
+    An additive operation may only *terminate* a measured path when some
+    DFG path continues from it to a sink through glue alone (otherwise every
+    enumerated path would cross a further additive operation), which the
+    pass tracks with one reverse sweep over the glue operations.
+    """
+    if graph is None:
+        graph = specification.dataflow_graph()
+    order = graph.topological_order()
+    additive = [op for op in order if not is_glue(op.kind)]
+    if not additive:
+        return 0
+
+    exec_bits = {op: operation_execution_bits(op) for op in additive}
+
+    # Which glue operations reach a sink without crossing an additive op.
+    glue_ends: Dict[Operation, bool] = {}
+    # Additive operations reachable from each glue op through glue alone.
+    glue_next: Dict[Operation, Tuple[Operation, ...]] = {}
+    for op in reversed(order):
+        if not is_glue(op.kind):
+            continue
+        successors = graph.successors(op)
+        ends = not successors
+        following: List[Operation] = []
+        for successor in successors:
+            if is_glue(successor.kind):
+                ends = ends or glue_ends[successor]
+                for nxt in glue_next[successor]:
+                    if nxt not in following:
+                        following.append(nxt)
+            elif successor not in following:
+                following.append(successor)
+        glue_ends[op] = ends
+        glue_next[op] = tuple(following)
+
+    # Memoized truncation weight of direct additive->additive edges.
+    truncation: Dict[Tuple[int, int], int] = {}
+
+    def edge_weight(producer: Operation, consumer: Operation, direct: bool) -> int:
+        if not direct or exec_bits[producer] <= exec_bits[consumer]:
+            return 1
+        key = (producer.uid, consumer.uid)
+        weight = truncation.get(key)
+        if weight is None:
+            weight = 1 + _truncated_right(producer, consumer, graph)
+            truncation[key] = weight
+        return weight
+
+    suffix: Dict[Operation, int] = {}
+    for op in reversed(order):
+        if is_glue(op.kind):
+            continue
+        successors = graph.successors(op)
+        can_end = not successors
+        # Next additive operations on any path out of *op*: the direct ones
+        # (truncation applies) and those reached through glue (weight 1).
+        best: Optional[int] = None
+        for successor in successors:
+            if is_glue(successor.kind):
+                can_end = can_end or glue_ends[successor]
+                for nxt in glue_next[successor]:
+                    candidate = edge_weight(op, nxt, direct=False) + suffix[nxt]
+                    if best is None or candidate > best:
+                        best = candidate
+            else:
+                candidate = edge_weight(op, successor, direct=True) + suffix[successor]
+                if best is None or candidate > best:
+                    best = candidate
+        if can_end and (best is None or exec_bits[op] > best):
+            best = exec_bits[op]
+        suffix[op] = best if best is not None else exec_bits[op]
+    return max(suffix.values())
+
+
+def critical_path_by_walk(
+    specification: Specification,
+    path_limit: int = 20000,
+    on_limit: str = "fallback",
+) -> int:
+    """Critical path length via explicit path enumeration (paper's algorithm).
+
+    Historically this silently returned the maximum over the first
+    ``path_limit`` paths -- an *undercount* on large specifications.  The
+    enumeration now reports truncation and ``on_limit`` decides the outcome:
+
+    * ``"fallback"`` (default) -- warn (:class:`PathLimitWarning`) and return
+      the exact result of the O(V+E) DAG pass instead;
+    * ``"raise"`` -- raise :class:`TimingError`;
+    * ``"truncate"`` -- the legacy undercounting walker, kept only so tests
+      can cross-check the enumeration against :func:`critical_path_dag` on
+      graphs known to fit the limit.
+    """
+    if on_limit not in ("fallback", "raise", "truncate"):
+        raise ValueError(
+            f"on_limit must be 'fallback', 'raise' or 'truncate', got {on_limit!r}"
+        )
+    graph = specification.dataflow_graph()
+    paths, truncated = graph.enumerate_paths(limit=path_limit)
+    if truncated and on_limit != "truncate":
+        if on_limit == "raise":
+            raise TimingError(
+                f"{specification.name} has more than {path_limit} source-to-sink "
+                "paths; the enumerated maximum would undercount the critical "
+                "path (use critical_path_dag or on_limit='fallback')"
+            )
+        warnings.warn(
+            f"{specification.name}: path enumeration truncated at {path_limit} "
+            "paths; falling back to the exact single-pass DAG computation",
+            PathLimitWarning,
+            stacklevel=2,
+        )
+        return critical_path_dag(specification, graph)
     best = 0
-    for path in graph.all_paths(limit=path_limit):
+    for path in paths:
         best = max(best, path_execution_time(path, graph))
     return best
 
 
 def critical_path_bits(specification: Specification) -> int:
     """Critical path length in chained 1-bit additions (bit-accurate)."""
-    return BitDependencyGraph(specification).critical_depth()
+    return specification.bit_dependency_graph().critical_depth()
 
 
 @dataclass(frozen=True)
@@ -172,7 +313,7 @@ def operation_mobility_cycles(
     operation occupies one cycle), used only for descriptive statistics; the
     fragmentation phase uses the bit-level schedules instead.
     """
-    graph = DataFlowGraph(specification)
+    graph = specification.dataflow_graph()
     order = graph.topological_order()
     asap: Dict[Operation, int] = {}
     for operation in order:

@@ -17,8 +17,9 @@ is returned, so downstream synthesis can trust it blindly.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..ir.spec import Specification
 from ..ir.validate import require_valid
@@ -115,6 +116,30 @@ class TransformResult:
         return "\n".join(lines)
 
 
+#: Phase-1 results memoized per input specification (latency-independent).
+#: A latency sweep transforms the same workload a dozen times; the kernel
+#: extraction and the critical-path measurement depend only on the input
+#: structure, so they are shared across every sweep point.  Weak keys keep
+#: discarded specifications collectable; the structure version guards
+#: against (unlikely) post-resolution mutation.
+_KERNEL_CACHE: "weakref.WeakKeyDictionary[Specification, Tuple[int, ExtractionResult, int]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _kernel_and_critical_path(
+    specification: Specification,
+) -> Tuple[ExtractionResult, int]:
+    """Phase 1 plus the phase-2 critical path, memoized per specification."""
+    cached = _KERNEL_CACHE.get(specification)
+    if cached is not None and cached[0] == specification.version:
+        return cached[1], cached[2]
+    kernel = extract_kernel(specification)
+    critical = critical_path_bits(kernel.specification)
+    _KERNEL_CACHE[specification] = (specification.version, kernel, critical)
+    return kernel, critical
+
+
 class BehaviouralTransformer:
     """Applies the presynthesis optimization of the paper to a specification."""
 
@@ -127,11 +152,11 @@ class BehaviouralTransformer:
         if options.validate_input:
             require_valid(specification)
 
-        # Phase 1 -- operative kernel extraction.
-        kernel = extract_kernel(specification)
+        # Phase 1 -- operative kernel extraction (memoized: it does not
+        # depend on the latency, which is the axis every sweep varies).
+        kernel, critical = _kernel_and_critical_path(specification)
 
         # Phase 2 -- clock cycle estimation.
-        critical = critical_path_bits(kernel.specification)
         estimate = estimate_cycle_budget(kernel.specification, latency, critical)
         if options.chained_bits_override is not None:
             if options.chained_bits_override <= 0:

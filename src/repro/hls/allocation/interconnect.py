@@ -26,7 +26,7 @@ from ...ir.spec import Specification
 from ...techlib.library import TechnologyLibrary
 from ..schedule import Schedule
 from .functional_units import FunctionalUnitAllocation, FunctionalUnitInstance
-from .registers import RegisterAllocation, ValueGroup, _AliasResolver
+from .registers import RegisterAllocation, ValueGroup, alias_resolver_for
 
 #: a steering source feeding a port: ("port", uid) | ("reg", index) | ("fu", id) | ("const",)
 SourceKey = Tuple
@@ -88,26 +88,26 @@ class _SourceResolver:
         self.specification = schedule.specification
         self.functional_units = functional_units
         self.registers = registers
-        self.alias = _AliasResolver(self.specification)
+        self.alias = alias_resolver_for(self.specification)
         self._group_register: Dict[Tuple[int, int], int] = {}
         for index, register in enumerate(registers.registers):
             for group in register.groups:
                 for bit in range(group.low_bit, group.low_bit + group.width):
                     self._group_register[(group.variable.uid, bit)] = index
 
-    def _bit_source(self, operation: Operation, variable, bit: int) -> SourceKey:
+    def _bit_source(
+        self, consumer_cycle: int, operation: Operation, variable, bit: int
+    ) -> SourceKey:
         """Physical source of one operand bit read by *operation*."""
-        consumer_cycle = self.schedule.cycle(operation)
         canonical = self.alias.canonical(variable, bit)
         if canonical is None:
             return ("const", 0)
         variable_uid, canonical_bit = canonical
-        resolved_variable = self.alias.variable_of(canonical)
-        definition = self.specification.bit_writer(resolved_variable, canonical_bit)
+        definition = self.specification.bit_def_map.get(canonical)
         if definition is None:
             return ("port", variable_uid, canonical_bit)
         producer = definition.operation
-        producer_cycle = self.schedule.cycle(producer)
+        producer_cycle = self.schedule.cycle_of[producer]
         if producer_cycle == consumer_cycle:
             instance = self.functional_units.instance_of(producer)
             if instance is None:
@@ -135,9 +135,12 @@ class _SourceResolver:
         """
         if not operand.is_variable:
             return (("const", operand.constant.value, operand.width),)
+        consumer_cycle = self.schedule.cycle(operation)
+        bit_source = self._bit_source
+        variable = operand.variable
         runs: List[Tuple] = []
         for bit in operand.range:
-            source = self._bit_source(operation, operand.variable, bit)
+            source = bit_source(consumer_cycle, operation, variable, bit)
             head = source[:2]
             position = source[2] if len(source) > 2 else 0
             if runs:

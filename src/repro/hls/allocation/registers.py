@@ -17,6 +17,7 @@ same physical value is never counted twice.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -119,37 +120,101 @@ class _AliasResolver:
             variable.uid: variable for variable in specification.variables
         }
 
-    def canonical(self, variable: Variable, bit: int) -> Optional[CanonicalBit]:
-        """Physical (variable uid, bit) behind an IR bit; None for constants."""
-        key = (variable.uid, bit)
-        if key in self._cache:
-            return self._cache[key]
-        resolved = self._resolve(variable, bit, 0)
-        self._cache[key] = resolved
-        return resolved
+    _MISSING = object()
 
-    def _resolve(self, variable: Variable, bit: int, depth: int) -> Optional[CanonicalBit]:
-        if depth > 64:
-            return (variable.uid, bit)
-        definition = self.specification.bit_writer(variable, bit)
-        if definition is None:
-            return (variable.uid, bit)
-        operation = definition.operation
-        if operation.kind not in _WIRING_KINDS:
-            return (variable.uid, bit)
+    def canonical(self, variable: Variable, bit: int) -> Optional[CanonicalBit]:
+        """Physical (variable uid, bit) behind an IR bit; None for constants.
+
+        Wiring chains are walked iteratively and every intermediate hop is
+        memoized (resolution is a pure function of the bit), so each net of
+        the specification is resolved at most once however many readers
+        consult it.
+        """
         from ...ir.dfg import BitDependencyGraph
 
-        sources = BitDependencyGraph.glue_source_bits(operation, definition.result_bit)
-        for operand, position in sources:
+        cache = self._cache
+        missing = self._MISSING
+        bit_defs = self.specification.bit_def_map
+        glue_source_bits = BitDependencyGraph.glue_source_bits
+        key = (variable.uid, bit)
+        chain: List[CanonicalBit] = []
+        resolved: Optional[CanonicalBit] = None
+        depth = 0
+        while True:
+            hit = cache.get(key, missing)
+            if hit is not missing:
+                resolved = hit
+                break
+            chain.append(key)
+            if depth > 64:
+                # Cut off by the cycle guard: return the best answer for
+                # THIS walk but cache nothing -- entries computed under a
+                # partly spent depth budget must not be served to later
+                # shallow callers.
+                return key
+            definition = bit_defs.get(key)
+            if definition is None:
+                resolved = key
+                break
+            operation = definition.operation
+            if operation.kind not in _WIRING_KINDS:
+                resolved = key
+                break
+            sources = glue_source_bits(operation, definition.result_bit)
+            if not sources:
+                # No driving operand (e.g. a shifted-in zero): constant bit.
+                resolved = None
+                break
+            operand, position = sources[0]
             if not operand.is_variable:
-                return None
-            source_bit = operand.range.lo + position
-            return self._resolve(operand.variable, source_bit, depth + 1)
-        # No driving operand (e.g. a shifted-in zero): the bit is a constant.
-        return None
+                resolved = None
+                break
+            key = (operand.variable.uid, operand.range.lo + position)
+            depth += 1
+        for visited in chain:
+            cache[visited] = resolved
+        return resolved
 
     def variable_of(self, canonical: CanonicalBit) -> Variable:
         return self._variables[canonical[0]]
+
+
+#: Alias resolvers shared per specification (weakly keyed, version guarded).
+#: Alias resolution depends only on the specification's wiring -- not on the
+#: schedule -- so the register and interconnect analyses of one run, and all
+#: the runs of a latency sweep over one shared workload instance, reuse the
+#: same resolved cache instead of re-walking the glue per pass.
+_RESOLVERS: "weakref.WeakKeyDictionary[Specification, Tuple[int, _AliasResolver]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def alias_resolver_for(specification: Specification) -> _AliasResolver:
+    """The shared :class:`_AliasResolver` of a specification."""
+    cached = _RESOLVERS.get(specification)
+    if cached is not None and cached[0] == specification.version:
+        return cached[1]
+    resolver = _AliasResolver(specification)
+    _RESOLVERS[specification] = (specification.version, resolver)
+    return resolver
+
+
+#: Storage-source resolutions shared per specification, same contract as the
+#: alias resolvers: the resolution is schedule-independent.
+_STORAGE_SOURCES: "weakref.WeakKeyDictionary[Specification, Tuple[int, Dict[Tuple[int, int], List[CanonicalBit]]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _storage_source_cache(
+    specification: Specification,
+) -> Dict[Tuple[int, int], List[CanonicalBit]]:
+    cached = _STORAGE_SOURCES.get(specification)
+    if cached is not None and cached[0] == specification.version:
+        return cached[1]
+    cache: Dict[Tuple[int, int], List[CanonicalBit]] = {}
+    _STORAGE_SOURCES[specification] = (specification.version, cache)
+    return cache
 
 
 def _storage_sources(
@@ -157,6 +222,7 @@ def _storage_sources(
     variable: Variable,
     bit: int,
     _depth: int = 0,
+    _memo: Optional[Dict[Tuple[int, int], List[CanonicalBit]]] = None,
 ) -> List[CanonicalBit]:
     """The additive result bits that must be *stored* for a read of this bit.
 
@@ -167,35 +233,66 @@ def _storage_sources(
     non-glue inputs -- additive operation results.  Input-port bits need no
     datapath register (the paper excludes the dedicated I/O registers from its
     accounting), so they resolve to nothing.
-    """
-    if _depth > 64:
-        return []
-    definition = specification.bit_writer(variable, bit)
-    if definition is None:
-        return []
-    operation = definition.operation
-    if operation.is_additive:
-        return [(variable.uid, bit)]
-    sources: List[CanonicalBit] = []
-    from ...ir.dfg import BitDependencyGraph
 
-    for operand, position in BitDependencyGraph.glue_source_bits(
-        operation, definition.result_bit
-    ):
-        if not operand.is_variable:
-            continue
-        sources.extend(
-            _storage_sources(
-                specification, operand.variable, operand.range.lo + position, _depth + 1
-            )
-        )
+    ``_memo`` memoizes every intermediate bit of the walk (the resolution is
+    a pure function of the bit), which turns the wide shared fan-ins of the
+    transformed specifications from repeated tree walks into single lookups.
+    A walk cut off by the recursion guard caches nothing on its path, so a
+    depth-truncated source list is never served to a shallow caller.
+    """
+    sources, _complete = _storage_sources_inner(
+        specification, variable, bit, _depth, _memo
+    )
     return sources
+
+
+def _storage_sources_inner(
+    specification: Specification,
+    variable: Variable,
+    bit: int,
+    depth: int,
+    memo: Optional[Dict[Tuple[int, int], List[CanonicalBit]]],
+) -> Tuple[List[CanonicalBit], bool]:
+    if depth > 64:
+        return [], False
+    key = (variable.uid, bit)
+    if memo is not None:
+        cached = memo.get(key)
+        if cached is not None:
+            return cached, True
+    complete = True
+    definition = specification.bit_def_map.get(key)
+    if definition is None:
+        sources: List[CanonicalBit] = []
+    elif definition.operation.is_additive:
+        sources = [key]
+    else:
+        from ...ir.dfg import BitDependencyGraph
+
+        sources = []
+        for operand, position in BitDependencyGraph.glue_source_bits(
+            definition.operation, definition.result_bit
+        ):
+            if not operand.is_variable:
+                continue
+            traced, traced_complete = _storage_sources_inner(
+                specification,
+                operand.variable,
+                operand.range.lo + position,
+                depth + 1,
+                memo,
+            )
+            sources.extend(traced)
+            complete = complete and traced_complete
+    if memo is not None and complete:
+        memo[key] = sources
+    return sources, complete
 
 
 def analyze_lifetimes(schedule: Schedule) -> List[ValueGroup]:
     """Birth/death cycles of every produced value bit, grouped into runs."""
     spec = schedule.specification
-    resolver = _AliasResolver(spec)
+    resolver = alias_resolver_for(spec)
     birth: Dict[CanonicalBit, int] = {}
     death: Dict[CanonicalBit, int] = {}
     producer: Dict[CanonicalBit, Optional[Operation]] = {}
@@ -203,13 +300,17 @@ def analyze_lifetimes(schedule: Schedule) -> List[ValueGroup]:
     # Births: every bit produced by an additive (functional-unit) operation.
     # Glue outputs are never stored: glue is combinational logic replicated
     # next to whichever cycle consumes it.
+    cycle_of = schedule.cycle_of
     for operation in spec.operations:
         if not operation.is_additive:
             continue
-        cycle = schedule.cycle(operation)
+        cycle = cycle_of.get(operation)
+        if cycle is None:
+            schedule.cycle(operation)  # raises the descriptive ScheduleError
         destination = operation.destination
+        destination_uid = destination.variable.uid
         for bit in destination.range:
-            canonical = (destination.variable.uid, bit)
+            canonical = (destination_uid, bit)
             birth[canonical] = cycle
             producer[canonical] = operation
             death.setdefault(canonical, cycle)
@@ -217,21 +318,24 @@ def analyze_lifetimes(schedule: Schedule) -> List[ValueGroup]:
 
     # Deaths: the latest cycle any additive operation (transitively through
     # glue) reads the stored bit.
-    cache: Dict[Tuple[int, int], List[CanonicalBit]] = {}
+    cache = _storage_source_cache(spec)
     for operation in spec.operations:
         if not operation.is_additive:
             continue
-        cycle = schedule.cycle(operation)
+        cycle = cycle_of[operation]
         for operand in operation.all_read_operands():
             if not operand.is_variable:
                 continue
+            variable = operand.variable
+            variable_uid = variable.uid
             for bit in operand.range:
-                key = (operand.variable.uid, bit)
-                if key not in cache:
-                    cache[key] = _storage_sources(spec, operand.variable, bit)
-                for canonical in cache[key]:
-                    if canonical in birth:
-                        death[canonical] = max(death[canonical], cycle)
+                key = (variable_uid, bit)
+                sources = cache.get(key)
+                if sources is None:
+                    sources = _storage_sources(spec, variable, bit, _memo=cache)
+                for canonical in sources:
+                    if canonical in birth and death[canonical] < cycle:
+                        death[canonical] = cycle
 
     # Group contiguous bits of the same variable with identical lifetimes.
     groups: List[ValueGroup] = []

@@ -130,7 +130,7 @@ class SynthesisResult:
 
 def _default_budget(specification: Specification, latency: int) -> int:
     """Per-cycle chained-bit budget when the caller did not provide one."""
-    critical = BitDependencyGraph(specification).critical_depth()
+    critical = specification.bit_dependency_graph().critical_depth()
     if critical == 0:
         return 1
     return max(1, math.ceil(critical / latency))

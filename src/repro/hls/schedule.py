@@ -31,6 +31,12 @@ class Schedule:
     def __post_init__(self) -> None:
         if self.latency <= 0:
             raise ScheduleError(f"latency must be positive, got {self.latency}")
+        # Assignment version and derived-timing memo: the scheduler's budget
+        # verification and the timing pass analyse the same finished
+        # schedule, so the per-cycle delay/depth maps are cached here keyed
+        # by (version, analysis key) and invalidated by any assignment.
+        self._version = 0
+        self._timing_cache: Dict[object, object] = {}
 
     # ------------------------------------------------------------------
     def assign(self, operation: Operation, cycle: int) -> None:
@@ -39,6 +45,21 @@ class Schedule:
                 f"cycle {cycle} outside [1, {self.latency}] for {operation.name}"
             )
         self.cycle_of[operation] = cycle
+        self._version += 1
+        if self._timing_cache:
+            self._timing_cache.clear()
+
+    def cached_analysis(self, key: object, compute):
+        """Memoize a schedule-derived analysis until the next assignment."""
+        cached = self._timing_cache.get(key)
+        if cached is None:
+            cached = compute()
+            self._timing_cache[key] = cached
+        return cached
+
+    def store_analysis(self, key: object, value) -> None:
+        """Replace a memoized analysis (callers re-validating a stale hit)."""
+        self._timing_cache[key] = value
 
     def cycle(self, operation: Operation) -> int:
         try:
@@ -78,7 +99,7 @@ class Schedule:
         timing analyses decide whether the resulting chains fit the cycle.
         """
         if graph is None:
-            graph = DataFlowGraph(self.specification)
+            graph = self.specification.dataflow_graph()
         for operation in self.specification.operations:
             if operation not in self.cycle_of:
                 raise ScheduleError(f"operation {operation.name} is not scheduled")
@@ -97,9 +118,25 @@ class Schedule:
         transformed specifications; the correct requirement is that every
         additive result bit is computed no earlier than the additive result
         bits it depends on (tracing through glue), which is what this checks.
+
+        The happy path runs over the bit graph's cached operation-level
+        producer projection (a producer scheduled after a consumer at the
+        operation level is exactly a violated bit pair); only an actual
+        violation re-walks the bits to name the offending pair.
         """
+        for operation, producers in bit_graph.operation_predecessors().items():
+            consumer_cycle = self.cycle(operation)
+            for producer in producers:
+                if self.cycle(producer) > consumer_cycle:
+                    self._raise_bit_violation(bit_graph, operation)
+        return
+
+    def _raise_bit_violation(self, bit_graph, operation: Operation) -> None:
+        """Locate and report one violated bit dependency of *operation*."""
+        consumer_cycle = self.cycle(operation)
         for node in bit_graph.nodes:
-            consumer_cycle = self.cycle(node.operation)
+            if node.operation is not operation:
+                continue
             for predecessor in bit_graph.predecessors(node):
                 producer_cycle = self.cycle(predecessor.operation)
                 if producer_cycle > consumer_cycle:
@@ -107,6 +144,9 @@ class Schedule:
                         f"bit {predecessor} (cycle {producer_cycle}) feeds "
                         f"bit {node} (cycle {consumer_cycle})"
                     )
+        raise ScheduleError(  # pragma: no cover - projection and bits agree
+            f"operation {operation.name} violates a bit-level dependency"
+        )
 
     def describe(self) -> str:
         lines = [f"schedule of {self.specification.name} over {self.latency} cycles"]

@@ -51,7 +51,7 @@ def asap_chained(
     if clock_period_ns <= 0:
         raise SchedulingError(f"clock period must be positive, got {clock_period_ns}")
     if graph is None:
-        graph = DataFlowGraph(specification)
+        graph = specification.dataflow_graph()
     placements: Dict[Operation, ChainedPlacement] = {}
     for operation in graph.topological_order():
         delay = library.operation_delay_ns(operation)
@@ -95,7 +95,7 @@ def alap_chained(
     if latency <= 0:
         raise SchedulingError(f"latency must be positive, got {latency}")
     if graph is None:
-        graph = DataFlowGraph(specification)
+        graph = specification.dataflow_graph()
     # Work in "reverse time": tail_ns is the chained delay from the start of
     # the operation to the end of its cycle.
     cycles: Dict[Operation, int] = {}
@@ -139,11 +139,44 @@ def asap_cycles_needed(
     library: TechnologyLibrary,
     graph: Optional[DataFlowGraph] = None,
 ) -> int:
-    """Number of cycles the ASAP schedule needs under the given clock period."""
-    placements = asap_chained(specification, clock_period_ns, library, graph)
-    if not placements:
-        return 0
-    return max(p.cycle for p in placements.values())
+    """Number of cycles the ASAP schedule needs under the given clock period.
+
+    This is the feasibility probe of the clock-period binary search, called a
+    dozen times per scheduled point, so it runs the same recurrence as
+    :func:`asap_chained` without materialising a placement object per
+    operation.
+    """
+    if clock_period_ns <= 0:
+        raise SchedulingError(f"clock period must be positive, got {clock_period_ns}")
+    if graph is None:
+        graph = specification.dataflow_graph()
+    cycles: Dict[Operation, int] = {}
+    finishes: Dict[Operation, float] = {}
+    worst = 0
+    threshold = clock_period_ns + 1e-9
+    for operation in graph.topological_order():
+        delay = library.operation_delay_ns(operation)
+        if delay > threshold:
+            raise SchedulingError(
+                f"operation {operation.name} ({delay:.3f} ns) does not fit a "
+                f"{clock_period_ns:.3f} ns clock period"
+            )
+        cycle = 1
+        start = 0.0
+        for predecessor in graph.predecessors(operation):
+            if cycles[predecessor] > cycle:
+                cycle = cycles[predecessor]
+        for predecessor in graph.predecessors(operation):
+            if cycles[predecessor] == cycle and finishes[predecessor] > start:
+                start = finishes[predecessor]
+        if start + delay > threshold:
+            cycle += 1
+            start = 0.0
+        cycles[operation] = cycle
+        finishes[operation] = start + delay
+        if cycle > worst:
+            worst = cycle
+    return worst
 
 
 def mobility_windows(

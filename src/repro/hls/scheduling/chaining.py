@@ -50,7 +50,7 @@ def schedule_bit_level_chaining(
     from ...core.fragmentation import compute_bit_schedule, minimum_feasible_budget
     import math
 
-    bit_graph = BitDependencyGraph(specification)
+    bit_graph = specification.bit_dependency_graph()
     critical = bit_graph.critical_depth()
     if critical == 0:
         schedule = Schedule(specification, latency)
@@ -59,11 +59,11 @@ def schedule_bit_level_chaining(
         return BlcScheduleResult(schedule, 0, 0)
     starting_budget = math.ceil(critical / latency)
     budget, bit_schedule, graph = minimum_feasible_budget(
-        specification, latency, starting_budget
+        specification, latency, starting_budget, graph=bit_graph
     )
 
     schedule = Schedule(specification, latency)
-    op_graph = DataFlowGraph(specification)
+    op_graph = specification.dataflow_graph()
     for operation in op_graph.topological_order():
         if operation.is_additive and operation.width > 0:
             last_bit = graph.node(operation, operation.width - 1)

@@ -62,7 +62,7 @@ def _bit_level_mobility(
     """
     from ...core.fragmentation import compute_bit_schedule
 
-    graph = BitDependencyGraph(specification)
+    graph = specification.bit_dependency_graph()
     schedule = compute_bit_schedule(specification, latency, budget, graph)
     if not schedule.is_feasible():
         raise SchedulingError(
@@ -117,19 +117,17 @@ class _FragmentPlacer:
         A fragment may start as soon as the additive result bits its own bits
         depend on are available; dependencies are traced through glue logic at
         the bit level, so reading the low bits of a partially produced value
-        does not wait for the fragments that produce its high bits.
+        does not wait for the fragments that produce its high bits.  The
+        producer set per operation is the bit graph's cached operation-level
+        projection, so each query is one pass over the distinct producers
+        instead of one over every (bit, predecessor) pair.
         """
         bound = 1
-        for bit in range(operation.width):
-            if not self.bit_graph.has_node(operation, bit):
-                continue
-            node = self.bit_graph.node(operation, bit)
-            for predecessor in self.bit_graph.predecessors(node):
-                if predecessor.operation is operation:
-                    continue
-                placed = schedule.cycle_of.get(predecessor.operation)
-                if placed is not None:
-                    bound = max(bound, placed)
+        cycle_of = schedule.cycle_of
+        for producer in self.bit_graph.operation_predecessors().get(operation, ()):
+            placed = cycle_of.get(producer)
+            if placed is not None and placed > bound:
+                bound = placed
         return bound
 
     def _glue_lower_bound(
@@ -192,7 +190,7 @@ def schedule_fragments(
         raise SchedulingError(
             f"chained-bit budget must be positive, got {chained_bits_per_cycle}"
         )
-    graph = DataFlowGraph(specification)
+    graph = specification.dataflow_graph()
 
     windows: Dict[Operation, Tuple[int, int]] = {}
     missing_attributes = False
@@ -207,7 +205,7 @@ def schedule_fragments(
     if missing_attributes:
         windows = _bit_level_mobility(specification, latency, chained_bits_per_cycle)
 
-    bit_graph = BitDependencyGraph(specification)
+    bit_graph = specification.bit_dependency_graph()
     placer = _FragmentPlacer(specification, latency, windows, graph, bit_graph)
     schedule = placer.place(balance=options.balance)
     if options.balance and options.verify:

@@ -53,7 +53,7 @@ def _total_chain_delay(
     specification: Specification, library: TechnologyLibrary
 ) -> float:
     """Upper bound on the clock period: the whole critical path in one cycle."""
-    graph = DataFlowGraph(specification)
+    graph = specification.dataflow_graph()
     finish: Dict[Operation, float] = {}
     worst = 0.0
     for operation in graph.topological_order():
@@ -80,7 +80,7 @@ def minimize_clock_period(
     """
     if latency <= 0:
         raise SchedulingError(f"latency must be positive, got {latency}")
-    graph = DataFlowGraph(specification)
+    graph = specification.dataflow_graph()
     low = _maximum_operation_delay(specification, library)
     high = max(_total_chain_delay(specification, library), low)
     if low <= 0.0:
@@ -101,19 +101,6 @@ def minimize_clock_period(
     return ClockSearchResult(high, cycles)
 
 
-def _functional_unit_pressure(
-    operations: List[Operation], library: TechnologyLibrary
-) -> Dict[str, int]:
-    """How many functional units of each category a set of operations needs."""
-    pressure: Dict[str, int] = {}
-    for operation in operations:
-        spec = library.functional_unit_for(operation)
-        if spec is None:
-            continue
-        pressure[spec.category] = pressure.get(spec.category, 0) + 1
-    return pressure
-
-
 def list_schedule(
     specification: Specification,
     latency: int,
@@ -122,49 +109,46 @@ def list_schedule(
 ) -> Schedule:
     """Balance operations across cycles inside their ASAP/ALAP windows.
 
-    Operations are visited in dependency order, most urgent first (smallest
-    mobility), and placed in the feasible cycle that currently has the lowest
-    functional-unit pressure for their category; chaining feasibility against
-    the clock period is re-checked incrementally after every placement.
+    Operations are visited in dependency order and placed in the feasible
+    cycle that currently has the lowest functional-unit pressure for their
+    category; chaining feasibility against the clock period is re-checked
+    incrementally after every placement.
+
+    Feasibility of a candidate cycle used to be probed by rebuilding a trial
+    schedule and re-timing every placed operation, which made the pass
+    quadratic in the operation count.  Because operations are placed in
+    dependency order, adding one operation can never move the finish time of
+    an already-placed one, so the probe only needs the candidate's own
+    chained start (from its placed same-cycle predecessors) and the cycle's
+    recorded worst finish -- both maintained incrementally below.
     """
-    graph = DataFlowGraph(specification)
+    graph = specification.dataflow_graph()
     asap = asap_chained(specification, clock_period_ns, library, graph)
     alap = alap_chained(specification, clock_period_ns, latency, library, graph)
     windows = mobility_windows(asap, alap)
 
     schedule = Schedule(specification, latency)
     placed_by_cycle: Dict[int, List[Operation]] = {c: [] for c in range(1, latency + 1)}
+    #: chained finish time (ns into its cycle) of every placed operation
+    finish: Dict[Operation, float] = {}
+    #: worst chained finish among the operations placed in each cycle
+    cycle_worst: Dict[int, float] = {c: 0.0 for c in range(1, latency + 1)}
+    #: per-cycle functional-unit pressure, by unit category
+    cycle_pressure: Dict[int, Dict[str, int]] = {
+        c: {} for c in range(1, latency + 1)
+    }
 
-    def cycle_fits(candidate_cycle: int, operation: Operation) -> bool:
-        """Check the chained delay of the candidate cycle with *operation* added."""
-        trial = Schedule(specification, latency)
-        for other, cycle in schedule.cycle_of.items():
-            trial.assign(other, cycle)
-        trial.assign(operation, candidate_cycle)
-        # Only operations already placed participate; unplaced successors are
-        # checked when their turn comes.
-        partial_spec_ops = [op for op in specification.operations if op in trial.cycle_of]
-        finish: Dict[Operation, float] = {}
-        worst = 0.0
-        for op in partial_spec_ops:
-            cycle = trial.cycle_of[op]
-            start = 0.0
-            for predecessor in graph.predecessors(op):
-                if predecessor in trial.cycle_of and trial.cycle_of[predecessor] == cycle:
-                    start = max(start, finish.get(predecessor, 0.0))
-            finish[op] = start + library.operation_delay_ns(op)
-            if cycle == candidate_cycle:
-                worst = max(worst, finish[op])
-        return worst <= clock_period_ns + 1e-9
+    def chained_start(candidate_cycle: int, operation: Operation) -> float:
+        """Start time of *operation* if placed in *candidate_cycle* now."""
+        start = 0.0
+        for predecessor in graph.predecessors(operation):
+            if schedule.cycle_of.get(predecessor) == candidate_cycle:
+                start = max(start, finish[predecessor])
+        return start
 
-    order = sorted(
-        graph.topological_order(),
-        key=lambda op: (windows[op][1] - windows[op][0], windows[op][1]),
-    )
-    # Re-sort to respect dependencies while prioritising urgency: we iterate in
-    # topological order but choose cycles greedily; urgency is folded into the
-    # candidate-cycle choice instead of the visit order.
     for operation in graph.topological_order():
+        delay = library.operation_delay_ns(operation)
+        unit = library.functional_unit_for(operation)
         lo, hi = windows[operation]
         # Predecessor placements may tighten the lower bound.
         for predecessor in graph.predecessors(operation):
@@ -172,14 +156,15 @@ def list_schedule(
                 lo = max(lo, schedule.cycle_of[predecessor])
         hi = max(hi, lo)
         candidates = []
+        starts: Dict[int, float] = {}
         for cycle in range(lo, min(hi, latency) + 1):
-            if not cycle_fits(cycle, operation):
+            start = chained_start(cycle, operation)
+            starts[cycle] = start
+            if max(cycle_worst[cycle], start + delay) > clock_period_ns + 1e-9:
                 continue
-            pressure = _functional_unit_pressure(
-                placed_by_cycle[cycle] + [operation], library
+            category_load = (
+                cycle_pressure[cycle].get(unit.category, 0) + 1 if unit else 0
             )
-            spec = library.functional_unit_for(operation)
-            category_load = pressure.get(spec.category, 0) if spec else 0
             candidates.append((category_load, cycle))
         if not candidates:
             # Fall back to the ASAP cycle; the chained-ASAP construction
@@ -191,7 +176,14 @@ def list_schedule(
             chosen = candidates[0][1]
         schedule.assign(operation, chosen)
         placed_by_cycle[chosen].append(operation)
-    _ = order
+        start = starts.get(chosen)
+        if start is None:
+            start = chained_start(chosen, operation)
+        finish[operation] = start + delay
+        cycle_worst[chosen] = max(cycle_worst[chosen], finish[operation])
+        if unit is not None:
+            pressure = cycle_pressure[chosen]
+            pressure[unit.category] = pressure.get(unit.category, 0) + 1
     schedule.check_precedence(graph)
     return schedule
 

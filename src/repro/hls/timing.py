@@ -69,18 +69,31 @@ def operation_level_cycle_delays(
     """
     spec = schedule.specification
     if graph is None:
-        graph = DataFlowGraph(spec)
-    finish: Dict[Operation, float] = {}
-    delays: Dict[int, float] = {cycle: 0.0 for cycle in schedule.cycles()}
-    for operation in graph.topological_order():
-        cycle = schedule.cycle(operation)
-        start = 0.0
-        for predecessor in graph.predecessors(operation):
-            if schedule.cycle(predecessor) == cycle:
-                start = max(start, finish[predecessor])
-        finish[operation] = start + library.operation_delay_ns(operation)
-        delays[cycle] = max(delays[cycle], finish[operation])
-    return delays
+        graph = spec.dataflow_graph()
+
+    def compute() -> Dict[int, float]:
+        finish: Dict[Operation, float] = {}
+        delays: Dict[int, float] = {cycle: 0.0 for cycle in schedule.cycles()}
+        for operation in graph.topological_order():
+            cycle = schedule.cycle(operation)
+            start = 0.0
+            for predecessor in graph.predecessors(operation):
+                if schedule.cycle(predecessor) == cycle:
+                    start = max(start, finish[predecessor])
+            finish[operation] = start + library.operation_delay_ns(operation)
+            delays[cycle] = max(delays[cycle], finish[operation])
+        return delays
+
+    # The memo entry pins the graph and library it was computed against and
+    # is validated by identity on every hit: the strong references keep the
+    # objects alive, so a recycled id() can never alias a stale entry.
+    cached = schedule.cached_analysis(
+        "op_delays", lambda: (graph, library, compute())
+    )
+    if cached[0] is not graph or cached[1] is not library:
+        cached = (graph, library, compute())
+        schedule.store_analysis("op_delays", cached)
+    return dict(cached[2])
 
 
 def bit_level_cycle_depths(
@@ -95,18 +108,36 @@ def bit_level_cycle_depths(
     """
     spec = schedule.specification
     if graph is None:
-        graph = BitDependencyGraph(spec)
-    arrivals: Dict = {}
-    depths: Dict[int, int] = {cycle: 0 for cycle in schedule.cycles()}
-    for node in graph.topological_order():
-        cycle = schedule.cycle(node.operation)
-        start = 0
-        for predecessor in graph.predecessors(node):
-            if schedule.cycle(predecessor.operation) == cycle:
-                start = max(start, arrivals[predecessor])
-        arrivals[node] = start + graph.node_cost(node)
-        depths[cycle] = max(depths[cycle], arrivals[node])
-    return depths
+        graph = spec.bit_dependency_graph()
+
+    def compute() -> Dict[int, int]:
+        order, predecessors, _successors, costs = graph.dense_view()
+        cycle_of = schedule.cycle_of
+        depths: Dict[int, int] = {cycle: 0 for cycle in schedule.cycles()}
+        cycles = [0] * len(order)
+        arrivals = [0] * len(order)
+        for index, node in enumerate(order):
+            operation = node.operation
+            cycle = cycle_of.get(operation)
+            if cycle is None:
+                # Preserve the descriptive error of Schedule.cycle().
+                schedule.cycle(operation)
+            cycles[index] = cycle
+            start = 0
+            for p in predecessors[index]:
+                if cycles[p] == cycle and arrivals[p] > start:
+                    start = arrivals[p]
+            arrival = start + costs[index]
+            arrivals[index] = arrival
+            if arrival > depths[cycle]:
+                depths[cycle] = arrival
+        return depths
+
+    cached = schedule.cached_analysis("bit_depths", lambda: (graph, compute()))
+    if cached[0] is not graph:
+        cached = (graph, compute())
+        schedule.store_analysis("bit_depths", cached)
+    return dict(cached[1])
 
 
 def analyze_operation_level(

@@ -52,23 +52,31 @@ class DataFlowGraph:
             op: [] for op in specification.operations
         }
         self._build()
+        # The graph is immutable once built; the dedup adjacency lists and
+        # the topological order are cached lazily because every scheduler and
+        # timing pass walks them repeatedly.
+        self._pred_ops: Dict[Operation, List[Operation]] = {}
+        self._succ_ops: Dict[Operation, List[Operation]] = {}
+        self._topological: Optional[List[Operation]] = None
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
         spec = self.specification
+        bit_defs = spec.bit_def_map
         seen_edges: Set[Tuple[int, int, int, int, int]] = set()
         for consumer in spec.operations:
             for operand in consumer.all_read_operands():
                 if not operand.is_variable:
                     continue
                 variable = operand.variable
-                if variable.is_input() and spec.bit_writer(variable, operand.range.lo) is None:
+                variable_uid = variable.uid
+                if variable.is_input() and bit_defs.get((variable_uid, operand.range.lo)) is None:
                     # Fast path: pure input-port reads have no producer edges
                     # unless some bits of the port are also driven internally
                     # (inout ports).  Fall through to the per-bit scan below
                     # only when a writer exists somewhere in the range.
                     if not any(
-                        spec.bit_writer(variable, bit) is not None
+                        bit_defs.get((variable_uid, bit)) is not None
                         for bit in operand.range
                     ):
                         continue
@@ -89,7 +97,7 @@ class DataFlowGraph:
                     self._predecessors[consumer].append(edge)
 
                 for bit in operand.range:
-                    definition = spec.bit_writer(variable, bit)
+                    definition = bit_defs.get((variable_uid, bit))
                     producer = definition.operation if definition else None
                     if producer is not current_producer:
                         if previous_bit is not None:
@@ -107,19 +115,25 @@ class DataFlowGraph:
 
     def predecessors(self, operation: Operation) -> List[Operation]:
         """Distinct operations this operation depends on."""
-        result: List[Operation] = []
-        for edge in self._predecessors[operation]:
-            if edge.producer not in result:
-                result.append(edge.producer)
-        return result
+        cached = self._pred_ops.get(operation)
+        if cached is None:
+            cached = []
+            for edge in self._predecessors[operation]:
+                if edge.producer not in cached:
+                    cached.append(edge.producer)
+            self._pred_ops[operation] = cached
+        return cached
 
     def successors(self, operation: Operation) -> List[Operation]:
         """Distinct operations depending on this operation."""
-        result: List[Operation] = []
-        for edge in self._successors[operation]:
-            if edge.consumer not in result:
-                result.append(edge.consumer)
-        return result
+        cached = self._succ_ops.get(operation)
+        if cached is None:
+            cached = []
+            for edge in self._successors[operation]:
+                if edge.consumer not in cached:
+                    cached.append(edge.consumer)
+            self._succ_ops[operation] = cached
+        return cached
 
     def in_edges(self, operation: Operation) -> Sequence[DataEdge]:
         return tuple(self._predecessors[operation])
@@ -142,14 +156,21 @@ class DataFlowGraph:
         which cannot happen for specifications built through
         :class:`~repro.ir.spec.Specification` (single assignment forbids it)
         but protects against hand-constructed graphs.
+
+        The order is computed once and cached (the graph is immutable);
+        callers must not mutate the returned list.
         """
+        if self._topological is not None:
+            return self._topological
         in_degree: Dict[Operation, int] = {
             op: len(self.predecessors(op)) for op in self.operations
         }
         ready = [op for op in self.operations if in_degree[op] == 0]
         order: List[Operation] = []
-        while ready:
-            operation = ready.pop(0)
+        cursor = 0
+        while cursor < len(ready):
+            operation = ready[cursor]
+            cursor += 1
             order.append(operation)
             for successor in self.successors(operation):
                 in_degree[successor] -= 1
@@ -159,6 +180,7 @@ class DataFlowGraph:
             raise SpecificationError(
                 f"dataflow graph of {self.specification.name} contains a cycle"
             )
+        self._topological = order
         return order
 
     def longest_path_operations(self) -> List[Operation]:
@@ -191,12 +213,27 @@ class DataFlowGraph:
 
         Used by the path-walk critical-path algorithm transcribed from the
         paper; the bit-level estimator in :mod:`repro.core.timing` does not
-        need explicit enumeration.
+        need explicit enumeration.  Enumeration silently stops at *limit*
+        paths; callers that must distinguish a complete enumeration from a
+        truncated one use :meth:`enumerate_paths` instead.
+        """
+        paths, _truncated = self.enumerate_paths(limit)
+        return paths
+
+    def enumerate_paths(self, limit: int = 10000) -> Tuple[List[List[Operation]], bool]:
+        """All source-to-sink paths plus whether *limit* cut the enumeration.
+
+        The boolean is ``True`` when at least one path was *not* produced, so
+        callers (``critical_path_by_walk``) can refuse to report an undercount
+        computed from a partial path set.
         """
         paths: List[List[Operation]] = []
+        truncated = False
 
         def visit(operation: Operation, prefix: List[Operation]) -> None:
+            nonlocal truncated
             if len(paths) >= limit:
+                truncated = True
                 return
             successors = self.successors(operation)
             if not successors:
@@ -207,19 +244,40 @@ class DataFlowGraph:
 
         for source in self.sources():
             visit(source, [])
-        return paths
+        return paths, truncated
 
     def depth(self) -> int:
         """Number of operations on the longest dependency chain."""
         return len(self.longest_path_operations())
 
 
-@dataclass(frozen=True)
 class BitNode:
-    """A single result bit of an operation (bit 0 = least significant)."""
+    """A single result bit of an operation (bit 0 = least significant).
 
-    operation: Operation
-    bit: int
+    Bit nodes are the unit of work of the fragmentation phase: a graph over a
+    32-bit ADPCM workload holds thousands of them, and the forward/backward
+    schedulers key every lookup on them.  They are therefore interned by
+    :class:`BitDependencyGraph` (one instance per ``(operation, bit)``) and
+    kept deliberately lean: ``__slots__`` storage and a hash computed once at
+    construction instead of per lookup.
+    """
+
+    __slots__ = ("operation", "bit", "_hash")
+
+    def __init__(self, operation: Operation, bit: int) -> None:
+        self.operation = operation
+        self.bit = bit
+        self._hash = hash((operation.uid, bit))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, BitNode):
+            return NotImplemented
+        return self.operation is other.operation and self.bit == other.bit
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.operation.name}[{self.bit}]"
@@ -247,23 +305,73 @@ class BitDependencyGraph:
         self._node_index: Dict[Tuple[int, int], BitNode] = {}
         self._predecessors: Dict[BitNode, List[BitNode]] = {}
         self._successors: Dict[BitNode, List[BitNode]] = {}
+        # Variable bits are traced through glue logic over and over while the
+        # edges are built (every reader of a bit re-traces the same wiring);
+        # memoizing the resolution makes _build linear in the wiring size.
+        self._trace_cache: Dict[Tuple[int, int], List[BitNode]] = {}
         self._build()
+        self._costs: Dict[BitNode, int] = {
+            node: self._compute_cost(node) for node in self._nodes
+        }
+        self._topological: Optional[List[BitNode]] = None
+        self._dense: Optional[
+            Tuple[List[BitNode], List[List[int]], List[List[int]], List[int]]
+        ] = None
+        self._critical_depth: Optional[int] = None
+        self._op_predecessors: Optional[Dict[Operation, Tuple[Operation, ...]]] = None
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
+        nodes = self._nodes
+        node_index = self._node_index
+        predecessors = self._predecessors
+        successors = self._successors
         for operation in self.specification.operations:
             if not operation.is_additive:
                 continue
+            uid = operation.uid
             for bit in range(operation.width):
                 node = BitNode(operation, bit)
-                self._nodes.append(node)
-                self._node_index[(operation.uid, bit)] = node
-                self._predecessors[node] = []
-                self._successors[node] = []
-        for node in self._nodes:
-            for predecessor in self._compute_predecessors(node):
-                self._predecessors[node].append(predecessor)
-                self._successors[predecessor].append(node)
+                nodes.append(node)
+                node_index[(uid, bit)] = node
+                predecessors[node] = []
+                successors[node] = []
+        trace = self._trace_variable_bit
+        previous: Optional[BitNode] = None
+        for node in nodes:
+            operation = node.operation
+            bit = node.bit
+            found: List[BitNode] = []
+            # Ripple dependency on the previous bit of the same operation;
+            # nodes are created bit-ascending per operation, so the previous
+            # list entry is that bit.
+            if bit > 0:
+                found.append(previous)
+            # Value dependency on operand bits at the same relative position.
+            for operand in operation.operands:
+                if not operand.is_variable:
+                    continue
+                rng = operand.range
+                if bit > rng.hi - rng.lo:
+                    continue
+                found.extend(trace(operand.variable, rng.lo + bit))
+            # Carry-in feeds the least significant bit.
+            if bit == 0 and operation.carry_in is not None:
+                carry = operation.carry_in
+                if carry.is_variable:
+                    found.extend(trace(carry.variable, carry.range.lo))
+            if len(found) > 1:
+                # Deduplicate preserving order.
+                unique: List[BitNode] = []
+                for candidate in found:
+                    if candidate not in unique:
+                        unique.append(candidate)
+                found = unique
+            node_predecessors = predecessors[node]
+            for predecessor in found:
+                node_predecessors.append(predecessor)
+                successors[predecessor].append(node)
+            previous = node
 
     @staticmethod
     def glue_source_bits(operation: Operation, result_bit: int) -> List[Tuple]:
@@ -322,59 +430,51 @@ class BitDependencyGraph:
 
         Glue-logic producers are traced through transparently (following the
         kind-specific bit wiring of :meth:`glue_source_bits`), since glue
-        logic contributes no delay in the chained-additions metric.
+        logic contributes no delay in the chained-additions metric.  Results
+        are memoized per variable bit: wide fan-out wiring (the transformed
+        ADPCM specifications route the same slice into many fragments) is
+        resolved exactly once.  A walk cut off by the recursion guard is
+        *not* cached -- a truncated producer list computed deep inside one
+        walk must never be served to a later shallow caller with a full
+        depth budget of its own.
         """
-        if _depth > 64:
-            return []
-        definition = self.specification.bit_writer(variable, bit)
+        producers, _complete = self._trace_variable_bit_inner(variable, bit, _depth)
+        return producers
+
+    def _trace_variable_bit_inner(
+        self, variable: Variable, bit: int, depth: int
+    ) -> Tuple[List[BitNode], bool]:
+        if depth > 64:
+            return [], False
+        cache_key = (variable.uid, bit)
+        cached = self._trace_cache.get(cache_key)
+        if cached is not None:
+            return cached, True
+        definition = self.specification.bit_def_map.get(cache_key)
         if definition is None:
-            return []
+            self._trace_cache[cache_key] = []
+            return [], True
         operation = definition.operation
         result_bit = definition.result_bit
         if operation.is_additive:
             node = self._node_index.get((operation.uid, result_bit))
-            return [node] if node is not None else []
-        producers: List[BitNode] = []
+            producers = [node] if node is not None else []
+            self._trace_cache[cache_key] = producers
+            return producers, True
+        producers = []
+        complete = True
         for operand, position in self.glue_source_bits(operation, result_bit):
             if not operand.is_variable:
                 continue
             source_bit = operand.range.lo + position
-            producers.extend(
-                self._trace_variable_bit(operand.variable, source_bit, _depth + 1)
+            traced, traced_complete = self._trace_variable_bit_inner(
+                operand.variable, source_bit, depth + 1
             )
-        return producers
-
-    def _compute_predecessors(self, node: BitNode) -> List[BitNode]:
-        operation = node.operation
-        predecessors: List[BitNode] = []
-        # Ripple dependency on the previous bit of the same operation.
-        if node.bit > 0:
-            previous = self._node_index.get((operation.uid, node.bit - 1))
-            if previous is not None:
-                predecessors.append(previous)
-        # Value dependency on operand bits at the same relative position.
-        for operand in operation.operands:
-            if not operand.is_variable:
-                continue
-            if node.bit >= operand.width:
-                continue
-            source_bit = operand.range.lo + node.bit
-            predecessors.extend(
-                self._trace_variable_bit(operand.variable, source_bit)
-            )
-        # Carry-in feeds the least significant bit.
-        if node.bit == 0 and operation.carry_in is not None:
-            carry = operation.carry_in
-            if carry.is_variable:
-                predecessors.extend(
-                    self._trace_variable_bit(carry.variable, carry.range.lo)
-                )
-        # Deduplicate preserving order.
-        unique: List[BitNode] = []
-        for predecessor in predecessors:
-            if predecessor not in unique:
-                unique.append(predecessor)
-        return unique
+            producers.extend(traced)
+            complete = complete and traced_complete
+        if complete:
+            self._trace_cache[cache_key] = producers
+        return producers, complete
 
     # ------------------------------------------------------------------
     @property
@@ -405,11 +505,20 @@ class BitDependencyGraph:
         return [n for n in self._nodes if not self._successors[n]]
 
     def topological_order(self) -> List[BitNode]:
+        """Nodes sorted so producers precede consumers (computed once).
+
+        The graph is immutable after construction, so the order is cached;
+        callers must not mutate the returned list.
+        """
+        if self._topological is not None:
+            return self._topological
         in_degree = {node: len(self._predecessors[node]) for node in self._nodes}
         ready = [node for node in self._nodes if in_degree[node] == 0]
         order: List[BitNode] = []
-        while ready:
-            node = ready.pop(0)
+        cursor = 0
+        while cursor < len(ready):
+            node = ready[cursor]
+            cursor += 1
             order.append(node)
             for successor in self._successors[node]:
                 in_degree[successor] -= 1
@@ -419,9 +528,57 @@ class BitDependencyGraph:
             raise SpecificationError(
                 f"bit dependency graph of {self.specification.name} contains a cycle"
             )
+        self._topological = order
         return order
 
-    def node_cost(self, node: BitNode) -> int:
+    def dense_view(
+        self,
+    ) -> Tuple[List[BitNode], List[List[int]], List[List[int]], List[int]]:
+        """Index-based adjacency for the tight scheduling loops.
+
+        Returns ``(order, predecessors, successors, costs)`` where ``order``
+        is the cached topological order and the other three are parallel
+        lists over it (predecessor/successor positions refer back into
+        ``order``).  The fragmentation budget search iterates this view
+        thousands of times per transform; integer indices keep those loops
+        free of hashing entirely.
+        """
+        if self._dense is not None:
+            return self._dense
+        order = self.topological_order()
+        position = {node: index for index, node in enumerate(order)}
+        predecessors = [
+            [position[p] for p in self._predecessors[node]] for node in order
+        ]
+        successors = [
+            [position[s] for s in self._successors[node]] for node in order
+        ]
+        costs = [self._costs[node] for node in order]
+        self._dense = (order, predecessors, successors, costs)
+        return self._dense
+
+    def operation_predecessors(self) -> Dict[Operation, Tuple[Operation, ...]]:
+        """Distinct producer operations behind each additive operation's bits.
+
+        This is the operation-level projection of the bit edges (dependencies
+        traced through glue included), cached because the fragment scheduler
+        consults it once per placement instead of re-walking every bit of
+        every operand.
+        """
+        if self._op_predecessors is None:
+            projected: Dict[Operation, Dict[Operation, None]] = {}
+            for node, predecessors in self._predecessors.items():
+                bucket = projected.setdefault(node.operation, {})
+                for predecessor in predecessors:
+                    producer = predecessor.operation
+                    if producer is not node.operation:
+                        bucket[producer] = None
+            self._op_predecessors = {
+                operation: tuple(bucket) for operation, bucket in projected.items()
+            }
+        return self._op_predecessors
+
+    def _compute_cost(self, node: BitNode) -> int:
         """Chained-addition cost of computing one result bit.
 
         Normal result bits cost one 1-bit adder delay.  The *pure carry-out*
@@ -437,6 +594,10 @@ class BitDependencyGraph:
             if node.bit >= operation.max_operand_width():
                 return 0
         return 1
+
+    def node_cost(self, node: BitNode) -> int:
+        """Chained-addition cost of one result bit (precomputed at build)."""
+        return self._costs[node]
 
     def arrival_depths(self) -> Dict[BitNode, int]:
         """Longest-path depth of every bit node, in chained 1-bit additions.
@@ -458,9 +619,12 @@ class BitDependencyGraph:
 
     def critical_depth(self) -> int:
         """Execution time of the specification in chained 1-bit additions."""
-        if not self._nodes:
-            return 0
-        return max(self.arrival_depths().values())
+        if self._critical_depth is None:
+            if not self._nodes:
+                self._critical_depth = 0
+            else:
+                self._critical_depth = max(self.arrival_depths().values())
+        return self._critical_depth
 
     def __len__(self) -> int:
         return len(self._nodes)

@@ -181,6 +181,15 @@ class Operation:
             self.name = f"{self.kind.value}_{self.uid}"
         if self.origin is None:
             self.origin = self.name
+        # Operations sit on every hot path as dict keys and are classified
+        # constantly by the graph builders and schedulers; precompute the
+        # kind predicates so the per-call set lookups disappear.
+        self._is_additive = self.kind in ADDITIVE_KINDS
+        self._is_glue = self.kind in GLUE_KINDS
+        reads = list(self.operands)
+        if self.carry_in is not None:
+            reads.append(self.carry_in)
+        self._reads = reads
 
     # -- structural queries ------------------------------------------------
     @property
@@ -194,11 +203,11 @@ class Operation:
 
     @property
     def is_additive(self) -> bool:
-        return is_additive(self.kind)
+        return self._is_additive
 
     @property
     def is_glue(self) -> bool:
-        return is_glue(self.kind)
+        return self._is_glue
 
     @property
     def is_fragment(self) -> bool:
@@ -206,11 +215,12 @@ class Operation:
         return self.fragment_index is not None
 
     def all_read_operands(self) -> List[Operand]:
-        """All operands read by the operation, including the carry-in."""
-        reads = list(self.operands)
-        if self.carry_in is not None:
-            reads.append(self.carry_in)
-        return reads
+        """All operands read by the operation, including the carry-in.
+
+        Returns a precomputed list (operands and carry-in never change after
+        construction); callers iterate it and must not mutate it.
+        """
+        return self._reads
 
     def read_variables(self) -> List:
         """Distinct variables read by the operation (constants excluded)."""
@@ -225,7 +235,10 @@ class Operation:
         return max(op.width for op in self.operands)
 
     def __hash__(self) -> int:
-        return hash(self.uid)
+        # uids are small non-negative ints, which hash to themselves; skipping
+        # the nested hash() call matters because operations key every
+        # schedule, graph and lifetime dictionary in the flow.
+        return self.uid
 
     def __eq__(self, other: object) -> bool:
         return self is other

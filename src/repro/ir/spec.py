@@ -50,16 +50,23 @@ class BitRef:
         return f"{self.variable.name}[{self.bit}]"
 
 
-@dataclass(frozen=True)
 class BitDef:
     """The producing operation of a variable bit.
 
     ``result_bit`` is the index of the bit within the operation's result
-    (0 = least significant result bit).
+    (0 = least significant result bit).  One instance is created per written
+    bit of every specification, so the class is a bare ``__slots__`` record
+    rather than a dataclass.
     """
 
-    operation: Operation
-    result_bit: int
+    __slots__ = ("operation", "result_bit")
+
+    def __init__(self, operation: Operation, result_bit: int) -> None:
+        self.operation = operation
+        self.result_bit = result_bit
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BitDef({self.operation.name}, {self.result_bit})"
 
 
 class Specification:
@@ -77,20 +84,31 @@ class Specification:
         self.name = name
         self._variables: Dict[str, Variable] = {}
         self._operations: List[Operation] = []
-        self._dirty = True
+        # Bit-level def-use index, maintained incrementally by add_operation.
         self._bit_defs: Dict[Tuple[int, int], BitDef] = {}
+        # Monotonic structure version; bumped on every mutation so the cached
+        # graph views below know when they are stale.
+        self._version = 0
+        self._frozen = False
+        self._dataflow_graph = None
+        self._dataflow_version = -1
+        self._bit_graph = None
+        self._bit_graph_version = -1
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def add_variable(self, variable: Variable) -> Variable:
         """Register a port or process variable.  Names must be unique."""
+        self._require_mutable()
         if variable.name in self._variables:
             raise SpecificationError(
                 f"duplicate variable name {variable.name!r} in specification {self.name}"
             )
         self._variables[variable.name] = variable
-        self._dirty = True
+        # A fresh variable has no written bits, so the def-use index stays
+        # valid; only the cached graph views need to notice the change.
+        self._version += 1
         return variable
 
     def add_operation(self, operation: Operation) -> Operation:
@@ -100,6 +118,7 @@ class Specification:
         and no bit of the destination slice may have been written before
         (bit-level single assignment).
         """
+        self._require_mutable()
         for operand in operation.all_read_operands():
             if operand.is_variable and operand.variable.name not in self._variables:
                 raise SpecificationError(
@@ -116,7 +135,6 @@ class Specification:
             raise SpecificationError(
                 f"operation {operation.name} writes input port {dest.variable.name!r}"
             )
-        self._ensure_analysis()
         for bit in dest.range:
             key = (dest.variable.uid, bit)
             if key in self._bit_defs:
@@ -128,7 +146,60 @@ class Specification:
         self._operations.append(operation)
         for result_bit, bit in enumerate(dest.range):
             self._bit_defs[(dest.variable.uid, bit)] = BitDef(operation, result_bit)
+        self._version += 1
         return operation
+
+    # ------------------------------------------------------------------
+    # Freezing and cached graph views
+    # ------------------------------------------------------------------
+    def _require_mutable(self) -> None:
+        if self._frozen:
+            raise SpecificationError(
+                f"specification {self.name} is frozen (it is shared through a "
+                "cache); build a fresh instance to create a variant"
+            )
+
+    def freeze(self) -> "Specification":
+        """Make the specification immutable (mutation raises from now on).
+
+        Memoization layers (e.g. workload resolution) freeze the instances
+        they share so an accidental mutation fails loudly instead of silently
+        poisoning every later consumer of the cache.
+        """
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def version(self) -> int:
+        """Structure version, bumped on every mutation (cache invalidation)."""
+        return self._version
+
+    def dataflow_graph(self):
+        """The operation-level :class:`~repro.ir.dfg.DataFlowGraph`, cached.
+
+        The graph is rebuilt lazily whenever the specification has been
+        mutated since the last call; callers must treat it as read-only (all
+        the in-tree consumers do).
+        """
+        if self._dataflow_graph is None or self._dataflow_version != self._version:
+            from .dfg import DataFlowGraph
+
+            self._dataflow_graph = DataFlowGraph(self)
+            self._dataflow_version = self._version
+        return self._dataflow_graph
+
+    def bit_dependency_graph(self):
+        """The bit-level :class:`~repro.ir.dfg.BitDependencyGraph`, cached."""
+        if self._bit_graph is None or self._bit_graph_version != self._version:
+            from .dfg import BitDependencyGraph
+
+            self._bit_graph = BitDependencyGraph(self)
+            self._bit_graph_version = self._version
+        return self._bit_graph
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,27 +260,35 @@ class Specification:
     # ------------------------------------------------------------------
     # Bit-level definition / use analysis
     # ------------------------------------------------------------------
-    def _ensure_analysis(self) -> None:
-        if not self._dirty:
-            return
-        self._bit_defs = {}
-        for operation in self._operations:
-            dest = operation.destination
-            for result_bit, bit in enumerate(dest.range):
-                self._bit_defs[(dest.variable.uid, bit)] = BitDef(
-                    operation, result_bit
-                )
-        self._dirty = False
-
     def bit_writer(self, variable: Variable, bit: int) -> Optional[BitDef]:
         """Return the :class:`BitDef` producing ``variable[bit]``.
 
         ``None`` means the bit is a primary input of the specification (an
         input-port bit, or an undriven bit that validation will flag).
+
+        This is the innermost lookup of every graph build and allocation
+        analysis (tens of thousands of calls per synthesis run), so the
+        def-use index is maintained incrementally by :meth:`add_operation`
+        and the bounds check is inlined rather than routed through a
+        :class:`BitRef` construction.
         """
-        self._ensure_analysis()
-        BitRef(variable, bit)  # bounds check
+        if bit < 0 or bit >= variable.width:
+            raise SpecificationError(
+                f"bit {bit} out of range for {variable.width}-bit "
+                f"variable {variable.name}"
+            )
         return self._bit_defs.get((variable.uid, bit))
+
+    @property
+    def bit_def_map(self) -> Dict[Tuple[int, int], BitDef]:
+        """The raw ``(variable uid, bit) -> BitDef`` def-use index.
+
+        Read-only view for the graph builders and allocation resolvers, whose
+        inner loops perform tens of thousands of lookups and have already
+        bounds-checked their bit indices; everyone else should go through
+        :meth:`bit_writer`.
+        """
+        return self._bit_defs
 
     def bit_readers(self, variable: Variable, bit: int) -> List[Tuple[Operation, int]]:
         """Operations reading ``variable[bit]``, with the operand bit position.
@@ -230,7 +309,6 @@ class Specification:
 
     def written_bits(self, variable: Variable) -> List[int]:
         """Bit positions of *variable* written by some operation."""
-        self._ensure_analysis()
         return sorted(
             bit
             for (uid, bit) in self._bit_defs
@@ -239,7 +317,6 @@ class Specification:
 
     def undriven_output_bits(self) -> List[BitRef]:
         """Output-port bits never written by any operation."""
-        self._ensure_analysis()
         missing: List[BitRef] = []
         for variable in self.outputs():
             for bit in range(variable.width):

@@ -85,10 +85,18 @@ def validate(specification: Specification) -> ValidationReport:
 
 
 def require_valid(specification: Specification) -> Specification:
-    """Validate and raise :class:`ValidationError` on any error."""
+    """Validate and raise :class:`ValidationError` on any error.
+
+    A passing validation is remembered on the specification (keyed by its
+    structure version), so sweeps that re-run the pipeline over one shared
+    workload instance pay for the structural checks once.
+    """
+    if getattr(specification, "_valid_at_version", None) == specification.version:
+        return specification
     report = validate(specification)
     if not report.ok:
         raise ValidationError(report)
+    specification._valid_at_version = specification.version
     return specification
 
 

@@ -1,0 +1,45 @@
+"""Performance harness of the reproduction.
+
+``repro.perf`` times the hot path of the flow -- the
+``parse -> transform -> schedule -> time -> allocate`` pipeline stages per
+workload and the Fig. 4 latency-sweep wall-clock -- over repeated runs, and
+tracks the numbers in ``BENCH_sched.json`` at the repository root so every PR
+can show (and CI can guard) the perf trajectory.
+
+Entry points:
+
+* :func:`repro.perf.harness.run_benchmarks` -- measure the current tree;
+* :func:`repro.perf.report.write_bench` / :func:`repro.perf.report.check_regressions`
+  -- persist and compare against the recorded baseline;
+* ``python -m repro perf`` -- the CLI front end (``--quick`` for the CI smoke
+  job, ``--max-regression`` to fail on slowdowns).
+"""
+
+from .harness import (
+    DEFAULT_REPEATS,
+    PIPELINE_STAGES,
+    run_benchmarks,
+    time_stages,
+    time_sweep,
+)
+from .report import (
+    BENCH_FILENAME,
+    check_regressions,
+    compute_speedups,
+    format_bench_text,
+    load_bench,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "DEFAULT_REPEATS",
+    "PIPELINE_STAGES",
+    "check_regressions",
+    "compute_speedups",
+    "format_bench_text",
+    "load_bench",
+    "run_benchmarks",
+    "time_stages",
+    "time_sweep",
+]

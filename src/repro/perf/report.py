@@ -1,0 +1,155 @@
+"""Persistence and comparison of harness results (``BENCH_sched.json``).
+
+The bench file keeps two measurement sets side by side:
+
+* ``baseline`` -- the timings recorded when the fast-path scheduling core
+  landed (or the last time ``--update-baseline`` was run); the perf
+  trajectory is always expressed against it;
+* ``current`` -- the latest measurement of the working tree, refreshed by
+  every ``python -m repro perf`` run;
+
+plus a derived ``speedup`` section (baseline seconds / current seconds, so
+bigger is better) recomputed on every write.
+
+The comparison helpers are deliberately tolerant: stages or sweeps present in
+only one measurement set are skipped rather than treated as regressions, so
+the harness can grow new benchmarks without invalidating old baselines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Canonical name of the bench file at the repository root.
+BENCH_FILENAME = "BENCH_sched.json"
+
+#: Format marker of the bench file.
+SCHEMA_VERSION = 1
+
+
+def _flatten(measurement: Optional[Dict]) -> Dict[str, float]:
+    """``{"stages": {w: {s: t}}, "sweeps": {n: t}}`` -> flat ``{key: t}``.
+
+    Stage keys are ``"<workload>/<stage>"``, sweep keys are
+    ``"sweep/<name>"``; the flat view drives both the speedup table and the
+    regression check.
+    """
+    flat: Dict[str, float] = {}
+    if not measurement:
+        return flat
+    for workload, stage_times in (measurement.get("stages") or {}).items():
+        for stage, seconds in stage_times.items():
+            flat[f"{workload}/{stage}"] = float(seconds)
+    for name, seconds in (measurement.get("sweeps") or {}).items():
+        flat[f"sweep/{name}"] = float(seconds)
+    return flat
+
+
+def compute_speedups(baseline: Optional[Dict], current: Optional[Dict]) -> Dict[str, float]:
+    """Per-key speedup factors: baseline seconds over current seconds."""
+    base = _flatten(baseline)
+    cur = _flatten(current)
+    speedups: Dict[str, float] = {}
+    for key, base_seconds in base.items():
+        current_seconds = cur.get(key)
+        if current_seconds is None or current_seconds <= 0.0:
+            continue
+        speedups[key] = base_seconds / current_seconds
+    return speedups
+
+
+def check_regressions(
+    baseline: Optional[Dict],
+    current: Optional[Dict],
+    max_regression: float,
+) -> List[str]:
+    """Keys whose current time exceeds ``baseline * max_regression``.
+
+    Returns human-readable complaint strings (empty list = no regression).
+    A ``max_regression`` of 2.0 means "fail when anything got more than twice
+    as slow as the recorded baseline", the CI smoke-job contract.
+    """
+    if max_regression <= 0:
+        raise ValueError(f"max_regression must be positive, got {max_regression}")
+    base = _flatten(baseline)
+    cur = _flatten(current)
+    complaints: List[str] = []
+    for key, base_seconds in sorted(base.items()):
+        current_seconds = cur.get(key)
+        if current_seconds is None or base_seconds <= 0.0:
+            continue
+        ratio = current_seconds / base_seconds
+        if ratio > max_regression:
+            complaints.append(
+                f"{key}: {current_seconds * 1000:.2f} ms vs baseline "
+                f"{base_seconds * 1000:.2f} ms ({ratio:.2f}x slower, "
+                f"limit {max_regression:.2f}x)"
+            )
+    return complaints
+
+
+def load_bench(path: Union[str, Path]) -> Optional[Dict]:
+    """Read a bench file; ``None`` when absent or unreadable."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return payload
+
+
+def write_bench(
+    path: Union[str, Path],
+    current: Dict,
+    baseline: Optional[Dict] = None,
+) -> Dict:
+    """Write the bench file and return the payload written.
+
+    ``baseline`` defaults to the baseline already recorded in the file (so
+    routine runs refresh ``current`` without touching the anchor), and falls
+    back to ``current`` itself when the file carries none -- the first run
+    after a clone anchors the trajectory.
+    """
+    path = Path(path)
+    if baseline is None:
+        existing = load_bench(path)
+        if existing is not None:
+            baseline = existing.get("baseline")
+    if baseline is None:
+        baseline = current
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "paper": "conf_date_Ruiz-SautuaMMH05",
+        "baseline": baseline,
+        "current": current,
+        "speedup": compute_speedups(baseline, current),
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return payload
+
+
+def format_bench_text(payload: Dict) -> str:
+    """Readable rendering of a bench payload (the CLI's non-JSON output)."""
+    baseline = payload.get("baseline")
+    current = payload.get("current")
+    speedups = payload.get("speedup") or compute_speedups(baseline, current)
+    base = _flatten(baseline)
+    cur = _flatten(current)
+    keys = sorted(set(base) | set(cur))
+    if not keys:
+        return "(no measurements)"
+    width = max(len(key) for key in keys)
+    lines = [f"{'benchmark'.ljust(width)}   baseline     current   speedup"]
+    for key in keys:
+        base_text = f"{base[key] * 1000:9.2f}ms" if key in base else "         -"
+        cur_text = f"{cur[key] * 1000:9.2f}ms" if key in cur else "         -"
+        speed = speedups.get(key)
+        speed_text = f"{speed:6.2f}x" if speed is not None else "      -"
+        lines.append(f"{key.ljust(width)}  {base_text}  {cur_text}  {speed_text}")
+    return "\n".join(lines)

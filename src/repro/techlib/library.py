@@ -64,6 +64,16 @@ class TechnologyLibrary:
     controller_area_per_signal: float = 1.5
     name: str = "table1-calibrated"
 
+    def __post_init__(self) -> None:
+        # Area/delay of a functional unit are pure functions of its
+        # (category, width) under a fixed library, but computing them builds
+        # a whole gate netlist; the schedulers ask for the same handful of
+        # shapes thousands of times per run, so memoize per instance (the
+        # dataclass is frozen -- every style variant gets fresh caches).
+        object.__setattr__(self, "_delay_cache", {})
+        object.__setattr__(self, "_area_cache", {})
+        object.__setattr__(self, "_op_delay_cache", {})
+
     # ------------------------------------------------------------------
     # Delay unit conversions
     # ------------------------------------------------------------------
@@ -115,6 +125,13 @@ class TechnologyLibrary:
 
     def functional_unit_area(self, spec: FunctionalUnitSpec) -> float:
         """Area in equivalent gates of one functional unit instance."""
+        cached = self._area_cache.get(spec)
+        if cached is None:
+            cached = self._compute_unit_area(spec)
+            self._area_cache[spec] = cached
+        return cached
+
+    def _compute_unit_area(self, spec: FunctionalUnitSpec) -> float:
         width = spec.width
         if spec.category == "adder":
             return build_adder(width, self.adder_style, self.gates).area_gates
@@ -136,6 +153,13 @@ class TechnologyLibrary:
 
     def functional_unit_delay(self, spec: FunctionalUnitSpec) -> float:
         """Worst-case propagation delay in ns of one functional unit."""
+        cached = self._delay_cache.get(spec)
+        if cached is None:
+            cached = self._compute_unit_delay(spec)
+            self._delay_cache[spec] = cached
+        return cached
+
+    def _compute_unit_delay(self, spec: FunctionalUnitSpec) -> float:
         width = spec.width
         if spec.category == "adder":
             return build_adder(width, self.adder_style, self.gates).delay_ns
@@ -160,11 +184,19 @@ class TechnologyLibrary:
     # Operation-level shortcuts
     # ------------------------------------------------------------------
     def operation_delay_ns(self, operation: Operation) -> float:
-        """Propagation delay of one operation on its natural functional unit."""
-        spec = self.functional_unit_for(operation)
-        if spec is None:
-            return 0.0
-        return self.functional_unit_delay(spec)
+        """Propagation delay of one operation on its natural functional unit.
+
+        Memoized by the operation's delay-relevant shape ``(kind, width,
+        widest operand)`` -- the schedulers ask for the same handful of
+        shapes once per candidate cycle per operation.
+        """
+        key = (operation.kind, operation.width, operation.max_operand_width())
+        cached = self._op_delay_cache.get(key)
+        if cached is None:
+            spec = self.functional_unit_for(operation)
+            cached = 0.0 if spec is None else self.functional_unit_delay(spec)
+            self._op_delay_cache[key] = cached
+        return cached
 
     def operation_chained_bits(self, operation: Operation) -> int:
         """Execution time of an operation in chained 1-bit additions.
@@ -215,6 +247,17 @@ class TechnologyLibrary:
         return replace(self, multiplier_style=style, name=f"{self.name}-{style.value}")
 
 
+_DEFAULT_LIBRARY: Optional[TechnologyLibrary] = None
+
+
 def default_library() -> TechnologyLibrary:
-    """The Table I calibrated library used throughout the experiments."""
-    return TechnologyLibrary()
+    """The Table I calibrated library used throughout the experiments.
+
+    Returned as a shared singleton: the library is a frozen dataclass whose
+    only mutable state is its internal memo caches, so every run sharing the
+    instance also shares the already-computed unit areas and delays.
+    """
+    global _DEFAULT_LIBRARY
+    if _DEFAULT_LIBRARY is None:
+        _DEFAULT_LIBRARY = TechnologyLibrary()
+    return _DEFAULT_LIBRARY

@@ -95,6 +95,29 @@ class TestSerialization:
             latency=3, workload="motivational"
         ).content_hash()
 
+    def test_content_hash_serializes_once(self, monkeypatch):
+        """Hashing a config twice must do no repeat JSON serialization work."""
+        config = FlowConfig(latency=3, workload="motivational")
+        calls = {"count": 0}
+        original = FlowConfig.to_json
+
+        def counting(self, **kwargs):
+            calls["count"] += 1
+            return original(self, **kwargs)
+
+        monkeypatch.setattr(FlowConfig, "to_json", counting)
+        first = config.content_hash()
+        second = config.content_hash()
+        assert first == second
+        assert calls["count"] == 1
+
+    def test_content_hash_cache_does_not_leak_through_replace(self):
+        config = FlowConfig(latency=3, workload="motivational")
+        original_hash = config.content_hash()  # populate the cache
+        changed = config.replace(latency=4)
+        assert changed.content_hash() != original_hash
+        assert config.content_hash() == original_hash
+
 
 class TestWorkloadResolution:
     def test_registered_workloads_resolve(self):
@@ -114,6 +137,25 @@ class TestWorkloadResolution:
         with pytest.raises(ConfigError) as excinfo:
             resolve_workload("nonexistent")
         assert "motivational" in str(excinfo.value)
+
+    def test_resolved_workloads_are_memoized_and_frozen(self):
+        from repro.ir.spec import SpecificationError
+        from repro.ir.types import BitVectorType
+        from repro.ir.values import Variable
+
+        first = resolve_workload("motivational")
+        assert resolve_workload("motivational") is first
+        assert first.frozen
+        # Mutating the shared instance must fail loudly, not poison caches.
+        with pytest.raises(SpecificationError):
+            first.add_variable(Variable("intruder", BitVectorType(4)))
+
+    def test_workload_factories_stay_mutable(self):
+        from repro.workloads import ALL_WORKLOADS
+
+        fresh = ALL_WORKLOADS["motivational"]()
+        assert not fresh.frozen
+        assert fresh is not resolve_workload("motivational")
 
     def test_malformed_parametric(self):
         with pytest.raises(ConfigError):

@@ -5,6 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.fragmentation import (
     FragmentationError,
+    IncrementalBitScheduler,
     compute_bit_schedule,
     fragment_specification,
     fragment_widths_simple,
@@ -14,7 +15,12 @@ from repro.core.fragmentation import (
 from repro.core.kernel import extract_kernel
 from repro.core.timing import critical_path_bits, estimate_cycle_budget
 from repro.ir.dfg import BitDependencyGraph
-from repro.workloads import fig3_example, motivational_example
+from repro.workloads import (
+    GeneratorConfig,
+    fig3_example,
+    motivational_example,
+    random_specification,
+)
 from repro.workloads.fig3 import FIG3_CYCLE_BUDGET, FIG3_LATENCY
 
 
@@ -89,6 +95,65 @@ class TestMinimumFeasibleBudget:
         )
         assert schedule.is_feasible()
         assert budget * latency >= critical_path_bits(kernel)
+
+    @staticmethod
+    def _legacy_linear_scan(specification, latency, starting, search_limit=4096):
+        """The pre-optimization budget search: probe every candidate."""
+        graph = specification.bit_dependency_graph()
+        budget = max(1, starting)
+        for _ in range(search_limit):
+            schedule = compute_bit_schedule(specification, latency, budget, graph)
+            if schedule.is_feasible():
+                return budget
+            budget += 1
+        return None
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 400),
+        latency=st.integers(1, 6),
+        starting=st.integers(1, 8),
+    )
+    def test_binary_search_equals_legacy_scan(self, seed, latency, starting):
+        config = GeneratorConfig(operation_count=6, input_count=3, maximum_width=9)
+        spec = random_specification(seed, config)
+        expected = self._legacy_linear_scan(spec, latency, starting)
+        budget, schedule, _graph = minimum_feasible_budget(spec, latency, starting)
+        assert budget == expected
+        assert schedule.is_feasible()
+        assert schedule.chained_bits_per_cycle == budget
+
+    @pytest.mark.parametrize("latency", [1, 2, 3, 5, 8])
+    def test_binary_search_equals_legacy_scan_on_paper_kernels(
+        self, latency, motivational_kernel, fig3_kernel
+    ):
+        for kernel in (motivational_kernel, fig3_kernel):
+            for starting in (1, 2, 3, 5):
+                expected = self._legacy_linear_scan(kernel, latency, starting)
+                budget, _schedule, _graph = minimum_feasible_budget(
+                    kernel, latency, starting
+                )
+                assert budget == expected
+
+
+class TestIncrementalBitScheduler:
+    """The incremental re-relaxation against the full forward/backward passes."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 300), latency=st.integers(1, 6))
+    def test_matches_full_passes_across_budget_probes(self, seed, latency):
+        config = GeneratorConfig(operation_count=6, input_count=3, maximum_width=9)
+        spec = random_specification(seed, config)
+        graph = spec.bit_dependency_graph()
+        scheduler = IncrementalBitScheduler(graph, latency)
+        # Probe up, down and back again: the incremental state must stay
+        # bit-for-bit equal to a from-scratch recomputation at every budget.
+        for budget in (1, 3, 2, 7, 4, 1, 9, 8, 2):
+            reference = compute_bit_schedule(spec, latency, budget, graph)
+            produced = scheduler.bit_schedule(budget)
+            assert produced.asap == reference.asap
+            assert produced.alap == reference.alap
+            assert scheduler.is_feasible(budget) == reference.is_feasible()
 
 
 class TestFragments:

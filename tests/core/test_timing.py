@@ -3,14 +3,16 @@
 import math
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.core.kernel import extract_kernel
 from repro.core.timing import (
     CycleEstimate,
+    PathLimitWarning,
     TimingError,
     critical_path_bits,
     critical_path_by_walk,
+    critical_path_dag,
     estimate_cycle_budget,
     operation_execution_bits,
     operation_mobility_cycles,
@@ -18,7 +20,14 @@ from repro.core.timing import (
 )
 from repro.ir.builder import SpecBuilder
 from repro.ir.dfg import DataFlowGraph
-from repro.workloads import addition_chain, fig3_example, motivational_example
+from repro.workloads import (
+    ALL_WORKLOADS,
+    GeneratorConfig,
+    addition_chain,
+    fig3_example,
+    motivational_example,
+    random_specification,
+)
 from repro.workloads.fig3 import FIG3_CRITICAL_PATH_BITS, FIG3_CYCLE_BUDGET, FIG3_LATENCY
 
 
@@ -96,6 +105,63 @@ class TestCriticalPath:
         spec = addition_chain(length, width)
         assert critical_path_bits(spec) == width + length - 1
         assert critical_path_by_walk(spec) == width + length - 1
+
+
+#: The paper's benchmark workloads the DAG/walker equivalence is pinned on.
+PAPER_WORKLOADS = ("motivational", "fig3", "fir2", "adpcm_iaq")
+
+
+class TestCriticalPathDag:
+    """The O(V+E) single-pass computation against the enumerating walker."""
+
+    @pytest.mark.parametrize("name", PAPER_WORKLOADS)
+    def test_matches_walker_on_paper_workloads(self, name):
+        spec = ALL_WORKLOADS[name]()
+        assert critical_path_dag(spec) == critical_path_by_walk(
+            spec, on_limit="truncate"
+        )
+
+    @pytest.mark.parametrize("name", PAPER_WORKLOADS)
+    def test_matches_walker_on_extracted_kernels(self, name):
+        kernel = extract_kernel(ALL_WORKLOADS[name]()).specification
+        assert critical_path_dag(kernel) == critical_path_by_walk(
+            kernel, on_limit="truncate"
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    @example(seed=263)  # the pinned falsifier workload of the e2e suite
+    def test_matches_walker_on_random_dfgs(self, seed):
+        config = GeneratorConfig(operation_count=7, input_count=3, maximum_width=10)
+        spec = random_specification(seed, config)
+        assert critical_path_dag(spec) == critical_path_by_walk(
+            spec, on_limit="truncate"
+        )
+
+    def test_dag_pass_is_exact_where_walker_truncates(self):
+        """The diffeq kernel has millions of paths; the legacy walker's
+        20000-path cut reported 33 chained bits where the true critical path
+        is 47 -- the undercount the DAG pass (and the new default fallback)
+        eliminates."""
+        kernel = extract_kernel(ALL_WORKLOADS["diffeq"]()).specification
+        truncated = critical_path_by_walk(kernel, on_limit="truncate")
+        exact = critical_path_dag(kernel)
+        assert truncated < exact  # the silent undercount of the old default
+        with pytest.warns(PathLimitWarning):
+            assert critical_path_by_walk(kernel) == exact
+
+    def test_walker_can_raise_on_truncation(self):
+        kernel = extract_kernel(ALL_WORKLOADS["diffeq"]()).specification
+        with pytest.raises(TimingError):
+            critical_path_by_walk(kernel, on_limit="raise")
+
+    def test_walker_rejects_unknown_on_limit(self):
+        with pytest.raises(ValueError):
+            critical_path_by_walk(motivational_example(), on_limit="explode")
+
+    def test_no_warning_when_enumeration_completes(self, recwarn):
+        assert critical_path_by_walk(motivational_example()) == 18
+        assert not [w for w in recwarn.list if issubclass(w.category, PathLimitWarning)]
 
 
 class TestCycleEstimate:

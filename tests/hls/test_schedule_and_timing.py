@@ -113,6 +113,29 @@ class TestOperationLevelTiming:
         delays = operation_level_cycle_delays(schedule, library)
         assert delays[2] == 0.0 and delays[3] == 0.0
 
+    def test_timing_memo_distinguishes_libraries(self, spec):
+        """The schedule-level memo must not serve one library's delays to
+        another -- including freshly allocated libraries whose id() may be
+        recycled from a collected one."""
+        from repro.techlib.adders import AdderStyle
+        from repro.techlib.library import TechnologyLibrary
+
+        schedule = chain_schedule(spec, [1, 2, 3])
+        fast = operation_level_cycle_delays(
+            schedule, TechnologyLibrary(adder_style=AdderStyle.FAST_LOOKAHEAD)
+        )
+        slow = operation_level_cycle_delays(
+            schedule, TechnologyLibrary(adder_style=AdderStyle.RIPPLE_CARRY)
+        )
+        assert slow[1] == pytest.approx(9.4, abs=0.05)
+        assert fast[1] < slow[1]
+
+    def test_timing_memo_distinguishes_graphs(self, spec):
+        schedule = chain_schedule(spec, [1, 1, 1])
+        first = bit_level_cycle_depths(schedule, BitDependencyGraph(spec))
+        second = bit_level_cycle_depths(schedule, BitDependencyGraph(spec))
+        assert first == second == bit_level_cycle_depths(schedule)
+
 
 class TestBitLevelTiming:
     def test_fully_chained_single_cycle(self, spec):

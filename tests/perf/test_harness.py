@@ -1,0 +1,178 @@
+"""Unit tests for the performance harness and its bench-file reporting."""
+
+import json
+
+import pytest
+
+from repro.api.cli import main
+from repro.perf import (
+    PIPELINE_STAGES,
+    check_regressions,
+    compute_speedups,
+    format_bench_text,
+    load_bench,
+    run_benchmarks,
+    time_stages,
+    time_sweep,
+    write_bench,
+)
+
+
+class TestTimeStages:
+    def test_reports_every_pipeline_stage(self):
+        stages = time_stages("motivational", 3, repeats=1)
+        for stage in PIPELINE_STAGES:
+            assert stage in stages
+            assert stages[stage] >= 0.0
+        assert stages["total"] == pytest.approx(
+            sum(stages[stage] for stage in PIPELINE_STAGES)
+        )
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_stages("motivational", 3, repeats=0)
+
+
+class TestTimeSweep:
+    def test_fig4_sweep_returns_positive_seconds(self):
+        assert time_sweep("chain:2:4", latencies=[2, 3], repeats=1) > 0.0
+
+    def test_fullpipe_sweep_returns_positive_seconds(self):
+        assert time_sweep("chain:2:4", latencies=[2, 3], repeats=1, kind="fullpipe") > 0.0
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            time_sweep("chain:2:4", latencies=[2], repeats=1, kind="cached")
+
+
+class TestReporting:
+    BASE = {"stages": {"w": {"transform": 0.10, "total": 0.30}}, "sweeps": {"s": 1.0}}
+
+    def test_compute_speedups(self):
+        current = {"stages": {"w": {"transform": 0.05, "total": 0.10}}, "sweeps": {"s": 0.2}}
+        speedups = compute_speedups(self.BASE, current)
+        assert speedups["w/transform"] == pytest.approx(2.0)
+        assert speedups["w/total"] == pytest.approx(3.0)
+        assert speedups["sweep/s"] == pytest.approx(5.0)
+
+    def test_speedups_skip_unmatched_keys(self):
+        current = {"stages": {}, "sweeps": {"other": 0.1}}
+        assert compute_speedups(self.BASE, current) == {}
+
+    def test_check_regressions_flags_slowdowns(self):
+        slower = {"stages": {"w": {"transform": 0.25, "total": 0.31}}, "sweeps": {"s": 0.9}}
+        complaints = check_regressions(self.BASE, slower, max_regression=2.0)
+        assert len(complaints) == 1
+        assert "w/transform" in complaints[0]
+
+    def test_check_regressions_accepts_equal_times(self):
+        assert check_regressions(self.BASE, self.BASE, max_regression=2.0) == []
+
+    def test_check_regressions_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            check_regressions(self.BASE, self.BASE, max_regression=0.0)
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        current = {"stages": {"w": {"total": 0.1}}, "sweeps": {"s": 0.5}}
+        payload = write_bench(path, current)
+        # First write anchors the baseline to the current measurement.
+        assert payload["baseline"] == current
+        loaded = load_bench(path)
+        assert loaded["current"] == current
+
+        # A later write refreshes `current` but preserves the anchor.
+        faster = {"stages": {"w": {"total": 0.05}}, "sweeps": {"s": 0.25}}
+        payload = write_bench(path, faster)
+        assert payload["baseline"] == current
+        assert payload["speedup"]["sweep/s"] == pytest.approx(2.0)
+
+    def test_load_bench_missing_file(self, tmp_path):
+        assert load_bench(tmp_path / "nope.json") is None
+
+    def test_format_bench_text_lists_every_key(self):
+        current = {"stages": {"w": {"total": 0.1}}, "sweeps": {"s": 0.5}}
+        payload = write_bench_payload = {
+            "baseline": self.BASE,
+            "current": current,
+            "speedup": compute_speedups(self.BASE, current),
+        }
+        text = format_bench_text(write_bench_payload)
+        assert "w/total" in text
+        assert "sweep/s" in text
+
+
+class TestCliPerf:
+    def test_perf_cli_writes_bench_file(self, tmp_path, monkeypatch, capsys):
+        # Shrink the harness to one tiny workload so the CLI test stays fast.
+        import repro.perf.harness as harness
+
+        monkeypatch.setattr(harness, "QUICK_STAGE_POINTS", (("chain:2:4", 2),))
+        monkeypatch.setattr(harness, "QUICK_SWEEPS", {"mini": ("chain:2:4", "fig4")})
+        monkeypatch.setattr(harness, "FIG4_LATENCIES", (2, 3))
+        out = tmp_path / "BENCH_sched.json"
+        code = main(["perf", "--quick", "--repeats", "1", "--output", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert "current" in payload and "baseline" in payload
+        assert "mini" in payload["current"]["sweeps"]
+        assert "BENCH " in capsys.readouterr().out
+
+    def test_perf_cli_external_baseline_does_not_reanchor(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """--baseline is a comparison, not a re-anchor: the output file's
+        committed baseline section must survive the run unchanged."""
+        import repro.perf.harness as harness
+
+        monkeypatch.setattr(harness, "QUICK_STAGE_POINTS", (("chain:2:4", 2),))
+        monkeypatch.setattr(harness, "QUICK_SWEEPS", {"mini": ("chain:2:4", "fig4")})
+        out = tmp_path / "BENCH_sched.json"
+        anchor = {"stages": {"chain:2:4": {"total": 123.0}}, "sweeps": {"mini": 456.0}}
+        out.write_text(json.dumps({"schema": 1, "baseline": anchor, "current": anchor}))
+        external = tmp_path / "other.json"
+        external.write_text(
+            json.dumps({"schema": 1, "baseline": {"stages": {}, "sweeps": {"mini": 9.0}}})
+        )
+        code = main(
+            ["perf", "--quick", "--repeats", "1", "--output", str(out),
+             "--baseline", str(external)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["baseline"] == anchor
+
+    def test_perf_cli_fails_on_regression(self, tmp_path, monkeypatch, capsys):
+        import repro.perf.harness as harness
+
+        monkeypatch.setattr(harness, "QUICK_STAGE_POINTS", (("chain:2:4", 2),))
+        monkeypatch.setattr(harness, "QUICK_SWEEPS", {"mini": ("chain:2:4", "fig4")})
+        monkeypatch.setattr(harness, "FIG4_LATENCIES", (2,))
+        out = tmp_path / "BENCH_sched.json"
+        # An impossible baseline: everything is a >2x regression against it.
+        impossible = {
+            "stages": {"chain:2:4": {"total": 1e-9}},
+            "sweeps": {"mini": 1e-9},
+        }
+        out.write_text(
+            json.dumps({"schema": 1, "baseline": impossible, "current": impossible})
+        )
+        code = main(
+            ["perf", "--quick", "--repeats", "1", "--output", str(out),
+             "--max-regression", "2.0"]
+        )
+        assert code == 1
+        assert "perf regression" in capsys.readouterr().err
+
+
+class TestRunBenchmarks:
+    def test_quick_mode_structure(self, monkeypatch):
+        import repro.perf.harness as harness
+
+        monkeypatch.setattr(harness, "QUICK_STAGE_POINTS", (("chain:2:4", 2),))
+        monkeypatch.setattr(harness, "QUICK_SWEEPS", {"mini": ("chain:2:4", "fig4")})
+        monkeypatch.setattr(harness, "FIG4_LATENCIES", (2, 3))
+        result = run_benchmarks(quick=True, repeats=1)
+        assert set(result) == {"stages", "sweeps", "meta"}
+        assert "chain:2:4" in result["stages"]
+        assert result["meta"]["quick"] is True
