@@ -129,6 +129,7 @@ def compare_flows(
             balance_fragments=balance_fragments,
             check_equivalence=options.check_equivalence,
             equivalence_vectors=options.equivalence_vectors,
+            equivalence_seed=options.equivalence_seed,
             chained_bits_per_cycle=options.chained_bits_override,
             validate_input=options.validate_input,
             validate_output=options.validate_output,

@@ -124,6 +124,7 @@ def sweep_configs(
             workload=workload,
             check_equivalence=options.check_equivalence,
             equivalence_vectors=options.equivalence_vectors,
+            equivalence_seed=options.equivalence_seed,
             chained_bits_per_cycle=options.chained_bits_override,
             validate_input=options.validate_input,
             validate_output=options.validate_output,

@@ -131,6 +131,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="co-simulate the transformed specification against the original",
     )
     run_parser.add_argument(
+        "--equivalence-vectors",
+        type=int,
+        default=50,
+        help="random stimulus vectors drawn by --check-equivalence "
+        "(default: 50; corner vectors are always included)",
+    )
+    run_parser.add_argument(
+        "--equivalence-seed",
+        type=int,
+        default=2005,
+        help="stimulus seed of --check-equivalence (default: 2005); part of "
+        "the config's content hash, so different seeds never share a cache "
+        "entry",
+    )
+    run_parser.add_argument(
         "--stop-after",
         default=None,
         help="stop the pipeline after this pass (parse, validate, transform, "
@@ -226,6 +241,21 @@ def build_parser() -> argparse.ArgumentParser:
         "default: report only)",
     )
     perf_parser.add_argument(
+        "--min-speedup",
+        action="append",
+        default=None,
+        metavar="KEY=FACTOR",
+        help="fail (exit 1) unless the named benchmark is at least FACTOR "
+        "times faster than the anchor baseline (e.g. "
+        "adpcm_iaq/allocate=2.0 or verify/adpcm_iaq/equivalence_s=2.0); "
+        "repeatable",
+    )
+    perf_parser.add_argument(
+        "--label",
+        default=None,
+        help="tag recorded in this run's history entry (e.g. a PR number)",
+    )
+    perf_parser.add_argument(
         "--no-write", action="store_true", help="measure and report without writing"
     )
     perf_parser.add_argument("--json", action="store_true")
@@ -270,6 +300,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         chained_bits_per_cycle=args.chained_bits,
         balance_fragments=not args.no_balance,
         check_equivalence=args.check_equivalence,
+        equivalence_vectors=args.equivalence_vectors,
+        equivalence_seed=args.equivalence_seed,
     )
     pipeline = _make_pipeline(args.cache_dir)
     try:
@@ -401,6 +433,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     import json as json_module
 
     from ..perf import (
+        build_bench_payload,
+        check_min_speedups,
         check_regressions,
         compute_speedups,
         format_bench_text,
@@ -408,6 +442,21 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         run_benchmarks,
         write_bench,
     )
+
+    min_speedups: Dict[str, float] = {}
+    for requirement in args.min_speedup or ():
+        key, separator, factor_text = requirement.partition("=")
+        try:
+            if not separator:
+                raise ValueError
+            min_speedups[key] = float(factor_text)
+        except ValueError:
+            print(
+                f"error: malformed --min-speedup {requirement!r}: "
+                "expected KEY=FACTOR (e.g. adpcm_iaq/allocate=2.0)",
+                file=sys.stderr,
+            )
+            return 2
 
     repeats = args.repeats
     if repeats is None:
@@ -437,16 +486,10 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         reference = None
 
     if not args.no_write:
-        payload = write_bench(args.output, current, anchor)
+        payload = write_bench(args.output, current, anchor, label=args.label)
     else:
-        kept = anchor or (existing or {}).get("baseline") or current
-        payload = {
-            "schema": 1,
-            "paper": "conf_date_Ruiz-SautuaMMH05",
-            "baseline": kept,
-            "current": current,
-            "speedup": compute_speedups(kept, current),
-        }
+        payload = build_bench_payload(current, anchor, existing, args.label)
+    anchor_reference = payload.get("baseline")
     if args.baseline is not None and reference is not None:
         # An explicit comparison file also drives the displayed speedups.
         payload = dict(payload)
@@ -460,13 +503,20 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     # One-line machine-greppable summary for CI logs.
     print("BENCH " + json_module.dumps({"sweeps": current["sweeps"]}, sort_keys=True))
 
+    failed = False
     if args.max_regression is not None and reference is not None:
         complaints = check_regressions(reference, current, args.max_regression)
-        if complaints:
-            for complaint in complaints:
-                print(f"perf regression: {complaint}", file=sys.stderr)
-            return 1
-    return 0
+        for complaint in complaints:
+            print(f"perf regression: {complaint}", file=sys.stderr)
+        failed = failed or bool(complaints)
+    if min_speedups:
+        # Speedup gates compare against the *anchor* (the measurements
+        # recorded when the optimization landed), not the rolling reference.
+        complaints = check_min_speedups(anchor_reference, current, min_speedups)
+        for complaint in complaints:
+            print(f"perf speedup gate: {complaint}", file=sys.stderr)
+        failed = failed or bool(complaints)
+    return 1 if failed else 0
 
 
 def _cmd_list_workloads(args: argparse.Namespace) -> int:

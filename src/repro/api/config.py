@@ -139,8 +139,11 @@ class FlowConfig:
     validate_input / validate_output:
         Structurally validate the input specification (the validate pass)
         and the transformed specification (inside the transform pass).
-    check_equivalence / equivalence_vectors:
-        Co-simulate the transformed specification against the original.
+    check_equivalence / equivalence_vectors / equivalence_seed:
+        Co-simulate the transformed specification against the original:
+        whether to check, how many random vectors to draw, and the stimulus
+        seed.  All three are part of the content hash, so runs differing
+        only in their verification regime never share cache entries.
     label:
         Free-form tag carried into reports (sweep annotations).
     """
@@ -158,6 +161,7 @@ class FlowConfig:
     validate_output: bool = True
     check_equivalence: bool = False
     equivalence_vectors: int = 50
+    equivalence_seed: int = 2005
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -184,6 +188,12 @@ class FlowConfig:
             )
         if self.equivalence_vectors < 1:
             raise ConfigError("equivalence_vectors must be >= 1")
+        if not isinstance(self.equivalence_seed, int) or isinstance(
+            self.equivalence_seed, bool
+        ):
+            raise ConfigError(
+                f"equivalence_seed must be an integer, got {self.equivalence_seed!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derived views

@@ -59,6 +59,7 @@ def transform_pass(artifact: RunArtifact) -> None:
     options = TransformOptions(
         check_equivalence=config.check_equivalence,
         equivalence_vectors=config.equivalence_vectors,
+        equivalence_seed=config.equivalence_seed,
         chained_bits_override=config.chained_bits_per_cycle,
         validate_input=False,  # the validate pass handles the input
         validate_output=config.validate_output,

@@ -18,10 +18,12 @@ area it saves outweighs the estimated multiplexer cost it adds.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ...ir.operations import Operation
+from ...ir.spec import Specification
 from ...techlib.library import FunctionalUnitSpec, TechnologyLibrary
 from ..schedule import Schedule
 
@@ -89,6 +91,72 @@ def _affinity_key(operation: Operation) -> str:
     return operation.name or str(operation.uid)
 
 
+#: Per-specification binding tables: ``spec -> (version, {library: [(operation,
+#: category, unit width, affinity key), ...]})``.  Which unit class an
+#: operation executes on and how wide that unit must be are pure functions of
+#: the operation under a fixed library, so the per-operation
+#: ``functional_unit_for`` / width / affinity lookups are resolved once per
+#: (specification, library) and replayed by every binding run of a sweep.
+#: ``(flat table, affinity-grouped table)`` per library.  The flat table is
+#: ``[(operation, category, width, affinity key), ...]`` in operation order;
+#: the grouped table pre-sorts it into the exact iteration order of the
+#: affinity binder: ``[(category, [(group, [(width, operation), ...]), ...])]``
+#: with categories and groups sorted.
+_BindingTables = Tuple[
+    List[Tuple[Operation, str, int, str]],
+    List[Tuple[str, List[Tuple[str, List[Tuple[int, Operation]]]]]],
+]
+
+_BINDING_TABLES: "weakref.WeakKeyDictionary[Specification, Tuple[int, Dict[TechnologyLibrary, _BindingTables]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _binding_tables(
+    specification: Specification, library: TechnologyLibrary
+) -> _BindingTables:
+    """Unit classes and affinity grouping of every bindable operation.
+
+    Which unit class an operation executes on, how wide that unit must be
+    and which affinity group it belongs to are pure functions of the
+    operation under a fixed library, so they are resolved once per
+    (specification, library) and replayed by every binding run of a sweep.
+    """
+    cached = _BINDING_TABLES.get(specification)
+    if cached is not None and cached[0] == specification.version:
+        per_library = cached[1]
+    else:
+        per_library = {}
+        _BINDING_TABLES[specification] = (specification.version, per_library)
+    tables = per_library.get(library)
+    if tables is None:
+        flat: List[Tuple[Operation, str, int, str]] = []
+        for operation in specification.operations:
+            spec = library.functional_unit_for(operation)
+            if spec is None:
+                continue
+            flat.append(
+                (
+                    operation,
+                    spec.category,
+                    _operation_fu_width(operation, spec),
+                    _affinity_key(operation),
+                )
+            )
+        nested: Dict[str, Dict[str, List[Tuple[int, Operation]]]] = {}
+        for operation, category, width, group in flat:
+            nested.setdefault(category, {}).setdefault(group, []).append(
+                (width, operation)
+            )
+        grouped = [
+            (category, [(group, groups[group]) for group in sorted(groups)])
+            for category, groups in ((c, nested[c]) for c in sorted(nested))
+        ]
+        tables = (flat, grouped)
+        per_library[library] = tables
+    return tables
+
+
 @dataclass
 class _Track:
     """A cycle-disjoint set of operations that will share one unit instance."""
@@ -146,26 +214,39 @@ def allocate_functional_units(
         ablation benchmark uses as its baseline.
     """
     allocation = FunctionalUnitAllocation()
+    cycle_of = schedule.cycle_of
+    flat, grouped = _binding_tables(schedule.specification, library)
 
-    per_category: Dict[str, Dict[str, List[Tuple[int, int, Operation]]]] = {}
-    for operation in schedule.specification.operations:
-        spec = library.functional_unit_for(operation)
-        if spec is None:
-            continue
-        cycle = schedule.cycle(operation)
-        width = _operation_fu_width(operation, spec)
-        group = _affinity_key(operation) if affinity else f"cycle{cycle}"
-        per_category.setdefault(spec.category, {}).setdefault(group, []).append(
-            (cycle, width, operation)
-        )
+    if affinity:
+        category_groups = grouped
+    else:
+        # Per-cycle slot assignment (the binding ablation baseline): the
+        # grouping key depends on the schedule, so it is built per run.
+        per_category: Dict[str, Dict[str, List[Tuple[int, Operation]]]] = {}
+        for operation, category, width, _affinity_key in flat:
+            cycle = cycle_of.get(operation)
+            if cycle is None:
+                cycle = schedule.cycle(operation)  # raises the descriptive error
+            per_category.setdefault(category, {}).setdefault(
+                f"cycle{cycle}", []
+            ).append((width, operation))
+        category_groups = [
+            (category, [(group, groups[group]) for group in sorted(groups)])
+            for category, groups in ((c, per_category[c]) for c in sorted(per_category))
+        ]
 
     gates = library.gates
-    for category in sorted(per_category):
-        groups = per_category[category]
+    for category, group_list in category_groups:
         # Build cycle-disjoint tracks per affinity group.
         tracks: List[_Track] = []
-        for group in sorted(groups):
-            group_tracks = _build_tracks(groups[group])
+        for _group, members in group_list:
+            entries: List[Tuple[int, int, Operation]] = []
+            for width, operation in members:
+                cycle = cycle_of.get(operation)
+                if cycle is None:
+                    cycle = schedule.cycle(operation)  # raises the descriptive error
+                entries.append((cycle, width, operation))
+            group_tracks = _build_tracks(entries)
             for track in group_tracks:
                 track.category = category
                 tracks.append(track)

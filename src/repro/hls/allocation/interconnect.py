@@ -17,19 +17,35 @@ optimized one), so the estimator reproduces that accounting:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from math import ceil, log2
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ...ir.operations import Operation, OpKind
 from ...ir.spec import Specification
 from ...techlib.library import TechnologyLibrary
 from ..schedule import Schedule
 from .functional_units import FunctionalUnitAllocation, FunctionalUnitInstance
-from .registers import RegisterAllocation, ValueGroup, alias_resolver_for
+from .registers import (
+    RegisterAllocation,
+    ValueGroup,
+    _resolve_all_bits,
+    alias_resolver_for,
+)
 
 #: a steering source feeding a port: ("port", uid) | ("reg", index) | ("fu", id) | ("const",)
 SourceKey = Tuple
+
+#: Static run tags of the signature skeleton (see :func:`_signature_skeleton`).
+_RUN_CONST = 0
+_RUN_PORT = 1
+_RUN_PRODUCER = 2
+
+#: One schedule-independent operand run: ``(tag, variable uid, producer
+#: operation, first canonical bit, length)``.  ``uid``/``producer`` are
+#: ``None`` where the tag makes them meaningless.
+_StaticRun = Tuple[int, Optional[int], Optional[Operation], int, int]
 
 
 @dataclass(frozen=True)
@@ -75,6 +91,79 @@ class InterconnectEstimate:
         return "\n".join(lines)
 
 
+#: Signature skeletons shared per specification: ``spec -> (version,
+#: {(operation uid, slot): static run list})``.  Slot ``i >= 0`` is
+#: ``operation.operands[i]``; slot ``-1`` is the carry-in.  Resolving an
+#: operand bit down to "constant / port / producing operation" only depends
+#: on the specification's wiring, so the per-bit alias walks happen once per
+#: specification instead of once per allocation run.
+_SIGNATURE_SKELETONS: "weakref.WeakKeyDictionary[Specification, Tuple[int, Dict[Tuple[int, int], List[_StaticRun]]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _static_runs(specification: Specification, alias, operand) -> List[_StaticRun]:
+    """Schedule-independent run decomposition of one variable operand."""
+    bit_def_map = specification.bit_def_map
+    canonical_of = alias.canonical
+    variable = operand.variable
+    rng = operand.range
+    runs: List[_StaticRun] = []
+    for bit in range(rng.lo, rng.hi + 1):
+        canonical = canonical_of(variable, bit)
+        if canonical is None:
+            tag, uid, producer, position = _RUN_CONST, None, None, 0
+        else:
+            definition = bit_def_map.get(canonical)
+            if definition is None:
+                tag, uid, producer, position = _RUN_PORT, canonical[0], None, canonical[1]
+            else:
+                tag, uid, producer, position = (
+                    _RUN_PRODUCER,
+                    canonical[0],
+                    definition.operation,
+                    canonical[1],
+                )
+        if runs:
+            last_tag, last_uid, last_producer, last_start, last_length = runs[-1]
+            if (
+                last_tag == tag
+                and last_uid == uid
+                and last_producer is producer
+                and (tag == _RUN_CONST or position == last_start + last_length)
+            ):
+                runs[-1] = (last_tag, last_uid, last_producer, last_start, last_length + 1)
+                continue
+        runs.append((tag, uid, producer, position, 1))
+    return runs
+
+
+def _signature_skeleton(
+    specification: Specification,
+) -> Dict[Tuple[int, int], List[_StaticRun]]:
+    """Static operand runs of every additive operation, memoized per spec."""
+    cached = _SIGNATURE_SKELETONS.get(specification)
+    if cached is not None and cached[0] == specification.version:
+        return cached[1]
+    _resolve_all_bits(specification)
+    alias = alias_resolver_for(specification)
+    skeleton: Dict[Tuple[int, int], List[_StaticRun]] = {}
+    for operation in specification.operations:
+        if not operation.is_additive:
+            continue
+        for slot, operand in enumerate(operation.operands):
+            if operand.is_variable:
+                skeleton[(operation.uid, slot)] = _static_runs(
+                    specification, alias, operand
+                )
+        if operation.carry_in is not None and operation.carry_in.is_variable:
+            skeleton[(operation.uid, -1)] = _static_runs(
+                specification, alias, operation.carry_in
+            )
+    _SIGNATURE_SKELETONS[specification] = (specification.version, skeleton)
+    return skeleton
+
+
 class _SourceResolver:
     """Maps operand bits to the physical source driving them."""
 
@@ -89,6 +178,7 @@ class _SourceResolver:
         self.functional_units = functional_units
         self.registers = registers
         self.alias = alias_resolver_for(self.specification)
+        self._skeleton = _signature_skeleton(self.specification)
         self._group_register: Dict[Tuple[int, int], int] = {}
         for index, register in enumerate(registers.registers):
             for group in register.groups:
@@ -122,17 +212,8 @@ class _SourceResolver:
             return ("wire", variable_uid, canonical_bit)
         return ("reg", register_index, canonical_bit)
 
-    def operand_signature(self, operation: Operation, operand) -> Tuple:
-        """The wire bundle an operand is connected to, as a hashable signature.
-
-        Two operands of operations bound to the same unit require a
-        multiplexer leg each exactly when their signatures differ: the
-        signature identifies, bit by bit (run-length compressed), which
-        physical net drives the port.  Reading ``A(5 downto 0)`` in one cycle
-        and ``A(11 downto 6)`` in another therefore counts as two sources --
-        the 3-to-1 multiplexers of the paper's Table I routing breakdown come
-        out of exactly this accounting.
-        """
+    def operand_signature_legacy(self, operation: Operation, operand) -> Tuple:
+        """Bit-by-bit signature construction (the pre-fast-path reference)."""
         if not operand.is_variable:
             return (("const", operand.constant.value, operand.width),)
         consumer_cycle = self.schedule.cycle(operation)
@@ -151,9 +232,91 @@ class _SourceResolver:
             runs.append((head, position, 1))
         return tuple(runs)
 
-    def sources_of_operand(self, operation: Operation, operand) -> Set[SourceKey]:
+    def _classified_runs(
+        self, consumer_cycle: int, static_runs: Sequence[_StaticRun]
+    ) -> List[Tuple]:
+        """Static runs -> ``(head, start, length)`` runs for one schedule.
+
+        Produces exactly the runs the per-bit walk produces: classification
+        is constant across a static run except for register splitting, and a
+        final merge pass re-joins adjacent runs whose heads coincide under
+        the current schedule (e.g. two producers bound to one unit).
+        """
+        cycle_of = self.schedule.cycle_of
+        instance_of = self.functional_units.binding.get
+        group_register = self._group_register
+        pieces: List[Tuple] = []
+        for tag, uid, producer, start, length in static_runs:
+            if tag == _RUN_CONST:
+                # The per-bit walk emits position 0 for every constant bit,
+                # so consecutive constant bits never merge.
+                pieces.extend((("const", 0), 0, 1) for _ in range(length))
+                continue
+            if tag == _RUN_PORT:
+                pieces.append((("port", uid), start, length))
+                continue
+            producer_cycle = cycle_of[producer]
+            if producer_cycle == consumer_cycle:
+                instance = instance_of(producer)
+                if instance is None:
+                    pieces.append((("glue", producer.uid), start, length))
+                else:
+                    pieces.append((("fu", instance.identifier), start, length))
+                continue
+            # Crossing a cycle boundary: split at register-group borders.
+            bit = start
+            end = start + length
+            while bit < end:
+                register_index = group_register.get((uid, bit))
+                run_start = bit
+                bit += 1
+                while bit < end and group_register.get((uid, bit)) == register_index:
+                    bit += 1
+                if register_index is None:
+                    pieces.append((("wire", uid), run_start, bit - run_start))
+                else:
+                    pieces.append((("reg", register_index), run_start, bit - run_start))
+        merged: List[Tuple] = []
+        for head, start, length in pieces:
+            if merged:
+                last_head, last_start, last_length = merged[-1]
+                if last_head == head and start == last_start + last_length:
+                    merged[-1] = (last_head, last_start, last_length + length)
+                    continue
+            merged.append((head, start, length))
+        return merged
+
+    def operand_signature(
+        self, operation: Operation, operand, slot: Optional[int] = None
+    ) -> Tuple:
+        """The wire bundle an operand is connected to, as a hashable signature.
+
+        Two operands of operations bound to the same unit require a
+        multiplexer leg each exactly when their signatures differ: the
+        signature identifies, bit by bit (run-length compressed), which
+        physical net drives the port.  Reading ``A(5 downto 0)`` in one cycle
+        and ``A(11 downto 6)`` in another therefore counts as two sources --
+        the 3-to-1 multiplexers of the paper's Table I routing breakdown come
+        out of exactly this accounting.
+
+        ``slot`` (the operand's index in ``operation.operands``, ``-1`` for
+        the carry-in) routes the lookup through the precomputed signature
+        skeleton; without it the operand is resolved bit by bit.
+        """
+        if not operand.is_variable:
+            return (("const", operand.constant.value, operand.width),)
+        if slot is not None:
+            static_runs = self._skeleton.get((operation.uid, slot))
+            if static_runs is not None:
+                consumer_cycle = self.schedule.cycle(operation)
+                return tuple(self._classified_runs(consumer_cycle, static_runs))
+        return self.operand_signature_legacy(operation, operand)
+
+    def sources_of_operand(
+        self, operation: Operation, operand, slot: Optional[int] = None
+    ) -> Set[SourceKey]:
         """Back-compatible wrapper returning the operand's signature as a set."""
-        return {self.operand_signature(operation, operand)}
+        return {self.operand_signature(operation, operand, slot)}
 
 
 def estimate_interconnect(
@@ -161,26 +324,45 @@ def estimate_interconnect(
     functional_units: FunctionalUnitAllocation,
     registers: RegisterAllocation,
     library: TechnologyLibrary,
+    engine: str = "runs",
 ) -> InterconnectEstimate:
-    """Multiplexer requirements of a bound datapath."""
+    """Multiplexer requirements of a bound datapath.
+
+    ``engine="runs"`` (the default) classifies the precomputed static operand
+    runs of the signature skeleton; ``engine="legacy"`` resolves every
+    operand bit individually.  Both produce identical estimates -- pinned by
+    the property tests in ``tests/hls/test_allocation_fastpath.py``.
+    """
+    if engine not in ("runs", "legacy"):
+        raise ValueError(f"unknown interconnect engine {engine!r}")
+    use_skeleton = engine == "runs"
     estimate = InterconnectEstimate()
     resolver = _SourceResolver(schedule, functional_units, registers)
 
+    # Operations hosted per instance, in binding (insertion) order.
+    hosted: Dict[FunctionalUnitInstance, List[Operation]] = {}
+    for operation, instance in functional_units.binding.items():
+        hosted.setdefault(instance, []).append(operation)
+
     # Functional-unit input ports.
     for instance in functional_units.instances:
-        operations = functional_units.operations_on(instance)
+        operations = hosted.get(instance, [])
         if not operations:
             continue
         port_sources: Dict[int, Set[SourceKey]] = {}
         carry_sources: Set[SourceKey] = set()
         for operation in operations:
             for port_index, operand in enumerate(operation.operands):
-                port_sources.setdefault(port_index, set()).update(
-                    resolver.sources_of_operand(operation, operand)
+                port_sources.setdefault(port_index, set()).add(
+                    resolver.operand_signature(
+                        operation, operand, port_index if use_skeleton else None
+                    )
                 )
             if operation.carry_in is not None:
-                carry_sources.update(
-                    resolver.sources_of_operand(operation, operation.carry_in)
+                carry_sources.add(
+                    resolver.operand_signature(
+                        operation, operation.carry_in, -1 if use_skeleton else None
+                    )
                 )
         for port_index, sources in sorted(port_sources.items()):
             fan_in = max(1, len(sources))

@@ -289,53 +289,354 @@ def _storage_sources_inner(
     return sources, complete
 
 
-def analyze_lifetimes(schedule: Schedule) -> List[ValueGroup]:
-    """Birth/death cycles of every produced value bit, grouped into runs."""
+#: Specifications whose alias/storage caches were filled by the forward
+#: resolver pass, with the structure version they were filled at.
+_RESOLVED_SPECS: "weakref.WeakKeyDictionary[Specification, int]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _resolve_all_bits(specification: Specification) -> None:
+    """Resolve alias canonicals and storage sources of every written bit.
+
+    The memoized per-bit walkers (:meth:`_AliasResolver.canonical`,
+    :func:`_storage_sources`) resolve exactly the bits their callers touch,
+    one recursive walk at a time; on a freshly transformed specification the
+    allocation stage touches essentially *every* bit, so the walk overhead
+    (call frames, depth guards, per-bit wiring dispatch) dominates.  This
+    pass computes both resolutions for all bits in one forward sweep over the
+    operations -- a bit's sources are defined in terms of already-visited
+    bits, so each lookup is a plain dictionary hit -- and fills the same
+    shared caches the walkers use.  Out-of-order reads (a glue operation
+    reading a bit written later) fall back to the recursive walkers, so the
+    results are identical whatever the operation order.
+    """
+    version = _RESOLVED_SPECS.get(specification)
+    if version == specification.version:
+        return
+    resolver = alias_resolver_for(specification)
+    canon_cache = resolver._cache
+    storage = _storage_source_cache(specification)
+    bit_def_map = specification.bit_def_map
+    missing = _AliasResolver._MISSING
+    empty: List[CanonicalBit] = []
+    variables = {variable.uid: variable for variable in specification.variables}
+    for operation in specification.operations:
+        destination = operation.destination
+        uid = destination.variable.uid
+        destination_range = destination.range
+        lo = destination_range.lo
+        width = destination_range.hi - lo + 1
+        if operation.is_additive:
+            for bit in range(lo, lo + width):
+                key = (uid, bit)
+                canon_cache.setdefault(key, key)
+                storage.setdefault(key, [key])
+            continue
+        kind = operation.kind
+        wiring = kind in _WIRING_KINDS
+        # Per-bit rows of absolute source keys (``False`` marks a constant
+        # operand bit); the bodies mirror ``glue_source_bits`` per kind.
+        slots = []
+        for operand in operation.all_read_operands():
+            source = operand.source
+            rng = operand.range
+            if isinstance(source, Variable):
+                slots.append((source.uid, rng.lo, rng.hi - rng.lo + 1))
+            else:
+                slots.append((None, rng.lo, rng.hi - rng.lo + 1))
+        if kind is OpKind.CONCAT:
+            pair_rows: List[List] = [[] for _ in range(width)]
+            offset = 0
+            for source_uid, source_lo, source_width in slots:
+                for position in range(source_width):
+                    rbit = offset + position
+                    if rbit >= width:
+                        break
+                    pair_rows[rbit].append(
+                        (source_uid, source_lo + position)
+                        if source_uid is not None
+                        else False
+                    )
+                offset += source_width
+        elif kind is OpKind.SHL or kind is OpKind.SHR:
+            shift = int(operation.attributes.get("shift", 0))
+            if kind is OpKind.SHR:
+                shift = -shift
+            source_uid, source_lo, source_width = slots[0]
+            pair_rows = []
+            for rbit in range(width):
+                position = rbit - shift
+                if 0 <= position < source_width:
+                    pair_rows.append(
+                        [(source_uid, source_lo + position)]
+                        if source_uid is not None
+                        else [False]
+                    )
+                else:
+                    pair_rows.append([])
+        elif kind is OpKind.SELECT:
+            condition, if_true, if_false = slots[0], slots[1], slots[2]
+            pair_rows = []
+            for rbit in range(width):
+                row = [
+                    (condition[0], condition[1]) if condition[0] is not None else False
+                ]
+                if rbit < if_true[2]:
+                    row.append(
+                        (if_true[0], if_true[1] + rbit)
+                        if if_true[0] is not None
+                        else False
+                    )
+                if rbit < if_false[2]:
+                    row.append(
+                        (if_false[0], if_false[1] + rbit)
+                        if if_false[0] is not None
+                        else False
+                    )
+                pair_rows.append(row)
+        else:
+            # MOVE, NOT, AND, OR, XOR and any other position-aligned glue.
+            pair_rows = [
+                [
+                    (source_uid, source_lo + rbit) if source_uid is not None else False
+                    for source_uid, source_lo, source_width in slots
+                    if rbit < source_width
+                ]
+                for rbit in range(width)
+            ]
+        for rbit in range(width):
+            key = (uid, lo + rbit)
+            pairs = pair_rows[rbit]
+            # Alias canonical: wiring kinds follow their single driving
+            # operand; other glue is a real gate, canonical in itself.
+            if not wiring:
+                canon_cache.setdefault(key, key)
+            else:
+                if not pairs or pairs[0] is False:
+                    canonical = None
+                else:
+                    source_key = pairs[0]
+                    hit = canon_cache.get(source_key, missing)
+                    if hit is not missing:
+                        canonical = hit
+                    elif source_key in bit_def_map:
+                        # Forward reference: defer to the recursive walker.
+                        canonical = resolver.canonical(
+                            variables[source_key[0]], source_key[1]
+                        )
+                    else:
+                        canonical = source_key
+                        canon_cache[source_key] = source_key
+                canon_cache.setdefault(key, canonical)
+            # Storage sources: splice the already-resolved source lists.
+            sources: List[CanonicalBit] = []
+            for source_key in pairs:
+                if source_key is False:
+                    continue
+                resolved = storage.get(source_key)
+                if resolved is None:
+                    if source_key in bit_def_map:
+                        resolved = _storage_sources(
+                            specification,
+                            variables[source_key[0]],
+                            source_key[1],
+                            _memo=storage,
+                        )
+                    else:
+                        resolved = empty
+                        storage[source_key] = resolved
+                sources.extend(resolved)
+            storage.setdefault(key, sources)
+    _RESOLVED_SPECS[specification] = specification.version
+
+
+@dataclass
+class _LifetimeSkeleton:
+    """Schedule-independent lifetime structure of one specification.
+
+    ``analyze_lifetimes`` used to re-walk every operand bit of every additive
+    operation through the glue on each call; everything about those walks
+    except the cycle numbers is a pure function of the specification's
+    wiring.  The skeleton precomputes it once per specification:
+
+    * ``births`` -- ``(operation, variable, uid, low bit, width)`` of every
+      additive destination slice (the bits that can ever occupy a register);
+    * ``read_sources`` -- per additive operation, the *deduplicated* tuple of
+      canonical additive result bits it reads transitively through glue.
+
+    With the skeleton, one lifetime analysis is a linear scan over the
+    additive operations: births are interval assignments, deaths are
+    max-updates over the precomputed source tuples, and the value groups
+    fall out of splitting each destination interval where the death cycle
+    changes (birth and producer are constant across one destination).
+    """
+
+    births: List[Tuple[Operation, Variable, int, int, int]] = field(
+        default_factory=list
+    )
+    read_sources: List[Tuple[Operation, Tuple[CanonicalBit, ...]]] = field(
+        default_factory=list
+    )
+
+
+_LIFETIME_SKELETONS: "weakref.WeakKeyDictionary[Specification, Tuple[int, _LifetimeSkeleton]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _lifetime_skeleton(specification: Specification) -> _LifetimeSkeleton:
+    """The shared lifetime skeleton of a specification (version guarded)."""
+    cached = _LIFETIME_SKELETONS.get(specification)
+    if cached is not None and cached[0] == specification.version:
+        return cached[1]
+    _resolve_all_bits(specification)
+    skeleton = _LifetimeSkeleton()
+    cache = _storage_source_cache(specification)
+    for operation in specification.operations:
+        if not operation.is_additive:
+            continue
+        destination = operation.destination
+        skeleton.births.append(
+            (
+                operation,
+                destination.variable,
+                destination.variable.uid,
+                destination.range.lo,
+                destination.range.width,
+            )
+        )
+        sources: List[CanonicalBit] = []
+        seen = set()
+        for operand in operation.all_read_operands():
+            source = operand.source
+            if not isinstance(source, Variable):
+                continue
+            rng = operand.range
+            source_uid = source.uid
+            for bit in range(rng.lo, rng.hi + 1):
+                key = (source_uid, bit)
+                resolved = cache.get(key)
+                if resolved is None:
+                    resolved = _storage_sources(specification, source, bit, _memo=cache)
+                for canonical in resolved:
+                    if canonical not in seen:
+                        seen.add(canonical)
+                        sources.append(canonical)
+        if sources:
+            skeleton.read_sources.append((operation, tuple(sources)))
+    _LIFETIME_SKELETONS[specification] = (specification.version, skeleton)
+    return skeleton
+
+
+def analyze_lifetimes(schedule: Schedule, engine: str = "interval") -> List[ValueGroup]:
+    """Birth/death cycles of every produced value bit, grouped into runs.
+
+    ``engine="interval"`` (the default) runs over the precomputed
+    :class:`_LifetimeSkeleton`; ``engine="legacy"`` re-walks every operand
+    bit the way the pre-fast-path implementation did.  Both produce
+    identical group lists -- pinned by the property tests in
+    ``tests/hls/test_allocation_fastpath.py``.
+    """
+    if engine not in ("interval", "legacy"):
+        raise ValueError(f"unknown lifetime engine {engine!r}")
     spec = schedule.specification
     resolver = alias_resolver_for(spec)
     birth: Dict[CanonicalBit, int] = {}
     death: Dict[CanonicalBit, int] = {}
     producer: Dict[CanonicalBit, Optional[Operation]] = {}
-
-    # Births: every bit produced by an additive (functional-unit) operation.
-    # Glue outputs are never stored: glue is combinational logic replicated
-    # next to whichever cycle consumes it.
     cycle_of = schedule.cycle_of
-    for operation in spec.operations:
-        if not operation.is_additive:
-            continue
-        cycle = cycle_of.get(operation)
-        if cycle is None:
-            schedule.cycle(operation)  # raises the descriptive ScheduleError
-        destination = operation.destination
-        destination_uid = destination.variable.uid
-        for bit in destination.range:
-            canonical = (destination_uid, bit)
-            birth[canonical] = cycle
-            producer[canonical] = operation
-            death.setdefault(canonical, cycle)
-    _ = resolver  # kept for interconnect sharing of the alias cache semantics
 
-    # Deaths: the latest cycle any additive operation (transitively through
-    # glue) reads the stored bit.
-    cache = _storage_source_cache(spec)
-    for operation in spec.operations:
-        if not operation.is_additive:
-            continue
-        cycle = cycle_of[operation]
-        for operand in operation.all_read_operands():
-            if not operand.is_variable:
+    if engine == "interval":
+        skeleton = _lifetime_skeleton(spec)
+        for operation, _variable, destination_uid, low, width in skeleton.births:
+            cycle = cycle_of.get(operation)
+            if cycle is None:
+                schedule.cycle(operation)  # raises the descriptive ScheduleError
+            for bit in range(low, low + width):
+                death[(destination_uid, bit)] = cycle
+        for operation, sources in skeleton.read_sources:
+            cycle = cycle_of[operation]
+            for canonical in sources:
+                if death[canonical] < cycle:
+                    death[canonical] = cycle
+        # Birth and producer are constant across one destination interval,
+        # so groups are the destination intervals split where the death
+        # cycle changes; bits of one variable written by different
+        # operations never merge (their producers differ), exactly as in
+        # the per-bit grouping below.
+        groups: List[ValueGroup] = []
+        for operation, variable, destination_uid, low, width in skeleton.births:
+            birth_cycle = cycle_of[operation]
+            run_start = low
+            run_death = death[(destination_uid, low)]
+            for bit in range(low + 1, low + width):
+                bit_death = death[(destination_uid, bit)]
+                if bit_death != run_death:
+                    groups.append(
+                        ValueGroup(
+                            variable=variable,
+                            low_bit=run_start,
+                            width=bit - run_start,
+                            producer=operation,
+                            birth_cycle=birth_cycle,
+                            death_cycle=run_death,
+                        )
+                    )
+                    run_start = bit
+                    run_death = bit_death
+            groups.append(
+                ValueGroup(
+                    variable=variable,
+                    low_bit=run_start,
+                    width=low + width - run_start,
+                    producer=operation,
+                    birth_cycle=birth_cycle,
+                    death_cycle=run_death,
+                )
+            )
+        groups.sort(
+            key=lambda group: (group.birth_cycle, group.variable.name, group.low_bit)
+        )
+        return groups
+    else:
+        # Births: every bit produced by an additive (functional-unit)
+        # operation.  Glue outputs are never stored: glue is combinational
+        # logic replicated next to whichever cycle consumes it.
+        for operation in spec.operations:
+            if not operation.is_additive:
                 continue
-            variable = operand.variable
-            variable_uid = variable.uid
-            for bit in operand.range:
-                key = (variable_uid, bit)
-                sources = cache.get(key)
-                if sources is None:
-                    sources = _storage_sources(spec, variable, bit, _memo=cache)
-                for canonical in sources:
-                    if canonical in birth and death[canonical] < cycle:
-                        death[canonical] = cycle
+            cycle = cycle_of.get(operation)
+            if cycle is None:
+                schedule.cycle(operation)  # raises the descriptive ScheduleError
+            destination = operation.destination
+            destination_uid = destination.variable.uid
+            for bit in destination.range:
+                canonical = (destination_uid, bit)
+                birth[canonical] = cycle
+                producer[canonical] = operation
+                death.setdefault(canonical, cycle)
+
+        # Deaths: the latest cycle any additive operation (transitively
+        # through glue) reads the stored bit.
+        cache = _storage_source_cache(spec)
+        for operation in spec.operations:
+            if not operation.is_additive:
+                continue
+            cycle = cycle_of[operation]
+            for operand in operation.all_read_operands():
+                if not operand.is_variable:
+                    continue
+                variable = operand.variable
+                variable_uid = variable.uid
+                for bit in operand.range:
+                    key = (variable_uid, bit)
+                    sources = cache.get(key)
+                    if sources is None:
+                        sources = _storage_sources(spec, variable, bit, _memo=cache)
+                    for canonical in sources:
+                        if canonical in birth and death[canonical] < cycle:
+                            death[canonical] = cycle
 
     # Group contiguous bits of the same variable with identical lifetimes.
     groups: List[ValueGroup] = []
@@ -383,7 +684,9 @@ def analyze_lifetimes(schedule: Schedule) -> List[ValueGroup]:
 
 
 def allocate_registers(
-    schedule: Schedule, library: TechnologyLibrary
+    schedule: Schedule,
+    library: TechnologyLibrary,
+    lifetime_engine: str = "interval",
 ) -> RegisterAllocation:
     """Left-edge register allocation over the cycle-crossing value groups.
 
@@ -393,7 +696,7 @@ def allocate_registers(
     narrowest compatible register first so that 1-bit carries do not inflate a
     16-bit register's width.
     """
-    groups = analyze_lifetimes(schedule)
+    groups = analyze_lifetimes(schedule, engine=lifetime_engine)
     stored = [group for group in groups if group.needs_storage]
     allocation = RegisterAllocation(groups=groups)
     allocation.stored_bits = sum(group.width for group in stored)

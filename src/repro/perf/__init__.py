@@ -2,9 +2,12 @@
 
 ``repro.perf`` times the hot path of the flow -- the
 ``parse -> transform -> schedule -> time -> allocate`` pipeline stages per
-workload and the Fig. 4 latency-sweep wall-clock -- over repeated runs, and
-tracks the numbers in ``BENCH_sched.json`` at the repository root so every PR
-can show (and CI can guard) the perf trajectory.
+workload, the Fig. 4 latency-sweep wall-clock, and the functional oracle
+(batch equivalence throughput, netlist elaboration) -- over repeated runs,
+and tracks the numbers in ``BENCH_sched.json`` at the repository root so
+every PR can show (and CI can guard) the perf trajectory.  Each run is also
+appended to the bench file's ``history`` list, so the trajectory accumulates
+across PRs.
 
 Entry points:
 
@@ -12,21 +15,28 @@ Entry points:
 * :func:`repro.perf.report.write_bench` / :func:`repro.perf.report.check_regressions`
   -- persist and compare against the recorded baseline;
 * ``python -m repro perf`` -- the CLI front end (``--quick`` for the CI smoke
-  job, ``--max-regression`` to fail on slowdowns).
+  job, ``--max-regression`` to fail on slowdowns, ``--min-speedup`` to
+  require a speedup over the recorded anchor).
 """
 
 from .harness import (
     DEFAULT_REPEATS,
     PIPELINE_STAGES,
+    VERIFY_RANDOM_VECTORS,
     run_benchmarks,
     time_stages,
     time_sweep,
+    time_verification,
 )
 from .report import (
     BENCH_FILENAME,
+    HISTORY_LIMIT,
+    build_bench_payload,
+    check_min_speedups,
     check_regressions,
     compute_speedups,
     format_bench_text,
+    history_entry,
     load_bench,
     write_bench,
 )
@@ -34,12 +44,18 @@ from .report import (
 __all__ = [
     "BENCH_FILENAME",
     "DEFAULT_REPEATS",
+    "HISTORY_LIMIT",
     "PIPELINE_STAGES",
+    "VERIFY_RANDOM_VECTORS",
+    "build_bench_payload",
+    "check_min_speedups",
     "check_regressions",
     "compute_speedups",
     "format_bench_text",
+    "history_entry",
     "load_bench",
     "run_benchmarks",
     "time_stages",
     "time_sweep",
+    "time_verification",
 ]

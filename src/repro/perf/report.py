@@ -25,16 +25,23 @@ from typing import Dict, List, Optional, Union
 #: Canonical name of the bench file at the repository root.
 BENCH_FILENAME = "BENCH_sched.json"
 
-#: Format marker of the bench file.
-SCHEMA_VERSION = 1
+#: Format marker of the bench file.  Version 2 added the ``verify`` section
+#: and the append-only ``history`` list.
+SCHEMA_VERSION = 2
+
+#: Oldest history entries are dropped beyond this length.
+HISTORY_LIMIT = 50
 
 
 def _flatten(measurement: Optional[Dict]) -> Dict[str, float]:
-    """``{"stages": {w: {s: t}}, "sweeps": {n: t}}`` -> flat ``{key: t}``.
+    """``{"stages": ..., "sweeps": ..., "verify": ...}`` -> flat ``{key: t}``.
 
     Stage keys are ``"<workload>/<stage>"``, sweep keys are
-    ``"sweep/<name>"``; the flat view drives both the speedup table and the
-    regression check.
+    ``"sweep/<name>"``, verification keys are ``"verify/<workload>/<metric>"``;
+    the flat view drives both the speedup table and the regression check.
+    Only seconds-valued metrics are flattened -- derived bigger-is-better
+    numbers (``equivalence_vectors_per_s``) and plain counts would invert
+    the regression logic, so they stay in the raw sections.
     """
     flat: Dict[str, float] = {}
     if not measurement:
@@ -44,6 +51,10 @@ def _flatten(measurement: Optional[Dict]) -> Dict[str, float]:
             flat[f"{workload}/{stage}"] = float(seconds)
     for name, seconds in (measurement.get("sweeps") or {}).items():
         flat[f"sweep/{name}"] = float(seconds)
+    for workload, metrics in (measurement.get("verify") or {}).items():
+        for metric, value in metrics.items():
+            if metric.endswith("_s") and not metric.endswith("_per_s"):
+                flat[f"verify/{workload}/{metric}"] = float(value)
     return flat
 
 
@@ -60,16 +71,27 @@ def compute_speedups(baseline: Optional[Dict], current: Optional[Dict]) -> Dict[
     return speedups
 
 
+#: Regression complaints are suppressed while the *current* time stays under
+#: this floor: sub-millisecond stages (a memo-hit transform pass runs in
+#: ~10 us) double on scheduler noise alone, and a ratio gate on microseconds
+#: is pure flake.  A genuine regression that matters lifts the stage back
+#: over the floor and is caught by the ratio as usual.
+REGRESSION_FLOOR_S = 0.0005
+
+
 def check_regressions(
     baseline: Optional[Dict],
     current: Optional[Dict],
     max_regression: float,
+    min_seconds: float = REGRESSION_FLOOR_S,
 ) -> List[str]:
     """Keys whose current time exceeds ``baseline * max_regression``.
 
     Returns human-readable complaint strings (empty list = no regression).
     A ``max_regression`` of 2.0 means "fail when anything got more than twice
-    as slow as the recorded baseline", the CI smoke-job contract.
+    as slow as the recorded baseline", the CI smoke-job contract.  Keys whose
+    current time is below *min_seconds* are never flagged (see
+    :data:`REGRESSION_FLOOR_S`).
     """
     if max_regression <= 0:
         raise ValueError(f"max_regression must be positive, got {max_regression}")
@@ -80,12 +102,54 @@ def check_regressions(
         current_seconds = cur.get(key)
         if current_seconds is None or base_seconds <= 0.0:
             continue
+        if current_seconds < min_seconds:
+            continue
         ratio = current_seconds / base_seconds
         if ratio > max_regression:
             complaints.append(
                 f"{key}: {current_seconds * 1000:.2f} ms vs baseline "
                 f"{base_seconds * 1000:.2f} ms ({ratio:.2f}x slower, "
                 f"limit {max_regression:.2f}x)"
+            )
+    return complaints
+
+
+def check_min_speedups(
+    baseline: Optional[Dict],
+    current: Dict,
+    requirements: Dict[str, float],
+) -> List[str]:
+    """Keys whose speedup over *baseline* falls short of the required factor.
+
+    The inverse gate of :func:`check_regressions`: ``{"adpcm_iaq/allocate":
+    2.0}`` demands that the current ``allocate`` stage run at least twice as
+    fast as the baseline's.  A required key missing from either measurement
+    is itself a complaint -- a silently skipped gate is not a passing gate.
+    Returns human-readable complaint strings (empty list = all gates met).
+    """
+    base = _flatten(baseline)
+    cur = _flatten(current)
+    complaints: List[str] = []
+    for key, factor in sorted(requirements.items()):
+        if factor <= 0:
+            raise ValueError(f"minimum speedup for {key!r} must be positive")
+        base_seconds = base.get(key)
+        current_seconds = cur.get(key)
+        if base_seconds is None or current_seconds is None:
+            complaints.append(
+                f"{key}: not present in both measurements "
+                f"(baseline={'yes' if base_seconds is not None else 'no'}, "
+                f"current={'yes' if current_seconds is not None else 'no'})"
+            )
+            continue
+        if current_seconds <= 0.0:
+            continue
+        achieved = base_seconds / current_seconds
+        if achieved < factor:
+            complaints.append(
+                f"{key}: {achieved:.2f}x speedup vs baseline "
+                f"({current_seconds * 1000:.2f} ms vs "
+                f"{base_seconds * 1000:.2f} ms), required {factor:.2f}x"
             )
     return complaints
 
@@ -104,10 +168,58 @@ def load_bench(path: Union[str, Path]) -> Optional[Dict]:
     return payload
 
 
+def history_entry(current: Dict, label: Optional[str] = None) -> Dict:
+    """The compact history record of one measurement run."""
+    meta = current.get("meta") or {}
+    entry: Dict = {
+        "timestamp": meta.get("timestamp"),
+        "python": meta.get("python"),
+        "quick": meta.get("quick"),
+        "flat": _flatten(current),
+    }
+    if label:
+        entry["label"] = label
+    return entry
+
+
+def build_bench_payload(
+    current: Dict,
+    baseline: Optional[Dict] = None,
+    existing: Optional[Dict] = None,
+    label: Optional[str] = None,
+) -> Dict:
+    """Assemble a bench-file payload (the single source of its schema).
+
+    ``baseline`` defaults to the baseline recorded in *existing* (the
+    previously loaded bench file, if any) and falls back to ``current``
+    itself -- the first run anchors the trajectory.  The run is appended to
+    the inherited ``history`` list (newest last, capped at
+    :data:`HISTORY_LIMIT` entries) tagged with ``label``.
+    """
+    if baseline is None and existing is not None:
+        baseline = existing.get("baseline")
+    if baseline is None:
+        baseline = current
+    history: List[Dict] = []
+    if existing is not None and isinstance(existing.get("history"), list):
+        history = list(existing["history"])
+    history.append(history_entry(current, label))
+    history = history[-HISTORY_LIMIT:]
+    return {
+        "schema": SCHEMA_VERSION,
+        "paper": "conf_date_Ruiz-SautuaMMH05",
+        "baseline": baseline,
+        "current": current,
+        "speedup": compute_speedups(baseline, current),
+        "history": history,
+    }
+
+
 def write_bench(
     path: Union[str, Path],
     current: Dict,
     baseline: Optional[Dict] = None,
+    label: Optional[str] = None,
 ) -> Dict:
     """Write the bench file and return the payload written.
 
@@ -115,21 +227,13 @@ def write_bench(
     routine runs refresh ``current`` without touching the anchor), and falls
     back to ``current`` itself when the file carries none -- the first run
     after a clone anchors the trajectory.
+
+    Every write also *appends* the run to the file's ``history`` list (see
+    :func:`build_bench_payload`), so the perf trajectory accumulates across
+    PRs instead of only ever holding the anchor and the latest run.
     """
     path = Path(path)
-    if baseline is None:
-        existing = load_bench(path)
-        if existing is not None:
-            baseline = existing.get("baseline")
-    if baseline is None:
-        baseline = current
-    payload = {
-        "schema": SCHEMA_VERSION,
-        "paper": "conf_date_Ruiz-SautuaMMH05",
-        "baseline": baseline,
-        "current": current,
-        "speedup": compute_speedups(baseline, current),
-    }
+    payload = build_bench_payload(current, baseline, load_bench(path), label)
     path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return payload
 

@@ -4,15 +4,18 @@ from .adders import AdderNets, build_adder_chain, build_full_adder, build_ripple
 from .elaborate import ElaboratedDesign, ElaborationError, Elaborator, elaborate
 from .netlist import Gate, GateKind, Net, Netlist, NetlistError
 from .simulator import (
+    BatchNetlistResult,
     DelayModel,
     NetlistSimulationResult,
     NetlistSimulator,
+    levelised_order,
     nanosecond_delay_model,
     unit_full_adder_delay_model,
 )
 
 __all__ = [
     "AdderNets",
+    "BatchNetlistResult",
     "DelayModel",
     "ElaboratedDesign",
     "ElaborationError",
@@ -28,6 +31,7 @@ __all__ = [
     "build_full_adder",
     "build_ripple_adder",
     "elaborate",
+    "levelised_order",
     "nanosecond_delay_model",
     "unit_full_adder_delay_model",
 ]

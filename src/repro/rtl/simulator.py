@@ -14,8 +14,9 @@ Two delay models are provided:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..techlib.gates import DEFAULT_GATES, GateCosts
 from .netlist import Gate, GateKind, Net, Netlist, NetlistError
@@ -94,77 +95,219 @@ class NetlistSimulationResult:
         return max(self.arrivals[net] for net in pool)
 
 
+@dataclass
+class BatchNetlistResult:
+    """Lane-packed values of every net after one batch evaluation.
+
+    Bit ``j`` of each packed value is the net's logic value for input lane
+    (stimulus vector) ``j``.  Arrival times are input-independent, so they
+    are the same for every lane and shared with the scalar result shape.
+    """
+
+    netlist_name: str
+    lanes: int
+    values: Dict[Net, int] = field(default_factory=dict)
+    arrivals: Dict[Net, float] = field(default_factory=dict)
+
+    def lane_values(self, net: Net) -> List[int]:
+        """Single-bit value of one net, per lane."""
+        packed = self.values[net]
+        return [(packed >> lane) & 1 for lane in range(self.lanes)]
+
+    def value_of_bus(self, nets: Sequence[Net]) -> List[int]:
+        """Assemble an unsigned integer per lane from a LSB-first net bus."""
+        values = [0] * self.lanes
+        for index, net in enumerate(nets):
+            packed = self.values[net]
+            if not packed:
+                continue
+            weight = 1 << index
+            lane = 0
+            while packed:
+                if packed & 1:
+                    values[lane] += weight
+                packed >>= 1
+                lane += 1
+        return values
+
+
+#: Levelisation results shared per netlist: ``netlist -> (gate count,
+#: topological gate order, net -> consuming gates)``.  Netlists are
+#: append-only (gates are never removed), so the gate count doubles as the
+#: structure version; weak keys keep discarded netlists collectable.  Every
+#: simulator over one netlist -- including simulators with different delay
+#: models, which the RTL ablation benchmarks construct per run -- shares one
+#: levelisation instead of re-sorting the gates.
+_LEVELISATION_CACHE: "weakref.WeakKeyDictionary[Netlist, Tuple[int, List[Gate], Dict[Net, List[Gate]]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def levelised_order(netlist: Netlist) -> Tuple[List[Gate], Dict[Net, List[Gate]]]:
+    """Topological gate order and consumer index of a netlist, memoized.
+
+    Raises :class:`NetlistError` on combinational cycles or undriven nets.
+    """
+    cached = _LEVELISATION_CACHE.get(netlist)
+    if cached is not None and cached[0] == len(netlist.gates):
+        return cached[1], cached[2]
+    remaining: Dict[Gate, int] = {}
+    consumers: Dict[Net, List[Gate]] = {}
+    ready: List[Gate] = []
+    available = set(netlist.inputs)
+    for gate in netlist.gates:
+        unresolved = 0
+        for net in gate.inputs:
+            if net in available:
+                continue
+            unresolved += 1
+            consumers.setdefault(net, []).append(gate)
+        remaining[gate] = unresolved
+        if unresolved == 0:
+            ready.append(gate)
+    order: List[Gate] = []
+    while ready:
+        gate = ready.pop()
+        order.append(gate)
+        for successor in consumers.get(gate.output, []):
+            remaining[successor] -= 1
+            if remaining[successor] == 0:
+                ready.append(successor)
+    if len(order) != len(netlist.gates):
+        raise NetlistError(
+            f"netlist {netlist.name} contains a combinational cycle "
+            "or reads an undriven net"
+        )
+    _LEVELISATION_CACHE[netlist] = (len(netlist.gates), order, consumers)
+    return order, consumers
+
+
 class NetlistSimulator:
     """Levelised evaluation of a combinational netlist."""
 
     def __init__(self, netlist: Netlist, delay_model: Optional[DelayModel] = None) -> None:
         self.netlist = netlist
         self.delay_model = delay_model or unit_full_adder_delay_model()
-        self._order = self._levelise()
+        self._order, self._consumers = levelised_order(netlist)
+        # Arrival times depend only on topology and the delay model, not on
+        # input values; computed once per simulator and copied into results.
+        self._arrivals: Optional[Dict[Net, float]] = None
 
     def _levelise(self) -> List[Gate]:
-        """Topologically order gates; raise on combinational cycles."""
-        remaining: Dict[Gate, int] = {}
-        consumers: Dict[Net, List[Gate]] = {}
-        ready: List[Gate] = []
-        available = set(self.netlist.inputs)
-        for gate in self.netlist.gates:
-            unresolved = 0
-            for net in gate.inputs:
-                if net in available:
-                    continue
-                unresolved += 1
-                consumers.setdefault(net, []).append(gate)
-            remaining[gate] = unresolved
-            if unresolved == 0:
-                ready.append(gate)
-        order: List[Gate] = []
-        while ready:
-            gate = ready.pop()
-            order.append(gate)
-            for successor in consumers.get(gate.output, []):
-                remaining[successor] -= 1
-                if remaining[successor] == 0:
-                    ready.append(successor)
-        if len(order) != len(self.netlist.gates):
-            raise NetlistError(
-                f"netlist {self.netlist.name} contains a combinational cycle "
-                "or reads an undriven net"
-            )
-        return order
+        """Backward-compatible accessor for the memoized gate order."""
+        return self._order
+
+    def _arrival_times(self) -> Dict[Net, float]:
+        if self._arrivals is None:
+            arrivals: Dict[Net, float] = {net: 0.0 for net in self.netlist.inputs}
+            delay_of = self.delay_model.delay_of
+            for gate in self._order:
+                arrival = 0.0
+                for net in gate.inputs:
+                    net_arrival = arrivals[net]
+                    if net_arrival > arrival:
+                        arrival = net_arrival
+                arrivals[gate.output] = arrival + delay_of(gate.kind)
+            self._arrivals = arrivals
+        return self._arrivals
 
     def run(self, inputs: Mapping[Net, int]) -> NetlistSimulationResult:
         """Evaluate the netlist for one input assignment."""
         result = NetlistSimulationResult(self.netlist.name)
+        values = result.values
         for net in self.netlist.inputs:
             if net not in inputs:
                 raise NetlistError(f"missing value for input net {net.name}")
-            result.values[net] = inputs[net] & 1
-            result.arrivals[net] = 0.0
+            values[net] = inputs[net] & 1
         for gate in self._order:
-            input_values = [result.values[net] for net in gate.inputs]
-            value = _evaluate_gate(gate.kind, input_values)
-            arrival = 0.0
-            for net in gate.inputs:
-                arrival = max(arrival, result.arrivals[net])
-            arrival += self.delay_model.delay_of(gate.kind)
-            result.values[gate.output] = value
-            result.arrivals[gate.output] = arrival
+            input_values = [values[net] for net in gate.inputs]
+            values[gate.output] = _evaluate_gate(gate.kind, input_values)
+        result.arrivals = dict(self._arrival_times())
         return result
+
+    def run_batch(self, inputs: Mapping[Net, int], lanes: int) -> BatchNetlistResult:
+        """Evaluate all *lanes* input assignments in one pass over the gates.
+
+        *inputs* maps every input net to a lane-packed integer (bit ``j`` =
+        the net's value in lane ``j``); all big-int gate evaluations operate
+        on every lane simultaneously, so the cost is one bitwise operation
+        per gate regardless of the lane count.
+        """
+        if lanes < 1:
+            raise NetlistError(f"lane count must be >= 1, got {lanes}")
+        lane_mask = (1 << lanes) - 1
+        result = BatchNetlistResult(self.netlist.name, lanes)
+        values = result.values
+        for net in self.netlist.inputs:
+            if net not in inputs:
+                raise NetlistError(f"missing value for input net {net.name}")
+            values[net] = inputs[net] & lane_mask
+        for gate in self._order:
+            kind = gate.kind
+            pins = gate.inputs
+            if kind is GateKind.AND:
+                value = values[pins[0]] & values[pins[1]]
+            elif kind is GateKind.OR:
+                value = values[pins[0]] | values[pins[1]]
+            elif kind is GateKind.XOR:
+                value = values[pins[0]] ^ values[pins[1]]
+            elif kind is GateKind.NOT:
+                value = values[pins[0]] ^ lane_mask
+            elif kind is GateKind.BUF:
+                value = values[pins[0]]
+            elif kind is GateKind.CONST0:
+                value = 0
+            elif kind is GateKind.CONST1:
+                value = lane_mask
+            else:
+                raise NetlistError(f"unknown gate kind {kind}")
+            values[gate.output] = value
+        result.arrivals = dict(self._arrival_times())
+        return result
+
+    def _parsed_input_nets(self) -> List[Tuple[Net, str, int]]:
+        """Input nets decomposed as ``(net, bus name, bit index)``.
+
+        Scalar nets (no ``[bit]`` suffix) report bit 0; both bus entry
+        points share this parsing so the naming convention lives once.
+        """
+        parsed: List[Tuple[Net, str, int]] = []
+        for net in self.netlist.inputs:
+            name, _, bit_text = net.name.partition("[")
+            bit = int(bit_text.rstrip("]")) if bit_text else 0
+            parsed.append((net, name, bit))
+        return parsed
 
     def run_bus(self, bus_values: Mapping[str, int]) -> NetlistSimulationResult:
         """Evaluate with values given per input bus name (``name[bit]`` nets)."""
         assignment: Dict[Net, int] = {}
-        for net in self.netlist.inputs:
-            name, _, bit_text = net.name.partition("[")
-            if not bit_text:
-                if name in bus_values:
-                    assignment[net] = bus_values[name] & 1
-                continue
-            bit = int(bit_text.rstrip("]"))
+        for net, name, bit in self._parsed_input_nets():
             if name in bus_values:
                 assignment[net] = (bus_values[name] >> bit) & 1
         return self.run(assignment)
+
+    def run_bus_batch(
+        self, bus_values: Mapping[str, Sequence[int]]
+    ) -> BatchNetlistResult:
+        """Batch evaluation with one value list per input bus name.
+
+        Every bus must carry the same number of lane values; bit ``bit`` of
+        ``bus_values[name][j]`` drives net ``name[bit]`` in lane ``j``.
+        """
+        lane_counts = {len(values) for values in bus_values.values()}
+        if len(lane_counts) > 1:
+            raise NetlistError(
+                f"bus lane counts differ: {sorted(lane_counts)}"
+            )
+        lanes = lane_counts.pop() if lane_counts else 1
+        assignment: Dict[Net, int] = {}
+        for net, name, bit in self._parsed_input_nets():
+            if name in bus_values:
+                packed = 0
+                for lane, value in enumerate(bus_values[name]):
+                    packed |= ((value >> bit) & 1) << lane
+                assignment[net] = packed
+        return self.run_batch(assignment, lanes)
 
 
 def _evaluate_gate(kind: GateKind, values: List[int]) -> int:

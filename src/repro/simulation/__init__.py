@@ -1,5 +1,12 @@
-"""Behavioural simulation: interpreter, stimulus generation, equivalence."""
+"""Behavioural simulation: interpreter, batch engine, stimulus, equivalence."""
 
+from .batch import (
+    BatchInterpreter,
+    BatchSimulationResult,
+    pack_lanes,
+    simulate_batch,
+    unpack_planes,
+)
 from .equivalence import (
     EquivalenceError,
     EquivalenceReport,
@@ -11,6 +18,8 @@ from .interpreter import Interpreter, SimulationError, SimulationResult, simulat
 from .vectors import corner_vectors, random_vector, random_vectors, stimulus
 
 __all__ = [
+    "BatchInterpreter",
+    "BatchSimulationResult",
     "EquivalenceError",
     "EquivalenceReport",
     "Interpreter",
@@ -20,8 +29,11 @@ __all__ = [
     "assert_equivalent",
     "check_equivalence",
     "corner_vectors",
+    "pack_lanes",
     "random_vector",
     "random_vectors",
     "simulate",
+    "simulate_batch",
     "stimulus",
+    "unpack_planes",
 ]

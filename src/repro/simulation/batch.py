@@ -1,0 +1,466 @@
+"""Lane-packed (SWAR) batch interpretation: all stimulus vectors in one pass.
+
+The scalar :class:`~repro.simulation.interpreter.Interpreter` evaluates one
+input vector at a time, so an equivalence run over ``N`` vectors costs
+``O(operations x N)`` Python-level dispatches.  The batch engine packs one
+stimulus vector per *bit-lane* of Python big integers and evaluates every
+lane simultaneously, so the same run costs ``O(operations x width)`` big-int
+operations however many vectors are checked.
+
+Representation
+--------------
+The state of a ``w``-bit variable is a list of ``w`` *bit planes* (a
+transposed, bit-sliced layout): plane ``i`` is a big integer whose bit ``j``
+holds bit ``i`` of the variable's value in stimulus vector ``j``.  With that
+layout:
+
+* bitwise operations (AND/OR/XOR/NOT, moves, shifts by constants, concats,
+  selects) act plane-wise -- one big-int operation per result bit;
+* additions ripple a *carry plane* through the result planes (the classic
+  software full adder: ``sum = a ^ b ^ c``, ``c = (a & b) | (c & (a ^ b))``),
+  subtraction rides the same ripple with the subtrahend's planes inverted and
+  the carry-in plane forced to all-ones (two's complement);
+* multiplications accumulate partial products ``(a & b_i) << i`` with the
+  same ripple;
+* comparisons run a borrow ripple from the LSB plane upward after both
+  operands are extended to a common signed width (sign-extension replicates
+  the top plane, zero-extension appends empty planes);
+* per-lane wrap masks are free: a destination of width ``w`` simply has
+  ``w`` planes, and ``NOT`` masks against the lane mask (ones in every used
+  lane) so unused high lanes never leak set bits.
+
+Results are wrapped per lane exactly as the scalar interpreter wraps them, so
+per-lane unpacking is bit-identical to running the scalar interpreter on each
+vector individually -- the property tests in
+``tests/simulation/test_batch.py`` pin exactly that, workload by workload.
+
+The engine mirrors the scalar interpreter's *value semantics*: an operand is
+sign-extended only when it covers the whole of a signed source, otherwise its
+raw slice bits are zero-extended (see :mod:`repro.simulation.interpreter`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.operations import Operation, OpKind
+from ..ir.spec import Specification
+from ..ir.values import Operand
+from .interpreter import SimulationError
+
+#: Plane list of one variable: entry ``i`` carries bit ``i`` of every lane.
+Planes = List[int]
+
+
+@dataclass
+class BatchSimulationResult:
+    """Lane-packed outputs of one batch run.
+
+    The planes stay packed: comparing two batch results costs one big-int
+    comparison per output bit, and only mismatching lanes ever pay for
+    unpacking.  Use :meth:`output_lanes` / :meth:`final_state_lanes` to
+    recover per-vector integers.
+    """
+
+    specification_name: str
+    lanes: int
+    #: packed raw bit planes of every variable, by variable name
+    final_planes: Dict[str, Planes] = field(default_factory=dict)
+    #: names of the output ports, in declaration order
+    output_names: List[str] = field(default_factory=list)
+    #: signedness of each output port (for value decoding)
+    _signed: Dict[str, bool] = field(default_factory=dict)
+
+    def final_state_lanes(self, name: str) -> List[int]:
+        """Raw (unsigned) bit pattern of a variable, one integer per lane."""
+        planes = self.final_planes.get(name)
+        if planes is None:
+            raise SimulationError(f"no variable named {name!r}")
+        return unpack_planes(planes, self.lanes)
+
+    def output_lanes(self, name: str) -> List[int]:
+        """Decoded values of an output port, one integer per lane."""
+        if name not in self.output_names:
+            raise SimulationError(f"no output named {name!r}")
+        planes = self.final_planes[name]
+        raw = unpack_planes(planes, self.lanes)
+        if not self._signed.get(name):
+            return raw
+        width = len(planes)
+        half = 1 << (width - 1)
+        full = 1 << width
+        return [value - full if value >= half else value for value in raw]
+
+
+def pack_lanes(values: Sequence[int], width: int) -> Planes:
+    """Transpose per-lane integers into *width* bit planes (lane ``j`` = bit ``j``)."""
+    planes = [0] * width
+    mask = (1 << width) - 1
+    for lane, value in enumerate(values):
+        bit = 1 << lane
+        remaining = value & mask
+        while remaining:
+            low = remaining & -remaining
+            planes[low.bit_length() - 1] |= bit
+            remaining ^= low
+    return planes
+
+
+def unpack_planes(planes: Sequence[int], lanes: int) -> List[int]:
+    """Inverse of :func:`pack_lanes`: one integer per lane."""
+    values = [0] * lanes
+    for index, plane in enumerate(planes):
+        if not plane:
+            continue
+        weight = 1 << index
+        remaining = plane
+        lane = 0
+        while remaining:
+            if remaining & 1:
+                values[lane] += weight
+            remaining >>= 1
+            lane += 1
+    return values
+
+
+class BatchInterpreter:
+    """Evaluates a specification on *all* vectors of a stimulus set at once."""
+
+    def __init__(self, specification: Specification) -> None:
+        self.specification = specification
+
+    # ------------------------------------------------------------------
+    def pack_inputs(self, vectors: Sequence[Mapping[str, int]]) -> Dict[str, Planes]:
+        """Validate and lane-pack the input columns, keyed by port name.
+
+        The result can be fed back through ``run_batch(vectors,
+        packed_inputs=...)`` -- and, because it is keyed by *name*, reused by
+        any specification with the same input interface, which is how
+        equivalence checking packs each stimulus chunk once for both sides.
+        """
+        lanes = len(vectors)
+        if lanes == 0:
+            raise SimulationError("batch run needs at least one stimulus vector")
+        declared = {port.name: port for port in self.specification.inputs()}
+        # Per-port bounds hoisted out of the per-vector loop: the property
+        # chains behind ``type.contains`` dominate batch setup otherwise.
+        bounds = {
+            name: (port.type.min_value, port.type.max_value, port.type.mask)
+            for name, port in declared.items()
+        }
+        columns: Dict[str, List[int]] = {name: [0] * lanes for name in declared}
+        port_count = len(declared)
+        for lane, vector in enumerate(vectors):
+            try:
+                for name, value in vector.items():
+                    low, high, mask = bounds[name]
+                    if value < low or value > high:
+                        raise SimulationError(
+                            f"input {name}={value} does not fit "
+                            f"{declared[name].type} (vector {lane})"
+                        )
+                    columns[name][lane] = value & mask
+            except KeyError:
+                unknown = set(vector) - set(declared)
+                raise SimulationError(
+                    f"unknown input(s) {sorted(unknown)} for specification "
+                    f"{self.specification.name} (vector {lane})"
+                ) from None
+            if len(vector) != port_count:
+                missing = set(declared) - set(vector)
+                raise SimulationError(
+                    f"missing value(s) for input(s) {sorted(missing)} (vector {lane})"
+                )
+        return {
+            name: pack_lanes(columns[name], declared[name].width) for name in declared
+        }
+
+    def run_batch(
+        self,
+        vectors: Sequence[Mapping[str, int]],
+        packed_inputs: Optional[Dict[str, Planes]] = None,
+    ) -> BatchSimulationResult:
+        """Execute the specification once per lane, in a single sweep.
+
+        Raises :class:`SimulationError` with the offending lane index when a
+        vector is malformed, matching the scalar interpreter's validation.
+        ``packed_inputs`` skips packing and validation with a column set
+        previously produced by :meth:`pack_inputs` for the same vectors.
+        """
+        lanes = len(vectors)
+        if lanes == 0:
+            raise SimulationError("batch run needs at least one stimulus vector")
+        lane_mask = (1 << lanes) - 1
+        if packed_inputs is None:
+            packed_inputs = self.pack_inputs(vectors)
+        state: Dict[int, Planes] = {}
+        for port in self.specification.inputs():
+            state[port.uid] = list(packed_inputs[port.name])
+        for variable in self.specification.variables:
+            state.setdefault(variable.uid, [0] * variable.width)
+        for operation in self.specification.operations:
+            result = self._evaluate(operation, state, lane_mask)
+            destination = operation.destination
+            planes = state[destination.variable.uid]
+            lo = destination.range.lo
+            for position, plane in enumerate(result):
+                planes[lo + position] = plane
+        result = BatchSimulationResult(
+            specification_name=self.specification.name, lanes=lanes
+        )
+        for variable in self.specification.variables:
+            result.final_planes[variable.name] = state[variable.uid]
+            if variable.is_output():
+                result.output_names.append(variable.name)
+                result._signed[variable.name] = variable.signed
+        return result
+
+    # ------------------------------------------------------------------
+    # Operand access
+    # ------------------------------------------------------------------
+    def _raw_planes(
+        self, operand: Operand, state: Dict[int, Planes], lane_mask: int, width: int
+    ) -> Planes:
+        """Raw slice planes, zero-extended/truncated to *width* planes."""
+        rng = operand.range
+        if operand.is_constant:
+            bits = operand.constant.bits >> rng.lo
+            planes = [
+                lane_mask if (bits >> index) & 1 else 0
+                for index in range(min(rng.width, width))
+            ]
+        else:
+            source = state[operand.variable.uid]
+            hi = min(rng.lo + width, rng.hi + 1)
+            planes = source[rng.lo : hi]
+        if len(planes) < width:
+            planes = planes + [0] * (width - len(planes))
+        return planes
+
+    def _value_planes(
+        self, operand: Operand, state: Dict[int, Planes], lane_mask: int, width: int
+    ) -> Planes:
+        """Planes under value semantics: sign-extended when meaningful.
+
+        Matches ``Interpreter._operand_value``: the operand is treated as a
+        two's complement number only when it covers the whole of a signed
+        source; arithmetic modulo ``2**width`` then only needs the operand
+        extended (or truncated) to *width* planes.
+        """
+        rng = operand.range
+        signed = operand.source.signed and operand.covers_whole_source()
+        if operand.is_constant:
+            bits = operand.constant.bits >> rng.lo
+            planes = [
+                lane_mask if (bits >> index) & 1 else 0
+                for index in range(min(rng.width, width))
+            ]
+        else:
+            source = state[operand.variable.uid]
+            hi = min(rng.lo + width, rng.hi + 1)
+            planes = source[rng.lo : hi]
+        if len(planes) < width:
+            fill = planes[-1] if (signed and planes) else 0
+            planes = planes + [fill] * (width - len(planes))
+        return planes
+
+    def _carry_plane(
+        self, operation: Operation, state: Dict[int, Planes], lane_mask: int
+    ) -> int:
+        if operation.carry_in is None:
+            return 0
+        return self._raw_planes(operation.carry_in, state, lane_mask, 1)[0]
+
+    # ------------------------------------------------------------------
+    # Plane arithmetic helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ripple_add(a: Planes, b: Planes, carry: int) -> Planes:
+        """Per-lane ``a + b + carry`` over equal-length plane lists."""
+        out: Planes = []
+        for plane_a, plane_b in zip(a, b):
+            partial = plane_a ^ plane_b
+            out.append(partial ^ carry)
+            carry = (plane_a & plane_b) | (carry & partial)
+        return out
+
+    @staticmethod
+    def _ripple_increment(planes: Planes, carry: int) -> Planes:
+        """Per-lane ``planes + carry`` where *carry* is a 1-bit plane."""
+        if not carry:
+            return planes
+        out: Planes = []
+        for plane in planes:
+            out.append(plane ^ carry)
+            carry &= plane
+        return out
+
+    @staticmethod
+    def _negate(planes: Planes, lane_mask: int) -> Planes:
+        """Per-lane two's complement: ``~planes + 1``."""
+        out: Planes = []
+        carry = lane_mask
+        for plane in planes:
+            inverted = plane ^ lane_mask
+            out.append(inverted ^ carry)
+            carry &= inverted
+        return out
+
+    @staticmethod
+    def _less_than(a: Planes, b: Planes) -> int:
+        """Unsigned per-lane ``a < b`` over equal-length plane lists."""
+        lt = 0
+        for plane_a, plane_b in zip(a, b):
+            equal_mask = ~(plane_a ^ plane_b)
+            lt = (~plane_a & plane_b) | (equal_mask & lt)
+        return lt
+
+    def _signed_compare_planes(
+        self, operation: Operation, state: Dict[int, Planes], lane_mask: int
+    ) -> Tuple[int, int]:
+        """(lt, eq) planes of the two operands under value semantics.
+
+        Both operands are extended to ``max(widths) + 1`` planes, where any
+        mix of signed and unsigned sources is exactly representable in two's
+        complement; flipping the top plane then reduces the signed comparison
+        to the unsigned borrow ripple.
+        """
+        left, right = operation.operands[0], operation.operands[1]
+        width = max(left.width, right.width) + 1
+        a = self._value_planes(left, state, lane_mask, width)
+        b = self._value_planes(right, state, lane_mask, width)
+        a[-1] ^= lane_mask
+        b[-1] ^= lane_mask
+        lt = self._less_than(a, b) & lane_mask
+        diff = 0
+        for plane_a, plane_b in zip(a, b):
+            diff |= plane_a ^ plane_b
+        eq = (diff ^ lane_mask) & lane_mask
+        return lt, eq
+
+    @staticmethod
+    def _select(mask: int, when_set: Planes, when_clear: Planes, lane_mask: int) -> Planes:
+        inverse = mask ^ lane_mask
+        return [
+            (mask & set_plane) | (inverse & clear_plane)
+            for set_plane, clear_plane in zip(when_set, when_clear)
+        ]
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self, operation: Operation, state: Dict[int, Planes], lane_mask: int
+    ) -> Planes:
+        kind = operation.kind
+        width = operation.width
+        operands = operation.operands
+
+        if kind is OpKind.ADD:
+            a = self._value_planes(operands[0], state, lane_mask, width)
+            b = self._value_planes(operands[1], state, lane_mask, width)
+            return self._ripple_add(a, b, self._carry_plane(operation, state, lane_mask))
+        if kind is OpKind.SUB:
+            a = self._value_planes(operands[0], state, lane_mask, width)
+            b = self._value_planes(operands[1], state, lane_mask, width)
+            inverted = [plane ^ lane_mask for plane in b]
+            difference = self._ripple_add(a, inverted, lane_mask)
+            return self._ripple_increment(
+                difference, self._carry_plane(operation, state, lane_mask)
+            )
+        if kind is OpKind.MUL:
+            a = self._value_planes(operands[0], state, lane_mask, width)
+            b = self._value_planes(operands[1], state, lane_mask, width)
+            accumulator = [0] * width
+            for shift, multiplier_plane in enumerate(b):
+                if not multiplier_plane:
+                    continue
+                carry = 0
+                for position in range(shift, width):
+                    addend = a[position - shift] & multiplier_plane
+                    current = accumulator[position]
+                    partial = current ^ addend
+                    accumulator[position] = partial ^ carry
+                    carry = (current & addend) | (carry & partial)
+            return accumulator
+        if kind in (OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE, OpKind.EQ, OpKind.NE):
+            lt, eq = self._signed_compare_planes(operation, state, lane_mask)
+            outcome = {
+                OpKind.LT: lt,
+                OpKind.LE: lt | eq,
+                OpKind.GT: (lt | eq) ^ lane_mask,
+                OpKind.GE: lt ^ lane_mask,
+                OpKind.EQ: eq,
+                OpKind.NE: eq ^ lane_mask,
+            }[kind]
+            return [outcome] + [0] * (width - 1)
+        if kind in (OpKind.MAX, OpKind.MIN):
+            lt, _eq = self._signed_compare_planes(operation, state, lane_mask)
+            a = self._value_planes(operands[0], state, lane_mask, width)
+            b = self._value_planes(operands[1], state, lane_mask, width)
+            if kind is OpKind.MAX:
+                return self._select(lt, b, a, lane_mask)
+            return self._select(lt, a, b, lane_mask)
+        if kind is OpKind.NEG:
+            a = self._value_planes(operands[0], state, lane_mask, width)
+            return self._negate(a, lane_mask)
+        if kind is OpKind.ABS:
+            source = operands[0]
+            a = self._value_planes(source, state, lane_mask, width)
+            if not (source.source.signed and source.covers_whole_source()):
+                return a
+            raw = self._raw_planes(source, state, lane_mask, source.width)
+            sign = raw[-1]
+            return self._select(sign, self._negate(a, lane_mask), a, lane_mask)
+        if kind is OpKind.AND:
+            a = self._raw_planes(operands[0], state, lane_mask, width)
+            b = self._raw_planes(operands[1], state, lane_mask, width)
+            return [plane_a & plane_b for plane_a, plane_b in zip(a, b)]
+        if kind is OpKind.OR:
+            a = self._raw_planes(operands[0], state, lane_mask, width)
+            b = self._raw_planes(operands[1], state, lane_mask, width)
+            return [plane_a | plane_b for plane_a, plane_b in zip(a, b)]
+        if kind is OpKind.XOR:
+            a = self._raw_planes(operands[0], state, lane_mask, width)
+            b = self._raw_planes(operands[1], state, lane_mask, width)
+            return [plane_a ^ plane_b for plane_a, plane_b in zip(a, b)]
+        if kind is OpKind.NOT:
+            a = self._raw_planes(operands[0], state, lane_mask, width)
+            return [plane ^ lane_mask for plane in a]
+        if kind is OpKind.SHL:
+            amount = int(operation.attributes.get("shift", 0))
+            source = self._raw_planes(operands[0], state, lane_mask, width)
+            return ([0] * amount + source)[:width]
+        if kind is OpKind.SHR:
+            amount = int(operation.attributes.get("shift", 0))
+            source = self._raw_planes(
+                operands[0], state, lane_mask, operands[0].width
+            )
+            planes = source[amount:]
+            if len(planes) < width:
+                planes = planes + [0] * (width - len(planes))
+            return planes[:width]
+        if kind is OpKind.CONCAT:
+            planes: Planes = []
+            for operand in operands:
+                planes.extend(
+                    self._raw_planes(operand, state, lane_mask, operand.width)
+                )
+            planes = planes[:width]
+            if len(planes) < width:
+                planes = planes + [0] * (width - len(planes))
+            return planes
+        if kind is OpKind.SELECT:
+            condition = self._raw_planes(operands[0], state, lane_mask, 1)[0]
+            when_true = self._raw_planes(operands[1], state, lane_mask, width)
+            when_false = self._raw_planes(operands[2], state, lane_mask, width)
+            return self._select(condition, when_true, when_false, lane_mask)
+        if kind is OpKind.MOVE:
+            return self._raw_planes(operands[0], state, lane_mask, width)
+        raise SimulationError(f"batch interpreter does not support operation kind {kind}")
+
+
+def simulate_batch(
+    specification: Specification, vectors: Sequence[Mapping[str, int]]
+) -> BatchSimulationResult:
+    """One-shot convenience wrapper around :class:`BatchInterpreter`."""
+    return BatchInterpreter(specification).run_batch(vectors)

@@ -13,8 +13,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..ir.spec import Specification
+from .batch import BatchInterpreter, unpack_planes
 from .interpreter import Interpreter, SimulationError
 from .vectors import stimulus
+
+#: Lane count of one batch-engine sweep.  Bounds the big-int width (and the
+#: cost of a mismatch unpack) without changing results: chunks are compared
+#: in vector order, so mismatch ordering matches the scalar engine exactly.
+BATCH_CHUNK_LANES = 256
 
 
 class EquivalenceError(AssertionError):
@@ -94,20 +100,33 @@ def check_equivalence(
     random_count: int = 100,
     seed: int = 2005,
     stop_at: Optional[int] = 25,
+    engine: str = "batch",
 ) -> EquivalenceReport:
     """Co-simulate both specifications and report mismatching outputs.
 
     Output values are compared as raw bit patterns so that signedness
     differences introduced by the operative kernel extraction (which rewrites
     signed operations as unsigned ones) do not cause false mismatches.
+
+    ``engine`` selects the simulation engine: ``"batch"`` (the default)
+    evaluates every stimulus vector simultaneously through the lane-packed
+    :class:`~repro.simulation.batch.BatchInterpreter`; ``"scalar"`` runs the
+    per-vector :class:`~repro.simulation.interpreter.Interpreter`.  Both
+    engines produce bit-identical reports -- the batch engine exists because
+    it is an order of magnitude faster at sweep-scale vector counts.
     """
+    if engine not in ("batch", "scalar"):
+        raise ValueError(f"unknown equivalence engine {engine!r}")
     _common_interface(reference, candidate)
     if vectors is None:
         vectors = stimulus(reference, random_count=random_count, seed=seed)
     report = EquivalenceReport(reference.name, candidate.name)
+    output_names = [port.name for port in reference.outputs()]
+    if engine == "batch":
+        _check_batch(reference, candidate, vectors, output_names, report, stop_at)
+        return report
     reference_interpreter = Interpreter(reference)
     candidate_interpreter = Interpreter(candidate)
-    output_names = [port.name for port in reference.outputs()]
     for vector in vectors:
         reference_run = reference_interpreter.run(vector)
         candidate_run = candidate_interpreter.run(vector)
@@ -122,6 +141,62 @@ def check_equivalence(
         if stop_at is not None and len(report.mismatches) >= stop_at:
             break
     return report
+
+
+def _check_batch(
+    reference: Specification,
+    candidate: Specification,
+    vectors: Sequence[Mapping[str, int]],
+    output_names: Sequence[str],
+    report: EquivalenceReport,
+    stop_at: Optional[int],
+) -> None:
+    """Batch-engine comparison, chunked to bound lane width.
+
+    The fast path never unpacks: two equal runs compare plane-for-plane (one
+    big-int equality per output bit).  Only chunks with a differing plane
+    fall back to per-lane unpacking, walking lanes in vector order so that
+    mismatch ordering and the ``stop_at`` cutoff replicate the scalar engine.
+    """
+    reference_interpreter = BatchInterpreter(reference)
+    candidate_interpreter = BatchInterpreter(candidate)
+    vectors = list(vectors)
+    for start in range(0, len(vectors), BATCH_CHUNK_LANES):
+        chunk = vectors[start : start + BATCH_CHUNK_LANES]
+        # Both sides share one input interface (checked above), so each
+        # chunk is validated and lane-packed exactly once.
+        packed = reference_interpreter.pack_inputs(chunk)
+        reference_run = reference_interpreter.run_batch(chunk, packed_inputs=packed)
+        candidate_run = candidate_interpreter.run_batch(chunk, packed_inputs=packed)
+        mismatch_lanes = 0
+        for name in output_names:
+            for ref_plane, cand_plane in zip(
+                reference_run.final_planes[name], candidate_run.final_planes[name]
+            ):
+                mismatch_lanes |= ref_plane ^ cand_plane
+        if not mismatch_lanes:
+            report.vectors_checked += len(chunk)
+            continue
+        # Slow path: at least one lane disagrees somewhere in this chunk.
+        reference_values = {
+            name: unpack_planes(reference_run.final_planes[name], len(chunk))
+            for name in output_names
+        }
+        candidate_values = {
+            name: unpack_planes(candidate_run.final_planes[name], len(chunk))
+            for name in output_names
+        }
+        for lane, vector in enumerate(chunk):
+            report.vectors_checked += 1
+            for name in output_names:
+                reference_bits = reference_values[name][lane]
+                candidate_bits = candidate_values[name][lane]
+                if reference_bits != candidate_bits:
+                    report.mismatches.append(
+                        Mismatch(dict(vector), name, reference_bits, candidate_bits)
+                    )
+            if stop_at is not None and len(report.mismatches) >= stop_at:
+                return
 
 
 def assert_equivalent(

@@ -73,6 +73,7 @@ class TechnologyLibrary:
         object.__setattr__(self, "_delay_cache", {})
         object.__setattr__(self, "_area_cache", {})
         object.__setattr__(self, "_op_delay_cache", {})
+        object.__setattr__(self, "_storage_area_cache", {})
 
     # ------------------------------------------------------------------
     # Delay unit conversions
@@ -220,12 +221,28 @@ class TechnologyLibrary:
     # Storage, routing and control
     # ------------------------------------------------------------------
     def register_area(self, width: int) -> float:
-        return build_register(width, self.gates).area_gates
+        """Area of one *width*-bit register (memoized per shape).
+
+        The allocation stage asks for the same handful of register and
+        multiplexer shapes on every sweep point, so both storage costs are
+        cached alongside the functional-unit areas.
+        """
+        key = ("reg", width)
+        cached = self._storage_area_cache.get(key)
+        if cached is None:
+            cached = build_register(width, self.gates).area_gates
+            self._storage_area_cache[key] = cached
+        return cached
 
     def multiplexer_area(self, fan_in: int, width: int) -> float:
         if fan_in <= 1:
             return 0.0
-        return build_multiplexer(fan_in, width, self.gates).area_gates
+        key = (fan_in, width)
+        cached = self._storage_area_cache.get(key)
+        if cached is None:
+            cached = build_multiplexer(fan_in, width, self.gates).area_gates
+            self._storage_area_cache[key] = cached
+        return cached
 
     def controller_area(self, states: int, control_signals: int) -> float:
         """Linear FSM controller cost model."""

@@ -50,6 +50,19 @@ class TestRun:
         assert run_cli("run", "--spec-file", str(spec_file), "-l", "1", "--json") == 0
         assert json.loads(capsys.readouterr().out)["name"] == "tiny"
 
+    def test_run_equivalence_flags(self, capsys):
+        assert (
+            run_cli(
+                "run", "motivational", "-l", "3", "-m", "fragmented",
+                "--check-equivalence", "--equivalence-vectors", "5",
+                "--equivalence-seed", "99", "--json",
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["equivalent"] is True
+        assert report["equivalence_vectors"] > 5  # randoms + corner set
+
     def test_run_rejects_unknown_mode(self, capsys):
         assert run_cli("run", "motivational", "-l", "3", "-m", "warp") == 2
         assert "warp" in capsys.readouterr().err

@@ -179,6 +179,49 @@ class TestWorkloadResolution:
         assert spec.name == "tiny"
 
 
+class TestEquivalenceOptions:
+    def test_seed_and_vectors_round_trip(self):
+        config = FlowConfig(
+            latency=3, check_equivalence=True, equivalence_vectors=7,
+            equivalence_seed=42,
+        )
+        assert FlowConfig.from_dict(config.to_dict()) == config
+
+    def test_seed_and_vectors_change_content_hash(self):
+        base = FlowConfig(latency=3, workload="motivational")
+        assert base.content_hash() != base.replace(
+            equivalence_seed=1
+        ).content_hash()
+        assert base.content_hash() != base.replace(
+            equivalence_vectors=99
+        ).content_hash()
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(ConfigError):
+            FlowConfig(latency=3, equivalence_seed="lucky")
+        with pytest.raises(ConfigError):
+            FlowConfig(latency=3, equivalence_seed=True)
+
+    def test_seed_reaches_the_equivalence_check(self):
+        from repro.api import Pipeline
+
+        artifact = Pipeline().run(
+            FlowConfig(
+                latency=3,
+                mode="fragmented",
+                workload="motivational",
+                check_equivalence=True,
+                equivalence_vectors=5,
+                equivalence_seed=77,
+            ),
+            use_cache=False,
+        )
+        equivalence = artifact.transform_result.equivalence
+        assert equivalence is not None and equivalence.equivalent
+        # 5 randoms plus the corner set.
+        assert equivalence.vectors_checked > 5
+
+
 class TestValidationFlags:
     def test_validate_flags_round_trip(self):
         config = FlowConfig(latency=3, validate_input=False, validate_output=False)

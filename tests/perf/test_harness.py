@@ -7,6 +7,7 @@ import pytest
 from repro.api.cli import main
 from repro.perf import (
     PIPELINE_STAGES,
+    check_min_speedups,
     check_regressions,
     compute_speedups,
     format_bench_text,
@@ -14,6 +15,7 @@ from repro.perf import (
     run_benchmarks,
     time_stages,
     time_sweep,
+    time_verification,
     write_bench,
 )
 
@@ -31,6 +33,21 @@ class TestTimeStages:
     def test_rejects_zero_repeats(self):
         with pytest.raises(ValueError):
             time_stages("motivational", 3, repeats=0)
+
+
+class TestTimeVerification:
+    def test_reports_oracle_metrics(self):
+        metrics = time_verification("motivational", 3, repeats=1)
+        assert metrics["equivalence_s"] > 0.0
+        assert metrics["elaborate_s"] > 0.0
+        assert metrics["equivalence_vectors"] > 100  # randoms + corner set
+        assert metrics["equivalence_vectors_per_s"] == pytest.approx(
+            metrics["equivalence_vectors"] / metrics["equivalence_s"]
+        )
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_verification("motivational", 3, repeats=0)
 
 
 class TestTimeSweep:
@@ -72,6 +89,15 @@ class TestReporting:
         with pytest.raises(ValueError):
             check_regressions(self.BASE, self.BASE, max_regression=0.0)
 
+    def test_check_regressions_ignores_sub_floor_noise(self):
+        base = {"stages": {"w": {"transform": 0.00001}}, "sweeps": {}}
+        noisy = {"stages": {"w": {"transform": 0.00003}}, "sweeps": {}}
+        # 3x slower but still microseconds: not a regression.
+        assert check_regressions(base, noisy, max_regression=2.0) == []
+        # A real slide back over the floor is still caught.
+        slow = {"stages": {"w": {"transform": 0.002}}, "sweeps": {}}
+        assert len(check_regressions(base, slow, max_regression=2.0)) == 1
+
     def test_write_and_load_round_trip(self, tmp_path):
         path = tmp_path / "BENCH_sched.json"
         current = {"stages": {"w": {"total": 0.1}}, "sweeps": {"s": 0.5}}
@@ -89,6 +115,63 @@ class TestReporting:
 
     def test_load_bench_missing_file(self, tmp_path):
         assert load_bench(tmp_path / "nope.json") is None
+
+    def test_flatten_includes_verify_seconds_only(self):
+        measurement = {
+            "stages": {},
+            "sweeps": {},
+            "verify": {
+                "w": {
+                    "equivalence_s": 0.5,
+                    "elaborate_s": 0.25,
+                    "equivalence_vectors": 107.0,
+                    "equivalence_vectors_per_s": 214.0,
+                }
+            },
+        }
+        current = {
+            "stages": {},
+            "sweeps": {},
+            "verify": {
+                "w": {
+                    "equivalence_s": 0.05,
+                    "elaborate_s": 0.05,
+                    "equivalence_vectors": 107.0,
+                    "equivalence_vectors_per_s": 2140.0,
+                }
+            },
+        }
+        speedups = compute_speedups(measurement, current)
+        assert speedups["verify/w/equivalence_s"] == pytest.approx(10.0)
+        assert speedups["verify/w/elaborate_s"] == pytest.approx(5.0)
+        # Counts and bigger-is-better throughput stay out of the flat view.
+        assert not any("vectors" in key for key in speedups)
+
+    def test_history_accumulates_across_writes(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        first = {"stages": {"w": {"total": 0.1}}, "sweeps": {},
+                 "meta": {"timestamp": "t1"}}
+        second = {"stages": {"w": {"total": 0.05}}, "sweeps": {},
+                  "meta": {"timestamp": "t2"}}
+        write_bench(path, first)
+        payload = write_bench(path, second, label="pr3")
+        assert [entry["timestamp"] for entry in payload["history"]] == ["t1", "t2"]
+        assert payload["history"][-1]["label"] == "pr3"
+        assert payload["history"][-1]["flat"]["w/total"] == pytest.approx(0.05)
+        # History survives the round trip through the file.
+        assert load_bench(path)["history"] == payload["history"]
+
+    def test_check_min_speedups(self):
+        current = {"stages": {"w": {"allocate": 0.05}}, "sweeps": {}}
+        baseline = {"stages": {"w": {"allocate": 0.2}}, "sweeps": {}}
+        assert check_min_speedups(baseline, current, {"w/allocate": 2.0}) == []
+        complaints = check_min_speedups(baseline, current, {"w/allocate": 8.0})
+        assert len(complaints) == 1 and "w/allocate" in complaints[0]
+        # A missing key is a failed gate, not a silently passing one.
+        complaints = check_min_speedups(baseline, current, {"w/nope": 2.0})
+        assert len(complaints) == 1
+        with pytest.raises(ValueError):
+            check_min_speedups(baseline, current, {"w/allocate": 0.0})
 
     def test_format_bench_text_lists_every_key(self):
         current = {"stages": {"w": {"total": 0.1}}, "sweeps": {"s": 0.5}}
@@ -143,11 +226,22 @@ class TestCliPerf:
         assert payload["baseline"] == anchor
 
     def test_perf_cli_fails_on_regression(self, tmp_path, monkeypatch, capsys):
+        import functools
+
+        import repro.perf
         import repro.perf.harness as harness
+        import repro.perf.report as report
 
         monkeypatch.setattr(harness, "QUICK_STAGE_POINTS", (("chain:2:4", 2),))
         monkeypatch.setattr(harness, "QUICK_SWEEPS", {"mini": ("chain:2:4", "fig4")})
         monkeypatch.setattr(harness, "FIG4_LATENCIES", (2,))
+        # Warm process memos can push the tiny workload's stage times under
+        # the noise floor; disable it so the ratio gate itself is exercised.
+        monkeypatch.setattr(
+            repro.perf,
+            "check_regressions",
+            functools.partial(report.check_regressions, min_seconds=0.0),
+        )
         out = tmp_path / "BENCH_sched.json"
         # An impossible baseline: everything is a >2x regression against it.
         impossible = {
@@ -164,6 +258,33 @@ class TestCliPerf:
         assert code == 1
         assert "perf regression" in capsys.readouterr().err
 
+    def test_perf_cli_min_speedup_gate(self, tmp_path, monkeypatch, capsys):
+        import repro.perf.harness as harness
+
+        monkeypatch.setattr(harness, "QUICK_STAGE_POINTS", (("chain:2:4", 2),))
+        monkeypatch.setattr(harness, "QUICK_SWEEPS", {"mini": ("chain:2:4", "fig4")})
+        monkeypatch.setattr(harness, "FIG4_LATENCIES", (2,))
+        out = tmp_path / "BENCH_sched.json"
+        # A slow anchor: the required 1e-6x speedup passes, 1e6x fails.
+        slow = {"stages": {"chain:2:4": {"total": 1e6}}, "sweeps": {"mini": 1e6}}
+        out.write_text(json.dumps({"schema": 2, "baseline": slow, "current": slow}))
+        code = main(
+            ["perf", "--quick", "--repeats", "1", "--output", str(out),
+             "--min-speedup", "chain:2:4/total=0.000001"]
+        )
+        assert code == 0
+        out.write_text(json.dumps({"schema": 2, "baseline": slow, "current": slow}))
+        code = main(
+            ["perf", "--quick", "--repeats", "1", "--output", str(out),
+             "--min-speedup", "sweep/mini=1e18"]
+        )
+        assert code == 1
+        assert "perf speedup gate" in capsys.readouterr().err
+
+    def test_perf_cli_rejects_malformed_min_speedup(self, tmp_path):
+        code = main(["perf", "--quick", "--min-speedup", "nonsense"])
+        assert code == 2
+
 
 class TestRunBenchmarks:
     def test_quick_mode_structure(self, monkeypatch):
@@ -173,6 +294,8 @@ class TestRunBenchmarks:
         monkeypatch.setattr(harness, "QUICK_SWEEPS", {"mini": ("chain:2:4", "fig4")})
         monkeypatch.setattr(harness, "FIG4_LATENCIES", (2, 3))
         result = run_benchmarks(quick=True, repeats=1)
-        assert set(result) == {"stages", "sweeps", "meta"}
+        assert set(result) == {"stages", "sweeps", "verify", "meta"}
         assert "chain:2:4" in result["stages"]
+        assert "chain:2:4" in result["verify"]
+        assert result["verify"]["chain:2:4"]["equivalence_s"] > 0.0
         assert result["meta"]["quick"] is True

@@ -1,0 +1,123 @@
+"""Lane-packed batch netlist evaluation and the shared levelisation cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TransformOptions, transform
+from repro.rtl import (
+    GateKind,
+    Netlist,
+    NetlistError,
+    NetlistSimulator,
+    build_ripple_adder,
+    elaborate,
+    levelised_order,
+    nanosecond_delay_model,
+)
+from repro.simulation import Interpreter, stimulus
+from repro.workloads import ALL_WORKLOADS
+
+
+def _adder_netlist(width):
+    netlist = Netlist("adder")
+    a_bits = netlist.add_input_bus("a", width)
+    b_bits = netlist.add_input_bus("b", width)
+    adder = build_ripple_adder(netlist, a_bits, b_bits)
+    netlist.mark_output_bus(adder.sum_bits)
+    return netlist, adder
+
+
+class TestBatchEvaluation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=st.lists(st.integers(0, 255), min_size=1, max_size=40),
+        b=st.lists(st.integers(0, 255), min_size=1, max_size=40),
+    )
+    def test_batch_adder_matches_scalar_runs(self, a, b):
+        lanes = min(len(a), len(b))
+        a, b = a[:lanes], b[:lanes]
+        netlist, adder = _adder_netlist(8)
+        simulator = NetlistSimulator(netlist)
+        batch = simulator.run_bus_batch({"a": a, "b": b})
+        sums = batch.value_of_bus(adder.sum_bits)
+        for lane in range(lanes):
+            scalar = simulator.run_bus({"a": a[lane], "b": b[lane]})
+            assert sums[lane] == scalar.value_of_bus(adder.sum_bits)
+            assert sums[lane] == (a[lane] + b[lane]) & 0xFF
+
+    def test_batch_arrivals_match_scalar(self):
+        netlist, adder = _adder_netlist(4)
+        simulator = NetlistSimulator(netlist, nanosecond_delay_model())
+        scalar = simulator.run_bus({"a": 3, "b": 5})
+        batch = simulator.run_bus_batch({"a": [3, 9], "b": [5, 1]})
+        assert batch.arrivals == scalar.arrivals
+
+    def test_batch_lane_values_of_single_net(self):
+        netlist = Netlist("not")
+        a = netlist.add_input("a")
+        out = netlist.mark_output(netlist.not_gate(a))
+        result = NetlistSimulator(netlist).run_batch({a: 0b0101}, lanes=4)
+        assert result.lane_values(out) == [0, 1, 0, 1]
+
+    def test_batch_rejects_missing_input(self):
+        netlist, _adder = _adder_netlist(2)
+        with pytest.raises(NetlistError):
+            NetlistSimulator(netlist).run_batch({}, lanes=2)
+
+    def test_batch_rejects_mismatched_bus_lanes(self):
+        netlist, _adder = _adder_netlist(2)
+        with pytest.raises(NetlistError):
+            NetlistSimulator(netlist).run_bus_batch({"a": [1, 2], "b": [3]})
+
+    def test_batch_rejects_zero_lanes(self):
+        netlist, _adder = _adder_netlist(2)
+        with pytest.raises(NetlistError):
+            NetlistSimulator(netlist).run_batch({}, lanes=0)
+
+    def test_elaborated_design_batch_matches_interpreter(self):
+        spec = ALL_WORKLOADS["motivational"]()
+        transformed = transform(
+            spec, 3, TransformOptions(check_equivalence=False)
+        ).transformed
+        design = elaborate(transformed)
+        simulator = NetlistSimulator(design.netlist)
+        vectors = stimulus(transformed, random_count=10, seed=5)
+        bus_values = {
+            port.name: [
+                port.type.to_unsigned_bits(vector[port.name]) for vector in vectors
+            ]
+            for port in transformed.inputs()
+        }
+        batch = simulator.run_bus_batch(bus_values)
+        interpreter = Interpreter(transformed)
+        for port in transformed.outputs():
+            nets = design.output_nets(port)
+            lane_values = batch.value_of_bus(nets)
+            for lane, vector in enumerate(vectors):
+                expected = interpreter.run(vector).final_state[port.name]
+                assert lane_values[lane] == expected
+
+
+class TestLevelisationCache:
+    def test_shared_across_simulators(self):
+        netlist, _adder = _adder_netlist(6)
+        first = NetlistSimulator(netlist)
+        second = NetlistSimulator(netlist, nanosecond_delay_model())
+        assert first._order is second._order
+
+    def test_invalidated_by_new_gates(self):
+        netlist, _adder = _adder_netlist(2)
+        order, _consumers = levelised_order(netlist)
+        extra = netlist.add_input("extra")
+        netlist.mark_output(netlist.not_gate(extra))
+        new_order, _ = levelised_order(netlist)
+        assert new_order is not order
+        assert len(new_order) == len(order) + 1
+
+    def test_cycle_detection_still_raises(self):
+        netlist = Netlist("cycle")
+        a = netlist.new_net("a")
+        b = netlist.add_gate(GateKind.NOT, (a,))
+        netlist.add_gate(GateKind.NOT, (b,), output=a)
+        with pytest.raises(NetlistError):
+            levelised_order(netlist)

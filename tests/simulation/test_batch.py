@@ -1,0 +1,158 @@
+"""The lane-packed batch engine is bit-identical to the scalar interpreter."""
+
+import pytest
+from hypothesis import example, given, settings, strategies as st
+
+from repro.core import TransformOptions, transform
+from repro.ir.builder import SpecBuilder
+from repro.ir.operations import OpKind
+from repro.simulation import (
+    BatchInterpreter,
+    Interpreter,
+    SimulationError,
+    check_equivalence,
+    pack_lanes,
+    simulate_batch,
+    stimulus,
+    unpack_planes,
+)
+from repro.simulation.equivalence import BATCH_CHUNK_LANES
+from repro.workloads import ALL_WORKLOADS, GeneratorConfig, random_specification
+
+
+def assert_batch_matches_scalar(specification, vectors):
+    """Every lane of the batch result equals one scalar interpreter run."""
+    scalar = Interpreter(specification)
+    batch = BatchInterpreter(specification).run_batch(vectors)
+    unpacked = {
+        name: unpack_planes(planes, len(vectors))
+        for name, planes in batch.final_planes.items()
+    }
+    for lane, vector in enumerate(vectors):
+        run = scalar.run(vector)
+        for name, bits in run.final_state.items():
+            assert unpacked[name][lane] == bits, (
+                f"{specification.name}: variable {name} lane {lane}"
+            )
+        for name, value in run.outputs.items():
+            assert batch.output_lanes(name)[lane] == value, (
+                f"{specification.name}: output {name} lane {lane}"
+            )
+
+
+class TestPlanePacking:
+    def test_pack_unpack_round_trip(self):
+        values = [0, 1, 5, 7, 2]
+        planes = pack_lanes(values, 3)
+        assert unpack_planes(planes, len(values)) == values
+
+    def test_pack_truncates_to_width(self):
+        assert unpack_planes(pack_lanes([0b1101], 2), 1) == [0b01]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_matches_scalar_on_workload(self, name):
+        spec = ALL_WORKLOADS[name]()
+        vectors = stimulus(spec, random_count=25, seed=11)
+        assert_batch_matches_scalar(spec, vectors)
+
+    @pytest.mark.parametrize("name", ["motivational", "fig3", "adpcm_iaq"])
+    def test_matches_scalar_on_transformed_workload(self, name):
+        spec = ALL_WORKLOADS[name]()
+        result = transform(spec, 3, TransformOptions(check_equivalence=False))
+        vectors = stimulus(spec, random_count=25, seed=11)
+        assert_batch_matches_scalar(result.transformed, vectors)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    @example(seed=263)  # the pinned falsifier family of the e2e suite
+    def test_matches_scalar_on_generated_specifications(self, seed):
+        config = GeneratorConfig(
+            operation_count=8, input_count=3, maximum_width=10, mul_weight=0.15
+        )
+        spec = random_specification(seed, config)
+        vectors = stimulus(spec, random_count=12, seed=seed)
+        assert_batch_matches_scalar(spec, vectors)
+
+    def test_single_vector_batch(self):
+        spec = ALL_WORKLOADS["motivational"]()
+        vectors = stimulus(spec, random_count=1, seed=3)[:1]
+        assert_batch_matches_scalar(spec, vectors)
+
+
+class TestValidation:
+    def test_rejects_empty_vector_list(self):
+        spec = ALL_WORKLOADS["motivational"]()
+        with pytest.raises(SimulationError):
+            BatchInterpreter(spec).run_batch([])
+
+    def test_rejects_unknown_input_with_lane_index(self):
+        spec = ALL_WORKLOADS["motivational"]()
+        good = stimulus(spec, random_count=1, seed=3)[0]
+        bad = dict(good)
+        bad["no_such_port"] = 1
+        with pytest.raises(SimulationError, match="vector 1"):
+            BatchInterpreter(spec).run_batch([good, bad])
+
+    def test_rejects_out_of_range_value(self):
+        spec = ALL_WORKLOADS["motivational"]()
+        good = stimulus(spec, random_count=1, seed=3)[0]
+        bad = dict(good)
+        bad[next(iter(bad))] = 1 << 40
+        with pytest.raises(SimulationError):
+            simulate_batch(spec, [bad])
+
+
+def _pair_with_wrong_candidate():
+    """Two same-interface specs differing on exactly one output bit pattern."""
+    reference = SpecBuilder("ref")
+    a = reference.input("a", 4)
+    out = reference.output("y", 4)
+    reference.binary(OpKind.ADD, a, a, dest=out, name="sum")
+    wrong = SpecBuilder("cand")
+    a2 = wrong.input("a", 4)
+    out2 = wrong.output("y", 4)
+    wrong.binary(OpKind.SUB, a2, a2, dest=out2, name="sum")  # y = 0, not 2a
+    return reference.build(), wrong.build()
+
+
+class TestBatchEquivalenceEngine:
+    def test_reports_match_scalar_engine_on_equivalent_pair(self):
+        spec = ALL_WORKLOADS["fig3"]()
+        result = transform(spec, 3, TransformOptions(check_equivalence=False))
+        batch = check_equivalence(spec, result.transformed, random_count=40)
+        scalar = check_equivalence(
+            spec, result.transformed, random_count=40, engine="scalar"
+        )
+        assert batch.equivalent and scalar.equivalent
+        assert batch.vectors_checked == scalar.vectors_checked
+
+    def test_mismatch_reports_identical_to_scalar_engine(self):
+        reference, candidate = _pair_with_wrong_candidate()
+        batch = check_equivalence(reference, candidate, random_count=30, stop_at=5)
+        scalar = check_equivalence(
+            reference, candidate, random_count=30, stop_at=5, engine="scalar"
+        )
+        assert not batch.equivalent
+        assert batch.vectors_checked == scalar.vectors_checked
+        assert [
+            (m.inputs, m.output, m.reference_value, m.candidate_value)
+            for m in batch.mismatches
+        ] == [
+            (m.inputs, m.output, m.reference_value, m.candidate_value)
+            for m in scalar.mismatches
+        ]
+
+    def test_chunked_run_spans_multiple_chunks(self):
+        spec = ALL_WORKLOADS["motivational"]()
+        result = transform(spec, 3, TransformOptions(check_equivalence=False))
+        count = BATCH_CHUNK_LANES + 40
+        report = check_equivalence(spec, result.transformed, random_count=count)
+        assert report.equivalent
+        assert report.vectors_checked > BATCH_CHUNK_LANES
+
+    def test_rejects_unknown_engine(self):
+        spec = ALL_WORKLOADS["motivational"]()
+        with pytest.raises(ValueError):
+            check_equivalence(spec, spec, engine="quantum")
