@@ -19,15 +19,20 @@ import pytest
 
 from conftest import record_rows
 from repro.analysis import latency_sweep
+from repro.api import builtin_study
+
+#: The built-in Fig. 4 study declaration: three chained 16-bit additions
+#: (the paper's running example, whose conventional schedule saturates
+#: early) over the 3..15 latency axis.  The benchmark derives its workload
+#: and axis from it so sweeps, the CLI and workspaces share one matrix.
+_FIG4_STUDY = builtin_study("fig4-chain")
 
 #: The latency axis of Fig. 4.
-FIG4_LATENCIES = list(range(3, 16))
+FIG4_LATENCIES = sorted({point.config.latency for point in _FIG4_STUDY.points()})
 
-#: A fixed behavioural description whose conventional schedule saturates
-#: early: three chained 16-bit additions, the paper's running example,
-#: spelled as a serializable parametric workload so sweep points can run in
-#: any worker pool.
-FIG4_WORKLOAD = "chain:3:16"
+#: The sweep subject as a serializable parametric workload, so sweep points
+#: can run in any worker pool.
+FIG4_WORKLOAD = _FIG4_STUDY.points()[0].config.workload
 
 
 def _run_sweep(max_workers=4, executor="thread"):

@@ -1,0 +1,56 @@
+"""Experiment E6 -- persistent studies: workspace-backed Fig. 4 regeneration.
+
+Runs the built-in ``fig4-chain`` study (the Fig. 4 experiment as a
+declarative matrix) into an on-disk workspace, then regenerates it from the
+store and checks the resumable-experiment contract:
+
+* the study rows are identical to what :func:`repro.analysis.latency_sweep`
+  (the hand-driven Fig. 4 path) computes for the same axis;
+* the second run loads every point from the content-addressed store --
+  zero recomputation -- and is dramatically faster than the cold run;
+* an interrupted run (cooperative cancellation after a few points) resumes
+  with exactly the already-completed points loaded, not recomputed.
+"""
+
+import pytest
+
+from conftest import record_rows
+from repro.analysis import latency_sweep
+from repro.api import Workspace, builtin_study
+
+
+@pytest.mark.benchmark(group="study")
+def test_fig4_study_matches_latency_sweep_and_resumes(benchmark, tmp_path):
+    study = builtin_study("fig4-chain")
+    workspace = Workspace(tmp_path / "ws")
+
+    cold = benchmark.pedantic(
+        lambda: workspace.run_study(study), rounds=1, iterations=1
+    )
+    assert cold.complete and cold.ran == len(study) and cold.loaded == 0
+
+    resumed = workspace.run_study(study)
+    assert resumed.complete and resumed.loaded == len(study) and resumed.ran == 0
+
+    rows = workspace.rows(study)
+    record_rows(benchmark, "Fig. 4 via persistent study", rows)
+
+    latencies = sorted({point.config.latency for point in study.points()})
+    workload = study.points()[0].config.workload
+    sweep = latency_sweep(workload, latencies)
+    assert rows == sweep.as_rows()
+
+
+@pytest.mark.benchmark(group="study")
+def test_interrupted_study_resumes_without_recompute(tmp_path):
+    study = builtin_study("fig4-chain")
+    workspace = Workspace(tmp_path / "ws")
+
+    first = workspace.run_study(study, max_points=3)
+    assert first.ran == 3
+    assert first.cancelled == len(study) - 3
+
+    second = workspace.run_study(study)
+    assert second.complete
+    assert second.loaded == 3
+    assert second.ran == len(study) - 3

@@ -15,13 +15,17 @@ import pytest
 
 from conftest import record_rows
 from repro.analysis import compare_flows
+from repro.api import builtin_study
+from repro.hls import FlowMode
 from repro.workloads import CLASSICAL_BENCHMARKS, TABLE2_LATENCIES
 
-#: (benchmark, latency) pairs exactly as in Table II.
+#: (benchmark, latency) pairs exactly as in Table II, derived from the
+#: built-in ``table2`` study declaration (one pair per fragmented point) so
+#: the benchmark, the CLI and persistent workspaces share one point list.
 TABLE2_POINTS = [
-    (name, latency)
-    for name in ("elliptic", "diffeq", "iir4", "fir2")
-    for latency in TABLE2_LATENCIES[name]
+    (point.config.workload, point.config.latency)
+    for point in builtin_study("table2").points()
+    if point.config.mode is FlowMode.FRAGMENTED
 ]
 
 

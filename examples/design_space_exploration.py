@@ -1,71 +1,92 @@
 """Domain example: latency / clock-period design-space exploration.
 
-Sweeps the circuit latency of a behavioural description (the paper's Fig. 4
-experiment) through the parallel :class:`repro.api.SweepEngine`, then
-compares adder architectures by fanning one :class:`repro.api.FlowConfig`
-per (style, flow) across the same engine -- the kind of latency-vs-clock
-trade-off chart an RTL architect would use to pick an operating point.
+Declares the paper's Fig. 4 experiment as a :class:`repro.api.Study` (one
+declarative matrix instead of a hand-built config list), runs it against an
+on-disk :class:`repro.api.Workspace` -- so re-running the script resumes
+from the persistent store and regenerates the table with **zero
+recomputation** -- and then compares adder architectures by expanding a
+second ad-hoc study grid across the parallel :class:`repro.api.SweepEngine`.
 Everything is printed as plain text (no plotting dependencies); the ASCII
 chart mirrors Fig. 4.
 
 Run with::
 
     python examples/design_space_exploration.py
+
+Run it twice: the second invocation loads every Fig. 4 point from the
+workspace store under ``.repro-workspace/``.
 """
 
 import time
+from pathlib import Path
 
 from repro.analysis import change_pct, format_records, latency_sweep, paired_reports
-from repro.api import FlowConfig, Pipeline, ResultCache, SweepEngine
+from repro.api import (
+    Pipeline,
+    ResultCache,
+    Study,
+    SweepEngine,
+    Workspace,
+    builtin_study,
+)
 from repro.techlib import AdderStyle
 
-#: Fig. 4's subject as a serializable parametric workload: three chained
-#: 16-bit additions.
-WORKLOAD = "chain:3:16"
+#: Workspace directory of this example (persists between invocations).
+WORKSPACE_DIR = Path(__file__).resolve().parent / ".repro-workspace"
 
 
 def main() -> None:
-    latencies = range(3, 16)
+    # Fig. 4 as a named, persistent study: three chained 16-bit additions
+    # over the 3..15 latency axis, conventional vs fragmented at each point.
+    study = builtin_study("fig4-chain")
+    workspace = Workspace(WORKSPACE_DIR)
 
-    # The serial reference and the 4-worker parallel run must agree point
-    # for point; only the wall-clock time may differ.
     started = time.perf_counter()
-    sweep = latency_sweep(WORKLOAD, latencies)
-    serial_s = time.perf_counter() - started
-    started = time.perf_counter()
-    parallel = latency_sweep(WORKLOAD, latencies, max_workers=4, executor="thread")
-    parallel_s = time.perf_counter() - started
-    assert parallel.points == sweep.points
+    result = workspace.run_study(
+        study,
+        max_workers=4,
+        progress=lambda point, done, total: print(
+            f"  [{done:2d}/{total}] {point.point.point_id}: {point.source}"
+        ),
+    )
+    elapsed = time.perf_counter() - started
+    print(
+        f"\nstudy {study.name}: {result.loaded} points loaded from "
+        f"{workspace.root.name}/, {result.ran} computed, in {elapsed:.3f}s"
+        + (" (re-run this script to see a zero-compute resume)" if result.ran else "")
+    )
 
-    print("Fig. 4 reproduction: cycle length of the schedules obtained from the")
+    rows = workspace.rows(study)
+    print("\nFig. 4 reproduction: cycle length of the schedules obtained from the")
     print("original and the optimized specification, as the latency grows.\n")
-    print(format_records(sweep.as_rows(), title="cycle length vs latency"))
+    print(format_records(rows, title="cycle length vs latency"))
+
+    # The study rows and the classic hand-driven sweep agree point for point.
+    latencies = sorted({point.config.latency for point in study.points()})
+    workload = study.points()[0].config.workload
+    sweep = latency_sweep(workload, latencies)
+    assert rows == sweep.as_rows()
     print()
     print(sweep.render_ascii(width=48))
     print(
         f"\ndivergence of the two curves over the sweep: "
         f"{sweep.divergence():.2f} ns (positive = curves separate, as in Fig. 4)"
     )
-    print(
-        f"sweep wall-clock: serial {serial_s:.3f}s, 4 workers {parallel_s:.3f}s "
-        f"(speedup x{serial_s / max(parallel_s, 1e-9):.2f}, identical results)"
-    )
 
     # Secondary exploration: how the adder architecture moves both curves.
-    # One config per (style, flow); the engine fans them out together.
+    # An ad-hoc study grid -- styles x flows at latency 6 -- fanned across
+    # the streaming engine.
     print("\nAdder-architecture exploration at latency 6:")
-    configs = []
-    for style in AdderStyle:
-        for mode in ("conventional", "fragmented"):
-            configs.append(
-                FlowConfig(
-                    latency=6, mode=mode, workload=WORKLOAD, adder_style=style
-                )
-            )
+    exploration = Study(
+        "adder-exploration", base={"workload": workload, "latency": 6}
+    ).grid(
+        adder_style=[style.value for style in AdderStyle],
+        mode=["conventional", "fragmented"],
+    )
     engine = SweepEngine(
         Pipeline(cache=ResultCache()), max_workers=4, executor="thread"
     )
-    reports = engine.reports(configs)
+    reports = engine.reports(exploration.configs())
     rows = []
     for style, (original, optimized) in zip(AdderStyle, paired_reports(reports)):
         rows.append(

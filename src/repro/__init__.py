@@ -82,11 +82,14 @@ from .api import (
     Pipeline,
     ResultCache,
     RunArtifact,
+    Study,
     SweepEngine,
     SweepOutcome,
+    Workspace,
+    builtin_study,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdderStyle",
@@ -102,13 +105,16 @@ __all__ = [
     "RunArtifact",
     "SpecBuilder",
     "Specification",
+    "Study",
     "SweepEngine",
     "SweepOutcome",
+    "Workspace",
     "SynthesisResult",
     "TechnologyLibrary",
     "TransformOptions",
     "TransformResult",
     "assert_equivalent",
+    "builtin_study",
     "check_equivalence",
     "default_library",
     "parse_specification",

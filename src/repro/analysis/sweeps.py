@@ -115,23 +115,22 @@ def sweep_configs(
     workload: Optional[str] = None,
     transform_options: Optional[TransformOptions] = None,
 ) -> List[FlowConfig]:
-    """The (conventional, fragmented) config pair of every latency point."""
-    options = transform_options or TransformOptions(check_equivalence=False)
-    configs: List[FlowConfig] = []
-    for latency in latencies:
-        common = dict(
-            latency=latency,
-            workload=workload,
-            check_equivalence=options.check_equivalence,
-            equivalence_vectors=options.equivalence_vectors,
-            equivalence_seed=options.equivalence_seed,
-            chained_bits_per_cycle=options.chained_bits_override,
-            validate_input=options.validate_input,
-            validate_output=options.validate_output,
-        )
-        configs.append(FlowConfig(mode="conventional", label="original", **common))
-        configs.append(FlowConfig(mode="fragmented", label="optimized", **common))
-    return configs
+    """The (conventional, fragmented) config pair of every latency point.
+
+    Thin wrapper over the declarative Fig. 4 study: the config axis is the
+    expansion of :func:`repro.api.study.fig4_study`, so hand-built sweeps,
+    the CLI and persistent workspaces all share one declaration.  An empty
+    latency axis yields an empty list, as it always has (a study proper
+    rejects empty expansions).
+    """
+    from ..api.study import fig4_study
+
+    latencies = list(latencies)
+    if not latencies:
+        return []
+    return fig4_study(
+        workload, latencies=latencies, transform_options=transform_options
+    ).configs()
 
 
 def paired_reports(reports: Sequence[Dict[str, float]]):

@@ -8,9 +8,24 @@ lower-level :mod:`repro.core` / :mod:`repro.hls` machinery:
   (``parse -> validate -> transform -> schedule -> time -> allocate ->
   report``);
 * :class:`ResultCache` -- content-hash keyed memory + disk result cache;
-* :class:`SweepEngine` -- fans configs across thread/process pools with
-  deterministic result ordering;
+* :class:`SweepEngine` -- fans configs across thread/process pools;
+  streaming ``submit()``/``as_completed()`` with progress callbacks and
+  cooperative cancellation, plus the deterministic batch ``run()``;
+* :class:`Study` -- declarative experiment matrix (grid/list/zip expansions
+  over config fields, stable content-hash point ids, the paper's tables and
+  sweeps as named built-ins -- see :func:`builtin_study`);
+* :class:`Workspace` -- on-disk project root (manifest + content-addressed
+  artifact store) that makes studies persistent and resumable;
 * :mod:`repro.api.cli` -- the ``python -m repro`` command-line front end.
+
+Study quick start::
+
+    from repro.api import Workspace, builtin_study
+
+    workspace = Workspace(".repro-workspace")
+    result = workspace.run_study(builtin_study("table2"), max_workers=4)
+    print(result.summary())          # {'loaded': ..., 'ran': ...}
+    rows = workspace.rows(builtin_study("table2"))  # zero recomputation
 
 Quick start::
 
@@ -27,7 +42,13 @@ Quick start::
                            for l in range(3, 16)])
 """
 
-from .artifacts import PassRecord, PipelineStateError, RunArtifact, build_report
+from .artifacts import (
+    REPORT_SCHEMA_VERSION,
+    PassRecord,
+    PipelineStateError,
+    RunArtifact,
+    build_report,
+)
 from .cache import ResultCache
 from .config import (
     ConfigError,
@@ -47,27 +68,57 @@ from .passes import (
     validate_pass,
 )
 from .pipeline import Pipeline
-from .sweep import SweepEngine, SweepOutcome
+from .study import (
+    BUILTIN_STUDIES,
+    Study,
+    StudyError,
+    StudyPoint,
+    available_studies,
+    builtin_study,
+    fig4_study,
+    table_study,
+)
+from .sweep import SweepEngine, SweepOutcome, SweepRun
+from .workspace import (
+    PointResult,
+    StudyRunResult,
+    Workspace,
+    WorkspaceError,
+)
 
 __all__ = [
+    "BUILTIN_STUDIES",
     "DEFAULT_PASSES",
     "ConfigError",
     "FlowConfig",
     "PassRecord",
     "Pipeline",
     "PipelineStateError",
+    "PointResult",
+    "REPORT_SCHEMA_VERSION",
     "ResultCache",
     "RunArtifact",
+    "Study",
+    "StudyError",
+    "StudyPoint",
+    "StudyRunResult",
     "SweepEngine",
     "SweepOutcome",
+    "SweepRun",
+    "Workspace",
+    "WorkspaceError",
     "allocate_pass",
+    "available_studies",
     "available_workloads",
     "build_report",
+    "builtin_study",
+    "fig4_study",
     "parse_pass",
     "report_pass",
     "resolve_workload",
     "schedule_pass",
     "specification_fingerprint",
+    "table_study",
     "time_pass",
     "transform_pass",
     "validate_pass",

@@ -26,6 +26,16 @@ from ..techlib.library import TechnologyLibrary
 from .config import FlowConfig
 
 
+#: Version of the flat metric-report row layout (the ``report`` slot).
+#: Bump whenever a key is added, removed or changes meaning: the version is
+#: stamped into every report (``schema_version``), into the
+#: :class:`~repro.api.cache.ResultCache` disk keys and into every
+#: :class:`~repro.api.workspace.Workspace` row, so artifacts written by an
+#: older layout are invalidated instead of silently reloaded.
+#: Version 2 added the ``schema_version`` field itself.
+REPORT_SCHEMA_VERSION = 2
+
+
 class PipelineStateError(RuntimeError):
     """Raised when a pass reads a slot no earlier pass has filled."""
 
@@ -112,6 +122,7 @@ def build_report(artifact: RunArtifact) -> Dict[str, Any]:
     synthesis = artifact.require("synthesis")
     config = artifact.config
     report: Dict[str, Any] = {
+        "schema_version": REPORT_SCHEMA_VERSION,
         "name": synthesis.specification.name,
         "workload": config.workload,
         "label": config.label,
@@ -153,6 +164,7 @@ def build_timing_report(artifact: RunArtifact) -> Dict[str, Any]:
     specification = artifact.require("working_specification")
     config = artifact.config
     report: Dict[str, Any] = {
+        "schema_version": REPORT_SCHEMA_VERSION,
         "name": specification.name,
         "workload": config.workload,
         "label": config.label,

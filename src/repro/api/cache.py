@@ -26,7 +26,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Union
 
-from .artifacts import RunArtifact
+from .artifacts import REPORT_SCHEMA_VERSION, RunArtifact
 from .config import FlowConfig
 
 _FORMAT_VERSION = 1
@@ -69,9 +69,12 @@ class ResultCache:
 
         ``spec_fingerprint`` covers in-memory specifications that bypass the
         config source; ``pass_shape`` covers customized/truncated pipelines
-        (different pass lists must never share entries).
+        (different pass lists must never share entries).  The report schema
+        version is stamped into the key, so on-disk entries written by an
+        older report layout miss (and are rewritten) instead of being
+        silently reloaded with stale rows.
         """
-        key = config.content_hash()
+        key = f"rs{REPORT_SCHEMA_VERSION}:{config.content_hash()}"
         if spec_fingerprint:
             key += f":spec={spec_fingerprint}"
         if pass_shape:

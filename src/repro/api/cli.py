@@ -1,6 +1,6 @@
 """``python -m repro`` -- the command-line front end of the flow pipeline.
 
-Five subcommands, all driving the same :mod:`repro.api` objects a Python
+Six subcommands, all driving the same :mod:`repro.api` objects a Python
 caller would use:
 
 * ``repro list-workloads``          -- the registered benchmark specifications;
@@ -8,6 +8,10 @@ caller would use:
 * ``repro sweep <workload>``        -- the Fig. 4 latency sweep, optionally
   parallel (``--workers``/``--executor``);
 * ``repro table table1|table2|table3`` -- reproduce a table of the paper;
+* ``repro study run|status|report|list`` -- persistent, resumable experiment
+  matrices: run a named :class:`~repro.api.study.Study` against an on-disk
+  :class:`~repro.api.workspace.Workspace`, inspect its completion state and
+  regenerate its rows with zero recomputation;
 * ``repro perf``                    -- the performance harness: time the
   pipeline stages and the Fig. 4 sweeps, refresh ``BENCH_sched.json`` and
   optionally fail on regressions (``--max-regression``).
@@ -17,6 +21,8 @@ Examples::
     python -m repro run motivational --latency 3 --mode fragmented
     python -m repro sweep chain:3:16 --latencies 3:15 --workers 4
     python -m repro table table2 --workers 4
+    python -m repro study run table2 --workspace .repro-ws --workers 4
+    python -m repro study report table2 --workspace .repro-ws
     python -m repro list-workloads
     python -m repro perf --quick --max-regression 2.0
 """
@@ -193,6 +199,85 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser.add_argument("--json", action="store_true")
     _add_cache_option(table_parser)
 
+    # -- study ---------------------------------------------------------
+    study_parser = subparsers.add_parser(
+        "study",
+        help="persistent, resumable experiment matrices over a workspace",
+    )
+    study_sub = study_parser.add_subparsers(dest="study_command", required=True)
+
+    study_run = study_sub.add_parser(
+        "run", help="run a named study, resuming from the workspace store"
+    )
+    study_run.add_argument("study", help="study name (see `repro study list`)")
+    study_run.add_argument(
+        "--workspace",
+        "-w",
+        required=True,
+        help="workspace directory (created on demand; holds the manifest "
+        "and the content-addressed result rows)",
+    )
+    study_run.add_argument(
+        "--resume",
+        action="store_true",
+        default=True,
+        help="load completed points from the workspace and run only the "
+        "missing ones (the default; spell it out in scripts for clarity)",
+    )
+    study_run.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore stored rows and recompute every point (rows are "
+        "rewritten as points complete)",
+    )
+    study_run.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help="cooperatively cancel the run after this many executed points "
+        "(loaded points don't count) -- simulates an interruption; a later "
+        "--resume run picks up the remaining points",
+    )
+    study_run.add_argument(
+        "--workers", "-j", type=int, default=None, help="parallel worker count"
+    )
+    study_run.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="worker pool type (default: serial, or thread when --workers > 1)",
+    )
+    study_run.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress lines"
+    )
+    study_run.add_argument("--json", action="store_true")
+
+    study_status = study_sub.add_parser(
+        "status", help="per-point completion state of a study in a workspace"
+    )
+    study_status.add_argument("study")
+    study_status.add_argument("--workspace", "-w", required=True)
+    study_status.add_argument("--json", action="store_true")
+
+    study_report = study_sub.add_parser(
+        "report",
+        help="regenerate a study's rows from stored results only "
+        "(zero recomputation)",
+    )
+    study_report.add_argument("study")
+    study_report.add_argument("--workspace", "-w", required=True)
+    study_report.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="tabulate whatever is stored instead of failing on missing points",
+    )
+    study_report.add_argument("--json", action="store_true")
+
+    study_list = study_sub.add_parser(
+        "list", help="list the built-in study declarations"
+    )
+    study_list.add_argument("--json", action="store_true")
+
     # -- list-workloads ------------------------------------------------
     list_parser = subparsers.add_parser(
         "list-workloads", help="list the registered benchmark specifications"
@@ -336,37 +421,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from ..analysis.sweeps import change_pct, paired_reports, sweep_configs
     from ..analysis.tables import format_records
+    from .study import fig4_study
 
     executor = args.executor
     if executor is None:
         executor = "thread" if (args.workers or 1) > 1 else "serial"
-    # The sweep table reports cycle lengths only, so the points stop after
-    # the timing pass (no allocation) -- same numbers, a fraction of the work.
+    # The sweep is the fig4 study declaration specialized to the CLI's
+    # latency axis and library styles.  Its points stop after the timing
+    # pass (no allocation) -- same numbers, a fraction of the work.
+    study = fig4_study(args.workload, latencies=args.latencies)
     engine = SweepEngine(
         pipeline=_make_pipeline(args.cache_dir),
         max_workers=args.workers,
         executor=executor,
-        stop_after="time",
+        stop_after=study.stop_after,
     )
     configs = [
         config.replace(
             adder_style=args.adder_style, multiplier_style=args.multiplier_style
         )
-        for config in sweep_configs(args.latencies, workload=args.workload)
+        for config in study.configs()
     ]
-    reports = engine.reports(configs)
-    rows = []
-    for original, optimized in paired_reports(reports):
-        rows.append(
-            {
-                "latency": original["latency"],
-                "original_cycle_ns": original["cycle_length_ns"],
-                "optimized_cycle_ns": optimized["cycle_length_ns"],
-                "cycle_saving_pct": change_pct(original, optimized, "cycle_length_ns"),
-            }
-        )
+    rows = study.rows(engine.reports(configs))
     if args.json:
         print(json.dumps(rows, indent=2))
     else:
@@ -378,54 +455,140 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _table_points(which: str) -> List[Any]:
-    from ..workloads import TABLE2_LATENCIES, TABLE3_LATENCIES
-
-    if which == "table1":
-        return [("motivational", 3)]
-    if which == "table2":
-        return [
-            (name, latency)
-            for name, latencies in TABLE2_LATENCIES.items()
-            for latency in latencies
-        ]
-    return [(f"adpcm_{name}", latency) for name, latency in TABLE3_LATENCIES.items()]
-
-
 def _cmd_table(args: argparse.Namespace) -> int:
-    from ..analysis.sweeps import change_pct, paired_reports
     from ..analysis.tables import format_records
+    from .study import builtin_study
 
-    points = _table_points(args.which)
-    configs: List[FlowConfig] = []
-    for name, latency in points:
-        configs.append(FlowConfig(latency=latency, mode="conventional", workload=name))
-        configs.append(FlowConfig(latency=latency, mode="fragmented", workload=name))
+    study = builtin_study(args.which)
     executor = "thread" if (args.workers or 1) > 1 else "serial"
     engine = SweepEngine(
         pipeline=_make_pipeline(args.cache_dir),
         max_workers=args.workers,
         executor=executor,
+        stop_after=study.stop_after,
     )
-    reports = engine.reports(configs)
-    rows = []
-    for original, optimized in paired_reports(reports):
-        rows.append(
-            {
-                "benchmark": original["workload"],
-                "latency": original["latency"],
-                "original_cycle_ns": original["cycle_length_ns"],
-                "optimized_cycle_ns": optimized["cycle_length_ns"],
-                "cycle_saving_pct": change_pct(original, optimized, "cycle_length_ns"),
-                "area_change_pct": -change_pct(original, optimized, "datapath_area"),
-                "original_total_area": original["total_area"],
-                "optimized_total_area": optimized["total_area"],
-            }
-        )
+    rows = study.rows(engine.reports(study.configs()))
     if args.json:
         print(json.dumps(rows, indent=2))
     else:
         print(format_records(rows, title=f"{args.which} reproduction"))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from ..analysis.tables import format_records
+    from .study import StudyError, available_studies, builtin_study
+    from .workspace import Workspace, WorkspaceError
+
+    if args.study_command == "list":
+        entries = [
+            {
+                "study": name,
+                "points": len(study),
+                "description": study.description,
+            }
+            for name, study in sorted(available_studies().items())
+        ]
+        if args.json:
+            print(json.dumps(entries, indent=2))
+        else:
+            print(format_records(entries, title="built-in studies"))
+        return 0
+
+    try:
+        study = builtin_study(args.study)
+    except StudyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        # Read-only verbs must not conjure an empty workspace from a typo'd
+        # path; only `study run` creates one.
+        workspace = Workspace(args.workspace, create=args.study_command == "run")
+    except WorkspaceError as error:
+        # Missing, corrupt or newer-schema manifest: an actionable message,
+        # not a traceback (exit 1 -- the command was well-formed).
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.study_command == "status":
+        status = workspace.status(study)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print(
+                format_records(
+                    status["points"],
+                    title=f"{study.name} in {workspace.root} -- "
+                    f"{status['completed']}/{status['total']} points completed",
+                )
+            )
+        return 0
+
+    if args.study_command == "report":
+        try:
+            reports = workspace.reports(study, allow_partial=args.allow_partial)
+        except WorkspaceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if args.allow_partial and len(reports) != len(study):
+            # Partial tables cannot use the paired row builders; show raw rows.
+            rows = [dict(report) for report in reports]
+            title = (
+                f"{study.name} (partial: {len(reports)}/{len(study)} points, "
+                "raw reports)"
+            )
+        else:
+            rows = study.rows(reports)
+            title = f"{study.name} (from workspace store, zero recomputation)"
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(format_records(rows, title=title))
+        return 0
+
+    # -- study run -----------------------------------------------------
+    def progress(result, done, total):
+        if args.quiet or args.json:
+            return
+        state = result.source
+        if state == "run":
+            state = f"ran in {result.elapsed_s:.3f}s"
+        elif state == "store":
+            state = "loaded from store"
+        elif state == "error":
+            state = f"FAILED: {result.error}"
+        print(f"  [{done}/{total}] {result.point.point_id}: {state}")
+
+    result = workspace.run_study(
+        study,
+        resume=args.resume and not args.fresh,
+        max_workers=args.workers,
+        executor=args.executor,
+        progress=progress,
+        max_points=args.max_points,
+    )
+    summary = result.summary()
+    summary["workspace"] = str(workspace.root)
+    if args.json:
+        if result.complete:
+            summary["rows"] = result.rows()
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{study.name}: {summary['total']} points -- "
+            f"{summary['loaded']} loaded, {summary['ran']} ran, "
+            f"{summary['failed']} failed, {summary['cancelled']} cancelled"
+        )
+        if result.complete:
+            print()
+            print(format_records(result.rows(), title=f"{study.name} rows"))
+        else:
+            print(
+                f"study incomplete; re-run `repro study run {study.name} "
+                f"--workspace {workspace.root} --resume` to continue"
+            )
+    if result.failed:
+        return 1
     return 0
 
 
@@ -519,6 +682,16 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+#: The parametric workload families accepted wherever a workload name is
+#: (``repro run``, ``repro sweep``, ``FlowConfig.workload``), beside the
+#: registered benchmark names.
+PARAMETRIC_FAMILIES = {
+    "chain:<n>:<w>": "a chain of <n> chained <w>-bit additions "
+    "(e.g. chain:3:16, the paper's running example)",
+    "tree:<n>:<w>": "a balanced tree of <n> <w>-bit additions (e.g. tree:7:12)",
+}
+
+
 def _cmd_list_workloads(args: argparse.Namespace) -> int:
     entries = []
     for name, factory in sorted(available_workloads().items()):
@@ -532,13 +705,30 @@ def _cmd_list_workloads(args: argparse.Namespace) -> int:
                 "outputs": len(spec.outputs()),
             }
         )
+    spec_text_note = (
+        "inline specifications: pass --spec-file to `repro run`, or set "
+        "FlowConfig(spec_text=...) in the API, to synthesize a behavioural "
+        "description in the textual language instead of a named workload"
+    )
     if args.json:
-        print(json.dumps(entries, indent=2))
+        print(
+            json.dumps(
+                {
+                    "workloads": entries,
+                    "parametric_families": PARAMETRIC_FAMILIES,
+                    "spec_text": spec_text_note,
+                },
+                indent=2,
+            )
+        )
     else:
         from ..analysis.tables import format_records
 
         print(format_records(entries, title="registered workloads"))
-        print("\nparametric families: chain:<n>:<w>, tree:<n>:<w>")
+        print("\nparametric families (usable wherever a workload name is):")
+        for syntax, meaning in PARAMETRIC_FAMILIES.items():
+            print(f"  {syntax:14s} -- {meaning}")
+        print(f"\n{spec_text_note}")
     return 0
 
 
@@ -549,6 +739,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "table": _cmd_table,
+        "study": _cmd_study,
         "list-workloads": _cmd_list_workloads,
         "perf": _cmd_perf,
     }

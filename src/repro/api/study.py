@@ -1,0 +1,441 @@
+"""Declarative experiment matrices over :class:`~repro.api.config.FlowConfig`.
+
+A :class:`Study` describes a whole family of flow runs -- a paper table, a
+latency sweep, an ablation grid -- as *one* declarative object instead of an
+ad-hoc config list.  It starts from a base field dictionary and grows by
+composable expansions:
+
+* :meth:`Study.grid` -- cartesian product over named ``FlowConfig`` fields
+  (the first keyword is the slowest-varying axis);
+* :meth:`Study.cases` -- multiply by an explicit list of per-point override
+  dictionaries (each case may set any config field, including ``label``);
+* :meth:`Study.zipped` -- zip equal-length axes into lockstep cases.
+
+Expansion is lazy and deterministic: :meth:`Study.points` always returns the
+same :class:`StudyPoint` list in the same order, and every point carries a
+**stable id** derived from its config's :meth:`~FlowConfig.content_hash`, so
+a point means the same thing across processes, machines and re-runs.  That
+id is what the on-disk :class:`~repro.api.workspace.Workspace` keys its
+artifact store by.
+
+The paper's experiment matrices are re-declared here as named built-in
+studies -- ``table1``/``table2``/``table3`` (the area/cycle tables) and
+``fig4-chain``/``fig4-motivational``/``fig4-adpcm`` (the latency sweeps) --
+which the CLI, the analysis helpers, the benchmarks and the examples all
+consume instead of private config lists (see :func:`builtin_study`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..hls.flow import FlowMode
+from .config import ConfigError, FlowConfig
+
+__all__ = [
+    "BUILTIN_STUDIES",
+    "Study",
+    "StudyError",
+    "StudyPoint",
+    "available_studies",
+    "build_rows",
+    "builtin_study",
+    "fig4_study",
+    "table_points",
+    "table_study",
+]
+
+
+class StudyError(ValueError):
+    """Raised for malformed study declarations or unknown study names."""
+
+
+class StudyPoint:
+    """One expanded point of a study: a stable id plus its config.
+
+    The id is derived from the config's content hash (prefixed with the
+    human-readable source/mode/latency coordinates), so it is stable across
+    processes and identical configs in different studies share it.
+    """
+
+    __slots__ = ("index", "point_id", "config")
+
+    def __init__(self, index: int, point_id: str, config: FlowConfig) -> None:
+        self.index = index
+        self.point_id = point_id
+        self.config = config
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StudyPoint({self.index}, {self.point_id!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StudyPoint)
+            and self.index == other.index
+            and self.point_id == other.point_id
+            and self.config == other.config
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.index, self.point_id))
+
+
+def point_id_for(config: FlowConfig) -> str:
+    """The stable point id of one config (see :class:`StudyPoint`)."""
+    source = config.workload if config.workload is not None else "spec"
+    safe = source.replace(":", "-").replace("/", "-")
+    return (
+        f"{safe}-{config.mode.value}-l{config.latency}-"
+        f"{config.content_hash()[:12]}"
+    )
+
+
+#: Row layouts a study can declare for :func:`build_rows` (``"raw"`` returns
+#: the reports untouched).
+ROW_KINDS = ("raw", "table", "fig4")
+
+
+class Study:
+    """A declarative, expandable experiment matrix.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the study; keys the workspace manifest.
+    base:
+        ``FlowConfig`` field defaults shared by every point.
+    description:
+        One-line human description (shown by ``repro study list``).
+    stop_after:
+        Pipeline truncation every point runs with (``"time"`` for latency
+        sweeps that never pay for allocation; ``None`` for full runs).
+    row_kind:
+        How :meth:`rows` folds the point reports into presentation rows:
+        ``"table"`` pairs (conventional, fragmented) reports into the paper's
+        table columns, ``"fig4"`` into sweep rows, ``"raw"`` returns the
+        reports as-is.
+
+    Studies are immutable: every expansion method returns a new study, so a
+    built-in declaration can be safely specialized (``study.grid(...)``)
+    without mutating the registry.
+    """
+
+    __slots__ = ("name", "description", "base", "stop_after", "row_kind",
+                 "_expansions", "_points")
+
+    def __init__(
+        self,
+        name: str,
+        base: Optional[Dict[str, Any]] = None,
+        description: str = "",
+        stop_after: Optional[str] = None,
+        row_kind: str = "raw",
+        _expansions: Tuple[Tuple[str, Any], ...] = (),
+    ) -> None:
+        if not name:
+            raise StudyError("study name must be non-empty")
+        if row_kind not in ROW_KINDS:
+            raise StudyError(
+                f"unknown row kind {row_kind!r}: expected one of {ROW_KINDS}"
+            )
+        self.name = name
+        self.description = description
+        self.base = dict(base or {})
+        self.stop_after = stop_after
+        self.row_kind = row_kind
+        self._expansions = _expansions
+        self._points: Optional[List[StudyPoint]] = None
+
+    # ------------------------------------------------------------------
+    # Expansion (each returns a new study)
+    # ------------------------------------------------------------------
+    def _extend(self, expansion: Tuple[str, Any]) -> "Study":
+        return Study(
+            self.name,
+            base=self.base,
+            description=self.description,
+            stop_after=self.stop_after,
+            row_kind=self.row_kind,
+            _expansions=self._expansions + (expansion,),
+        )
+
+    def grid(self, **axes: Iterable[Any]) -> "Study":
+        """Cartesian product over named config fields.
+
+        The first keyword varies slowest (outer loop), the last fastest --
+        ``grid(latency=[3, 4], mode=["conventional", "fragmented"])`` yields
+        the interleaved (conventional, fragmented) pair at every latency,
+        the ordering the paired analysis helpers expect.
+        """
+        if not axes:
+            raise StudyError("grid() needs at least one axis")
+        frozen = {key: list(values) for key, values in axes.items()}
+        for key, values in frozen.items():
+            if not values:
+                raise StudyError(f"grid axis {key!r} is empty")
+        return self._extend(("grid", frozen))
+
+    def cases(self, cases: Sequence[Dict[str, Any]]) -> "Study":
+        """Multiply by an explicit list of per-point override dictionaries."""
+        cases = [dict(case) for case in cases]
+        if not cases:
+            raise StudyError("cases() needs at least one case")
+        return self._extend(("cases", cases))
+
+    def zipped(self, **axes: Iterable[Any]) -> "Study":
+        """Zip equal-length axes into lockstep cases."""
+        if not axes:
+            raise StudyError("zipped() needs at least one axis")
+        frozen = {key: list(values) for key, values in axes.items()}
+        lengths = {len(values) for values in frozen.values()}
+        if len(lengths) != 1:
+            raise StudyError(
+                "zipped() axes must have equal lengths, got "
+                + ", ".join(f"{k}={len(v)}" for k, v in frozen.items())
+            )
+        keys = list(frozen)
+        cases = [
+            {key: frozen[key][i] for key in keys}
+            for i in range(lengths.pop())
+        ]
+        return self.cases(cases)
+
+    # ------------------------------------------------------------------
+    # Expansion product
+    # ------------------------------------------------------------------
+    def _expand_fields(self) -> List[Dict[str, Any]]:
+        points: List[Dict[str, Any]] = [dict(self.base)]
+        for kind, payload in self._expansions:
+            if kind == "grid":
+                for key, values in payload.items():
+                    points = [
+                        {**point, key: value}
+                        for point in points
+                        for value in values
+                    ]
+            else:  # cases
+                points = [
+                    {**point, **case} for point in points for case in payload
+                ]
+        return points
+
+    def points(self) -> List[StudyPoint]:
+        """The expanded point list (deterministic; cached per instance)."""
+        if self._points is None:
+            points: List[StudyPoint] = []
+            seen: Dict[str, int] = {}
+            for index, fields in enumerate(self._expand_fields()):
+                try:
+                    config = FlowConfig(**fields)
+                except (ConfigError, TypeError) as error:
+                    raise StudyError(
+                        f"study {self.name!r} point #{index} is invalid: {error}"
+                    ) from None
+                point_id = point_id_for(config)
+                if point_id in seen:
+                    raise StudyError(
+                        f"study {self.name!r} expands to duplicate point "
+                        f"{point_id!r} (indices {seen[point_id]} and {index}); "
+                        "distinguish the points with a label override"
+                    )
+                seen[point_id] = index
+                points.append(StudyPoint(index, point_id, config))
+            if not points:
+                raise StudyError(f"study {self.name!r} expands to no points")
+            self._points = points
+        return list(self._points)
+
+    def configs(self) -> List[FlowConfig]:
+        """Just the configs, in point order."""
+        return [point.config for point in self.points()]
+
+    def point_ids(self) -> List[str]:
+        return [point.point_id for point in self.points()]
+
+    def __len__(self) -> int:
+        return len(self.points())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Study({self.name!r}, {len(self)} points)"
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def rows(self, reports: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Fold the point reports (in point order) into presentation rows."""
+        if len(reports) != len(self.points()):
+            raise StudyError(
+                f"study {self.name!r} has {len(self.points())} points but "
+                f"{len(reports)} reports were given"
+            )
+        return build_rows(self.row_kind, reports)
+
+
+# ----------------------------------------------------------------------
+# Row builders (shared by the CLI, `study report` and the workspace)
+# ----------------------------------------------------------------------
+def _table_rows(reports: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    from ..analysis.sweeps import change_pct, paired_reports
+
+    rows = []
+    for original, optimized in paired_reports(reports):
+        rows.append(
+            {
+                "benchmark": original["workload"],
+                "latency": original["latency"],
+                "original_cycle_ns": original["cycle_length_ns"],
+                "optimized_cycle_ns": optimized["cycle_length_ns"],
+                "cycle_saving_pct": change_pct(original, optimized, "cycle_length_ns"),
+                "area_change_pct": -change_pct(original, optimized, "datapath_area"),
+                "original_total_area": original["total_area"],
+                "optimized_total_area": optimized["total_area"],
+            }
+        )
+    return rows
+
+
+def _fig4_rows(reports: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    from ..analysis.sweeps import change_pct, paired_reports
+
+    rows = []
+    for original, optimized in paired_reports(reports):
+        rows.append(
+            {
+                "latency": original["latency"],
+                "original_cycle_ns": original["cycle_length_ns"],
+                "optimized_cycle_ns": optimized["cycle_length_ns"],
+                "cycle_saving_pct": change_pct(original, optimized, "cycle_length_ns"),
+            }
+        )
+    return rows
+
+
+def build_rows(kind: str, reports: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Fold flat point reports into presentation rows of the given kind."""
+    if kind == "raw":
+        return [dict(report) for report in reports]
+    if kind == "table":
+        return _table_rows(reports)
+    if kind == "fig4":
+        return _fig4_rows(reports)
+    raise StudyError(f"unknown row kind {kind!r}: expected one of {ROW_KINDS}")
+
+
+# ----------------------------------------------------------------------
+# Built-in studies: the paper's experiment matrices
+# ----------------------------------------------------------------------
+def table_points(which: str) -> List[Tuple[str, int]]:
+    """The (workload, latency) points of one of the paper's tables."""
+    from ..workloads import TABLE2_LATENCIES, TABLE3_LATENCIES
+
+    if which == "table1":
+        return [("motivational", 3)]
+    if which == "table2":
+        return [
+            (name, latency)
+            for name, latencies in TABLE2_LATENCIES.items()
+            for latency in latencies
+        ]
+    if which == "table3":
+        return [
+            (f"adpcm_{name}", latency)
+            for name, latency in TABLE3_LATENCIES.items()
+        ]
+    raise StudyError(
+        f"unknown table {which!r}: expected table1, table2 or table3"
+    )
+
+
+_TABLE_DESCRIPTIONS = {
+    "table1": "Table I: the motivational example (three chained additions)",
+    "table2": "Table II: classical HLS benchmarks (elliptic, diffeq, iir4, fir2)",
+    "table3": "Table III: ADPCM G.721 decoder modules (IAQ, TTD, OPFC+SCA)",
+}
+
+
+def table_study(which: str) -> Study:
+    """The built-in study of one paper table: both flows at every point."""
+    points = table_points(which)
+    return (
+        Study(
+            which,
+            description=_TABLE_DESCRIPTIONS[which],
+            row_kind="table",
+        )
+        .cases([{"workload": name, "latency": latency} for name, latency in points])
+        .grid(mode=[FlowMode.CONVENTIONAL.value, FlowMode.FRAGMENTED.value])
+    )
+
+
+def fig4_study(
+    workload: Optional[str],
+    latencies: Iterable[int] = range(3, 16),
+    transform_options: Optional[Any] = None,
+    name: Optional[str] = None,
+) -> Study:
+    """A Fig. 4 latency-sweep study: (conventional, fragmented) per latency.
+
+    Produces exactly the config axis :func:`repro.analysis.sweep_configs`
+    used to build by hand (same fields, same interleaved order, identical
+    content hashes), declared once.  Points stop after the timing pass --
+    Fig. 4 consumes cycle lengths only, so allocation never runs.
+    """
+    from ..core.transform import TransformOptions
+
+    options = transform_options or TransformOptions(check_equivalence=False)
+    base = dict(
+        workload=workload,
+        check_equivalence=options.check_equivalence,
+        equivalence_vectors=options.equivalence_vectors,
+        equivalence_seed=options.equivalence_seed,
+        chained_bits_per_cycle=options.chained_bits_override,
+        validate_input=options.validate_input,
+        validate_output=options.validate_output,
+    )
+    if name is None:
+        safe = (workload or "spec").replace(":", "-")
+        name = f"fig4-{safe}"
+    return (
+        Study(
+            name,
+            base=base,
+            description=(
+                "Fig. 4: cycle length vs latency for "
+                f"{workload or 'an injected specification'}"
+            ),
+            stop_after="time",
+            row_kind="fig4",
+        )
+        .grid(latency=list(latencies))
+        .cases(
+            [
+                {"mode": FlowMode.CONVENTIONAL.value, "label": "original"},
+                {"mode": FlowMode.FRAGMENTED.value, "label": "optimized"},
+            ]
+        )
+    )
+
+
+#: Factories of the named built-in studies (the paper's artifacts).
+BUILTIN_STUDIES: Dict[str, Callable[[], Study]] = {
+    "table1": lambda: table_study("table1"),
+    "table2": lambda: table_study("table2"),
+    "table3": lambda: table_study("table3"),
+    "fig4-chain": lambda: fig4_study("chain:3:16", name="fig4-chain"),
+    "fig4-motivational": lambda: fig4_study("motivational", name="fig4-motivational"),
+    "fig4-adpcm": lambda: fig4_study("adpcm_iaq", name="fig4-adpcm"),
+}
+
+
+def builtin_study(name: str) -> Study:
+    """Resolve a named built-in study (a fresh instance per call)."""
+    factory = BUILTIN_STUDIES.get(name)
+    if factory is None:
+        known = ", ".join(sorted(BUILTIN_STUDIES))
+        raise StudyError(f"unknown study {name!r}: expected one of {known}")
+    return factory()
+
+
+def available_studies() -> Dict[str, Study]:
+    """Every built-in study, by name (fresh instances)."""
+    return {name: factory() for name, factory in BUILTIN_STUDIES.items()}

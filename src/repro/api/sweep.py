@@ -1,8 +1,8 @@
-"""Parallel sweep engine: fan a list of configs across worker pools.
+"""Streaming parallel sweep engine: fan configs across worker pools.
 
-:class:`SweepEngine` takes a list of :class:`~repro.api.config.FlowConfig`
-objects and runs each through a :class:`~repro.api.pipeline.Pipeline`,
-optionally in parallel.  Three executors are supported:
+:class:`SweepEngine` takes :class:`~repro.api.config.FlowConfig` objects and
+runs each through a :class:`~repro.api.pipeline.Pipeline`, optionally in
+parallel.  Three executors are supported:
 
 * ``"serial"`` -- plain loop, no pool (the default when ``max_workers`` is
   unset or 1);
@@ -14,18 +14,39 @@ optionally in parallel.  Three executors are supported:
   because each worker rebuilds its pipeline from the serialized config;
   workers return the JSON metric report, not full artifacts.
 
-Results always come back in the order the configs were given, whatever order
-the workers finished in, so sweeps are deterministic.  Per-config failures
-are captured in the outcome (``error``) instead of aborting the whole sweep.
+The engine is **streaming**: :meth:`SweepEngine.submit` returns a
+:class:`SweepRun` handle whose :meth:`~SweepRun.as_completed` iterator yields
+:class:`SweepOutcome` objects as points finish (completion order), with an
+optional per-outcome progress callback and cooperative cancellation
+(:meth:`SweepRun.cancel` -- in-flight points finish, unstarted points come
+back with ``cancelled=True``).  The classic batch :meth:`SweepEngine.run` is
+kept as a shim over ``submit``: it drains the stream and returns outcomes in
+the order the configs were given, whatever order the workers finished in, so
+batch sweeps stay deterministic.  Per-config failures are captured in the
+outcome (``error``) instead of aborting the whole sweep.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+)
 
 from ..ir.spec import Specification
 from .artifacts import RunArtifact, build_timing_report
@@ -38,7 +59,12 @@ _EXECUTORS = ("serial", "thread", "process")
 
 @dataclass
 class SweepOutcome:
-    """The result of one config within a sweep."""
+    """The result of one config within a sweep.
+
+    ``cancelled`` marks points that never ran because the sweep was
+    cooperatively cancelled; they carry neither a report nor an error and
+    count as not-``ok``.
+    """
 
     index: int
     config: FlowConfig
@@ -46,10 +72,15 @@ class SweepOutcome:
     artifact: Optional[RunArtifact] = None
     error: Optional[str] = None
     elapsed_s: float = 0.0
+    cancelled: bool = False
 
     @property
     def ok(self) -> bool:
-        return self.error is None
+        return self.error is None and not self.cancelled
+
+
+#: Progress callback invoked once per completed outcome, in completion order.
+ProgressFn = Callable[[SweepOutcome], None]
 
 
 def _run_config_in_worker(
@@ -78,8 +109,217 @@ def _run_config_in_worker(
     return {"report": report, "elapsed_s": time.perf_counter() - started}
 
 
+class SweepRun:
+    """Handle over one in-flight sweep: stream, collect or cancel it.
+
+    Created by :meth:`SweepEngine.submit`; not instantiated directly.  The
+    underlying worker pool (if any) is opened lazily by the first
+    :meth:`as_completed` pull and closed when the stream is exhausted or the
+    iterator is dropped -- dropping it mid-stream implicitly cancels the
+    queued points (in-flight ones finish), so abandoning a sweep never runs
+    the rest of it in the background.
+    """
+
+    def __init__(
+        self,
+        engine: "SweepEngine",
+        configs: List[FlowConfig],
+        specifications: Optional[List[Optional[Specification]]],
+        on_outcome: Optional[ProgressFn] = None,
+    ) -> None:
+        self._engine = engine
+        self._configs = configs
+        self._specifications = specifications
+        self._on_outcome = on_outcome
+        #: Guard consulted by worker tasks; also set by the stream's cleanup
+        #: paths (normal exhaustion included, where it is a no-op).
+        self._cancel_event = threading.Event()
+        #: Whether cancellation was actually *requested* -- by cancel() or
+        #: by dropping the stream mid-sweep; never set by a normal drain.
+        self._cancel_requested = False
+        self._outcomes: Dict[int, SweepOutcome] = {}
+        self._stream: Optional[Iterator[SweepOutcome]] = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation was requested (explicitly, or by dropping
+        the stream mid-sweep).  ``False`` after a normal complete drain."""
+        return self._cancel_requested
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation.
+
+        Points already running finish normally (and are yielded as usual);
+        points not yet started are yielded as ``cancelled`` outcomes without
+        running.  Safe to call from a progress callback or another thread.
+        """
+        self._cancel_requested = True
+        self._cancel_event.set()
+
+    # ------------------------------------------------------------------
+    def as_completed(self) -> Iterator[SweepOutcome]:
+        """Yield outcomes as points finish (completion order).
+
+        The stream is shared: repeated calls continue where the previous
+        consumer stopped, and :meth:`results` drains whatever is left.
+        """
+        if self._stream is None:
+            self._stream = self._make_stream()
+        try:
+            while True:
+                try:
+                    outcome = next(self._stream)
+                except StopIteration:
+                    return
+                yield outcome
+        except GeneratorExit:
+            # The consumer dropped this iterator: close the underlying
+            # stream too (its finally blocks cancel queued work and shut the
+            # pool down) instead of leaving it to run until garbage
+            # collection.
+            self._cancel_requested = True
+            self._cancel_event.set()
+            self._stream.close()
+            raise
+
+    def results(self) -> List[SweepOutcome]:
+        """Drain the stream and return outcomes in input (index) order.
+
+        Points whose outcomes were never observed (the stream was closed
+        mid-sweep) are reported as cancelled.
+        """
+        for _ in self.as_completed():
+            pass
+        outcomes = []
+        for index in range(len(self._configs)):
+            outcome = self._outcomes.get(index)
+            if outcome is None:
+                outcome = self._outcomes[index] = self._cancelled_outcome(index)
+            outcomes.append(outcome)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _emit(self, outcome: SweepOutcome) -> SweepOutcome:
+        self._outcomes[outcome.index] = outcome
+        if self._on_outcome is not None:
+            self._on_outcome(outcome)
+        return outcome
+
+    def _cancelled_outcome(self, index: int) -> SweepOutcome:
+        return SweepOutcome(
+            index=index, config=self._configs[index], cancelled=True
+        )
+
+    def _make_stream(self) -> Iterator[SweepOutcome]:
+        if not self._configs:
+            return iter(())
+        engine = self._engine
+        if engine.executor == "process":
+            return self._stream_process()
+        workers = engine._effective_workers(len(self._configs))
+        if engine.executor == "serial" or workers == 1:
+            return self._stream_serial()
+        return self._stream_threads(workers)
+
+    def _stream_serial(self) -> Iterator[SweepOutcome]:
+        for index in range(len(self._configs)):
+            if self._cancel_event.is_set():
+                yield self._emit(self._cancelled_outcome(index))
+                continue
+            yield self._emit(
+                self._engine._run_one(
+                    index, self._configs[index], self._specifications
+                )
+            )
+
+    def _guarded_run_one(self, index: int) -> SweepOutcome:
+        """Thread-pool task: honour cancellation at the last moment."""
+        if self._cancel_event.is_set():
+            return self._cancelled_outcome(index)
+        return self._engine._run_one(
+            index, self._configs[index], self._specifications
+        )
+
+    def _stream_threads(self, workers: int) -> Iterator[SweepOutcome]:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            try:
+                pending = {
+                    pool.submit(self._guarded_run_one, index)
+                    for index in range(len(self._configs))
+                }
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        yield self._emit(future.result())
+            finally:
+                # Reached on normal exhaustion (harmless: nothing queued) and
+                # on GeneratorExit when the consumer drops the iterator:
+                # without this, the pool's shutdown would run every queued
+                # point to completion in the background.  The guard turns
+                # them into immediate cancelled returns instead.
+                self._cancel_event.set()
+
+    def _stream_process(self) -> Iterator[SweepOutcome]:
+        engine = self._engine
+        workers = engine._effective_workers(len(self._configs))
+        cache = engine.pipeline.cache
+        cache_dir = (
+            str(cache.directory) if cache is not None and cache.directory else None
+        )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            future_index = {
+                pool.submit(
+                    _run_config_in_worker,
+                    config.to_dict(),
+                    cache_dir,
+                    engine.stop_after,
+                ): index
+                for index, config in enumerate(self._configs)
+            }
+            pending = set(future_index)
+            try:
+                while pending:
+                    if self._cancel_event.is_set():
+                        # Workers cannot see the event; revoke whatever the
+                        # pool has not started yet.  Futures already running
+                        # finish.
+                        for future in pending:
+                            future.cancel()
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = future_index[future]
+                        if future.cancelled():
+                            yield self._emit(self._cancelled_outcome(index))
+                            continue
+                        try:
+                            result = future.result()
+                            outcome = SweepOutcome(
+                                index=index,
+                                config=self._configs[index],
+                                report=result["report"],
+                                elapsed_s=result["elapsed_s"],
+                            )
+                        except Exception as error:  # noqa: BLE001 - per-point isolation
+                            outcome = SweepOutcome(
+                                index=index,
+                                config=self._configs[index],
+                                error=f"{type(error).__name__}: {error}",
+                            )
+                        yield self._emit(outcome)
+            finally:
+                # Dropped mid-stream: revoke queued work so the pool's
+                # shutdown does not run the rest of the sweep unobserved.
+                self._cancel_event.set()
+                for future in pending:
+                    future.cancel()
+
+
 class SweepEngine:
-    """Fan configs across workers and collect ordered outcomes.
+    """Fan configs across workers; stream or batch-collect the outcomes.
 
     Parameters
     ----------
@@ -123,27 +363,32 @@ class SweepEngine:
             return max(1, min(self.max_workers, jobs))
         return max(1, min(8, os.cpu_count() or 1, jobs))
 
-    def run(
+    # ------------------------------------------------------------------
+    def submit(
         self,
         configs: Sequence[FlowConfig],
         specifications: Optional[Sequence[Optional[Specification]]] = None,
-    ) -> List[SweepOutcome]:
-        """Run every config; outcomes are ordered like the input list.
+        on_outcome: Optional[ProgressFn] = None,
+    ) -> SweepRun:
+        """Validate the point list and return a streaming :class:`SweepRun`.
 
         ``specifications`` optionally injects one in-memory specification per
-        config (serial and thread executors only).
+        config (serial and thread executors only).  ``on_outcome`` is called
+        once per completed outcome, in completion order, before the outcome
+        is yielded -- the progress hook of workspaces and CLIs.  Nothing runs
+        until the returned handle is iterated (or :meth:`SweepRun.results`
+        drains it).
         """
         configs = list(configs)
+        spec_list: Optional[List[Optional[Specification]]] = None
         if specifications is not None:
-            specifications = list(specifications)
-            if len(specifications) != len(configs):
+            spec_list = list(specifications)
+            if len(spec_list) != len(configs):
                 raise ValueError("specifications must align with configs")
-        if not configs:
-            return []
 
         if self.executor == "process":
-            if specifications is not None and any(
-                spec is not None for spec in specifications
+            if spec_list is not None and any(
+                spec is not None for spec in spec_list
             ):
                 raise ValueError(
                     "the process executor cannot ship in-memory specifications; "
@@ -167,15 +412,20 @@ class SweepEngine:
                         "(workload or spec_text); "
                         f"config for latency {config.latency} has neither"
                     )
-            return self._run_process(configs)
+        return SweepRun(self, configs, spec_list, on_outcome=on_outcome)
 
-        workers = self._effective_workers(len(configs))
-        if self.executor == "serial" or workers == 1:
-            return [
-                self._run_one(index, config, specifications)
-                for index, config in enumerate(configs)
-            ]
-        return self._run_threads(configs, specifications, workers)
+    def run(
+        self,
+        configs: Sequence[FlowConfig],
+        specifications: Optional[Sequence[Optional[Specification]]] = None,
+    ) -> List[SweepOutcome]:
+        """Run every config; outcomes are ordered like the input list.
+
+        Back-compat batch shim over :meth:`submit`: drains the stream and
+        restores input order, so results are deterministic whatever order
+        the workers finished in.
+        """
+        return self.submit(configs, specifications).results()
 
     # ------------------------------------------------------------------
     def _run_one(
@@ -208,54 +458,6 @@ class SweepEngine:
                 elapsed_s=time.perf_counter() - started,
             )
 
-    def _run_threads(
-        self,
-        configs: Sequence[FlowConfig],
-        specifications: Optional[Sequence[Optional[Specification]]],
-        workers: int,
-    ) -> List[SweepOutcome]:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(self._run_one, index, config, specifications)
-                for index, config in enumerate(configs)
-            ]
-            return [future.result() for future in futures]
-
-    def _run_process(self, configs: Sequence[FlowConfig]) -> List[SweepOutcome]:
-        workers = self._effective_workers(len(configs))
-        outcomes: List[SweepOutcome] = []
-        cache = self.pipeline.cache
-        cache_dir = (
-            str(cache.directory) if cache is not None and cache.directory else None
-        )
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    _run_config_in_worker, config.to_dict(), cache_dir, self.stop_after
-                )
-                for config in configs
-            ]
-            for index, (config, future) in enumerate(zip(configs, futures)):
-                try:
-                    result = future.result()
-                    outcomes.append(
-                        SweepOutcome(
-                            index=index,
-                            config=config,
-                            report=result["report"],
-                            elapsed_s=result["elapsed_s"],
-                        )
-                    )
-                except Exception as error:  # noqa: BLE001 - per-point isolation
-                    outcomes.append(
-                        SweepOutcome(
-                            index=index,
-                            config=config,
-                            error=f"{type(error).__name__}: {error}",
-                        )
-                    )
-        return outcomes
-
     # ------------------------------------------------------------------
     def reports(
         self,
@@ -268,7 +470,8 @@ class SweepEngine:
         if failed:
             details = "; ".join(
                 f"#{outcome.index} ({outcome.config.workload or 'inline spec'}, "
-                f"latency {outcome.config.latency}): {outcome.error}"
+                f"latency {outcome.config.latency}): "
+                f"{'cancelled' if outcome.cancelled else outcome.error}"
                 for outcome in failed
             )
             raise RuntimeError(f"{len(failed)} sweep point(s) failed: {details}")

@@ -1,0 +1,588 @@
+"""On-disk experiment workspaces: persistent, resumable study runs.
+
+A :class:`Workspace` is a project root on disk holding everything a
+:class:`~repro.api.study.Study` has ever computed:
+
+* ``manifest.json`` -- the index: schema versions plus, per study, the
+  ordered point-id list of its last run and the completed-point records
+  (each naming the content address of its row);
+* ``objects/<aa>/<hash>.json`` -- the **content-addressed artifact store**:
+  one schema-versioned JSON row per completed point (point id, full config
+  dictionary, metric report, provenance).  The filename is the SHA-256 of
+  the canonical row payload, so identical results share storage, rows are
+  tamper-evident (the address is re-checked on load) and a half-written
+  file can never alias a good one.
+
+Rows are stamped with the report schema version
+(:data:`repro.api.artifacts.REPORT_SCHEMA_VERSION`); rows written by an
+older schema are treated as missing rather than silently reloaded, so a
+schema bump re-runs exactly the points it invalidated.
+
+:meth:`Workspace.run_study` is the resumable entry point: completed points
+load from the store, only missing points run (streamed through
+:meth:`SweepEngine.submit`, each persisted the moment it finishes), so an
+interrupted study picks up where it stopped and a finished study replays
+with zero recomputation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from .artifacts import REPORT_SCHEMA_VERSION
+from .pipeline import Pipeline
+from .study import Study, StudyPoint
+from .sweep import SweepEngine, SweepOutcome
+
+__all__ = [
+    "PointResult",
+    "StudyRunResult",
+    "Workspace",
+    "WorkspaceError",
+    "WORKSPACE_SCHEMA_VERSION",
+]
+
+#: Format marker of ``manifest.json``.
+WORKSPACE_SCHEMA_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+_OBJECTS_DIR = "objects"
+
+
+class WorkspaceError(RuntimeError):
+    """Raised for unreadable workspaces or incomplete-report requests."""
+
+
+@dataclass
+class PointResult:
+    """What happened to one study point during :meth:`Workspace.run_study`.
+
+    ``source`` is ``"store"`` (loaded from the workspace, zero compute),
+    ``"run"`` (executed this run), ``"cancelled"`` (skipped by cooperative
+    cancellation) or ``"error"`` (executed and failed).
+    """
+
+    point: StudyPoint
+    source: str
+    report: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None and self.error is None
+
+
+@dataclass
+class StudyRunResult:
+    """The outcome of one (possibly resumed) study run, in point order."""
+
+    study: Study
+    results: List[PointResult] = field(default_factory=list)
+
+    def _count(self, source: str) -> int:
+        return sum(1 for result in self.results if result.source == source)
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def loaded(self) -> int:
+        """Points satisfied from the workspace store (zero recomputation)."""
+        return self._count("store")
+
+    @property
+    def ran(self) -> int:
+        """Points actually executed by this run (errors included)."""
+        return self._count("run") + self._count("error")
+
+    @property
+    def failed(self) -> int:
+        return self._count("error")
+
+    @property
+    def cancelled(self) -> int:
+        return self._count("cancelled")
+
+    @property
+    def complete(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def reports(self) -> List[Dict[str, Any]]:
+        """The point reports in study order; raises when any point is missing."""
+        missing = [r.point.point_id for r in self.results if not r.ok]
+        if missing:
+            raise WorkspaceError(
+                f"study {self.study.name!r} is incomplete: "
+                f"{len(missing)} point(s) unfinished ({', '.join(missing[:5])}"
+                f"{', ...' if len(missing) > 5 else ''})"
+            )
+        return [result.report for result in self.results]  # type: ignore[misc]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """The study's presentation rows (see :meth:`Study.rows`)."""
+        return self.study.rows(self.reports())
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat JSON-serializable run summary (the CLI's ``--json`` output)."""
+        return {
+            "study": self.study.name,
+            "total": self.total,
+            "loaded": self.loaded,
+            "ran": self.ran,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "complete": self.complete,
+        }
+
+
+#: Progress hook of :meth:`Workspace.run_study`: called once per settled
+#: point with the result plus running (done, total) counters.
+StudyProgressFn = Callable[[PointResult, int, int], None]
+
+
+def _canonical_row_bytes(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+#: The row fields covered by the content address.  Provenance fields
+#: (``completed_at``, ``elapsed_s``) are stored but **not** hashed: two runs
+#: producing the identical result must share one object, whatever second
+#: they finished in, and re-running a point must not orphan a near-identical
+#: object on every write.
+_ADDRESSED_FIELDS = ("schema_version", "point_id", "config", "report")
+
+
+def _address_for(payload: Dict[str, Any]) -> str:
+    core = {field: payload.get(field) for field in _ADDRESSED_FIELDS}
+    return hashlib.sha256(_canonical_row_bytes(core)).hexdigest()
+
+
+class Workspace:
+    """A persistent experiment root: manifest + content-addressed row store.
+
+    Parameters
+    ----------
+    root:
+        Directory of the workspace.  Created (with a fresh manifest) when
+        missing; an existing manifest is validated against
+        :data:`WORKSPACE_SCHEMA_VERSION`.
+    create:
+        ``False`` refuses to conjure a workspace out of thin air: a missing
+        root or manifest raises :class:`WorkspaceError` instead.  Read-only
+        consumers (``study status``/``report``) use this so a mistyped path
+        reads as "no workspace here", not as an empty one.
+    """
+
+    def __init__(self, root: Union[str, Path], create: bool = True) -> None:
+        self.root = Path(root)
+        if not create and not (self.root / _MANIFEST_NAME).exists():
+            raise WorkspaceError(
+                f"no workspace at {self.root} (missing {_MANIFEST_NAME}); "
+                "check the path, or run a study there first"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._manifest = self._load_manifest()
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST_NAME
+
+    def _fresh_manifest(self) -> Dict[str, Any]:
+        return {
+            "schema_version": WORKSPACE_SCHEMA_VERSION,
+            "artifact_schema_version": REPORT_SCHEMA_VERSION,
+            "studies": {},
+        }
+
+    def _load_manifest(self) -> Dict[str, Any]:
+        path = self.manifest_path
+        if not path.exists():
+            manifest = self._fresh_manifest()
+            self._write_json_atomic(path, manifest)
+            return manifest
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise WorkspaceError(
+                f"cannot read workspace manifest {path}: {error}"
+            ) from None
+        version = manifest.get("schema_version")
+        if version != WORKSPACE_SCHEMA_VERSION:
+            raise WorkspaceError(
+                f"workspace {self.root} has manifest schema {version!r}; this "
+                f"version of repro reads schema {WORKSPACE_SCHEMA_VERSION} "
+                "(use a fresh --workspace directory)"
+            )
+        manifest.setdefault("studies", {})
+        return manifest
+
+    def _write_json_atomic(self, path: Path, payload: Dict[str, Any]) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+        )
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        tmp.replace(path)
+
+    def _save_manifest(self) -> None:
+        # Merge-on-write: another process sharing this workspace may have
+        # recorded points since this instance loaded the manifest.  Union
+        # the on-disk records into ours (our in-memory records win per
+        # point) before rewriting, so concurrent studies never erase each
+        # other's completed work wholesale.  The remaining race window is
+        # one point wide, and a lost record only costs a re-run -- the row
+        # objects themselves are content-addressed and never overwritten.
+        try:
+            on_disk = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            on_disk = None
+        if (
+            isinstance(on_disk, dict)
+            and on_disk.get("schema_version") == WORKSPACE_SCHEMA_VERSION
+        ):
+            for study_name, entry in (on_disk.get("studies") or {}).items():
+                ours = self._manifest["studies"].setdefault(
+                    study_name, {"point_ids": [], "points": {}}
+                )
+                for point_id, record in (entry.get("points") or {}).items():
+                    mine = ours["points"].get(point_id)
+                    # Newest record wins (completed_at is an ISO timestamp,
+                    # lexicographically ordered): a record another process
+                    # wrote after this instance loaded the manifest must not
+                    # be reverted by our stale in-memory copy.
+                    if mine is None or (record.get("completed_at") or "") > (
+                        mine.get("completed_at") or ""
+                    ):
+                        ours["points"][point_id] = record
+                if not ours["point_ids"] and entry.get("point_ids"):
+                    ours["point_ids"] = list(entry["point_ids"])
+        # The artifact schema recorded is the one of the *newest* rows; old
+        # rows stay addressable but fail the per-row schema check on load.
+        self._manifest["artifact_schema_version"] = REPORT_SCHEMA_VERSION
+        self._write_json_atomic(self.manifest_path, self._manifest)
+
+    def _study_entry(self, study_name: str) -> Dict[str, Any]:
+        return self._manifest["studies"].setdefault(
+            study_name, {"point_ids": [], "points": {}}
+        )
+
+    # ------------------------------------------------------------------
+    # Content-addressed row store
+    # ------------------------------------------------------------------
+    def _object_path(self, address: str) -> Path:
+        return self.root / _OBJECTS_DIR / address[:2] / f"{address}.json"
+
+    @staticmethod
+    def _object_is_intact(path: Path, address: str) -> bool:
+        """Whether the object file exists and re-hashes to its address."""
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        return _address_for(payload) == address
+
+    def store_row(
+        self,
+        study_name: str,
+        point: StudyPoint,
+        report: Dict[str, Any],
+        elapsed_s: float = 0.0,
+    ) -> str:
+        """Persist one completed point; returns the row's content address."""
+        payload = {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "point_id": point.point_id,
+            "config": point.config.to_dict(),
+            "report": report,
+            "elapsed_s": elapsed_s,
+            # UTC, so the manifest merge's newest-wins comparison is a plain
+            # lexicographic one (local %z timestamps mis-order across DST
+            # transitions or machines in different timezones).
+            "completed_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%S+0000", time.gmtime()
+            ),
+        }
+        address = _address_for(payload)
+        with self._lock:
+            path = self._object_path(address)
+            if not self._object_is_intact(path, address):
+                # Also reached when the file exists but is corrupt or
+                # tampered: rewriting heals the store instead of re-running
+                # the point on every future resume.
+                self._write_json_atomic(path, payload)
+            entry = self._study_entry(study_name)
+            entry["points"][point.point_id] = {
+                "object": address,
+                "completed_at": payload["completed_at"],
+            }
+            self._save_manifest()
+        return address
+
+    def load_row(self, study_name: str, point: StudyPoint) -> Optional[Dict[str, Any]]:
+        """Load the stored row of one point, or ``None`` when it must re-run.
+
+        A row is only honoured when the manifest knows it, its object file
+        exists, re-hashes to its address (content integrity over the
+        addressed fields; provenance timestamps are exempt), carries the
+        current report schema version and still describes the same config.
+        """
+        with self._lock:
+            entry = self._manifest["studies"].get(study_name)
+            record = (entry or {}).get("points", {}).get(point.point_id)
+        if not record:
+            return None
+        address = record.get("object")
+        if not address:
+            return None
+        path = self._object_path(address)
+        try:
+            text = path.read_text()
+            payload = json.loads(text)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if _address_for(payload) != address:
+            return None
+        if payload.get("schema_version") != REPORT_SCHEMA_VERSION:
+            return None
+        if payload.get("point_id") != point.point_id:
+            return None
+        if payload.get("config") != point.config.to_dict():
+            return None
+        return payload
+
+    def gc(self) -> int:
+        """Delete row objects no manifest record references; returns the count.
+
+        Superseded rows (``--fresh`` re-runs, schema bumps, tamper-triggered
+        recomputes) leave their old objects on disk; this prunes them.
+        """
+        with self._lock:
+            referenced = {
+                record.get("object")
+                for entry in self._manifest["studies"].values()
+                for record in entry.get("points", {}).values()
+            }
+            # Honour records another process wrote since this instance
+            # loaded the manifest, not just the in-memory view.
+            try:
+                on_disk = json.loads(self.manifest_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                on_disk = None
+            if isinstance(on_disk, dict):
+                referenced |= {
+                    record.get("object")
+                    for entry in (on_disk.get("studies") or {}).values()
+                    for record in (entry.get("points") or {}).values()
+                }
+            removed = 0
+            objects_dir = self.root / _OBJECTS_DIR
+            if objects_dir.is_dir():
+                for path in objects_dir.rglob("*.json"):
+                    if path.stem not in referenced:
+                        try:
+                            path.unlink()
+                            removed += 1
+                        except OSError:
+                            pass
+            return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def studies(self) -> List[str]:
+        """Names of the studies this workspace has rows for."""
+        return sorted(self._manifest["studies"])
+
+    def status(self, study: Study) -> Dict[str, Any]:
+        """Per-point completion state of a study (JSON-serializable)."""
+        points = study.points()
+        rows = []
+        completed = 0
+        for point in points:
+            payload = self.load_row(study.name, point)
+            done = payload is not None
+            completed += done
+            rows.append(
+                {
+                    "point_id": point.point_id,
+                    "workload": point.config.workload,
+                    "mode": point.config.mode.value,
+                    "latency": point.config.latency,
+                    "status": "completed" if done else "missing",
+                    "completed_at": payload.get("completed_at") if done else None,
+                }
+            )
+        return {
+            "study": study.name,
+            "workspace": str(self.root),
+            "total": len(points),
+            "completed": completed,
+            "missing": len(points) - completed,
+            "points": rows,
+        }
+
+    def reports(
+        self, study: Study, allow_partial: bool = False
+    ) -> List[Dict[str, Any]]:
+        """Stored reports in point order, with **zero recomputation**.
+
+        Raises :class:`WorkspaceError` naming the missing points unless
+        ``allow_partial`` (then missing points are simply omitted).
+        """
+        reports: List[Dict[str, Any]] = []
+        missing: List[str] = []
+        for point in study.points():
+            payload = self.load_row(study.name, point)
+            if payload is None:
+                missing.append(point.point_id)
+            else:
+                reports.append(payload["report"])
+        if missing and not allow_partial:
+            raise WorkspaceError(
+                f"study {study.name!r} has {len(missing)} unfinished point(s) "
+                f"in workspace {self.root} ({', '.join(missing[:5])}"
+                f"{', ...' if len(missing) > 5 else ''}); run "
+                f"`repro study run {study.name}` to complete it"
+            )
+        return reports
+
+    def rows(self, study: Study) -> List[Dict[str, Any]]:
+        """The study's presentation rows from stored reports only."""
+        return study.rows(self.reports(study))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_study(
+        self,
+        study: Study,
+        engine: Optional[SweepEngine] = None,
+        resume: bool = True,
+        max_workers: Optional[int] = None,
+        executor: Optional[str] = None,
+        progress: Optional[StudyProgressFn] = None,
+        max_points: Optional[int] = None,
+    ) -> StudyRunResult:
+        """Run a study against this workspace, resuming from stored rows.
+
+        Parameters
+        ----------
+        engine:
+            Sweep engine for the missing points.  Defaults to a fresh engine
+            honouring ``max_workers``/``executor`` and the study's
+            ``stop_after``; a caller-provided engine must match the study's
+            ``stop_after`` (different truncations produce different rows).
+        resume:
+            Load completed points from the store (the default).  ``False``
+            recomputes every point (stored rows are overwritten).
+        progress:
+            Called once per settled point -- loaded points first (in study
+            order), then executed points in completion order -- with the
+            :class:`PointResult` and running ``(done, total)`` counters.
+        max_points:
+            Cooperatively cancel the run after this many *executed* points
+            (loaded points don't count).  The interruption hook: remaining
+            points stay missing, and a later ``resume`` run picks them up.
+        """
+        points = study.points()
+        if engine is None:
+            if executor is None:
+                executor = "thread" if (max_workers or 1) > 1 else "serial"
+            engine = SweepEngine(
+                pipeline=Pipeline(),
+                max_workers=max_workers,
+                executor=executor,
+                stop_after=study.stop_after,
+            )
+        elif engine.stop_after != study.stop_after:
+            raise WorkspaceError(
+                f"engine stop_after={engine.stop_after!r} does not match "
+                f"study {study.name!r} stop_after={study.stop_after!r}"
+            )
+        if max_points is not None and max_points < 1:
+            raise ValueError("max_points must be >= 1 when given")
+
+        with self._lock:
+            entry = self._study_entry(study.name)
+            entry["point_ids"] = [point.point_id for point in points]
+            self._save_manifest()
+
+        results: Dict[int, PointResult] = {}
+        done = 0
+
+        def settle(result: PointResult) -> None:
+            nonlocal done
+            results[result.point.index] = result
+            done += 1
+            if progress is not None:
+                progress(result, done, len(points))
+
+        pending: List[StudyPoint] = []
+        for point in points:
+            payload = self.load_row(study.name, point) if resume else None
+            if payload is not None:
+                settle(
+                    PointResult(
+                        point=point,
+                        source="store",
+                        report=payload["report"],
+                        elapsed_s=float(payload.get("elapsed_s", 0.0)),
+                    )
+                )
+            else:
+                pending.append(point)
+
+        if pending:
+            index_to_point = {
+                submit_index: point for submit_index, point in enumerate(pending)
+            }
+            run = engine.submit([point.config for point in pending])
+            executed = 0
+            for outcome in run.as_completed():
+                point = index_to_point[outcome.index]
+                settle(self._settle_outcome(study, point, outcome))
+                if outcome.cancelled:
+                    continue
+                executed += 1
+                if max_points is not None and executed >= max_points:
+                    run.cancel()
+
+        return StudyRunResult(
+            study=study,
+            results=[results[index] for index in range(len(points))],
+        )
+
+    def _settle_outcome(
+        self, study: Study, point: StudyPoint, outcome: SweepOutcome
+    ) -> PointResult:
+        if outcome.cancelled:
+            return PointResult(point=point, source="cancelled")
+        if not outcome.ok or outcome.report is None:
+            return PointResult(
+                point=point,
+                source="error",
+                error=outcome.error or "point completed without a report",
+                elapsed_s=outcome.elapsed_s,
+            )
+        self.store_row(
+            study.name, point, outcome.report, elapsed_s=outcome.elapsed_s
+        )
+        return PointResult(
+            point=point,
+            source="run",
+            report=outcome.report,
+            elapsed_s=outcome.elapsed_s,
+        )

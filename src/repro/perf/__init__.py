@@ -25,6 +25,7 @@ from .harness import (
     VERIFY_RANDOM_VECTORS,
     run_benchmarks,
     time_stages,
+    time_study,
     time_sweep,
     time_verification,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "load_bench",
     "run_benchmarks",
     "time_stages",
+    "time_study",
     "time_sweep",
     "time_verification",
 ]

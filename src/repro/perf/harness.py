@@ -108,6 +108,14 @@ QUICK_SWEEPS: Dict[str, Tuple[str, str]] = {
     "fig4_adpcm_iaq": ("adpcm_iaq", "fig4"),
 }
 
+#: Built-in studies whose workspace-run timings the full harness records
+#: (cold run into a fresh workspace vs store-backed resume; see
+#: :func:`time_study`).
+STUDY_POINTS: Tuple[str, ...] = ("table1", "fig4-chain")
+
+#: The study subset measured by ``--quick``.
+QUICK_STUDY_POINTS: Tuple[str, ...] = ("table1",)
+
 
 def _sweep_configs(workload: str, latencies: Sequence[int]) -> List[FlowConfig]:
     """The Fig. 4 point list: both flows at every latency of the axis."""
@@ -262,21 +270,69 @@ def time_verification(
     }
 
 
+def time_study(name: str, repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
+    """Best-of-*repeats* workspace-run timings of one built-in study.
+
+    Two numbers per study:
+
+    * ``cold_s`` -- :meth:`~repro.api.workspace.Workspace.run_study` into a
+      fresh workspace: every point executes and persists its row (the
+      transform and datapath whole-stage memos are cleared per repeat, the
+      raw-synthesis-loop contract of the sweep timings);
+    * ``resume_s`` -- the same study run again over the populated store:
+      every point loads from disk, nothing recomputes.  This is the number
+      the resumable-experiment layer sells -- regenerating a table costs
+      manifest reads and row loads, not synthesis.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    import tempfile
+
+    from ..api.study import builtin_study
+    from ..api.workspace import Workspace
+
+    study = builtin_study(name)
+    best_cold: Optional[float] = None
+    best_resume: Optional[float] = None
+    for _ in range(repeats):
+        clear_transform_memo()
+        clear_datapath_memo()
+        with tempfile.TemporaryDirectory(prefix="repro-perf-study-") as tmp:
+            workspace = Workspace(tmp)
+            started = time.perf_counter()
+            result = workspace.run_study(study)
+            cold = time.perf_counter() - started
+            assert result.complete and result.ran == len(study)
+            started = time.perf_counter()
+            result = workspace.run_study(study)
+            resume = time.perf_counter() - started
+            assert result.complete and result.loaded == len(study)
+        if best_cold is None or cold < best_cold:
+            best_cold = cold
+        if best_resume is None or resume < best_resume:
+            best_resume = resume
+    assert best_cold is not None and best_resume is not None
+    return {"cold_s": best_cold, "resume_s": best_resume}
+
+
 def run_benchmarks(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> Dict:
     """Measure the current tree and return a serializable result.
 
-    The returned dictionary has four sections:
+    The returned dictionary has five sections:
 
     * ``stages``: ``{workload: {stage: seconds, ..., "total": seconds}}``;
     * ``sweeps``: ``{sweep_name: seconds}``;
     * ``verify``: ``{workload: {equivalence_s, equivalence_vectors,
       equivalence_vectors_per_s, elaborate_s}}``;
+    * ``studies``: ``{study_name: {cold_s, resume_s}}`` -- workspace-backed
+      study runs, cold versus store-resumed (see :func:`time_study`);
     * ``meta``: interpreter/platform/timestamp provenance, plus the
       measurement parameters, so baselines recorded on other machines are
       recognisably not comparable.
     """
     points = QUICK_STAGE_POINTS if quick else STAGE_POINTS
     sweeps = QUICK_SWEEPS if quick else SWEEPS
+    study_names = QUICK_STUDY_POINTS if quick else STUDY_POINTS
     stages: Dict[str, Dict[str, float]] = {}
     verify: Dict[str, Dict[str, float]] = {}
     for workload, latency in points:
@@ -287,10 +343,14 @@ def run_benchmarks(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> Dict:
         sweep_times[name] = time_sweep(
             workload, latencies=FIG4_LATENCIES, repeats=repeats, kind=kind
         )
+    studies: Dict[str, Dict[str, float]] = {}
+    for name in study_names:
+        studies[name] = time_study(name, repeats=repeats)
     return {
         "stages": stages,
         "sweeps": sweep_times,
         "verify": verify,
+        "studies": studies,
         "meta": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),

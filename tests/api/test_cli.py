@@ -120,6 +120,89 @@ class TestSweepAndTable:
         assert "chain:<n>:<w>" in out
 
 
+class TestStudy:
+    def test_study_list(self, capsys):
+        assert run_cli("study", "list") == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table2", "table3", "fig4-chain", "fig4-adpcm"):
+            assert name in out
+
+    def test_study_list_json(self, capsys):
+        assert run_cli("study", "list", "--json") == 0
+        entries = json.loads(capsys.readouterr().out)
+        by_name = {entry["study"]: entry for entry in entries}
+        assert by_name["table1"]["points"] == 2
+
+    def test_study_run_status_report_cycle(self, tmp_path, capsys):
+        workspace = str(tmp_path / "ws")
+
+        # Interrupt after the first executed point.
+        assert (
+            run_cli(
+                "study", "run", "table1",
+                "--workspace", workspace, "--max-points", "1", "--json",
+            )
+            == 0
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ran"] == 1 and summary["cancelled"] == 1
+        assert not summary["complete"]
+
+        assert run_cli("study", "status", "table1", "--workspace", workspace,
+                       "--json") == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["completed"] == 1 and status["missing"] == 1
+
+        # Report refuses while points are missing...
+        assert run_cli("study", "report", "table1", "--workspace", workspace) == 1
+        capsys.readouterr()
+
+        # ...resume completes only the missing point...
+        assert (
+            run_cli(
+                "study", "run", "table1",
+                "--workspace", workspace, "--resume", "--json",
+            )
+            == 0
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["loaded"] == 1 and summary["ran"] == 1
+        assert summary["complete"] and summary["rows"]
+
+        # ...and the report regenerates from the store alone.
+        assert run_cli("study", "report", "table1", "--workspace", workspace,
+                       "--json") == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows == summary["rows"]
+
+    def test_study_report_rows_match_table_command(self, tmp_path, capsys):
+        workspace = str(tmp_path / "ws")
+        assert run_cli("table", "table1", "--json") == 0
+        table_rows = json.loads(capsys.readouterr().out)
+        assert run_cli("study", "run", "table1", "--workspace", workspace,
+                       "--quiet", "--json") == 0
+        capsys.readouterr()
+        assert run_cli("study", "report", "table1", "--workspace", workspace,
+                       "--json") == 0
+        study_rows = json.loads(capsys.readouterr().out)
+        assert study_rows == table_rows
+
+    def test_study_unknown_name(self, capsys):
+        assert run_cli("study", "run", "table9", "--workspace", "/tmp/x") == 2
+        assert "table9" in capsys.readouterr().err
+
+    def test_study_corrupt_manifest_is_an_error_not_a_traceback(
+        self, tmp_path, capsys
+    ):
+        root = tmp_path / "ws"
+        root.mkdir()
+        (root / "manifest.json").write_text("{not json")
+        assert run_cli("study", "status", "table1", "--workspace", str(root)) == 1
+        err = capsys.readouterr().err
+        assert "manifest" in err
+        assert "Traceback" not in err
+
+
 class TestModuleEntryPoint:
     @pytest.fixture(scope="class")
     def env(self):

@@ -1,0 +1,129 @@
+"""Report-row JSON round-trip across processes, for every registered workload.
+
+The ``report`` slot is the exchange format of the persistence layer: the
+result cache's disk tier, the process-pool sweep workers and the workspace
+artifact store all serialize it to JSON and reload it elsewhere.  This test
+pins that contract: for every registered workload, the report of a live run
+serialized to JSON and reloaded in a **fresh interpreter** equals the report
+a live run computes there, field for field -- including the pinned
+``schema_version``.
+
+Both the serializing run and the comparison run happen in fresh single-
+purpose interpreters executing the identical point sequence: allocation
+tie-breaks sort by uid-bearing auto-names, so a long-lived pytest process
+(with arbitrary prior uid consumption) is not a valid baseline for
+low-order routing-area values (see DESIGN.md, "Determinism caveat").
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.api import available_workloads
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+#: A known-feasible latency per registered workload (the tables' operating
+#: points); parametric families are covered via the chain family.
+ROUNDTRIP_LATENCIES = {
+    "motivational": 3,
+    "fig3": 3,
+    "elliptic": 4,
+    "diffeq": 4,
+    "iir4": 5,
+    "fir2": 3,
+    "adpcm_iaq": 3,
+    "adpcm_ttd": 5,
+    "adpcm_opfc_sca": 12,
+    "chain:3:16": 3,
+}
+
+_WRITE_SCRIPT = r"""
+import json, sys
+from repro.api import REPORT_SCHEMA_VERSION, FlowConfig, Pipeline
+
+with open(sys.argv[1], "r", encoding="utf-8") as handle:
+    matrix = json.load(handle)
+
+pipeline = Pipeline()
+entries = {}
+for name, latency in matrix:
+    config = FlowConfig(latency=latency, mode="fragmented", workload=name)
+    report = pipeline.run(config).report
+    assert report is not None
+    assert report["schema_version"] == REPORT_SCHEMA_VERSION, report
+    # The row must be JSON-pure before any process boundary is involved.
+    assert json.loads(json.dumps(report)) == report
+    entries[name] = {"config": config.to_dict(), "report": report}
+
+with open(sys.argv[2], "w", encoding="utf-8") as handle:
+    json.dump(entries, handle, sort_keys=True)
+"""
+
+_COMPARE_SCRIPT = r"""
+import json, sys
+from repro.api import REPORT_SCHEMA_VERSION, FlowConfig, Pipeline
+
+with open(sys.argv[1], "r", encoding="utf-8") as handle:
+    matrix = json.load(handle)
+with open(sys.argv[2], "r", encoding="utf-8") as handle:
+    entries = json.load(handle)
+
+pipeline = Pipeline()
+failures = []
+for name, latency in matrix:
+    entry = entries[name]
+    config = FlowConfig.from_dict(entry["config"])
+    assert config.workload == name and config.latency == latency
+    live = pipeline.run(config).report
+    reloaded = entry["report"]
+    if reloaded.get("schema_version") != REPORT_SCHEMA_VERSION:
+        failures.append(f"{name}: schema_version {reloaded.get('schema_version')}"
+                        f" != {REPORT_SCHEMA_VERSION}")
+    if live != reloaded:
+        diff = {key for key in set(live) | set(reloaded)
+                if live.get(key) != reloaded.get(key)}
+        failures.append(f"{name}: differing keys {sorted(diff)}")
+for failure in failures:
+    print(failure)
+sys.exit(1 if failures else 0)
+"""
+
+
+def _fresh_process(script, *argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", script, *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+
+
+def test_registered_workloads_cover_the_roundtrip_matrix():
+    missing = set(available_workloads()) - set(ROUNDTRIP_LATENCIES)
+    assert not missing, (
+        f"workloads {sorted(missing)} have no round-trip operating point; "
+        "add them to ROUNDTRIP_LATENCIES"
+    )
+
+
+def test_report_rows_roundtrip_into_a_fresh_process(tmp_path):
+    matrix_path = tmp_path / "matrix.json"
+    matrix_path.write_text(json.dumps(sorted(ROUNDTRIP_LATENCIES.items())))
+    payload_path = tmp_path / "reports.json"
+
+    writer = _fresh_process(_WRITE_SCRIPT, str(matrix_path), str(payload_path))
+    assert writer.returncode == 0, (
+        f"serializing run failed:\n{writer.stdout}{writer.stderr}"
+    )
+    entries = json.loads(payload_path.read_text())
+    assert set(entries) == set(ROUNDTRIP_LATENCIES)
+
+    comparer = _fresh_process(_COMPARE_SCRIPT, str(matrix_path), str(payload_path))
+    assert comparer.returncode == 0, (
+        f"fresh-process round-trip failed:\n{comparer.stdout}{comparer.stderr}"
+    )

@@ -1,0 +1,163 @@
+"""Tests for the declarative study layer: expansions, stable point ids,
+built-in declarations matching the legacy hand-built config lists, and row
+builders."""
+
+import pytest
+
+from repro.api import (
+    FlowConfig,
+    Study,
+    StudyError,
+    SweepEngine,
+    available_studies,
+    builtin_study,
+    fig4_study,
+)
+from repro.api.study import point_id_for, table_points
+from repro.hls import FlowMode
+
+
+class TestExpansion:
+    def test_grid_orders_first_axis_slowest(self):
+        study = Study("s", base={"workload": "chain:3:16"}).grid(
+            latency=[3, 4], mode=["conventional", "fragmented"]
+        )
+        coords = [(p.config.latency, p.config.mode.value) for p in study.points()]
+        assert coords == [
+            (3, "conventional"),
+            (3, "fragmented"),
+            (4, "conventional"),
+            (4, "fragmented"),
+        ]
+
+    def test_cases_multiply_points(self):
+        study = (
+            Study("s")
+            .cases([{"workload": "motivational", "latency": 3}])
+            .grid(mode=["conventional", "fragmented"])
+        )
+        assert len(study) == 2
+        assert all(p.config.workload == "motivational" for p in study.points())
+
+    def test_zipped_locks_axes_together(self):
+        study = Study("s", base={"mode": "fragmented"}).zipped(
+            workload=["motivational", "fig3"], latency=[3, 4]
+        )
+        coords = [(p.config.workload, p.config.latency) for p in study.points()]
+        assert coords == [("motivational", 3), ("fig3", 4)]
+
+    def test_zipped_rejects_ragged_axes(self):
+        with pytest.raises(StudyError):
+            Study("s").zipped(workload=["a"], latency=[3, 4])
+
+    def test_expansions_are_immutable(self):
+        base = Study("s", base={"workload": "motivational", "latency": 3})
+        grown = base.grid(mode=["conventional", "fragmented"])
+        base_grown = base.grid(mode=["conventional"])
+        assert len(grown) == 2
+        assert len(base_grown) == 1
+
+    def test_invalid_point_is_reported_with_index(self):
+        study = Study("s", base={"workload": "motivational"}).grid(latency=[3, 0])
+        with pytest.raises(StudyError) as excinfo:
+            study.points()
+        assert "point #1" in str(excinfo.value)
+
+    def test_duplicate_points_are_rejected(self):
+        study = Study("s", base={"workload": "motivational", "latency": 3}).cases(
+            [{}, {}]
+        )
+        with pytest.raises(StudyError) as excinfo:
+            study.points()
+        assert "duplicate" in str(excinfo.value)
+
+    def test_unknown_field_is_a_study_error(self):
+        study = Study("s", base={"workload": "motivational", "latency": 3}).cases(
+            [{"no_such_field": 1}]
+        )
+        with pytest.raises(StudyError):
+            study.points()
+
+
+class TestPointIds:
+    def test_ids_are_stable_and_hash_derived(self):
+        config = FlowConfig(latency=3, mode="fragmented", workload="chain:3:16")
+        point_id = point_id_for(config)
+        assert point_id == point_id_for(FlowConfig.from_dict(config.to_dict()))
+        assert config.content_hash()[:12] in point_id
+        assert point_id.startswith("chain-3-16-fragmented-l3-")
+
+    def test_different_configs_get_different_ids(self):
+        a = FlowConfig(latency=3, workload="motivational")
+        b = FlowConfig(latency=3, workload="motivational", label="x")
+        assert point_id_for(a) != point_id_for(b)
+
+
+class TestBuiltinStudies:
+    def test_registry_contains_the_paper_artifacts(self):
+        names = set(available_studies())
+        assert {"table1", "table2", "table3", "fig4-chain", "fig4-adpcm"} <= names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(StudyError):
+            builtin_study("table9")
+
+    def test_table_studies_match_legacy_cli_config_lists(self):
+        # The exact interleaved (conventional, fragmented) list the CLI's
+        # table command used to build by hand; identical configs mean
+        # identical content hashes, cache keys and rows.
+        for which in ("table1", "table2", "table3"):
+            legacy = []
+            for name, latency in table_points(which):
+                legacy.append(
+                    FlowConfig(latency=latency, mode="conventional", workload=name)
+                )
+                legacy.append(
+                    FlowConfig(latency=latency, mode="fragmented", workload=name)
+                )
+            assert builtin_study(which).configs() == legacy
+
+    def test_fig4_study_matches_sweep_configs(self):
+        from repro.analysis import sweep_configs
+
+        study = fig4_study("chain:3:16", latencies=range(3, 7))
+        assert study.configs() == sweep_configs(range(3, 7), workload="chain:3:16")
+        assert study.stop_after == "time"
+
+    def test_table3_names_carry_registry_prefix(self):
+        workloads = {p.config.workload for p in builtin_study("table3").points()}
+        assert workloads == {"adpcm_iaq", "adpcm_ttd", "adpcm_opfc_sca"}
+
+
+class TestRows:
+    def test_fig4_rows_match_latency_sweep(self):
+        from repro.analysis import latency_sweep
+
+        study = fig4_study("chain:3:16", latencies=range(3, 6))
+        engine = SweepEngine(stop_after=study.stop_after)
+        rows = study.rows(engine.reports(study.configs()))
+        sweep = latency_sweep("chain:3:16", range(3, 6))
+        assert rows == sweep.as_rows()
+
+    def test_table1_rows_match_compare_flows(self):
+        from repro.analysis import compare_flows
+        from repro.workloads import motivational_example
+
+        study = builtin_study("table1")
+        rows = study.rows(SweepEngine().reports(study.configs()))
+        comparison = compare_flows(motivational_example(), 3)
+        (row,) = rows
+        assert row["original_cycle_ns"] == pytest.approx(
+            comparison.original.cycle_length_ns
+        )
+        assert row["optimized_cycle_ns"] == pytest.approx(
+            comparison.optimized.cycle_length_ns
+        )
+        assert row["cycle_saving_pct"] == pytest.approx(
+            100.0 * comparison.cycle_saving
+        )
+
+    def test_rows_reject_mismatched_report_count(self):
+        study = builtin_study("table1")
+        with pytest.raises(StudyError):
+            study.rows([{}])

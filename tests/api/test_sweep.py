@@ -98,6 +98,174 @@ class TestErrorsAndValidation:
         assert SweepEngine().run([]) == []
 
 
+class TestStreaming:
+    """The submit()/as_completed() streaming surface."""
+
+    def test_as_completed_yields_every_point(self):
+        configs = _configs(latencies=(3, 4, 5))
+        run = SweepEngine().submit(configs)
+        outcomes = list(run.as_completed())
+        assert len(outcomes) == len(configs)
+        assert all(outcome.ok for outcome in outcomes)
+        assert sorted(outcome.index for outcome in outcomes) == list(
+            range(len(configs))
+        )
+
+    def test_serial_stream_is_lazy_and_ordered(self):
+        configs = _configs(latencies=(3, 4))
+        run = SweepEngine().submit(configs)
+        stream = run.as_completed()
+        first = next(stream)
+        assert first.index == 0
+        # Nothing beyond the first point has run yet; the rest stream on
+        # demand in input order (the serial executor has no pool).
+        rest = [outcome.index for outcome in stream]
+        assert rest == [1, 2, 3]
+
+    def test_results_restores_input_order_after_partial_consumption(self):
+        configs = _configs(latencies=(5, 3, 4))
+        run = SweepEngine(max_workers=4, executor="thread").submit(configs)
+        stream = run.as_completed()
+        next(stream)  # consume one outcome out of order
+        outcomes = run.results()
+        assert [outcome.index for outcome in outcomes] == list(range(len(configs)))
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_run_shim_equals_streamed_results(self):
+        configs = _configs()
+        batch = SweepEngine().run(configs)
+        streamed = SweepEngine().submit(configs).results()
+        assert [outcome.report for outcome in batch] == [
+            outcome.report for outcome in streamed
+        ]
+
+    def test_progress_callback_sees_every_outcome(self):
+        configs = _configs(latencies=(3, 4))
+        seen = []
+        run = SweepEngine(max_workers=2, executor="thread").submit(
+            configs, on_outcome=lambda outcome: seen.append(outcome.index)
+        )
+        run.results()
+        assert sorted(seen) == list(range(len(configs)))
+
+    def test_thread_stream_completion_order_covers_all(self):
+        configs = _configs(latencies=(7, 3, 5))
+        run = SweepEngine(max_workers=3, executor="thread").submit(configs)
+        outcomes = list(run.as_completed())
+        assert sorted(o.index for o in outcomes) == list(range(len(configs)))
+        reports = SweepEngine().reports(configs)
+        by_index = {o.index: o.report for o in outcomes}
+        assert [by_index[i] for i in range(len(configs))] == reports
+
+
+class TestCancellation:
+    def test_serial_cancel_mid_stream(self):
+        configs = _configs(latencies=(3, 4, 5))
+        run = SweepEngine().submit(configs)
+        stream = run.as_completed()
+        first = next(stream)
+        assert first.ok
+        run.cancel()
+        rest = list(stream)
+        assert all(outcome.cancelled for outcome in rest)
+        assert all(not outcome.ok for outcome in rest)
+        assert all(outcome.report is None for outcome in rest)
+
+    def test_cancel_from_progress_callback(self):
+        configs = _configs(latencies=(3, 4, 5))
+        engine = SweepEngine()
+        holder = {}
+
+        def on_outcome(outcome):
+            if not outcome.cancelled:
+                holder["run"].cancel()
+
+        holder["run"] = engine.submit(configs, on_outcome=on_outcome)
+        outcomes = holder["run"].results()
+        executed = [o for o in outcomes if not o.cancelled]
+        cancelled = [o for o in outcomes if o.cancelled]
+        assert len(executed) == 1
+        assert len(cancelled) == len(configs) - 1
+
+    def test_cancel_before_iteration_runs_nothing(self):
+        configs = _configs(latencies=(3, 4))
+        run = SweepEngine().submit(configs)
+        run.cancel()
+        outcomes = run.results()
+        assert all(outcome.cancelled for outcome in outcomes)
+
+    def test_cancelled_stays_false_after_a_normal_pooled_drain(self):
+        configs = _configs(latencies=(3, 4))
+        run = SweepEngine(max_workers=2, executor="thread").submit(configs)
+        outcomes = list(run.as_completed())
+        assert all(outcome.ok for outcome in outcomes)
+        assert not run.cancelled
+
+    def test_dropping_the_stream_cancels_queued_points(self):
+        # Abandoning as_completed() without an explicit cancel() must not
+        # run the rest of the sweep in background threads.
+        import threading
+
+        release = threading.Event()
+        executed = []
+
+        def slow_pass(artifact):
+            executed.append(artifact.config.latency)
+            assert release.wait(10)
+
+        pipeline = Pipeline([("sleep", slow_pass)])
+        configs = [
+            FlowConfig(latency=3 + index, workload="chain:3:16")
+            for index in range(8)
+        ]
+        run = SweepEngine(pipeline, max_workers=1, executor="thread").submit(configs)
+        stream = run.as_completed()
+        drainer = threading.Thread(target=lambda: next(stream, None))
+        drainer.start()
+        release.set()
+        drainer.join(timeout=10)
+        assert not drainer.is_alive()
+        stream.close()  # drop the iterator without cancel()
+        assert run.cancelled
+        # Only what had started before the drop ever executes.
+        assert len(executed) <= 2
+
+    def test_thread_cancel_lets_inflight_finish_and_skips_the_rest(self):
+        # Two workers block inside a custom pass; once both are in flight the
+        # sweep is cancelled and the workers released.  Exactly the two
+        # in-flight points finish; the queued ones are skipped by the guard.
+        import threading
+
+        started = threading.Semaphore(0)
+        release = threading.Event()
+
+        def slow_pass(artifact):
+            started.release()
+            assert release.wait(10)
+
+        pipeline = Pipeline([("sleep", slow_pass)])
+        configs = [
+            FlowConfig(latency=3 + index, workload="chain:3:16")
+            for index in range(6)
+        ]
+        run = SweepEngine(pipeline, max_workers=2, executor="thread").submit(configs)
+        collected = []
+        drainer = threading.Thread(
+            target=lambda: collected.extend(run.as_completed())
+        )
+        drainer.start()
+        started.acquire()
+        started.acquire()
+        run.cancel()
+        release.set()
+        drainer.join(timeout=10)
+        assert not drainer.is_alive()
+        outcomes = run.results()
+        executed = [outcome for outcome in outcomes if not outcome.cancelled]
+        assert len(executed) == 2
+        assert len(outcomes) == len(configs)
+
+
 class TestSharedCache:
     def test_engine_shares_pipeline_cache_across_runs(self):
         cache = ResultCache()

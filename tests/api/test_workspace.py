@@ -1,0 +1,265 @@
+"""Tests for the on-disk workspace: persistence, resume-after-interruption,
+content addressing, schema invalidation and zero-recompute reports."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    REPORT_SCHEMA_VERSION,
+    Study,
+    Workspace,
+    WorkspaceError,
+    builtin_study,
+    fig4_study,
+)
+
+
+def tiny_study():
+    """A cheap two-point study (the Table I matrix)."""
+    return builtin_study("table1")
+
+
+class TestRunAndResume:
+    def test_cold_run_persists_every_point(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        study = tiny_study()
+        result = workspace.run_study(study)
+        assert result.complete
+        assert result.ran == len(study) and result.loaded == 0
+        status = workspace.status(study)
+        assert status["completed"] == len(study) and status["missing"] == 0
+
+    def test_resume_loads_instead_of_recomputing(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        study = tiny_study()
+        first = workspace.run_study(study)
+        second = workspace.run_study(study)
+        assert second.loaded == len(study) and second.ran == 0
+        assert second.reports() == first.reports()
+
+    def test_interrupted_run_resumes_only_missing_points(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        study = fig4_study("chain:3:16", latencies=range(3, 6), name="fig4-mini")
+        interrupted = workspace.run_study(study, max_points=2)
+        assert interrupted.ran == 2
+        assert interrupted.cancelled == len(study) - 2
+        assert not interrupted.complete
+
+        resumed = workspace.run_study(study)
+        assert resumed.complete
+        assert resumed.loaded == 2
+        assert resumed.ran == len(study) - 2
+
+    def test_fresh_run_ignores_stored_rows(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        study = tiny_study()
+        workspace.run_study(study)
+        fresh = workspace.run_study(study, resume=False)
+        assert fresh.ran == len(study) and fresh.loaded == 0
+
+    def test_progress_reports_loaded_then_run(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        study = fig4_study("chain:3:16", latencies=range(3, 6), name="fig4-mini")
+        workspace.run_study(study, max_points=2)
+        events = []
+        workspace.run_study(
+            study,
+            progress=lambda result, done, total: events.append(
+                (result.source, done, total)
+            ),
+        )
+        sources = [source for source, _, _ in events]
+        assert sources[:2] == ["store", "store"]
+        assert sources.count("run") == len(study) - 2
+        assert [done for _, done, _ in events] == list(range(1, len(study) + 1))
+
+    def test_reuse_across_workspace_instances(self, tmp_path):
+        study = tiny_study()
+        Workspace(tmp_path / "ws").run_study(study)
+        reopened = Workspace(tmp_path / "ws")
+        result = reopened.run_study(study)
+        assert result.loaded == len(study)
+
+    def test_run_persists_rows_identical_to_reports(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        study = tiny_study()
+        result = workspace.run_study(study)
+        assert workspace.reports(study) == result.reports()
+        assert workspace.rows(study) == result.rows()
+
+
+class TestStoreIntegrity:
+    def test_rows_are_content_addressed(self, tmp_path):
+        from repro.api.workspace import _address_for
+
+        workspace = Workspace(tmp_path / "ws")
+        study = tiny_study()
+        workspace.run_study(study)
+
+        objects = list((tmp_path / "ws" / "objects").rglob("*.json"))
+        assert len(objects) == len(study)
+        for path in objects:
+            payload = json.loads(path.read_text())
+            assert path.stem == _address_for(payload)
+            assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+
+    def test_tampered_row_is_recomputed_and_healed(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        study = tiny_study()
+        workspace.run_study(study)
+        victim = next((tmp_path / "ws" / "objects").rglob("*.json"))
+        payload = json.loads(victim.read_text())
+        payload["report"]["total_area"] = -1.0
+        victim.write_text(json.dumps(payload))
+        result = Workspace(tmp_path / "ws").run_study(study)
+        assert result.ran == 1 and result.loaded == len(study) - 1
+        # Re-storing the recomputed row heals the tampered object in place:
+        # the next resume loads everything and the report works again.
+        healed = Workspace(tmp_path / "ws")
+        assert healed.run_study(study).loaded == len(study)
+        assert len(healed.reports(study)) == len(study)
+
+    def test_stale_schema_row_is_recomputed(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        study = tiny_study()
+        workspace.run_study(study)
+        # Rewrite one row as if an older schema had produced it (the content
+        # address is recomputed so only the schema check can reject it).
+        from repro.api.workspace import _address_for
+
+        victim = next((tmp_path / "ws" / "objects").rglob("*.json"))
+        payload = json.loads(victim.read_text())
+        point_id = payload["point_id"]
+        payload["schema_version"] = REPORT_SCHEMA_VERSION - 1
+        address = _address_for(payload)
+        store = tmp_path / "ws" / "objects" / address[:2]
+        store.mkdir(parents=True, exist_ok=True)
+        (store / f"{address}.json").write_text(json.dumps(payload))
+        manifest_path = tmp_path / "ws" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["studies"][study.name]["points"][point_id]["object"] = address
+        manifest_path.write_text(json.dumps(manifest))
+
+        result = Workspace(tmp_path / "ws").run_study(study)
+        assert result.ran == 1 and result.loaded == len(study) - 1
+
+    def test_unreadable_manifest_raises(self, tmp_path):
+        root = tmp_path / "ws"
+        root.mkdir()
+        (root / "manifest.json").write_text("{not json")
+        with pytest.raises(WorkspaceError):
+            Workspace(root)
+
+    def test_future_manifest_schema_raises(self, tmp_path):
+        root = tmp_path / "ws"
+        root.mkdir()
+        (root / "manifest.json").write_text(
+            json.dumps({"schema_version": 999, "studies": {}})
+        )
+        with pytest.raises(WorkspaceError):
+            Workspace(root)
+
+
+class TestReports:
+    def test_reports_raise_on_missing_points(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        study = tiny_study()
+        workspace.run_study(study, max_points=1)
+        with pytest.raises(WorkspaceError) as excinfo:
+            workspace.reports(study)
+        assert "unfinished" in str(excinfo.value)
+        partial = workspace.reports(study, allow_partial=True)
+        assert len(partial) == 1
+
+    def test_rows_regenerate_with_zero_recompute(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        study = tiny_study()
+        live_rows = workspace.run_study(study).rows()
+        # A fresh instance regenerates the table purely from disk.
+        assert Workspace(tmp_path / "ws").rows(study) == live_rows
+
+    def test_engine_stop_after_mismatch_is_rejected(self, tmp_path):
+        from repro.api import SweepEngine
+
+        workspace = Workspace(tmp_path / "ws")
+        study = fig4_study("chain:3:16", latencies=[3], name="fig4-one")
+        with pytest.raises(WorkspaceError):
+            workspace.run_study(study, engine=SweepEngine())
+
+    def test_distinct_studies_share_the_store(self, tmp_path):
+        # Identical points of different studies dedupe via content addresses
+        # (provenance timestamps are excluded from the address, so identical
+        # results written at different times share one object).
+        workspace = Workspace(tmp_path / "ws")
+        study_a = tiny_study()
+        study_b = Study(
+            "table1-copy", row_kind="table"
+        ).cases([{"workload": "motivational", "latency": 3}]).grid(
+            mode=["conventional", "fragmented"]
+        )
+        workspace.run_study(study_a)
+        workspace.run_study(study_b)
+        assert set(workspace.studies()) == {"table1", "table1-copy"}
+        objects = list((tmp_path / "ws" / "objects").rglob("*.json"))
+        assert len(objects) == len(study_a)
+
+    def test_gc_prunes_unreferenced_objects(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        study = tiny_study()
+        workspace.run_study(study)
+        stray = tmp_path / "ws" / "objects" / "zz" / ("f" * 64 + ".json")
+        stray.parent.mkdir(parents=True, exist_ok=True)
+        stray.write_text("{}")
+        assert workspace.gc() == 1
+        assert not stray.exists()
+        # Referenced rows survive and the study still resumes from them.
+        result = workspace.run_study(study)
+        assert result.loaded == len(study)
+
+    def test_create_false_refuses_missing_workspace(self, tmp_path):
+        with pytest.raises(WorkspaceError, match="no workspace"):
+            Workspace(tmp_path / "nowhere", create=False)
+        assert not (tmp_path / "nowhere").exists()
+        # An existing workspace opens fine read-only.
+        Workspace(tmp_path / "ws").run_study(tiny_study())
+        assert Workspace(tmp_path / "ws", create=False).status(tiny_study())[
+            "completed"
+        ] == 2
+
+    def test_merge_prefers_newer_record_over_stale_memory(self, tmp_path):
+        # A record another process wrote after this instance loaded the
+        # manifest must survive this instance's next save.
+        root = tmp_path / "ws"
+        study = tiny_study()
+        Workspace(root).run_study(study)
+        stale = Workspace(root)  # holds the current records in memory
+        point = study.points()[0]
+        manifest = json.loads((root / "manifest.json").read_text())
+        record = manifest["studies"][study.name]["points"][point.point_id]
+        record["object"] = "0" * 64
+        record["completed_at"] = "2999-01-01T00:00:00+0000"
+        (root / "manifest.json").write_text(json.dumps(manifest))
+
+        stale.store_row(study.name, study.points()[1], {"x": 1})
+        merged = json.loads((root / "manifest.json").read_text())
+        kept = merged["studies"][study.name]["points"][point.point_id]
+        assert kept["object"] == "0" * 64  # the newer record won
+
+    def test_concurrent_instances_merge_manifests(self, tmp_path):
+        # Two processes sharing one workspace must not erase each other's
+        # completed-point records: saves union the on-disk manifest.
+        root = tmp_path / "ws"
+        instance_a = Workspace(root)
+        instance_b = Workspace(root)  # loaded before A records anything
+        instance_a.run_study(tiny_study())
+        other = Study(
+            "fig4-one", stop_after="time", row_kind="fig4"
+        ).cases([{"workload": "chain:3:16", "latency": 3}]).grid(
+            mode=["conventional", "fragmented"]
+        )
+        instance_b.run_study(other)  # B's save must keep A's records
+        fresh = Workspace(root)
+        assert set(fresh.studies()) == {"table1", "fig4-one"}
+        assert fresh.status(tiny_study())["completed"] == 2
+        assert fresh.run_study(tiny_study()).loaded == 2
