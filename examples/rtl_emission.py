@@ -1,0 +1,66 @@
+"""RTL emission: from the paper's tables to a working hardware design.
+
+Synthesizes the motivational example with the fragmented (optimized) flow,
+lowers the allocated datapath to a structural sequential design -- the
+functional units, the five allocated register bits, the FSM-decoded mux
+trees -- then:
+
+1. co-simulates the emitted design cycle-accurately against the
+   batch-interpreter oracle on corner + random stimuli (bit-identical or
+   the script fails),
+2. runs one concrete computation through the design, clock edge by clock
+   edge, and
+3. writes the synthesizable Verilog next to this script.
+
+The same experiment is one shell command::
+
+    python -m repro emit motivational --check --verilog motivational.v
+
+Run with::
+
+    python examples/rtl_emission.py
+"""
+
+from pathlib import Path
+
+from repro.api import FlowConfig, Pipeline
+from repro.rtl.emit import emit_design, verify_emission
+from repro.rtl.verilog import render_verilog
+
+
+def main() -> None:
+    artifact = Pipeline().run(
+        FlowConfig(latency=3, mode="fragmented", workload="motivational"),
+        use_cache=False,
+    )
+    emission = emit_design(artifact.schedule, artifact.library, artifact.datapath)
+    stats = emission.stats
+    print(
+        f"emitted {emission.design.name}: {stats.gate_count} gates, "
+        f"{stats.fsm_states} FSM states, {stats.register_bits} register bits "
+        f"(the paper's five stored bits), {stats.mux_count} muxes"
+    )
+
+    # 1. The hardware must agree with the behavioural oracle, bit for bit.
+    check = verify_emission(
+        emission.design, artifact.working_specification, random_count=50
+    )
+    print(check.summary())
+    if not check.equivalent:
+        raise SystemExit(1)
+
+    # 2. One concrete computation: G = ((A + B) + D) + F over 3 clock cycles.
+    inputs = {"A": 1000, "B": 2000, "D": 3000, "F": 4000}
+    outputs = emission.design.simulate(inputs)
+    expected = (inputs["A"] + inputs["B"] + inputs["D"] + inputs["F"]) & 0xFFFF
+    print(f"G = {outputs['G']} (expected {expected})")
+    assert outputs["G"] == expected
+
+    # 3. Synthesizable Verilog of the same structure.
+    path = Path(__file__).with_name("motivational.v")
+    path.write_text(render_verilog(emission.design))
+    print(f"wrote {path} ({len(path.read_text().splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

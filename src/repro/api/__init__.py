@@ -60,6 +60,7 @@ from .config import (
 from .passes import (
     DEFAULT_PASSES,
     allocate_pass,
+    emit_pass,
     parse_pass,
     report_pass,
     schedule_pass,
@@ -112,6 +113,7 @@ __all__ = [
     "available_workloads",
     "build_report",
     "builtin_study",
+    "emit_pass",
     "fig4_study",
     "parse_pass",
     "report_pass",

@@ -22,6 +22,7 @@ from ..hls.flow import SynthesisResult
 from ..hls.schedule import Schedule
 from ..hls.timing import CycleTiming
 from ..ir.spec import Specification
+from ..rtl.emit import RtlEmission
 from ..techlib.library import TechnologyLibrary
 from .config import FlowConfig
 
@@ -33,7 +34,10 @@ from .config import FlowConfig
 #: :class:`~repro.api.workspace.Workspace` row, so artifacts written by an
 #: older layout are invalidated instead of silently reloaded.
 #: Version 2 added the ``schema_version`` field itself.
-REPORT_SCHEMA_VERSION = 2
+#: Version 3 added the RTL emission statistics (``emit_*`` keys, present when
+#: the config requests the emit pass) and the new ``emit``/``emit_check``
+#: config fields feeding the content hash.
+REPORT_SCHEMA_VERSION = 3
 
 
 class PipelineStateError(RuntimeError):
@@ -61,6 +65,8 @@ class RunArtifact:
       and the per-cycle chained-bit budget (``transform``);
     * ``schedule`` (``schedule``), ``timing`` (``time``), ``datapath``
       (``allocate``);
+    * ``emission`` -- the structural RTL design lowered from the bound
+      datapath (``emit``; only when the config requests it);
     * ``synthesis`` / ``report`` -- the backward-compatible
       :class:`~repro.hls.flow.SynthesisResult` and the flat metric row
       (``report``).
@@ -75,6 +81,7 @@ class RunArtifact:
     schedule: Optional[Schedule] = None
     timing: Optional[CycleTiming] = None
     datapath: Optional[Datapath] = None
+    emission: Optional[RtlEmission] = None
     synthesis: Optional[SynthesisResult] = None
     report: Optional[Dict[str, Any]] = None
     passes: List[PassRecord] = field(default_factory=list)
@@ -149,6 +156,11 @@ def build_report(artifact: RunArtifact) -> Dict[str, Any]:
         if result.equivalence is not None:
             report["equivalent"] = result.equivalence.equivalent
             report["equivalence_vectors"] = result.equivalence.vectors_checked
+    if artifact.emission is not None:
+        report.update(artifact.emission.stats.to_report())
+        if artifact.emission.check is not None:
+            report["emit_check_ok"] = artifact.emission.check.equivalent
+            report["emit_check_vectors"] = artifact.emission.check.vectors_checked
     return report
 
 

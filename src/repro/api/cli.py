@@ -1,10 +1,14 @@
 """``python -m repro`` -- the command-line front end of the flow pipeline.
 
-Six subcommands, all driving the same :mod:`repro.api` objects a Python
+Seven subcommands, all driving the same :mod:`repro.api` objects a Python
 caller would use:
 
 * ``repro list-workloads``          -- the registered benchmark specifications;
 * ``repro run <workload>``          -- one synthesis run, summary or JSON;
+* ``repro emit <workload>``         -- lower the allocated datapath to
+  structural RTL: print the emission statistics, optionally write
+  synthesizable Verilog (``--verilog``) and co-simulate the emitted design
+  cycle-accurately against the batch-interpreter oracle (``--check``);
 * ``repro sweep <workload>``        -- the Fig. 4 latency sweep, optionally
   parallel (``--workers``/``--executor``);
 * ``repro table table1|table2|table3`` -- reproduce a table of the paper;
@@ -19,6 +23,8 @@ caller would use:
 Examples::
 
     python -m repro run motivational --latency 3 --mode fragmented
+    python -m repro emit motivational --check
+    python -m repro emit adpcm_iaq --verilog adpcm_iaq.v --check
     python -m repro sweep chain:3:16 --latencies 3:15 --workers 4
     python -m repro table table2 --workers 4
     python -m repro study run table2 --workspace .repro-ws --workers 4
@@ -155,11 +161,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--stop-after",
         default=None,
         help="stop the pipeline after this pass (parse, validate, transform, "
-        "schedule, time, allocate, report)",
+        "schedule, time, allocate, emit, report)",
     )
     run_parser.add_argument("--json", action="store_true", help="print the JSON report")
     _add_library_options(run_parser)
     _add_cache_option(run_parser)
+
+    # -- emit ----------------------------------------------------------
+    emit_parser = subparsers.add_parser(
+        "emit",
+        help="lower the allocated datapath to structural RTL "
+        "(Verilog + cycle-accurate co-simulation)",
+    )
+    emit_parser.add_argument(
+        "workload",
+        help="workload name (see list-workloads) or chain:<n>:<w> / tree:<n>:<w>",
+    )
+    emit_parser.add_argument(
+        "--latency",
+        "-l",
+        type=int,
+        default=None,
+        help="circuit latency in cycles (default: the latency the paper's "
+        "tables use for the workload, 3 otherwise)",
+    )
+    emit_parser.add_argument(
+        "--mode",
+        "-m",
+        default="fragmented",
+        help="flow mode: conventional, fragmented or blc (default: fragmented)",
+    )
+    emit_parser.add_argument(
+        "--verilog",
+        default=None,
+        metavar="PATH",
+        help="write the synthesizable Verilog rendering to this file",
+    )
+    emit_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="co-simulate the emitted design against the batch-interpreter "
+        "oracle (corner + random vectors) and fail on any mismatch",
+    )
+    emit_parser.add_argument(
+        "--equivalence-vectors",
+        type=int,
+        default=50,
+        help="random stimulus vectors drawn by --check (default: 50; corner "
+        "vectors are always included)",
+    )
+    emit_parser.add_argument(
+        "--equivalence-seed",
+        type=int,
+        default=2005,
+        help="stimulus seed of --check (default: 2005)",
+    )
+    emit_parser.add_argument("--json", action="store_true")
+    _add_library_options(emit_parser)
 
     # -- sweep ---------------------------------------------------------
     sweep_parser = subparsers.add_parser(
@@ -417,6 +475,95 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(artifact.summary())
         for record in artifact.passes:
             print(f"  pass {record.name:9s}: {1000 * record.elapsed_s:.1f} ms")
+    return 0
+
+
+def _default_emit_latency(workload: str) -> int:
+    """The latency the paper's tables use for a workload (3 otherwise)."""
+    from ..workloads import FIG3_LATENCY, TABLE2_LATENCIES, TABLE3_LATENCIES
+
+    if workload == "fig3":
+        return FIG3_LATENCY
+    if workload in TABLE2_LATENCIES:
+        latencies = TABLE2_LATENCIES[workload]
+        return latencies[0] if isinstance(latencies, (list, tuple)) else latencies
+    short = workload[len("adpcm_"):] if workload.startswith("adpcm_") else workload
+    if short in TABLE3_LATENCIES:
+        latency = TABLE3_LATENCIES[short]
+        return latency[0] if isinstance(latency, (list, tuple)) else latency
+    return 3
+
+
+def _cmd_emit(args: argparse.Namespace) -> int:
+    from ..rtl.emit import EmissionError
+    from ..rtl.verilog import render_verilog
+
+    latency = args.latency
+    if latency is None:
+        latency = _default_emit_latency(args.workload)
+    config = FlowConfig(
+        latency=latency,
+        mode=args.mode,
+        workload=args.workload,
+        adder_style=args.adder_style,
+        multiplier_style=args.multiplier_style,
+        emit=True,
+        emit_check=args.check,
+        equivalence_vectors=args.equivalence_vectors,
+        equivalence_seed=args.equivalence_seed,
+    )
+    pipeline = Pipeline()
+    try:
+        artifact = pipeline.run(config, use_cache=False)
+    except EmissionError as error:
+        print(f"emit check FAILED: {error}", file=sys.stderr)
+        return 1
+    emission = artifact.emission
+    assert emission is not None  # config.emit=True guarantees the pass ran
+    verilog_path = None
+    verilog_lines = 0
+    if args.verilog is not None:
+        text = render_verilog(emission.design)
+        with open(args.verilog, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        verilog_path = args.verilog
+        verilog_lines = text.count("\n")
+    if args.json:
+        payload: Dict[str, Any] = {
+            "design": emission.design.name,
+            "workload": args.workload,
+            "latency": latency,
+            "mode": config.mode.value,
+            "stats": emission.stats.to_report(),
+            "report": artifact.report,
+        }
+        if emission.check is not None:
+            payload["check"] = {
+                "equivalent": emission.check.equivalent,
+                "vectors": emission.check.vectors_checked,
+            }
+        if verilog_path is not None:
+            payload["verilog"] = {"path": verilog_path, "lines": verilog_lines}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    stats = emission.stats
+    print(
+        f"emitted {emission.design.name} [{config.mode}] latency={latency}: "
+        f"{stats.gate_count} gates, {stats.fsm_states} FSM states over "
+        f"{stats.fsm_state_bits} bits, {stats.fu_units} functional units, "
+        f"{stats.mux_count} muxes (max fan-in {stats.mux_max_fan_in}), "
+        f"{stats.register_bits} register bits, "
+        f"{stats.capture_bits} output-capture bits"
+    )
+    if stats.split_fu_instances:
+        print(
+            f"  {stats.split_fu_instances} shared unit(s) split to keep the "
+            "mux network acyclic (see DESIGN.md)"
+        )
+    if emission.check is not None:
+        print(f"  check: {emission.check.summary().splitlines()[0]}")
+    if verilog_path is not None:
+        print(f"  verilog: {verilog_path} ({verilog_lines} lines)")
     return 0
 
 
@@ -737,6 +884,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "emit": _cmd_emit,
         "sweep": _cmd_sweep,
         "table": _cmd_table,
         "study": _cmd_study,

@@ -144,6 +144,15 @@ class FlowConfig:
         whether to check, how many random vectors to draw, and the stimulus
         seed.  All three are part of the content hash, so runs differing
         only in their verification regime never share cache entries.
+    emit / emit_check:
+        Run the RTL emission pass after allocation: lower the bound datapath
+        into a structural sequential design (:mod:`repro.rtl.emit`) and
+        stamp its structural statistics (gate count, FSM states, mux depth)
+        into the report.  ``emit_check`` additionally co-simulates the
+        emitted design cycle-accurately against the batch-interpreter
+        oracle on the equivalence stimulus set and fails the run on any
+        mismatch.  Both are content-hashed, so emitted and non-emitted runs
+        never share cache entries.
     label:
         Free-form tag carried into reports (sweep annotations).
     """
@@ -162,6 +171,8 @@ class FlowConfig:
     check_equivalence: bool = False
     equivalence_vectors: int = 50
     equivalence_seed: int = 2005
+    emit: bool = False
+    emit_check: bool = False
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -193,6 +204,11 @@ class FlowConfig:
         ):
             raise ConfigError(
                 f"equivalence_seed must be an integer, got {self.equivalence_seed!r}"
+            )
+        if self.emit_check and not self.emit:
+            raise ConfigError(
+                "emit_check=True requires emit=True (there is no emitted "
+                "design to verify otherwise)"
             )
 
     # ------------------------------------------------------------------

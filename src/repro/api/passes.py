@@ -4,7 +4,10 @@ Each pass is a named function ``(RunArtifact) -> None`` that reads the
 artifact slots filled by its predecessors and fills its own.  The default
 sequence mirrors the paper's flow::
 
-    parse -> validate -> transform -> schedule -> time -> allocate -> report
+    parse -> validate -> transform -> schedule -> time -> allocate -> emit -> report
+
+(the ``emit`` pass lowers the bound datapath to structural RTL and only runs
+when the config's ``emit`` flag asks for it)
 
 Passes are deliberately thin: they delegate to the same primitives the legacy
 :func:`repro.hls.flow.synthesize` facade composes, so the pipeline and the
@@ -101,6 +104,41 @@ def allocate_pass(artifact: RunArtifact) -> None:
     artifact.datapath = build_datapath(artifact.require("schedule"), artifact.library)
 
 
+def emit_pass(artifact: RunArtifact) -> None:
+    """Lower the bound datapath to a structural RTL design (opt-in).
+
+    Runs only when the config's ``emit`` flag is set.  With ``emit_check``
+    the emitted design is additionally batch co-simulated against the
+    :class:`~repro.simulation.batch.BatchInterpreter` oracle on the
+    equivalence stimulus set (``equivalence_vectors`` random vectors plus
+    the corner set, seeded by ``equivalence_seed``); a mismatch raises.
+    """
+    config = artifact.config
+    if not config.emit:
+        return
+    from ..rtl.emit import EmissionError, emit_design, verify_emission
+
+    emission = emit_design(
+        artifact.require("schedule"),
+        artifact.library,
+        datapath=artifact.require("datapath"),
+    )
+    artifact.emission = emission
+    if config.emit_check:
+        check = verify_emission(
+            emission.design,
+            artifact.require("working_specification"),
+            random_count=config.equivalence_vectors,
+            seed=config.equivalence_seed,
+        )
+        emission.check = check
+        if not check.equivalent:
+            raise EmissionError(
+                "emitted design disagrees with the batch-interpreter oracle:\n"
+                + check.summary()
+            )
+
+
 def report_pass(artifact: RunArtifact) -> None:
     """Assemble the backward-compatible result object and the metric row."""
     config = artifact.config
@@ -126,5 +164,6 @@ DEFAULT_PASSES: Tuple[Tuple[str, PassFn], ...] = (
     ("schedule", schedule_pass),
     ("time", time_pass),
     ("allocate", allocate_pass),
+    ("emit", emit_pass),
     ("report", report_pass),
 )

@@ -416,6 +416,35 @@ def fig4_study(
     )
 
 
+def emission_study() -> Study:
+    """The RTL emission matrix: emitted + cycle-accurately checked points.
+
+    Every point runs with ``emit=True``/``emit_check=True``, so its workspace
+    row carries the structural emission statistics (``emit_gate_count``,
+    ``emit_fsm_states``, ``emit_mux_count``, ...) next to the area estimates,
+    and the stored ``emit_check_ok`` flag certifies that the emitted design
+    simulated bit-identically to the batch-interpreter oracle.
+    """
+    return (
+        Study(
+            "emission",
+            base=dict(emit=True, emit_check=True),
+            description=(
+                "RTL emission: structural gate counts and the cycle-accurate "
+                "oracle check for the motivational and ADPCM IAQ designs"
+            ),
+            row_kind="raw",
+        )
+        .cases(
+            [
+                {"workload": "motivational", "latency": 3},
+                {"workload": "adpcm_iaq", "latency": 3},
+            ]
+        )
+        .grid(mode=[FlowMode.CONVENTIONAL.value, FlowMode.FRAGMENTED.value])
+    )
+
+
 #: Factories of the named built-in studies (the paper's artifacts).
 BUILTIN_STUDIES: Dict[str, Callable[[], Study]] = {
     "table1": lambda: table_study("table1"),
@@ -424,6 +453,7 @@ BUILTIN_STUDIES: Dict[str, Callable[[], Study]] = {
     "fig4-chain": lambda: fig4_study("chain:3:16", name="fig4-chain"),
     "fig4-motivational": lambda: fig4_study("motivational", name="fig4-motivational"),
     "fig4-adpcm": lambda: fig4_study("adpcm_iaq", name="fig4-adpcm"),
+    "emission": emission_study,
 }
 
 

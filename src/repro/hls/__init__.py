@@ -5,7 +5,12 @@ binding) and the structural side of Design Compiler in the paper's
 experimental flow.  See DESIGN.md for the substitution rationale.
 """
 
-from .controller import ControllerEstimate, estimate_controller
+from .controller import (
+    ControllerEstimate,
+    ControllerSynthesis,
+    estimate_controller,
+    synthesize_controller,
+)
 from .datapath import Datapath, build_datapath
 from .flow import (
     FlowMode,
@@ -54,6 +59,7 @@ __all__ = [
     "BlcScheduleResult",
     "ClockSearchResult",
     "ControllerEstimate",
+    "ControllerSynthesis",
     "CycleTiming",
     "Datapath",
     "FlowMode",
@@ -89,5 +95,6 @@ __all__ = [
     "schedule_conventional",
     "schedule_fragments",
     "synthesize",
+    "synthesize_controller",
     "verify_budget",
 ]

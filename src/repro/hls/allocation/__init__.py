@@ -16,6 +16,8 @@ from .registers import (
     ValueGroup,
     allocate_registers,
     analyze_lifetimes,
+    lifetime_skeleton,
+    storage_sources,
 )
 
 __all__ = [
@@ -30,4 +32,6 @@ __all__ = [
     "allocate_registers",
     "analyze_lifetimes",
     "estimate_interconnect",
+    "lifetime_skeleton",
+    "storage_sources",
 ]

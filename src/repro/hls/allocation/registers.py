@@ -529,6 +529,31 @@ def _lifetime_skeleton(specification: Specification) -> _LifetimeSkeleton:
     return skeleton
 
 
+def lifetime_skeleton(specification: Specification) -> _LifetimeSkeleton:
+    """The schedule-independent lifetime structure of a specification.
+
+    Public entry point for consumers outside the register allocator (the
+    RTL emitter derives same-cycle chaining and storage placement from the
+    same births/read-sources the allocation uses, so the emitted design
+    stores exactly the allocated bits).
+    """
+    return _lifetime_skeleton(specification)
+
+
+def storage_sources(
+    specification: Specification, variable: Variable, bit: int
+) -> List[CanonicalBit]:
+    """The additive result bits that must be stored for a read of this bit.
+
+    Public, shared-cache wrapper over the storage-source walk -- the
+    contract between the register allocator (death cycles, value groups)
+    and the RTL emitter (glue replication, output capture).
+    """
+    return _storage_sources(
+        specification, variable, bit, _memo=_storage_source_cache(specification)
+    )
+
+
 def analyze_lifetimes(schedule: Schedule, engine: str = "interval") -> List[ValueGroup]:
     """Birth/death cycles of every produced value bit, grouped into runs.
 

@@ -1,16 +1,26 @@
-"""FSM controller estimation.
+"""FSM controller estimation and synthesis.
 
 The controller of the synthesized circuit sequences the datapath: one state
 per clock cycle of the schedule, and one control signal per multiplexer select
-bit and per register load enable.  Its cost is estimated with the linear model
-of :meth:`repro.techlib.TechnologyLibrary.controller_area`, which stands in
-for the controller gate counts Table I reports (60 / 32 / 62 gates for the
-three implementations of the motivational example).
+bit and per register load enable.  Two views are provided:
+
+* :func:`estimate_controller` -- the linear cost model of
+  :meth:`repro.techlib.TechnologyLibrary.controller_area`, which stands in
+  for the controller gate counts Table I reports (60 / 32 / 62 gates for the
+  three implementations of the motivational example);
+* :func:`synthesize_controller` -- a real, synthesizable encoding consumed by
+  the RTL emitter (:mod:`repro.rtl.emit`): a binary-counter FSM with one
+  state per schedule cycle (cycle ``c`` encoded as ``c - 1``), wrapping back
+  to the first state after the last cycle so the design streams one
+  computation every ``latency`` clocks.  The emitter registers every select
+  and load-enable net it decodes from the state with the synthesis record,
+  so the *actual* control-signal count sits next to the estimate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import List, Tuple
 
 from ..techlib.library import TechnologyLibrary
 from .allocation.interconnect import InterconnectEstimate
@@ -31,6 +41,51 @@ class ControllerEstimate:
             f"controller: {self.states} states, {self.control_signals} control "
             f"signals, {self.area_gates:.0f} gates"
         )
+
+
+@dataclass
+class ControllerSynthesis:
+    """A synthesizable FSM encoding: one state per schedule cycle.
+
+    ``encoding[c - 1]`` is the binary code of cycle ``c``; the counter wraps
+    to state 0 after the last cycle.  ``control_signals`` records the names
+    of the select/enable nets the RTL emitter decoded from the state, in
+    creation order, so reports can compare the synthesized control word
+    against :class:`ControllerEstimate`.
+    """
+
+    states: int
+    state_bits: int
+    encoding: Tuple[int, ...]
+    control_signals: List[str] = field(default_factory=list)
+
+    def code_of(self, cycle: int) -> int:
+        """Binary state code of schedule cycle ``cycle`` (1-based)."""
+        if not (1 <= cycle <= self.states):
+            raise ValueError(f"cycle {cycle} outside [1, {self.states}]")
+        return self.encoding[cycle - 1]
+
+    def register_control(self, name: str) -> None:
+        """Record one decoded control net (called by the RTL emitter)."""
+        self.control_signals.append(name)
+
+    def describe(self) -> str:
+        return (
+            f"controller: {self.states} states over {self.state_bits} state "
+            f"bits, {len(self.control_signals)} decoded control signals"
+        )
+
+
+def synthesize_controller(latency: int) -> ControllerSynthesis:
+    """Synthesize the binary-counter FSM encoding of a *latency*-cycle schedule."""
+    if latency < 1:
+        raise ValueError(f"latency must be >= 1, got {latency}")
+    state_bits = max(1, (latency - 1).bit_length())
+    return ControllerSynthesis(
+        states=latency,
+        state_bits=state_bits,
+        encoding=tuple(range(latency)),
+    )
 
 
 def estimate_controller(

@@ -26,7 +26,14 @@ The harness measures two families of numbers:
   (batch-engine :func:`repro.simulation.check_equivalence` over 100 random
   vectors plus the corner set), the derived ``equivalence_vectors_per_s``
   throughput, and ``elaborate_s`` (gate-level netlist elaboration of the
-  transformed specification).
+  transformed specification);
+
+* **emission** -- for each benchmark workload, the RTL backend timings over
+  a prepared (scheduled + allocated) fragmented-flow point: ``emit_s`` (the
+  allocation-to-structural-RTL lowering of :func:`repro.rtl.emit.emit_design`)
+  and ``rtlsim_s`` (lane-packed cycle-accurate batch simulation of the
+  emitted design over the 100-vector oracle stimulus), plus the derived
+  ``rtlsim_vectors_per_s`` throughput.
 
 Two whole-stage memos need deliberate handling.  The datapath memo replays
 a finished allocation for an identical schedule, and the transform phase-2/3
@@ -107,6 +114,16 @@ QUICK_SWEEPS: Dict[str, Tuple[str, str]] = {
     "fig4_chain_3_16": ("chain:3:16", "fig4"),
     "fig4_adpcm_iaq": ("adpcm_iaq", "fig4"),
 }
+
+#: (workload, latency) points whose RTL emission timings the full harness
+#: records (fragmented flow).
+EMIT_POINTS: Tuple[Tuple[str, int], ...] = (
+    ("motivational", 3),
+    ("adpcm_iaq", 3),
+)
+
+#: The emission subset measured by ``--quick``.
+QUICK_EMIT_POINTS: Tuple[Tuple[str, int], ...] = (("motivational", 3),)
 
 #: Built-in studies whose workspace-run timings the full harness records
 #: (cold run into a fresh workspace vs store-backed resume; see
@@ -270,6 +287,59 @@ def time_verification(
     }
 
 
+def time_emission(
+    workload: str,
+    latency: int,
+    repeats: int = DEFAULT_REPEATS,
+) -> Dict[str, float]:
+    """Best-of-*repeats* RTL backend timings of one fragmented-flow point.
+
+    The schedule and datapath are prepared once outside the measurement
+    (their costs are the ``schedule``/``allocate`` stage timings); the
+    recorded numbers isolate the backend itself: lowering the bound
+    datapath into the structural design, and the lane-packed cycle-accurate
+    batch simulation of the emitted netlist over the 100-vector stimulus
+    (the ``emit <w> --check`` workload of the CI smoke job).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    from ..rtl.emit import emit_design
+    from ..simulation.vectors import stimulus
+
+    pipeline = Pipeline()
+    artifact = pipeline.run(
+        FlowConfig(latency=latency, mode="fragmented", workload=workload),
+        use_cache=False,
+        stop_after="allocate",
+    )
+    schedule = artifact.schedule
+    library = artifact.library
+    datapath = artifact.datapath
+    vectors = stimulus(artifact.working_specification, random_count=VERIFY_RANDOM_VECTORS)
+    best_emit: Optional[float] = None
+    best_sim: Optional[float] = None
+    design = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        emission = emit_design(schedule, library, datapath=datapath)
+        elapsed = time.perf_counter() - started
+        if best_emit is None or elapsed < best_emit:
+            best_emit = elapsed
+        design = emission.design
+        started = time.perf_counter()
+        design.simulate_batch(vectors)
+        elapsed = time.perf_counter() - started
+        if best_sim is None or elapsed < best_sim:
+            best_sim = elapsed
+    assert best_emit is not None and best_sim is not None
+    return {
+        "emit_s": best_emit,
+        "rtlsim_s": best_sim,
+        "rtlsim_vectors": float(len(vectors)),
+        "rtlsim_vectors_per_s": len(vectors) / best_sim if best_sim > 0 else 0.0,
+    }
+
+
 def time_study(name: str, repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
     """Best-of-*repeats* workspace-run timings of one built-in study.
 
@@ -324,6 +394,8 @@ def run_benchmarks(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> Dict:
     * ``sweeps``: ``{sweep_name: seconds}``;
     * ``verify``: ``{workload: {equivalence_s, equivalence_vectors,
       equivalence_vectors_per_s, elaborate_s}}``;
+    * ``emit``: ``{workload: {emit_s, rtlsim_s, rtlsim_vectors,
+      rtlsim_vectors_per_s}}`` -- the RTL backend (see :func:`time_emission`);
     * ``studies``: ``{study_name: {cold_s, resume_s}}`` -- workspace-backed
       study runs, cold versus store-resumed (see :func:`time_study`);
     * ``meta``: interpreter/platform/timestamp provenance, plus the
@@ -333,6 +405,7 @@ def run_benchmarks(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> Dict:
     points = QUICK_STAGE_POINTS if quick else STAGE_POINTS
     sweeps = QUICK_SWEEPS if quick else SWEEPS
     study_names = QUICK_STUDY_POINTS if quick else STUDY_POINTS
+    emit_points = QUICK_EMIT_POINTS if quick else EMIT_POINTS
     stages: Dict[str, Dict[str, float]] = {}
     verify: Dict[str, Dict[str, float]] = {}
     for workload, latency in points:
@@ -343,6 +416,9 @@ def run_benchmarks(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> Dict:
         sweep_times[name] = time_sweep(
             workload, latencies=FIG4_LATENCIES, repeats=repeats, kind=kind
         )
+    emit: Dict[str, Dict[str, float]] = {}
+    for workload, latency in emit_points:
+        emit[workload] = time_emission(workload, latency, repeats=repeats)
     studies: Dict[str, Dict[str, float]] = {}
     for name in study_names:
         studies[name] = time_study(name, repeats=repeats)
@@ -350,6 +426,7 @@ def run_benchmarks(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> Dict:
         "stages": stages,
         "sweeps": sweep_times,
         "verify": verify,
+        "emit": emit,
         "studies": studies,
         "meta": {
             "python": sys.version.split()[0],

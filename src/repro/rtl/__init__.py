@@ -1,7 +1,29 @@
-"""Gate-level substrate: netlists, adder structures, simulation, elaboration."""
+"""Gate-level substrate: netlists, adders, simulation, elaboration, emission.
+
+Two entry points produce gate-level structure from behavioural IR:
+
+* :func:`~repro.rtl.elaborate.elaborate` -- a flat *combinational* netlist of
+  one specification, used to validate the chained-1-bit-additions delay
+  metric against real adder structures;
+* :func:`~repro.rtl.emit.emit_design` -- the synthesis backend: lowers an
+  allocated datapath + schedule into a *sequential*
+  :class:`~repro.rtl.design.RtlDesign` (shared functional units, the
+  allocated register file, FSM-decoded mux trees) that renders as Verilog
+  (:func:`~repro.rtl.verilog.render_verilog`) and simulates cycle-accurately
+  against the behavioural oracle (:func:`~repro.rtl.emit.verify_emission`).
+"""
 
 from .adders import AdderNets, build_adder_chain, build_full_adder, build_ripple_adder
+from .design import RtlDesign, RtlDesignError, StateElement
 from .elaborate import ElaboratedDesign, ElaborationError, Elaborator, elaborate
+from .emit import (
+    EmissionCheck,
+    EmissionError,
+    EmissionStats,
+    RtlEmission,
+    emit_design,
+    verify_emission,
+)
 from .netlist import Gate, GateKind, Net, Netlist, NetlistError
 from .simulator import (
     BatchNetlistResult,
@@ -12,6 +34,7 @@ from .simulator import (
     nanosecond_delay_model,
     unit_full_adder_delay_model,
 )
+from .verilog import render_verilog
 
 __all__ = [
     "AdderNets",
@@ -20,6 +43,9 @@ __all__ = [
     "ElaboratedDesign",
     "ElaborationError",
     "Elaborator",
+    "EmissionCheck",
+    "EmissionError",
+    "EmissionStats",
     "Gate",
     "GateKind",
     "Net",
@@ -27,11 +53,18 @@ __all__ = [
     "NetlistError",
     "NetlistSimulationResult",
     "NetlistSimulator",
+    "RtlDesign",
+    "RtlDesignError",
+    "RtlEmission",
+    "StateElement",
     "build_adder_chain",
     "build_full_adder",
     "build_ripple_adder",
     "elaborate",
+    "emit_design",
     "levelised_order",
     "nanosecond_delay_model",
+    "render_verilog",
     "unit_full_adder_delay_model",
+    "verify_emission",
 ]

@@ -1,0 +1,203 @@
+"""Sequential RTL designs: a combinational core plus clocked state elements.
+
+The emitter (:mod:`repro.rtl.emit`) lowers an allocated datapath into an
+:class:`RtlDesign`: one combinational :class:`~repro.rtl.netlist.Netlist`
+(functional units, multiplexer trees, FSM decode and next-state logic) whose
+primary inputs are the design's input ports plus the *current* value of every
+state element, and whose outputs include the *next* value of every state
+element.  This is the standard sequential-synthesis decomposition -- the
+netlist is the cloud between the flip-flops -- so the existing levelised
+:class:`~repro.rtl.simulator.NetlistSimulator` simulates the design
+cycle-accurately by evaluating the cloud once per clock and latching the
+``d`` outputs back into the ``q`` inputs, in both scalar and lane-packed
+batch modes.
+
+Output ports are combinational functions of dedicated capture registers (the
+paper's "dedicated registers that stabilise input and output ports", which
+Table I excludes from the area accounting), so they hold the final values
+after the last schedule cycle has executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from .netlist import Net, Netlist, NetlistError
+from .simulator import NetlistSimulator
+
+
+class RtlDesignError(NetlistError):
+    """Raised for malformed sequential designs or bad simulation inputs."""
+
+
+@dataclass
+class StateElement:
+    """One clocked register of the design (datapath, FSM or output capture).
+
+    ``q_nets`` are primary inputs of the combinational core (the register's
+    current value, LSB first); ``d_nets`` are core nets carrying the value
+    latched at the next clock edge.  ``role`` tags the element for reports:
+    ``"fsm"``, ``"register"`` (datapath storage from the allocation),
+    ``"capture"`` (dedicated output-port capture, outside the paper's area
+    accounting) or ``"shadow"`` (defensive storage for values the estimate
+    classified as stable wires).
+    """
+
+    name: str
+    width: int
+    role: str
+    q_nets: List[Net] = field(default_factory=list)
+    d_nets: List[Net] = field(default_factory=list)
+    init: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise RtlDesignError(f"state element {self.name} must be >= 1 bit wide")
+
+
+@dataclass
+class RtlDesign:
+    """A structural sequential design produced by the emitter.
+
+    ``input_ports`` / ``output_ports`` map port names to LSB-first net lists:
+    inputs are primary inputs of the core, outputs are combinational nets
+    (functions of the capture registers) that settle to the final values once
+    ``latency`` cycles have executed.
+    """
+
+    name: str
+    netlist: Netlist
+    latency: int
+    input_ports: Dict[str, List[Net]] = field(default_factory=dict)
+    output_ports: Dict[str, List[Net]] = field(default_factory=dict)
+    state_elements: List[StateElement] = field(default_factory=list)
+    #: signedness of each output port, for decoded views
+    output_signed: Dict[str, bool] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def state_bits(self) -> int:
+        return sum(element.width for element in self.state_elements)
+
+    def elements_of(self, role: str) -> List[StateElement]:
+        return [element for element in self.state_elements if element.role == role]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RtlDesign({self.name!r}, {self.netlist.gate_count()} gates, "
+            f"{len(self.state_elements)} state elements, "
+            f"{self.latency} cycles)"
+        )
+
+    # ------------------------------------------------------------------
+    # Cycle-accurate simulation
+    # ------------------------------------------------------------------
+    def _simulator(self) -> NetlistSimulator:
+        # NetlistSimulator memoizes the levelisation per netlist, so a fresh
+        # wrapper per call costs one cache lookup.
+        return NetlistSimulator(self.netlist)
+
+    def _check_inputs(self, inputs: Mapping[str, int]) -> None:
+        unknown = set(inputs) - set(self.input_ports)
+        if unknown:
+            raise RtlDesignError(
+                f"unknown input port(s) {sorted(unknown)} for design {self.name}"
+            )
+        missing = set(self.input_ports) - set(inputs)
+        if missing:
+            raise RtlDesignError(f"missing value(s) for input port(s) {sorted(missing)}")
+
+    def simulate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Run the design for ``latency`` clock cycles on one input vector.
+
+        Input values are raw (unsigned) bit patterns of the port width;
+        returns the raw bit pattern of every output port after the last
+        cycle, exactly comparable to the behavioural oracle's final state.
+        """
+        self._check_inputs(inputs)
+        simulator = self._simulator()
+        assignment: Dict[Net, int] = {}
+        for name, nets in self.input_ports.items():
+            value = inputs[name]
+            for bit, net in enumerate(nets):
+                assignment[net] = (value >> bit) & 1
+        state: Dict[int, List[int]] = {
+            index: [(element.init >> bit) & 1 for bit in range(element.width)]
+            for index, element in enumerate(self.state_elements)
+        }
+        result = None
+        # One evaluation per schedule cycle, plus a final settle pass so the
+        # combinational output-port nets reflect the last latched captures.
+        for _cycle in range(self.latency + 1):
+            for index, element in enumerate(self.state_elements):
+                for bit, net in enumerate(element.q_nets):
+                    assignment[net] = state[index][bit]
+            result = simulator.run(assignment)
+            for index, element in enumerate(self.state_elements):
+                state[index] = [result.values[net] for net in element.d_nets]
+        assert result is not None
+        return {
+            name: result.value_of_bus(nets)
+            for name, nets in self.output_ports.items()
+        }
+
+    def simulate_batch(
+        self, vectors: Sequence[Mapping[str, int]]
+    ) -> Dict[str, List[int]]:
+        """Lane-packed batch run: one stimulus vector per bit lane.
+
+        Returns the raw (unsigned) value of every output port, one integer
+        per lane, after ``latency`` cycles -- bit-identical to running
+        :meth:`simulate` once per vector.
+        """
+        lanes = len(vectors)
+        if lanes == 0:
+            raise RtlDesignError("batch simulation needs at least one stimulus vector")
+        for lane, vector in enumerate(vectors):
+            unknown = set(vector) - set(self.input_ports)
+            missing = set(self.input_ports) - set(vector)
+            if unknown or missing:
+                raise RtlDesignError(
+                    f"vector {lane}: unknown ports {sorted(unknown)}, "
+                    f"missing ports {sorted(missing)}"
+                )
+        lane_mask = (1 << lanes) - 1
+        simulator = self._simulator()
+        assignment: Dict[Net, int] = {}
+        for name, nets in self.input_ports.items():
+            for bit, net in enumerate(nets):
+                packed = 0
+                for lane, vector in enumerate(vectors):
+                    packed |= ((vector[name] >> bit) & 1) << lane
+                assignment[net] = packed
+        state: Dict[int, List[int]] = {}
+        for index, element in enumerate(self.state_elements):
+            state[index] = [
+                lane_mask if (element.init >> bit) & 1 else 0
+                for bit in range(element.width)
+            ]
+        result = None
+        for _cycle in range(self.latency + 1):
+            for index, element in enumerate(self.state_elements):
+                planes = state[index]
+                for bit, net in enumerate(element.q_nets):
+                    assignment[net] = planes[bit]
+            result = simulator.run_batch(assignment, lanes)
+            for index, element in enumerate(self.state_elements):
+                state[index] = [result.values[net] for net in element.d_nets]
+        assert result is not None
+        return {
+            name: result.value_of_bus(nets)
+            for name, nets in self.output_ports.items()
+        }
+
+    def decode_output(self, name: str, raw: int) -> int:
+        """Apply two's complement decoding to one raw output value."""
+        nets = self.output_ports.get(name)
+        if nets is None:
+            raise RtlDesignError(f"no output port named {name!r}")
+        if not self.output_signed.get(name):
+            return raw
+        width = len(nets)
+        half = 1 << (width - 1)
+        return raw - (1 << width) if raw >= half else raw

@@ -1,0 +1,1052 @@
+"""Lowering an allocated datapath and schedule into a structural RTL design.
+
+This is the backend that closes the loop the estimate-only flow left open:
+the :class:`~repro.hls.datapath.Datapath` produced by allocation and binding
+-- functional-unit instances, the register file, the interconnect mux lists
+and the controller -- becomes a real sequential design
+(:class:`~repro.rtl.design.RtlDesign`) that can be rendered as synthesizable
+Verilog (:mod:`repro.rtl.verilog`) and simulated cycle-accurately with the
+existing :mod:`repro.rtl.simulator`.
+
+Lowering model
+--------------
+* **Functional units.**  Every allocated FU instance becomes one gate-level
+  kernel from the :mod:`repro.techlib` families: a ripple add/sub/negate
+  core for the ``adder`` category, a borrow-ripple comparator, a
+  compare-and-select ``maxmin`` core, and an array ``multiplier``.  The
+  kernel runs at the widest shape any hosted operation needs; operand
+  preparation (sign/zero extension, the value semantics of the behavioural
+  interpreter) is pure wiring performed in the mux legs.
+* **Multiplexer trees.**  Each FU input port gets one AND-OR mux whose legs
+  are the *distinct wire bundles* the port's hosted operations read --
+  exactly the source accounting behind the allocation's
+  :class:`~repro.hls.allocation.interconnect.InterconnectEstimate`.  Leg
+  selects are decoded from the FSM state.
+* **Registers.**  The allocation's register file is instantiated as-is: one
+  clocked element per :class:`~repro.hls.allocation.registers.RegisterInstance`,
+  loaded at the birth cycle of each value group it stores and holding
+  otherwise.  Values consumed in their birth cycle chain combinationally
+  from the producing unit's output bus, as the paper's datapaths do.
+* **Glue logic.**  Zero-delay glue (wiring kinds, bitwise gates, selects) is
+  replicated next to each consuming cycle, reading registers for
+  cycle-crossing values and unit output buses for same-cycle chains --
+  mirroring the storage-source analysis of the register allocator, so the
+  emitted storage is exactly the allocated storage.
+* **Controller.**  A binary-counter FSM (one state per schedule cycle, see
+  :func:`repro.hls.controller.synthesize_controller`) is synthesized into
+  the core: state decode, next-state increment, and every mux select and
+  register load enable as decoded control nets.
+* **Output capture.**  Output ports are latched into dedicated capture
+  registers at the cycle their value is produced (the I/O registers the
+  paper's Table I excludes from the accounting), so the ports hold the
+  final results after the last cycle.
+
+Sharing an FU across cycles can, in rare schedules, make the *static* mux
+network cyclic (unit A feeds unit B in one cycle and B feeds A in another).
+Such false combinational loops are unsynthesizable and unsimulatable, so the
+emitter splits the offending shared instances into dedicated per-operation
+units until the unit dependence graph is acyclic; the emitted netlist is then
+acyclic *by construction* (units are built in topological order and every
+gate reads already-built nets).  The split count is reported in
+:class:`EmissionStats`.
+
+Correctness is pinned by :func:`verify_emission`: the emitted design is
+batch-simulated against the :class:`~repro.simulation.batch.BatchInterpreter`
+oracle on the corner + random stimulus set and must agree bit for bit on
+every output port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..hls.allocation.registers import lifetime_skeleton, storage_sources
+from ..hls.controller import ControllerSynthesis, synthesize_controller
+from ..hls.datapath import Datapath, build_datapath
+from ..hls.schedule import Schedule
+from ..ir.dfg import BitDependencyGraph
+from ..ir.operations import Operation, OpKind
+from ..ir.spec import Specification
+from ..techlib.library import TechnologyLibrary, default_library
+from .design import RtlDesign, StateElement
+from .netlist import GateKind, Net, Netlist
+
+#: a canonical value bit: (variable uid, bit index)
+CanonicalBit = Tuple[int, int]
+
+#: Glue kinds that are pure wiring (no gates).
+_WIRING_KINDS = frozenset({OpKind.MOVE, OpKind.CONCAT, OpKind.SHL, OpKind.SHR})
+
+#: Comparison kinds and the comparator base function / inversion they select.
+_CMP_PLAN: Dict[OpKind, Tuple[str, bool]] = {
+    OpKind.LT: ("lt", False),
+    OpKind.GE: ("lt", True),
+    OpKind.LE: ("le", False),
+    OpKind.GT: ("le", True),
+    OpKind.EQ: ("eq", False),
+    OpKind.NE: ("eq", True),
+}
+
+
+class EmissionError(RuntimeError):
+    """Raised when a schedule/datapath pair cannot be lowered."""
+
+
+@dataclass
+class EmissionStats:
+    """Structural statistics of one emitted design.
+
+    ``mux_*`` count the emitted AND-OR trees (ports with more than one
+    distinct wire bundle); the allocation's own estimate sits next to them
+    in ``estimated_*`` so divergence is visible in reports.
+    """
+
+    gate_count: int = 0
+    gate_counts: Dict[str, int] = field(default_factory=dict)
+    fsm_states: int = 0
+    fsm_state_bits: int = 0
+    fu_units: int = 0
+    split_fu_instances: int = 0
+    mux_count: int = 0
+    mux_max_fan_in: int = 0
+    mux_legs: int = 0
+    register_count: int = 0
+    register_bits: int = 0
+    capture_bits: int = 0
+    shadow_bits: int = 0
+    control_signals: int = 0
+    estimated_mux_count: int = 0
+    estimated_control_signals: int = 0
+
+    def to_report(self) -> Dict[str, int]:
+        """The flat ``emit_*`` keys carried into pipeline reports."""
+        return {
+            "emit_gate_count": self.gate_count,
+            "emit_fsm_states": self.fsm_states,
+            "emit_state_bits": self.fsm_state_bits,
+            "emit_fu_units": self.fu_units,
+            "emit_split_fu_instances": self.split_fu_instances,
+            "emit_mux_count": self.mux_count,
+            "emit_mux_max_fan_in": self.mux_max_fan_in,
+            "emit_register_bits": self.register_bits,
+            "emit_capture_bits": self.capture_bits,
+            "emit_control_signals": self.control_signals,
+        }
+
+
+@dataclass
+class EmissionCheck:
+    """Outcome of co-simulating an emitted design against the oracle."""
+
+    design_name: str
+    vectors_checked: int
+    #: (output port, lane index, expected raw bits, actual raw bits)
+    mismatches: List[Tuple[str, int, int, int]] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "BIT-IDENTICAL" if self.equivalent else "MISMATCH"
+        lines = [
+            f"{self.design_name} vs batch oracle: {status} "
+            f"({self.vectors_checked} vectors)"
+        ]
+        for name, lane, expected, actual in self.mismatches[:10]:
+            lines.append(
+                f"  {name} lane {lane}: expected {expected:#x}, got {actual:#x}"
+            )
+        if len(self.mismatches) > 10:
+            lines.append(f"  ... {len(self.mismatches) - 10} further mismatches")
+        return "\n".join(lines)
+
+
+@dataclass
+class RtlEmission:
+    """Everything produced by one lowering run."""
+
+    design: RtlDesign
+    stats: EmissionStats
+    controller: ControllerSynthesis
+    check: Optional[EmissionCheck] = None
+
+
+class _EmitUnit:
+    """One emission-level functional unit (an allocation instance, possibly split)."""
+
+    __slots__ = ("ident", "category", "ops", "kernel_width", "bus_width", "out_width")
+
+    def __init__(self, ident: str, category: str, ops: List[Operation]) -> None:
+        self.ident = ident
+        self.category = category
+        self.ops = ops
+        self.kernel_width = max(
+            max(op.width, op.max_operand_width()) for op in ops
+        )
+        # Comparator/maxmin kernels compare at width + 1, where any mix of
+        # signed and unsigned operands is exactly representable.
+        if category in ("comparator", "maxmin"):
+            self.bus_width = self.kernel_width + 1
+        else:
+            self.bus_width = self.kernel_width
+        self.out_width = max(op.width for op in ops)
+
+
+class _Emitter:
+    """Builds one :class:`RtlDesign` from a scheduled, allocated specification."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        datapath: Datapath,
+        library: TechnologyLibrary,
+        name: Optional[str] = None,
+    ) -> None:
+        self.schedule = schedule
+        self.spec: Specification = schedule.specification
+        self.cycle_of = schedule.cycle_of
+        self.datapath = datapath
+        self.library = library
+        self.name = name or f"{self.spec.name}_impl"
+        self.netlist = Netlist(self.name)
+        self.controller = synthesize_controller(schedule.latency)
+        self.stats = EmissionStats(
+            fsm_states=self.controller.states,
+            fsm_state_bits=self.controller.state_bits,
+        )
+        self._bit_defs = self.spec.bit_def_map
+        self._variables = {v.uid: v for v in self.spec.variables}
+        # shared structural state -------------------------------------------------
+        self._const_nets: Dict[int, Net] = {}
+        self._gate_memo: Dict[Tuple, Net] = {}
+        self._not_source: Dict[Net, Net] = {}
+        self._port_nets: Dict[CanonicalBit, Net] = {}
+        self._bit_memo: Dict[Tuple, Net] = {}
+        self._op_out: Dict[Operation, List[Net]] = {}
+        self._st: Dict[int, Net] = {}
+        self._reg_q: List[List[Net]] = []
+        self._group_position: Dict[CanonicalBit, Tuple[int, int]] = {}
+        self._captures: Dict[CanonicalBit, Net] = {}
+        self._elements: List[StateElement] = []
+        #: deferred capture/shadow D wiring: (element, producer op, result bits)
+        self._pending_captures: List[Tuple[StateElement, Operation, List[int]]] = []
+
+    # ------------------------------------------------------------------
+    # Primitive helpers (constant folding + structural sharing)
+    # ------------------------------------------------------------------
+    def _const(self, value: int) -> Net:
+        net = self._const_nets.get(value)
+        if net is None:
+            net = self.netlist.constant(value)
+            self._const_nets[value] = net
+        return net
+
+    def _is_const(self, net: Net, value: int) -> bool:
+        return self._const_nets.get(value) is net
+
+    def _mk_not(self, a: Net) -> Net:
+        if self._is_const(a, 0):
+            return self._const(1)
+        if self._is_const(a, 1):
+            return self._const(0)
+        inverted = self._not_source.get(a)
+        if inverted is not None:
+            return inverted
+        key = (GateKind.NOT, a.uid)
+        net = self._gate_memo.get(key)
+        if net is None:
+            net = self.netlist.add_gate(GateKind.NOT, (a,))
+            self._gate_memo[key] = net
+            # double negation folds back to the source
+            self._not_source[net] = a
+        return net
+
+    def _mk(self, kind: GateKind, a: Net, b: Net) -> Net:
+        if kind is GateKind.AND:
+            if self._is_const(a, 0) or self._is_const(b, 0):
+                return self._const(0)
+            if self._is_const(a, 1):
+                return b
+            if self._is_const(b, 1):
+                return a
+            if a is b:
+                return a
+        elif kind is GateKind.OR:
+            if self._is_const(a, 1) or self._is_const(b, 1):
+                return self._const(1)
+            if self._is_const(a, 0):
+                return b
+            if self._is_const(b, 0):
+                return a
+            if a is b:
+                return a
+        elif kind is GateKind.XOR:
+            if self._is_const(a, 0):
+                return b
+            if self._is_const(b, 0):
+                return a
+            if self._is_const(a, 1):
+                return self._mk_not(b)
+            if self._is_const(b, 1):
+                return self._mk_not(a)
+            if a is b:
+                return self._const(0)
+        first, second = (a, b) if a.uid <= b.uid else (b, a)
+        key = (kind, first.uid, second.uid)
+        net = self._gate_memo.get(key)
+        if net is None:
+            net = self.netlist.add_gate(kind, (first, second))
+            self._gate_memo[key] = net
+        return net
+
+    def _or_tree(self, nets: Sequence[Net]) -> Net:
+        result = self._const(0)
+        for net in nets:
+            result = self._mk(GateKind.OR, result, net)
+        return result
+
+    def _and_tree(self, nets: Sequence[Net]) -> Net:
+        result = self._const(1)
+        for net in nets:
+            result = self._mk(GateKind.AND, result, net)
+        return result
+
+    def _full_adder(self, a: Net, b: Net, carry: Net) -> Tuple[Net, Net]:
+        partial = self._mk(GateKind.XOR, a, b)
+        total = self._mk(GateKind.XOR, partial, carry)
+        generate = self._mk(GateKind.AND, a, b)
+        propagate = self._mk(GateKind.AND, partial, carry)
+        return total, self._mk(GateKind.OR, generate, propagate)
+
+    # ------------------------------------------------------------------
+    # Build phases
+    # ------------------------------------------------------------------
+    def build(self) -> RtlEmission:
+        self._build_ports()
+        self._build_fsm_inputs()
+        self._build_registers_inputs()
+        units, order = self._plan_units()
+        self._plan_output_captures()
+        for ident in order:
+            self._build_unit(units[ident])
+        # Resolve the combinational output-port nets before the clocked
+        # next-value logic: the resolution may allocate defensive shadow
+        # captures, which must exist before the capture writes are wired.
+        self._output_nets = {
+            port.name: [
+                self._bit_net(port.uid, bit, None) for bit in range(port.width)
+            ]
+            for port in self.spec.outputs()
+        }
+        self._build_register_writes()
+        self._build_capture_writes()
+        self._build_fsm_next()
+        design = self._finish()
+        return RtlEmission(design=design, stats=self.stats, controller=self.controller)
+
+    def _build_ports(self) -> None:
+        self._input_ports: Dict[str, List[Net]] = {}
+        for port in self.spec.inputs():
+            nets = self.netlist.add_input_bus(port.name, port.width)
+            self._input_ports[port.name] = nets
+            for bit, net in enumerate(nets):
+                self._port_nets[(port.uid, bit)] = net
+
+    def _build_fsm_inputs(self) -> None:
+        bits = self.controller.state_bits
+        element = StateElement(name="fsm", width=bits, role="fsm", init=0)
+        for bit in range(bits):
+            element.q_nets.append(self.netlist.add_input(f"fsm_q[{bit}]"))
+        self._elements.append(element)
+        self._fsm = element
+        # Per-cycle decode: state ``c`` is encoded as ``c - 1``.
+        for cycle in range(1, self.schedule.latency + 1):
+            code = self.controller.code_of(cycle)
+            terms = []
+            for bit, q in enumerate(element.q_nets):
+                terms.append(q if (code >> bit) & 1 else self._mk_not(q))
+            self._st[cycle] = self._and_tree(terms)
+
+    def _build_registers_inputs(self) -> None:
+        registers = self.datapath.registers
+        self.stats.register_count = registers.register_count
+        self.stats.register_bits = sum(r.width for r in registers.registers)
+        for index, register in enumerate(registers.registers):
+            element = StateElement(
+                name=f"r{index}", width=register.width, role="register", init=0
+            )
+            for bit in range(register.width):
+                element.q_nets.append(self.netlist.add_input(f"r{index}_q[{bit}]"))
+            self._elements.append(element)
+            self._reg_q.append(element.q_nets)
+            for group in register.groups:
+                for offset in range(group.width):
+                    self._group_position[
+                        (group.variable.uid, group.low_bit + offset)
+                    ] = (index, offset)
+
+    # ------------------------------------------------------------------
+    # Unit planning: instance splitting until the dependence graph is acyclic
+    # ------------------------------------------------------------------
+    def _same_cycle_unit_edges(
+        self, unit_of_op: Dict[Operation, str]
+    ) -> Dict[str, Set[str]]:
+        edges: Dict[str, Set[str]] = {ident: set() for ident in unit_of_op.values()}
+        for op, sources in self._sources_of.items():
+            consumer_unit = unit_of_op.get(op)
+            if consumer_unit is None:
+                continue
+            cycle = self.cycle_of[op]
+            for canonical in sources:
+                definition = self._bit_defs.get(canonical)
+                if definition is None:
+                    continue
+                producer = definition.operation
+                if self.cycle_of.get(producer) != cycle:
+                    continue
+                producer_unit = unit_of_op.get(producer)
+                if producer_unit is not None and producer_unit != consumer_unit:
+                    edges[producer_unit].add(consumer_unit)
+        return edges
+
+    @staticmethod
+    def _topological(order_hint: List[str], edges: Dict[str, Set[str]]) -> List[str]:
+        indegree = {ident: 0 for ident in order_hint}
+        for source, targets in edges.items():
+            for target in targets:
+                indegree[target] += 1
+        order: List[str] = []
+        pending = list(order_hint)
+        while pending:
+            ready = [ident for ident in pending if indegree[ident] == 0]
+            if not ready:
+                return order  # remainder is cyclic
+            for ident in ready:
+                order.append(ident)
+                pending.remove(ident)
+                for target in edges.get(ident, ()):
+                    indegree[target] -= 1
+        return order
+
+    def _plan_units(self) -> Tuple[Dict[str, _EmitUnit], List[str]]:
+        skeleton = lifetime_skeleton(self.spec)
+        self._sources_of: Dict[Operation, Tuple[CanonicalBit, ...]] = dict(
+            skeleton.read_sources
+        )
+        binding = self.datapath.functional_units.binding
+        category_of: Dict[str, str] = {
+            instance.identifier: instance.category
+            for instance in self.datapath.functional_units.instances
+        }
+        unit_of_op: Dict[Operation, str] = {}
+        for op in self.spec.operations:
+            instance = binding.get(op)
+            if instance is not None:
+                unit_of_op[op] = instance.identifier
+        hint: List[str] = [i.identifier for i in self.datapath.functional_units.instances]
+
+        while True:
+            edges = self._same_cycle_unit_edges(unit_of_op)
+            order = self._topological(hint, edges)
+            if len(order) == len(set(unit_of_op.values())):
+                break
+            cyclic = set(unit_of_op.values()) - set(order)
+            changed = False
+            for ident in sorted(cyclic):
+                members = [op for op in self.spec.operations if unit_of_op.get(op) == ident]
+                if len(members) <= 1:
+                    continue
+                position = hint.index(ident)
+                hint.remove(ident)
+                for index, op in enumerate(members):
+                    split_ident = f"{ident}_s{index}"
+                    unit_of_op[op] = split_ident
+                    category_of[split_ident] = category_of[ident]
+                    hint.insert(position + index, split_ident)
+                self.stats.split_fu_instances += len(members) - 1
+                changed = True
+            if not changed:  # pragma: no cover - op-level reads form a DAG
+                raise EmissionError(
+                    f"unbreakable combinational loop among units {sorted(cyclic)}"
+                )
+
+        members_of: Dict[str, List[Operation]] = {}
+        for op in self.spec.operations:
+            ident = unit_of_op.get(op)
+            if ident is not None:
+                members_of.setdefault(ident, []).append(op)
+        units = {
+            ident: _EmitUnit(ident, category_of[ident], ops)
+            for ident, ops in members_of.items()
+        }
+        self.stats.fu_units = len(units)
+        order = [ident for ident in order if ident in units]
+        return units, order
+
+    # ------------------------------------------------------------------
+    # Output capture planning (dedicated I/O registers)
+    # ------------------------------------------------------------------
+    def _plan_output_captures(self) -> None:
+        needed: Dict[CanonicalBit, None] = {}
+        for port in self.spec.outputs():
+            for bit in range(port.width):
+                if (port.uid, bit) not in self._bit_defs:
+                    continue
+                for canonical in storage_sources(self.spec, port, bit):
+                    needed.setdefault(canonical, None)
+        by_op: Dict[Operation, List[int]] = {}
+        for canonical in needed:
+            definition = self._bit_defs[canonical]
+            by_op.setdefault(definition.operation, []).append(definition.result_bit)
+        for op in self.spec.operations:
+            result_bits = by_op.get(op)
+            if not result_bits:
+                continue
+            result_bits.sort()
+            run: List[int] = []
+            for result_bit in result_bits:
+                if run and result_bit != run[-1] + 1:
+                    self._allocate_capture(op, run, role="capture")
+                    run = []
+                run.append(result_bit)
+            if run:
+                self._allocate_capture(op, run, role="capture")
+
+    def _allocate_capture(
+        self, op: Operation, result_bits: List[int], role: str
+    ) -> StateElement:
+        index = len([e for e in self._elements if e.role in ("capture", "shadow")])
+        element = StateElement(
+            name=f"cap{index}", width=len(result_bits), role=role, init=0
+        )
+        destination = op.destination
+        for position, result_bit in enumerate(result_bits):
+            q = self.netlist.add_input(f"cap{index}_q[{position}]")
+            element.q_nets.append(q)
+            canonical = (destination.variable.uid, destination.range.lo + result_bit)
+            self._captures[canonical] = q
+        self._elements.append(element)
+        self._pending_captures.append((element, op, list(result_bits)))
+        if role == "capture":
+            self.stats.capture_bits += len(result_bits)
+        else:
+            self.stats.shadow_bits += len(result_bits)
+        return element
+
+    def _capture_net(self, canonical: CanonicalBit) -> Net:
+        net = self._captures.get(canonical)
+        if net is not None:
+            return net
+        definition = self._bit_defs.get(canonical)
+        if definition is None or not definition.operation.is_additive:
+            raise EmissionError(
+                f"no capture available for non-additive bit {canonical}"
+            )
+        # Defensive shadow storage: the estimate classified this value as a
+        # stable wire, but a later cycle reads it, so it needs a flop.
+        self._allocate_capture(
+            definition.operation, [definition.result_bit], role="shadow"
+        )
+        return self._captures[canonical]
+
+    # ------------------------------------------------------------------
+    # Bit resolution at a given cycle (``cycle=None`` = final output context)
+    # ------------------------------------------------------------------
+    def _bit_net(self, uid: int, bit: int, cycle: Optional[int]) -> Net:
+        key = (uid, bit, cycle)
+        net = self._bit_memo.get(key)
+        if net is None:
+            net = self._resolve_bit(uid, bit, cycle)
+            self._bit_memo[key] = net
+        return net
+
+    def _resolve_bit(self, uid: int, bit: int, cycle: Optional[int]) -> Net:
+        definition = self._bit_defs.get((uid, bit))
+        if definition is None:
+            port = self._port_nets.get((uid, bit))
+            if port is not None:
+                return port
+            return self._const(0)
+        op = definition.operation
+        if op.is_additive:
+            if cycle is None:
+                return self._capture_net((uid, bit))
+            producer_cycle = self.cycle_of[op]
+            if producer_cycle == cycle:
+                return self._op_out[op][definition.result_bit]
+            if producer_cycle > cycle:
+                raise EmissionError(
+                    f"bit {self._variables[uid].name}[{bit}] is consumed in cycle "
+                    f"{cycle} but produced in cycle {producer_cycle}"
+                )
+            placement = self._group_position.get((uid, bit))
+            if placement is None:
+                return self._capture_net((uid, bit))
+            register_index, position = placement
+            return self._reg_q[register_index][position]
+        return self._glue_bit(op, definition.result_bit, cycle)
+
+    def _operand_bit(self, operand, position: int, cycle: Optional[int]) -> Net:
+        if position >= operand.width:
+            return self._const(0)
+        if operand.is_constant:
+            return self._const((operand.constant.bits >> (operand.range.lo + position)) & 1)
+        return self._bit_net(operand.variable.uid, operand.range.lo + position, cycle)
+
+    def _glue_bit(self, op: Operation, result_bit: int, cycle: Optional[int]) -> Net:
+        kind = op.kind
+        if kind in _WIRING_KINDS:
+            sources = BitDependencyGraph.glue_source_bits(op, result_bit)
+            if not sources:
+                return self._const(0)
+            operand, position = sources[0]
+            return self._operand_bit(operand, position, cycle)
+        if kind is OpKind.NOT:
+            return self._mk_not(self._operand_bit(op.operands[0], result_bit, cycle))
+        if kind in (OpKind.AND, OpKind.OR, OpKind.XOR):
+            gate = {
+                OpKind.AND: GateKind.AND,
+                OpKind.OR: GateKind.OR,
+                OpKind.XOR: GateKind.XOR,
+            }[kind]
+            a = self._operand_bit(op.operands[0], result_bit, cycle)
+            b = self._operand_bit(op.operands[1], result_bit, cycle)
+            return self._mk(gate, a, b)
+        if kind is OpKind.SELECT:
+            condition = self._operand_bit(op.operands[0], 0, cycle)
+            when_true = self._operand_bit(op.operands[1], result_bit, cycle)
+            when_false = self._operand_bit(op.operands[2], result_bit, cycle)
+            chosen_true = self._mk(GateKind.AND, when_true, condition)
+            chosen_false = self._mk(
+                GateKind.AND, when_false, self._mk_not(condition)
+            )
+            return self._mk(GateKind.OR, chosen_true, chosen_false)
+        raise EmissionError(
+            f"cannot lower glue kind {kind} (operation {op.name})"
+        )  # pragma: no cover - every glue kind is handled
+
+    def _operand_value_nets(self, operand, width: int, cycle: int) -> List[Net]:
+        """Operand nets under value semantics, extended to *width* bits.
+
+        Mirrors the batch interpreter's ``_value_planes``: the operand is
+        sign-extended only when it covers the whole of a signed source,
+        zero-extended otherwise; extension is pure wiring.
+        """
+        rng = operand.range
+        signed = operand.source.signed and operand.covers_whole_source()
+        nets: List[Net] = []
+        for position in range(min(rng.width, width)):
+            nets.append(self._operand_bit(operand, position, cycle))
+        if len(nets) < width:
+            fill = nets[-1] if (signed and nets) else self._const(0)
+            nets.extend([fill] * (width - len(nets)))
+        return nets
+
+    # ------------------------------------------------------------------
+    # Functional units
+    # ------------------------------------------------------------------
+    def _control_net(
+        self, unit: _EmitUnit, name: str, pairs: List[Tuple[int, Net]]
+    ) -> Net:
+        """A control signal: OR of per-state legs, folded for dedicated units.
+
+        *pairs* holds ``(cycle, net)`` legs; a unit hosting a single
+        operation needs no state gating (the signal is only observed in the
+        operation's cycle).
+        """
+        if not pairs:
+            return self._const(0)
+        if len(unit.ops) == 1:
+            net = pairs[0][1]
+        else:
+            net = self._or_tree(
+                [self._mk(GateKind.AND, self._st[cycle], leg) for cycle, leg in pairs]
+            )
+        if not self._is_const(net, 0) and not self._is_const(net, 1):
+            self.controller.register_control(name)
+        return net
+
+    def _mux_bus(
+        self,
+        unit: _EmitUnit,
+        location: str,
+        legs: "Dict[Tuple[int, ...], Tuple[List[Net], List[int]]]",
+        width: int,
+    ) -> List[Net]:
+        """An AND-OR input mux over the distinct wire bundles of one port."""
+        if not legs:
+            return [self._const(0)] * width
+        all_cycles = {self.cycle_of[op] for op in unit.ops}
+        entries = list(legs.values())
+        if len(entries) == 1 and set(entries[0][1]) == all_cycles:
+            return entries[0][0]
+        self.stats.mux_count += 1
+        self.stats.mux_legs += len(entries)
+        self.stats.mux_max_fan_in = max(self.stats.mux_max_fan_in, len(entries))
+        selects: List[Net] = []
+        for index, (_nets, cycles) in enumerate(entries):
+            select = self._or_tree([self._st[c] for c in sorted(set(cycles))])
+            self.controller.register_control(f"{location}.sel{index}")
+            selects.append(select)
+        bus: List[Net] = []
+        for bit in range(width):
+            terms = [
+                self._mk(GateKind.AND, select, nets[bit])
+                for (nets, _cycles), select in zip(entries, selects)
+            ]
+            bus.append(self._or_tree(terms))
+        return bus
+
+    def _collect_port_legs(
+        self, unit: _EmitUnit, slot: int, width: int
+    ) -> "Dict[Tuple[int, ...], Tuple[List[Net], List[int]]]":
+        legs: Dict[Tuple[int, ...], Tuple[List[Net], List[int]]] = {}
+        for op in unit.ops:
+            if slot >= len(op.operands):
+                continue
+            cycle = self.cycle_of[op]
+            nets = self._operand_value_nets(op.operands[slot], width, cycle)
+            key = tuple(net.uid for net in nets)
+            entry = legs.get(key)
+            if entry is None:
+                legs[key] = (nets, [cycle])
+            else:
+                entry[1].append(cycle)
+        return legs
+
+    def _build_unit(self, unit: _EmitUnit) -> None:
+        unit.ops.sort(key=lambda op: (self.cycle_of[op], op.uid))
+        width = unit.bus_width
+        slots = max(len(op.operands) for op in unit.ops)
+        buses = [
+            self._mux_bus(
+                unit,
+                f"{unit.ident}.in{slot}",
+                self._collect_port_legs(unit, slot, width),
+                width,
+            )
+            for slot in range(slots)
+        ]
+        category = unit.category
+        if category == "adder":
+            result = self._build_adder_kernel(unit, buses)
+        elif category == "comparator":
+            result = self._build_comparator_kernel(unit, buses)
+        elif category == "maxmin":
+            result = self._build_maxmin_kernel(unit, buses)
+        elif category == "multiplier":
+            result = self._build_multiplier_kernel(unit, buses)
+        else:  # pragma: no cover - no other categories exist in the library
+            raise EmissionError(f"unknown functional-unit category {category!r}")
+        for op in unit.ops:
+            self._op_out[op] = result
+
+    def _abs_sign_net(self, op: Operation) -> Optional[Net]:
+        operand = op.operands[0]
+        if not (operand.source.signed and operand.covers_whole_source()):
+            return None
+        return self._operand_bit(operand, operand.width - 1, self.cycle_of[op])
+
+    def _build_adder_kernel(self, unit: _EmitUnit, buses: List[List[Net]]) -> List[Net]:
+        width = unit.kernel_width
+        a_bus = buses[0] if buses else [self._const(0)] * width
+        b_bus = buses[1] if len(buses) > 1 else [self._const(0)] * width
+        invert_a: List[Tuple[int, Net]] = []
+        invert_b: List[Tuple[int, Net]] = []
+        carry_in: List[Tuple[int, Net]] = []
+        increment: List[Tuple[int, Net]] = []
+        for op in unit.ops:
+            cycle = self.cycle_of[op]
+            carry_net: Optional[Net] = None
+            if op.carry_in is not None:
+                carry_net = self._operand_bit(op.carry_in, 0, cycle)
+            if op.kind is OpKind.ADD:
+                if carry_net is not None:
+                    carry_in.append((cycle, carry_net))
+            elif op.kind is OpKind.SUB:
+                invert_b.append((cycle, self._const(1)))
+                carry_in.append((cycle, self._const(1)))
+                if carry_net is not None:
+                    increment.append((cycle, carry_net))
+            elif op.kind is OpKind.NEG:
+                invert_a.append((cycle, self._const(1)))
+                carry_in.append((cycle, self._const(1)))
+            elif op.kind is OpKind.ABS:
+                sign = self._abs_sign_net(op)
+                if sign is not None:
+                    invert_a.append((cycle, sign))
+                    carry_in.append((cycle, sign))
+            else:  # pragma: no cover - binder routes only these kinds here
+                raise EmissionError(f"adder unit cannot host {op.kind}")
+        inv_a = self._control_net(unit, f"{unit.ident}.inv_a", invert_a)
+        inv_b = self._control_net(unit, f"{unit.ident}.inv_b", invert_b)
+        cin = self._control_net(unit, f"{unit.ident}.cin", carry_in)
+        inc = self._control_net(unit, f"{unit.ident}.inc", increment)
+        carry = cin
+        sums: List[Net] = []
+        for a_net, b_net in zip(a_bus, b_bus):
+            a_eff = self._mk(GateKind.XOR, a_net, inv_a)
+            b_eff = self._mk(GateKind.XOR, b_net, inv_b)
+            total, carry = self._full_adder(a_eff, b_eff, carry)
+            sums.append(total)
+        if not self._is_const(inc, 0):
+            carry = inc
+            incremented: List[Net] = []
+            for net in sums:
+                incremented.append(self._mk(GateKind.XOR, net, carry))
+                carry = self._mk(GateKind.AND, carry, net)
+            sums = incremented
+        return sums
+
+    def _compare(self, a_bus: List[Net], b_bus: List[Net]) -> Tuple[Net, Net]:
+        """(lt, eq) of two equally wide buses whose MSBs are already flipped."""
+        lt = self._const(0)
+        differences: List[Net] = []
+        for a_net, b_net in zip(a_bus, b_bus):
+            axb = self._mk(GateKind.XOR, a_net, b_net)
+            differences.append(axb)
+            below = self._mk(GateKind.AND, self._mk_not(a_net), b_net)
+            keep = self._mk(GateKind.AND, self._mk_not(axb), lt)
+            lt = self._mk(GateKind.OR, below, keep)
+        eq = self._mk_not(self._or_tree(differences))
+        return lt, eq
+
+    def _signed_buses(
+        self, buses: List[List[Net]]
+    ) -> Tuple[List[Net], List[Net]]:
+        """Flip the MSBs so the unsigned borrow ripple compares signed values."""
+        a_bus, b_bus = buses[0], buses[1]
+        a_cmp = a_bus[:-1] + [self._mk_not(a_bus[-1])]
+        b_cmp = b_bus[:-1] + [self._mk_not(b_bus[-1])]
+        return a_cmp, b_cmp
+
+    def _build_comparator_kernel(
+        self, unit: _EmitUnit, buses: List[List[Net]]
+    ) -> List[Net]:
+        a_cmp, b_cmp = self._signed_buses(buses)
+        lt, eq = self._compare(a_cmp, b_cmp)
+        le = self._mk(GateKind.OR, lt, eq)
+        base_legs: Dict[str, List[int]] = {"lt": [], "le": [], "eq": []}
+        invert: List[Tuple[int, Net]] = []
+        for op in unit.ops:
+            function, inverted = _CMP_PLAN[op.kind]
+            base_legs[function].append(self.cycle_of[op])
+            if inverted:
+                invert.append((self.cycle_of[op], self._const(1)))
+        function_nets = {"lt": lt, "le": le, "eq": eq}
+        active = [name for name in ("lt", "le", "eq") if base_legs[name]]
+        if len(active) == 1:
+            base = function_nets[active[0]]
+        else:
+            terms = []
+            for index, name in enumerate(active):
+                select = self._or_tree([self._st[c] for c in sorted(base_legs[name])])
+                self.controller.register_control(f"{unit.ident}.fn{index}")
+                terms.append(self._mk(GateKind.AND, select, function_nets[name]))
+            base = self._or_tree(terms)
+        inv = self._control_net(unit, f"{unit.ident}.inv", invert)
+        out = self._mk(GateKind.XOR, base, inv)
+        return [out] + [self._const(0)] * (unit.out_width - 1)
+
+    def _build_maxmin_kernel(
+        self, unit: _EmitUnit, buses: List[List[Net]]
+    ) -> List[Net]:
+        a_cmp, b_cmp = self._signed_buses(buses)
+        lt, _eq = self._compare(a_cmp, b_cmp)
+        is_min = self._control_net(
+            unit,
+            f"{unit.ident}.min",
+            [
+                (self.cycle_of[op], self._const(1))
+                for op in unit.ops
+                if op.kind is OpKind.MIN
+            ],
+        )
+        choose_b = self._mk(GateKind.XOR, lt, is_min)
+        choose_a = self._mk_not(choose_b)
+        a_bus, b_bus = buses[0], buses[1]
+        return [
+            self._mk(
+                GateKind.OR,
+                self._mk(GateKind.AND, b_bus[bit], choose_b),
+                self._mk(GateKind.AND, a_bus[bit], choose_a),
+            )
+            for bit in range(unit.out_width)
+        ]
+
+    def _build_multiplier_kernel(
+        self, unit: _EmitUnit, buses: List[List[Net]]
+    ) -> List[Net]:
+        width = unit.kernel_width
+        a_bus = buses[0]
+        b_bus = buses[1] if len(buses) > 1 else [self._const(0)] * width
+        accumulator = [self._mk(GateKind.AND, a_bus[bit], b_bus[0]) for bit in range(width)]
+        for shift in range(1, width):
+            multiplier_bit = b_bus[shift]
+            if self._is_const(multiplier_bit, 0):
+                continue
+            carry = self._const(0)
+            for position in range(shift, width):
+                addend = self._mk(
+                    GateKind.AND, a_bus[position - shift], multiplier_bit
+                )
+                accumulator[position], carry = self._full_adder(
+                    accumulator[position], addend, carry
+                )
+        return accumulator
+
+    # ------------------------------------------------------------------
+    # Clocked element next-value logic
+    # ------------------------------------------------------------------
+    def _build_register_writes(self) -> None:
+        registers = self.datapath.registers.registers
+        for index, register in enumerate(registers):
+            element = self._elements[1 + index]  # fsm is element 0
+            q_nets = element.q_nets
+            loads: List[Tuple[Net, List[Net]]] = []
+            for group in register.groups:
+                producer = group.producer
+                if producer is None:  # pragma: no cover - stored groups have one
+                    continue
+                birth_state = self._st[group.birth_cycle]
+                destination = producer.destination
+                low_result_bit = group.low_bit - destination.range.lo
+                source_bus = self._op_out[producer]
+                nets = [
+                    source_bus[low_result_bit + offset]
+                    if low_result_bit + offset < len(source_bus)
+                    else self._const(0)
+                    for offset in range(group.width)
+                ]
+                while len(nets) < register.width:
+                    nets.append(self._const(0))
+                loads.append((birth_state, nets))
+            if loads:
+                # One physical load enable per register, however many value
+                # groups time-share it.
+                self.controller.register_control(f"r{index}.load")
+            any_load = self._or_tree([state for state, _nets in loads])
+            hold = self._mk_not(any_load)
+            for bit in range(register.width):
+                terms = [
+                    self._mk(GateKind.AND, state, nets[bit]) for state, nets in loads
+                ]
+                terms.append(self._mk(GateKind.AND, q_nets[bit], hold))
+                element.d_nets.append(self._or_tree(terms))
+
+    def _build_capture_writes(self) -> None:
+        for element, op, result_bits in self._pending_captures:
+            state = self._st[self.cycle_of[op]]
+            hold = self._mk_not(state)
+            source_bus = self._op_out[op]
+            self.controller.register_control(f"{element.name}.load")
+            for position, result_bit in enumerate(result_bits):
+                captured = self._mk(GateKind.AND, source_bus[result_bit], state)
+                kept = self._mk(GateKind.AND, element.q_nets[position], hold)
+                element.d_nets.append(self._mk(GateKind.OR, captured, kept))
+
+    def _build_fsm_next(self) -> None:
+        element = self._fsm
+        last = self._st[self.schedule.latency]
+        advance = self._mk_not(last)
+        carry = self._const(1)
+        for q in element.q_nets:
+            incremented = self._mk(GateKind.XOR, q, carry)
+            carry = self._mk(GateKind.AND, carry, q)
+            # Wrap back to state 0 after the last cycle: the design streams
+            # one computation every ``latency`` clocks.
+            element.d_nets.append(self._mk(GateKind.AND, incremented, advance))
+
+    # ------------------------------------------------------------------
+    def _finish(self) -> RtlDesign:
+        design = RtlDesign(
+            name=self.name,
+            netlist=self.netlist,
+            latency=self.schedule.latency,
+            input_ports=self._input_ports,
+            state_elements=self._elements,
+        )
+        for element in self._elements:
+            if len(element.d_nets) != element.width:  # pragma: no cover
+                raise EmissionError(
+                    f"state element {element.name}: {len(element.d_nets)} next-value "
+                    f"nets for {element.width} bits"
+                )
+            for net in element.d_nets:
+                self.netlist.mark_output(net)
+        for port in self.spec.outputs():
+            nets = self._output_nets[port.name]
+            design.output_ports[port.name] = nets
+            design.output_signed[port.name] = port.signed
+            for net in nets:
+                self.netlist.mark_output(net)
+        self.stats.gate_count = self.netlist.gate_count()
+        counts: Dict[str, int] = {}
+        for gate in self.netlist.gates:
+            counts[gate.kind.value] = counts.get(gate.kind.value, 0) + 1
+        self.stats.gate_counts = counts
+        self.stats.control_signals = len(self.controller.control_signals)
+        interconnect = self.datapath.interconnect
+        self.stats.estimated_mux_count = sum(
+            1 for mux in interconnect.multiplexers if mux.fan_in > 1
+        )
+        self.stats.estimated_control_signals = (
+            self.datapath.controller.control_signals
+        )
+        return design
+
+
+def emit_design(
+    schedule: Schedule,
+    library: Optional[TechnologyLibrary] = None,
+    datapath: Optional[Datapath] = None,
+    name: Optional[str] = None,
+) -> RtlEmission:
+    """Lower a scheduled (and optionally pre-allocated) specification to RTL.
+
+    When *datapath* is omitted, allocation and binding run first (through the
+    memoized :func:`~repro.hls.datapath.build_datapath`), so the emitted
+    structure is exactly the structure the area reports account for.
+    """
+    library = library or default_library()
+    if datapath is None:
+        datapath = build_datapath(schedule, library)
+    emitter = _Emitter(schedule, datapath, library, name=name)
+    return emitter.build()
+
+
+def verify_emission(
+    design: RtlDesign,
+    specification: Specification,
+    random_count: int = 50,
+    seed: int = 2005,
+    corner_limit: int = 64,
+) -> EmissionCheck:
+    """Batch co-simulation of an emitted design against the behavioural oracle.
+
+    Drives the corner + random stimulus set through both the lane-packed
+    :class:`~repro.simulation.batch.BatchInterpreter` and the design's
+    cycle-accurate batch simulation, and compares every output port's raw
+    bit pattern lane by lane.
+    """
+    from ..simulation.batch import BatchInterpreter
+    from ..simulation.vectors import stimulus
+
+    vectors = stimulus(
+        specification,
+        random_count=random_count,
+        seed=seed,
+        corner_limit=corner_limit,
+    )
+    oracle = BatchInterpreter(specification).run_batch(vectors)
+    actual = design.simulate_batch(vectors)
+    check = EmissionCheck(design_name=design.name, vectors_checked=len(vectors))
+    for name in sorted(actual):
+        expected_lanes = oracle.final_state_lanes(name)
+        actual_lanes = actual[name]
+        for lane, (expected, got) in enumerate(zip(expected_lanes, actual_lanes)):
+            if expected != got:
+                check.mismatches.append((name, lane, expected, got))
+    return check

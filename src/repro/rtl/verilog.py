@@ -1,0 +1,183 @@
+"""Rendering an emitted :class:`~repro.rtl.design.RtlDesign` as Verilog.
+
+The rendering is structural and exactly mirrors the simulated netlist: one
+``assign`` per gate of the combinational core, one clocked ``always`` block
+latching every state element (FSM, datapath registers, output captures), and
+continuous assigns wiring the output ports.  Everything is synthesizable
+Verilog-2001; the module has a synchronous active-high reset and computes one
+result every ``latency`` clock cycles (the FSM wraps, so the design streams).
+
+The output is deterministic for a given design: net names are netlist-local
+(``n17``), state elements and ports keep their emission names, and no
+process-global identifiers (operation uids, timestamps) leak into the text --
+which is what makes golden-file tests of the rendering stable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .design import RtlDesign, StateElement
+from .netlist import Gate, GateKind, Net
+
+_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+_VERILOG_KEYWORDS = frozenset(
+    {
+        "always", "assign", "begin", "case", "else", "end", "endcase",
+        "endmodule", "for", "if", "initial", "input", "module", "negedge",
+        "output", "posedge", "reg", "wire",
+    }
+)
+
+
+def _sanitize(name: str, used: Dict[str, str], key: str) -> str:
+    """A unique, legal Verilog identifier for *name* (stable per design)."""
+    candidate = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    if not candidate or not _IDENTIFIER.match(candidate):
+        candidate = f"id_{candidate}" if candidate else "id"
+    if candidate in _VERILOG_KEYWORDS:
+        candidate = f"{candidate}_"
+    if re.match(r"^n\d+$", candidate):
+        # The n<i> namespace is reserved for the per-gate wires.
+        candidate = f"{candidate}_"
+    base = candidate
+    suffix = 1
+    while candidate in used.values() and used.get(key) != candidate:
+        candidate = f"{base}_{suffix}"
+        suffix += 1
+    used[key] = candidate
+    return candidate
+
+
+class _Namer:
+    """Maps nets to Verilog expressions (port slices, register bits, wires)."""
+
+    def __init__(self, design: RtlDesign) -> None:
+        self.design = design
+        self.expr: Dict[Net, str] = {}
+        used: Dict[str, str] = {"clk": "clk", "rst": "rst"}
+        self.port_name: Dict[str, str] = {}
+        for name, nets in design.input_ports.items():
+            identifier = _sanitize(name, used, f"in:{name}")
+            self.port_name[name] = identifier
+            for bit, net in enumerate(nets):
+                self.expr[net] = (
+                    identifier if len(nets) == 1 else f"{identifier}[{bit}]"
+                )
+        for name in design.output_ports:
+            self.port_name[name] = _sanitize(name, used, f"out:{name}")
+        self.element_name: Dict[str, str] = {}
+        for element in design.state_elements:
+            identifier = _sanitize(element.name, used, f"elem:{element.name}")
+            self.element_name[element.name] = identifier
+            for bit, net in enumerate(element.q_nets):
+                self.expr[net] = (
+                    identifier
+                    if element.width == 1
+                    else f"{identifier}[{bit}]"
+                )
+        self.wires: List[str] = []
+        for index, gate in enumerate(design.netlist.gates):
+            wire = f"n{index}"
+            self.expr[gate.output] = wire
+            self.wires.append(wire)
+
+    def of(self, net: Net) -> str:
+        return self.expr[net]
+
+
+def _gate_rhs(gate: Gate, namer: _Namer) -> str:
+    kind = gate.kind
+    if kind is GateKind.CONST0:
+        return "1'b0"
+    if kind is GateKind.CONST1:
+        return "1'b1"
+    if kind is GateKind.NOT:
+        return f"~{namer.of(gate.inputs[0])}"
+    if kind is GateKind.BUF:
+        return namer.of(gate.inputs[0])
+    symbol = {GateKind.AND: "&", GateKind.OR: "|", GateKind.XOR: "^"}[kind]
+    return f"{namer.of(gate.inputs[0])} {symbol} {namer.of(gate.inputs[1])}"
+
+
+def _bus_expr(nets: List[Net], namer: _Namer) -> str:
+    if len(nets) == 1:
+        return namer.of(nets[0])
+    return "{" + ", ".join(namer.of(net) for net in reversed(nets)) + "}"
+
+
+def _reset_literal(element: StateElement) -> str:
+    return f"{element.width}'d{element.init}"
+
+
+def render_verilog(design: RtlDesign, module_name: str = "") -> str:
+    """Render a design as a synthesizable Verilog-2001 module."""
+    namer = _Namer(design)
+    used: Dict[str, str] = {}
+    module = _sanitize(module_name or design.name, used, "module")
+
+    lines: List[str] = []
+    lines.append(f"// {design.name}: emitted by repro.rtl.emit")
+    lines.append(
+        f"// {design.netlist.gate_count()} gates, "
+        f"{len(design.state_elements)} state elements "
+        f"({design.state_bits()} bits), {design.latency}-cycle schedule"
+    )
+    lines.append(
+        "// outputs are valid once the FSM has completed one pass "
+        f"({design.latency} cycles after reset release); the FSM wraps, so a"
+    )
+    lines.append("// new computation starts every pass (streaming operation).")
+    lines.append(f"module {module} (")
+    declarations = ["  input  wire clk", "  input  wire rst"]
+    for name, nets in design.input_ports.items():
+        width = len(nets)
+        range_text = f"[{width - 1}:0] " if width > 1 else ""
+        declarations.append(f"  input  wire {range_text}{namer.port_name[name]}")
+    for name, nets in design.output_ports.items():
+        width = len(nets)
+        range_text = f"[{width - 1}:0] " if width > 1 else ""
+        declarations.append(f"  output wire {range_text}{namer.port_name[name]}")
+    lines.append(",\n".join(declarations))
+    lines.append(");")
+    lines.append("")
+
+    for element in design.state_elements:
+        identifier = namer.element_name[element.name]
+        range_text = f"[{element.width - 1}:0] " if element.width > 1 else ""
+        lines.append(f"  reg  {range_text}{identifier};  // {element.role}")
+    lines.append("")
+
+    if namer.wires:
+        for start in range(0, len(namer.wires), 10):
+            chunk = namer.wires[start : start + 10]
+            lines.append(f"  wire {', '.join(chunk)};")
+        lines.append("")
+
+    for gate in design.netlist.gates:
+        lines.append(f"  assign {namer.of(gate.output)} = {_gate_rhs(gate, namer)};")
+    lines.append("")
+
+    for name, nets in design.output_ports.items():
+        lines.append(
+            f"  assign {namer.port_name[name]} = {_bus_expr(nets, namer)};"
+        )
+    lines.append("")
+
+    lines.append("  always @(posedge clk) begin")
+    lines.append("    if (rst) begin")
+    for element in design.state_elements:
+        identifier = namer.element_name[element.name]
+        lines.append(f"      {identifier} <= {_reset_literal(element)};")
+    lines.append("    end else begin")
+    for element in design.state_elements:
+        identifier = namer.element_name[element.name]
+        lines.append(f"      {identifier} <= {_bus_expr(element.d_nets, namer)};")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("")
+    lines.append("endmodule")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""The emit pass, config plumbing and CLI verb of the RTL backend."""
+
+import json
+
+import pytest
+
+from repro.api import REPORT_SCHEMA_VERSION, FlowConfig, Pipeline
+from repro.api.cli import main
+from repro.api.config import ConfigError
+from repro.api.study import builtin_study
+
+
+class TestConfigPlumbing:
+    def test_emit_defaults_off(self):
+        config = FlowConfig(latency=3, workload="motivational")
+        assert config.emit is False and config.emit_check is False
+
+    def test_emit_check_requires_emit(self):
+        with pytest.raises(ConfigError):
+            FlowConfig(latency=3, workload="motivational", emit_check=True)
+
+    def test_emit_flags_are_content_hashed(self):
+        base = FlowConfig(latency=3, workload="motivational")
+        emitted = base.replace(emit=True)
+        checked = emitted.replace(emit_check=True)
+        assert len({base.content_hash(), emitted.content_hash(), checked.content_hash()}) == 3
+
+    def test_emit_flags_round_trip_json(self):
+        config = FlowConfig(
+            latency=3, mode="fragmented", workload="fig3", emit=True, emit_check=True
+        )
+        assert FlowConfig.from_json(config.to_json()) == config
+
+
+class TestEmitPass:
+    def test_default_run_skips_emission(self):
+        artifact = Pipeline().run(
+            FlowConfig(latency=3, mode="fragmented", workload="motivational"),
+            use_cache=False,
+        )
+        assert artifact.emission is None
+        assert "emit_gate_count" not in artifact.report
+
+    def test_emit_fills_slot_and_report(self):
+        artifact = Pipeline().run(
+            FlowConfig(
+                latency=3, mode="fragmented", workload="motivational", emit=True
+            ),
+            use_cache=False,
+        )
+        emission = artifact.emission
+        assert emission is not None
+        assert emission.check is None  # emit_check was off
+        report = artifact.report
+        assert report["schema_version"] == REPORT_SCHEMA_VERSION
+        assert report["emit_gate_count"] == emission.stats.gate_count > 0
+        assert report["emit_fsm_states"] == 3
+        assert report["emit_register_bits"] == 5  # the paper's five stored bits
+        assert "emit_check_ok" not in report
+
+    def test_emit_check_verifies_and_stamps_report(self):
+        artifact = Pipeline().run(
+            FlowConfig(
+                latency=3,
+                mode="conventional",
+                workload="adpcm_ttd",
+                emit=True,
+                emit_check=True,
+                equivalence_vectors=12,
+            ),
+            use_cache=False,
+        )
+        assert artifact.emission is not None and artifact.emission.check is not None
+        assert artifact.emission.check.equivalent
+        assert artifact.report["emit_check_ok"] is True
+        assert artifact.report["emit_check_vectors"] == (
+            artifact.emission.check.vectors_checked
+        )
+
+    def test_stop_after_emit_is_a_valid_pass(self):
+        artifact = Pipeline().run(
+            FlowConfig(latency=3, mode="fragmented", workload="motivational", emit=True),
+            use_cache=False,
+            stop_after="emit",
+        )
+        assert artifact.emission is not None
+        assert artifact.report is None  # the report pass never ran
+
+
+class TestEmissionStudy:
+    def test_builtin_emission_study_declares_checked_points(self):
+        study = builtin_study("emission")
+        points = study.points()
+        assert len(points) == 4
+        for point in points:
+            assert point.config.emit and point.config.emit_check
+
+    def test_emission_rows_carry_stats(self, tmp_path):
+        from repro.api.workspace import Workspace
+
+        study = builtin_study("emission")
+        workspace = Workspace(tmp_path / "ws")
+        result = workspace.run_study(study)
+        assert result.complete
+        rows = result.rows()
+        assert len(rows) == 4
+        for row in rows:
+            assert row["emit_gate_count"] > 0
+            assert row["emit_check_ok"] is True
+        # the rows resume from the store with zero recomputation
+        again = workspace.run_study(study)
+        assert again.loaded == 4 and again.ran == 0
+
+
+class TestEmitCli:
+    def test_emit_check_human_output(self, capsys):
+        assert main(["emit", "motivational", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "emitted example_optimized_impl" in out
+        assert "BIT-IDENTICAL" in out
+
+    def test_emit_json_with_verilog(self, tmp_path, capsys):
+        path = tmp_path / "out.v"
+        code = main(
+            [
+                "emit",
+                "adpcm_iaq",
+                "--verilog",
+                str(path),
+                "--check",
+                "--equivalence-vectors",
+                "10",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["check"]["equivalent"] is True
+        assert payload["stats"]["emit_gate_count"] > 0
+        assert payload["verilog"]["path"] == str(path)
+        text = path.read_text()
+        assert text.splitlines()[4].startswith("module adpcm_iaq_optimized_impl")
+
+    def test_emit_default_latency_comes_from_tables(self, capsys):
+        # fir2's Table II latency axis starts at 5, not the generic 3.
+        assert main(["emit", "fir2", "--mode", "conventional"]) == 0
+        assert "latency=5" in capsys.readouterr().out
+
+    def test_emit_conventional_mode(self, capsys):
+        assert main(["emit", "motivational", "--mode", "conventional", "--check"]) == 0
+        assert "BIT-IDENTICAL" in capsys.readouterr().out
+
+    def test_emit_unknown_workload_errors(self, capsys):
+        assert main(["emit", "nonsense"]) == 2
+        assert "unknown workload" in capsys.readouterr().err

@@ -71,6 +71,7 @@ class TestFullRuns:
             "schedule",
             "time",
             "allocate",
+            "emit",
             "report",
         ]
         assert artifact.elapsed_s() >= 0

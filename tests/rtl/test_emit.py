@@ -1,0 +1,225 @@
+"""The RTL emission backend simulates bit-identically to the batch oracle.
+
+The emitted sequential design -- shared functional units, the allocated
+register file, FSM-decoded mux trees -- must compute exactly what the
+behavioural specification computes, cycle-accurately, for every registered
+workload in both flow modes, for the BLC baseline, and over generated
+specifications (including the seed-263 falsifier family every property suite
+pins).  The scalar and lane-packed batch simulation drivers must agree with
+each other, and the structural statistics must be consistent with the
+allocation they were lowered from.
+"""
+
+import pytest
+from hypothesis import example, given, settings, strategies as st
+
+from repro.api.config import FlowConfig
+from repro.api.pipeline import Pipeline
+from repro.core import TransformOptions, transform
+from repro.hls.flow import FlowMode, run_schedule
+from repro.rtl.emit import EmissionError, emit_design, verify_emission
+from repro.simulation.vectors import stimulus
+from repro.techlib.library import default_library
+from repro.workloads import ALL_WORKLOADS, GeneratorConfig, random_specification
+
+#: The latency each workload's paper table uses (emission default latencies).
+WORKLOAD_LATENCIES = {
+    "motivational": 3,
+    "fig3": 3,
+    "elliptic": 11,
+    "diffeq": 6,
+    "iir4": 6,
+    "fir2": 5,
+    "adpcm_iaq": 3,
+    "adpcm_ttd": 5,
+    "adpcm_opfc_sca": 12,
+}
+
+ALL_POINTS = [
+    (workload, WORKLOAD_LATENCIES[workload], mode)
+    for workload in sorted(ALL_WORKLOADS)
+    for mode in ("conventional", "fragmented")
+]
+
+
+def _emitted(workload, latency, mode):
+    artifact = Pipeline().run(
+        FlowConfig(latency=latency, mode=mode, workload=workload),
+        use_cache=False,
+    )
+    emission = emit_design(artifact.schedule, artifact.library, artifact.datapath)
+    return artifact, emission
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("workload,latency,mode", ALL_POINTS)
+    def test_every_workload_both_modes(self, workload, latency, mode):
+        artifact, emission = _emitted(workload, latency, mode)
+        check = verify_emission(
+            emission.design, artifact.working_specification, random_count=20
+        )
+        assert check.equivalent, check.summary()
+        assert check.vectors_checked > 20  # corner vectors ride along
+
+    def test_blc_baseline(self):
+        artifact, emission = _emitted("motivational", 1, "blc")
+        check = verify_emission(
+            emission.design, artifact.working_specification, random_count=20
+        )
+        assert check.equivalent, check.summary()
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    @example(seed=263)  # the pinned falsifier family of the e2e suite
+    def test_generated_specifications(self, seed):
+        config = GeneratorConfig(operation_count=7, input_count=3, maximum_width=10)
+        spec = random_specification(seed, config)
+        library = default_library()
+        result = transform(spec, 3, TransformOptions(check_equivalence=False))
+        schedule, _budget = run_schedule(
+            result.transformed,
+            3,
+            library,
+            FlowMode.FRAGMENTED,
+            chained_bits_per_cycle=result.chained_bits_per_cycle,
+        )
+        emission = emit_design(schedule, library)
+        check = verify_emission(emission.design, result.transformed, random_count=15)
+        assert check.equivalent, check.summary()
+        conventional, _ = run_schedule(spec, 3, library, FlowMode.CONVENTIONAL)
+        emission = emit_design(conventional, library)
+        check = verify_emission(emission.design, spec, random_count=15)
+        assert check.equivalent, check.summary()
+
+
+class TestSimulationDrivers:
+    def test_scalar_and_batch_drivers_agree(self):
+        artifact, emission = _emitted("adpcm_iaq", 3, "fragmented")
+        vectors = stimulus(artifact.working_specification, random_count=8)
+        batch = emission.design.simulate_batch(vectors)
+        for lane, vector in enumerate(vectors):
+            scalar = emission.design.simulate(vector)
+            for name, value in scalar.items():
+                assert value == batch[name][lane], (name, lane)
+
+    def test_batch_rejects_empty_and_malformed_vectors(self):
+        from repro.rtl.design import RtlDesignError
+
+        _artifact, emission = _emitted("motivational", 3, "fragmented")
+        with pytest.raises(RtlDesignError):
+            emission.design.simulate_batch([])
+        with pytest.raises(RtlDesignError):
+            emission.design.simulate({"A": 1})  # B, D, F missing
+        with pytest.raises(RtlDesignError):
+            emission.design.simulate_batch([{"A": 1, "B": 2, "D": 3, "F": 4, "X": 5}])
+
+    def test_signed_output_decoding(self):
+        artifact, emission = _emitted("fig3", 3, "fragmented")
+        vectors = stimulus(artifact.working_specification, random_count=5)
+        raw = emission.design.simulate_batch(vectors)
+        for name, lanes in raw.items():
+            for value in lanes:
+                decoded = emission.design.decode_output(name, value)
+                width = len(emission.design.output_ports[name])
+                assert -(1 << width) < decoded < (1 << width)
+
+
+class TestStructure:
+    def test_stats_consistent_with_allocation(self):
+        artifact, emission = _emitted("motivational", 3, "fragmented")
+        stats = emission.stats
+        assert stats.fsm_states == 3
+        assert stats.gate_count == emission.design.netlist.gate_count()
+        assert stats.gate_count == sum(stats.gate_counts.values())
+        datapath = artifact.datapath
+        assert stats.register_count == datapath.registers.register_count
+        assert stats.register_bits == sum(
+            register.width for register in datapath.registers.registers
+        )
+        # Every split adds units beyond the allocation's instance list.
+        assert stats.fu_units == len(
+            datapath.functional_units.instances
+        ) + stats.split_fu_instances
+        assert stats.capture_bits > 0  # the output port is captured
+        assert stats.control_signals == len(emission.controller.control_signals)
+
+    def test_paper_register_story_motivational(self):
+        """The optimized datapath stores 5 one-bit values (Table I), and the
+        emitted register file is exactly those allocated bits."""
+        _artifact, emission = _emitted("motivational", 3, "fragmented")
+        assert emission.stats.register_bits == 5
+
+    def test_controller_synthesis_encoding(self):
+        _artifact, emission = _emitted("fir2", 5, "fragmented")
+        controller = emission.controller
+        assert controller.states == 5
+        assert controller.state_bits == 3
+        assert controller.encoding == tuple(range(5))
+        assert controller.code_of(1) == 0 and controller.code_of(5) == 4
+        with pytest.raises(ValueError):
+            controller.code_of(6)
+
+    def test_fsm_element_and_streaming_wrap(self):
+        """After `latency` cycles the FSM wraps to state 0, so driving the
+        same inputs for another pass reproduces the same outputs."""
+        artifact, emission = _emitted("motivational", 3, "fragmented")
+        design = emission.design
+        fsm_elements = design.elements_of("fsm")
+        assert len(fsm_elements) == 1
+        vector = stimulus(artifact.working_specification, random_count=1)[-1]
+        once = design.simulate(vector)
+        # Double-latency run: manually iterate two passes via the batch API.
+        double = RtlDoublePass(design).run(vector)
+        assert once == double
+
+    def test_splitting_keeps_netlist_acyclic(self):
+        """fig3's fragmented binding shares units in a cycle-inducing way;
+        the emitter must split and still levelise (no combinational loop)."""
+        from repro.rtl.simulator import levelised_order
+
+        _artifact, emission = _emitted("fig3", 3, "fragmented")
+        assert emission.stats.split_fu_instances > 0
+        order, _consumers = levelised_order(emission.design.netlist)
+        assert len(order) == emission.design.netlist.gate_count()
+
+    def test_rejects_incomplete_schedule(self):
+        from repro.hls.schedule import Schedule, ScheduleError
+        from repro.workloads import motivational_example
+
+        spec = motivational_example()
+        schedule = Schedule(spec, latency=3)  # nothing assigned
+        with pytest.raises((EmissionError, ScheduleError, KeyError)):
+            emit_design(schedule, default_library())
+
+
+class RtlDoublePass:
+    """Drives a design for two wrapped FSM passes with constant inputs."""
+
+    def __init__(self, design):
+        self.design = design
+
+    def run(self, vector):
+        from repro.rtl.simulator import NetlistSimulator
+
+        design = self.design
+        simulator = NetlistSimulator(design.netlist)
+        assignment = {}
+        for name, nets in design.input_ports.items():
+            for bit, net in enumerate(nets):
+                assignment[net] = (vector[name] >> bit) & 1
+        state = {
+            index: [(element.init >> bit) & 1 for bit in range(element.width)]
+            for index, element in enumerate(design.state_elements)
+        }
+        result = None
+        for _cycle in range(2 * design.latency + 1):
+            for index, element in enumerate(design.state_elements):
+                for bit, net in enumerate(element.q_nets):
+                    assignment[net] = state[index][bit]
+            result = simulator.run(assignment)
+            for index, element in enumerate(design.state_elements):
+                state[index] = [result.values[net] for net in element.d_nets]
+        return {
+            name: result.value_of_bus(nets)
+            for name, nets in design.output_ports.items()
+        }
