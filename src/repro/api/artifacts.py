@@ -21,6 +21,7 @@ from ..hls.datapath import Datapath
 from ..hls.flow import SynthesisResult
 from ..hls.schedule import Schedule
 from ..hls.timing import CycleTiming
+from ..check.diagnostics import CheckReport
 from ..ir.spec import Specification
 from ..rtl.emit import RtlEmission
 from ..techlib.library import TechnologyLibrary
@@ -37,7 +38,10 @@ from .config import FlowConfig
 #: Version 3 added the RTL emission statistics (``emit_*`` keys, present when
 #: the config requests the emit pass) and the new ``emit``/``emit_check``
 #: config fields feeding the content hash.
-REPORT_SCHEMA_VERSION = 3
+#: Version 4 added the static-verification results (``check_*`` keys, present
+#: when the config requests the check pass) and the new ``check``/
+#: ``check_level`` config fields feeding the content hash.
+REPORT_SCHEMA_VERSION = 4
 
 
 class PipelineStateError(RuntimeError):
@@ -67,6 +71,8 @@ class RunArtifact:
       (``allocate``);
     * ``emission`` -- the structural RTL design lowered from the bound
       datapath (``emit``; only when the config requests it);
+    * ``check`` -- the static-verification findings over every produced IR
+      level (``check``; only when the config requests it);
     * ``synthesis`` / ``report`` -- the backward-compatible
       :class:`~repro.hls.flow.SynthesisResult` and the flat metric row
       (``report``).
@@ -82,6 +88,7 @@ class RunArtifact:
     timing: Optional[CycleTiming] = None
     datapath: Optional[Datapath] = None
     emission: Optional[RtlEmission] = None
+    check: Optional[CheckReport] = None
     synthesis: Optional[SynthesisResult] = None
     report: Optional[Dict[str, Any]] = None
     passes: List[PassRecord] = field(default_factory=list)
@@ -161,6 +168,11 @@ def build_report(artifact: RunArtifact) -> Dict[str, Any]:
         if artifact.emission.check is not None:
             report["emit_check_ok"] = artifact.emission.check.equivalent
             report["emit_check_vectors"] = artifact.emission.check.vectors_checked
+    if artifact.check is not None:
+        report["check_ok"] = artifact.check.clean
+        report["check_errors"] = artifact.check.error_count
+        report["check_warnings"] = artifact.check.warning_count
+        report["check_levels"] = list(artifact.check.levels)
     return report
 
 

@@ -1,6 +1,6 @@
 """``python -m repro`` -- the command-line front end of the flow pipeline.
 
-Seven subcommands, all driving the same :mod:`repro.api` objects a Python
+Eight subcommands, all driving the same :mod:`repro.api` objects a Python
 caller would use:
 
 * ``repro list-workloads``          -- the registered benchmark specifications;
@@ -9,6 +9,10 @@ caller would use:
   structural RTL: print the emission statistics, optionally write
   synthesizable Verilog (``--verilog``) and co-simulate the emitted design
   cycle-accurately against the batch-interpreter oracle (``--check``);
+* ``repro check <workload>``        -- static verification: run the
+  independent checkers of :mod:`repro.check` over every IR level the flow
+  produces (text or ``--json`` diagnostics; ``--mutate`` runs the mutation
+  self-test of the checkers instead);
 * ``repro sweep <workload>``        -- the Fig. 4 latency sweep, optionally
   parallel (``--workers``/``--executor``);
 * ``repro table table1|table2|table3`` -- reproduce a table of the paper;
@@ -24,6 +28,8 @@ Examples::
 
     python -m repro run motivational --latency 3 --mode fragmented
     python -m repro emit motivational --check
+    python -m repro check motivational --json
+    python -m repro check --mutate
     python -m repro emit adpcm_iaq --verilog adpcm_iaq.v --check
     python -m repro sweep chain:3:16 --latencies 3:15 --workers 4
     python -m repro table table2 --workers 4
@@ -218,6 +224,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     emit_parser.add_argument("--json", action="store_true")
     _add_library_options(emit_parser)
+
+    # -- check ---------------------------------------------------------
+    check_parser = subparsers.add_parser(
+        "check",
+        help="statically verify every IR level the flow produces "
+        "(independent checkers, stable diagnostic codes)",
+    )
+    check_parser.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="workload name (see list-workloads) or chain:<n>:<w> / "
+        "tree:<n>:<w>; optional with --mutate",
+    )
+    check_parser.add_argument(
+        "--latency",
+        "-l",
+        type=int,
+        default=None,
+        help="circuit latency in cycles (default: the latency the paper's "
+        "tables use for the workload, 3 otherwise)",
+    )
+    check_parser.add_argument(
+        "--mode",
+        "-m",
+        default="fragmented",
+        help="flow mode: conventional, fragmented or blc (default: fragmented)",
+    )
+    check_parser.add_argument(
+        "--level",
+        choices=("spec", "schedule", "allocation", "netlist"),
+        default=None,
+        help="deepest IR level to check (default: every level, including "
+        "the emitted netlist)",
+    )
+    check_parser.add_argument(
+        "--mutate",
+        action="store_true",
+        help="run the mutation self-test instead: apply one seeded "
+        "corruption per diagnostic code and verify each is caught",
+    )
+    check_parser.add_argument(
+        "--mutation-seed",
+        type=int,
+        default=2005,
+        help="seed of the --mutate corruption picks (default: 2005)",
+    )
+    check_parser.add_argument("--json", action="store_true")
+    _add_library_options(check_parser)
 
     # -- sweep ---------------------------------------------------------
     sweep_parser = subparsers.add_parser(
@@ -567,6 +622,76 @@ def _cmd_emit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from ..check import check_artifact
+    from ..check.mutate import run_mutations
+
+    if args.mutate:
+        outcomes = run_mutations(seed=args.mutation_seed)
+        failures = [outcome for outcome in outcomes if not outcome.ok]
+        if args.json:
+            payload = {
+                "seed": args.mutation_seed,
+                "total": len(outcomes),
+                "caught": len(outcomes) - len(failures),
+                "outcomes": [
+                    {
+                        "name": outcome.name,
+                        "code": outcome.code,
+                        "level": outcome.level,
+                        "clean_before": outcome.clean_before,
+                        "caught": outcome.caught,
+                        "reported": list(outcome.reported),
+                    }
+                    for outcome in outcomes
+                ],
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            for outcome in outcomes:
+                print(f"  {outcome.describe()}")
+            print(
+                f"mutation self-test: {len(outcomes) - len(failures)}/"
+                f"{len(outcomes)} corruptions caught"
+            )
+        return 1 if failures else 0
+
+    if args.workload is None:
+        print(
+            "error: give a workload to check (or --mutate for the "
+            "checker self-test)",
+            file=sys.stderr,
+        )
+        return 2
+    latency = args.latency
+    if latency is None:
+        latency = _default_emit_latency(args.workload)
+    # The netlist level needs an emitted design; partial checks skip the
+    # emission work entirely.
+    emit = args.level in (None, "netlist")
+    config = FlowConfig(
+        latency=latency,
+        mode=args.mode,
+        workload=args.workload,
+        adder_style=args.adder_style,
+        multiplier_style=args.multiplier_style,
+        emit=emit,
+    )
+    artifact = Pipeline().run(config, use_cache=False)
+    report = check_artifact(artifact, level=args.level)
+    if args.json:
+        payload: Dict[str, Any] = {
+            "workload": args.workload,
+            "latency": latency,
+            "mode": config.mode.value,
+        }
+        payload.update(report.to_dict())
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from ..analysis.tables import format_records
     from .study import fig4_study
@@ -885,6 +1010,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "emit": _cmd_emit,
+        "check": _cmd_check,
         "sweep": _cmd_sweep,
         "table": _cmd_table,
         "study": _cmd_study,

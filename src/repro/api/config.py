@@ -153,6 +153,15 @@ class FlowConfig:
         oracle on the equivalence stimulus set and fails the run on any
         mismatch.  Both are content-hashed, so emitted and non-emitted runs
         never share cache entries.
+    check / check_level:
+        Run the static verification pass (:mod:`repro.check`) after emission:
+        independent checkers re-derive the invariants of every IR level the
+        run produced and any diagnostic of warning severity or worse fails
+        the run.  ``check_level`` restricts checking to the levels up to and
+        including the named one (``spec``, ``schedule``, ``allocation`` or
+        ``netlist``); ``netlist`` requires ``emit`` because only an emitted
+        run carries a gate-level design.  Both fields are content-hashed, so
+        checked and unchecked runs never share cache entries.
     label:
         Free-form tag carried into reports (sweep annotations).
     """
@@ -173,6 +182,8 @@ class FlowConfig:
     equivalence_seed: int = 2005
     emit: bool = False
     emit_check: bool = False
+    check: bool = False
+    check_level: Optional[str] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -210,6 +221,24 @@ class FlowConfig:
                 "emit_check=True requires emit=True (there is no emitted "
                 "design to verify otherwise)"
             )
+        if self.check_level is not None:
+            from ..check import LEVELS
+
+            if not self.check:
+                raise ConfigError(
+                    f"check_level={self.check_level!r} requires check=True "
+                    "(there is nothing to restrict otherwise)"
+                )
+            if self.check_level not in LEVELS:
+                raise ConfigError(
+                    f"unknown check_level {self.check_level!r}; expected one "
+                    f"of {', '.join(LEVELS)}"
+                )
+            if self.check_level == "netlist" and not self.emit:
+                raise ConfigError(
+                    "check_level='netlist' requires emit=True (there is no "
+                    "emitted design to check otherwise)"
+                )
 
     # ------------------------------------------------------------------
     # Derived views

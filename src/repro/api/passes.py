@@ -4,10 +4,12 @@ Each pass is a named function ``(RunArtifact) -> None`` that reads the
 artifact slots filled by its predecessors and fills its own.  The default
 sequence mirrors the paper's flow::
 
-    parse -> validate -> transform -> schedule -> time -> allocate -> emit -> report
+    parse -> validate -> transform -> schedule -> time -> allocate -> emit
+        -> check -> report
 
-(the ``emit`` pass lowers the bound datapath to structural RTL and only runs
-when the config's ``emit`` flag asks for it)
+(the ``emit`` pass lowers the bound datapath to structural RTL and the
+``check`` pass statically verifies every produced IR level; each only runs
+when the config's ``emit`` / ``check`` flag asks for it)
 
 Passes are deliberately thin: they delegate to the same primitives the legacy
 :func:`repro.hls.flow.synthesize` facade composes, so the pipeline and the
@@ -139,6 +141,28 @@ def emit_pass(artifact: RunArtifact) -> None:
             )
 
 
+def check_pass(artifact: RunArtifact) -> None:
+    """Statically verify every IR level the run produced (opt-in).
+
+    Runs only when the config's ``check`` flag is set.  The independent
+    checkers of :mod:`repro.check` re-derive each level's invariants and the
+    resulting :class:`~repro.check.CheckReport` lands in the ``check`` slot;
+    any diagnostic of warning severity or worse fails the run with a
+    :class:`~repro.check.CheckError` listing the findings.
+    """
+    config = artifact.config
+    if not config.check:
+        return
+    from ..check import CheckError, check_artifact
+
+    report = check_artifact(artifact, level=config.check_level)
+    artifact.check = report
+    if not report.clean:
+        raise CheckError(
+            "static verification failed:\n" + report.render_text()
+        )
+
+
 def report_pass(artifact: RunArtifact) -> None:
     """Assemble the backward-compatible result object and the metric row."""
     config = artifact.config
@@ -165,5 +189,6 @@ DEFAULT_PASSES: Tuple[Tuple[str, PassFn], ...] = (
     ("time", time_pass),
     ("allocate", allocate_pass),
     ("emit", emit_pass),
+    ("check", check_pass),
     ("report", report_pass),
 )

@@ -369,19 +369,22 @@ def table_study(which: str) -> Study:
 
 def fig4_study(
     workload: Optional[str],
-    latencies: Iterable[int] = range(3, 16),
+    latencies: Optional[Iterable[int]] = None,
     transform_options: Optional[Any] = None,
     name: Optional[str] = None,
 ) -> Study:
     """A Fig. 4 latency-sweep study: (conventional, fragmented) per latency.
 
-    Produces exactly the config axis :func:`repro.analysis.sweep_configs`
-    used to build by hand (same fields, same interleaved order, identical
-    content hashes), declared once.  Points stop after the timing pass --
-    Fig. 4 consumes cycle lengths only, so allocation never runs.
+    ``latencies`` defaults to the paper's 3..15 sweep.  Produces exactly the
+    config axis :func:`repro.analysis.sweep_configs` used to build by hand
+    (same fields, same interleaved order, identical content hashes), declared
+    once.  Points stop after the timing pass -- Fig. 4 consumes cycle lengths
+    only, so allocation never runs.
     """
     from ..core.transform import TransformOptions
 
+    if latencies is None:
+        latencies = range(3, 16)
     options = transform_options or TransformOptions(check_equivalence=False)
     base = dict(
         workload=workload,

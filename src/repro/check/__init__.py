@@ -1,0 +1,52 @@
+"""Static verification layer: independent checkers over every IR level.
+
+The flow's artifacts -- behavioural specification, chained-bit schedule,
+allocated datapath, emitted gate-level design -- each promise a set of
+structural invariants.  This package re-derives those invariants from first
+principles (its own def-use maps, its own glue trace, its own lifetime and
+steering recomputation, its own netlist walks) and diffs them against what
+the production analyses recorded, reporting disagreements as stable-coded
+:class:`Diagnostic` findings.  The checkers deliberately share no code or
+caches with the analyses they audit, so a bug on either side surfaces as a
+diagnostic instead of being validated against itself.
+
+The mutation harness (:mod:`repro.check.mutate`) keeps the checkers honest:
+it applies seeded single-point corruptions to clean artifacts and asserts
+each one is caught by exactly the intended error code.
+"""
+
+from .allocation import check_allocation
+from .diagnostics import (
+    CODE_REGISTRY,
+    LEVELS,
+    CheckError,
+    CheckReport,
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    diagnostic,
+)
+from .mutate import MutationOutcome, run_mutations, self_test
+from .netlist import check_design
+from .runner import check_artifact
+from .schedule import check_schedule
+from .spec import check_specification
+
+__all__ = [
+    "CODE_REGISTRY",
+    "LEVELS",
+    "CheckError",
+    "CheckReport",
+    "Diagnostic",
+    "MutationOutcome",
+    "Severity",
+    "SourceSpan",
+    "check_allocation",
+    "check_artifact",
+    "check_design",
+    "check_schedule",
+    "check_specification",
+    "diagnostic",
+    "run_mutations",
+    "self_test",
+]

@@ -1,0 +1,185 @@
+"""Independent bit-wiring model used by the checkers.
+
+The checkers must re-derive structural facts from first principles, so this
+module re-implements the bit-level semantics of the IR -- which operand bits
+a glue result bit is wired from, which additive result bits transitively feed
+a variable bit, which physical bit a wiring chain renames -- *without*
+calling the production analyses (:class:`~repro.ir.dfg.BitDependencyGraph`,
+the allocation alias resolver, the storage-source walk).  The semantics
+mirror the IR definition of each operation kind, which is unavoidable (the
+kind semantics *are* the contract); the implementation shares no code or
+caches with the code under test, so a bug on either side surfaces as a
+disagreement instead of being validated against itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.operations import Operation, OpKind
+from ..ir.spec import Specification
+
+#: (variable uid, absolute bit index) -- one physical IR bit.
+BitKey = Tuple[int, int]
+
+#: Glue kinds that are pure renamings of their (single) driving bit.
+WIRING_KINDS = frozenset({OpKind.MOVE, OpKind.CONCAT, OpKind.SHL, OpKind.SHR})
+
+
+def build_writer_map(
+    specification: Specification,
+) -> Dict[BitKey, Tuple[Operation, int]]:
+    """(variable uid, bit) -> (writing operation, result bit), first writer.
+
+    Built by scanning the operation list directly rather than reading the
+    specification's incremental def-use index, so a corrupted index (or a
+    hand-built mutant bypassing ``add_operation``) is still seen as the
+    operations actually describe it.  When two operations write the same bit
+    (an SSA violation the spec checker reports), the first writer wins here,
+    matching program-order semantics.
+    """
+    writers: Dict[BitKey, Tuple[Operation, int]] = {}
+    for operation in specification.operations:
+        destination = operation.destination
+        uid = destination.variable.uid
+        for result_bit, bit in enumerate(destination.range):
+            key = (uid, bit)
+            if key not in writers:
+                writers[key] = (operation, result_bit)
+    return writers
+
+
+def glue_wiring(operation: Operation, result_bit: int) -> List[Tuple]:
+    """The operand bits one glue result bit is wired from.
+
+    Returns ``(operand, position)`` pairs with ``position`` relative to the
+    operand's LSB.  Kind semantics: CONCAT routes the bit into exactly one
+    part by cumulative offset; SHL/SHR apply the constant shift (shifted-in
+    bits have no source); SELECT depends on the condition bit plus both data
+    arms at the same position; every other glue kind (MOVE, NOT, AND, OR,
+    XOR) is position-aligned across all read operands including a carry-in.
+    """
+    kind = operation.kind
+    if kind is OpKind.CONCAT:
+        offset = 0
+        for operand in operation.operands:
+            if offset <= result_bit < offset + operand.width:
+                return [(operand, result_bit - offset)]
+            offset += operand.width
+        return []
+    if kind is OpKind.SHL or kind is OpKind.SHR:
+        shift = int(operation.attributes.get("shift", 0))
+        position = result_bit - shift if kind is OpKind.SHL else result_bit + shift
+        source = operation.operands[0]
+        if 0 <= position < source.width:
+            return [(source, position)]
+        return []
+    if kind is OpKind.SELECT:
+        condition = operation.operands[0]
+        pairs: List[Tuple] = [(condition, 0)]
+        for arm in operation.operands[1:]:
+            if result_bit < arm.width:
+                pairs.append((arm, result_bit))
+        return pairs
+    pairs = []
+    for operand in operation.all_read_operands():
+        if result_bit < operand.width:
+            pairs.append((operand, result_bit))
+    return pairs
+
+
+def wiring_canonical(
+    writers: Dict[BitKey, Tuple[Operation, int]],
+    uid: int,
+    bit: int,
+) -> Optional[BitKey]:
+    """The physical bit a wiring chain renames; ``None`` for constant bits.
+
+    Follows only the pure-renaming kinds (MOVE, CONCAT, constant shifts)
+    through their single driving bit.  Terminates at the first non-wiring
+    definition (a real gate or an additive result), at an unwritten bit (a
+    port), or at a constant operand / shifted-in zero (``None``).  A wiring
+    cycle -- impossible in a well-formed specification, reported by the spec
+    checker -- terminates at the first revisited bit.
+    """
+    key = (uid, bit)
+    visited = {key}
+    while True:
+        definition = writers.get(key)
+        if definition is None:
+            return key
+        operation, result_bit = definition
+        if operation.kind not in WIRING_KINDS:
+            return key
+        sources = glue_wiring(operation, result_bit)
+        if not sources:
+            return None
+        operand, position = sources[0]
+        if not operand.is_variable:
+            return None
+        key = (operand.variable.uid, operand.range.lo + position)
+        if key in visited:
+            return key
+        visited.add(key)
+
+
+class AdditiveTracer:
+    """Memoized trace of variable bits down to additive result bits.
+
+    ``sources(uid, bit)`` returns every additive result bit (as a
+    :data:`BitKey` of the *destination* variable) that transitively feeds the
+    given bit through glue logic of any kind.  Port bits and constant wiring
+    resolve to nothing.  Cycles in the wiring (reported separately by the
+    spec checker) are cut at the revisit point so the trace always
+    terminates.
+    """
+
+    def __init__(self, writers: Dict[BitKey, Tuple[Operation, int]]) -> None:
+        self._writers = writers
+        self._memo: Dict[BitKey, Tuple[BitKey, ...]] = {}
+
+    def sources(self, uid: int, bit: int) -> Tuple[BitKey, ...]:
+        return self._sources((uid, bit), set())
+
+    def _sources(self, key: BitKey, active: set) -> Tuple[BitKey, ...]:
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if key in active:
+            return ()
+        definition = self._writers.get(key)
+        if definition is None:
+            self._memo[key] = ()
+            return ()
+        operation, result_bit = definition
+        if operation.is_additive:
+            result = (key,)
+            self._memo[key] = result
+            return result
+        active.add(key)
+        found: List[BitKey] = []
+        seen = set()
+        for operand, position in glue_wiring(operation, result_bit):
+            if not operand.is_variable:
+                continue
+            source_key = (operand.variable.uid, operand.range.lo + position)
+            for traced in self._sources(source_key, active):
+                if traced not in seen:
+                    seen.add(traced)
+                    found.append(traced)
+        active.discard(key)
+        result = tuple(found)
+        self._memo[key] = result
+        return result
+
+
+def operand_bit_keys(operation: Operation) -> List[BitKey]:
+    """Absolute (uid, bit) keys of every variable bit the operation reads."""
+    keys: List[BitKey] = []
+    for operand in operation.all_read_operands():
+        if not operand.is_variable:
+            continue
+        uid = operand.variable.uid
+        for bit in operand.range:
+            keys.append((uid, bit))
+    return keys

@@ -1,0 +1,435 @@
+"""Allocation-level checks (``ALLOC0xx``).
+
+The checker recomputes value lifetimes and steering requirements from first
+principles -- its own writer map, its own glue trace, its own run-compressed
+source classification -- and compares them against what the allocator
+actually recorded in the :class:`~repro.hls.datapath.Datapath`.  It never
+calls :func:`~repro.hls.allocation.registers.analyze_lifetimes`,
+:func:`~repro.hls.allocation.interconnect.estimate_interconnect` or their
+shared per-specification caches.
+
+Invariants:
+
+* ``ALLOC001`` -- no two value groups hosted by one register have
+  overlapping live intervals (a value lives over ``(birth, death]``);
+* ``ALLOC002`` -- no functional-unit instance executes two operations in
+  the same cycle;
+* ``ALLOC003`` -- the recorded multiplexer list matches the independently
+  recomputed steering requirements (location, fan-in and width);
+* ``ALLOC004`` (warning) -- no allocated register or functional unit is
+  orphaned (hosting nothing);
+* ``ALLOC005`` -- every bindable operation is bound to an instance of the
+  right category and sufficient width, and no glue operation is bound;
+* ``ALLOC006`` -- every stored value group agrees with the independently
+  recomputed lifetime (birth, death, producer, register coverage), and every
+  cycle-crossing additive result bit is stored somewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..hls.datapath import Datapath
+from ..hls.schedule import Schedule
+from ..ir.operations import Operation
+from ..techlib.library import TechnologyLibrary
+from ._trace import AdditiveTracer, BitKey, build_writer_map, wiring_canonical
+from .diagnostics import Diagnostic, SourceSpan, diagnostic
+
+#: Unit categories sized by the operation's carry-chain length rather than
+#: the destination width (mirrors the binder's ``_operation_fu_width``).
+_CHAIN_SIZED_CATEGORIES = ("adder", "comparator", "maxmin")
+
+
+def check_allocation(
+    schedule: Schedule,
+    datapath: Datapath,
+    library: TechnologyLibrary,
+) -> List[Diagnostic]:
+    """Run every allocation-level check; returns the findings."""
+    found: List[Diagnostic] = []
+    specification = schedule.specification
+    cycle_of = schedule.cycle_of
+    functional_units = datapath.functional_units
+    registers = datapath.registers.registers
+
+    writers = build_writer_map(specification)
+    tracer = AdditiveTracer(writers)
+
+    # ------------------------------------------------------------------
+    # ALLOC005: binding completeness and fitness.
+    for operation in specification.operations:
+        unit_spec = library.functional_unit_for(operation)
+        bound = functional_units.binding.get(operation)
+        span = SourceSpan(kind="operation", name=operation.name or str(operation.uid))
+        if unit_spec is None:
+            if bound is not None:
+                found.append(
+                    diagnostic(
+                        "ALLOC005",
+                        f"glue operation {operation.name} is bound to "
+                        f"{bound.identifier}",
+                        span=span,
+                    )
+                )
+            continue
+        if bound is None:
+            found.append(
+                diagnostic(
+                    "ALLOC005",
+                    f"operation {operation.name} needs a {unit_spec.category} "
+                    "but is not bound to any instance",
+                    span=span,
+                )
+            )
+            continue
+        if bound.category != unit_spec.category:
+            found.append(
+                diagnostic(
+                    "ALLOC005",
+                    f"operation {operation.name} needs a {unit_spec.category} "
+                    f"but is bound to {bound.identifier} ({bound.category})",
+                    span=span,
+                )
+            )
+            continue
+        if unit_spec.category in _CHAIN_SIZED_CATEGORIES:
+            needed = max(operation.max_operand_width(), 1)
+        else:
+            needed = unit_spec.width
+        if bound.width < needed:
+            found.append(
+                diagnostic(
+                    "ALLOC005",
+                    f"operation {operation.name} needs {needed} bits but "
+                    f"{bound.identifier} is {bound.width} bits wide",
+                    span=span,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # ALLOC002: per-instance cycle conflicts (own occupancy table).
+    occupancy: Dict[str, Dict[int, Operation]] = {}
+    for operation, instance in functional_units.binding.items():
+        cycle = cycle_of.get(operation)
+        if cycle is None:
+            continue  # SCHED001 territory
+        holders = occupancy.setdefault(instance.identifier, {})
+        other = holders.get(cycle)
+        if other is not None:
+            found.append(
+                diagnostic(
+                    "ALLOC002",
+                    f"{instance.identifier} executes both {other.name} and "
+                    f"{operation.name} in cycle {cycle}",
+                    span=SourceSpan(
+                        kind="unit", name=instance.identifier, cycle=cycle
+                    ),
+                )
+            )
+        else:
+            holders[cycle] = operation
+
+    # ------------------------------------------------------------------
+    # ALLOC004 (warning): orphaned resources.
+    bound_instances = {instance.identifier for instance in functional_units.binding.values()}
+    for instance in functional_units.instances:
+        if instance.identifier not in bound_instances:
+            found.append(
+                diagnostic(
+                    "ALLOC004",
+                    f"functional unit {instance.identifier} hosts no operation",
+                    span=SourceSpan(kind="unit", name=instance.identifier),
+                )
+            )
+    for register in registers:
+        if not register.groups:
+            found.append(
+                diagnostic(
+                    "ALLOC004",
+                    f"register {register.identifier} stores no value group",
+                    span=SourceSpan(kind="register", name=register.identifier),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Independent lifetime recomputation: birth/producer of every additive
+    # destination bit, death = latest additive consumer traced through glue.
+    birth: Dict[BitKey, int] = {}
+    death: Dict[BitKey, int] = {}
+    producer_of: Dict[BitKey, Operation] = {}
+    complete = True
+    for operation in specification.operations:
+        if not operation.is_additive:
+            continue
+        cycle = cycle_of.get(operation)
+        if cycle is None:
+            complete = False
+            continue
+        destination = operation.destination
+        uid = destination.variable.uid
+        for bit in destination.range:
+            key = (uid, bit)
+            if key in birth:
+                continue  # SPEC001 territory; first writer wins
+            birth[key] = cycle
+            death[key] = cycle
+            producer_of[key] = operation
+    for operation in specification.operations:
+        if not operation.is_additive:
+            continue
+        cycle = cycle_of.get(operation)
+        if cycle is None:
+            continue
+        for operand in operation.all_read_operands():
+            if not operand.is_variable:
+                continue
+            uid = operand.variable.uid
+            for bit in operand.range:
+                for source in tracer.sources(uid, bit):
+                    if source in birth and death[source] < cycle:
+                        death[source] = cycle
+
+    # ------------------------------------------------------------------
+    # ALLOC006: every hosted group against the recomputed lifetimes.
+    hosted_bits: Dict[BitKey, str] = {}
+    names = {variable.uid: variable.name for variable in specification.variables}
+    for register in registers:
+        span = SourceSpan(kind="register", name=register.identifier)
+        for group in register.groups:
+            label = f"{group.variable.name}[{group.low_bit + group.width - 1}:{group.low_bit}]"
+            if group.width > register.width:
+                found.append(
+                    diagnostic(
+                        "ALLOC006",
+                        f"group {label} is wider than {register.identifier} "
+                        f"({group.width} > {register.width})",
+                        span=span,
+                    )
+                )
+            for bit in range(group.low_bit, group.low_bit + group.width):
+                key = (group.variable.uid, bit)
+                previous = hosted_bits.get(key)
+                if previous is not None:
+                    found.append(
+                        diagnostic(
+                            "ALLOC006",
+                            f"bit {bit} of {group.variable.name} is stored in "
+                            f"both {previous} and {register.identifier}",
+                            span=SourceSpan(
+                                kind="bit", name=group.variable.name, bit=bit
+                            ),
+                        )
+                    )
+                else:
+                    hosted_bits[key] = register.identifier
+                if key not in birth:
+                    if complete:
+                        found.append(
+                            diagnostic(
+                                "ALLOC006",
+                                f"group {label} stores bit {bit} of "
+                                f"{group.variable.name}, which no scheduled "
+                                "additive operation produces",
+                                span=span,
+                            )
+                        )
+                    continue
+                if birth[key] != group.birth_cycle or death[key] != group.death_cycle:
+                    found.append(
+                        diagnostic(
+                            "ALLOC006",
+                            f"group {label} records lifetime "
+                            f"({group.birth_cycle} -> {group.death_cycle}) but "
+                            f"recomputation finds ({birth[key]} -> {death[key]})",
+                            span=span,
+                        )
+                    )
+                elif group.producer is not producer_of[key]:
+                    recorded = group.producer.name if group.producer else "nothing"
+                    found.append(
+                        diagnostic(
+                            "ALLOC006",
+                            f"group {label} records producer {recorded} but "
+                            f"{producer_of[key].name} writes it",
+                            span=span,
+                        )
+                    )
+    if complete:
+        for key, born in birth.items():
+            if death[key] > born and key not in hosted_bits:
+                uid, bit = key
+                found.append(
+                    diagnostic(
+                        "ALLOC006",
+                        f"bit {bit} of {names.get(uid, uid)} lives from cycle "
+                        f"{born} to {death[key]} but no register stores it",
+                        span=SourceSpan(kind="bit", name=names.get(uid, str(uid)), bit=bit),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # ALLOC001: interval overlap inside one register, recorded intervals.
+    for register in registers:
+        groups = sorted(
+            register.groups, key=lambda group: (group.birth_cycle, group.death_cycle)
+        )
+        for first, second in zip(groups, groups[1:]):
+            # Values occupy (birth, death]; adjacent groups may share the
+            # boundary cycle (one dies as the other is born).
+            if first.birth_cycle < second.death_cycle and second.birth_cycle < first.death_cycle:
+                found.append(
+                    diagnostic(
+                        "ALLOC001",
+                        f"{register.identifier} stores {first.variable.name}"
+                        f"({first.birth_cycle} -> {first.death_cycle}) and "
+                        f"{second.variable.name}({second.birth_cycle} -> "
+                        f"{second.death_cycle}) with overlapping lifetimes",
+                        span=SourceSpan(kind="register", name=register.identifier),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # ALLOC003: recorded multiplexers against an independent recomputation.
+    if complete:
+        found.extend(
+            _check_interconnect(schedule, datapath, writers, tracer)
+        )
+    return found
+
+
+def _check_interconnect(
+    schedule: Schedule,
+    datapath: Datapath,
+    writers: Dict[BitKey, Tuple[Operation, int]],
+    tracer: AdditiveTracer,
+) -> List[Diagnostic]:
+    """Recompute every steering requirement and diff against the record."""
+    specification = schedule.specification
+    cycle_of = schedule.cycle_of
+    functional_units = datapath.functional_units
+    registers = datapath.registers.registers
+
+    group_register: Dict[BitKey, int] = {}
+    for index, register in enumerate(registers):
+        for group in register.groups:
+            for bit in range(group.low_bit, group.low_bit + group.width):
+                group_register.setdefault((group.variable.uid, bit), index)
+
+    def bit_source(consumer_cycle: int, uid: int, bit: int) -> Tuple:
+        canonical = wiring_canonical(writers, uid, bit)
+        if canonical is None:
+            return (("const", 0), 0)
+        definition = writers.get(canonical)
+        if definition is None:
+            return (("port", canonical[0]), canonical[1])
+        producer = definition[0]
+        producer_cycle = cycle_of.get(producer)
+        if producer_cycle == consumer_cycle:
+            instance = functional_units.binding.get(producer)
+            if instance is None:
+                return (("glue", producer.uid), canonical[1])
+            return (("fu", instance.identifier), canonical[1])
+        register_index = group_register.get(canonical)
+        if register_index is None:
+            return (("wire", canonical[0]), canonical[1])
+        return (("reg", register_index), canonical[1])
+
+    def operand_signature(operation: Operation, operand) -> Tuple:
+        if not operand.is_variable:
+            return (("const", operand.constant.value, operand.width),)
+        consumer_cycle = cycle_of[operation]
+        uid = operand.variable.uid
+        runs: List[Tuple] = []
+        for bit in operand.range:
+            head, position = bit_source(consumer_cycle, uid, bit)
+            if runs:
+                last_head, last_start, last_length = runs[-1]
+                if last_head == head and position == last_start + last_length:
+                    runs[-1] = (last_head, last_start, last_length + 1)
+                    continue
+            runs.append((head, position, 1))
+        return tuple(runs)
+
+    # Expected multiplexers: location -> (fan_in, width).
+    expected: Dict[str, Tuple[int, int]] = {}
+    hosted: Dict[str, List[Operation]] = {}
+    for operation, instance in functional_units.binding.items():
+        hosted.setdefault(instance.identifier, []).append(operation)
+    for instance in functional_units.instances:
+        operations = hosted.get(instance.identifier, [])
+        if not operations:
+            continue  # unhosted instances get no steering (ALLOC004 covers them)
+        port_sources: Dict[int, Set[Tuple]] = {}
+        carry_sources: Set[Tuple] = set()
+        for operation in operations:
+            for port_index, operand in enumerate(operation.operands):
+                port_sources.setdefault(port_index, set()).add(
+                    operand_signature(operation, operand)
+                )
+            if operation.carry_in is not None:
+                carry_sources.add(operand_signature(operation, operation.carry_in))
+        for port_index, sources in port_sources.items():
+            expected[f"{instance.identifier}.in{port_index}"] = (
+                max(1, len(sources)),
+                instance.width,
+            )
+        if carry_sources:
+            expected[f"{instance.identifier}.carry"] = (max(1, len(carry_sources)), 1)
+    for index, register in enumerate(registers):
+        writer_keys: Set[Tuple] = set()
+        for group in register.groups:
+            if group.producer is None:
+                continue
+            instance = functional_units.binding.get(group.producer)
+            if instance is None:
+                writer_keys.add(("glue", group.producer.uid))
+            else:
+                writer_keys.add(("fu", instance.identifier))
+        expected[f"reg{index}.in"] = (max(1, len(writer_keys)), register.width)
+
+    found: List[Diagnostic] = []
+    recorded: Dict[str, Tuple[int, int]] = {}
+    for mux in datapath.interconnect.multiplexers:
+        span = SourceSpan(kind="mux", name=mux.location)
+        if mux.location in recorded:
+            found.append(
+                diagnostic(
+                    "ALLOC003",
+                    f"multiplexer {mux.location} is recorded twice",
+                    span=span,
+                )
+            )
+            continue
+        recorded[mux.location] = (mux.fan_in, mux.width)
+    for location, (fan_in, width) in expected.items():
+        have = recorded.pop(location, None)
+        span = SourceSpan(kind="mux", name=location)
+        if have is None:
+            found.append(
+                diagnostic(
+                    "ALLOC003",
+                    f"multiplexer {location} ({fan_in}-to-1 x {width}) is "
+                    "required but not recorded",
+                    span=span,
+                )
+            )
+        elif have != (fan_in, width):
+            found.append(
+                diagnostic(
+                    "ALLOC003",
+                    f"multiplexer {location} recorded as {have[0]}-to-1 x "
+                    f"{have[1]} bits, recomputation requires {fan_in}-to-1 x "
+                    f"{width} bits",
+                    span=span,
+                )
+            )
+    for location in recorded:
+        found.append(
+            diagnostic(
+                "ALLOC003",
+                f"multiplexer {location} is recorded but no operand needs it",
+                span=SourceSpan(kind="mux", name=location),
+            )
+        )
+    return found

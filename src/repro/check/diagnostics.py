@@ -1,0 +1,244 @@
+"""Diagnostics engine of the static verification layer.
+
+Every checker of :mod:`repro.check` reports through the same small set of
+objects: a :class:`Diagnostic` carries a stable error code (``SPEC001``,
+``SCHED003``, ``ALLOC002``, ``NET004`` ...), a :class:`Severity`, a message,
+and a :class:`SourceSpan` naming the offending construct -- the bit, cycle,
+unit, register, multiplexer, gate or state the invariant broke at.  A
+:class:`CheckReport` aggregates the diagnostics of one run and renders them
+as text (one line per finding, compiler style) or as a JSON-ready dictionary
+(the ``--json`` CLI output and the CI artifact format).
+
+The code registry (:data:`CODE_REGISTRY`) is the single source of truth for
+the code namespace: each code belongs to exactly one IR level and has a
+default severity.  Checkers build diagnostics through :func:`diagnostic` so a
+typo'd code fails loudly instead of silently inventing a new namespace entry.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class CheckError(ValueError):
+    """Raised when a checked run contains error-severity diagnostics."""
+
+
+class Severity(enum.IntEnum):
+    """Severity ladder; the integer order supports ``>=`` gating."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+#: The IR levels of the flow, in pipeline order.  ``check_level`` style
+#: arguments name a prefix of this tuple.
+LEVELS: Tuple[str, ...] = ("spec", "schedule", "allocation", "netlist")
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Location of a finding: the construct that broke the invariant.
+
+    ``kind`` is a short noun (``"bit"``, ``"operation"``, ``"cycle"``,
+    ``"register"``, ``"unit"``, ``"mux"``, ``"gate"``, ``"net"``,
+    ``"element"``, ``"state"``); ``name`` identifies the construct.  ``bit``
+    and ``cycle`` refine the location where the construct alone is too wide
+    (which bit of a variable, which cycle of a schedule).
+    """
+
+    kind: str
+    name: str
+    bit: Optional[int] = None
+    cycle: Optional[int] = None
+
+    def describe(self) -> str:
+        text = f"{self.kind} {self.name}"
+        if self.bit is not None:
+            text += f"[{self.bit}]"
+        if self.cycle is not None:
+            text += f" @cycle {self.cycle}"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"kind": self.kind, "name": self.name}
+        if self.bit is not None:
+            payload["bit"] = self.bit
+        if self.cycle is not None:
+            payload["cycle"] = self.cycle
+        return payload
+
+
+#: code -> (level, default severity, one-line title).
+CODE_REGISTRY: Dict[str, Tuple[str, Severity, str]] = {
+    # -- specification level ------------------------------------------------
+    "SPEC001": ("spec", Severity.ERROR, "variable bit written more than once"),
+    "SPEC002": ("spec", Severity.ERROR, "bit read before (or without) a definition"),
+    "SPEC003": ("spec", Severity.ERROR, "width or type inconsistency"),
+    "SPEC004": ("spec", Severity.ERROR, "undriven output-port bit"),
+    "SPEC005": ("spec", Severity.WARNING, "dead definition (result never read)"),
+    "SPEC006": ("spec", Severity.ERROR, "combinational self-dependence"),
+    # -- schedule level -----------------------------------------------------
+    "SCHED001": ("schedule", Severity.ERROR, "operation not scheduled"),
+    "SCHED002": ("schedule", Severity.ERROR, "cycle outside the latency range"),
+    "SCHED003": ("schedule", Severity.ERROR, "data dependence scheduled backwards"),
+    "SCHED004": ("schedule", Severity.ERROR, "chained-bit depth exceeds the budget"),
+    "SCHED005": ("schedule", Severity.ERROR, "recorded timing disagrees with recomputation"),
+    # -- allocation level ---------------------------------------------------
+    "ALLOC001": ("allocation", Severity.ERROR, "overlapping live intervals in one register"),
+    "ALLOC002": ("allocation", Severity.ERROR, "functional-unit conflict within a cycle"),
+    "ALLOC003": ("allocation", Severity.ERROR, "mux inputs disagree with the storage sources"),
+    "ALLOC004": ("allocation", Severity.WARNING, "orphaned register or functional unit"),
+    "ALLOC005": ("allocation", Severity.ERROR, "operation unbound or bound to an unfit unit"),
+    "ALLOC006": ("allocation", Severity.ERROR, "stored group disagrees with recomputed lifetime"),
+    # -- netlist level ------------------------------------------------------
+    "NET001": ("netlist", Severity.ERROR, "combinational cycle"),
+    "NET002": ("netlist", Severity.ERROR, "multiply-driven net"),
+    "NET003": ("netlist", Severity.ERROR, "undriven net consumed"),
+    "NET004": ("netlist", Severity.ERROR, "width mismatch at a module boundary"),
+    "NET005": ("netlist", Severity.WARNING, "dead gate (output drives nothing)"),
+    "NET006": ("netlist", Severity.ERROR, "FSM state unreachable or not autonomous"),
+    "NET007": ("netlist", Severity.ERROR, "state element never load-enabled"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a checker."""
+
+    code: str
+    severity: Severity
+    level: str
+    message: str
+    span: Optional[SourceSpan] = None
+
+    def describe(self) -> str:
+        where = f" [{self.span.describe()}]" if self.span is not None else ""
+        return f"{self.code} {self.severity}: {self.message}{where}"
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "level": self.level,
+            "message": self.message,
+        }
+        if self.span is not None:
+            payload["span"] = self.span.to_dict()
+        return payload
+
+
+def diagnostic(
+    code: str,
+    message: str,
+    span: Optional[SourceSpan] = None,
+    severity: Optional[Severity] = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic` for a registered code.
+
+    The level and (unless overridden) the severity come from the registry, so
+    every emitted code is guaranteed to exist in the documented namespace.
+    """
+    try:
+        level, default_severity, _title = CODE_REGISTRY[code]
+    except KeyError:
+        raise CheckError(f"unregistered diagnostic code {code!r}") from None
+    return Diagnostic(
+        code=code,
+        severity=default_severity if severity is None else severity,
+        level=level,
+        message=message,
+        span=span,
+    )
+
+
+@dataclass
+class CheckReport:
+    """All diagnostics of one checker run, plus which levels actually ran."""
+
+    subject: str
+    levels: Tuple[str, ...] = ()
+    diagnostics: List[Diagnostic] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.diagnostics is None:
+            self.diagnostics = []
+
+    # ------------------------------------------------------------------
+    def extend(self, level: str, found: Sequence[Diagnostic]) -> None:
+        if level not in LEVELS:
+            raise CheckError(f"unknown check level {level!r}")
+        if level not in self.levels:
+            self.levels = self.levels + (level,)
+        self.diagnostics.extend(found)
+
+    def at_level(self, level: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.level == level]
+
+    def count(self, minimum: Severity = Severity.INFO) -> int:
+        return sum(1 for d in self.diagnostics if d.severity >= minimum)
+
+    @property
+    def error_count(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing at warning severity or above was found."""
+        return self.count(Severity.WARNING) == 0
+
+    @property
+    def passed(self) -> bool:
+        """True when no error-severity diagnostic was found."""
+        return self.error_count == 0
+
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        lines = [
+            f"check {self.subject}: levels {', '.join(self.levels) or '(none)'}"
+        ]
+        for item in self.diagnostics:
+            lines.append(f"  {item.describe()}")
+        lines.append(
+            f"  {self.error_count} error(s), {self.warning_count} warning(s)"
+            if self.diagnostics
+            else "  clean: no diagnostics"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "levels": list(self.levels),
+            "errors": self.error_count,
+            "warnings": self.warning_count,
+            "clean": self.clean,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def raise_on_errors(self) -> None:
+        """Raise :class:`CheckError` when error-severity diagnostics exist."""
+        if self.passed:
+            return
+        failing = [d.describe() for d in self.diagnostics if d.severity >= Severity.ERROR]
+        raise CheckError(
+            f"static checks failed for {self.subject}: " + "; ".join(failing)
+        )

@@ -1,0 +1,585 @@
+"""Mutation self-test harness: seeded corruptions the checkers must catch.
+
+A static checker that never fires is indistinguishable from one that works.
+This module keeps :mod:`repro.check` honest by applying one single-point
+corruption per diagnostic code to a freshly built clean artifact and
+asserting that (a) the unmutated artifact produces zero diagnostics and
+(b) the corrupted artifact is flagged with exactly the intended code (other
+codes may co-fire when one corruption violates several invariants at once --
+e.g. unbinding an operation both orphans its unit and changes the expected
+steering -- but the intended code must be among them).
+
+Every mutation builds its own private artifact -- a fresh factory
+specification, an unshared schedule, a ``reuse=False`` datapath, a fresh
+emission -- so the corruptions can never leak into the memoized production
+objects other callers (or later mutations) observe.  Corruptions are applied
+through the same back doors a buggy analysis would use: list internals,
+direct dictionary pokes, in-place dataclass surgery -- deliberately bypassing
+the constructor guards whose absence the checkers must compensate for.
+
+Entry points: :func:`run_mutations` returns one :class:`MutationOutcome` per
+registered mutation; :func:`self_test` raises :class:`~repro.check.CheckError`
+unless every mutation is caught and every baseline is clean (used by
+``repro check --mutate`` and the CI mutation smoke).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from random import Random
+from typing import Callable, Dict, List, Tuple
+
+from ..core import TransformOptions, transform
+from ..hls.allocation.functional_units import FunctionalUnitInstance
+from ..hls.datapath import build_datapath
+from ..hls.flow import FlowMode, run_schedule, run_timing
+from ..ir.operations import Operation, OpKind
+from ..ir.spec import Specification
+from ..ir.types import BitVectorType
+from ..ir.values import Destination, Variable
+from ..rtl.design import RtlDesign
+from ..rtl.emit import emit_design
+from ..rtl.netlist import Gate, GateKind, Net
+from ..techlib.library import default_library
+from ..workloads import ALL_WORKLOADS
+from ._trace import AdditiveTracer, build_writer_map, operand_bit_keys
+from .allocation import check_allocation
+from .diagnostics import CODE_REGISTRY, CheckError, Diagnostic
+from .netlist import check_design
+from .schedule import check_schedule
+from .spec import check_specification
+
+#: Workload every mutation corrupts; any workload with a multi-cycle
+#: fragmented schedule and at least two registers works.
+MUTATION_WORKLOAD = "motivational"
+MUTATION_LATENCY = 3
+
+_Findings = List[Diagnostic]
+_MutationFn = Callable[[Random], Tuple[_Findings, _Findings]]
+_MUTATIONS: List[Tuple[str, str, _MutationFn]] = []
+
+
+class MutationError(CheckError):
+    """Raised when a mutation cannot find a corruption site (harness bug)."""
+
+
+@dataclass(frozen=True)
+class MutationOutcome:
+    """Result of one seeded corruption run."""
+
+    name: str
+    code: str
+    level: str
+    clean_before: bool
+    caught: bool
+    reported: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.clean_before and self.caught
+
+    def describe(self) -> str:
+        verdict = "ok" if self.ok else "MISSED"
+        detail = ", ".join(self.reported) or "nothing"
+        return f"{self.name} [{self.code}]: {verdict} (reported {detail})"
+
+
+def _mutation(code: str) -> Callable[[_MutationFn], _MutationFn]:
+    if code not in CODE_REGISTRY:
+        raise MutationError(f"mutation registered for unknown code {code}")
+
+    def register(fn: _MutationFn) -> _MutationFn:
+        _MUTATIONS.append((fn.__name__, code, fn))
+        return fn
+
+    return register
+
+
+# ----------------------------------------------------------------------
+# Fresh-artifact builders (never the memoized production objects).
+# ----------------------------------------------------------------------
+def _fresh_spec() -> Specification:
+    return ALL_WORKLOADS[MUTATION_WORKLOAD]()
+
+
+def _scheduled():
+    """A fresh fragmented schedule plus its budget and library."""
+    spec = _fresh_spec()
+    library = default_library()
+    result = transform(spec, MUTATION_LATENCY, TransformOptions(check_equivalence=False))
+    schedule, budget = run_schedule(
+        result.transformed,
+        MUTATION_LATENCY,
+        library,
+        FlowMode.FRAGMENTED,
+        chained_bits_per_cycle=result.chained_bits_per_cycle,
+    )
+    return schedule, budget, library
+
+
+def _allocated():
+    schedule, _budget, library = _scheduled()
+    datapath = build_datapath(schedule, library, reuse=False)
+    return schedule, datapath, library
+
+
+def _emitted() -> RtlDesign:
+    schedule, _budget, library = _scheduled()
+    datapath = build_datapath(schedule, library, reuse=False)
+    return emit_design(schedule, library, datapath, name="mutant").design
+
+
+def _pick(rng: Random, candidates, what: str):
+    if not candidates:
+        raise MutationError(f"no corruption site for {what}")
+    return candidates[rng.randrange(len(candidates))]
+
+
+def _ranges_overlap(a, b) -> bool:
+    return a.lo <= b.hi and b.lo <= a.hi
+
+
+def _reads_destination(reader: Operation, producer: Operation) -> bool:
+    destination = producer.destination
+    for operand in reader.all_read_operands():
+        if operand.is_variable and operand.variable is destination.variable:
+            if _ranges_overlap(operand.range, destination.range):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Specification-level mutations.
+# ----------------------------------------------------------------------
+@_mutation("SPEC001")
+def duplicate_writer(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Append a second copy of an operation: its bits gain two writers."""
+    spec = _fresh_spec()
+    before = check_specification(spec)
+    spec._operations.append(_pick(rng, list(spec._operations), "SPEC001"))
+    return before, check_specification(spec)
+
+
+@_mutation("SPEC002")
+def read_before_write(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Move a producer after one of its readers in program order."""
+    spec = _fresh_spec()
+    before = check_specification(spec)
+    operations = spec._operations
+    candidates = [
+        index
+        for index, producer in enumerate(operations)
+        if any(
+            _reads_destination(reader, producer)
+            for reader in operations[index + 1 :]
+        )
+    ]
+    index = _pick(rng, candidates, "SPEC002")
+    operations.append(operations.pop(index))
+    return before, check_specification(spec)
+
+
+@_mutation("SPEC003")
+def shrink_variable(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Narrow a variable's type under its existing full-width accesses."""
+    spec = _fresh_spec()
+    before = check_specification(spec)
+    candidates = [
+        operation.destination.variable
+        for operation in spec.operations
+        if operation.destination.variable.width >= 2
+        and operation.destination.range.hi == operation.destination.variable.width - 1
+    ]
+    variable = _pick(rng, candidates, "SPEC003")
+    variable.type = BitVectorType(variable.width - 1, variable.signed)
+    return before, check_specification(spec)
+
+
+@_mutation("SPEC004")
+def drop_output_writer(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Delete an operation that drives an output port."""
+    spec = _fresh_spec()
+    before = check_specification(spec)
+    candidates = [
+        operation
+        for operation in spec._operations
+        if operation.destination.variable.is_output()
+    ]
+    spec._operations.remove(_pick(rng, candidates, "SPEC004"))
+    return before, check_specification(spec)
+
+
+@_mutation("SPEC005")
+def dead_addition(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Add an ADD whose result no operation ever reads."""
+    spec = _fresh_spec()
+    before = check_specification(spec)
+    inputs = [variable for variable in spec.variables if variable.is_input()]
+    a = _pick(rng, inputs, "SPEC005")
+    b = _pick(rng, inputs, "SPEC005")
+    dead = Variable(
+        "mutant_dead_sum", BitVectorType(max(a.width, b.width) + 1, False)
+    )
+    spec._variables[dead.name] = dead
+    spec._operations.append(
+        Operation(
+            kind=OpKind.ADD,
+            operands=(a.whole(), b.whole()),
+            destination=Destination(dead, dead.full_range()),
+            name="mutant_dead_add",
+        )
+    )
+    return before, check_specification(spec)
+
+
+@_mutation("SPEC006")
+def self_dependence(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Add a MOVE that copies a fresh variable onto itself."""
+    spec = _fresh_spec()
+    before = check_specification(spec)
+    loop = Variable("mutant_loop", BitVectorType(2 + rng.randrange(3), False))
+    spec._variables[loop.name] = loop
+    spec._operations.append(
+        Operation(
+            kind=OpKind.MOVE,
+            operands=(loop.whole(),),
+            destination=Destination(loop, loop.full_range()),
+            name="mutant_loop_move",
+        )
+    )
+    return before, check_specification(spec)
+
+
+# ----------------------------------------------------------------------
+# Schedule-level mutations.
+# ----------------------------------------------------------------------
+@_mutation("SCHED001")
+def unscheduled_operation(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Drop one operation's cycle assignment."""
+    schedule, _budget, _library = _scheduled()
+    before = check_schedule(schedule)
+    victim = _pick(rng, list(schedule.cycle_of), "SCHED001")
+    del schedule.cycle_of[victim]
+    return before, check_schedule(schedule)
+
+
+@_mutation("SCHED002")
+def cycle_out_of_range(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Poke a cycle past the latency (bypassing the assign() guard)."""
+    schedule, _budget, _library = _scheduled()
+    before = check_schedule(schedule)
+    victim = _pick(rng, list(schedule.cycle_of), "SCHED002")
+    schedule.cycle_of[victim] = schedule.latency + 1 + rng.randrange(3)
+    return before, check_schedule(schedule)
+
+
+@_mutation("SCHED003")
+def producer_after_consumer(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Reschedule an additive producer after one of its additive consumers."""
+    schedule, _budget, _library = _scheduled()
+    before = check_schedule(schedule)
+    writers = build_writer_map(schedule.specification)
+    tracer = AdditiveTracer(writers)
+    candidates = []
+    for consumer, consumer_cycle in schedule.cycle_of.items():
+        if not consumer.is_additive or consumer_cycle >= schedule.latency:
+            continue
+        for uid, bit in operand_bit_keys(consumer):
+            for source in tracer.sources(uid, bit):
+                producer = writers[source][0]
+                if producer is consumer:
+                    continue
+                producer_cycle = schedule.cycle_of.get(producer)
+                if producer_cycle is not None and producer_cycle <= consumer_cycle:
+                    candidates.append((producer, consumer_cycle))
+    producer, consumer_cycle = _pick(rng, candidates, "SCHED003")
+    schedule.cycle_of[producer] = consumer_cycle + 1
+    return before, check_schedule(schedule)
+
+
+@_mutation("SCHED004")
+def budget_blown(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Collapse the whole schedule into cycle 1: the chain exceeds the budget."""
+    schedule, budget, _library = _scheduled()
+    before = check_schedule(schedule, budget=budget)
+    for operation in list(schedule.cycle_of):
+        schedule.cycle_of[operation] = 1
+    return before, check_schedule(schedule, budget=budget)
+
+
+@_mutation("SCHED005")
+def tampered_timing(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Corrupt one cycle of the recorded timing analysis."""
+    schedule, _budget, library = _scheduled()
+    timing = run_timing(schedule, library, FlowMode.FRAGMENTED)
+    before = check_schedule(schedule, timing=timing)
+    cycle = _pick(rng, sorted(timing.cycle_chained_bits), "SCHED005")
+    timing.cycle_chained_bits[cycle] += 1
+    return before, check_schedule(schedule, timing=timing)
+
+
+# ----------------------------------------------------------------------
+# Allocation-level mutations.
+# ----------------------------------------------------------------------
+@_mutation("ALLOC001")
+def overlapping_groups(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Move a value group into a register whose tenant's lifetime overlaps."""
+    schedule, datapath, library = _allocated()
+    before = check_allocation(schedule, datapath, library)
+    registers = datapath.registers.registers
+    candidates = []
+    for source in registers:
+        for group in source.groups:
+            for target in registers:
+                if target is source or group.width > target.width:
+                    continue
+                if any(
+                    group.birth_cycle < tenant.death_cycle
+                    and tenant.birth_cycle < group.death_cycle
+                    for tenant in target.groups
+                ):
+                    candidates.append((source, group, target))
+    source, group, target = _pick(rng, candidates, "ALLOC001")
+    source.groups.remove(group)
+    target.groups.append(group)
+    return before, check_allocation(schedule, datapath, library)
+
+
+@_mutation("ALLOC002")
+def double_booked_unit(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Rebind an operation onto a unit already busy in its cycle."""
+    schedule, datapath, library = _allocated()
+    before = check_allocation(schedule, datapath, library)
+    binding = datapath.functional_units.binding
+    occupied: Dict[str, Dict[int, Operation]] = {}
+    for operation, instance in binding.items():
+        occupied.setdefault(instance.identifier, {})[
+            schedule.cycle_of[operation]
+        ] = operation
+    candidates = []
+    for operation, instance in binding.items():
+        cycle = schedule.cycle_of[operation]
+        for other in datapath.functional_units.instances:
+            if other.identifier == instance.identifier:
+                continue
+            if other.category != instance.category or other.width < instance.width:
+                continue
+            if cycle in occupied.get(other.identifier, {}):
+                candidates.append((operation, other))
+    operation, other = _pick(rng, candidates, "ALLOC002")
+    binding[operation] = other
+    return before, check_allocation(schedule, datapath, library)
+
+
+@_mutation("ALLOC003")
+def understated_multiplexer(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Shrink one recorded multiplexer's fan-in by one."""
+    schedule, datapath, library = _allocated()
+    before = check_allocation(schedule, datapath, library)
+    multiplexers = datapath.interconnect.multiplexers
+    candidates = [
+        index for index, mux in enumerate(multiplexers) if mux.fan_in >= 2
+    ]
+    index = _pick(rng, candidates, "ALLOC003")
+    multiplexers[index] = replace(
+        multiplexers[index], fan_in=multiplexers[index].fan_in - 1
+    )
+    return before, check_allocation(schedule, datapath, library)
+
+
+@_mutation("ALLOC004")
+def orphaned_unit(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Append a functional unit that hosts no operation."""
+    schedule, datapath, library = _allocated()
+    before = check_allocation(schedule, datapath, library)
+    datapath.functional_units.instances.append(
+        FunctionalUnitInstance(
+            identifier="mutant_spare0",
+            category="adder",
+            width=2 + rng.randrange(4),
+            area_gates=0.0,
+        )
+    )
+    return before, check_allocation(schedule, datapath, library)
+
+
+@_mutation("ALLOC005")
+def unbound_operation(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Delete one operation's functional-unit binding."""
+    schedule, datapath, library = _allocated()
+    before = check_allocation(schedule, datapath, library)
+    binding = datapath.functional_units.binding
+    victim = _pick(rng, list(binding), "ALLOC005")
+    del binding[victim]
+    return before, check_allocation(schedule, datapath, library)
+
+
+@_mutation("ALLOC006")
+def stretched_lifetime(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Extend one stored group's recorded death past its real last use."""
+    schedule, datapath, library = _allocated()
+    before = check_allocation(schedule, datapath, library)
+    candidates = [
+        (register, index)
+        for register in datapath.registers.registers
+        for index, group in enumerate(register.groups)
+        if group.needs_storage
+    ]
+    register, index = _pick(rng, candidates, "ALLOC006")
+    group = register.groups[index]
+    register.groups[index] = replace(group, death_cycle=group.death_cycle + 2)
+    return before, check_allocation(schedule, datapath, library)
+
+
+# ----------------------------------------------------------------------
+# Netlist-level mutations.
+# ----------------------------------------------------------------------
+def _net_uses(design: RtlDesign) -> Dict[Net, int]:
+    uses: Dict[Net, int] = {}
+    for gate in design.netlist.gates:
+        for net in gate.inputs:
+            uses[net] = uses.get(net, 0) + 1
+    for nets in design.output_ports.values():
+        for net in nets:
+            uses[net] = uses.get(net, 0) + 1
+    for element in design.state_elements:
+        for net in element.d_nets:
+            uses[net] = uses.get(net, 0) + 1
+    for net in design.netlist.outputs:
+        uses[net] = uses.get(net, 0) + 1
+    return uses
+
+
+@_mutation("NET001")
+def combinational_loop(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Feed a gate's own output back into its first input."""
+    design = _emitted()
+    before = check_design(design)
+    uses = _net_uses(design)
+    candidates = [
+        gate
+        for gate in design.netlist.gates
+        if len(gate.inputs) == 2 and uses.get(gate.inputs[0], 0) >= 2
+    ]
+    gate = _pick(rng, candidates, "NET001")
+    gate.inputs = (gate.output, gate.inputs[1])
+    return before, check_design(design)
+
+
+@_mutation("NET002")
+def double_driver(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Smuggle in a second gate driving an already-driven net."""
+    design = _emitted()
+    before = check_design(design)
+    netlist = design.netlist
+    source = _pick(rng, list(netlist.inputs), "NET002")
+    victim = _pick(rng, list(netlist.gates), "NET002")
+    netlist._gates.append(
+        Gate(
+            kind=GateKind.BUF,
+            inputs=(source,),
+            output=victim.output,
+            name="mutant_buf",
+        )
+    )
+    return before, check_design(design)
+
+
+@_mutation("NET003")
+def floating_input(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Rewire a gate input to a net nothing drives."""
+    design = _emitted()
+    before = check_design(design)
+    uses = _net_uses(design)
+    candidates = [
+        gate
+        for gate in design.netlist.gates
+        if len(gate.inputs) == 2 and uses.get(gate.inputs[0], 0) >= 2
+    ]
+    gate = _pick(rng, candidates, "NET003")
+    gate.inputs = (Net("mutant_floating"), gate.inputs[1])
+    return before, check_design(design)
+
+
+@_mutation("NET004")
+def widened_element(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Declare one extra bit on a state element without wiring it."""
+    design = _emitted()
+    before = check_design(design)
+    candidates = [
+        element for element in design.state_elements if element.role != "fsm"
+    ]
+    element = _pick(rng, candidates, "NET004")
+    element.width += 1
+    return before, check_design(design)
+
+
+@_mutation("NET005")
+def unobservable_gate(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Add a gate whose output reaches no output or state element."""
+    design = _emitted()
+    before = check_design(design)
+    netlist = design.netlist
+    inputs = list(netlist.inputs)
+    a = _pick(rng, inputs, "NET005")
+    b = _pick(rng, inputs, "NET005")
+    netlist.add_gate(GateKind.AND, (a, b))
+    return before, check_design(design)
+
+
+@_mutation("NET006")
+def stuck_state_bit(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Force one FSM next-state bit to zero: states become unreachable."""
+    design = _emitted()
+    before = check_design(design)
+    fsm = _pick(rng, design.elements_of("fsm"), "NET006")
+    bit = rng.randrange(len(fsm.d_nets))
+    fsm.d_nets[bit] = design.netlist.constant(0)
+    return before, check_design(design)
+
+
+@_mutation("NET007")
+def never_loaded_register(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Wire a capture register's d straight back to its q: it never loads."""
+    design = _emitted()
+    before = check_design(design)
+    element = _pick(rng, design.elements_of("capture"), "NET007")
+    element.d_nets = list(element.q_nets)
+    return before, check_design(design)
+
+
+# ----------------------------------------------------------------------
+# Harness entry points.
+# ----------------------------------------------------------------------
+def run_mutations(seed: int = 2005) -> List[MutationOutcome]:
+    """Run every registered mutation; returns one outcome per diagnostic code."""
+    master = Random(seed)
+    outcomes: List[MutationOutcome] = []
+    for name, code, fn in _MUTATIONS:
+        rng = Random(master.randrange(2**32))
+        before, after = fn(rng)
+        reported = tuple(sorted({finding.code for finding in after}))
+        outcomes.append(
+            MutationOutcome(
+                name=name,
+                code=code,
+                level=CODE_REGISTRY[code][0],
+                clean_before=not before,
+                caught=code in reported,
+                reported=reported,
+            )
+        )
+    return outcomes
+
+
+def self_test(seed: int = 2005) -> List[MutationOutcome]:
+    """Raise :class:`CheckError` unless every seeded corruption is caught."""
+    outcomes = run_mutations(seed)
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        lines = "\n".join(f"  {outcome.describe()}" for outcome in failures)
+        raise CheckError(
+            f"{len(failures)} of {len(outcomes)} mutations escaped the "
+            f"checkers:\n{lines}"
+        )
+    return outcomes

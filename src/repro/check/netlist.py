@@ -1,0 +1,367 @@
+"""Netlist-level checks (``NET0xx``) over an emitted :class:`RtlDesign`.
+
+Structure is re-derived by scanning the gate list directly (own driver map,
+own topological sort, own reachability closures) rather than trusting the
+:class:`~repro.rtl.netlist.Netlist` bookkeeping, so a netlist corrupted past
+``add_gate``'s guards is still caught.  The behavioural checks (FSM
+reachability, load-enable coverage) run on a small lane-packed evaluator of
+this module -- not on the production simulator -- with two probe lanes per
+state element.
+
+Invariants:
+
+* ``NET001`` -- the combinational cloud is acyclic;
+* ``NET002`` -- no net has two driving gates;
+* ``NET003`` -- every consumed net (gate input, output-port bit, state
+  element ``d``) is driven by a gate or is a primary input;
+* ``NET004`` -- module boundaries are width-consistent: state elements have
+  ``width`` matching their ``q``/``d`` buses, ``q`` bits and input-port bits
+  are primary inputs of the cloud;
+* ``NET005`` (warning) -- every gate output reaches an observable root (an
+  output port or a state element ``d``);
+* ``NET006`` -- the FSM is autonomous (its next state reads nothing but its
+  own ``q``) and walks every one of its ``latency`` states from reset;
+* ``NET007`` -- every non-FSM state element is load-enabled in at least one
+  reachable FSM state (a register nothing ever writes stores nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..rtl.design import RtlDesign
+from ..rtl.netlist import Gate, GateKind, Net
+from .diagnostics import Diagnostic, SourceSpan, diagnostic
+
+
+def check_design(design: RtlDesign) -> List[Diagnostic]:
+    """Run every netlist-level check; returns the findings."""
+    found: List[Diagnostic] = []
+    netlist = design.netlist
+    gates: Sequence[Gate] = netlist.gates
+    primary: Set[Net] = set(netlist.inputs)
+
+    # Own driver map (NET002 on collisions).
+    driver: Dict[Net, Gate] = {}
+    for gate in gates:
+        other = driver.get(gate.output)
+        if other is not None:
+            found.append(
+                diagnostic(
+                    "NET002",
+                    f"net {gate.output.name} is driven by both {other.name} "
+                    f"and {gate.name}",
+                    span=SourceSpan(kind="net", name=gate.output.name),
+                )
+            )
+        else:
+            driver[gate.output] = gate
+
+    # NET001: own topological sort of the gate graph.
+    order = _topological_order(gates, driver)
+    if order is None:
+        cyclic = _cycle_witness(gates, driver)
+        found.append(
+            diagnostic(
+                "NET001",
+                f"combinational cycle through gate {cyclic.name}"
+                if cyclic is not None
+                else "combinational cycle in the gate graph",
+                span=SourceSpan(kind="gate", name=cyclic.name) if cyclic else None,
+            )
+        )
+
+    # NET003: every consumed net must be driven or primary.
+    consumed: Dict[Net, str] = {}
+    for gate in gates:
+        for net in gate.inputs:
+            consumed.setdefault(net, f"gate {gate.name}")
+    for port, nets in design.output_ports.items():
+        for bit, net in enumerate(nets):
+            consumed.setdefault(net, f"output {port}[{bit}]")
+    for element in design.state_elements:
+        for bit, net in enumerate(element.d_nets):
+            consumed.setdefault(net, f"element {element.name}.d[{bit}]")
+    for net in netlist.outputs:
+        consumed.setdefault(net, "netlist output")
+    for net, reader in consumed.items():
+        if net not in driver and net not in primary:
+            found.append(
+                diagnostic(
+                    "NET003",
+                    f"net {net.name} feeds {reader} but nothing drives it",
+                    span=SourceSpan(kind="net", name=net.name),
+                )
+            )
+
+    # NET004: boundary width and port wiring consistency.
+    for element in design.state_elements:
+        span = SourceSpan(kind="element", name=element.name)
+        if len(element.q_nets) != element.width or len(element.d_nets) != element.width:
+            found.append(
+                diagnostic(
+                    "NET004",
+                    f"element {element.name} declares {element.width} bits but "
+                    f"has {len(element.q_nets)} q / {len(element.d_nets)} d nets",
+                    span=span,
+                )
+            )
+            continue
+        for bit, net in enumerate(element.q_nets):
+            if net not in primary:
+                found.append(
+                    diagnostic(
+                        "NET004",
+                        f"q bit {bit} of element {element.name} "
+                        f"({net.name}) is not a primary input of the cloud",
+                        span=SourceSpan(kind="element", name=element.name, bit=bit),
+                    )
+                )
+    for port, nets in design.input_ports.items():
+        for bit, net in enumerate(nets):
+            if net not in primary:
+                found.append(
+                    diagnostic(
+                        "NET004",
+                        f"input bit {bit} of port {port} ({net.name}) is not "
+                        "a primary input of the cloud",
+                        span=SourceSpan(kind="net", name=net.name, bit=bit),
+                    )
+                )
+
+    # NET005 (warning): gates whose output reaches no observable root.
+    roots: List[Net] = []
+    for nets in design.output_ports.values():
+        roots.extend(nets)
+    for element in design.state_elements:
+        roots.extend(element.d_nets)
+    roots.extend(netlist.outputs)
+    reached: Set[Net] = set()
+    stack = [net for net in roots]
+    while stack:
+        net = stack.pop()
+        if net in reached:
+            continue
+        reached.add(net)
+        gate = driver.get(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+    for gate in gates:
+        if gate.output not in reached:
+            found.append(
+                diagnostic(
+                    "NET005",
+                    f"gate {gate.name} drives {gate.output.name}, which "
+                    "reaches no output or state element",
+                    span=SourceSpan(kind="gate", name=gate.name),
+                )
+            )
+
+    # Behavioural checks need a sound evaluation order.
+    if order is None:
+        return found
+    found.extend(_check_state_machine(design, driver, order, primary))
+    return found
+
+
+def _topological_order(
+    gates: Sequence[Gate], driver: Dict[Net, Gate]
+) -> Optional[List[Gate]]:
+    """Kahn order of the gate graph; ``None`` when it is cyclic."""
+    dependents: Dict[Gate, List[Gate]] = {}
+    in_degree: Dict[Gate, int] = {}
+    for gate in gates:
+        feeders = {driver[net] for net in gate.inputs if net in driver}
+        in_degree[gate] = in_degree.get(gate, 0) + len(feeders)
+        for feeder in feeders:
+            dependents.setdefault(feeder, []).append(gate)
+    ready = [gate for gate in gates if in_degree.get(gate, 0) == 0]
+    order: List[Gate] = []
+    cursor = 0
+    while cursor < len(ready):
+        gate = ready[cursor]
+        cursor += 1
+        order.append(gate)
+        for dependent in dependents.get(gate, ()):
+            in_degree[dependent] -= 1
+            if in_degree[dependent] == 0:
+                ready.append(dependent)
+    if len(order) != len(gates):
+        return None
+    return order
+
+
+def _cycle_witness(gates: Sequence[Gate], driver: Dict[Net, Gate]) -> Optional[Gate]:
+    """One gate that sits on (or feeds into) a combinational cycle."""
+    dependents: Dict[Gate, List[Gate]] = {}
+    in_degree: Dict[Gate, int] = {gate: 0 for gate in gates}
+    for gate in gates:
+        for net in gate.inputs:
+            feeder = driver.get(net)
+            if feeder is not None:
+                in_degree[gate] += 1
+                dependents.setdefault(feeder, []).append(gate)
+    ready = [gate for gate in gates if in_degree[gate] == 0]
+    cursor = 0
+    removed = 0
+    while cursor < len(ready):
+        gate = ready[cursor]
+        cursor += 1
+        removed += 1
+        for dependent in dependents.get(gate, ()):
+            in_degree[dependent] -= 1
+            if in_degree[dependent] == 0:
+                ready.append(dependent)
+    if removed == len(gates):
+        return None
+    for gate in gates:
+        if in_degree[gate] > 0:
+            return gate
+    return None
+
+
+def _check_state_machine(
+    design: RtlDesign,
+    driver: Dict[Net, Gate],
+    order: List[Gate],
+    primary: Set[Net],
+) -> List[Diagnostic]:
+    """``NET006``/``NET007``: FSM reachability and load-enable coverage.
+
+    Both run on one lane-packed pass: for every reachable FSM state the
+    cloud is evaluated once with two probe lanes per non-FSM element (its
+    ``q`` all-zeros in the even lane, all-ones in the odd lane, every other
+    element zero in both).  A hold path gives ``d == q`` in both lanes; any
+    disagreement means the element loads in that state.  The FSM's own next
+    state is read from the same evaluation (autonomy makes it lane-uniform).
+    """
+    found: List[Diagnostic] = []
+    fsm_elements = design.elements_of("fsm")
+    if not fsm_elements:
+        return found
+    fsm_q: List[Net] = []
+    fsm_d: List[Net] = []
+    for element in fsm_elements:
+        if len(element.q_nets) != element.width or len(element.d_nets) != element.width:
+            return found  # NET004 already reported; geometry is unusable
+        fsm_q.extend(element.q_nets)
+        fsm_d.extend(element.d_nets)
+    fsm_q_set = set(fsm_q)
+
+    # NET006 (autonomy): the next-state cone may read only the FSM's own q.
+    cone: Set[Net] = set()
+    stack = list(fsm_d)
+    foreign: Set[str] = set()
+    while stack:
+        net = stack.pop()
+        if net in cone:
+            continue
+        cone.add(net)
+        gate = driver.get(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+        elif net in primary and net not in fsm_q_set:
+            foreign.add(net.name)
+    if foreign:
+        names = ", ".join(sorted(foreign))
+        found.append(
+            diagnostic(
+                "NET006",
+                f"FSM next state depends on non-FSM inputs: {names}",
+                span=SourceSpan(kind="element", name=fsm_elements[0].name),
+            )
+        )
+        return found
+
+    probed = [e for e in design.state_elements if e.role != "fsm"]
+    ok_geometry = [
+        e
+        for e in probed
+        if len(e.q_nets) == e.width and len(e.d_nets) == e.width
+    ]
+    lanes = max(1, 2 * len(ok_geometry))
+    mask = (1 << lanes) - 1
+
+    init_bits: List[int] = []
+    for element in fsm_elements:
+        for bit in range(element.width):
+            init_bits.append((element.init >> bit) & 1)
+
+    state_bits = init_bits
+    visited: List[Tuple[int, ...]] = []
+    seen_states: Set[Tuple[int, ...]] = set()
+    loads: List[bool] = [False] * len(ok_geometry)
+    for _step in range(design.latency):
+        state_key = tuple(state_bits)
+        if state_key in seen_states:
+            break
+        seen_states.add(state_key)
+        visited.append(state_key)
+        values: Dict[Net, int] = {}
+        for net, bit in zip(fsm_q, state_bits):
+            values[net] = mask if bit else 0
+        for index, element in enumerate(ok_geometry):
+            pattern = 1 << (2 * index + 1)  # q = 0 in the even lane, 1 in the odd
+            for net in element.q_nets:
+                values[net] = pattern
+        _evaluate(order, values, mask)
+        # Load probe: d must mirror q in both lanes for a pure hold path.
+        for index, element in enumerate(ok_geometry):
+            if loads[index]:
+                continue
+            even = 2 * index
+            for d_net in element.d_nets:
+                packed = values.get(d_net, 0)
+                if (packed >> even) & 1 != 0 or (packed >> (even + 1)) & 1 != 1:
+                    loads[index] = True
+                    break
+        # Next FSM state (lane-uniform by autonomy; read lane 0).
+        state_bits = [values.get(net, 0) & 1 for net in fsm_d]
+
+    expected = min(design.latency, 1 << len(fsm_q))
+    if len(seen_states) < expected:
+        found.append(
+            diagnostic(
+                "NET006",
+                f"FSM reaches only {len(seen_states)} of its {expected} "
+                f"states from reset",
+                span=SourceSpan(kind="element", name=fsm_elements[0].name),
+            )
+        )
+        return found
+    for index, element in enumerate(ok_geometry):
+        if not loads[index]:
+            found.append(
+                diagnostic(
+                    "NET007",
+                    f"element {element.name} ({element.role}) is never "
+                    "load-enabled in any reachable FSM state",
+                    span=SourceSpan(kind="element", name=element.name),
+                )
+            )
+    return found
+
+
+def _evaluate(order: List[Gate], values: Dict[Net, int], mask: int) -> None:
+    """Evaluate the cloud lane-parallel over ``mask``-wide packed words."""
+    get = values.get
+    for gate in order:
+        kind = gate.kind
+        if kind is GateKind.AND:
+            a, b = gate.inputs
+            result = get(a, 0) & get(b, 0)
+        elif kind is GateKind.OR:
+            a, b = gate.inputs
+            result = get(a, 0) | get(b, 0)
+        elif kind is GateKind.XOR:
+            a, b = gate.inputs
+            result = get(a, 0) ^ get(b, 0)
+        elif kind is GateKind.NOT:
+            result = mask ^ get(gate.inputs[0], 0)
+        elif kind is GateKind.BUF:
+            result = get(gate.inputs[0], 0)
+        elif kind is GateKind.CONST1:
+            result = mask
+        else:  # CONST0
+            result = 0
+        values[gate.output] = result

@@ -1,0 +1,73 @@
+"""Run the per-level checkers over a pipeline artifact.
+
+:func:`check_artifact` is the integration point of the static verification
+layer: it walks the IR levels in pipeline order (``spec`` -> ``schedule`` ->
+``allocation`` -> ``netlist``), runs every checker whose subject the artifact
+actually carries, and folds the findings into one
+:class:`~repro.check.diagnostics.CheckReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hls.flow import FlowMode
+from .allocation import check_allocation
+from .diagnostics import LEVELS, CheckError, CheckReport
+from .netlist import check_design
+from .schedule import check_schedule
+from .spec import check_specification
+
+
+def check_artifact(artifact, level: Optional[str] = None) -> CheckReport:
+    """Check every IR level of a run artifact up to (and including) *level*.
+
+    ``level`` names the deepest level to check (default: every level the
+    artifact carries).  A level whose subject the artifact does not carry is
+    skipped silently -- except an explicitly requested deepest level, whose
+    absence is a caller error (e.g. asking for ``netlist`` without emission).
+    """
+    if level is not None and level not in LEVELS:
+        raise CheckError(
+            f"unknown check level {level!r}; expected one of {', '.join(LEVELS)}"
+        )
+    wanted = LEVELS if level is None else LEVELS[: LEVELS.index(level) + 1]
+    config = artifact.config
+    subject = config.workload or (
+        artifact.working_specification.name
+        if artifact.working_specification is not None
+        else "<unnamed>"
+    )
+    report = CheckReport(subject=subject)
+    bit_level = config.mode is not FlowMode.CONVENTIONAL
+
+    specification = artifact.working_specification
+    if "spec" in wanted and specification is not None:
+        report.extend("spec", check_specification(specification))
+
+    schedule = artifact.schedule
+    if "schedule" in wanted and schedule is not None:
+        report.extend(
+            "schedule",
+            check_schedule(
+                schedule,
+                budget=artifact.budget if bit_level else None,
+                timing=artifact.timing,
+                bit_level=bit_level,
+            ),
+        )
+
+    if "allocation" in wanted and artifact.datapath is not None and schedule is not None:
+        report.extend(
+            "allocation",
+            check_allocation(schedule, artifact.datapath, artifact.library),
+        )
+
+    if "netlist" in wanted and artifact.emission is not None:
+        report.extend("netlist", check_design(artifact.emission.design))
+    elif level == "netlist" and artifact.emission is None:
+        raise CheckError(
+            "check level 'netlist' needs an emitted design; "
+            "run with emit=True (CLI: the check verb emits automatically)"
+        )
+    return report

@@ -1,0 +1,254 @@
+"""Schedule-level checks (``SCHED0xx``).
+
+The checker re-derives the bit-level dependence structure with its own trace
+(:mod:`repro.check._trace`) and recomputes the per-cycle chained-bit depths
+with its own longest-chain walk, then compares against the latency bounds,
+the fragmentation budget and the recorded timing -- it never consults
+:class:`~repro.ir.dfg.BitDependencyGraph` or
+:func:`~repro.hls.timing.bit_level_cycle_depths`.
+
+Invariants:
+
+* ``SCHED001`` -- every operation has a cycle;
+* ``SCHED002`` -- every assigned cycle lies in ``[1, latency]``;
+* ``SCHED003`` -- every additive result bit executes no earlier than the
+  additive result bits it (transitively through glue) reads;
+* ``SCHED004`` -- the recomputed chained-bit depth of every cycle fits the
+  fragmentation budget (bit-level flows with a finite budget only);
+* ``SCHED005`` -- the recorded per-cycle chained-bit depths of a bit-level
+  timing equal the independent recomputation (latency included).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..hls.schedule import Schedule
+from ..hls.timing import CycleTiming
+from ..ir.operations import Operation, OpKind
+from ._trace import AdditiveTracer, BitKey, build_writer_map
+from .diagnostics import Diagnostic, SourceSpan, diagnostic
+
+
+def check_schedule(
+    schedule: Schedule,
+    budget: Optional[int] = None,
+    timing: Optional[CycleTiming] = None,
+    bit_level: bool = True,
+) -> List[Diagnostic]:
+    """Run every schedule-level check; returns the findings.
+
+    ``budget`` is the chained-bits-per-cycle limit of a fragmented flow
+    (``None`` disables ``SCHED004``).  ``timing`` is the recorded
+    :class:`~repro.hls.timing.CycleTiming` to cross-check (``SCHED005``);
+    the depth comparison only applies when ``bit_level`` is true, because a
+    conventional timing records rounded nanosecond chains, not bit depths.
+    """
+    found: List[Diagnostic] = []
+    specification = schedule.specification
+    latency = schedule.latency
+    cycle_of: Dict[Operation, int] = schedule.cycle_of
+
+    usable: Dict[int, int] = {}  # operation uid -> validated cycle
+    for operation in specification.operations:
+        cycle = cycle_of.get(operation)
+        if cycle is None:
+            found.append(
+                diagnostic(
+                    "SCHED001",
+                    f"operation {operation.name} has no cycle",
+                    span=SourceSpan(kind="operation", name=operation.name or ""),
+                )
+            )
+            continue
+        if not (1 <= cycle <= latency):
+            found.append(
+                diagnostic(
+                    "SCHED002",
+                    f"operation {operation.name} scheduled in cycle {cycle}, "
+                    f"outside [1, {latency}]",
+                    span=SourceSpan(
+                        kind="operation", name=operation.name or "", cycle=cycle
+                    ),
+                )
+            )
+            continue
+        usable[operation.uid] = cycle
+
+    writers = build_writer_map(specification)
+    tracer = AdditiveTracer(writers)
+
+    # SCHED003: additive-to-additive dependences, traced through glue.
+    reported: Set[Tuple[int, int]] = set()
+    for consumer in specification.operations:
+        if not consumer.is_additive:
+            continue
+        consumer_cycle = usable.get(consumer.uid)
+        if consumer_cycle is None:
+            continue
+        for uid, bit in _read_bit_keys(consumer):
+            for source in tracer.sources(uid, bit):
+                producer = writers[source][0]
+                producer_cycle = usable.get(producer.uid)
+                if producer_cycle is None:
+                    continue
+                if producer_cycle > consumer_cycle:
+                    pair = (producer.uid, consumer.uid)
+                    if pair in reported:
+                        continue
+                    reported.add(pair)
+                    found.append(
+                        diagnostic(
+                            "SCHED003",
+                            f"{producer.name} (cycle {producer_cycle}) feeds "
+                            f"{consumer.name} (cycle {consumer_cycle})",
+                            span=SourceSpan(
+                                kind="operation",
+                                name=consumer.name or "",
+                                cycle=consumer_cycle,
+                            ),
+                        )
+                    )
+
+    # Independent per-cycle longest-chain recomputation.
+    depths = _cycle_depths(specification, usable, latency, writers, tracer)
+    if depths is None:
+        return found  # wiring is cyclic; the spec checker reports SPEC006
+
+    if budget is not None:
+        for cycle in range(1, latency + 1):
+            depth = depths.get(cycle, 0)
+            if depth > budget:
+                found.append(
+                    diagnostic(
+                        "SCHED004",
+                        f"cycle {cycle} chains {depth} bits, budget is {budget}",
+                        span=SourceSpan(kind="cycle", name=str(cycle), cycle=cycle),
+                    )
+                )
+
+    if timing is not None:
+        if timing.latency != latency:
+            found.append(
+                diagnostic(
+                    "SCHED005",
+                    f"recorded timing spans {timing.latency} cycles, "
+                    f"schedule has {latency}",
+                )
+            )
+        elif bit_level and len(usable) == len(specification.operations):
+            for cycle in range(1, latency + 1):
+                recorded = timing.cycle_chained_bits.get(cycle)
+                recomputed = depths.get(cycle, 0)
+                if recorded != recomputed:
+                    found.append(
+                        diagnostic(
+                            "SCHED005",
+                            f"cycle {cycle} records {recorded} chained bits, "
+                            f"independent recomputation finds {recomputed}",
+                            span=SourceSpan(kind="cycle", name=str(cycle), cycle=cycle),
+                        )
+                    )
+    return found
+
+
+def _read_bit_keys(operation: Operation) -> List[BitKey]:
+    keys: List[BitKey] = []
+    for operand in operation.all_read_operands():
+        if operand.is_variable:
+            uid = operand.variable.uid
+            keys.extend((uid, bit) for bit in operand.range)
+    return keys
+
+
+def _cycle_depths(
+    specification,
+    usable: Dict[int, int],
+    latency: int,
+    writers,
+    tracer: AdditiveTracer,
+) -> Optional[Dict[int, int]]:
+    """Longest chained-bit path of every cycle, rebuilt from scratch.
+
+    Nodes are the result bits of additive operations; a bit depends on the
+    previous bit of the same operation (ripple), on the additive sources of
+    its same-position operand bits, and (bit 0) on the carry-in sources.  A
+    result bit of an ADD/SUB beyond every operand's width is the pure
+    carry-out of the most significant data bit's adder and costs 0 chained
+    bits; every other bit costs 1.  Bits arriving from earlier cycles start
+    at depth 0.  Returns ``None`` when the dependence relation is cyclic.
+    """
+    additive = [op for op in specification.operations if op.is_additive]
+    index_of: Dict[Tuple[int, int], int] = {}
+    nodes: List[Tuple[Operation, int]] = []
+    for operation in additive:
+        for bit in range(operation.destination.width):
+            index_of[(operation.uid, bit)] = len(nodes)
+            nodes.append((operation, bit))
+
+    predecessors: List[List[int]] = [[] for _ in nodes]
+    costs: List[int] = [0] * len(nodes)
+    for node_index, (operation, bit) in enumerate(nodes):
+        if operation.kind in (OpKind.ADD, OpKind.SUB) and bit >= operation.max_operand_width():
+            costs[node_index] = 0
+        else:
+            costs[node_index] = 1
+        preds = predecessors[node_index]
+        if bit > 0:
+            preds.append(index_of[(operation.uid, bit - 1)])
+        feeding: List[BitKey] = []
+        for operand in operation.operands:
+            if not operand.is_variable:
+                continue
+            rng = operand.range
+            if bit > rng.hi - rng.lo:
+                continue
+            feeding.extend(tracer.sources(operand.variable.uid, rng.lo + bit))
+        if bit == 0 and operation.carry_in is not None and operation.carry_in.is_variable:
+            carry = operation.carry_in
+            feeding.extend(tracer.sources(carry.variable.uid, carry.range.lo))
+        for source in feeding:
+            producer, result_bit = writers[source]
+            source_index = index_of.get((producer.uid, result_bit))
+            if source_index is not None and source_index != node_index:
+                preds.append(source_index)
+
+    # Kahn order over the rebuilt graph (program order is not trusted).
+    successors: List[List[int]] = [[] for _ in nodes]
+    in_degree = [0] * len(nodes)
+    for node_index, preds in enumerate(predecessors):
+        unique = set(preds)
+        in_degree[node_index] = len(unique)
+        for pred in unique:
+            successors[pred].append(node_index)
+    ready = [i for i, degree in enumerate(in_degree) if degree == 0]
+    order: List[int] = []
+    cursor = 0
+    while cursor < len(ready):
+        node_index = ready[cursor]
+        cursor += 1
+        order.append(node_index)
+        for successor in successors[node_index]:
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0:
+                ready.append(successor)
+    if len(order) != len(nodes):
+        return None
+
+    arrivals = [0] * len(nodes)
+    depths: Dict[int, int] = {cycle: 0 for cycle in range(1, latency + 1)}
+    for node_index in order:
+        operation, _bit = nodes[node_index]
+        cycle = usable.get(operation.uid)
+        if cycle is None:
+            continue
+        start = 0
+        for pred in predecessors[node_index]:
+            pred_operation, _ = nodes[pred]
+            if usable.get(pred_operation.uid) == cycle and arrivals[pred] > start:
+                start = arrivals[pred]
+        arrival = start + costs[node_index]
+        arrivals[node_index] = arrival
+        if arrival > depths.get(cycle, 0):
+            depths[cycle] = arrival
+    return depths

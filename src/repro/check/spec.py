@@ -1,0 +1,283 @@
+"""Specification-level checks (``SPEC0xx``).
+
+All facts are re-derived from the operation list itself: the checker builds
+its own def-use maps by scanning operations in program order instead of
+reading the specification's incrementally maintained index, so a corrupted
+index, a hand-built mutant, or a bug in ``add_operation`` is still caught.
+
+Invariants:
+
+* ``SPEC001`` -- bit-level single assignment: no variable bit has two writers;
+* ``SPEC002`` -- def-before-use: every read of a non-input bit sees a writer
+  earlier in program order (never-written internal/output bits included);
+* ``SPEC003`` -- width/type consistency: comparison results are 1 bit,
+  carry-ins are 1 bit, SELECT has a 1-bit condition and three operands, and
+  no destination or operand range reaches past its variable's width;
+* ``SPEC004`` -- every output-port bit is driven;
+* ``SPEC005`` (warning) -- dead definition: an *additive* operation writing
+  an internal variable none of whose destination bits is ever read (dead
+  wiring costs nothing; dead functional-unit work is paid for);
+* ``SPEC006`` -- combinational self-dependence: a cycle in the bit-level
+  wiring (a bit transitively feeding itself).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..ir.operations import COMPARISON_KINDS, Operation, OpKind
+from ..ir.spec import Specification
+from ._trace import BitKey, glue_wiring
+from .diagnostics import Diagnostic, SourceSpan, diagnostic
+
+
+def _bit_span(variable_name: str, bit: int) -> SourceSpan:
+    return SourceSpan(kind="bit", name=variable_name, bit=bit)
+
+
+def check_specification(specification: Specification) -> List[Diagnostic]:
+    """Run every specification-level check; returns the findings."""
+    found: List[Diagnostic] = []
+    operations = list(specification.operations)
+    order_of: Dict[int, int] = {op.uid: index for index, op in enumerate(operations)}
+
+    # Own def map: program-order scan, every writer recorded.
+    writers: Dict[BitKey, List[Tuple[Operation, int]]] = {}
+    names: Dict[int, str] = {v.uid: v.name for v in specification.variables}
+    for operation in operations:
+        destination = operation.destination
+        uid = destination.variable.uid
+        for result_bit, bit in enumerate(destination.range):
+            writers.setdefault((uid, bit), []).append((operation, result_bit))
+
+    # SPEC001: multiple writers of one bit (report once per bit).
+    for (uid, bit), writer_list in writers.items():
+        if len(writer_list) > 1:
+            authors = ", ".join(op.name for op, _ in writer_list)
+            found.append(
+                diagnostic(
+                    "SPEC001",
+                    f"bit {bit} of {names.get(uid, uid)} written by {authors}",
+                    span=_bit_span(names.get(uid, str(uid)), bit),
+                )
+            )
+
+    # SPEC002: reads must see an earlier writer (inputs are externally fed).
+    reported_reads: Set[Tuple[int, int]] = set()
+    for operation in operations:
+        reader_index = order_of[operation.uid]
+        for operand in operation.all_read_operands():
+            if not operand.is_variable:
+                continue
+            variable = operand.variable
+            for bit in operand.range:
+                key = (variable.uid, bit)
+                writer_list = writers.get(key)
+                if writer_list is None:
+                    if variable.is_input():
+                        continue
+                    if (operation.uid, variable.uid) in reported_reads:
+                        continue
+                    reported_reads.add((operation.uid, variable.uid))
+                    found.append(
+                        diagnostic(
+                            "SPEC002",
+                            f"{operation.name} reads bit {bit} of "
+                            f"{variable.name}, which is never written",
+                            span=_bit_span(variable.name, bit),
+                        )
+                    )
+                    continue
+                first_writer = writer_list[0][0]
+                if order_of[first_writer.uid] > reader_index:
+                    if (operation.uid, variable.uid) in reported_reads:
+                        continue
+                    reported_reads.add((operation.uid, variable.uid))
+                    found.append(
+                        diagnostic(
+                            "SPEC002",
+                            f"{operation.name} reads bit {bit} of {variable.name} "
+                            f"before its writer {first_writer.name} executes",
+                            span=_bit_span(variable.name, bit),
+                        )
+                    )
+
+    # SPEC003: width and type consistency.
+    for operation in operations:
+        destination = operation.destination
+        span = SourceSpan(kind="operation", name=operation.name or str(operation.uid))
+        if operation.kind in COMPARISON_KINDS and destination.width != 1:
+            found.append(
+                diagnostic(
+                    "SPEC003",
+                    f"comparison {operation.name} writes a "
+                    f"{destination.width}-bit destination (must be 1 bit)",
+                    span=span,
+                )
+            )
+        if operation.carry_in is not None and operation.carry_in.width != 1:
+            found.append(
+                diagnostic(
+                    "SPEC003",
+                    f"{operation.name} has a {operation.carry_in.width}-bit "
+                    "carry-in (must be 1 bit)",
+                    span=span,
+                )
+            )
+        if operation.kind is OpKind.SELECT:
+            if len(operation.operands) != 3:
+                found.append(
+                    diagnostic(
+                        "SPEC003",
+                        f"select {operation.name} has {len(operation.operands)} "
+                        "operands (must be condition plus two arms)",
+                        span=span,
+                    )
+                )
+            elif operation.operands[0].width != 1:
+                found.append(
+                    diagnostic(
+                        "SPEC003",
+                        f"select {operation.name} has a "
+                        f"{operation.operands[0].width}-bit condition",
+                        span=span,
+                    )
+                )
+        if destination.range.hi >= destination.variable.width:
+            found.append(
+                diagnostic(
+                    "SPEC003",
+                    f"{operation.name} writes up to bit {destination.range.hi} "
+                    f"of {destination.variable.name}, which is only "
+                    f"{destination.variable.width} bits wide",
+                    span=span,
+                )
+            )
+        for operand in operation.all_read_operands():
+            if operand.is_variable and operand.range.hi >= operand.variable.width:
+                found.append(
+                    diagnostic(
+                        "SPEC003",
+                        f"{operation.name} reads up to bit {operand.range.hi} "
+                        f"of {operand.variable.name}, which is only "
+                        f"{operand.variable.width} bits wide",
+                        span=span,
+                    )
+                )
+
+    # SPEC004: undriven output bits (own scan, not the spec's helper).
+    for variable in specification.outputs():
+        for bit in range(variable.width):
+            if (variable.uid, bit) not in writers:
+                found.append(
+                    diagnostic(
+                        "SPEC004",
+                        f"output bit {bit} of {variable.name} is never driven",
+                        span=_bit_span(variable.name, bit),
+                    )
+                )
+
+    # SPEC005: dead *additive* definitions (internal destination entirely
+    # unread).  Dead wiring/glue costs nothing -- comparison kernels leave
+    # their difference bits unread by design -- but a dead additive result is
+    # functional-unit work the datapath pays for and discards.
+    read_bits: Set[BitKey] = set()
+    for operation in operations:
+        for operand in operation.all_read_operands():
+            if not operand.is_variable:
+                continue
+            uid = operand.variable.uid
+            for bit in operand.range:
+                read_bits.add((uid, bit))
+    for operation in operations:
+        if not operation.is_additive:
+            continue
+        destination = operation.destination
+        variable = destination.variable
+        if variable.is_output() or variable.is_input():
+            continue
+        if any((variable.uid, bit) in read_bits for bit in destination.range):
+            continue
+        found.append(
+            diagnostic(
+                "SPEC005",
+                f"{operation.name} writes {destination.describe()} "
+                "but no bit of it is ever read",
+                span=SourceSpan(kind="operation", name=operation.name or str(operation.uid)),
+            )
+        )
+
+    # SPEC006: combinational self-dependence (own bit-level cycle walk).
+    found.extend(_check_cycles(specification, writers, names))
+    return found
+
+
+def _check_cycles(
+    specification: Specification,
+    writers: Dict[BitKey, List[Tuple[Operation, int]]],
+    names: Dict[int, str],
+) -> List[Diagnostic]:
+    """Detect cycles in the bit-level combinational wiring.
+
+    Every written bit depends on the bits its definition reads: glue bits on
+    their kind-specific wiring, additive result bit *i* on all operand bits
+    at positions up to *i* (the ripple chain) plus the carry-in.  A cycle in
+    this relation means some bit combinationally feeds itself.
+    """
+
+    def predecessors(key: BitKey) -> List[BitKey]:
+        writer_list = writers.get(key)
+        if not writer_list:
+            return []
+        operation, result_bit = writer_list[0]
+        pairs = []
+        if operation.is_glue:
+            pairs = glue_wiring(operation, result_bit)
+        else:
+            for operand in operation.operands:
+                top = min(result_bit + 1, operand.width)
+                pairs.extend((operand, position) for position in range(top))
+            if operation.carry_in is not None:
+                pairs.append((operation.carry_in, 0))
+        keys: List[BitKey] = []
+        for operand, position in pairs:
+            if operand.is_variable:
+                keys.append((operand.variable.uid, operand.range.lo + position))
+        return keys
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[BitKey, int] = {}
+    found: List[Diagnostic] = []
+    for start in writers:
+        if color.get(start, WHITE) is not WHITE:
+            continue
+        # Iterative DFS; a grey neighbour is a back edge, i.e. a cycle.
+        stack: List[Tuple[BitKey, int]] = [(start, 0)]
+        color[start] = GREY
+        adjacency: Dict[BitKey, List[BitKey]] = {start: predecessors(start)}
+        while stack:
+            node, cursor = stack[-1]
+            edges = adjacency[node]
+            if cursor >= len(edges):
+                color[node] = BLACK
+                stack.pop()
+                continue
+            stack[-1] = (node, cursor + 1)
+            neighbour = edges[cursor]
+            state = color.get(neighbour, WHITE)
+            if state == GREY:
+                uid, bit = neighbour
+                found.append(
+                    diagnostic(
+                        "SPEC006",
+                        f"bit {bit} of {names.get(uid, uid)} combinationally "
+                        "depends on itself",
+                        span=_bit_span(names.get(uid, str(uid)), bit),
+                    )
+                )
+                return found  # one witness is enough; the wiring is cyclic
+            if state == WHITE:
+                color[neighbour] = GREY
+                adjacency[neighbour] = predecessors(neighbour)
+                stack.append((neighbour, 0))
+    return found

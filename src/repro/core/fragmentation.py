@@ -29,9 +29,8 @@ Two algorithms are provided:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..ir.dfg import BitDependencyGraph, BitNode
 from ..ir.operations import Operation

@@ -32,19 +32,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..ir.operations import Operation, OpKind, make_binary, make_unary
 from ..ir.spec import Specification
 from ..ir.types import BitRange, BitVectorType
-from ..ir.values import (
-    Constant,
-    Destination,
-    Operand,
-    PortDirection,
-    Variable,
-    operand_of,
-)
+from ..ir.values import Constant, Destination, Operand, Variable, operand_of
 
 
 @dataclass

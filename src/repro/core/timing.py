@@ -39,7 +39,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..ir.dfg import BitDependencyGraph, DataFlowGraph
+from ..ir.dfg import DataFlowGraph
 from ..ir.operations import Operation, OpKind, is_glue
 from ..ir.spec import Specification
 

@@ -18,8 +18,8 @@ is returned, so downstream synthesis can trust it blindly.
 from __future__ import annotations
 
 import weakref
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..ir.spec import Specification
 from ..ir.validate import require_valid

@@ -22,17 +22,12 @@ from dataclasses import dataclass, field
 from math import ceil, log2
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ...ir.operations import Operation, OpKind
+from ...ir.operations import Operation
 from ...ir.spec import Specification
 from ...techlib.library import TechnologyLibrary
 from ..schedule import Schedule
 from .functional_units import FunctionalUnitAllocation, FunctionalUnitInstance
-from .registers import (
-    RegisterAllocation,
-    ValueGroup,
-    _resolve_all_bits,
-    alias_resolver_for,
-)
+from .registers import RegisterAllocation, _resolve_all_bits, alias_resolver_for
 
 #: a steering source feeding a port: ("port", uid) | ("reg", index) | ("fu", id) | ("const",)
 SourceKey = Tuple

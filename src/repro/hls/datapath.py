@@ -14,7 +14,6 @@ import weakref
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from ..ir.spec import Specification
 from ..techlib.library import TechnologyLibrary
 from .allocation.functional_units import (
     FunctionalUnitAllocation,

@@ -27,7 +27,6 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
-from ..ir.dfg import BitDependencyGraph
 from ..ir.spec import Specification
 from ..techlib.library import TechnologyLibrary, default_library
 from ..util import coerce_enum

@@ -9,7 +9,7 @@ lifetimes, interconnect estimation -- can reason uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 from ..ir.dfg import DataFlowGraph
 from ..ir.operations import Operation

@@ -22,10 +22,7 @@ narrowed and every operation still needs a full-width unit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
 
-from ...ir.dfg import BitDependencyGraph, DataFlowGraph
-from ...ir.operations import Operation
 from ...ir.spec import Specification
 from ..schedule import Schedule
 from .asap_alap import SchedulingError
@@ -47,7 +44,7 @@ def schedule_bit_level_chaining(
     """Schedule with bit-level chaining and no specification transformation."""
     if latency <= 0:
         raise SchedulingError(f"latency must be positive, got {latency}")
-    from ...core.fragmentation import compute_bit_schedule, minimum_feasible_budget
+    from ...core.fragmentation import minimum_feasible_budget
     import math
 
     bit_graph = specification.bit_dependency_graph()

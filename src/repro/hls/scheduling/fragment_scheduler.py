@@ -30,7 +30,7 @@ functional unit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ...ir.dfg import BitDependencyGraph, DataFlowGraph
 from ...ir.operations import Operation

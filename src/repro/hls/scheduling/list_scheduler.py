@@ -16,16 +16,14 @@ specification (Fig. 1 b, the Table II "original" columns) and, through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from ...ir.dfg import DataFlowGraph
 from ...ir.operations import Operation
 from ...ir.spec import Specification
 from ...techlib.library import TechnologyLibrary
 from ..schedule import Schedule
 from ..timing import operation_level_cycle_delays
 from .asap_alap import (
-    ChainedPlacement,
     SchedulingError,
     alap_chained,
     asap_chained,

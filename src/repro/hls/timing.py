@@ -21,7 +21,6 @@ from typing import Dict, Optional
 
 from ..ir.dfg import BitDependencyGraph, DataFlowGraph
 from ..ir.operations import Operation
-from ..ir.spec import Specification
 from ..techlib.library import TechnologyLibrary
 from .schedule import Schedule
 

@@ -17,8 +17,8 @@ Two graph views are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .operations import Operation, OpKind
 from .spec import Specification, SpecificationError
@@ -85,7 +85,13 @@ class DataFlowGraph:
                 run_start: Optional[int] = None
                 previous_bit: Optional[int] = None
 
-                def emit(producer: Optional[Operation], lo: int, hi: int) -> None:
+                def emit(
+                    producer: Optional[Operation],
+                    lo: int,
+                    hi: int,
+                    consumer: Operation = consumer,
+                    variable: Variable = variable,
+                ) -> None:
                     if producer is None:
                         return
                     key = (producer.uid, consumer.uid, variable.uid, lo, hi)

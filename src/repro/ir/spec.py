@@ -20,12 +20,12 @@ library relies on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .operations import Operation
-from .types import BitRange, IRTypeError
-from .values import Constant, Destination, Operand, PortDirection, Variable
+from .types import IRTypeError
+from .values import PortDirection, Variable
 
 
 class SpecificationError(IRTypeError):

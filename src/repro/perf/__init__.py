@@ -24,6 +24,8 @@ from .harness import (
     PIPELINE_STAGES,
     VERIFY_RANDOM_VECTORS,
     run_benchmarks,
+    time_check,
+    time_emission,
     time_stages,
     time_study,
     time_sweep,
@@ -56,8 +58,11 @@ __all__ = [
     "history_entry",
     "load_bench",
     "run_benchmarks",
+    "time_check",
+    "time_emission",
     "time_stages",
     "time_study",
     "time_sweep",
     "time_verification",
+    "write_bench",
 ]

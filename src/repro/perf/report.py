@@ -38,7 +38,8 @@ def _flatten(measurement: Optional[Dict]) -> Dict[str, float]:
 
     Stage keys are ``"<workload>/<stage>"``, sweep keys are
     ``"sweep/<name>"``, verification keys are ``"verify/<workload>/<metric>"``,
-    emission keys are ``"emit/<workload>/<metric>"``, study keys are
+    emission keys are ``"emit/<workload>/<metric>"``, static-verification
+    keys are ``"check/<workload>/<metric>"``, study keys are
     ``"study/<name>/<metric>"``;
     the flat view drives both the speedup table and the regression check.
     Only seconds-valued metrics are flattened -- derived bigger-is-better
@@ -61,6 +62,10 @@ def _flatten(measurement: Optional[Dict]) -> Dict[str, float]:
         for metric, value in metrics.items():
             if metric.endswith("_s") and not metric.endswith("_per_s"):
                 flat[f"emit/{workload}/{metric}"] = float(value)
+    for workload, metrics in (measurement.get("check") or {}).items():
+        for metric, value in metrics.items():
+            if metric.endswith("_s") and not metric.endswith("_per_s"):
+                flat[f"check/{workload}/{metric}"] = float(value)
     for study, metrics in (measurement.get("studies") or {}).items():
         for metric, value in metrics.items():
             if metric.endswith("_s") and not metric.endswith("_per_s"):

@@ -414,7 +414,7 @@ class _Emitter:
     @staticmethod
     def _topological(order_hint: List[str], edges: Dict[str, Set[str]]) -> List[str]:
         indegree = {ident: 0 for ident in order_hint}
-        for source, targets in edges.items():
+        for targets in edges.values():
             for target in targets:
                 indegree[target] += 1
         order: List[str] = []
@@ -982,6 +982,9 @@ class _Emitter:
             design.output_signed[port.name] = port.signed
             for net in nets:
                 self.netlist.mark_output(net)
+        # Drop speculatively built helpers (folded-away constants, unused
+        # decode inverters) that no output or state element depends on.
+        self.netlist.prune_dead_gates()
         self.stats.gate_count = self.netlist.gate_count()
         counts: Dict[str, int] = {}
         for gate in self.netlist.gates:

@@ -185,6 +185,41 @@ class Netlist:
         return [self.constant((value >> bit) & 1) for bit in range(width)]
 
     # ------------------------------------------------------------------
+    def prune_dead_gates(self) -> int:
+        """Remove gates whose output reaches no marked output net.
+
+        Walks the fan-in cone of every marked output and drops the gates
+        outside it -- speculatively built helpers (folded-away constants,
+        unused decode inverters) that would otherwise be emitted as real
+        hardware.  Dead gates are unreachable by construction, so removing
+        them cannot change any observable value.  Returns the number of
+        gates removed.
+        """
+        reached: set = set()
+        stack = list(self._outputs)
+        while stack:
+            net = stack.pop()
+            if net in reached:
+                continue
+            reached.add(net)
+            gate = self._driver.get(net)
+            if gate is not None:
+                stack.extend(gate.inputs)
+        dead = [gate for gate in self._gates if gate.output not in reached]
+        if not dead:
+            return 0
+        self._gates = [gate for gate in self._gates if gate.output in reached]
+        kept_nets = {gate.output for gate in self._gates}
+        for gate in self._gates:
+            kept_nets.update(gate.inputs)
+        kept_nets.update(self._inputs)
+        kept_nets.update(self._outputs)
+        for gate in dead:
+            del self._driver[gate.output]
+        self._nets = [net for net in self._nets if net in kept_nets]
+        return len(dead)
+
+    # ------------------------------------------------------------------
     def undriven_nets(self) -> List[Net]:
         """Nets that are neither primary inputs nor driven by a gate."""
         driven = set(self._driver)

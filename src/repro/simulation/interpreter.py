@@ -19,11 +19,11 @@ bits).  Results are wrapped to the destination width.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Mapping
 
 from ..ir.operations import Operation, OpKind
 from ..ir.spec import Specification
-from ..ir.types import BitRange, extract_bits, insert_bits
+from ..ir.types import extract_bits, insert_bits
 from ..ir.values import Constant, Operand, Variable
 
 

@@ -10,7 +10,7 @@ fragments would show up.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Sequence
+from typing import Dict, List
 
 from ..ir.spec import Specification
 from ..ir.values import Variable

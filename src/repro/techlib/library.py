@@ -14,11 +14,11 @@ multiplier families construct a library with a different
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..ir.operations import Operation, OpKind, is_glue
-from .adders import AdderStyle, build_adder, chained_bits_delay
+from .adders import AdderStyle, build_adder
 from .gates import DEFAULT_GATES, GateCosts
 from .multipliers import MultiplierStyle, build_multiplier
 from .storage import build_multiplexer, build_register

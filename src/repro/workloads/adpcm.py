@@ -23,7 +23,7 @@ paper).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from ..ir.builder import SpecBuilder
 from ..ir.spec import Specification

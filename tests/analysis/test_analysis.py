@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import (
-    FlowComparison,
     LatencySweep,
     compare_flows,
     format_records,

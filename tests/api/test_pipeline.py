@@ -3,7 +3,7 @@ pass swapping."""
 
 import pytest
 
-from repro.api import FlowConfig, Pipeline, PipelineStateError, schedule_pass
+from repro.api import FlowConfig, Pipeline, PipelineStateError
 from repro.core import TransformOptions, transform
 from repro.hls import FlowMode, run_schedule, synthesize
 from repro.workloads import fig3_example, motivational_example
@@ -72,6 +72,7 @@ class TestFullRuns:
             "time",
             "allocate",
             "emit",
+            "check",
             "report",
         ]
         assert artifact.elapsed_s() >= 0

@@ -14,7 +14,6 @@ from repro.api import (
     fig4_study,
 )
 from repro.api.study import point_id_for, table_points
-from repro.hls import FlowMode
 
 
 class TestExpansion:

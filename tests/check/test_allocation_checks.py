@@ -1,0 +1,134 @@
+"""Negative tests for the allocation checker: one corruption per code.
+
+Allocation artifacts are too interlinked to hand-assemble from scratch, so
+each test builds a small real datapath (the motivational workload, fragmented
+at latency 3, ``reuse=False`` so nothing memoized is shared) and applies one
+deterministic single-point corruption through the same mutable surfaces a
+buggy allocator would write: the register group lists, the binding dict, the
+recorded multiplexer list.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.check import check_allocation
+from repro.core import TransformOptions, transform
+from repro.hls.allocation.functional_units import FunctionalUnitInstance
+from repro.hls.datapath import build_datapath
+from repro.hls.flow import FlowMode, run_schedule
+from repro.techlib.library import default_library
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.fixture()
+def allocated():
+    spec = ALL_WORKLOADS["motivational"]()
+    library = default_library()
+    result = transform(spec, 3, TransformOptions(check_equivalence=False))
+    schedule, _budget = run_schedule(
+        result.transformed,
+        3,
+        library,
+        FlowMode.FRAGMENTED,
+        chained_bits_per_cycle=result.chained_bits_per_cycle,
+    )
+    datapath = build_datapath(schedule, library, reuse=False)
+    return schedule, datapath, library
+
+
+def _codes(schedule, datapath, library):
+    return {f.code for f in check_allocation(schedule, datapath, library)}
+
+
+def test_clean_baseline(allocated):
+    schedule, datapath, library = allocated
+    assert check_allocation(schedule, datapath, library) == []
+
+
+def test_alloc001_overlapping_lifetimes(allocated):
+    schedule, datapath, library = allocated
+    registers = datapath.registers.registers
+    for source in registers:
+        for group in list(source.groups):
+            for target in registers:
+                if target is source or group.width > target.width:
+                    continue
+                if any(
+                    group.birth_cycle < tenant.death_cycle
+                    and tenant.birth_cycle < group.death_cycle
+                    for tenant in target.groups
+                ):
+                    source.groups.remove(group)
+                    target.groups.append(group)
+                    assert "ALLOC001" in _codes(schedule, datapath, library)
+                    return
+    pytest.fail("no overlapping rehoming candidate in the motivational datapath")
+
+
+def test_alloc002_double_booked_unit(allocated):
+    schedule, datapath, library = allocated
+    binding = datapath.functional_units.binding
+    occupied = {}
+    for operation, instance in binding.items():
+        occupied.setdefault(instance.identifier, set()).add(
+            schedule.cycle_of[operation]
+        )
+    for operation, instance in binding.items():
+        cycle = schedule.cycle_of[operation]
+        for other in datapath.functional_units.instances:
+            if (
+                other.identifier != instance.identifier
+                and other.category == instance.category
+                and other.width >= instance.width
+                and cycle in occupied.get(other.identifier, set())
+            ):
+                binding[operation] = other
+                assert "ALLOC002" in _codes(schedule, datapath, library)
+                return
+    pytest.fail("no double-booking candidate in the motivational datapath")
+
+
+def test_alloc003_understated_multiplexer(allocated):
+    schedule, datapath, library = allocated
+    multiplexers = datapath.interconnect.multiplexers
+    index = next(i for i, mux in enumerate(multiplexers) if mux.fan_in >= 2)
+    multiplexers[index] = replace(
+        multiplexers[index], fan_in=multiplexers[index].fan_in - 1
+    )
+    assert "ALLOC003" in _codes(schedule, datapath, library)
+
+
+def test_alloc004_orphaned_unit_is_a_warning(allocated):
+    schedule, datapath, library = allocated
+    datapath.functional_units.instances.append(
+        FunctionalUnitInstance(
+            identifier="spare0", category="adder", width=4, area_gates=0.0
+        )
+    )
+    findings = check_allocation(schedule, datapath, library)
+    orphans = [f for f in findings if f.code == "ALLOC004"]
+    assert orphans
+    from repro.check import Severity
+
+    assert all(f.severity is Severity.WARNING for f in orphans)
+
+
+def test_alloc005_unbound_operation(allocated):
+    schedule, datapath, library = allocated
+    binding = datapath.functional_units.binding
+    del binding[next(iter(binding))]
+    assert "ALLOC005" in _codes(schedule, datapath, library)
+
+
+def test_alloc006_stretched_lifetime(allocated):
+    schedule, datapath, library = allocated
+    for register in datapath.registers.registers:
+        for index, group in enumerate(register.groups):
+            if group.needs_storage:
+                register.groups[index] = replace(
+                    group, death_cycle=group.death_cycle + 2
+                )
+                assert "ALLOC006" in _codes(schedule, datapath, library)
+                return
+    pytest.fail("no stored group in the motivational datapath")

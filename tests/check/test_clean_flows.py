@@ -1,0 +1,106 @@
+"""The checkers report zero diagnostics on every healthy flow.
+
+Acceptance property of the static verification layer: all nine registered
+workloads, in both flow modes, all the way down to the emitted netlist, plus
+the seed-263 generated falsifier family every property suite pins, must come
+back completely clean.  A single warning here is either a checker
+false positive or a real latent defect -- both block the PR.
+"""
+
+import pytest
+
+from repro.api.config import FlowConfig
+from repro.api.pipeline import Pipeline
+from repro.check import (
+    check_artifact,
+    check_design,
+    check_schedule,
+    check_specification,
+)
+from repro.core import TransformOptions, transform
+from repro.hls.datapath import build_datapath
+from repro.hls.flow import FlowMode, run_schedule, run_timing
+from repro.rtl.emit import emit_design
+from repro.techlib.library import default_library
+from repro.workloads import ALL_WORKLOADS, GeneratorConfig, random_specification
+
+#: The latency each workload's paper table uses (emission default latencies).
+WORKLOAD_LATENCIES = {
+    "motivational": 3,
+    "fig3": 3,
+    "elliptic": 11,
+    "diffeq": 6,
+    "iir4": 6,
+    "fir2": 5,
+    "adpcm_iaq": 3,
+    "adpcm_ttd": 5,
+    "adpcm_opfc_sca": 12,
+}
+
+ALL_POINTS = [
+    (workload, WORKLOAD_LATENCIES[workload], mode)
+    for workload in sorted(ALL_WORKLOADS)
+    for mode in ("conventional", "fragmented")
+]
+
+
+@pytest.mark.parametrize(
+    "workload,latency,mode",
+    ALL_POINTS,
+    ids=[f"{w}-{m}" for w, _l, m in ALL_POINTS],
+)
+def test_all_workloads_check_clean(workload, latency, mode):
+    config = FlowConfig(
+        latency=latency, mode=mode, workload=workload, emit=True, check=True
+    )
+    artifact = Pipeline().run(config, use_cache=False)
+    report = artifact.check
+    assert report is not None
+    assert report.levels == ("spec", "schedule", "allocation", "netlist")
+    assert report.diagnostics == [], report.render_text()
+
+
+def test_generated_family_checks_clean():
+    """The seed-263 falsifier family is clean at every level in both modes."""
+    seed = 263
+    generator = GeneratorConfig(operation_count=7, input_count=3, maximum_width=10)
+    spec = random_specification(seed, generator)
+    library = default_library()
+
+    result = transform(spec, 3, TransformOptions(check_equivalence=False))
+    schedule, budget = run_schedule(
+        result.transformed,
+        3,
+        library,
+        FlowMode.FRAGMENTED,
+        chained_bits_per_cycle=result.chained_bits_per_cycle,
+    )
+    timing = run_timing(schedule, library, FlowMode.FRAGMENTED)
+    datapath = build_datapath(schedule, library, reuse=False)
+    design = emit_design(schedule, library, datapath).design
+    assert check_specification(result.transformed) == []
+    assert check_schedule(schedule, budget=budget, timing=timing) == []
+    assert check_design(design) == []
+
+    conventional, _ = run_schedule(spec, 3, library, FlowMode.CONVENTIONAL)
+    design = emit_design(conventional, library).design
+    assert check_specification(spec) == []
+    assert check_schedule(conventional, bit_level=False) == []
+    assert check_design(design) == []
+
+
+def test_check_artifact_level_prefixes():
+    config = FlowConfig(latency=3, mode="fragmented", workload="motivational")
+    artifact = Pipeline().run(config, use_cache=False)
+    report = check_artifact(artifact, level="schedule")
+    assert report.levels == ("spec", "schedule")
+    assert report.clean
+
+
+def test_check_artifact_netlist_needs_emission():
+    from repro.check import CheckError
+
+    config = FlowConfig(latency=3, mode="fragmented", workload="motivational")
+    artifact = Pipeline().run(config, use_cache=False)
+    with pytest.raises(CheckError, match="emit"):
+        check_artifact(artifact, level="netlist")

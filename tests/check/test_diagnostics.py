@@ -1,0 +1,164 @@
+"""Unit tests for the diagnostics engine of :mod:`repro.check`.
+
+The code registry is the single source of truth for the diagnostic
+namespace: every code belongs to exactly one IR level, carries a default
+severity, and is the only way a checker can emit a finding.  The report
+object aggregates findings and drives both the human rendering and the JSON
+artifact, so its counting and gating semantics are pinned here.
+"""
+
+import json
+
+import pytest
+
+from repro.check import (
+    CODE_REGISTRY,
+    LEVELS,
+    CheckError,
+    CheckReport,
+    Severity,
+    SourceSpan,
+    diagnostic,
+)
+
+#: code prefix -> the level every code with that prefix must belong to.
+PREFIX_LEVELS = {
+    "SPEC": "spec",
+    "SCHED": "schedule",
+    "ALLOC": "allocation",
+    "NET": "netlist",
+}
+
+
+class TestRegistry:
+    def test_every_level_has_codes(self):
+        covered = {level for level, _severity, _title in CODE_REGISTRY.values()}
+        assert covered == set(LEVELS)
+
+    def test_code_prefixes_match_levels(self):
+        for code, (level, _severity, _title) in CODE_REGISTRY.items():
+            prefix = code.rstrip("0123456789")
+            assert PREFIX_LEVELS[prefix] == level, code
+
+    def test_codes_are_stable_and_numbered(self):
+        # Codes are documented in README/DESIGN; renaming one is a breaking
+        # change, so the full namespace is pinned here.
+        assert sorted(CODE_REGISTRY) == [
+            "ALLOC001",
+            "ALLOC002",
+            "ALLOC003",
+            "ALLOC004",
+            "ALLOC005",
+            "ALLOC006",
+            "NET001",
+            "NET002",
+            "NET003",
+            "NET004",
+            "NET005",
+            "NET006",
+            "NET007",
+            "SCHED001",
+            "SCHED002",
+            "SCHED003",
+            "SCHED004",
+            "SCHED005",
+            "SPEC001",
+            "SPEC002",
+            "SPEC003",
+            "SPEC004",
+            "SPEC005",
+            "SPEC006",
+        ]
+
+    def test_every_code_has_a_title(self):
+        for code, (_level, severity, title) in CODE_REGISTRY.items():
+            assert title.strip(), code
+            assert severity in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+
+    def test_unregistered_code_fails_loudly(self):
+        with pytest.raises(CheckError, match="unregistered"):
+            diagnostic("SPEC999", "no such invariant")
+
+    def test_diagnostic_inherits_level_and_severity(self):
+        finding = diagnostic("ALLOC004", "spare unit")
+        assert finding.level == "allocation"
+        assert finding.severity is Severity.WARNING
+        overridden = diagnostic("ALLOC004", "spare unit", severity=Severity.ERROR)
+        assert overridden.severity is Severity.ERROR
+
+
+class TestSourceSpan:
+    def test_describe_includes_bit_and_cycle(self):
+        span = SourceSpan(kind="bit", name="acc", bit=3, cycle=2)
+        assert span.describe() == "bit acc[3] @cycle 2"
+        assert SourceSpan(kind="unit", name="adder0").describe() == "unit adder0"
+
+    def test_to_dict_omits_absent_refinements(self):
+        assert SourceSpan(kind="net", name="n1").to_dict() == {
+            "kind": "net",
+            "name": "n1",
+        }
+        assert SourceSpan(kind="cycle", name="2", cycle=2).to_dict() == {
+            "kind": "cycle",
+            "name": "2",
+            "cycle": 2,
+        }
+
+
+class TestCheckReport:
+    def _report(self):
+        report = CheckReport(subject="unit")
+        report.extend(
+            "spec",
+            [
+                diagnostic("SPEC001", "double writer"),
+                diagnostic("SPEC005", "dead add"),
+            ],
+        )
+        report.extend("schedule", [])
+        return report
+
+    def test_counts_and_gates(self):
+        report = self._report()
+        assert report.error_count == 1
+        assert report.warning_count == 1
+        assert report.codes == ["SPEC001", "SPEC005"]
+        assert not report.clean  # warnings break cleanliness
+        assert not report.passed  # errors break the pass gate
+        assert report.levels == ("spec", "schedule")
+
+    def test_warning_only_report_passes_but_is_not_clean(self):
+        report = CheckReport(subject="w")
+        report.extend("spec", [diagnostic("SPEC005", "dead add")])
+        assert report.passed
+        assert not report.clean
+        report.raise_on_errors()  # warnings alone must not raise
+
+    def test_empty_report_is_clean(self):
+        report = CheckReport(subject="quiet")
+        assert report.clean and report.passed
+        assert "clean: no diagnostics" in report.render_text()
+
+    def test_extend_rejects_unknown_level(self):
+        with pytest.raises(CheckError, match="unknown check level"):
+            CheckReport(subject="x").extend("gateware", [])
+
+    def test_raise_on_errors_lists_findings(self):
+        with pytest.raises(CheckError, match="SPEC001"):
+            self._report().raise_on_errors()
+
+    def test_render_text_one_line_per_finding(self):
+        text = self._report().render_text()
+        assert "SPEC001" in text and "SPEC005" in text
+        assert "1 error(s), 1 warning(s)" in text
+
+    def test_json_round_trip(self):
+        payload = json.loads(self._report().to_json())
+        assert payload["subject"] == "unit"
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 1
+        assert payload["clean"] is False
+        codes = [item["code"] for item in payload["diagnostics"]]
+        assert codes == ["SPEC001", "SPEC005"]
+        severities = [item["severity"] for item in payload["diagnostics"]]
+        assert severities == ["error", "warning"]

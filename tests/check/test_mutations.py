@@ -1,0 +1,59 @@
+"""The mutation self-test harness catches every seeded corruption.
+
+This is the checkers' own acceptance gate: for each diagnostic code one
+single-point corruption is applied to a freshly built clean artifact, and the
+checker of that level must flag it with the intended code while the
+unmutated baseline stays clean.  Co-firing additional codes is legal (one
+corruption can break several invariants at once); missing the intended code
+is not.
+"""
+
+import pytest
+
+from repro.check import CODE_REGISTRY, CheckError, run_mutations, self_test
+from repro.check.mutate import _MUTATIONS
+
+
+def test_one_mutation_per_diagnostic_code():
+    exercised = {code for _name, code, _fn in _MUTATIONS}
+    assert exercised == set(CODE_REGISTRY)
+
+
+def test_every_mutation_caught():
+    outcomes = run_mutations(seed=2005)
+    assert len(outcomes) == len(_MUTATIONS)
+    for outcome in outcomes:
+        assert outcome.clean_before, f"{outcome.name}: baseline not clean"
+        assert outcome.caught, outcome.describe()
+        assert outcome.code in outcome.reported
+        assert outcome.level == CODE_REGISTRY[outcome.code][0]
+
+
+def test_self_test_passes_on_alternate_seed():
+    # A different seed picks different corruption sites; the harness must
+    # not depend on one lucky draw.
+    outcomes = self_test(seed=42)
+    assert all(outcome.ok for outcome in outcomes)
+
+
+def test_self_test_reports_escapes(monkeypatch):
+    # A corruption the checkers never flag must fail the self-test loudly.
+    from repro.check import mutate
+
+    def ineffective_mutation(_rng):
+        return [], []  # clean before, *and* clean after: nothing was caught
+
+    monkeypatch.setattr(
+        mutate, "_MUTATIONS", [("stub", "SPEC001", ineffective_mutation)]
+    )
+    with pytest.raises(CheckError, match="escaped"):
+        mutate.self_test(seed=0)
+
+
+def test_outcome_describe_mentions_verdict():
+    from repro.check.mutate import MutationOutcome
+
+    ok = MutationOutcome("m", "SPEC001", "spec", True, True, ("SPEC001",))
+    missed = MutationOutcome("m", "SPEC001", "spec", True, False, ())
+    assert "ok" in ok.describe()
+    assert "MISSED" in missed.describe()

@@ -1,0 +1,121 @@
+"""Negative tests for the netlist checker: one minimal design per code.
+
+The baseline is the smallest checkable sequential design: a 1-bit toggling
+FSM (two states, matching a latency of 2), one capture register loading a
+primary input, and one output port.  Each test breaks exactly one invariant
+by hand -- cyclic gates, a smuggled second driver, a floating input net, a
+misdeclared width, a dead gate, a stuck or foreign-fed FSM, a register that
+only ever holds.
+"""
+
+from repro.check import Severity, check_design
+from repro.rtl.design import RtlDesign, StateElement
+from repro.rtl.netlist import Gate, GateKind, Net, Netlist
+
+
+def _tiny_design():
+    netlist = Netlist("tiny")
+    data = netlist.add_input("in[0]")
+    fsm_q = netlist.add_input("fsm_q[0]")
+    cap_q = netlist.add_input("cap_q[0]")
+    fsm_d = netlist.not_gate(fsm_q)  # two-state toggle counter
+    design = RtlDesign(
+        name="tiny",
+        netlist=netlist,
+        latency=2,
+        input_ports={"in": [data]},
+        output_ports={"out": [cap_q]},
+        state_elements=[
+            StateElement("fsm", 1, "fsm", [fsm_q], [fsm_d]),
+            StateElement("cap", 1, "capture", [cap_q], [data]),
+        ],
+    )
+    return design
+
+
+def _codes(design):
+    return {finding.code for finding in check_design(design)}
+
+
+def _element(design, name):
+    return next(e for e in design.state_elements if e.name == name)
+
+
+def test_clean_baseline():
+    assert check_design(_tiny_design()) == []
+
+
+def test_net001_combinational_cycle():
+    design = _tiny_design()
+    netlist = design.netlist
+    data = design.input_ports["in"][0]
+    a = netlist.new_net("loop_a")
+    b = netlist.new_net("loop_b")
+    netlist._gates.append(Gate(GateKind.AND, (b, data), a, "loop_g1"))
+    netlist._gates.append(Gate(GateKind.AND, (a, data), b, "loop_g2"))
+    _element(design, "cap").d_nets = [a]
+    assert "NET001" in _codes(design)
+
+
+def test_net002_multiply_driven_net():
+    design = _tiny_design()
+    data = design.input_ports["in"][0]
+    fsm_d = _element(design, "fsm").d_nets[0]
+    design.netlist._gates.append(Gate(GateKind.BUF, (data,), fsm_d, "rogue_buf"))
+    assert "NET002" in _codes(design)
+
+
+def test_net003_floating_net_consumed():
+    design = _tiny_design()
+    _element(design, "cap").d_nets = [Net("floating")]
+    assert "NET003" in _codes(design)
+
+
+def test_net004_width_mismatch():
+    design = _tiny_design()
+    _element(design, "cap").width = 2  # declares 2 bits, wires 1
+    assert "NET004" in _codes(design)
+
+
+def test_net004_q_bit_not_primary():
+    design = _tiny_design()
+    fsm_d = _element(design, "fsm").d_nets[0]
+    _element(design, "cap").q_nets = [fsm_d]  # q fed by a gate output
+    assert "NET004" in _codes(design)
+
+
+def test_net004_input_port_bit_not_primary():
+    design = _tiny_design()
+    fsm_d = _element(design, "fsm").d_nets[0]
+    design.input_ports["in"] = [fsm_d]
+    assert "NET004" in _codes(design)
+
+
+def test_net005_dead_gate_is_a_warning():
+    design = _tiny_design()
+    data = design.input_ports["in"][0]
+    design.netlist.add_gate(GateKind.AND, (data, data))
+    findings = [f for f in check_design(design) if f.code == "NET005"]
+    assert findings
+    assert all(f.severity is Severity.WARNING for f in findings)
+
+
+def test_net006_fsm_not_autonomous():
+    design = _tiny_design()
+    data = design.input_ports["in"][0]
+    _element(design, "fsm").d_nets = [data]  # next state reads a data input
+    assert "NET006" in _codes(design)
+
+
+def test_net006_fsm_state_unreachable():
+    design = _tiny_design()
+    fsm = _element(design, "fsm")
+    fsm.d_nets = [fsm.q_nets[0]]  # stuck in the reset state
+    assert "NET006" in _codes(design)
+
+
+def test_net007_register_never_loaded():
+    design = _tiny_design()
+    cap = _element(design, "cap")
+    cap.d_nets = [cap.q_nets[0]]  # pure hold path
+    assert "NET007" in _codes(design)

@@ -1,0 +1,152 @@
+"""Integration of the static checks with the pipeline, config, report and CLI.
+
+``check=True`` must run the checkers as a pipeline pass (failing the run on
+any diagnostic), surface the results through the schema-versioned report
+keys, join the config content hash, and be reachable through the
+``python -m repro check`` verb.
+"""
+
+import json
+
+import pytest
+
+from repro.api.artifacts import REPORT_SCHEMA_VERSION, build_report
+from repro.api.cli import main
+from repro.api.config import ConfigError, FlowConfig
+from repro.api.pipeline import Pipeline
+from repro.check import CheckError
+
+
+class TestConfig:
+    def test_check_fields_default_off(self):
+        config = FlowConfig(latency=3, workload="motivational")
+        assert config.check is False
+        assert config.check_level is None
+
+    def test_check_level_requires_check(self):
+        with pytest.raises(ConfigError, match="requires check=True"):
+            FlowConfig(latency=3, workload="motivational", check_level="spec")
+
+    def test_unknown_check_level_rejected(self):
+        with pytest.raises(ConfigError, match="unknown check_level"):
+            FlowConfig(
+                latency=3, workload="motivational", check=True, check_level="gates"
+            )
+
+    def test_netlist_level_requires_emit(self):
+        with pytest.raises(ConfigError, match="emit=True"):
+            FlowConfig(
+                latency=3, workload="motivational", check=True, check_level="netlist"
+            )
+
+    def test_check_joins_content_hash(self):
+        plain = FlowConfig(latency=3, workload="motivational")
+        checked = FlowConfig(latency=3, workload="motivational", check=True)
+        assert plain.content_hash() != checked.content_hash()
+
+    def test_round_trip_preserves_check_fields(self):
+        config = FlowConfig(
+            latency=3,
+            workload="motivational",
+            check=True,
+            check_level="allocation",
+        )
+        again = FlowConfig.from_dict(json.loads(config.to_json()))
+        assert again.check is True
+        assert again.check_level == "allocation"
+        assert again.content_hash() == config.content_hash()
+
+
+class TestCheckPass:
+    def test_pass_fills_artifact_and_report(self):
+        config = FlowConfig(
+            latency=3, mode="fragmented", workload="motivational", check=True
+        )
+        artifact = Pipeline().run(config, use_cache=False)
+        assert artifact.check is not None
+        assert artifact.check.clean
+        report = build_report(artifact)
+        assert report["schema_version"] == REPORT_SCHEMA_VERSION
+        assert report["check_ok"] is True
+        assert report["check_errors"] == 0
+        assert report["check_warnings"] == 0
+        assert report["check_levels"] == ["spec", "schedule", "allocation"]
+
+    def test_pass_includes_netlist_level_with_emit(self):
+        config = FlowConfig(
+            latency=3,
+            mode="fragmented",
+            workload="motivational",
+            emit=True,
+            check=True,
+        )
+        artifact = Pipeline().run(config, use_cache=False)
+        assert artifact.check.levels == ("spec", "schedule", "allocation", "netlist")
+
+    def test_pass_skipped_without_check(self):
+        config = FlowConfig(latency=3, workload="motivational")
+        artifact = Pipeline().run(config, use_cache=False)
+        assert artifact.check is None
+        assert "check_ok" not in build_report(artifact)
+
+    def test_dirty_run_fails_the_pipeline(self):
+        # A dead additive definition is a SPEC005 warning; the pass treats
+        # any diagnostic at warning severity or above as a failed run.
+        from repro.ir.operations import Operation, OpKind
+        from repro.ir.types import BitVectorType
+        from repro.ir.values import Destination, PortDirection, Variable
+        from repro.ir.spec import Specification
+
+        spec = Specification("dirty")
+        a = spec.add_variable(
+            Variable("a", BitVectorType(4, False), PortDirection.INPUT)
+        )
+        o = spec.add_variable(
+            Variable("o", BitVectorType(4, False), PortDirection.OUTPUT)
+        )
+        dead = spec.add_variable(Variable("dead", BitVectorType(5, False)))
+        spec.add_operation(
+            Operation(
+                kind=OpKind.MOVE,
+                operands=(a.whole(),),
+                destination=Destination(o, o.full_range()),
+                name="move_o",
+            )
+        )
+        spec.add_operation(
+            Operation(
+                kind=OpKind.ADD,
+                operands=(a.whole(), a.whole()),
+                destination=Destination(dead, dead.full_range()),
+                name="dead_add",
+            )
+        )
+        config = FlowConfig(
+            latency=2, transform=False, validate_input=False, check=True
+        )
+        with pytest.raises(CheckError, match="SPEC005"):
+            Pipeline().run(config, specification=spec, use_cache=False)
+
+
+class TestCli:
+    def test_check_verb_clean_workload(self, capsys):
+        assert main(["check", "motivational"]) == 0
+        out = capsys.readouterr().out
+        assert "clean: no diagnostics" in out
+
+    def test_check_verb_json(self, capsys):
+        assert main(["check", "fig3", "-l", "3", "-m", "fragmented", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "fig3"
+        assert payload["clean"] is True
+        assert payload["levels"] == ["spec", "schedule", "allocation", "netlist"]
+        assert payload["diagnostics"] == []
+
+    def test_check_verb_level_prefix(self, capsys):
+        assert main(["check", "motivational", "--level", "schedule", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["levels"] == ["spec", "schedule"]
+
+    def test_check_verb_requires_workload(self, capsys):
+        assert main(["check"]) == 2
+        assert "workload" in capsys.readouterr().err.lower()

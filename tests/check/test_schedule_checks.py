@@ -1,0 +1,135 @@
+"""Negative tests for the schedule checker: one minimal artifact per code.
+
+The artifact is a hand-built two-adder chain (``t = a + b`` in cycle 1,
+``u = t + c`` plus the output move in cycle 2) whose chained-bit depths are
+small enough to verify by hand: cycle 1 ripples 4 bits, cycle 2 ripples 5.
+Corruptions poke ``cycle_of`` directly, bypassing the ``assign()`` guard the
+way a buggy scheduler pass would.
+"""
+
+from repro.check import check_schedule
+from repro.hls.schedule import Schedule
+from repro.hls.timing import CycleTiming
+from repro.ir.operations import Operation, OpKind
+from repro.ir.spec import Specification
+from repro.ir.types import BitVectorType
+from repro.ir.values import Destination, PortDirection, Variable
+
+
+def _chain_spec():
+    spec = Specification("sched_unit")
+    a = spec.add_variable(Variable("a", BitVectorType(4, False), PortDirection.INPUT))
+    b = spec.add_variable(Variable("b", BitVectorType(4, False), PortDirection.INPUT))
+    c = spec.add_variable(Variable("c", BitVectorType(4, False), PortDirection.INPUT))
+    t = spec.add_variable(Variable("t", BitVectorType(5, False)))
+    u = spec.add_variable(Variable("u", BitVectorType(6, False)))
+    o = spec.add_variable(Variable("o", BitVectorType(6, False), PortDirection.OUTPUT))
+    spec.add_operation(
+        Operation(
+            kind=OpKind.ADD,
+            operands=(a.whole(), b.whole()),
+            destination=Destination(t, t.full_range()),
+            name="add_t",
+        )
+    )
+    spec.add_operation(
+        Operation(
+            kind=OpKind.ADD,
+            operands=(t.whole(), c.whole()),
+            destination=Destination(u, u.full_range()),
+            name="add_u",
+        )
+    )
+    spec.add_operation(
+        Operation(
+            kind=OpKind.MOVE,
+            operands=(u.whole(),),
+            destination=Destination(o, o.full_range()),
+            name="move_o",
+        )
+    )
+    return spec
+
+
+def _scheduled():
+    spec = _chain_spec()
+    schedule = Schedule(specification=spec, latency=2)
+    schedule.assign(spec.operation_named("add_t"), 1)
+    schedule.assign(spec.operation_named("add_u"), 2)
+    schedule.assign(spec.operation_named("move_o"), 2)
+    return spec, schedule
+
+
+def _codes(findings):
+    return {finding.code for finding in findings}
+
+
+def test_clean_baseline():
+    _spec, schedule = _scheduled()
+    assert check_schedule(schedule) == []
+
+
+def test_clean_with_sufficient_budget():
+    _spec, schedule = _scheduled()
+    # Hand-computed depths: 4 chained bits in cycle 1, 5 in cycle 2.
+    assert check_schedule(schedule, budget=5) == []
+
+
+def test_sched001_unscheduled_operation():
+    spec, schedule = _scheduled()
+    del schedule.cycle_of[spec.operation_named("move_o")]
+    assert "SCHED001" in _codes(check_schedule(schedule))
+
+
+def test_sched002_cycle_out_of_range():
+    spec, schedule = _scheduled()
+    schedule.cycle_of[spec.operation_named("move_o")] = 7
+    assert "SCHED002" in _codes(check_schedule(schedule))
+
+
+def test_sched003_producer_after_consumer():
+    spec, schedule = _scheduled()
+    schedule.cycle_of[spec.operation_named("add_t")] = 2
+    schedule.cycle_of[spec.operation_named("add_u")] = 1
+    assert "SCHED003" in _codes(check_schedule(schedule))
+
+
+def test_sched004_budget_exceeded():
+    spec, schedule = _scheduled()
+    for operation in list(schedule.cycle_of):
+        schedule.cycle_of[operation] = 1
+    # Both adders chained in one cycle ripple 6 bits; a budget of 5 breaks.
+    assert "SCHED004" in _codes(check_schedule(schedule, budget=5))
+    assert check_schedule(schedule, budget=6) == []
+
+
+def _timing(latency, chained_bits):
+    return CycleTiming(
+        latency=latency,
+        cycle_delay_ns={cycle: 0.0 for cycle in chained_bits},
+        cycle_chained_bits=dict(chained_bits),
+        overhead_ns=0.0,
+    )
+
+
+def test_sched005_recorded_depths_cross_checked():
+    _spec, schedule = _scheduled()
+    assert check_schedule(schedule, timing=_timing(2, {1: 4, 2: 5})) == []
+    tampered = check_schedule(schedule, timing=_timing(2, {1: 5, 2: 5}))
+    assert "SCHED005" in _codes(tampered)
+
+
+def test_sched005_latency_mismatch():
+    _spec, schedule = _scheduled()
+    findings = check_schedule(schedule, timing=_timing(3, {1: 4, 2: 5, 3: 0}))
+    assert "SCHED005" in _codes(findings)
+
+
+def test_conventional_timing_skips_depth_comparison():
+    # A conventional timing records nanosecond chains, not bit depths; the
+    # depth cross-check must not fire on it.
+    _spec, schedule = _scheduled()
+    findings = check_schedule(
+        schedule, timing=_timing(2, {1: 999, 2: 999}), bit_level=False
+    )
+    assert findings == []

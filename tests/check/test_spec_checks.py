@@ -1,0 +1,127 @@
+"""Negative tests for the specification checker: one minimal artifact per code.
+
+Each test hand-builds the smallest specification that violates exactly one
+``SPEC0xx`` invariant, using the same back doors a buggy transformation would
+leave behind (the constructor guards of :class:`Specification` catch several
+of these at build time, which is precisely why the checker must re-derive
+them independently).
+"""
+
+from repro.check import Severity, check_specification
+from repro.ir.operations import Operation, OpKind
+from repro.ir.spec import Specification
+from repro.ir.types import BitVectorType
+from repro.ir.values import Destination, PortDirection, Variable
+
+
+def _small_spec():
+    """``t = a + b; o = t`` -- the minimal clean two-operation program."""
+    spec = Specification("check_unit")
+    a = spec.add_variable(
+        Variable("a", BitVectorType(4, False), PortDirection.INPUT)
+    )
+    b = spec.add_variable(
+        Variable("b", BitVectorType(4, False), PortDirection.INPUT)
+    )
+    t = spec.add_variable(Variable("t", BitVectorType(5, False)))
+    o = spec.add_variable(
+        Variable("o", BitVectorType(5, False), PortDirection.OUTPUT)
+    )
+    spec.add_operation(
+        Operation(
+            kind=OpKind.ADD,
+            operands=(a.whole(), b.whole()),
+            destination=Destination(t, t.full_range()),
+            name="add_t",
+        )
+    )
+    spec.add_operation(
+        Operation(
+            kind=OpKind.MOVE,
+            operands=(t.whole(),),
+            destination=Destination(o, o.full_range()),
+            name="move_o",
+        )
+    )
+    return spec
+
+
+def _codes(spec):
+    return {finding.code for finding in check_specification(spec)}
+
+
+def test_clean_baseline():
+    assert check_specification(_small_spec()) == []
+
+
+def test_spec001_duplicate_writer():
+    spec = _small_spec()
+    spec._operations.append(spec._operations[0])  # second writer for t
+    assert "SPEC001" in _codes(spec)
+
+
+def test_spec002_read_before_write():
+    spec = _small_spec()
+    operations = spec._operations
+    operations.append(operations.pop(0))  # producer now after its reader
+    assert "SPEC002" in _codes(spec)
+
+
+def test_spec002_read_without_any_write():
+    spec = _small_spec()
+    spec._operations.pop(0)  # move_o now reads a t nothing writes
+    assert "SPEC002" in _codes(spec)
+
+
+def test_spec003_variable_narrower_than_its_accesses():
+    spec = _small_spec()
+    # Shrinking the type under existing full-width accesses leaves reads and
+    # writes of bit 4 dangling past the variable's new width.
+    t = spec.variable("t")
+    t.type = BitVectorType(4, False)
+    assert "SPEC003" in _codes(spec)
+
+
+def test_spec004_undriven_output_bit():
+    spec = _small_spec()
+    spec._operations.pop()  # nothing writes output o any more
+    assert "SPEC004" in _codes(spec)
+
+
+def test_spec005_dead_additive_result_is_a_warning():
+    spec = _small_spec()
+    dead = spec.add_variable(Variable("dead", BitVectorType(5, False)))
+    spec.add_operation(
+        Operation(
+            kind=OpKind.ADD,
+            operands=(spec.variable("a").whole(), spec.variable("b").whole()),
+            destination=Destination(dead, dead.full_range()),
+            name="dead_add",
+        )
+    )
+    findings = check_specification(spec)
+    dead_findings = [f for f in findings if f.code == "SPEC005"]
+    assert dead_findings
+    assert all(f.severity is Severity.WARNING for f in dead_findings)
+
+
+def test_spec006_combinational_self_dependence():
+    spec = _small_spec()
+    loop = spec.add_variable(Variable("loop", BitVectorType(3, False)))
+    spec.add_operation(
+        Operation(
+            kind=OpKind.MOVE,
+            operands=(loop.whole(),),
+            destination=Destination(loop, loop.full_range()),
+            name="loop_move",
+        )
+    )
+    assert "SPEC006" in _codes(spec)
+
+
+def test_findings_carry_spans():
+    spec = _small_spec()
+    spec._operations.pop()  # SPEC004 names the undriven output bit
+    findings = [f for f in check_specification(spec) if f.code == "SPEC004"]
+    assert findings
+    assert all(f.span is not None and f.span.name == "o" for f in findings)

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.kernel import extract_kernel
 from repro.ir.builder import SpecBuilder
-from repro.ir.operations import ADDITIVE_KINDS, OpKind
+from repro.ir.operations import OpKind
 from repro.ir.validate import validate
 from repro.simulation import assert_equivalent, check_equivalence
 from repro.workloads import motivational_example

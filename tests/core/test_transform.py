@@ -13,9 +13,8 @@ from repro.core.kernel import extract_kernel
 from repro.core.rewrite import rewrite_specification
 from repro.ir.builder import SpecBuilder
 from repro.ir.operations import OpKind
-from repro.ir.types import BitRange
 from repro.ir.validate import validate
-from repro.simulation import assert_equivalent, check_equivalence
+from repro.simulation import check_equivalence
 from repro.workloads import (
     GeneratorConfig,
     addition_chain,

@@ -19,7 +19,7 @@ from repro.hls.allocation import (
 )
 from repro.hls.datapath import build_datapath, clear_datapath_memo
 from repro.hls.flow import FlowMode, run_schedule
-from repro.workloads import ALL_WORKLOADS, GeneratorConfig, random_specification
+from repro.workloads import GeneratorConfig, random_specification
 
 #: (workload, latency, mode) points covering both flows.
 POINTS = [

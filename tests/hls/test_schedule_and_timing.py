@@ -10,7 +10,7 @@ from repro.hls.timing import (
     bit_level_cycle_depths,
     operation_level_cycle_delays,
 )
-from repro.ir.dfg import BitDependencyGraph, DataFlowGraph
+from repro.ir.dfg import BitDependencyGraph
 from repro.techlib import default_library
 from repro.workloads import motivational_example
 

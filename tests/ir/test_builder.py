@@ -4,7 +4,6 @@ import pytest
 
 from repro.ir.builder import BuildError, SpecBuilder
 from repro.ir.operations import OpKind
-from repro.ir.values import Constant
 
 
 class TestPorts:

@@ -16,7 +16,7 @@ from repro.ir.operations import (
     make_unary,
 )
 from repro.ir.types import BitRange, BitVectorType, IRTypeError
-from repro.ir.values import Constant, Destination, Operand, Variable, operand_of
+from repro.ir.values import Constant, Destination, Variable, operand_of
 
 
 @pytest.fixture

@@ -294,11 +294,22 @@ class TestRunBenchmarks:
         monkeypatch.setattr(harness, "QUICK_SWEEPS", {"mini": ("chain:2:4", "fig4")})
         monkeypatch.setattr(harness, "QUICK_STUDY_POINTS", ("table1",))
         monkeypatch.setattr(harness, "QUICK_EMIT_POINTS", (("chain:2:4", 2),))
+        monkeypatch.setattr(harness, "QUICK_CHECK_POINTS", (("chain:2:4", 2),))
         monkeypatch.setattr(harness, "FIG4_LATENCIES", (2, 3))
         result = run_benchmarks(quick=True, repeats=1)
-        assert set(result) == {"stages", "sweeps", "verify", "emit", "studies", "meta"}
+        assert set(result) == {
+            "stages",
+            "sweeps",
+            "verify",
+            "emit",
+            "check",
+            "studies",
+            "meta",
+        }
         assert result["emit"]["chain:2:4"]["emit_s"] > 0.0
         assert result["emit"]["chain:2:4"]["rtlsim_s"] > 0.0
+        assert result["check"]["chain:2:4"]["check_s"] > 0.0
+        assert result["check"]["chain:2:4"]["check_diagnostics"] == 0.0
         assert result["studies"]["table1"]["cold_s"] > 0.0
         assert result["studies"]["table1"]["resume_s"] > 0.0
         assert "chain:2:4" in result["stages"]

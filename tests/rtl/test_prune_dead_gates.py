@@ -1,0 +1,71 @@
+"""Regression: the emitter must not leave unreachable gates in the netlist.
+
+The netlist checker's NET005 sweep caught the emitter shipping speculative
+helper gates (eagerly folded constants, unused decode inverters) that no
+output or state element could ever observe -- about 17 dead gates per
+emitted design.  ``Netlist.prune_dead_gates`` now drops them before the
+design is finished; these tests pin both the primitive and the emitter-level
+guarantee.
+"""
+
+from repro.check import check_design
+from repro.core import TransformOptions, transform
+from repro.hls.flow import FlowMode, run_schedule
+from repro.rtl.emit import emit_design
+from repro.rtl.netlist import GateKind, Netlist
+from repro.techlib.library import default_library
+from repro.workloads import ALL_WORKLOADS
+
+
+class TestPrunePrimitive:
+    def test_prunes_unreached_cone(self):
+        netlist = Netlist("prune")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        kept = netlist.and_gate(a, b)
+        netlist.mark_output(kept)
+        dead_inner = netlist.xor_gate(a, b)
+        netlist.not_gate(dead_inner)  # two-gate dead cone
+        assert netlist.gate_count() == 3
+        assert netlist.prune_dead_gates() == 2
+        assert netlist.gate_count() == 1
+        assert netlist.driver_of(kept) is not None
+        # Nets of the dead cone are gone; inputs and outputs survive.
+        names = {net.name for net in netlist.nets}
+        assert {a.name, b.name, kept.name} <= names
+        assert len(netlist.gates) == 1
+
+    def test_noop_on_fully_live_netlist(self):
+        netlist = Netlist("live")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.mark_output(netlist.or_gate(a, b))
+        assert netlist.prune_dead_gates() == 0
+        assert netlist.gate_count(GateKind.OR) == 1
+
+    def test_idempotent(self):
+        netlist = Netlist("twice")
+        a = netlist.add_input("a")
+        netlist.not_gate(a)  # dead
+        netlist.mark_output(netlist.buf_gate(a))
+        assert netlist.prune_dead_gates() == 1
+        assert netlist.prune_dead_gates() == 0
+
+
+class TestEmitterHasNoDeadGates:
+    def test_emitted_design_is_fully_reachable(self):
+        spec = ALL_WORKLOADS["motivational"]()
+        library = default_library()
+        result = transform(spec, 3, TransformOptions(check_equivalence=False))
+        schedule, _budget = run_schedule(
+            result.transformed,
+            3,
+            library,
+            FlowMode.FRAGMENTED,
+            chained_bits_per_cycle=result.chained_bits_per_cycle,
+        )
+        design = emit_design(schedule, library).design
+        # Every gate reaches an output or a state element: zero NET005.
+        assert [f for f in check_design(design) if f.code == "NET005"] == []
+        # And pruning again finds nothing left to remove.
+        assert design.netlist.prune_dead_gates() == 0

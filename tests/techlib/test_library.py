@@ -3,8 +3,7 @@
 import pytest
 
 from repro.ir.builder import SpecBuilder
-from repro.ir.operations import OpKind
-from repro.techlib import AdderStyle, MultiplierStyle, TechnologyLibrary, default_library
+from repro.techlib import AdderStyle, MultiplierStyle, default_library
 
 
 @pytest.fixture
