@@ -15,7 +15,11 @@ lower-level :mod:`repro.core` / :mod:`repro.hls` machinery:
   over config fields, stable content-hash point ids, the paper's tables and
   sweeps as named built-ins -- see :func:`builtin_study`);
 * :class:`Workspace` -- on-disk project root (manifest + content-addressed
-  artifact store) that makes studies persistent and resumable;
+  artifact store + write-ahead journal + quarantine) that makes studies
+  persistent, resumable and crash-safe (see :meth:`Workspace.salvage`);
+* :class:`RetryPolicy` -- per-point fault isolation: retries with
+  deterministic backoff, wall-clock timeouts, hang detection, and the
+  stable ``RUN0xx`` error codes failed points are recorded under;
 * :mod:`repro.api.cli` -- the ``python -m repro`` command-line front end.
 
 Study quick start::
@@ -69,6 +73,13 @@ from .passes import (
     validate_pass,
 )
 from .pipeline import Pipeline
+from .resilience import (
+    ON_ERROR_CHOICES,
+    RUN_CODE_REGISTRY,
+    AttemptRecord,
+    RetryPolicy,
+    run_error_title,
+)
 from .study import (
     BUILTIN_STUDIES,
     Study,
@@ -79,17 +90,22 @@ from .study import (
     fig4_study,
     table_study,
 )
-from .sweep import SweepEngine, SweepOutcome, SweepRun
+from .sweep import SweepEngine, SweepOutcome, SweepPointError, SweepRun
 from .workspace import (
     PointResult,
+    SalvageReport,
     StudyRunResult,
     Workspace,
+    WorkspaceCorruptError,
     WorkspaceError,
 )
 
 __all__ = [
     "BUILTIN_STUDIES",
     "DEFAULT_PASSES",
+    "ON_ERROR_CHOICES",
+    "RUN_CODE_REGISTRY",
+    "AttemptRecord",
     "ConfigError",
     "FlowConfig",
     "PassRecord",
@@ -98,15 +114,19 @@ __all__ = [
     "PointResult",
     "REPORT_SCHEMA_VERSION",
     "ResultCache",
+    "RetryPolicy",
     "RunArtifact",
+    "SalvageReport",
     "Study",
     "StudyError",
     "StudyPoint",
     "StudyRunResult",
     "SweepEngine",
     "SweepOutcome",
+    "SweepPointError",
     "SweepRun",
     "Workspace",
+    "WorkspaceCorruptError",
     "WorkspaceError",
     "allocate_pass",
     "available_studies",
@@ -118,6 +138,7 @@ __all__ = [
     "parse_pass",
     "report_pass",
     "resolve_workload",
+    "run_error_title",
     "schedule_pass",
     "specification_fingerprint",
     "table_study",

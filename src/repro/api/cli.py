@@ -16,10 +16,12 @@ caller would use:
 * ``repro sweep <workload>``        -- the Fig. 4 latency sweep, optionally
   parallel (``--workers``/``--executor``);
 * ``repro table table1|table2|table3`` -- reproduce a table of the paper;
-* ``repro study run|status|report|list`` -- persistent, resumable experiment
-  matrices: run a named :class:`~repro.api.study.Study` against an on-disk
-  :class:`~repro.api.workspace.Workspace`, inspect its completion state and
-  regenerate its rows with zero recomputation;
+* ``repro study run|status|report|salvage|list`` -- persistent, resumable
+  experiment matrices: run a named :class:`~repro.api.study.Study` against an
+  on-disk :class:`~repro.api.workspace.Workspace` (with per-point retries,
+  timeouts and structured error rows via ``--retries``/``--timeout``/
+  ``--on-error``), inspect its completion state, regenerate its rows with
+  zero recomputation, or repair a crashed workspace (``salvage``);
 * ``repro perf``                    -- the performance harness: time the
   pipeline stages and the Fig. 4 sweeps, refresh ``BENCH_sched.json`` and
   optionally fail on regressions (``--max-regression``).
@@ -51,7 +53,8 @@ from ..techlib.multipliers import MultiplierStyle
 from .cache import ResultCache
 from .config import ConfigError, FlowConfig, available_workloads
 from .pipeline import Pipeline
-from .sweep import SweepEngine
+from .resilience import ON_ERROR_CHOICES, RetryPolicy
+from .sweep import SweepEngine, SweepPointError
 
 
 def _parse_latencies(text: str) -> List[int]:
@@ -98,6 +101,45 @@ def _add_cache_option(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=None,
         help="persist run reports below this directory and reuse them",
+    )
+
+
+def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry each failing point up to N extra times, with "
+        "deterministic exponential backoff (default: no retries)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock budget; an overrunning point is stopped "
+        "and charged a RUN002 attempt (default: no timeout)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=ON_ERROR_CHOICES,
+        default=None,
+        help="disposition of a point that exhausts its attempts: 'record' a "
+        "structured error row and continue (default), 'skip' it silently, "
+        "or 'raise' and abort the run",
+    )
+
+
+def _retry_policy_from_args(args: argparse.Namespace) -> Optional[RetryPolicy]:
+    if args.retries is None and args.timeout is None and args.on_error is None:
+        return None
+    if args.retries is not None and args.retries < 0:
+        raise ConfigError(f"--retries must be >= 0, got {args.retries}")
+    return RetryPolicy(
+        max_attempts=(args.retries or 0) + 1,
+        timeout_s=args.timeout,
+        on_error=args.on_error or "record",
     )
 
 
@@ -297,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--json", action="store_true")
     _add_library_options(sweep_parser)
     _add_cache_option(sweep_parser)
+    _add_resilience_options(sweep_parser)
 
     # -- table ---------------------------------------------------------
     table_parser = subparsers.add_parser(
@@ -364,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-point progress lines"
     )
     study_run.add_argument("--json", action="store_true")
+    _add_resilience_options(study_run)
 
     study_status = study_sub.add_parser(
         "status", help="per-point completion state of a study in a workspace"
@@ -385,6 +429,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="tabulate whatever is stored instead of failing on missing points",
     )
     study_report.add_argument("--json", action="store_true")
+
+    study_salvage = study_sub.add_parser(
+        "salvage",
+        help="repair a workspace after a crash: quarantine corrupt files, "
+        "rebuild the manifest from the write-ahead journal, reattach "
+        "orphaned result rows",
+    )
+    study_salvage.add_argument("--workspace", "-w", required=True)
+    study_salvage.add_argument("--json", action="store_true")
 
     study_list = study_sub.add_parser(
         "list", help="list the built-in study declarations"
@@ -708,6 +761,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         executor=executor,
         stop_after=study.stop_after,
+        retry=_retry_policy_from_args(args),
     )
     configs = [
         config.replace(
@@ -715,7 +769,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         for config in study.configs()
     ]
-    rows = study.rows(engine.reports(configs))
+    try:
+        rows = study.rows(engine.reports(configs))
+    except (SweepPointError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     if args.json:
         print(json.dumps(rows, indent=2))
     else:
@@ -765,6 +823,29 @@ def _cmd_study(args: argparse.Namespace) -> int:
             print(json.dumps(entries, indent=2))
         else:
             print(format_records(entries, title="built-in studies"))
+        return 0
+
+    if args.study_command == "salvage":
+        try:
+            # recover=True: a corrupt manifest is exactly what salvage is
+            # for (it is quarantined and rebuilt from the journal).
+            workspace = Workspace(args.workspace, create=False, recover=True)
+        except WorkspaceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        report = workspace.salvage()
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        elif report.clean:
+            print(f"{workspace.root}: clean (nothing to repair)")
+        else:
+            print(f"salvaged {workspace.root}:")
+            print(f"  journal records replayed : {report.journal_replayed}")
+            print(f"  corrupt files quarantined: {len(report.quarantined)}")
+            for path in report.quarantined:
+                print(f"    {path}")
+            print(f"  dangling records dropped : {report.dropped_records}")
+            print(f"  orphaned rows reattached : {report.reattached}")
         return 0
 
     try:
@@ -831,14 +912,40 @@ def _cmd_study(args: argparse.Namespace) -> int:
             state = f"FAILED: {result.error}"
         print(f"  [{done}/{total}] {result.point.point_id}: {state}")
 
-    result = workspace.run_study(
-        study,
-        resume=args.resume and not args.fresh,
-        max_workers=args.workers,
-        executor=args.executor,
-        progress=progress,
-        max_points=args.max_points,
-    )
+    retry = _retry_policy_from_args(args)
+    if retry is not None:
+        study = study.with_retry(retry)
+    try:
+        result = workspace.run_study(
+            study,
+            resume=args.resume and not args.fresh,
+            max_workers=args.workers,
+            executor=args.executor,
+            progress=progress,
+            max_points=args.max_points,
+        )
+    except KeyboardInterrupt:
+        # Completed rows were flushed by run_study before the interrupt
+        # propagated: the workspace is resumable, say so instead of dying
+        # with a traceback.  130 = 128 + SIGINT, the conventional code.
+        print(
+            f"\ninterrupted: completed rows are stored in {workspace.root}; "
+            f"resume with `repro study run {study.name} "
+            f"--workspace {workspace.root} --resume`",
+            file=sys.stderr,
+        )
+        return 130
+    except SweepPointError as error:
+        # --on-error raise: the failing point aborted the run.  Rows
+        # completed before it are stored, so a resume retries only the rest.
+        print(f"error: {error}", file=sys.stderr)
+        print(
+            f"(completed rows are stored in {workspace.root}; resume with "
+            f"`repro study run {study.name} --workspace {workspace.root}` "
+            "after fixing the failure)",
+            file=sys.stderr,
+        )
+        return 1
     summary = result.summary()
     summary["workspace"] = str(workspace.root)
     if args.json:
@@ -1022,6 +1129,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (ConfigError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Commands with resumable state (study run) catch this themselves
+        # with a richer hint; everything else exits 130 without a traceback.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe: not an error.
         return 0

@@ -164,6 +164,15 @@ class FlowConfig:
         checked and unchecked runs never share cache entries.
     label:
         Free-form tag carried into reports (sweep annotations).
+    retries / timeout_s / on_error:
+        Per-point execution policy consumed by the sweep engine: extra
+        attempts after a failure, a wall-clock budget per attempt, and the
+        disposition of a point whose attempts are exhausted (``record`` /
+        ``skip`` / ``raise``).  These are **execution** fields, not semantic
+        ones: they say how hard to try, never what to compute, so they are
+        excluded from :meth:`content_hash` (see :meth:`semantic_dict`) --
+        a retried run shares cache entries and workspace rows with a plain
+        one.  ``None`` defers to the engine/study default.
     """
 
     latency: int
@@ -185,6 +194,9 @@ class FlowConfig:
     check: bool = False
     check_level: Optional[str] = None
     label: Optional[str] = None
+    retries: Optional[int] = None
+    timeout_s: Optional[float] = None
+    on_error: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "mode", FlowMode.coerce(self.mode))
@@ -239,6 +251,31 @@ class FlowConfig:
                     "check_level='netlist' requires emit=True (there is no "
                     "emitted design to check otherwise)"
                 )
+        if self.retries is not None and (
+            not isinstance(self.retries, int)
+            or isinstance(self.retries, bool)
+            or self.retries < 0
+        ):
+            raise ConfigError(
+                f"retries must be a non-negative integer, got {self.retries!r}"
+            )
+        if self.timeout_s is not None and not (
+            isinstance(self.timeout_s, (int, float))
+            and not isinstance(self.timeout_s, bool)
+            and self.timeout_s > 0
+        ):
+            raise ConfigError(
+                f"timeout_s must be a positive number, got {self.timeout_s!r}"
+            )
+        if self.on_error is not None and self.on_error not in (
+            "record",
+            "skip",
+            "raise",
+        ):
+            raise ConfigError(
+                "on_error must be 'record', 'skip' or 'raise', got "
+                f"{self.on_error!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derived views
@@ -305,6 +342,24 @@ class FlowConfig:
             raise ConfigError("FlowConfig dictionary is missing 'latency'")
         return cls(**data)
 
+    #: Fields that steer *how* a point executes (retry/timeout policy), not
+    #: *what* it computes.  Excluded from the semantic view and the content
+    #: hash so execution-policy changes never invalidate caches or stored
+    #: workspace rows.
+    EXECUTION_FIELDS = ("retries", "timeout_s", "on_error")
+
+    def semantic_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` minus the execution-policy fields.
+
+        This is the identity of the *result*: the workspace stores and
+        compares this view, and :meth:`content_hash` digests it, so two
+        configs differing only in retry policy are the same experiment.
+        """
+        data = self.to_dict()
+        for name in self.EXECUTION_FIELDS:
+            data.pop(name, None)
+        return data
+
     def to_json(self, **dumps_kwargs: Any) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
 
@@ -322,10 +377,16 @@ class FlowConfig:
         result cache, the sweep engine and every report row consult the hash
         repeatedly, so re-serializing the whole config to JSON on each lookup
         was measurable overhead at sweep scale.
+
+        The digest covers :meth:`semantic_dict`, not the full dictionary:
+        execution-policy fields (``retries``/``timeout_s``/``on_error``)
+        change how stubbornly a point runs, never its result, so they must
+        not split the cache.
         """
         cached = getattr(self, "_content_hash", None)
         if cached is None:
-            cached = hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+            semantic = json.dumps(self.semantic_dict(), sort_keys=True)
+            cached = hashlib.sha256(semantic.encode("utf-8")).hexdigest()
             object.__setattr__(self, "_content_hash", cached)
         return cached
 

@@ -23,8 +23,10 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from .. import faults
 from ..ir.spec import Specification
 from ..techlib.library import TechnologyLibrary
+from . import resilience
 from .artifacts import PassRecord, RunArtifact
 from .cache import ResultCache
 from .config import FlowConfig, specification_fingerprint
@@ -160,9 +162,14 @@ class Pipeline:
         if specification is not None:
             artifact.working_specification = specification
         for name, pass_fn in self.passes:
+            # Chaos hook + liveness: the fault site lets the chaos suite
+            # break any pass by name; the heartbeat afterwards is what the
+            # sweep watchdog reads to tell a hung pass from a slow one.
+            faults.site("pipeline.pass", key=name)
             started = time.perf_counter()
             pass_fn(artifact)
             artifact.passes.append(PassRecord(name, time.perf_counter() - started))
+            resilience.heartbeat()
             if name == stop_after:
                 break
 

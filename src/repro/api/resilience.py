@@ -1,0 +1,265 @@
+"""Retry policy, runtime error codes and heartbeats for fault-tolerant runs.
+
+This module is the policy half of the resilience layer: the mechanism lives
+in :mod:`repro.api.sweep` (retry/timeout/watchdog loop) and
+:mod:`repro.api.workspace` (journal, quarantine, salvage).  Three things are
+defined here:
+
+* :class:`RetryPolicy` -- how many attempts a point gets, how long to back
+  off between them (exponential with a **deterministic** jitter derived from
+  the point key, so reruns reproduce byte-identical schedules), the per-point
+  wall-clock timeout, and what to do when attempts are exhausted
+  (``on_error`` = ``record`` / ``skip`` / ``raise``).
+
+* The ``RUN0xx`` error-code registry -- stable codes for runtime failures,
+  mirroring :data:`repro.check.diagnostics.CODE_REGISTRY`'s role for IR
+  invariants.  Failed points become structured error rows carrying one of
+  these codes plus the exception chain and the attempt history; the codes
+  are part of the workspace row contract, so they must never be renumbered.
+
+* Worker heartbeats -- :func:`heartbeat` is called by the pipeline after
+  each pass; the sweep watchdog reads :func:`last_heartbeat` across threads
+  to distinguish a *hung* point (heartbeat stale) from a merely *slow* one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "RUN_CODE_REGISTRY",
+    "AttemptRecord",
+    "RetryPolicy",
+    "build_error_row",
+    "clear_heartbeat",
+    "exception_chain",
+    "heartbeat",
+    "last_heartbeat",
+    "run_error_title",
+]
+
+#: code -> one-line title.  Stable namespace: append, never renumber.
+RUN_CODE_REGISTRY: Dict[str, str] = {
+    "RUN001": "point raised an exception",
+    "RUN002": "point exceeded its wall-clock timeout",
+    "RUN003": "worker process died (pool broken or worker killed)",
+    "RUN004": "worker heartbeat lost (hang detected)",
+    "RUN005": "row persistence failed (workspace store error)",
+}
+
+
+def run_error_title(code: str) -> str:
+    """Title of a registered ``RUN0xx`` code; raises on unknown codes.
+
+    Mirrors :func:`repro.check.diagnostics.diagnostic`'s registry gate: a
+    typo'd code fails loudly instead of minting a new namespace entry.
+    """
+    try:
+        return RUN_CODE_REGISTRY[code]
+    except KeyError:
+        raise ValueError(f"unregistered runtime error code {code!r}") from None
+
+
+#: The accepted ``on_error`` dispositions, in CLI spelling.
+ON_ERROR_CHOICES: Tuple[str, ...] = ("record", "skip", "raise")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a sweep treats a failing or overrunning point.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per point (1 = no retry).
+    backoff_s / backoff_factor:
+        Delay before attempt *n* (n >= 2) is
+        ``backoff_s * backoff_factor**(n - 2)`` plus jitter.
+    jitter_s:
+        Upper bound of the jitter term.  The jitter itself is derived from
+        the point key and the attempt number (:meth:`delay_for`), not from a
+        live RNG -- identical reruns back off identically.
+    timeout_s:
+        Per-point wall-clock budget, enforced for the thread *and* process
+        executors.  ``None`` disables the timeout.
+    heartbeat_timeout_s:
+        Maximum heartbeat staleness before a point counts as *hung* (RUN004
+        rather than RUN002).  Defaults to ``timeout_s`` when unset.
+    on_error:
+        Disposition of a point whose attempts are exhausted: ``record``
+        (structured error row, sweep continues -- the default), ``skip``
+        (drop the point silently, sweep continues), ``raise`` (abort the
+        sweep with :class:`repro.api.sweep.SweepPointError`).
+    """
+
+    max_attempts: int = 1
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter_s: float = 0.05
+    timeout_s: Optional[float] = None
+    heartbeat_timeout_s: Optional[float] = None
+    on_error: str = "record"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_s < 0 or self.jitter_s < 0:
+            raise ValueError("backoff_s and jitter_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.heartbeat_timeout_s is not None and self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be positive (or None)")
+        if self.on_error not in ON_ERROR_CHOICES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_CHOICES}, got {self.on_error!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def retries_enabled(self) -> bool:
+        return self.max_attempts > 1
+
+    @property
+    def effective_heartbeat_timeout_s(self) -> Optional[float]:
+        if self.heartbeat_timeout_s is not None:
+            return self.heartbeat_timeout_s
+        return self.timeout_s
+
+    def delay_for(self, key: str, attempt: int) -> float:
+        """Backoff delay before *attempt* (2-based) of the point named *key*.
+
+        Deterministic: the jitter term is a hash of ``(key, attempt)``
+        scaled into ``[0, jitter_s)``, so a rerun of the same sweep sleeps
+        the same amounts in the same places.
+        """
+        if attempt < 2:
+            return 0.0
+        base = self.backoff_s * (self.backoff_factor ** (attempt - 2))
+        if self.jitter_s <= 0:
+            return base
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base + self.jitter_s * fraction
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_s": self.backoff_s,
+            "backoff_factor": self.backoff_factor,
+            "jitter_s": self.jitter_s,
+            "timeout_s": self.timeout_s,
+            "heartbeat_timeout_s": self.heartbeat_timeout_s,
+            "on_error": self.on_error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RetryPolicy":
+        return cls(**data)
+
+    def replace(self, **overrides: Any) -> "RetryPolicy":
+        merged = self.to_dict()
+        merged.update(overrides)
+        return RetryPolicy.from_dict(merged)
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One try of one point: what happened and how long it took."""
+
+    attempt: int
+    error_code: Optional[str] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attempt": self.attempt,
+            "error_code": self.error_code,
+            "error": self.error,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AttemptRecord":
+        return cls(**data)
+
+
+def exception_chain(error: BaseException, limit: int = 8) -> List[str]:
+    """The ``__cause__``/``__context__`` chain as compact one-liners."""
+    chain: List[str] = []
+    seen = set()
+    current: Optional[BaseException] = error
+    while current is not None and len(chain) < limit and id(current) not in seen:
+        seen.add(id(current))
+        chain.append(f"{type(current).__name__}: {current}")
+        current = current.__cause__ or current.__context__
+    return chain
+
+
+def build_error_row(
+    point_id: str,
+    error_code: str,
+    error: str,
+    attempts: List[AttemptRecord],
+    chain: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """The structured error-row record stored in the workspace manifest.
+
+    Not content-addressed (errors are transient state, not results); lives
+    under the manifest entry's ``errors`` key and is cleared when the point
+    later succeeds.
+    """
+    return {
+        "point_id": point_id,
+        "error_code": error_code,
+        "error_title": run_error_title(error_code),
+        "error": error,
+        "error_chain": list(chain or []),
+        "attempts": [record.to_dict() for record in attempts],
+    }
+
+
+def format_exception(error: BaseException) -> str:
+    """Compact ``Type: message`` rendering used in outcomes and rows."""
+    return f"{type(error).__name__}: {error}"
+
+
+def format_traceback(error: BaseException, limit: int = 20) -> str:
+    """Trimmed traceback text for error rows (never shown as a raw crash)."""
+    return "".join(
+        traceback.format_exception(type(error), error, error.__traceback__, limit=limit)
+    ).rstrip()
+
+
+# ----------------------------------------------------------------------
+# Heartbeats: pipeline workers report liveness; the sweep watchdog reads it
+# cross-thread to tell a hung point from a slow one.
+
+_HEARTBEATS: Dict[int, float] = {}
+_HEARTBEATS_LOCK = threading.Lock()
+
+
+def heartbeat() -> None:
+    """Record 'this thread is making progress' (called between passes)."""
+    with _HEARTBEATS_LOCK:
+        _HEARTBEATS[threading.get_ident()] = time.monotonic()
+
+
+def last_heartbeat(thread_id: int) -> Optional[float]:
+    """Monotonic timestamp of *thread_id*'s last heartbeat, or ``None``."""
+    with _HEARTBEATS_LOCK:
+        return _HEARTBEATS.get(thread_id)
+
+
+def clear_heartbeat(thread_id: int) -> None:
+    """Forget *thread_id*'s heartbeat (called when its point finishes)."""
+    with _HEARTBEATS_LOCK:
+        _HEARTBEATS.pop(thread_id, None)

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from ..hls.flow import FlowMode
 from .config import ConfigError, FlowConfig
+from .resilience import RetryPolicy
 
 __all__ = [
     "BUILTIN_STUDIES",
@@ -114,6 +115,12 @@ class Study:
         ``"table"`` pairs (conventional, fragmented) reports into the paper's
         table columns, ``"fig4"`` into sweep rows, ``"raw"`` returns the
         reports as-is.
+    retry:
+        Default :class:`~repro.api.resilience.RetryPolicy` of every point
+        when the study runs through :meth:`Workspace.run_study` without an
+        explicit engine.  Execution policy, not semantics: it never changes
+        point ids or stored rows.  Per-point ``retries``/``timeout_s``/
+        ``on_error`` config fields still override it.
 
     Studies are immutable: every expansion method returns a new study, so a
     built-in declaration can be safely specialized (``study.grid(...)``)
@@ -121,7 +128,7 @@ class Study:
     """
 
     __slots__ = ("name", "description", "base", "stop_after", "row_kind",
-                 "_expansions", "_points")
+                 "retry", "_expansions", "_points")
 
     def __init__(
         self,
@@ -130,6 +137,7 @@ class Study:
         description: str = "",
         stop_after: Optional[str] = None,
         row_kind: str = "raw",
+        retry: Optional[RetryPolicy] = None,
         _expansions: Tuple[Tuple[str, Any], ...] = (),
     ) -> None:
         if not name:
@@ -138,11 +146,16 @@ class Study:
             raise StudyError(
                 f"unknown row kind {row_kind!r}: expected one of {ROW_KINDS}"
             )
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise StudyError(
+                f"retry must be a RetryPolicy, got {type(retry).__name__}"
+            )
         self.name = name
         self.description = description
         self.base = dict(base or {})
         self.stop_after = stop_after
         self.row_kind = row_kind
+        self.retry = retry
         self._expansions = _expansions
         self._points: Optional[List[StudyPoint]] = None
 
@@ -156,7 +169,24 @@ class Study:
             description=self.description,
             stop_after=self.stop_after,
             row_kind=self.row_kind,
+            retry=self.retry,
             _expansions=self._expansions + (expansion,),
+        )
+
+    def with_retry(self, retry: Optional[RetryPolicy]) -> "Study":
+        """A copy of this study with a different default retry policy.
+
+        Point ids are untouched (the policy is execution state, not config
+        semantics), so stored rows keep resolving.
+        """
+        return Study(
+            self.name,
+            base=self.base,
+            description=self.description,
+            stop_after=self.stop_after,
+            row_kind=self.row_kind,
+            retry=retry,
+            _expansions=self._expansions,
         )
 
     def grid(self, **axes: Iterable[Any]) -> "Study":

@@ -22,8 +22,28 @@ optional per-outcome progress callback and cooperative cancellation
 back with ``cancelled=True``).  The classic batch :meth:`SweepEngine.run` is
 kept as a shim over ``submit``: it drains the stream and returns outcomes in
 the order the configs were given, whatever order the workers finished in, so
-batch sweeps stay deterministic.  Per-config failures are captured in the
-outcome (``error``) instead of aborting the whole sweep.
+batch sweeps stay deterministic.
+
+Fault isolation
+---------------
+
+Per-config failures never abort the sweep by default: each point runs under
+a :class:`~repro.api.resilience.RetryPolicy` (merged from the engine default
+and the config's ``retries``/``timeout_s``/``on_error`` execution fields)
+and a failing point is retried with deterministic exponential backoff, then
+surfaced as a structured outcome carrying a stable ``RUN0xx`` error code,
+the exception chain and the per-attempt history.  The policy's wall-clock
+timeout is enforced for every executor: serial/thread attempts run on a
+watchdog-supervised daemon thread (heartbeat staleness distinguishes a
+*hung* point, ``RUN004``, from a merely slow one, ``RUN002``), while the
+process executor tracks per-future deadlines and kills the pool's workers
+when one expires -- the innocent bystanders of the rebuilt pool are
+resubmitted without consuming an attempt.  A worker process dying for any
+other reason (OOM kill, SIGKILL, crash) breaks the pool; every unfinished
+point is charged one ``RUN003`` attempt (the pool cannot say which task
+killed the worker), the pool is rebuilt, and points with attempts remaining
+are retried on fresh workers.  ``on_error="raise"`` converts the first
+exhausted point into a :class:`SweepPointError` that aborts the stream.
 """
 
 from __future__ import annotations
@@ -33,11 +53,13 @@ import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
@@ -46,15 +68,23 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Tuple,
 )
 
+from .. import faults
 from ..ir.spec import Specification
+from . import resilience
 from .artifacts import RunArtifact, build_timing_report
 from .config import FlowConfig
 from .passes import DEFAULT_PASSES
 from .pipeline import Pipeline
+from .resilience import AttemptRecord, RetryPolicy
 
 _EXECUTORS = ("serial", "thread", "process")
+
+#: Poll resolution of the watchdog loops (seconds).  Bounds how late a
+#: timeout can fire; small enough to be invisible next to real pipeline runs.
+_WATCHDOG_TICK_S = 0.02
 
 
 @dataclass
@@ -63,7 +93,10 @@ class SweepOutcome:
 
     ``cancelled`` marks points that never ran because the sweep was
     cooperatively cancelled; they carry neither a report nor an error and
-    count as not-``ok``.
+    count as not-``ok``.  Failed points carry a stable ``error_code`` from
+    :data:`repro.api.resilience.RUN_CODE_REGISTRY`, the compact exception
+    chain, and one :class:`~repro.api.resilience.AttemptRecord` per try
+    (successful final attempts included).
     """
 
     index: int
@@ -71,6 +104,9 @@ class SweepOutcome:
     report: Optional[Dict[str, Any]] = None
     artifact: Optional[RunArtifact] = None
     error: Optional[str] = None
+    error_code: Optional[str] = None
+    error_chain: List[str] = field(default_factory=list)
+    attempts: List[AttemptRecord] = field(default_factory=list)
     elapsed_s: float = 0.0
     cancelled: bool = False
 
@@ -78,15 +114,55 @@ class SweepOutcome:
     def ok(self) -> bool:
         return self.error is None and not self.cancelled
 
+    @property
+    def attempts_made(self) -> int:
+        return len(self.attempts)
+
+
+class SweepPointError(RuntimeError):
+    """Raised (``on_error="raise"``) when a point exhausts its attempts.
+
+    Carries the failed :class:`SweepOutcome`; the stream is cancelled before
+    the raise, so in-flight points finish but nothing new starts.
+    """
+
+    def __init__(self, outcome: SweepOutcome) -> None:
+        config = outcome.config
+        super().__init__(
+            f"sweep point #{outcome.index} "
+            f"({config.workload or 'inline spec'}, latency {config.latency}) "
+            f"failed [{outcome.error_code}] after "
+            f"{outcome.attempts_made} attempt(s): {outcome.error}"
+        )
+        self.outcome = outcome
+
+
+class _AttemptTimeout(Exception):
+    """Internal: the watchdog expired an attempt's wall-clock budget."""
+
+
+class _AttemptHang(Exception):
+    """Internal: the watchdog saw a stale heartbeat (hung point)."""
+
 
 #: Progress callback invoked once per completed outcome, in completion order.
 ProgressFn = Callable[[SweepOutcome], None]
+
+
+def _point_key(index: int, config: FlowConfig) -> str:
+    """Stable per-point key: fault-site key and backoff-jitter seed."""
+    return (
+        f"{index}:{config.workload or 'spec'}"
+        f":l{config.latency}:{config.mode.value}"
+    )
 
 
 def _run_config_in_worker(
     config_dict: Dict[str, Any],
     cache_dir: Optional[str] = None,
     stop_after: Optional[str] = None,
+    fault_plan: Optional[Dict[str, Any]] = None,
+    point_key: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Process-pool entry point: rebuild the config, run, return the report.
 
@@ -95,18 +171,49 @@ def _run_config_in_worker(
     The elapsed time is measured here, in the worker, so it reflects the
     point's actual run time rather than how long the parent waited on the
     future.
+
+    ``fault_plan`` arms the parent's fault plan inside the worker (chaos
+    runs only); it is shipped exclusively with a point's *first* attempt, so
+    a ``kill``-kind rule fires once instead of re-arming in every fresh
+    worker a retry lands on.
     """
     from .cache import ResultCache
 
     config = FlowConfig.from_dict(config_dict)
-    cache = ResultCache(directory=cache_dir) if cache_dir is not None else None
-    started = time.perf_counter()
-    artifact = Pipeline(cache=cache).run(config, stop_after=stop_after)
-    report = artifact.report
-    if report is None and stop_after is not None:
-        report = build_timing_report(artifact)
-    assert report is not None
-    return {"report": report, "elapsed_s": time.perf_counter() - started}
+    if fault_plan is not None:
+        faults.install(faults.FaultPlan.from_dict(fault_plan))
+    else:
+        # Fork-started workers inherit the parent's installed plan as a
+        # module global, counters rewound to the fork point -- a retry
+        # landing on a fresh worker would re-arm and re-fire a kill-kind
+        # rule forever.  Retries run unarmed by contract: clear it.
+        faults.uninstall()
+    try:
+        faults.site("sweep.point", key=point_key)
+        cache = ResultCache(directory=cache_dir) if cache_dir is not None else None
+        started = time.perf_counter()
+        artifact = Pipeline(cache=cache).run(config, stop_after=stop_after)
+        report = artifact.report
+        if report is None and stop_after is not None:
+            report = build_timing_report(artifact)
+        assert report is not None
+        return {"report": report, "elapsed_s": time.perf_counter() - started}
+    finally:
+        faults.uninstall()
+
+
+@dataclass
+class _ProcessPointState:
+    """Book-keeping of one point under the process executor's retry loop."""
+
+    index: int
+    config: FlowConfig
+    policy: RetryPolicy
+    key: str
+    attempt: int = 0
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    ready_at: float = 0.0
+    started_total: float = 0.0
 
 
 class SweepRun:
@@ -166,6 +273,11 @@ class SweepRun:
 
         The stream is shared: repeated calls continue where the previous
         consumer stopped, and :meth:`results` drains whatever is left.
+
+        A failed outcome whose merged policy says ``on_error="raise"``
+        aborts the stream: the outcome is yielded (and reported to the
+        progress callback) first, then :class:`SweepPointError` is raised
+        and the remaining points are cancelled.
         """
         if self._stream is None:
             self._stream = self._make_stream()
@@ -176,6 +288,14 @@ class SweepRun:
                 except StopIteration:
                     return
                 yield outcome
+                if (
+                    outcome.error is not None
+                    and not outcome.cancelled
+                    and self._engine.policy_for(outcome.config).on_error == "raise"
+                ):
+                    self.cancel()
+                    self._stream.close()
+                    raise SweepPointError(outcome)
         except GeneratorExit:
             # The consumer dropped this iterator: close the underlying
             # stream too (its finally blocks cancel queued work and shut the
@@ -231,8 +351,11 @@ class SweepRun:
                 yield self._emit(self._cancelled_outcome(index))
                 continue
             yield self._emit(
-                self._engine._run_one(
-                    index, self._configs[index], self._specifications
+                self._engine._run_point(
+                    index,
+                    self._configs[index],
+                    self._specifications,
+                    self._cancel_event,
                 )
             )
 
@@ -240,8 +363,8 @@ class SweepRun:
         """Thread-pool task: honour cancellation at the last moment."""
         if self._cancel_event.is_set():
             return self._cancelled_outcome(index)
-        return self._engine._run_one(
-            index, self._configs[index], self._specifications
+        return self._engine._run_point(
+            index, self._configs[index], self._specifications, self._cancel_event
         )
 
     def _stream_threads(self, workers: int) -> Iterator[SweepOutcome]:
@@ -251,10 +374,24 @@ class SweepRun:
                     pool.submit(self._guarded_run_one, index)
                     for index in range(len(self._configs))
                 }
+                interrupted = False
                 while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    try:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    except KeyboardInterrupt:
+                        # Ctrl-C flush: cancel queued points (the guard turns
+                        # them into immediate cancelled returns), let in-flight
+                        # points finish, yield everything so the consumer can
+                        # persist it, then re-raise.  A second Ctrl-C during
+                        # the drain aborts it.
+                        self._cancel_requested = True
+                        self._cancel_event.set()
+                        done, pending = wait(pending)
+                        interrupted = True
                     for future in done:
                         yield self._emit(future.result())
+                    if interrupted:
+                        raise KeyboardInterrupt
             finally:
                 # Reached on normal exhaustion (harmless: nothing queued) and
                 # on GeneratorExit when the consumer drops the iterator:
@@ -263,59 +400,277 @@ class SweepRun:
                 # them into immediate cancelled returns instead.
                 self._cancel_event.set()
 
+    # ------------------------------------------------------------------
+    # Process executor: retry loop with deadlines and pool-rebuild recovery.
+    # ------------------------------------------------------------------
     def _stream_process(self) -> Iterator[SweepOutcome]:
         engine = self._engine
-        workers = engine._effective_workers(len(self._configs))
+        configs = self._configs
+        workers = engine._effective_workers(len(configs))
         cache = engine.pipeline.cache
         cache_dir = (
             str(cache.directory) if cache is not None and cache.directory else None
         )
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            future_index = {
-                pool.submit(
-                    _run_config_in_worker,
-                    config.to_dict(),
-                    cache_dir,
-                    engine.stop_after,
-                ): index
-                for index, config in enumerate(self._configs)
-            }
-            pending = set(future_index)
-            try:
-                while pending:
-                    if self._cancel_event.is_set():
-                        # Workers cannot see the event; revoke whatever the
-                        # pool has not started yet.  Futures already running
-                        # finish.
-                        for future in pending:
-                            future.cancel()
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        index = future_index[future]
-                        if future.cancelled():
+        plan = faults.active_plan()
+        plan_dict = plan.to_dict() if plan is not None else None
+
+        states: Dict[int, _ProcessPointState] = {
+            index: _ProcessPointState(
+                index=index,
+                config=config,
+                policy=engine.policy_for(config),
+                key=_point_key(index, config),
+                started_total=time.perf_counter(),
+            )
+            for index, config in enumerate(configs)
+        }
+        pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=workers
+        )
+        future_index: Dict[Any, int] = {}
+        run_started: Dict[int, float] = {}  # index -> monotonic start-of-run
+        backoff: List[int] = []  # indices waiting out their backoff delay
+
+        def submit(index: int) -> None:
+            state = states[index]
+            state.attempt += 1
+            ship = plan_dict if (plan_dict is not None and state.attempt == 1) else None
+            future = pool.submit(
+                _run_config_in_worker,
+                state.config.to_dict(),
+                cache_dir,
+                engine.stop_after,
+                ship,
+                state.key,
+            )
+            future_index[future] = index
+
+        def final_error(state: _ProcessPointState, code: str, message: str) -> SweepOutcome:
+            return SweepOutcome(
+                index=state.index,
+                config=state.config,
+                error=message,
+                error_code=code,
+                error_chain=[message],
+                attempts=list(state.attempts),
+                elapsed_s=time.perf_counter() - state.started_total,
+            )
+
+        def record_failure(
+            state: _ProcessPointState, code: str, message: str
+        ) -> Optional[SweepOutcome]:
+            """Charge one failed attempt; requeue or finalize the point."""
+            state.attempts.append(
+                AttemptRecord(
+                    attempt=state.attempt,
+                    error_code=code,
+                    error=message,
+                    elapsed_s=time.monotonic() - run_started.get(state.index, time.monotonic()),
+                )
+            )
+            if state.attempt < state.policy.max_attempts:
+                state.ready_at = time.monotonic() + state.policy.delay_for(
+                    state.key, state.attempt + 1
+                )
+                backoff.append(state.index)
+                return None
+            return final_error(state, code, message)
+
+        def rebuild_pool() -> None:
+            nonlocal pool
+            if pool is not None:
+                pool.shutdown(wait=False)
+            pool = ProcessPoolExecutor(max_workers=workers)
+            run_started.clear()
+
+        try:
+            for index in range(len(configs)):
+                submit(index)
+            while future_index or backoff:
+                now = time.monotonic()
+                if self._cancel_event.is_set():
+                    # Workers cannot see the event; revoke whatever the pool
+                    # has not started yet (running futures finish normally),
+                    # and drop every backoff-parked retry.
+                    for future, index in list(future_index.items()):
+                        if future.cancel():
+                            del future_index[future]
                             yield self._emit(self._cancelled_outcome(index))
-                            continue
+                    for index in backoff:
+                        yield self._emit(self._cancelled_outcome(index))
+                    backoff = []
+                    if not future_index:
+                        break
+                # Resubmit points whose backoff delay has elapsed.
+                for index in list(backoff):
+                    if states[index].ready_at <= now:
+                        backoff.remove(index)
+                        submit(index)
+                if not future_index:
+                    # Everything is parked on backoff; sleep until the next
+                    # retry comes due (tick-bounded so cancel stays live).
+                    due = min(states[i].ready_at for i in backoff)
+                    time.sleep(max(0.0, min(due - now, _WATCHDOG_TICK_S)))
+                    continue
+
+                try:
+                    done, _ = wait(
+                        set(future_index),
+                        timeout=_WATCHDOG_TICK_S,
+                        return_when=FIRST_COMPLETED,
+                    )
+                except KeyboardInterrupt:
+                    # Ctrl-C flush, process flavour: revoke what the pool has
+                    # not started, wait out the in-flight futures, yield their
+                    # results (no retries during a flush), then re-raise.
+                    self._cancel_requested = True
+                    self._cancel_event.set()
+                    for future, index in list(future_index.items()):
+                        if future.cancel():
+                            del future_index[future]
+                            yield self._emit(self._cancelled_outcome(index))
+                    for index in backoff:
+                        yield self._emit(self._cancelled_outcome(index))
+                    backoff = []
+                    done, _ = wait(set(future_index))
+                    for future in done:
+                        index = future_index.pop(future)
+                        state = states[index]
                         try:
                             result = future.result()
-                            outcome = SweepOutcome(
+                        except CancelledError:
+                            yield self._emit(self._cancelled_outcome(index))
+                        except Exception as error:  # noqa: BLE001
+                            yield self._emit(
+                                final_error(
+                                    state,
+                                    "RUN001",
+                                    resilience.format_exception(error),
+                                )
+                            )
+                        else:
+                            state.attempts.append(
+                                AttemptRecord(
+                                    attempt=state.attempt,
+                                    elapsed_s=result["elapsed_s"],
+                                )
+                            )
+                            yield self._emit(
+                                SweepOutcome(
+                                    index=index,
+                                    config=state.config,
+                                    report=result["report"],
+                                    attempts=list(state.attempts),
+                                    elapsed_s=result["elapsed_s"],
+                                )
+                            )
+                    raise KeyboardInterrupt from None
+                now = time.monotonic()
+                pool_broken = False
+                for future in done:
+                    index = future_index.pop(future)
+                    state = states[index]
+                    try:
+                        result = future.result()
+                    except CancelledError:
+                        yield self._emit(self._cancelled_outcome(index))
+                    except BrokenExecutor:
+                        # A worker process died.  The pool cannot attribute
+                        # the death to a task, so *every* unfinished point is
+                        # charged one RUN003 attempt below.
+                        pool_broken = True
+                        outcome = record_failure(
+                            state,
+                            "RUN003",
+                            "worker process died (pool broken or worker killed)",
+                        )
+                        if outcome is not None:
+                            yield self._emit(outcome)
+                    except Exception as error:  # noqa: BLE001 - per-point isolation
+                        outcome = record_failure(
+                            state, "RUN001", resilience.format_exception(error)
+                        )
+                        if outcome is not None:
+                            outcome.error_chain = resilience.exception_chain(error)
+                            yield self._emit(outcome)
+                    else:
+                        run_elapsed = result["elapsed_s"]
+                        state.attempts.append(
+                            AttemptRecord(attempt=state.attempt, elapsed_s=run_elapsed)
+                        )
+                        yield self._emit(
+                            SweepOutcome(
                                 index=index,
-                                config=self._configs[index],
+                                config=state.config,
                                 report=result["report"],
-                                elapsed_s=result["elapsed_s"],
+                                attempts=list(state.attempts),
+                                elapsed_s=run_elapsed,
                             )
-                        except Exception as error:  # noqa: BLE001 - per-point isolation
-                            outcome = SweepOutcome(
-                                index=index,
-                                config=self._configs[index],
-                                error=f"{type(error).__name__}: {error}",
-                            )
+                        )
+                if pool_broken:
+                    # Everything still in flight is doomed: charge RUN003,
+                    # rebuild the pool, retry what has attempts left.
+                    doomed = list(future_index.items())
+                    future_index.clear()
+                    for _future, index in doomed:
+                        outcome = record_failure(
+                            states[index],
+                            "RUN003",
+                            "worker process died (pool broken or worker killed)",
+                        )
+                        if outcome is not None:
+                            yield self._emit(outcome)
+                    rebuild_pool()
+                    continue
+
+                # Per-future wall-clock deadlines.  The clock starts when the
+                # future is observed *running* (not when queued), so points
+                # waiting behind a slow sweep never time out spuriously.
+                victim: Optional[int] = None
+                for future, index in future_index.items():
+                    state = states[index]
+                    if state.policy.timeout_s is None:
+                        continue
+                    started = run_started.get(index)
+                    if started is None:
+                        if future.running():
+                            run_started[index] = now
+                        continue
+                    if now - started > state.policy.timeout_s:
+                        victim = index
+                        break
+                if victim is not None:
+                    # A worker is stuck past its budget.  Processes cannot be
+                    # interrupted cooperatively, so kill the pool's workers:
+                    # the victim is charged a RUN002 attempt; innocent
+                    # bystanders are resubmitted with their attempt refunded.
+                    victim_state = states[victim]
+                    assert pool is not None
+                    for process in list(getattr(pool, "_processes", {}).values()):
+                        process.kill()
+                    pool.shutdown(wait=False)
+                    survivors = [i for i in future_index.values() if i != victim]
+                    future_index.clear()
+                    outcome = record_failure(
+                        victim_state,
+                        "RUN002",
+                        f"point exceeded its wall-clock timeout "
+                        f"({victim_state.policy.timeout_s:g}s)",
+                    )
+                    if outcome is not None:
                         yield self._emit(outcome)
-            finally:
-                # Dropped mid-stream: revoke queued work so the pool's
-                # shutdown does not run the rest of the sweep unobserved.
-                self._cancel_event.set()
-                for future in pending:
-                    future.cancel()
+                    rebuild_pool()
+                    for index in survivors:
+                        states[index].attempt -= 1  # not their fault
+                        submit(index)
+        finally:
+            # Dropped mid-stream: revoke queued work so the pool's shutdown
+            # does not run the rest of the sweep unobserved.
+            self._cancel_event.set()
+            for future in future_index:
+                future.cancel()
+            if pool is not None:
+                pool.shutdown(wait=False)
 
 
 class SweepEngine:
@@ -337,6 +692,12 @@ class SweepEngine:
         and outcome reports degrade to the timing-only rows of
         :func:`~repro.api.artifacts.build_timing_report` (identical keys and
         values for everything a timing sweep reads; no area columns).
+    retry:
+        Default :class:`~repro.api.resilience.RetryPolicy` for every point.
+        A config's ``retries``/``timeout_s``/``on_error`` execution fields
+        override the corresponding policy fields per point
+        (:meth:`policy_for`).  ``None`` means the stock policy: one attempt,
+        no timeout, failures recorded in the outcome.
     """
 
     def __init__(
@@ -345,6 +706,7 @@ class SweepEngine:
         max_workers: Optional[int] = None,
         executor: str = "serial",
         stop_after: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(
@@ -356,12 +718,30 @@ class SweepEngine:
         self.max_workers = max_workers
         self.executor = executor
         self.stop_after = stop_after
+        self.retry = retry
 
     # ------------------------------------------------------------------
     def _effective_workers(self, jobs: int) -> int:
         if self.max_workers is not None:
             return max(1, min(self.max_workers, jobs))
         return max(1, min(8, os.cpu_count() or 1, jobs))
+
+    def policy_for(self, config: FlowConfig) -> RetryPolicy:
+        """The merged retry policy of one point.
+
+        Starts from the engine default and overlays the config's execution
+        fields: ``retries`` extra attempts (``max_attempts = retries + 1``),
+        ``timeout_s``, ``on_error``.
+        """
+        policy = self.retry if self.retry is not None else RetryPolicy()
+        overrides: Dict[str, Any] = {}
+        if config.retries is not None:
+            overrides["max_attempts"] = config.retries + 1
+        if config.timeout_s is not None:
+            overrides["timeout_s"] = float(config.timeout_s)
+        if config.on_error is not None:
+            overrides["on_error"] = config.on_error
+        return policy.replace(**overrides) if overrides else policy
 
     # ------------------------------------------------------------------
     def submit(
@@ -428,35 +808,177 @@ class SweepEngine:
         return self.submit(configs, specifications).results()
 
     # ------------------------------------------------------------------
-    def _run_one(
+    # Serial/thread execution: retry loop around a watchdog-supervised
+    # attempt.
+    # ------------------------------------------------------------------
+    def _attempt_once(
+        self,
+        index: int,
+        config: FlowConfig,
+        spec: Optional[Specification],
+        key: str,
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[RunArtifact]]:
+        """One try of one point: fault site, pipeline run, report."""
+        faults.site("sweep.point", key=key)
+        artifact = self.pipeline.run(
+            config, specification=spec, stop_after=self.stop_after
+        )
+        report = artifact.report
+        if report is None and self.stop_after is not None:
+            report = build_timing_report(artifact)
+        return report, artifact
+
+    def _attempt_supervised(
+        self,
+        index: int,
+        config: FlowConfig,
+        spec: Optional[Specification],
+        key: str,
+        policy: RetryPolicy,
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[RunArtifact]]:
+        """Run one attempt under the wall-clock/heartbeat watchdog.
+
+        The attempt body runs on a fresh daemon thread; this thread joins it
+        in short slices, checking the body's heartbeat and the deadline.  On
+        expiry the body thread is *abandoned* (Python threads cannot be
+        killed) -- it keeps running to completion in the background, its
+        result discarded; the daemon flag keeps it from blocking process
+        exit.  Raises :class:`_AttemptTimeout` / :class:`_AttemptHang`.
+        """
+        box: Dict[str, Any] = {}
+        ready = threading.Event()
+
+        def runner() -> None:
+            resilience.heartbeat()
+            ready.set()
+            try:
+                box["value"] = self._attempt_once(index, config, spec, key)
+            except BaseException as error:  # noqa: BLE001 - crosses threads
+                box["error"] = error
+            finally:
+                resilience.clear_heartbeat(threading.get_ident())
+
+        thread = threading.Thread(
+            target=runner, daemon=True, name=f"sweep-attempt-{index}"
+        )
+        thread.start()
+        ready.wait()
+        assert thread.ident is not None
+        deadline = (
+            time.monotonic() + policy.timeout_s if policy.timeout_s is not None else None
+        )
+        heartbeat_limit = policy.effective_heartbeat_timeout_s
+        while thread.is_alive():
+            thread.join(_WATCHDOG_TICK_S)
+            if not thread.is_alive():
+                break
+            now = time.monotonic()
+            beat = resilience.last_heartbeat(thread.ident)
+            if (
+                heartbeat_limit is not None
+                and beat is not None
+                and now - beat > heartbeat_limit
+            ):
+                raise _AttemptHang(
+                    f"no heartbeat for {now - beat:.2f}s "
+                    f"(limit {heartbeat_limit:g}s); point presumed hung"
+                )
+            if deadline is not None and now >= deadline:
+                raise _AttemptTimeout(
+                    f"point exceeded its wall-clock timeout ({policy.timeout_s:g}s)"
+                )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    def _run_point(
         self,
         index: int,
         config: FlowConfig,
         specifications: Optional[Sequence[Optional[Specification]]],
+        cancel_event: Optional[threading.Event] = None,
     ) -> SweepOutcome:
+        """Retry loop of one point (serial and thread executors)."""
         spec = specifications[index] if specifications is not None else None
-        started = time.perf_counter()
-        try:
-            artifact = self.pipeline.run(
-                config, specification=spec, stop_after=self.stop_after
+        policy = self.policy_for(config)
+        key = _point_key(index, config)
+        supervised = (
+            policy.timeout_s is not None
+            or policy.heartbeat_timeout_s is not None
+        )
+        attempts: List[AttemptRecord] = []
+        started_total = time.perf_counter()
+        last_code = "RUN001"
+        last_message = "point never ran"
+        last_chain: List[str] = []
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                delay = policy.delay_for(key, attempt)
+                if delay > 0:
+                    if cancel_event is not None:
+                        cancel_event.wait(delay)
+                    else:
+                        time.sleep(delay)
+                if cancel_event is not None and cancel_event.is_set():
+                    # Cancelled while backing off: report what happened so
+                    # far instead of silently pretending the point never ran.
+                    break
+            attempt_started = time.perf_counter()
+            try:
+                if supervised:
+                    report, artifact = self._attempt_supervised(
+                        index, config, spec, key, policy
+                    )
+                else:
+                    report, artifact = self._attempt_once(index, config, spec, key)
+            except _AttemptTimeout as error:
+                last_code, last_message, last_chain = (
+                    "RUN002",
+                    str(error),
+                    [str(error)],
+                )
+            except _AttemptHang as error:
+                last_code, last_message, last_chain = (
+                    "RUN004",
+                    str(error),
+                    [str(error)],
+                )
+            except Exception as error:  # noqa: BLE001 - per-point isolation
+                last_code = "RUN001"
+                last_message = resilience.format_exception(error)
+                last_chain = resilience.exception_chain(error)
+            else:
+                attempts.append(
+                    AttemptRecord(
+                        attempt=attempt,
+                        elapsed_s=time.perf_counter() - attempt_started,
+                    )
+                )
+                return SweepOutcome(
+                    index=index,
+                    config=config,
+                    report=report,
+                    artifact=artifact,
+                    attempts=attempts,
+                    elapsed_s=time.perf_counter() - started_total,
+                )
+            attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    error_code=last_code,
+                    error=last_message,
+                    elapsed_s=time.perf_counter() - attempt_started,
+                )
             )
-            report = artifact.report
-            if report is None and self.stop_after is not None:
-                report = build_timing_report(artifact)
-            return SweepOutcome(
-                index=index,
-                config=config,
-                report=report,
-                artifact=artifact,
-                elapsed_s=time.perf_counter() - started,
-            )
-        except Exception as error:  # noqa: BLE001 - per-point isolation
-            return SweepOutcome(
-                index=index,
-                config=config,
-                error=f"{type(error).__name__}: {error}",
-                elapsed_s=time.perf_counter() - started,
-            )
+        return SweepOutcome(
+            index=index,
+            config=config,
+            error=last_message,
+            error_code=last_code,
+            error_chain=last_chain,
+            attempts=attempts,
+            elapsed_s=time.perf_counter() - started_total,
+        )
 
     # ------------------------------------------------------------------
     def reports(

@@ -4,14 +4,26 @@ A :class:`Workspace` is a project root on disk holding everything a
 :class:`~repro.api.study.Study` has ever computed:
 
 * ``manifest.json`` -- the index: schema versions plus, per study, the
-  ordered point-id list of its last run and the completed-point records
-  (each naming the content address of its row);
+  ordered point-id list of its last run, the completed-point records (each
+  naming the content address of its row) and the structured error rows of
+  points whose attempts were exhausted;
 * ``objects/<aa>/<hash>.json`` -- the **content-addressed artifact store**:
   one schema-versioned JSON row per completed point (point id, full config
   dictionary, metric report, provenance).  The filename is the SHA-256 of
   the canonical row payload, so identical results share storage, rows are
   tamper-evident (the address is re-checked on load) and a half-written
-  file can never alias a good one.
+  file can never alias a good one;
+* ``journal.jsonl`` -- an fsync'd **write-ahead journal** of manifest
+  updates: every completed row is journalled before the manifest is
+  rewritten, so a SIGKILL mid-save loses at most presentation state, never
+  a completed row.  The journal is replayed on load and compacted once the
+  manifest is known good;
+* ``quarantine/`` -- where corrupt, truncated or hash-mismatched files are
+  *moved* (never deleted) when detected, preserving the evidence while
+  getting it out of the load path;
+* ``.lock`` -- an advisory lock file taken by :meth:`run_study` and
+  :meth:`salvage`.  A lock held by a dead process (or older than the stale
+  threshold) is taken over.
 
 Rows are stamped with the report schema version
 (:data:`repro.api.artifacts.REPORT_SCHEMA_VERSION`); rows written by an
@@ -22,11 +34,17 @@ schema bump re-runs exactly the points it invalidated.
 load from the store, only missing points run (streamed through
 :meth:`SweepEngine.submit`, each persisted the moment it finishes), so an
 interrupted study picks up where it stopped and a finished study replays
-with zero recomputation.
+with zero recomputation.  Failed points become error rows in the manifest
+(stable ``RUN0xx`` codes, exception chain, attempt history) and re-run on
+the next resume.  :meth:`Workspace.salvage` walks the store, quarantines
+whatever does not re-hash, drops dangling manifest records, reattaches
+orphaned-but-intact rows and compacts the journal -- the repair verb for a
+workspace that went through a crash.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -34,8 +52,10 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
+from .. import faults
+from . import resilience
 from .artifacts import REPORT_SCHEMA_VERSION
 from .pipeline import Pipeline
 from .study import Study, StudyPoint
@@ -43,8 +63,10 @@ from .sweep import SweepEngine, SweepOutcome
 
 __all__ = [
     "PointResult",
+    "SalvageReport",
     "StudyRunResult",
     "Workspace",
+    "WorkspaceCorruptError",
     "WorkspaceError",
     "WORKSPACE_SCHEMA_VERSION",
 ]
@@ -54,10 +76,34 @@ WORKSPACE_SCHEMA_VERSION = 1
 
 _MANIFEST_NAME = "manifest.json"
 _OBJECTS_DIR = "objects"
+_JOURNAL_NAME = "journal.jsonl"
+_QUARANTINE_DIR = "quarantine"
+_LOCK_NAME = ".lock"
+
+#: A lock file older than this is presumed abandoned even when its pid is
+#: alive (pid reuse); younger locks of dead pids are taken over immediately.
+STALE_LOCK_S = 3600.0
 
 
 class WorkspaceError(RuntimeError):
     """Raised for unreadable workspaces or incomplete-report requests."""
+
+
+class WorkspaceCorruptError(WorkspaceError):
+    """A workspace file is corrupt (unparseable, truncated or malformed).
+
+    Carries the offending ``path``.  Recoverable: open the workspace with
+    ``recover=True`` (quarantines the corrupt manifest and rebuilds from the
+    journal) or run ``repro study salvage --workspace <root>``.
+    """
+
+    def __init__(self, path: Union[str, Path], detail: str) -> None:
+        super().__init__(
+            f"corrupt workspace file {path}: {detail} "
+            "(recoverable: open with recover=True, or run "
+            "`repro study salvage --workspace <root>`)"
+        )
+        self.path = Path(path)
 
 
 @dataclass
@@ -66,13 +112,15 @@ class PointResult:
 
     ``source`` is ``"store"`` (loaded from the workspace, zero compute),
     ``"run"`` (executed this run), ``"cancelled"`` (skipped by cooperative
-    cancellation) or ``"error"`` (executed and failed).
+    cancellation) or ``"error"`` (executed and failed; ``error_code`` then
+    names the ``RUN0xx`` failure class).
     """
 
     point: StudyPoint
     source: str
     report: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    error_code: Optional[str] = None
     elapsed_s: float = 0.0
 
     @property
@@ -144,6 +192,35 @@ class StudyRunResult:
         }
 
 
+@dataclass
+class SalvageReport:
+    """What :meth:`Workspace.salvage` found and repaired."""
+
+    quarantined: List[str] = field(default_factory=list)
+    dropped_records: int = 0
+    reattached: int = 0
+    journal_replayed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when salvage found nothing to repair."""
+        return (
+            not self.quarantined
+            and self.dropped_records == 0
+            and self.reattached == 0
+            and self.journal_replayed == 0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "quarantined": list(self.quarantined),
+            "dropped_records": self.dropped_records,
+            "reattached": self.reattached,
+            "journal_replayed": self.journal_replayed,
+            "clean": self.clean,
+        }
+
+
 #: Progress hook of :meth:`Workspace.run_study`: called once per settled
 #: point with the result plus running (done, total) counters.
 StudyProgressFn = Callable[[PointResult, int, int], None]
@@ -154,16 +231,31 @@ def _canonical_row_bytes(payload: Dict[str, Any]) -> bytes:
 
 
 #: The row fields covered by the content address.  Provenance fields
-#: (``completed_at``, ``elapsed_s``) are stored but **not** hashed: two runs
-#: producing the identical result must share one object, whatever second
-#: they finished in, and re-running a point must not orphan a near-identical
-#: object on every write.
+#: (``completed_at``, ``elapsed_s``, ``study``) are stored but **not**
+#: hashed: two runs producing the identical result must share one object,
+#: whatever second they finished in, and re-running a point must not orphan
+#: a near-identical object on every write.
 _ADDRESSED_FIELDS = ("schema_version", "point_id", "config", "report")
 
 
 def _address_for(payload: Dict[str, Any]) -> str:
     core = {field: payload.get(field) for field in _ADDRESSED_FIELDS}
     return hashlib.sha256(_canonical_row_bytes(core)).hexdigest()
+
+
+def _pid_alive(pid: Any) -> bool:
+    """Whether *pid* names a live process (signal-0 probe)."""
+    if not isinstance(pid, int) or isinstance(pid, bool) or pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
 
 
 class Workspace:
@@ -180,9 +272,20 @@ class Workspace:
         root or manifest raises :class:`WorkspaceError` instead.  Read-only
         consumers (``study status``/``report``) use this so a mistyped path
         reads as "no workspace here", not as an empty one.
+    recover:
+        Open a workspace whose manifest is corrupt: the broken manifest is
+        moved to ``quarantine/`` and a fresh one is rebuilt from the
+        write-ahead journal.  Without it a corrupt manifest raises
+        :class:`WorkspaceCorruptError`.  A manifest of a *newer schema* is
+        never recovered over -- that is a version skew, not corruption.
     """
 
-    def __init__(self, root: Union[str, Path], create: bool = True) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        create: bool = True,
+        recover: bool = False,
+    ) -> None:
         self.root = Path(root)
         if not create and not (self.root / _MANIFEST_NAME).exists():
             raise WorkspaceError(
@@ -191,7 +294,15 @@ class Workspace:
             )
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
-        self._manifest = self._load_manifest()
+        try:
+            self._manifest = self._load_manifest()
+        except WorkspaceCorruptError as error:
+            if not recover:
+                raise
+            self._quarantine(error.path)
+            self._manifest = self._fresh_manifest()
+            self._replay_journal(self._manifest)
+            self._write_json_atomic(self.manifest_path, self._manifest)
 
     # ------------------------------------------------------------------
     # Manifest
@@ -199,6 +310,18 @@ class Workspace:
     @property
     def manifest_path(self) -> Path:
         return self.root / _MANIFEST_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / _JOURNAL_NAME
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / _QUARANTINE_DIR
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / _LOCK_NAME
 
     def _fresh_manifest(self) -> Dict[str, Any]:
         return {
@@ -215,10 +338,18 @@ class Workspace:
             return manifest
         try:
             manifest = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as error:
+        except json.JSONDecodeError as error:
+            raise WorkspaceCorruptError(
+                path, f"manifest is not valid JSON ({error})"
+            ) from None
+        except OSError as error:
             raise WorkspaceError(
                 f"cannot read workspace manifest {path}: {error}"
             ) from None
+        if not isinstance(manifest, dict):
+            raise WorkspaceCorruptError(
+                path, f"manifest must be a JSON object, found {type(manifest).__name__}"
+            )
         version = manifest.get("schema_version")
         if version != WORKSPACE_SCHEMA_VERSION:
             raise WorkspaceError(
@@ -226,18 +357,46 @@ class Workspace:
                 f"version of repro reads schema {WORKSPACE_SCHEMA_VERSION} "
                 "(use a fresh --workspace directory)"
             )
-        manifest.setdefault("studies", {})
+        studies = manifest.setdefault("studies", {})
+        if not isinstance(studies, dict):
+            raise WorkspaceCorruptError(
+                path, f"'studies' must be an object, found {type(studies).__name__}"
+            )
+        for study_name, entry in studies.items():
+            if not isinstance(entry, dict) or not isinstance(
+                entry.get("points", {}), dict
+            ):
+                raise WorkspaceCorruptError(
+                    path, f"study entry {study_name!r} is malformed"
+                )
+        # Crash recovery: journalled records a killed save never reached the
+        # manifest are merged back in (persisted on the next save).
+        self._replay_journal(manifest)
         return manifest
 
-    def _write_json_atomic(self, path: Path, payload: Dict[str, Any]) -> None:
+    def _write_json_atomic(
+        self,
+        path: Path,
+        payload: Dict[str, Any],
+        fault_site: Optional[str] = None,
+        fault_key: Optional[str] = None,
+    ) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
+        data = json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+        if fault_site is not None:
+            data = faults.site(fault_site, key=fault_key, payload=data)
         tmp = path.with_name(
             f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
         )
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        fd = os.open(str(tmp), os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
         tmp.replace(path)
 
-    def _save_manifest(self) -> None:
+    def _save_manifest(self, merge: bool = True) -> None:
         # Merge-on-write: another process sharing this workspace may have
         # recorded points since this instance loaded the manifest.  Union
         # the on-disk records into ours (our in-memory records win per
@@ -245,15 +404,31 @@ class Workspace:
         # other's completed work wholesale.  The remaining race window is
         # one point wide, and a lost record only costs a re-run -- the row
         # objects themselves are content-addressed and never overwritten.
+        # ``merge=False`` is for :meth:`salvage`, which holds the advisory
+        # lock and *deletes* dangling records: merging would resurrect
+        # exactly what it dropped.
+        if not merge:
+            self._manifest["artifact_schema_version"] = REPORT_SCHEMA_VERSION
+            self._write_json_atomic(
+                self.manifest_path,
+                self._manifest,
+                fault_site="workspace.write_manifest",
+                fault_key=str(self.root),
+            )
+            return
         try:
             on_disk = json.loads(self.manifest_path.read_text())
         except (OSError, json.JSONDecodeError):
+            # Unreadable or torn on-disk manifest: nothing to merge; the
+            # rewrite below replaces it with the good in-memory state.
             on_disk = None
         if (
             isinstance(on_disk, dict)
             and on_disk.get("schema_version") == WORKSPACE_SCHEMA_VERSION
         ):
             for study_name, entry in (on_disk.get("studies") or {}).items():
+                if not isinstance(entry, dict):
+                    continue
                 ours = self._manifest["studies"].setdefault(
                     study_name, {"point_ids": [], "points": {}}
                 )
@@ -272,12 +447,194 @@ class Workspace:
         # The artifact schema recorded is the one of the *newest* rows; old
         # rows stay addressable but fail the per-row schema check on load.
         self._manifest["artifact_schema_version"] = REPORT_SCHEMA_VERSION
-        self._write_json_atomic(self.manifest_path, self._manifest)
+        self._write_json_atomic(
+            self.manifest_path,
+            self._manifest,
+            fault_site="workspace.write_manifest",
+            fault_key=str(self.root),
+        )
 
     def _study_entry(self, study_name: str) -> Dict[str, Any]:
         return self._manifest["studies"].setdefault(
             study_name, {"point_ids": [], "points": {}}
         )
+
+    # ------------------------------------------------------------------
+    # Write-ahead journal
+    # ------------------------------------------------------------------
+    def _append_journal(
+        self, study_name: str, point_id: str, record: Dict[str, Any]
+    ) -> None:
+        """Append one completed-row record to the fsync'd journal.
+
+        Called *before* the manifest rewrite: if a SIGKILL lands between the
+        two, the record is replayed from here on the next load.  A torn tail
+        line (crash mid-append) is skipped by the replayer; the row object
+        itself is still on disk and :meth:`salvage` reattaches it.
+        """
+        line = (
+            json.dumps(
+                {"study": study_name, "point_id": point_id, "record": record},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        data = faults.site(
+            "workspace.journal.append", key=point_id, payload=line.encode("utf-8")
+        )
+        fd = os.open(
+            str(self.journal_path), os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _replay_journal(self, manifest: Dict[str, Any]) -> int:
+        """Merge journalled records into *manifest*; returns entries applied.
+
+        Tolerant by design: unparseable lines (torn appends) and malformed
+        entries are skipped, and an entry older than the manifest's record
+        is a no-op -- replay is idempotent.
+        """
+        path = self.journal_path
+        if not path.exists():
+            return 0
+        try:
+            text = path.read_text()
+        except OSError:
+            return 0
+        applied = 0
+        studies = manifest.setdefault("studies", {})
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn append; the row object survives for salvage()
+            if not isinstance(entry, dict):
+                continue
+            study_name = entry.get("study")
+            point_id = entry.get("point_id")
+            record = entry.get("record")
+            if not (
+                isinstance(study_name, str)
+                and isinstance(point_id, str)
+                and isinstance(record, dict)
+            ):
+                continue
+            target = studies.setdefault(study_name, {"point_ids": [], "points": {}})
+            mine = target["points"].get(point_id)
+            if mine == record:
+                continue
+            if mine is None or (record.get("completed_at") or "") > (
+                mine.get("completed_at") or ""
+            ):
+                target["points"][point_id] = dict(record)
+                applied += 1
+        return applied
+
+    def _compact_journal(self) -> None:
+        """Drop the journal -- only after the manifest is known good."""
+        try:
+            if self.journal_path.exists():
+                self.journal_path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Quarantine and advisory locking
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: Union[str, Path]) -> Optional[str]:
+        """Move a corrupt file into ``quarantine/``; returns the new path.
+
+        Never deletes: the broken bytes are evidence (what corrupted them?)
+        and quarantining is reversible.  Best-effort -- a failure to move
+        leaves the file in place and returns ``None``.
+        """
+        path = Path(path)
+        try:
+            if not path.exists():
+                return None
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+            target = self.quarantine_dir / f"{path.name}.{stamp}-{os.getpid()}"
+            counter = 0
+            while target.exists():
+                counter += 1
+                target = (
+                    self.quarantine_dir
+                    / f"{path.name}.{stamp}-{os.getpid()}.{counter}"
+                )
+            path.replace(target)
+            return str(target)
+        except OSError:
+            return None
+
+    @contextlib.contextmanager
+    def _holding_lock(self, stale_after_s: float = STALE_LOCK_S) -> Iterator[None]:
+        """Advisory exclusive lock over mutating workspace operations.
+
+        ``O_CREAT|O_EXCL`` gives atomic acquisition; the lock file records
+        the owning pid and creation time.  A lock whose pid is dead -- or
+        older than *stale_after_s* even if a (reused) pid is alive -- is
+        taken over.  Re-entry from the owning process is allowed (several
+        Workspace instances in one process share the in-process ``_lock``).
+        """
+        acquired_here = False
+        while True:
+            try:
+                fd = os.open(
+                    str(self.lock_path), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+                try:
+                    os.write(
+                        fd,
+                        json.dumps(
+                            {"pid": os.getpid(), "created_at": time.time()}
+                        ).encode("utf-8"),
+                    )
+                finally:
+                    os.close(fd)
+                acquired_here = True
+                break
+            except FileExistsError:
+                try:
+                    info = json.loads(self.lock_path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    info = {}
+                pid = info.get("pid") if isinstance(info, dict) else None
+                created = info.get("created_at", 0.0) if isinstance(info, dict) else 0.0
+                if pid == os.getpid():
+                    break  # our own process: share, don't deadlock
+                stale = not _pid_alive(pid) or (
+                    isinstance(created, (int, float))
+                    and time.time() - created > stale_after_s
+                )
+                if not stale:
+                    raise WorkspaceError(
+                        f"workspace {self.root} is locked by running process "
+                        f"{pid} ({self.lock_path}); wait for it, or delete "
+                        "the lock file if you are sure it is abandoned"
+                    ) from None
+                # Stale-lock takeover: the unlink may race another taker;
+                # both loop back to the atomic O_EXCL create and exactly one
+                # wins.
+                try:
+                    self.lock_path.unlink()
+                except OSError:
+                    pass
+        try:
+            yield
+        finally:
+            if acquired_here:
+                try:
+                    self.lock_path.unlink()
+                except OSError:
+                    pass
 
     # ------------------------------------------------------------------
     # Content-addressed row store
@@ -301,13 +658,24 @@ class Workspace:
         report: Dict[str, Any],
         elapsed_s: float = 0.0,
     ) -> str:
-        """Persist one completed point; returns the row's content address."""
+        """Persist one completed point; returns the row's content address.
+
+        Write order is the crash-consistency contract: object first (content
+        is king), then the journal entry (fsync'd -- the row is durable from
+        here on), then the manifest rewrite.  A kill between any two steps
+        loses nothing the next load or :meth:`salvage` cannot recover.
+        """
         payload = {
             "schema_version": REPORT_SCHEMA_VERSION,
             "point_id": point.point_id,
-            "config": point.config.to_dict(),
+            # The semantic view: execution-policy fields (retries/timeouts)
+            # don't change the result, so they must not split rows.
+            "config": point.config.semantic_dict(),
             "report": report,
             "elapsed_s": elapsed_s,
+            # Provenance (not addressed): which study wrote the row, so
+            # salvage() can reattach an orphaned object to its manifest.
+            "study": study_name,
             # UTC, so the manifest merge's newest-wins comparison is a plain
             # lexicographic one (local %z timestamps mis-order across DST
             # transitions or machines in different timezones).
@@ -322,12 +690,35 @@ class Workspace:
                 # Also reached when the file exists but is corrupt or
                 # tampered: rewriting heals the store instead of re-running
                 # the point on every future resume.
-                self._write_json_atomic(path, payload)
+                self._write_json_atomic(
+                    path,
+                    payload,
+                    fault_site="workspace.write_object",
+                    fault_key=address,
+                )
+                if not self._object_is_intact(path, address):
+                    # Write-verify: the bytes on disk do not re-hash to the
+                    # address (torn write, bit rot, full disk).  Recording a
+                    # manifest entry for a corrupt object would fake
+                    # completion, so quarantine and fail the persistence.
+                    quarantined = self._quarantine(path)
+                    raise WorkspaceError(
+                        f"row object {address} failed post-write verification"
+                        + (f" (quarantined to {quarantined})" if quarantined else "")
+                    )
+            record = {"object": address, "completed_at": payload["completed_at"]}
+            try:
+                self._append_journal(study_name, point.point_id, record)
+            except Exception:  # noqa: BLE001 - journal is belt-and-braces
+                # The journal only covers the window before the manifest
+                # save below; failing to journal must not fail the store.
+                pass
             entry = self._study_entry(study_name)
-            entry["points"][point.point_id] = {
-                "object": address,
-                "completed_at": payload["completed_at"],
-            }
+            entry["points"][point.point_id] = record
+            # A point that now succeeded clears its previous error row.
+            errors = entry.get("errors")
+            if errors:
+                errors.pop(point.point_id, None)
             self._save_manifest()
         return address
 
@@ -338,6 +729,8 @@ class Workspace:
         exists, re-hashes to its address (content integrity over the
         addressed fields; provenance timestamps are exempt), carries the
         current report schema version and still describes the same config.
+        A corrupt or unreadable object is moved to ``quarantine/`` (the
+        point re-runs and the store heals on the next write).
         """
         with self._lock:
             entry = self._manifest["studies"].get(study_name)
@@ -348,20 +741,52 @@ class Workspace:
         if not address:
             return None
         path = self._object_path(address)
+        if not path.exists():
+            return None
         try:
-            text = path.read_text()
-            payload = json.loads(text)
-        except (OSError, json.JSONDecodeError):
+            raw = path.read_bytes()
+            raw = faults.site("workspace.load_object", key=address, payload=raw)
+            payload = json.loads(raw.decode("utf-8"))
+        except Exception:  # noqa: BLE001 - any unreadable row means re-run
+            # Reading a row is always optional (recompute is the universal
+            # fallback), so containment beats propagation here -- injected
+            # faults included: this *is* the handler they are aimed at.
+            self._quarantine(path)
             return None
         if _address_for(payload) != address:
+            self._quarantine(path)
             return None
         if payload.get("schema_version") != REPORT_SCHEMA_VERSION:
             return None
         if payload.get("point_id") != point.point_id:
             return None
-        if payload.get("config") != point.config.to_dict():
+        if payload.get("config") != point.config.semantic_dict():
             return None
         return payload
+
+    def record_error(
+        self,
+        study_name: str,
+        point: StudyPoint,
+        error_code: str,
+        message: str,
+        chain: Optional[List[str]] = None,
+        attempts: Optional[List[resilience.AttemptRecord]] = None,
+    ) -> None:
+        """Persist a structured error row for a failed point.
+
+        Error rows live in the manifest (not the content-addressed store --
+        they are transient state, cleared when the point later succeeds) and
+        surface in :meth:`status` as ``failed`` points.
+        """
+        row = resilience.build_error_row(
+            point.point_id, error_code, message, attempts or [], chain
+        )
+        row["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S+0000", time.gmtime())
+        with self._lock:
+            entry = self._study_entry(study_name)
+            entry.setdefault("errors", {})[point.point_id] = row
+            self._save_manifest()
 
     def gc(self) -> int:
         """Delete row objects no manifest record references; returns the count.
@@ -400,6 +825,78 @@ class Workspace:
             return removed
 
     # ------------------------------------------------------------------
+    # Salvage
+    # ------------------------------------------------------------------
+    def salvage(self) -> SalvageReport:
+        """Walk the store, repair the manifest, compact the journal.
+
+        Four repairs, in order:
+
+        1. replay any journalled records the manifest is missing;
+        2. quarantine every object file that fails to parse or re-hash;
+        3. drop manifest records whose object is missing, quarantined or
+           describes a different point (dangling records force re-runs);
+        4. reattach intact orphan objects (rows whose manifest entry was
+           lost to a crash) to the study named in their provenance field.
+
+        Idempotent: running salvage twice in a row returns a ``clean``
+        report the second time.
+        """
+        with self._holding_lock(), self._lock:
+            report = SalvageReport()
+            report.journal_replayed = self._replay_journal(self._manifest)
+
+            intact: Dict[str, Dict[str, Any]] = {}
+            objects_dir = self.root / _OBJECTS_DIR
+            if objects_dir.is_dir():
+                for path in sorted(objects_dir.rglob("*.json")):
+                    address = path.stem
+                    try:
+                        payload = json.loads(path.read_bytes().decode("utf-8"))
+                    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                        payload = None
+                    if payload is None or _address_for(payload) != address:
+                        moved = self._quarantine(path)
+                        if moved is not None:
+                            report.quarantined.append(moved)
+                        continue
+                    intact[address] = payload
+
+            referenced: set = set()
+            for entry in self._manifest["studies"].values():
+                points = entry.get("points", {})
+                for point_id in list(points):
+                    record = points[point_id]
+                    address = record.get("object")
+                    payload = intact.get(address)
+                    if payload is None or payload.get("point_id") != point_id:
+                        del points[point_id]
+                        report.dropped_records += 1
+                    else:
+                        referenced.add(address)
+
+            for address, payload in intact.items():
+                if address in referenced:
+                    continue
+                study_name = payload.get("study")
+                point_id = payload.get("point_id")
+                if not isinstance(study_name, str) or not isinstance(point_id, str):
+                    continue  # pre-provenance row: leave for gc()
+                if payload.get("schema_version") != REPORT_SCHEMA_VERSION:
+                    continue
+                entry = self._study_entry(study_name)
+                if entry["points"].get(point_id) is None:
+                    entry["points"][point_id] = {
+                        "object": address,
+                        "completed_at": payload.get("completed_at"),
+                    }
+                    report.reattached += 1
+
+            self._save_manifest(merge=False)
+            self._compact_journal()
+            return report
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def studies(self) -> List[str]:
@@ -407,22 +904,37 @@ class Workspace:
         return sorted(self._manifest["studies"])
 
     def status(self, study: Study) -> Dict[str, Any]:
-        """Per-point completion state of a study (JSON-serializable)."""
+        """Per-point completion state of a study (JSON-serializable).
+
+        Failed points (error rows from exhausted retries) report status
+        ``"failed"`` with their ``RUN0xx`` code; they still count as
+        ``missing`` (a resume re-runs them).
+        """
         points = study.points()
+        with self._lock:
+            entry = self._manifest["studies"].get(study.name) or {}
+            errors = dict(entry.get("errors") or {})
         rows = []
         completed = 0
+        failed = 0
         for point in points:
             payload = self.load_row(study.name, point)
             done = payload is not None
             completed += done
+            error_row = None if done else errors.get(point.point_id)
+            if error_row is not None:
+                failed += 1
             rows.append(
                 {
                     "point_id": point.point_id,
                     "workload": point.config.workload,
                     "mode": point.config.mode.value,
                     "latency": point.config.latency,
-                    "status": "completed" if done else "missing",
+                    "status": "completed"
+                    if done
+                    else ("failed" if error_row is not None else "missing"),
                     "completed_at": payload.get("completed_at") if done else None,
+                    "error_code": (error_row or {}).get("error_code"),
                 }
             )
         return {
@@ -431,6 +943,7 @@ class Workspace:
             "total": len(points),
             "completed": completed,
             "missing": len(points) - completed,
+            "failed": failed,
             "points": rows,
         }
 
@@ -482,9 +995,10 @@ class Workspace:
         ----------
         engine:
             Sweep engine for the missing points.  Defaults to a fresh engine
-            honouring ``max_workers``/``executor`` and the study's
-            ``stop_after``; a caller-provided engine must match the study's
-            ``stop_after`` (different truncations produce different rows).
+            honouring ``max_workers``/``executor``, the study's
+            ``stop_after`` and the study's retry policy; a caller-provided
+            engine must match the study's ``stop_after`` (different
+            truncations produce different rows).
         resume:
             Load completed points from the store (the default).  ``False``
             recomputes every point (stored rows are overwritten).
@@ -496,6 +1010,13 @@ class Workspace:
             Cooperatively cancel the run after this many *executed* points
             (loaded points don't count).  The interruption hook: remaining
             points stay missing, and a later ``resume`` run picks them up.
+
+        The run holds the workspace's advisory lock.  Failed points are
+        recorded as error rows (unless their policy says ``skip``) and do
+        not abort the run unless their policy says ``raise``.  A
+        :class:`KeyboardInterrupt` mid-run flushes in-flight completed rows
+        to the store before propagating, so the interrupted study resumes
+        with zero lost work.
         """
         points = study.points()
         if engine is None:
@@ -506,6 +1027,7 @@ class Workspace:
                 max_workers=max_workers,
                 executor=executor,
                 stop_after=study.stop_after,
+                retry=study.retry,
             )
         elif engine.stop_after != study.stop_after:
             raise WorkspaceError(
@@ -515,71 +1037,155 @@ class Workspace:
         if max_points is not None and max_points < 1:
             raise ValueError("max_points must be >= 1 when given")
 
-        with self._lock:
-            entry = self._study_entry(study.name)
-            entry["point_ids"] = [point.point_id for point in points]
-            self._save_manifest()
+        with self._holding_lock():
+            with self._lock:
+                entry = self._study_entry(study.name)
+                entry["point_ids"] = [point.point_id for point in points]
+                try:
+                    self._save_manifest()
+                except Exception:  # noqa: BLE001
+                    # The run-start save only records the point-id order
+                    # (presentation state).  A failing manifest here must
+                    # degrade, not kill the run: the per-point saves below
+                    # retry it with rows that actually matter attached.
+                    pass
 
-        results: Dict[int, PointResult] = {}
-        done = 0
+            results: Dict[int, PointResult] = {}
+            done = 0
 
-        def settle(result: PointResult) -> None:
-            nonlocal done
-            results[result.point.index] = result
-            done += 1
-            if progress is not None:
-                progress(result, done, len(points))
+            def settle(result: PointResult) -> None:
+                nonlocal done
+                results[result.point.index] = result
+                done += 1
+                if progress is not None:
+                    progress(result, done, len(points))
 
-        pending: List[StudyPoint] = []
-        for point in points:
-            payload = self.load_row(study.name, point) if resume else None
-            if payload is not None:
-                settle(
-                    PointResult(
-                        point=point,
-                        source="store",
-                        report=payload["report"],
-                        elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            pending: List[StudyPoint] = []
+            for point in points:
+                payload = self.load_row(study.name, point) if resume else None
+                if payload is not None:
+                    settle(
+                        PointResult(
+                            point=point,
+                            source="store",
+                            report=payload["report"],
+                            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+                        )
                     )
-                )
-            else:
-                pending.append(point)
+                else:
+                    pending.append(point)
 
-        if pending:
-            index_to_point = {
-                submit_index: point for submit_index, point in enumerate(pending)
-            }
-            run = engine.submit([point.config for point in pending])
-            executed = 0
-            for outcome in run.as_completed():
-                point = index_to_point[outcome.index]
-                settle(self._settle_outcome(study, point, outcome))
-                if outcome.cancelled:
-                    continue
-                executed += 1
-                if max_points is not None and executed >= max_points:
+            if pending:
+                index_to_point = {
+                    submit_index: point
+                    for submit_index, point in enumerate(pending)
+                }
+                run = engine.submit([point.config for point in pending])
+                stream = run.as_completed()
+                executed = 0
+                try:
+                    for outcome in stream:
+                        point = index_to_point[outcome.index]
+                        settle(self._settle_outcome(study, point, outcome, engine))
+                        if outcome.cancelled:
+                            continue
+                        executed += 1
+                        if max_points is not None and executed >= max_points:
+                            run.cancel()
+                except KeyboardInterrupt:
+                    # Flush before propagating: cancel queued points, let
+                    # in-flight ones finish and persist their rows, then
+                    # hand the interrupt up (the CLI turns it into exit
+                    # code 130 plus a resume hint).  A second interrupt
+                    # aborts the flush.
                     run.cancel()
+                    try:
+                        for outcome in stream:
+                            point = index_to_point[outcome.index]
+                            settle(
+                                self._settle_outcome(study, point, outcome, engine)
+                            )
+                    except (KeyboardInterrupt, RuntimeError):
+                        pass
+                    raise
+
+            with self._lock:
+                # The manifest is now complete and durable; the journal has
+                # nothing left to cover.  Best-effort: a failure here costs
+                # nothing (the journal just survives to the next compaction).
+                try:
+                    self._save_manifest()
+                    self._compact_journal()
+                except Exception:  # noqa: BLE001
+                    pass
 
         return StudyRunResult(
             study=study,
-            results=[results[index] for index in range(len(points))],
+            results=[
+                results[index] for index in range(len(points)) if index in results
+            ],
         )
 
     def _settle_outcome(
-        self, study: Study, point: StudyPoint, outcome: SweepOutcome
+        self,
+        study: Study,
+        point: StudyPoint,
+        outcome: SweepOutcome,
+        engine: SweepEngine,
     ) -> PointResult:
         if outcome.cancelled:
             return PointResult(point=point, source="cancelled")
         if not outcome.ok or outcome.report is None:
+            message = outcome.error or "point completed without a report"
+            code = outcome.error_code or "RUN001"
+            policy = engine.policy_for(point.config)
+            if policy.on_error != "skip":
+                try:
+                    self.record_error(
+                        study.name,
+                        point,
+                        code,
+                        message,
+                        chain=outcome.error_chain,
+                        attempts=outcome.attempts,
+                    )
+                except Exception:  # noqa: BLE001 - error rows are best-effort
+                    # Failing to *record* a failure must not mask the
+                    # original failure (or take the whole run down with it).
+                    pass
             return PointResult(
                 point=point,
                 source="error",
-                error=outcome.error or "point completed without a report",
+                error=message,
+                error_code=code,
                 elapsed_s=outcome.elapsed_s,
             )
-        self.store_row(
-            study.name, point, outcome.report, elapsed_s=outcome.elapsed_s
-        )
+        try:
+            self.store_row(
+                study.name, point, outcome.report, elapsed_s=outcome.elapsed_s
+            )
+        except Exception as error:  # noqa: BLE001 - persistence is a failure class
+            message = (
+                "row persistence failed: " + resilience.format_exception(error)
+            )
+            try:
+                self.record_error(
+                    study.name,
+                    point,
+                    "RUN005",
+                    message,
+                    chain=resilience.exception_chain(error),
+                    attempts=outcome.attempts,
+                )
+            except Exception:  # noqa: BLE001
+                pass
+            return PointResult(
+                point=point,
+                source="error",
+                error=message,
+                error_code="RUN005",
+                elapsed_s=outcome.elapsed_s,
+            )
         return PointResult(
             point=point,
             source="run",

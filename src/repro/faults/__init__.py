@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the experiment-execution substrate.
+
+``repro.faults`` is the runtime analogue of ``repro check --mutate``: a
+seeded harness that breaks the sweep engine, the pipeline and the workspace
+in every registered way and lets the chaos suite assert that each breakage
+is either retried to success or surfaced as a coded error row with the
+workspace still resumable.
+
+Usage::
+
+    from repro import faults
+
+    plan = faults.FaultPlan(
+        [faults.FaultRule("sweep.point", "raise", times=1)], seed=7
+    )
+    with faults.injecting(plan):
+        result = run_study(study, engine, workspace)
+
+See :data:`repro.faults.sites.SITE_REGISTRY` for the site catalogue and
+DESIGN.md's "Fault-site catalogue" section for the prose version.
+"""
+
+from .plan import (
+    FAULT_KINDS,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    injecting,
+    install,
+    uninstall,
+)
+from .sites import SITE_REGISTRY, FaultSite, site
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSite",
+    "InjectedFault",
+    "SITE_REGISTRY",
+    "active_plan",
+    "injecting",
+    "install",
+    "site",
+    "uninstall",
+]

@@ -1,0 +1,260 @@
+"""Deterministic fault plans: what to break, where, and how many times.
+
+A :class:`FaultPlan` is a small, serializable list of :class:`FaultRule`
+objects, each naming a registered fault site (see
+:mod:`repro.faults.sites`), a fault kind, and how many matching occurrences
+to corrupt.  Plans are **deterministic**: the same plan over the same run
+triggers at exactly the same occurrences, and data corruptions (torn writes,
+bit flips) are derived from the plan seed plus the site/key/occurrence
+coordinates, never from a live RNG.  That is what lets the chaos suite
+assert exact outcomes ("the second write of this object is torn, the study
+still completes") instead of statistically hoping for coverage.
+
+Plans are installed process-globally (:func:`install` / the
+:func:`injecting` context manager) and consulted by the
+:func:`repro.faults.sites.site` hooks threaded through the sweep engine, the
+pipeline and the workspace.  ``FaultPlan.to_dict``/``from_dict`` round-trips
+a plan so the process-executor sweep can arm it inside pool workers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "injecting",
+    "install",
+    "uninstall",
+]
+
+#: Every fault kind the harness can inject.  ``raise`` and ``hang`` corrupt
+#: control flow, ``kill`` SIGKILLs the current process (worker-death drills),
+#: ``torn-write`` truncates a payload mid-write and ``bit-flip`` flips one
+#: deterministic bit of a payload (storage corruption drills).
+FAULT_KINDS = ("raise", "hang", "kill", "torn-write", "bit-flip")
+
+#: The kinds that act on a byte payload rather than on control flow.
+DATA_KINDS = ("torn-write", "bit-flip")
+
+
+class FaultError(ValueError):
+    """Raised for malformed fault plans or unregistered sites."""
+
+
+class InjectedFault(RuntimeError):
+    """The exception thrown by ``raise``-kind injections.
+
+    Deliberately **not** an :class:`OSError`: recovery code that tolerates
+    I/O errors must still see injected faults, so an injection can never be
+    silently absorbed by a handler it was not aimed at.
+    """
+
+    def __init__(self, site: str, key: Optional[str], occurrence: int) -> None:
+        super().__init__(
+            f"injected fault at site {site!r}"
+            + (f" (key {key!r})" if key else "")
+            + f", occurrence {occurrence}"
+        )
+        self.site = site
+        self.key = key
+        self.occurrence = occurrence
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection: a site, a kind, and which occurrences to hit.
+
+    Parameters
+    ----------
+    site:
+        Name of a registered fault site (see
+        :data:`repro.faults.sites.SITE_REGISTRY`).
+    kind:
+        One of :data:`FAULT_KINDS`; must be supported by the site.
+    times:
+        Trigger on the first *times* matching occurrences (then go quiet).
+        ``None`` triggers on every matching occurrence.
+    match:
+        Substring filter on the site's key (a point id, an object address, a
+        pass name); ``None`` matches every key.
+    hang_s:
+        Sleep duration of ``hang``-kind injections.
+    skip:
+        Let the first *skip* matching occurrences pass unharmed before the
+        rule starts firing -- how a scenario targets "the manifest save
+        *after* the first row", not the run-start bookkeeping save.
+    """
+
+    site: str
+    kind: str
+    times: Optional[int] = 1
+    match: Optional[str] = None
+    hang_s: float = 30.0
+    skip: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}: expected one of {FAULT_KINDS}"
+            )
+        if self.times is not None and self.times < 1:
+            raise FaultError("times must be >= 1 (or None for every occurrence)")
+        if self.hang_s <= 0:
+            raise FaultError("hang_s must be positive")
+        if self.skip < 0:
+            raise FaultError("skip must be >= 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "times": self.times,
+            "match": self.match,
+            "hang_s": self.hang_s,
+            "skip": self.skip,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultRule":
+        return cls(**data)
+
+
+class FaultPlan:
+    """A seeded, deterministic list of fault rules with firing counters.
+
+    Thread-safe: concurrent sweep workers consulting the plan see a single
+    consistent occurrence count per rule, so ``times=1`` means *one* firing
+    across the whole process, whatever the interleaving.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
+        from .sites import SITE_REGISTRY
+
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = seed
+        for rule in self.rules:
+            registered = SITE_REGISTRY.get(rule.site)
+            if registered is None:
+                known = ", ".join(sorted(SITE_REGISTRY))
+                raise FaultError(
+                    f"unregistered fault site {rule.site!r}: expected one of {known}"
+                )
+            if rule.kind not in registered.kinds:
+                raise FaultError(
+                    f"site {rule.site!r} does not support kind {rule.kind!r} "
+                    f"(supported: {', '.join(registered.kinds)})"
+                )
+        self._seen = [0] * len(self.rules)
+        self._fired = [0] * len(self.rules)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def fired(self) -> Dict[int, int]:
+        """Per-rule firing counts so far (rule index -> count)."""
+        with self._lock:
+            return {i: n for i, n in enumerate(self._fired) if n}
+
+    def claim(self, site: str, key: Optional[str]) -> Optional[tuple]:
+        """The (rule, occurrence) to fire at this site visit, or ``None``.
+
+        Claiming is atomic: the matching rule's occurrence counter advances
+        under the lock and each occurrence number is handed out exactly once,
+        so two concurrent visits can never both fire a ``times=1`` rule.
+        """
+        for index, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            if rule.match is not None and rule.match not in (key or ""):
+                continue
+            with self._lock:
+                self._seen[index] += 1
+                occurrence = self._seen[index]
+                if occurrence <= rule.skip:
+                    continue
+                if rule.times is not None and occurrence > rule.skip + rule.times:
+                    continue
+                self._fired[index] += 1
+            return rule, occurrence
+        return None
+
+    def corrupt(
+        self, rule: FaultRule, site: str, key: Optional[str], occurrence: int,
+        payload: bytes,
+    ) -> bytes:
+        """Deterministically corrupt *payload* per the rule's data kind."""
+        if rule.kind == "torn-write":
+            # A torn write leaves a strict prefix behind -- what a crash
+            # mid-write (or a full disk) actually produces.
+            return payload[: max(1, len(payload) // 2)]
+        if rule.kind == "bit-flip":
+            if not payload:
+                return payload
+            digest = hashlib.sha256(
+                f"{self.seed}:{site}:{key}:{occurrence}".encode("utf-8")
+            ).hexdigest()
+            bit = int(digest, 16) % (len(payload) * 8)
+            flipped = bytearray(payload)
+            flipped[bit // 8] ^= 1 << (bit % 8)
+            return bytes(flipped)
+        raise FaultError(f"kind {rule.kind!r} does not corrupt data")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable form (firing counters are *not* carried over)."""
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            [FaultRule.from_dict(rule) for rule in data.get("rules", [])],
+            seed=data.get("seed", 0),
+        )
+
+
+#: The process-global active plan consulted by every site hook.  ``None``
+#: (the overwhelmingly common case) short-circuits the hooks to a single
+#: attribute load, so production runs pay effectively nothing.
+_ACTIVE: Optional[FaultPlan] = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def install(plan: FaultPlan) -> None:
+    """Install *plan* as the process-global active plan."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = plan
+
+
+def uninstall() -> None:
+    """Remove the active plan (idempotent)."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, or ``None``."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def injecting(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Context manager: install *plan* for the duration of the block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()

@@ -1,0 +1,125 @@
+"""Named fault sites and the :func:`site` hook threaded through the runtime.
+
+A *fault site* is a named, documented place in the execution substrate where
+the chaos suite may inject a failure: the top of a sweep point, each pipeline
+pass, every workspace write/read.  The catalogue below
+(:data:`SITE_REGISTRY`) is the single source of truth -- a
+:class:`~repro.faults.plan.FaultPlan` naming an unknown site, or a kind the
+site does not support, is rejected at construction.  The chaos test suite
+iterates this registry so every ``site x kind`` pair is provably exercised
+(the runtime analogue of ``repro check --mutate``'s escape gate).
+
+The hook itself is a data filter::
+
+    payload = faults.site("workspace.write_object", key=address, payload=raw)
+
+With no plan installed it returns *payload* untouched at the cost of one
+global load.  With a plan installed it may raise :class:`InjectedFault`,
+sleep (``hang``), SIGKILL the process (``kill``), or return a deterministically
+corrupted payload (``torn-write`` / ``bit-flip``).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from . import plan as _plan
+from .plan import InjectedFault
+
+__all__ = ["FaultSite", "SITE_REGISTRY", "site"]
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """A registered injection point: name, supported kinds, description."""
+
+    name: str
+    kinds: Tuple[str, ...]
+    description: str
+
+
+def _registry(*sites: FaultSite) -> Dict[str, FaultSite]:
+    registry: Dict[str, FaultSite] = {}
+    for entry in sites:
+        for kind in entry.kinds:
+            if kind not in _plan.FAULT_KINDS:
+                raise _plan.FaultError(
+                    f"site {entry.name!r} lists unknown kind {kind!r}"
+                )
+        registry[entry.name] = entry
+    return registry
+
+
+#: The fault-site catalogue.  Keep DESIGN.md's table in sync when editing.
+SITE_REGISTRY: Dict[str, FaultSite] = _registry(
+    FaultSite(
+        "sweep.point",
+        ("raise", "hang", "kill"),
+        "Start of one sweep point's pipeline run (key: point label). "
+        "`kill` SIGKILLs the executing process -- only meaningful under the "
+        "process executor, where it drills pool-worker death.",
+    ),
+    FaultSite(
+        "pipeline.pass",
+        ("raise", "hang"),
+        "Before each pipeline pass body (key: pass name). `hang` here is "
+        "what the heartbeat watchdog exists to catch.",
+    ),
+    FaultSite(
+        "workspace.write_object",
+        ("raise", "torn-write", "bit-flip"),
+        "Serialized row bytes about to hit the content-addressed store "
+        "(key: object address).",
+    ),
+    FaultSite(
+        "workspace.write_manifest",
+        ("raise", "torn-write", "kill"),
+        "Serialized manifest bytes about to be written (key: workspace "
+        "root). `kill` simulates SIGKILL mid-save; the journal must cover "
+        "the rows the lost manifest would have recorded.",
+    ),
+    FaultSite(
+        "workspace.journal.append",
+        ("raise", "torn-write"),
+        "One journal line about to be appended to the write-ahead log "
+        "(key: point id).",
+    ),
+    FaultSite(
+        "workspace.load_object",
+        ("raise", "bit-flip"),
+        "Row bytes just read back from the store (key: object address). "
+        "`bit-flip` models at-rest corruption the loader must quarantine.",
+    ),
+)
+
+
+def site(name: str, key: Optional[str] = None, payload: bytes = b"") -> bytes:
+    """Consult the active fault plan at site *name*; filter *payload*.
+
+    Returns *payload* (possibly corrupted).  May raise
+    :class:`InjectedFault`, sleep, or SIGKILL the process, depending on the
+    matched rule's kind.  With no plan installed this is a no-op.
+    """
+    active = _plan.active_plan()
+    if active is None:
+        return payload
+    if name not in SITE_REGISTRY:
+        raise _plan.FaultError(f"unregistered fault site {name!r}")
+    claimed = active.claim(name, key)
+    if claimed is None:
+        return payload
+    rule, occurrence = claimed
+    if rule.kind == "raise":
+        raise InjectedFault(name, key, occurrence)
+    if rule.kind == "hang":
+        time.sleep(rule.hang_s)
+        return payload
+    if rule.kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+        # Unreachable in practice; keeps the type checker honest.
+        raise InjectedFault(name, key, occurrence)
+    return active.corrupt(rule, name, key, occurrence, payload)

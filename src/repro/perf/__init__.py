@@ -26,6 +26,7 @@ from .harness import (
     run_benchmarks,
     time_check,
     time_emission,
+    time_faults,
     time_stages,
     time_study,
     time_sweep,
@@ -60,6 +61,7 @@ __all__ = [
     "run_benchmarks",
     "time_check",
     "time_emission",
+    "time_faults",
     "time_stages",
     "time_study",
     "time_sweep",

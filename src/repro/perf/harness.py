@@ -430,6 +430,92 @@ def time_study(name: str, repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
     return {"cold_s": best_cold, "resume_s": best_resume}
 
 
+def time_faults(repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
+    """Best-of-*repeats* timings of the fault-tolerance machinery.
+
+    Three numbers:
+
+    * ``site_noplan_s`` -- 100k no-plan fault-site probes: the fixed tax
+      every production pipeline pass and workspace write pays for being
+      injectable.  This is the number that must stay indistinguishable from
+      zero (the hook is one global load when no plan is installed);
+    * ``injected_retry_s`` -- a two-point serial sweep where one point
+      raises once and is retried to success with zero backoff: the end-to-end
+      cost of the failure-isolation path (claim, error row assembly, retry);
+    * ``salvage_s`` -- :meth:`~repro.api.workspace.Workspace.salvage` over a
+      freshly populated workspace with one corrupted row object (quarantine
+      + record drop + manifest rewrite + journal compaction).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    import tempfile
+
+    from .. import faults
+    from ..api.config import FlowConfig
+    from ..api.resilience import RetryPolicy
+    from ..api.study import fig4_study
+    from ..api.sweep import SweepEngine
+    from ..api.workspace import Workspace
+
+    best_noplan: Optional[float] = None
+    best_retry: Optional[float] = None
+    best_salvage: Optional[float] = None
+    configs = [
+        FlowConfig(latency=latency, mode="fragmented", workload="chain:3:16")
+        for latency in (3, 4)
+    ]
+    study = fig4_study("chain:3:16", latencies=range(3, 5), name="perf-faults")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(100_000):
+            faults.site("sweep.point", key="perf")
+        noplan = time.perf_counter() - started
+
+        clear_transform_memo()
+        clear_datapath_memo()
+        engine = SweepEngine(
+            executor="serial",
+            stop_after="time",
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0, jitter_s=0.0),
+        )
+        plan = faults.FaultPlan(
+            [faults.FaultRule("sweep.point", "raise", times=1)]
+        )
+        with faults.injecting(plan):
+            started = time.perf_counter()
+            outcomes = engine.run(configs)
+            retry = time.perf_counter() - started
+        assert all(outcome.ok for outcome in outcomes)
+        assert plan.fired() == {0: 1}
+
+        with tempfile.TemporaryDirectory(prefix="repro-perf-faults-") as tmp:
+            workspace = Workspace(tmp)
+            assert workspace.run_study(study).complete
+            victim = next((workspace.root / "objects").rglob("*.json"))
+            victim.write_text("corrupt")
+            started = time.perf_counter()
+            report = workspace.salvage()
+            salvage = time.perf_counter() - started
+            assert len(report.quarantined) == 1
+
+        if best_noplan is None or noplan < best_noplan:
+            best_noplan = noplan
+        if best_retry is None or retry < best_retry:
+            best_retry = retry
+        if best_salvage is None or salvage < best_salvage:
+            best_salvage = salvage
+    assert (
+        best_noplan is not None
+        and best_retry is not None
+        and best_salvage is not None
+    )
+    return {
+        "site_noplan_s": best_noplan,
+        "injected_retry_s": best_retry,
+        "salvage_s": best_salvage,
+    }
+
+
 def run_benchmarks(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> Dict:
     """Measure the current tree and return a serializable result.
 
@@ -445,6 +531,10 @@ def run_benchmarks(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> Dict:
       verification suite over all four IR levels (see :func:`time_check`);
     * ``studies``: ``{study_name: {cold_s, resume_s}}`` -- workspace-backed
       study runs, cold versus store-resumed (see :func:`time_study`);
+    * ``faults``: ``{site_noplan_s, injected_retry_s, salvage_s}`` -- the
+      fault-tolerance machinery: uninstrumented site-probe tax, the
+      injected-failure retry path, and a salvage pass (see
+      :func:`time_faults`);
     * ``meta``: interpreter/platform/timestamp provenance, plus the
       measurement parameters, so baselines recorded on other machines are
       recognisably not comparable.
@@ -480,6 +570,7 @@ def run_benchmarks(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> Dict:
         "emit": emit,
         "check": check,
         "studies": studies,
+        "faults": time_faults(repeats=repeats),
         "meta": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),

@@ -70,6 +70,9 @@ def _flatten(measurement: Optional[Dict]) -> Dict[str, float]:
         for metric, value in metrics.items():
             if metric.endswith("_s") and not metric.endswith("_per_s"):
                 flat[f"study/{study}/{metric}"] = float(value)
+    for metric, value in (measurement.get("faults") or {}).items():
+        if metric.endswith("_s") and not metric.endswith("_per_s"):
+            flat[f"faults/{metric}"] = float(value)
     return flat
 
 

@@ -203,6 +203,116 @@ class TestStudy:
         assert "Traceback" not in err
 
 
+class TestResilienceFlags:
+    def test_sweep_retries_an_injected_failure(self, capsys):
+        from repro import faults
+
+        plan = faults.FaultPlan(
+            [faults.FaultRule("sweep.point", "raise", times=1)]
+        )
+        with faults.injecting(plan):
+            code = run_cli(
+                "sweep", "chain:3:16", "--latencies", "3:4",
+                "--retries", "1", "--json",
+            )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["latency"] for row in rows] == [3, 4]
+        assert plan.fired() == {0: 1}
+
+    def test_sweep_on_error_raise_exits_one_with_the_code(self, capsys):
+        from repro import faults
+
+        plan = faults.FaultPlan(
+            [faults.FaultRule("sweep.point", "raise", times=None)]
+        )
+        with faults.injecting(plan):
+            code = run_cli(
+                "sweep", "chain:3:16", "--latencies", "3:4",
+                "--on-error", "raise",
+            )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "RUN001" in err
+        assert "Traceback" not in err
+
+    def test_negative_retries_rejected(self, capsys):
+        assert run_cli("sweep", "chain:3:16", "--latencies", "3",
+                       "--retries", "-1") == 2
+        assert "--retries" in capsys.readouterr().err
+
+    def test_study_run_records_error_rows(self, tmp_path, capsys):
+        from repro import faults
+
+        workspace = str(tmp_path / "ws")
+        plan = faults.FaultPlan(
+            [faults.FaultRule("sweep.point", "raise", times=None)]
+        )
+        with faults.injecting(plan):
+            code = run_cli(
+                "study", "run", "table1", "--workspace", workspace,
+                "--quiet", "--json",
+            )
+        assert code == 1  # incomplete study
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["failed"] == summary["total"]
+
+        assert run_cli("study", "status", "table1", "--workspace", workspace,
+                       "--json") == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["failed"] == status["total"]
+        assert all(row["error_code"] == "RUN001" for row in status["points"])
+
+        # A retry without the fault completes and clears the error rows.
+        assert run_cli("study", "run", "table1", "--workspace", workspace,
+                       "--quiet", "--json") == 0
+        assert json.loads(capsys.readouterr().out)["complete"]
+
+    def test_study_run_interrupt_exits_130_with_resume_hint(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.api.workspace import Workspace as RealWorkspace
+
+        def interrupted_run_study(self, *args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(RealWorkspace, "run_study", interrupted_run_study)
+        workspace = str(tmp_path / "ws")
+        assert run_cli("study", "run", "table1", "--workspace", workspace) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err  # the hint names the resume spelling
+
+    def test_study_salvage_clean_workspace(self, tmp_path, capsys):
+        workspace = str(tmp_path / "ws")
+        assert run_cli("study", "run", "table1", "--workspace", workspace,
+                       "--quiet", "--json") == 0
+        capsys.readouterr()
+        assert run_cli("study", "salvage", "--workspace", workspace) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_study_salvage_repairs_a_corrupt_manifest(self, tmp_path, capsys):
+        root = tmp_path / "ws"
+        assert run_cli("study", "run", "table1", "--workspace", str(root),
+                       "--quiet", "--json") == 0
+        capsys.readouterr()
+        (root / "manifest.json").write_text("{torn")
+        assert run_cli("study", "salvage", "--workspace", str(root),
+                       "--json") == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["reattached"] == 2  # rows recovered from provenance
+        # The study now loads with zero recomputation.
+        assert run_cli("study", "run", "table1", "--workspace", str(root),
+                       "--quiet", "--json") == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["loaded"] == 2 and summary["ran"] == 0
+
+    def test_study_salvage_missing_workspace_is_an_error(self, tmp_path, capsys):
+        assert run_cli("study", "salvage", "--workspace",
+                       str(tmp_path / "nope")) == 1
+        assert "no workspace" in capsys.readouterr().err
+
+
 class TestModuleEntryPoint:
     @pytest.fixture(scope="class")
     def env(self):

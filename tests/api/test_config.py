@@ -99,13 +99,13 @@ class TestSerialization:
         """Hashing a config twice must do no repeat JSON serialization work."""
         config = FlowConfig(latency=3, workload="motivational")
         calls = {"count": 0}
-        original = FlowConfig.to_json
+        original = FlowConfig.semantic_dict
 
         def counting(self, **kwargs):
             calls["count"] += 1
             return original(self, **kwargs)
 
-        monkeypatch.setattr(FlowConfig, "to_json", counting)
+        monkeypatch.setattr(FlowConfig, "semantic_dict", counting)
         first = config.content_hash()
         second = config.content_hash()
         assert first == second

@@ -1,0 +1,505 @@
+"""The deterministic fault-injection harness and the chaos matrix.
+
+Two layers:
+
+* Plan mechanics -- :class:`FaultRule`/:class:`FaultPlan` validation,
+  skip/times/match occurrence semantics, atomic claiming, deterministic
+  corruption, serialization.
+
+* The **chaos matrix** -- one self-checking scenario per registered
+  ``(site, kind)`` combination.  ``SCENARIOS`` is a static dict so the
+  coverage test (``test_every_registered_combo_has_a_scenario``) works under
+  pytest-xdist, where module-level runtime accumulation across tests does
+  not survive worker partitioning.  Every scenario asserts that the injected
+  failure is either retried to success or surfaced as a coded error row,
+  and that the workspace stays resumable -- the acceptance contract of the
+  robustness layer.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro import faults
+from repro.api import (
+    FlowConfig,
+    RetryPolicy,
+    SweepEngine,
+    Workspace,
+    fig4_study,
+)
+from repro.faults import FaultError, FaultPlan, FaultRule, InjectedFault
+from repro.faults.sites import SITE_REGISTRY
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """No scenario may leak a process-global plan into its neighbours."""
+    assert faults.active_plan() is None
+    yield
+    faults.uninstall()
+
+
+# ----------------------------------------------------------------------
+# Plan mechanics
+# ----------------------------------------------------------------------
+class TestFaultRuleValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(FaultError):
+            FaultRule("sweep.point", "meteor-strike")
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"times": 0}, {"hang_s": 0.0}, {"skip": -1}]
+    )
+    def test_rejects_malformed_fields(self, kwargs):
+        with pytest.raises(FaultError):
+            FaultRule("sweep.point", "raise", **kwargs)
+
+    def test_plan_rejects_unregistered_site(self):
+        with pytest.raises(FaultError) as excinfo:
+            FaultPlan([FaultRule("warp.core", "raise")])
+        assert "warp.core" in str(excinfo.value)
+
+    def test_plan_rejects_unsupported_kind_at_site(self):
+        # The pipeline site supports raise/hang but not torn-write.
+        with pytest.raises(FaultError):
+            FaultPlan([FaultRule("pipeline.pass", "torn-write")])
+
+    def test_round_trip_preserves_rules_and_seed(self):
+        plan = FaultPlan(
+            [FaultRule("sweep.point", "raise", times=2, match="chain", skip=1)],
+            seed=7,
+        )
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.seed == 7
+        assert clone.rules == plan.rules
+        assert clone.fired() == {}  # counters are not carried over
+
+
+class TestClaimSemantics:
+    def test_times_limits_firings(self):
+        plan = FaultPlan([FaultRule("sweep.point", "raise", times=2)])
+        claims = [plan.claim("sweep.point", f"k{i}") for i in range(4)]
+        assert [c is not None for c in claims] == [True, True, False, False]
+        assert plan.fired() == {0: 2}
+
+    def test_skip_lets_early_occurrences_pass(self):
+        plan = FaultPlan([FaultRule("sweep.point", "raise", times=1, skip=2)])
+        claims = [plan.claim("sweep.point", f"k{i}") for i in range(4)]
+        assert [c is not None for c in claims] == [False, False, True, False]
+        _, occurrence = claims[2]
+        assert occurrence == 3
+
+    def test_match_filters_on_key_substring(self):
+        plan = FaultPlan([FaultRule("sweep.point", "raise", times=None, match="l3")])
+        assert plan.claim("sweep.point", "0:chain:3:16:l4:frag") is None
+        assert plan.claim("sweep.point", "1:chain:3:16:l3:frag") is not None
+        assert plan.claim("sweep.point", None) is None
+
+    def test_other_sites_never_match(self):
+        plan = FaultPlan([FaultRule("sweep.point", "raise")])
+        assert plan.claim("pipeline.pass", "schedule") is None
+        assert plan.fired() == {}
+
+    def test_claims_are_atomic_across_threads(self):
+        import threading
+
+        plan = FaultPlan([FaultRule("sweep.point", "raise", times=1)])
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def contender():
+            barrier.wait()
+            if plan.claim("sweep.point", "k") is not None:
+                wins.append(1)
+
+        threads = [threading.Thread(target=contender) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(wins) == 1  # exactly one winner, whatever the interleaving
+
+
+class TestCorruption:
+    def test_torn_write_is_a_strict_prefix(self):
+        plan = FaultPlan([FaultRule("workspace.write_object", "torn-write")])
+        rule = plan.rules[0]
+        payload = b'{"report": {"area": 42}}'
+        torn = plan.corrupt(rule, "workspace.write_object", "addr", 1, payload)
+        assert torn == payload[: len(payload) // 2]
+        assert plan.corrupt(rule, "workspace.write_object", "addr", 1, b"x") == b"x"
+
+    def test_bit_flip_is_deterministic_and_single_bit(self):
+        plan = FaultPlan([FaultRule("workspace.write_object", "bit-flip")], seed=3)
+        rule = plan.rules[0]
+        payload = bytes(range(64))
+        first = plan.corrupt(rule, "workspace.write_object", "addr", 1, payload)
+        again = plan.corrupt(rule, "workspace.write_object", "addr", 1, payload)
+        assert first == again
+        assert first != payload
+        diff = [a ^ b for a, b in zip(first, payload)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+    def test_bit_flip_varies_with_seed_and_occurrence(self):
+        payload = bytes(range(64))
+        rule = FaultRule("workspace.write_object", "bit-flip")
+        by_seed = {
+            FaultPlan([rule], seed=s).corrupt(
+                rule, "workspace.write_object", "addr", 1, payload
+            )
+            for s in range(4)
+        }
+        assert len(by_seed) > 1
+
+    def test_control_flow_kinds_refuse_to_corrupt(self):
+        plan = FaultPlan([FaultRule("sweep.point", "raise")])
+        with pytest.raises(FaultError):
+            plan.corrupt(plan.rules[0], "sweep.point", "k", 1, b"data")
+
+
+class TestInstallation:
+    def test_injecting_installs_and_uninstalls(self):
+        plan = FaultPlan([FaultRule("sweep.point", "raise")])
+        assert faults.active_plan() is None
+        with faults.injecting(plan) as active:
+            assert active is plan
+            assert faults.active_plan() is plan
+        assert faults.active_plan() is None
+
+    def test_injecting_uninstalls_on_error(self):
+        plan = FaultPlan([FaultRule("sweep.point", "raise")])
+        with pytest.raises(RuntimeError):
+            with faults.injecting(plan):
+                raise RuntimeError("boom")
+        assert faults.active_plan() is None
+
+    def test_site_hook_is_inert_without_a_plan(self):
+        payload = b"untouched"
+        assert faults.site("workspace.write_object", key="k", payload=payload) == (
+            payload
+        )
+
+    def test_injected_fault_is_not_an_os_error(self):
+        # I/O-tolerant recovery code must still see injected faults.
+        assert not issubclass(InjectedFault, OSError)
+        plan = FaultPlan([FaultRule("sweep.point", "raise")])
+        with faults.injecting(plan):
+            with pytest.raises(InjectedFault) as excinfo:
+                faults.site("sweep.point", key="pt")
+        assert excinfo.value.site == "sweep.point"
+        assert excinfo.value.occurrence == 1
+
+
+# ----------------------------------------------------------------------
+# The chaos matrix: one scenario per registered (site, kind) combination.
+# ----------------------------------------------------------------------
+def _config():
+    return FlowConfig(latency=3, mode="fragmented", workload="chain:3:16")
+
+
+def _study(n=2, name="chaos-mini"):
+    return fig4_study("chain:3:16", latencies=range(3, 3 + n), name=name)
+
+
+def _retrying_engine(**kwargs):
+    policy = RetryPolicy(max_attempts=2, backoff_s=0.0, jitter_s=0.0, **kwargs)
+    return SweepEngine(executor="serial", stop_after="time", retry=policy)
+
+
+def _scenario_sweep_point_raise(tmp_path):
+    """A point that raises once is retried to success; the failed attempt
+    is preserved in the attempt history under its RUN code."""
+    plan = FaultPlan([FaultRule("sweep.point", "raise", times=1)])
+    with faults.injecting(plan):
+        (outcome,) = _retrying_engine().run([_config()])
+    assert outcome.ok
+    assert outcome.attempts_made == 2
+    assert outcome.attempts[0].error_code == "RUN001"
+    assert "injected fault" in outcome.attempts[0].error
+    assert outcome.attempts[1].error_code is None
+    assert plan.fired() == {0: 1}
+
+
+def _scenario_sweep_point_hang(tmp_path):
+    """A hung point trips the heartbeat watchdog (RUN004) and the retry
+    succeeds."""
+    plan = FaultPlan([FaultRule("sweep.point", "hang", times=1, hang_s=5.0)])
+    engine = _retrying_engine(heartbeat_timeout_s=0.2)
+    with faults.injecting(plan):
+        (outcome,) = engine.run([_config()])
+    assert outcome.ok
+    assert outcome.attempts[0].error_code == "RUN004"
+    assert "hung" in outcome.attempts[0].error
+    assert plan.fired() == {0: 1}
+
+
+def _scenario_sweep_point_kill(tmp_path):
+    """SIGKILLing a pool worker mid-point breaks the pool; the point is
+    charged a RUN003 attempt and retried on a fresh worker.  (The plan ships
+    only with the first attempt, so the retry runs unarmed.)"""
+    plan = FaultPlan([FaultRule("sweep.point", "kill", times=1)])
+    engine = SweepEngine(
+        executor="process",
+        max_workers=1,
+        stop_after="time",
+        retry=RetryPolicy(max_attempts=2, backoff_s=0.0, jitter_s=0.0),
+    )
+    with faults.injecting(plan):
+        (outcome,) = engine.run([_config()])
+    assert outcome.ok
+    assert outcome.attempts[0].error_code == "RUN003"
+    assert outcome.attempts[1].error_code is None
+
+
+def _scenario_pipeline_pass_raise(tmp_path):
+    """A mid-pipeline failure (the schedule pass) is isolated and retried."""
+    plan = FaultPlan(
+        [FaultRule("pipeline.pass", "raise", times=1, match="schedule")]
+    )
+    with faults.injecting(plan):
+        (outcome,) = _retrying_engine().run([_config()])
+    assert outcome.ok
+    assert outcome.attempts[0].error_code == "RUN001"
+    assert plan.fired() == {0: 1}
+
+
+def _scenario_pipeline_pass_hang(tmp_path):
+    """A pass that stops heartbeating is presumed hung (RUN004), abandoned,
+    and retried."""
+    plan = FaultPlan(
+        [FaultRule("pipeline.pass", "hang", times=1, hang_s=5.0, match="schedule")]
+    )
+    engine = _retrying_engine(heartbeat_timeout_s=0.2)
+    with faults.injecting(plan):
+        (outcome,) = engine.run([_config()])
+    assert outcome.ok
+    assert outcome.attempts[0].error_code == "RUN004"
+    assert plan.fired() == {0: 1}
+
+
+def _run_write_object_scenario(tmp_path, kind):
+    """Failing to persist a completed row yields a RUN005 error row; a rerun
+    without the fault heals the workspace and salvage reports it clean."""
+    study = _study()
+    plan = FaultPlan([FaultRule("workspace.write_object", kind, times=1)])
+    workspace = Workspace(tmp_path / "ws")
+    with faults.injecting(plan):
+        result = workspace.run_study(study)
+    assert result.failed == 1
+    (failure,) = [r for r in result.results if r.error_code is not None]
+    assert failure.error_code == "RUN005"
+    assert plan.fired() == {0: 1}
+    status = workspace.status(study)
+    assert status["failed"] == 1
+
+    healed = workspace.run_study(study)
+    assert healed.complete and healed.failed == 0
+    assert workspace.status(study)["failed"] == 0
+    assert workspace.salvage().clean
+
+
+def _scenario_write_object_raise(tmp_path):
+    _run_write_object_scenario(tmp_path, "raise")
+
+
+def _scenario_write_object_torn(tmp_path):
+    # The torn object fails the post-write hash verification and is
+    # quarantined instead of poisoning the store.
+    _run_write_object_scenario(tmp_path, "torn-write")
+
+
+def _scenario_write_object_bitflip(tmp_path):
+    _run_write_object_scenario(tmp_path, "bit-flip")
+
+
+def _scenario_write_manifest_raise(tmp_path):
+    """A manifest save that dies *after* the row hit the object store and
+    the journal loses nothing: the next open replays the journal and the
+    whole study loads with zero recomputation."""
+    study = _study()
+    # skip=1: let the run-start bookkeeping save pass, kill the save that
+    # carries the first completed row.
+    plan = FaultPlan(
+        [FaultRule("workspace.write_manifest", "raise", times=1, skip=1)]
+    )
+    with faults.injecting(plan):
+        result = Workspace(tmp_path / "ws").run_study(study)
+    assert result.failed == 1  # conservatively reported as RUN005...
+    assert plan.fired() == {0: 1}
+
+    reopened = Workspace(tmp_path / "ws")
+    healed = reopened.run_study(study)
+    # ...but object + journal were durable, so nothing is recomputed.
+    assert healed.complete
+    assert healed.loaded == len(study) and healed.ran == 0
+    assert reopened.salvage().clean
+
+
+def _scenario_write_manifest_torn(tmp_path):
+    """A torn manifest write is self-healed by the next save (the in-memory
+    manifest is authoritative); the finished workspace reopens cleanly."""
+    study = _study()
+    plan = FaultPlan([FaultRule("workspace.write_manifest", "torn-write", times=1)])
+    with faults.injecting(plan):
+        result = Workspace(tmp_path / "ws").run_study(study)
+    assert result.complete and result.failed == 0
+    assert plan.fired() == {0: 1}
+    reopened = Workspace(tmp_path / "ws")  # manifest on disk is valid again
+    assert reopened.status(study)["completed"] == len(study)
+
+
+def _scenario_write_manifest_kill(tmp_path):
+    """SIGKILL between the journal append and the manifest rewrite -- the
+    classic WAL crash window -- in a real subprocess.  The journal replay
+    recovers the completed row; the resumed run recomputes nothing it
+    already paid for.  Doubles as the stale-lock drill: the victim died
+    holding the advisory lock."""
+    root = tmp_path / "ws"
+    script = textwrap.dedent(
+        f"""
+        from repro import faults
+        from repro.api import Workspace, fig4_study
+
+        study = fig4_study("chain:3:16", latencies=range(3, 5), name="chaos-mini")
+        plan = faults.FaultPlan(
+            [faults.FaultRule("workspace.write_manifest", "kill", times=1, skip=1)]
+        )
+        with faults.injecting(plan):
+            Workspace({str(root)!r}).run_study(study)
+        raise SystemExit("unreachable: the kill rule must fire")
+        """
+    )
+    env = {**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)}
+    proc = subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True, text=True,
+        timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+    study = _study()
+    workspace = Workspace(root)  # journal replay happens on open
+    assert workspace.load_row(study.name, study.points()[0]) is not None
+    resumed = workspace.run_study(study)  # stale .lock taken over (dead pid)
+    assert resumed.complete
+    assert resumed.loaded >= 1  # the journalled row was never recomputed
+    assert resumed.loaded + resumed.ran == len(study)
+    assert workspace.salvage().clean
+
+
+def _scenario_journal_append_raise(tmp_path):
+    """The journal is belt-and-braces: an append failure is absorbed (the
+    manifest save right after it is the actual durability point)."""
+    study = _study()
+    plan = FaultPlan([FaultRule("workspace.journal.append", "raise", times=1)])
+    workspace = Workspace(tmp_path / "ws")
+    with faults.injecting(plan):
+        result = workspace.run_study(study)
+    assert result.complete and result.failed == 0
+    assert plan.fired() == {0: 1}  # it really did fire and was absorbed
+    assert workspace.status(study)["completed"] == len(study)
+
+
+def _scenario_journal_append_torn(tmp_path):
+    """A crash mid-append leaves a torn *tail* line in the journal; replay
+    skips it, applies every intact line before it, and never crashes."""
+    workspace = Workspace(tmp_path / "ws")
+    record = {"address": "00" * 4, "completed_at": "2026-01-01T00:00:00Z"}
+    workspace._append_journal("chaos", "pt-intact", record)
+    plan = FaultPlan(
+        [FaultRule("workspace.journal.append", "torn-write", times=1)]
+    )
+    with faults.injecting(plan):
+        workspace._append_journal("chaos", "pt-torn", record)
+    assert plan.fired() == {0: 1}
+
+    manifest = workspace._fresh_manifest()
+    applied = workspace._replay_journal(manifest)
+    assert applied == 1  # the torn tail is skipped, not fatal
+    points = manifest["studies"]["chaos"]["points"]
+    assert "pt-intact" in points and "pt-torn" not in points
+    # Replay is idempotent: a second pass over the same journal is a no-op.
+    assert workspace._replay_journal(manifest) == 0
+
+
+def _run_load_object_scenario(tmp_path, kind, times=1):
+    """A row that cannot be read back is contained: quarantined (never a
+    crash), recomputed, and re-stored at the same address."""
+    study = _study()
+    workspace = Workspace(tmp_path / "ws")
+    assert workspace.run_study(study).complete
+
+    plan = FaultPlan([FaultRule("workspace.load_object", kind, times=times)])
+    with faults.injecting(plan):
+        reread = workspace.run_study(study)
+    assert reread.complete and reread.failed == 0
+    assert plan.fired() == {0: times}
+    # Whether the flip landed in an addressed field (forcing a recompute) or
+    # a provenance one (row loads anyway) the study must end complete...
+    assert reread.loaded + reread.ran == len(study)
+    # ...and a clean pass proves the store healed.
+    final = workspace.run_study(study)
+    assert final.loaded == len(study) and final.ran == 0
+    assert workspace.salvage().clean
+
+
+def _scenario_load_object_raise(tmp_path):
+    study = _study()
+    workspace = Workspace(tmp_path / "ws")
+    assert workspace.run_study(study).complete
+    plan = FaultPlan([FaultRule("workspace.load_object", "raise", times=1)])
+    with faults.injecting(plan):
+        reread = workspace.run_study(study)
+    assert reread.complete
+    assert reread.ran == 1 and reread.loaded == len(study) - 1
+    assert plan.fired() == {0: 1}
+    assert workspace.run_study(study).loaded == len(study)
+    assert workspace.salvage().clean
+
+
+def _scenario_load_object_bitflip(tmp_path):
+    _run_load_object_scenario(tmp_path, "bit-flip")
+
+
+#: (site, kind) -> scenario.  Static so the coverage check below is exact
+#: under pytest-xdist.  Every entry is a full drill: inject, observe the
+#: coded failure or the successful retry, prove the workspace recovered.
+SCENARIOS = {
+    ("sweep.point", "raise"): _scenario_sweep_point_raise,
+    ("sweep.point", "hang"): _scenario_sweep_point_hang,
+    ("sweep.point", "kill"): _scenario_sweep_point_kill,
+    ("pipeline.pass", "raise"): _scenario_pipeline_pass_raise,
+    ("pipeline.pass", "hang"): _scenario_pipeline_pass_hang,
+    ("workspace.write_object", "raise"): _scenario_write_object_raise,
+    ("workspace.write_object", "torn-write"): _scenario_write_object_torn,
+    ("workspace.write_object", "bit-flip"): _scenario_write_object_bitflip,
+    ("workspace.write_manifest", "raise"): _scenario_write_manifest_raise,
+    ("workspace.write_manifest", "torn-write"): _scenario_write_manifest_torn,
+    ("workspace.write_manifest", "kill"): _scenario_write_manifest_kill,
+    ("workspace.journal.append", "raise"): _scenario_journal_append_raise,
+    ("workspace.journal.append", "torn-write"): _scenario_journal_append_torn,
+    ("workspace.load_object", "raise"): _scenario_load_object_raise,
+    ("workspace.load_object", "bit-flip"): _scenario_load_object_bitflip,
+}
+
+
+def test_every_registered_combo_has_a_scenario():
+    """The matrix is exhaustive: adding a site or kind without a chaos
+    scenario fails here."""
+    registered = {
+        (site.name, kind)
+        for site in SITE_REGISTRY.values()
+        for kind in site.kinds
+    }
+    assert set(SCENARIOS) == registered
+
+
+@pytest.mark.parametrize(
+    "combo", sorted(SCENARIOS), ids=lambda combo: f"{combo[0]}-{combo[1]}"
+)
+def test_chaos(combo, tmp_path):
+    SCENARIOS[combo](tmp_path)

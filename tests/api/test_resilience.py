@@ -1,0 +1,163 @@
+"""Tests for the resilience policy layer: RetryPolicy, RUN codes, heartbeats."""
+
+import threading
+
+import pytest
+
+from repro.api import resilience
+from repro.api.resilience import (
+    ON_ERROR_CHOICES,
+    RUN_CODE_REGISTRY,
+    AttemptRecord,
+    RetryPolicy,
+    build_error_row,
+    exception_chain,
+    run_error_title,
+)
+
+
+class TestRunCodeRegistry:
+    def test_codes_are_stable_and_sequential(self):
+        assert list(RUN_CODE_REGISTRY) == [
+            "RUN001", "RUN002", "RUN003", "RUN004", "RUN005",
+        ]
+
+    def test_titles_are_nonempty(self):
+        for code in RUN_CODE_REGISTRY:
+            assert run_error_title(code)
+
+    def test_unregistered_code_raises(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_error_title("RUN999")
+        assert "RUN999" in str(excinfo.value)
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_one_attempt_no_timeout(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 1
+        assert policy.timeout_s is None
+        assert policy.on_error == "record"
+        assert not policy.retries_enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_s": -1.0},
+            {"jitter_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"timeout_s": 0},
+            {"timeout_s": -3.0},
+            {"heartbeat_timeout_s": 0},
+            {"on_error": "explode"},
+        ],
+    )
+    def test_rejects_malformed_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_on_error_choices_cover_the_cli_spellings(self):
+        assert ON_ERROR_CHOICES == ("record", "skip", "raise")
+
+    def test_heartbeat_timeout_defaults_to_timeout(self):
+        assert RetryPolicy(timeout_s=5.0).effective_heartbeat_timeout_s == 5.0
+        assert (
+            RetryPolicy(timeout_s=5.0, heartbeat_timeout_s=1.0)
+            .effective_heartbeat_timeout_s
+            == 1.0
+        )
+        assert RetryPolicy().effective_heartbeat_timeout_s is None
+
+    def test_replace_round_trips(self):
+        policy = RetryPolicy(max_attempts=3, timeout_s=2.0)
+        changed = policy.replace(on_error="raise")
+        assert changed.max_attempts == 3
+        assert changed.timeout_s == 2.0
+        assert changed.on_error == "raise"
+        assert policy.on_error == "record"  # original untouched
+
+    def test_dict_round_trip(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_s=0.1, jitter_s=0.02, timeout_s=9.0,
+            on_error="skip",
+        )
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+
+class TestDeterministicBackoff:
+    def test_first_attempt_has_no_delay(self):
+        assert RetryPolicy(max_attempts=3).delay_for("k", 1) == 0.0
+
+    def test_delays_are_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, backoff_s=0.1, jitter_s=0.05)
+        for attempt in (2, 3, 4):
+            assert policy.delay_for("point-a", attempt) == policy.delay_for(
+                "point-a", attempt
+            )
+
+    def test_delays_grow_exponentially(self):
+        policy = RetryPolicy(max_attempts=5, backoff_s=0.1, jitter_s=0.0)
+        assert policy.delay_for("k", 2) == pytest.approx(0.1)
+        assert policy.delay_for("k", 3) == pytest.approx(0.2)
+        assert policy.delay_for("k", 4) == pytest.approx(0.4)
+
+    def test_jitter_varies_by_key_but_stays_bounded(self):
+        policy = RetryPolicy(max_attempts=3, backoff_s=0.1, jitter_s=0.05)
+        delays = {policy.delay_for(f"point-{i}", 2) for i in range(16)}
+        assert len(delays) > 1  # different keys jitter differently
+        for delay in delays:
+            assert 0.1 <= delay < 0.1 + 0.05
+
+
+class TestErrorRows:
+    def test_build_error_row_shape(self):
+        attempts = [
+            AttemptRecord(attempt=1, error_code="RUN001", error="boom", elapsed_s=0.1),
+            AttemptRecord(attempt=2, elapsed_s=0.2),
+        ]
+        row = build_error_row("pt-1", "RUN001", "boom", attempts, chain=["E: boom"])
+        assert row["point_id"] == "pt-1"
+        assert row["error_code"] == "RUN001"
+        assert row["error_title"] == RUN_CODE_REGISTRY["RUN001"]
+        assert row["error_chain"] == ["E: boom"]
+        assert [a["attempt"] for a in row["attempts"]] == [1, 2]
+
+    def test_build_error_row_rejects_unknown_codes(self):
+        with pytest.raises(ValueError):
+            build_error_row("pt-1", "RUN042", "boom", [])
+
+    def test_exception_chain_walks_causes(self):
+        try:
+            try:
+                raise KeyError("inner")
+            except KeyError as inner:
+                raise RuntimeError("outer") from inner
+        except RuntimeError as error:
+            chain = exception_chain(error)
+        assert chain[0].startswith("RuntimeError: outer")
+        assert chain[1].startswith("KeyError:")
+
+    def test_attempt_record_round_trips(self):
+        record = AttemptRecord(attempt=2, error_code="RUN002", error="slow", elapsed_s=1.5)
+        assert AttemptRecord.from_dict(record.to_dict()) == record
+
+
+class TestHeartbeats:
+    def test_heartbeat_is_per_thread(self):
+        seen = {}
+
+        def worker():
+            resilience.heartbeat()
+            seen["beat"] = resilience.last_heartbeat(threading.get_ident())
+            resilience.clear_heartbeat(threading.get_ident())
+            seen["cleared"] = resilience.last_heartbeat(threading.get_ident())
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["beat"] is not None
+        assert seen["cleared"] is None
+        # The worker's heartbeat never leaks onto this thread's ident.
+        resilience.clear_heartbeat(threading.get_ident())
+        assert resilience.last_heartbeat(threading.get_ident()) is None

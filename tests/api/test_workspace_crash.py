@@ -1,0 +1,289 @@
+"""Crash recovery of the workspace: corrupt-load quarantine, salvage,
+advisory locking, error-row lifecycle, and the KeyboardInterrupt flush."""
+
+import json
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.api import (
+    RetryPolicy,
+    SweepPointError,
+    Workspace,
+    WorkspaceCorruptError,
+    WorkspaceError,
+    fig4_study,
+)
+from repro.faults import FaultPlan, FaultRule
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    assert faults.active_plan() is None
+    yield
+    faults.uninstall()
+
+
+def _study(n=2, name="crash-mini"):
+    return fig4_study("chain:3:16", latencies=range(3, 3 + n), name=name)
+
+
+def _dead_pid():
+    """A pid guaranteed to be dead: a child we already reaped."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestCorruptManifest:
+    def test_garbage_manifest_raises_typed_error_with_path(self, tmp_path):
+        root = tmp_path / "ws"
+        Workspace(root)  # creates a valid manifest
+        (root / "manifest.json").write_text("{truncated")
+        with pytest.raises(WorkspaceCorruptError) as excinfo:
+            Workspace(root)
+        assert excinfo.value.path == root / "manifest.json"
+        assert "salvage" in str(excinfo.value)  # points at the way out
+        assert isinstance(excinfo.value, WorkspaceError)  # catchable broadly
+
+    def test_non_object_manifest_is_corrupt(self, tmp_path):
+        root = tmp_path / "ws"
+        Workspace(root)
+        (root / "manifest.json").write_text("[1, 2, 3]")
+        with pytest.raises(WorkspaceCorruptError):
+            Workspace(root)
+
+    def test_recover_quarantines_and_rebuilds(self, tmp_path):
+        root = tmp_path / "ws"
+        study = _study()
+        Workspace(root).run_study(study)
+        (root / "manifest.json").write_text("{truncated")
+
+        workspace = Workspace(root, recover=True)
+        # The broken bytes are preserved as evidence, never deleted.
+        quarantined = list((root / "quarantine").iterdir())
+        assert any(p.name.startswith("manifest.json.") for p in quarantined)
+        # The rebuilt manifest lost its records (journal was compacted), but
+        # salvage reattaches the intact row objects from their provenance.
+        report = workspace.salvage()
+        assert report.reattached == len(study)
+        assert workspace.status(study)["completed"] == len(study)
+        resumed = workspace.run_study(study)
+        assert resumed.loaded == len(study) and resumed.ran == 0
+
+    def test_schema_mismatch_is_not_recovered_over(self, tmp_path):
+        root = tmp_path / "ws"
+        Workspace(root)
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["schema_version"] = 999
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        # A future schema is not corruption: recovery must not destroy it.
+        with pytest.raises(WorkspaceError) as excinfo:
+            Workspace(root, recover=True)
+        assert not isinstance(excinfo.value, WorkspaceCorruptError)
+        assert "schema" in str(excinfo.value)
+
+
+class TestSalvage:
+    def test_clean_workspace_salvages_clean(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        workspace.run_study(_study())
+        report = workspace.salvage()
+        assert report.clean
+        assert report.to_dict()["clean"] is True
+
+    def test_corrupt_object_is_quarantined_and_its_record_dropped(self, tmp_path):
+        root = tmp_path / "ws"
+        workspace = Workspace(root)
+        study = _study()
+        workspace.run_study(study)
+        victim = next((root / "objects").rglob("*.json"))
+        victim.write_text("not json at all")
+
+        report = workspace.salvage()
+        assert len(report.quarantined) == 1
+        assert report.dropped_records == 1
+        assert not report.clean
+        assert workspace.salvage().clean  # idempotent
+        # The dropped point re-runs; the others load.
+        healed = workspace.run_study(study)
+        assert healed.complete
+        assert healed.ran == 1 and healed.loaded == len(study) - 1
+
+    def test_missing_object_drops_the_dangling_record(self, tmp_path):
+        root = tmp_path / "ws"
+        workspace = Workspace(root)
+        study = _study()
+        workspace.run_study(study)
+        next((root / "objects").rglob("*.json")).unlink()
+
+        report = workspace.salvage()
+        assert report.dropped_records == 1 and not report.quarantined
+        assert workspace.status(study)["missing"] == 1
+
+    def test_orphan_objects_reattach_by_provenance(self, tmp_path):
+        root = tmp_path / "ws"
+        study = _study()
+        Workspace(root).run_study(study)
+        (root / "manifest.json").unlink()  # total manifest loss
+
+        workspace = Workspace(root)  # fresh manifest, no records
+        assert workspace.status(study)["completed"] == 0
+        report = workspace.salvage()
+        assert report.reattached == len(study)
+        assert workspace.run_study(study).loaded == len(study)
+
+
+class TestAdvisoryLock:
+    def test_lock_held_during_run_and_released_after(self, tmp_path):
+        root = tmp_path / "ws"
+        workspace = Workspace(root)
+        seen = []
+        workspace.run_study(
+            _study(), progress=lambda *args: seen.append(workspace.lock_path.exists())
+        )
+        assert seen and all(seen)
+        assert not workspace.lock_path.exists()
+
+    def test_dead_pid_lock_is_taken_over(self, tmp_path):
+        root = tmp_path / "ws"
+        workspace = Workspace(root)
+        workspace.lock_path.write_text(
+            json.dumps({"pid": _dead_pid(), "created_at": time.time()})
+        )
+        assert workspace.run_study(_study()).complete
+        assert not workspace.lock_path.exists()
+
+    def test_live_foreign_lock_refuses(self, tmp_path):
+        root = tmp_path / "ws"
+        workspace = Workspace(root)
+        # pid 1 is alive and is not us.
+        workspace.lock_path.write_text(
+            json.dumps({"pid": 1, "created_at": time.time()})
+        )
+        with pytest.raises(WorkspaceError) as excinfo:
+            workspace.run_study(_study())
+        assert "locked by running process 1" in str(excinfo.value)
+        workspace.lock_path.unlink()
+
+    def test_stale_by_age_lock_is_taken_over(self, tmp_path):
+        root = tmp_path / "ws"
+        workspace = Workspace(root)
+        workspace.lock_path.write_text(
+            json.dumps({"pid": 1, "created_at": time.time() - 7200})
+        )
+        assert workspace.run_study(_study()).complete
+
+    def test_unparseable_lock_is_taken_over(self, tmp_path):
+        root = tmp_path / "ws"
+        workspace = Workspace(root)
+        workspace.lock_path.write_text("???")
+        assert workspace.run_study(_study()).complete
+
+    def test_same_process_reentry_shares_the_lock(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        workspace.run_study(_study())
+        with workspace._holding_lock():
+            assert workspace.salvage().clean  # nested acquisition, no deadlock
+        assert workspace.lock_path.exists() is False
+
+
+class TestErrorRowLifecycle:
+    def test_exhausted_point_becomes_a_coded_error_row(self, tmp_path):
+        study = _study()
+        workspace = Workspace(tmp_path / "ws")
+        plan = FaultPlan([FaultRule("sweep.point", "raise", times=None)])
+        with faults.injecting(plan):
+            result = workspace.run_study(study)
+        assert result.failed == len(study)
+        assert not result.complete
+        status = workspace.status(study)
+        assert status["failed"] == len(study)
+        assert status["missing"] == len(study)  # failed points still re-run
+        assert all(row["status"] == "failed" for row in status["points"])
+        assert all(row["error_code"] == "RUN001" for row in status["points"])
+        # The stored error rows carry the full forensic record.
+        errors = workspace._manifest["studies"][study.name]["errors"]
+        row = errors[study.points()[0].point_id]
+        assert row["error_title"] == "point raised an exception"
+        assert row["error_chain"] and "injected fault" in row["error_chain"][0]
+        assert row["attempts"][0]["error_code"] == "RUN001"
+        assert "recorded_at" in row
+
+    def test_error_rows_clear_when_the_point_succeeds(self, tmp_path):
+        study = _study()
+        workspace = Workspace(tmp_path / "ws")
+        plan = FaultPlan([FaultRule("sweep.point", "raise", times=None)])
+        with faults.injecting(plan):
+            workspace.run_study(study)
+        healed = workspace.run_study(study)
+        assert healed.complete
+        status = workspace.status(study)
+        assert status["failed"] == 0 and status["completed"] == len(study)
+        assert not workspace._manifest["studies"][study.name].get("errors")
+
+    def test_on_error_skip_records_nothing(self, tmp_path):
+        study = _study().with_retry(RetryPolicy(on_error="skip"))
+        workspace = Workspace(tmp_path / "ws")
+        plan = FaultPlan([FaultRule("sweep.point", "raise", times=None)])
+        with faults.injecting(plan):
+            result = workspace.run_study(study)
+        assert result.failed == len(study)  # the run result still knows...
+        status = workspace.status(study)
+        assert status["failed"] == 0  # ...but nothing was persisted
+        assert status["missing"] == len(study)
+
+    def test_on_error_raise_aborts_the_run(self, tmp_path):
+        study = _study().with_retry(RetryPolicy(on_error="raise"))
+        workspace = Workspace(tmp_path / "ws")
+        plan = FaultPlan([FaultRule("sweep.point", "raise", times=None)])
+        with faults.injecting(plan):
+            with pytest.raises(SweepPointError) as excinfo:
+                workspace.run_study(study)
+        assert excinfo.value.outcome.error_code == "RUN001"
+        assert not workspace.lock_path.exists()  # lock released on the way out
+
+
+class TestKeyboardInterruptFlush:
+    def test_interrupt_flushes_completed_rows_and_stays_resumable(self, tmp_path):
+        study = _study(3)
+        workspace = Workspace(tmp_path / "ws")
+        fired = []
+
+        def interrupt_once(result, done, total):
+            if result.source == "run" and not fired:
+                fired.append(result)
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            workspace.run_study(study, progress=interrupt_once)
+        assert not workspace.lock_path.exists()
+
+        # The row settled before the interrupt survived; the rest resume.
+        resumed = workspace.run_study(study)
+        assert resumed.complete
+        assert resumed.loaded >= 1
+        assert resumed.loaded + resumed.ran == len(study)
+
+    def test_interrupt_in_threaded_run_loses_no_finished_row(self, tmp_path):
+        study = _study(4)
+        workspace = Workspace(tmp_path / "ws")
+        fired = []
+
+        def interrupt_once(result, done, total):
+            if result.source == "run" and not fired:
+                fired.append(result)
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            workspace.run_study(
+                study, max_workers=2, executor="thread", progress=interrupt_once
+            )
+        flushed = workspace.status(study)["completed"]
+        assert flushed >= 1
+        resumed = workspace.run_study(study)
+        assert resumed.complete
+        assert resumed.loaded == flushed  # zero recompute of flushed rows

@@ -304,8 +304,12 @@ class TestRunBenchmarks:
             "emit",
             "check",
             "studies",
+            "faults",
             "meta",
         }
+        assert result["faults"]["site_noplan_s"] > 0.0
+        assert result["faults"]["injected_retry_s"] > 0.0
+        assert result["faults"]["salvage_s"] > 0.0
         assert result["emit"]["chain:2:4"]["emit_s"] > 0.0
         assert result["emit"]["chain:2:4"]["rtlsim_s"] > 0.0
         assert result["check"]["chain:2:4"]["check_s"] > 0.0
