@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-ruiz-sautua-date2005",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of Ruiz-Sautua et al. (DATE 2005): behavioural "
         "transformation to improve circuit performance in high-level synthesis"
@@ -18,6 +18,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.8",
+    extras_require={
+        # Optional numpy plane backend of repro.engine: `pip install
+        # repro[fast]`.  The core stays dependency-free; without numpy the
+        # engine runs on the bit-identical big-int backend.
+        "fast": ["numpy"],
+    },
     entry_points={
         "console_scripts": [
             "repro=repro.api.cli:main",

@@ -19,7 +19,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..api.config import FlowConfig
 from ..api.pipeline import Pipeline
-from ..api.sweep import SweepEngine
+from ..api.sweep import DEFAULT_SWEEP_CHUNK, SweepEngine
 from ..core.transform import TransformOptions
 from ..ir.spec import Specification
 from ..techlib.library import TechnologyLibrary
@@ -201,8 +201,14 @@ def latency_sweep(
         # points stop after the timing pass: allocation and binding -- about
         # 40% of a full point -- never run.  The timing rows carry the same
         # values a full report would for every key read below.
+        # Serial sweeps run in GC-paused chunks (identical results, large
+        # fixed-cost saving); pooled executors keep per-point granularity.
         engine = SweepEngine(
-            pipeline, max_workers=max_workers, executor=executor, stop_after="time"
+            pipeline,
+            max_workers=max_workers,
+            executor=executor,
+            stop_after="time",
+            chunk=DEFAULT_SWEEP_CHUNK if executor == "serial" else None,
         )
     elif library is not None:
         raise ValueError(

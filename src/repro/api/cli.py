@@ -54,7 +54,7 @@ from .cache import ResultCache
 from .config import ConfigError, FlowConfig, available_workloads
 from .pipeline import Pipeline
 from .resilience import ON_ERROR_CHOICES, RetryPolicy
-from .sweep import SweepEngine, SweepPointError
+from .sweep import DEFAULT_SWEEP_CHUNK, SweepEngine, SweepPointError
 
 
 def _parse_latencies(text: str) -> List[int]:
@@ -206,6 +206,20 @@ def build_parser() -> argparse.ArgumentParser:
         "entry",
     )
     run_parser.add_argument(
+        "--equivalence-chunk-lanes",
+        type=int,
+        default=None,
+        help="lane count of one batch-engine equivalence chunk (default: the "
+        "engine default; any positive value yields the same report)",
+    )
+    run_parser.add_argument(
+        "--engine",
+        choices=("auto", "bigint", "numpy", "legacy"),
+        default=None,
+        help="bit-plane evaluation core used by the run's simulations "
+        "(default: auto; every choice is bit-identical)",
+    )
+    run_parser.add_argument(
         "--stop-after",
         default=None,
         help="stop the pipeline after this pass (parse, validate, transform, "
@@ -335,6 +349,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("serial", "thread", "process"),
         default=None,
         help="worker pool type (default: serial, or thread when --workers > 1)",
+    )
+    sweep_parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="points per batched sweep task: serial sweeps run each chunk "
+        "GC-paused, the process executor ships one task per chunk "
+        "(default: 8 for serial sweeps, per-point otherwise; results are "
+        "identical for any chunk size)",
     )
     sweep_parser.add_argument("--json", action="store_true")
     _add_library_options(sweep_parser)
@@ -507,6 +530,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="tag recorded in this run's history entry (e.g. a PR number)",
     )
     perf_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each harness section under cProfile and print its top-20 "
+        "cumulative-time functions (measurement timings are still reported "
+        "but distorted by profiler overhead; not written to the bench file)",
+    )
+    perf_parser.add_argument(
         "--no-write", action="store_true", help="measure and report without writing"
     )
     perf_parser.add_argument("--json", action="store_true")
@@ -553,6 +583,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         check_equivalence=args.check_equivalence,
         equivalence_vectors=args.equivalence_vectors,
         equivalence_seed=args.equivalence_seed,
+        equivalence_chunk_lanes=args.equivalence_chunk_lanes,
+        engine=args.engine,
     )
     pipeline = _make_pipeline(args.cache_dir)
     try:
@@ -756,12 +788,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # latency axis and library styles.  Its points stop after the timing
     # pass (no allocation) -- same numbers, a fraction of the work.
     study = fig4_study(args.workload, latencies=args.latencies)
+    chunk = args.chunk
+    if chunk is None and executor == "serial":
+        chunk = DEFAULT_SWEEP_CHUNK
     engine = SweepEngine(
         pipeline=_make_pipeline(args.cache_dir),
         max_workers=args.workers,
         executor=executor,
         stop_after=study.stop_after,
         retry=_retry_policy_from_args(args),
+        chunk=chunk,
     )
     configs = [
         config.replace(
@@ -1003,7 +1039,16 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     repeats = args.repeats
     if repeats is None:
         repeats = 2 if args.quick else 3
-    current = run_benchmarks(quick=args.quick, repeats=repeats)
+    current = run_benchmarks(quick=args.quick, repeats=repeats, profile=args.profile)
+
+    if args.profile:
+        # Profiler overhead distorts every number; never let a profiled run
+        # land in the bench file or trip a gate.
+        print(
+            "profiled run: timings include cProfile overhead; "
+            "bench file not updated, gates skipped"
+        )
+        return 0
 
     existing = load_bench(args.output)
     # The written anchor: preserved from the output file unless explicitly

@@ -173,6 +173,29 @@ class FlowConfig:
         excluded from :meth:`content_hash` (see :meth:`semantic_dict`) --
         a retried run shares cache entries and workspace rows with a plain
         one.  ``None`` defers to the engine/study default.
+    sweep_chunk:
+        Batch-chunk size consumed by the sweep engine: how many points run
+        per batched task (serial GC-paused chunks, or one process-pool task
+        per chunk).  An execution field like the retry policy -- it changes
+        how a sweep is dispatched, never what any point computes -- so it is
+        excluded from :meth:`content_hash`.  ``None`` defers to the engine
+        default (per-point streaming).
+    equivalence_chunk_lanes:
+        Lane count of one batch-engine equivalence chunk (the bound on
+        big-int plane width during the transform pass's co-simulation).
+        Results are bit-identical for any chunk size -- chunks are compared
+        in vector order -- so this is an execution field too, excluded from
+        :meth:`content_hash`.  ``None`` uses the engine default
+        (:data:`repro.simulation.equivalence.BATCH_CHUNK_LANES`).
+    engine:
+        Bit-plane evaluation core used wherever the run simulates (the
+        transform pass's equivalence check and the emit pass's
+        co-simulation): ``"auto"`` (compiled plan, backend chosen by lane
+        count), ``"bigint"``, ``"numpy"``, or ``"legacy"`` for the
+        pre-plan loops.  Every choice is bit-identical -- pinned by the
+        cross-engine property suite -- so this too is an execution field,
+        excluded from :meth:`content_hash`.  ``None`` defers to the
+        ``REPRO_ENGINE`` environment variable, then ``"auto"``.
     """
 
     latency: int
@@ -197,6 +220,9 @@ class FlowConfig:
     retries: Optional[int] = None
     timeout_s: Optional[float] = None
     on_error: Optional[str] = None
+    sweep_chunk: Optional[int] = None
+    equivalence_chunk_lanes: Optional[int] = None
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "mode", FlowMode.coerce(self.mode))
@@ -276,6 +302,27 @@ class FlowConfig:
                 "on_error must be 'record', 'skip' or 'raise', got "
                 f"{self.on_error!r}"
             )
+        for name in ("sweep_chunk", "equivalence_chunk_lanes"):
+            value = getattr(self, name)
+            if value is not None and (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < 1
+            ):
+                raise ConfigError(
+                    f"{name} must be a positive integer, got {value!r} "
+                    "(use None for the default)"
+                )
+        if self.engine is not None and self.engine not in (
+            "auto",
+            "bigint",
+            "numpy",
+            "legacy",
+        ):
+            raise ConfigError(
+                "engine must be 'auto', 'bigint', 'numpy' or 'legacy', got "
+                f"{self.engine!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derived views
@@ -346,7 +393,14 @@ class FlowConfig:
     #: *what* it computes.  Excluded from the semantic view and the content
     #: hash so execution-policy changes never invalidate caches or stored
     #: workspace rows.
-    EXECUTION_FIELDS = ("retries", "timeout_s", "on_error")
+    EXECUTION_FIELDS = (
+        "retries",
+        "timeout_s",
+        "on_error",
+        "sweep_chunk",
+        "equivalence_chunk_lanes",
+        "engine",
+    )
 
     def semantic_dict(self) -> Dict[str, Any]:
         """:meth:`to_dict` minus the execution-policy fields.

@@ -65,6 +65,8 @@ def transform_pass(artifact: RunArtifact) -> None:
         check_equivalence=config.check_equivalence,
         equivalence_vectors=config.equivalence_vectors,
         equivalence_seed=config.equivalence_seed,
+        equivalence_chunk_lanes=config.equivalence_chunk_lanes,
+        equivalence_backend=config.engine,
         chained_bits_override=config.chained_bits_per_cycle,
         validate_input=False,  # the validate pass handles the input
         validate_output=config.validate_output,
@@ -132,6 +134,7 @@ def emit_pass(artifact: RunArtifact) -> None:
             artifact.require("working_specification"),
             random_count=config.equivalence_vectors,
             seed=config.equivalence_seed,
+            backend=config.engine,
         )
         emission.check = check
         if not check.equivalent:

@@ -26,6 +26,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from .. import faults
 from ..ir.spec import Specification
 from ..techlib.library import TechnologyLibrary
+from ..util import paused_gc
 from . import resilience
 from .artifacts import PassRecord, RunArtifact
 from .cache import ResultCache
@@ -183,10 +184,40 @@ class Pipeline:
         specifications: Optional[Sequence[Optional[Specification]]] = None,
     ) -> List[RunArtifact]:
         """Run several configs sequentially (use SweepEngine for parallelism)."""
+        return self.run_batch(configs, specifications)
+
+    def run_batch(
+        self,
+        configs: Sequence[FlowConfig],
+        specifications: Optional[Sequence[Optional[Specification]]] = None,
+        stop_after: Optional[str] = None,
+        use_cache: bool = True,
+        require_full: bool = False,
+    ) -> List[RunArtifact]:
+        """Run several configs as one batched execution.
+
+        Identical results to calling :meth:`run` per config, but the batch
+        runs under :func:`repro.util.paused_gc`: the cyclic collector is
+        paused for the duration and resumed afterwards, which removes the
+        dominant fixed cost of allocation-heavy sweeps (the flow creates no
+        reference cycles, so mid-batch collections only ever walked the heap
+        to find nothing).  This is the serial fast path behind
+        :class:`~repro.api.sweep.SweepEngine` chunks and the perf harness's
+        full-pipeline sweeps.
+        """
         if specifications is not None and len(specifications) != len(configs):
             raise ValueError("specifications must align with configs")
         artifacts = []
-        for index, config in enumerate(configs):
-            spec = specifications[index] if specifications is not None else None
-            artifacts.append(self.run(config, specification=spec))
+        with paused_gc():
+            for index, config in enumerate(configs):
+                spec = specifications[index] if specifications is not None else None
+                artifacts.append(
+                    self.run(
+                        config,
+                        specification=spec,
+                        stop_after=stop_after,
+                        use_cache=use_cache,
+                        require_full=require_full,
+                    )
+                )
         return artifacts

@@ -73,6 +73,7 @@ from typing import (
 
 from .. import faults
 from ..ir.spec import Specification
+from ..util import paused_gc
 from . import resilience
 from .artifacts import RunArtifact, build_timing_report
 from .config import FlowConfig
@@ -81,6 +82,11 @@ from .pipeline import Pipeline
 from .resilience import AttemptRecord, RetryPolicy
 
 _EXECUTORS = ("serial", "thread", "process")
+
+#: Default chunk size of batched sweeps (``latency_sweep``, the CLI, the perf
+#: harness).  Streaming ``submit`` calls keep per-point granularity (chunk 1)
+#: unless the engine or the configs opt into batching.
+DEFAULT_SWEEP_CHUNK = 8
 
 #: Poll resolution of the watchdog loops (seconds).  Bounds how late a
 #: timeout can fire; small enough to be invisible next to real pipeline runs.
@@ -200,6 +206,61 @@ def _run_config_in_worker(
         return {"report": report, "elapsed_s": time.perf_counter() - started}
     finally:
         faults.uninstall()
+
+
+def _run_chunk_in_worker(
+    config_dicts: List[Dict[str, Any]],
+    cache_dir: Optional[str] = None,
+    stop_after: Optional[str] = None,
+    point_keys: Optional[List[str]] = None,
+) -> List[Dict[str, Any]]:
+    """Process-pool entry point of one chunked batch: N points, one task.
+
+    The pipeline (and its disk-cache handle) is built once per chunk and the
+    points run back to back under one GC pause, so a chunk pays the worker
+    dispatch, unpickling and interpreter fixed costs once instead of once
+    per point.  Failures stay per point: a raising point contributes an
+    error payload in its slot and the rest of the chunk still runs.  Chunked
+    process sweeps only engage for plain policies (single attempt, no
+    timeout), so there is no retry bookkeeping to honour here.
+    """
+    from .cache import ResultCache
+
+    # Same contract as single-point workers: fork-inherited fault plans are
+    # cleared (chunked sweeps never ship one).
+    faults.uninstall()
+    cache = ResultCache(directory=cache_dir) if cache_dir is not None else None
+    pipeline = Pipeline(cache=cache)
+    results: List[Dict[str, Any]] = []
+    with paused_gc():
+        for position, config_dict in enumerate(config_dicts):
+            started = time.perf_counter()
+            try:
+                faults.site(
+                    "sweep.point",
+                    key=point_keys[position] if point_keys else None,
+                )
+                config = FlowConfig.from_dict(config_dict)
+                artifact = pipeline.run(config, stop_after=stop_after)
+                report = artifact.report
+                if report is None and stop_after is not None:
+                    report = build_timing_report(artifact)
+                assert report is not None
+                results.append(
+                    {
+                        "report": report,
+                        "elapsed_s": time.perf_counter() - started,
+                    }
+                )
+            except Exception as error:  # noqa: BLE001 - per-point isolation
+                results.append(
+                    {
+                        "error": resilience.format_exception(error),
+                        "error_chain": resilience.exception_chain(error),
+                        "elapsed_s": time.perf_counter() - started,
+                    }
+                )
+    return results
 
 
 @dataclass
@@ -346,18 +407,47 @@ class SweepRun:
         return self._stream_threads(workers)
 
     def _stream_serial(self) -> Iterator[SweepOutcome]:
-        for index in range(len(self._configs)):
-            if self._cancel_event.is_set():
-                yield self._emit(self._cancelled_outcome(index))
-                continue
-            yield self._emit(
-                self._engine._run_point(
-                    index,
-                    self._configs[index],
-                    self._specifications,
-                    self._cancel_event,
+        chunk = self._engine.chunk_for(self._configs)
+        if chunk <= 1:
+            for index in range(len(self._configs)):
+                if self._cancel_event.is_set():
+                    yield self._emit(self._cancelled_outcome(index))
+                    continue
+                yield self._emit(
+                    self._engine._run_point(
+                        index,
+                        self._configs[index],
+                        self._specifications,
+                        self._cancel_event,
+                    )
                 )
-            )
+            return
+        # Chunked batch execution: run *chunk* consecutive points under one
+        # GC pause (see repro.util.paused_gc), then emit their outcomes.
+        # Emission -- and with it the progress callback -- happens at chunk
+        # granularity, which is why streaming submit() defaults to chunk 1;
+        # cancellation is still honoured between points inside a chunk.
+        total = len(self._configs)
+        start = 0
+        while start < total:
+            stop = min(start + chunk, total)
+            buffered: List[SweepOutcome] = []
+            with paused_gc():
+                for index in range(start, stop):
+                    if self._cancel_event.is_set():
+                        buffered.append(self._cancelled_outcome(index))
+                        continue
+                    buffered.append(
+                        self._engine._run_point(
+                            index,
+                            self._configs[index],
+                            self._specifications,
+                            self._cancel_event,
+                        )
+                    )
+            for outcome in buffered:
+                yield self._emit(outcome)
+            start = stop
 
     def _guarded_run_one(self, index: int) -> SweepOutcome:
         """Thread-pool task: honour cancellation at the last moment."""
@@ -401,11 +491,161 @@ class SweepRun:
                 self._cancel_event.set()
 
     # ------------------------------------------------------------------
+    # Process executor, chunked fast path: N plain points per worker task.
+    # ------------------------------------------------------------------
+    def _stream_process_chunked(self, chunk: int) -> Iterator[SweepOutcome]:
+        engine = self._engine
+        configs = self._configs
+        cache = engine.pipeline.cache
+        cache_dir = (
+            str(cache.directory) if cache is not None and cache.directory else None
+        )
+        # Build every named workload once in the parent before the pool
+        # starts: fork-started workers then inherit the parsed, frozen
+        # specification (and its graph/validity caches) through the
+        # workload memo instead of re-parsing it per point.
+        for config in configs:
+            if config.workload is not None:
+                try:
+                    config.resolve_specification()
+                except Exception:  # noqa: BLE001 - workers surface it per point
+                    pass
+        ranges = [
+            (start, min(start + chunk, len(configs)))
+            for start in range(0, len(configs), chunk)
+        ]
+        workers = engine._effective_workers(len(ranges))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        future_range: Dict[Any, Tuple[int, int]] = {}
+        try:
+            for start, stop in ranges:
+                future = pool.submit(
+                    _run_chunk_in_worker,
+                    [config.to_dict() for config in configs[start:stop]],
+                    cache_dir,
+                    engine.stop_after,
+                    [
+                        _point_key(index, configs[index])
+                        for index in range(start, stop)
+                    ],
+                )
+                future_range[future] = (start, stop)
+            while future_range:
+                if self._cancel_event.is_set():
+                    for future, (start, stop) in list(future_range.items()):
+                        if future.cancel():
+                            del future_range[future]
+                            for index in range(start, stop):
+                                yield self._emit(self._cancelled_outcome(index))
+                    if not future_range:
+                        break
+                done, _ = wait(
+                    set(future_range),
+                    timeout=_WATCHDOG_TICK_S,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    start, stop = future_range.pop(future)
+                    try:
+                        results = future.result()
+                    except CancelledError:
+                        for index in range(start, stop):
+                            yield self._emit(self._cancelled_outcome(index))
+                    except Exception as error:  # noqa: BLE001 - worker died
+                        # A dead worker (or a shipping failure) dooms the
+                        # whole chunk; plain policies have no retries, so
+                        # every point of the chunk is surfaced as failed.
+                        broken = isinstance(error, BrokenExecutor)
+                        code = "RUN003" if broken else "RUN001"
+                        message = (
+                            "worker process died (pool broken or worker killed)"
+                            if broken
+                            else resilience.format_exception(error)
+                        )
+                        for index in range(start, stop):
+                            yield self._emit(
+                                SweepOutcome(
+                                    index=index,
+                                    config=configs[index],
+                                    error=message,
+                                    error_code=code,
+                                    error_chain=[message],
+                                    attempts=[
+                                        AttemptRecord(
+                                            attempt=1, error_code=code, error=message
+                                        )
+                                    ],
+                                )
+                            )
+                    else:
+                        for offset, payload in enumerate(results):
+                            index = start + offset
+                            elapsed = payload.get("elapsed_s", 0.0)
+                            if "error" in payload:
+                                yield self._emit(
+                                    SweepOutcome(
+                                        index=index,
+                                        config=configs[index],
+                                        error=payload["error"],
+                                        error_code="RUN001",
+                                        error_chain=list(
+                                            payload.get("error_chain") or []
+                                        ),
+                                        attempts=[
+                                            AttemptRecord(
+                                                attempt=1,
+                                                error_code="RUN001",
+                                                error=payload["error"],
+                                                elapsed_s=elapsed,
+                                            )
+                                        ],
+                                        elapsed_s=elapsed,
+                                    )
+                                )
+                            else:
+                                yield self._emit(
+                                    SweepOutcome(
+                                        index=index,
+                                        config=configs[index],
+                                        report=payload["report"],
+                                        attempts=[
+                                            AttemptRecord(
+                                                attempt=1, elapsed_s=elapsed
+                                            )
+                                        ],
+                                        elapsed_s=elapsed,
+                                    )
+                                )
+        finally:
+            self._cancel_event.set()
+            for future in future_range:
+                future.cancel()
+            pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
     # Process executor: retry loop with deadlines and pool-rebuild recovery.
     # ------------------------------------------------------------------
     def _stream_process(self) -> Iterator[SweepOutcome]:
         engine = self._engine
         configs = self._configs
+        chunk = engine.chunk_for(configs)
+        if (
+            chunk > 1
+            and faults.active_plan() is None
+            and all(
+                engine.policy_for(config).max_attempts == 1
+                and engine.policy_for(config).timeout_s is None
+                and engine.policy_for(config).heartbeat_timeout_s is None
+                for config in configs
+            )
+        ):
+            # Plain policies (one attempt, no watchdog) take the chunked
+            # fast path: N points per worker task instead of one.  Points
+            # with retries or timeouts keep the per-point machinery below --
+            # its deadlines and attempt accounting are per point by
+            # contract, which a multi-point task cannot honour.
+            yield from self._stream_process_chunked(chunk)
+            return
         workers = engine._effective_workers(len(configs))
         cache = engine.pipeline.cache
         cache_dir = (
@@ -707,6 +947,7 @@ class SweepEngine:
         executor: str = "serial",
         stop_after: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
+        chunk: Optional[int] = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(
@@ -714,13 +955,31 @@ class SweepEngine:
             )
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if chunk is not None and chunk < 1:
+            raise ValueError("chunk must be >= 1")
         self.pipeline = pipeline if pipeline is not None else Pipeline()
         self.max_workers = max_workers
         self.executor = executor
         self.stop_after = stop_after
         self.retry = retry
+        self.chunk = chunk
 
     # ------------------------------------------------------------------
+    def chunk_for(self, configs: Sequence[FlowConfig]) -> int:
+        """The effective batch-chunk size of one sweep.
+
+        The engine's explicit ``chunk`` wins; otherwise the first config
+        carrying a ``sweep_chunk`` execution field decides; otherwise points
+        run one per task (per-point streaming, the historical behaviour).
+        """
+        if self.chunk is not None:
+            return self.chunk
+        for config in configs:
+            declared = getattr(config, "sweep_chunk", None)
+            if declared is not None:
+                return int(declared)
+        return 1
+
     def _effective_workers(self, jobs: int) -> int:
         if self.max_workers is not None:
             return max(1, min(self.max_workers, jobs))

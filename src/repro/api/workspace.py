@@ -243,6 +243,11 @@ def _address_for(payload: Dict[str, Any]) -> str:
     return hashlib.sha256(_canonical_row_bytes(core)).hexdigest()
 
 
+def _json_file_bytes(payload: Dict[str, Any]) -> bytes:
+    """The exact bytes a JSON artifact file holds for *payload*."""
+    return json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+
+
 def _pid_alive(pid: Any) -> bool:
     """Whether *pid* names a live process (signal-0 probe)."""
     if not isinstance(pid, int) or isinstance(pid, bool) or pid <= 0:
@@ -382,7 +387,7 @@ class Workspace:
         fault_key: Optional[str] = None,
     ) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        data = json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+        data = _json_file_bytes(payload)
         if fault_site is not None:
             data = faults.site(fault_site, key=fault_key, payload=data)
         tmp = path.with_name(
@@ -651,6 +656,19 @@ class Workspace:
             return False
         return _address_for(payload) == address
 
+    @staticmethod
+    def _readback_matches(path: Path, payload: Dict[str, Any]) -> bool:
+        """Whether *path* holds exactly the canonical bytes of *payload*.
+
+        Post-write verification only -- at load time the provenance fields
+        of a row written by an earlier run are unknown, so intactness there
+        is the addressed-hash check above.
+        """
+        try:
+            return path.read_bytes() == _json_file_bytes(payload)
+        except OSError:
+            return False
+
     def store_row(
         self,
         study_name: str,
@@ -696,11 +714,16 @@ class Workspace:
                     fault_site="workspace.write_object",
                     fault_key=address,
                 )
-                if not self._object_is_intact(path, address):
-                    # Write-verify: the bytes on disk do not re-hash to the
-                    # address (torn write, bit rot, full disk).  Recording a
-                    # manifest entry for a corrupt object would fake
-                    # completion, so quarantine and fail the persistence.
+                if not self._readback_matches(path, payload):
+                    # Write-verify: the bytes on disk are not the bytes we
+                    # meant to write (torn write, bit rot, full disk).  The
+                    # address only covers the semantic fields, so this must
+                    # compare the whole file -- corruption landing in a
+                    # provenance field (study, elapsed_s, completed_at)
+                    # re-hashes clean but still poisons salvage and the
+                    # manifest merge ordering.  Recording a manifest entry
+                    # for a corrupt object would fake completion, so
+                    # quarantine and fail the persistence.
                     quarantined = self._quarantine(path)
                     raise WorkspaceError(
                         f"row object {address} failed post-write verification"

@@ -45,6 +45,13 @@ class TransformOptions:
         Number of random vectors used by the equivalence check.
     equivalence_seed:
         Seed of the random stimulus generator behind the equivalence check.
+    equivalence_chunk_lanes:
+        Lane count of one batch-engine equivalence chunk (``None`` = the
+        engine default).  Any positive value yields the same report.
+    equivalence_backend:
+        Bit-plane core under the equivalence check's batch engine
+        (``None``/``"auto"``, ``"bigint"``, ``"numpy"``, ``"legacy"``).
+        Every choice is bit-identical.
     chained_bits_override:
         Force a specific per-cycle chained-bit budget instead of the phase-2
         estimate (used by ablation experiments).
@@ -55,6 +62,8 @@ class TransformOptions:
     check_equivalence: bool = True
     equivalence_vectors: int = 50
     equivalence_seed: int = 2005
+    equivalence_chunk_lanes: Optional[int] = None
+    equivalence_backend: Optional[str] = None
     chained_bits_override: Optional[int] = None
     validate_input: bool = True
     validate_output: bool = True
@@ -225,6 +234,8 @@ class BehaviouralTransformer:
                 rewrite.specification,
                 random_count=options.equivalence_vectors,
                 seed=options.equivalence_seed,
+                chunk_lanes=options.equivalence_chunk_lanes,
+                backend=options.equivalence_backend,
             )
 
         return TransformResult(

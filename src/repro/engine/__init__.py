@@ -1,0 +1,166 @@
+"""One bit-plane evaluation core shared by every simulation engine.
+
+Every functional engine in the reproduction -- the scalar
+:class:`~repro.simulation.interpreter.Interpreter`, the lane-packed
+:class:`~repro.simulation.batch.BatchInterpreter` oracle and the levelised
+:class:`~repro.rtl.simulator.NetlistSimulator` batch path -- evaluates the
+same algebra: bitwise plane operations plus ripple carries over a
+*bit-plane* (bit-sliced) state, where plane ``i`` of a ``w``-bit variable
+packs bit ``i`` of every stimulus lane.  Historically each engine carried
+its own copy of that loop; this package hoists them onto one core:
+
+* :mod:`repro.engine.backends` -- the plane *storage backends*: Python
+  big integers (one arbitrary-precision int per plane, the portable
+  default) and numpy ``uint64`` word arrays (:mod:`repro.engine.numpy_backend`,
+  used automatically for very wide batches when numpy is importable).
+  Both expose the same :class:`~repro.engine.backends.LaneContext` API and
+  produce bit-identical results.
+* :mod:`repro.engine.kernels` -- the plane kernels (ripple add/increment,
+  two's-complement negate, borrow-ripple compare, select masks, the
+  partial-product multiplier), written once against the elementwise
+  operator set both backends share.
+* :mod:`repro.engine.plan` -- compiled evaluation plans: a specification
+  or netlist is lowered once into a flat, pre-ordered instruction list
+  with pre-resolved operand descriptors, then executed for any lane count
+  and backend.  Compilation is memoized per (object, structure version).
+
+Backend selection
+-----------------
+``resolve_backend`` implements the policy: an explicit name wins, then the
+``REPRO_ENGINE`` environment variable, then ``"auto"``.  ``auto`` uses the
+big-int backend below :data:`NUMPY_LANE_THRESHOLD` lanes and numpy above
+it -- measured on CPython 3.11, big-int bitwise ops (C loops over 30-bit
+digits) beat numpy's per-call dispatch overhead until planes reach a few
+hundred thousand lanes.  ``"legacy"`` is not a backend: engines that accept
+it fall back to their original, pre-plan evaluation loops (kept verbatim
+for differential testing).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from .backends import BigIntContext, LaneContext
+from .kernels import (
+    bit_not,
+    less_than,
+    multiply,
+    negate,
+    ripple_add,
+    ripple_increment,
+    select,
+)
+from .plan import (
+    NetlistPlan,
+    SpecPlan,
+    clear_plan_memo,
+    netlist_plan,
+    run_netlist_plan,
+    run_spec_plan,
+    spec_plan,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "NUMPY_LANE_THRESHOLD",
+    "BigIntContext",
+    "LaneContext",
+    "NetlistPlan",
+    "SpecPlan",
+    "available_backends",
+    "bit_not",
+    "clear_plan_memo",
+    "context_for",
+    "has_numpy",
+    "less_than",
+    "multiply",
+    "negate",
+    "netlist_plan",
+    "resolve_backend",
+    "ripple_add",
+    "ripple_increment",
+    "run_netlist_plan",
+    "run_spec_plan",
+    "select",
+    "spec_plan",
+]
+
+#: Engine names engines accept (``legacy`` short-circuits before a backend
+#: is ever resolved; it is listed here so config validation lives once).
+BACKEND_NAMES = ("auto", "bigint", "numpy", "legacy")
+
+#: ``auto`` switches from big-int planes to numpy word arrays at this lane
+#: count.  Below it CPython's big-int bitwise kernels are faster than
+#: numpy's per-operation dispatch; the crossover sits near a quarter
+#: million lanes (see the module docstring).  Override per process with
+#: the ``REPRO_ENGINE_NUMPY_LANES`` environment variable.
+NUMPY_LANE_THRESHOLD = 1 << 18
+
+
+def has_numpy() -> bool:
+    """True when the numpy backend is importable in this interpreter."""
+    from . import numpy_backend
+
+    return numpy_backend.available()
+
+
+def available_backends() -> List[str]:
+    """The plane backends usable in this interpreter, portable one first."""
+    backends = ["bigint"]
+    if has_numpy():
+        backends.append("numpy")
+    return backends
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Normalise an engine/backend request to a concrete backend name.
+
+    ``None`` defers to the ``REPRO_ENGINE`` environment variable, then to
+    ``"auto"``.  ``"auto"`` stays symbolic (the lane count decides, see
+    :func:`context_for`).  Unknown names raise ``ValueError``; requesting
+    ``"numpy"`` without numpy raises ``RuntimeError`` so a forced backend
+    never silently degrades.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_ENGINE", "auto").strip() or "auto"
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
+        )
+    if name == "numpy" and not has_numpy():
+        raise RuntimeError(
+            "the numpy plane backend was requested but numpy is not "
+            "importable (install repro[fast], or use engine='bigint')"
+        )
+    return name
+
+
+def _numpy_threshold() -> int:
+    raw = os.environ.get("REPRO_ENGINE_NUMPY_LANES")
+    if not raw:
+        return NUMPY_LANE_THRESHOLD
+    return max(1, int(raw))
+
+
+def context_for(lanes: int, backend: Optional[str] = None) -> LaneContext:
+    """A :class:`LaneContext` for *lanes* under the given backend policy.
+
+    ``backend`` accepts the same names as :func:`resolve_backend`;
+    ``"legacy"`` is rejected here -- callers must branch to their legacy
+    loop before asking for a context.
+    """
+    name = resolve_backend(backend)
+    if name == "legacy":
+        raise ValueError("'legacy' is an engine mode, not a plane backend")
+    if name == "auto":
+        name = (
+            "numpy"
+            if lanes >= _numpy_threshold() and has_numpy()
+            else "bigint"
+        )
+    if name == "numpy":
+        from . import numpy_backend
+
+        return numpy_backend.NumpyContext(lanes)
+    return BigIntContext(lanes)

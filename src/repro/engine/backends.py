@@ -1,0 +1,88 @@
+"""Plane storage backends: the portable big-int lane context.
+
+A *plane* is one bit position of a lane-packed batch: bit ``j`` of the
+plane is that bit's value in stimulus lane ``j``.  A
+:class:`LaneContext` fixes the lane count and materialises the two
+distinguished planes every kernel needs (``zero`` and ``mask``), plus the
+conversions between planes and plain integers (the interchange format all
+public simulation results keep, whatever backend computed them).
+
+The contract every backend honours:
+
+* planes are **immutable by discipline** -- kernels always build new plane
+  objects and never update one in place, so planes can be shared freely
+  between state slots, sign-extension fills and results;
+* the elementwise operators ``&``, ``|``, ``^`` and ``~`` combine planes
+  of one context (``~`` may overflow into sign bits or unused lanes; any
+  value that escapes a kernel is masked with ``mask`` exactly where the
+  historical big-int engines masked);
+* ``plane_to_mask(plane_from_mask(x)) == x & mask`` for any ``x``.
+
+The big-int backend here is the semantic reference: its planes are plain
+Python integers, so its kernel expressions are *literally* the historical
+SWAR expressions of the batch interpreter and the levelised simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+#: A plane, typed loosely: ``int`` under the big-int backend, a
+#: ``numpy.ndarray`` of little-endian ``uint64`` words under numpy.
+Plane = Any
+
+
+class LaneContext:
+    """Shared interface of the plane backends (see the module docstring)."""
+
+    backend: str
+    lanes: int
+    zero: Plane
+    mask: Plane
+
+    def plane_from_mask(self, bits: int) -> Plane:
+        raise NotImplementedError
+
+    def plane_to_mask(self, plane: Plane) -> int:
+        raise NotImplementedError
+
+    def is_zero(self, plane: Plane) -> bool:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def planes_from_masks(self, masks: Sequence[int]) -> List[Plane]:
+        """Convert a list of lane-packed integers into backend planes."""
+        return [self.plane_from_mask(mask) for mask in masks]
+
+    def planes_to_masks(self, planes: Sequence[Plane]) -> List[int]:
+        """Convert backend planes back into lane-packed integers."""
+        return [self.plane_to_mask(plane) for plane in planes]
+
+
+class BigIntContext(LaneContext):
+    """Planes as Python big integers: bit ``j`` of the int is lane ``j``."""
+
+    backend = "bigint"
+
+    def __init__(self, lanes: int) -> None:
+        if lanes < 1:
+            raise ValueError(f"lane count must be >= 1, got {lanes}")
+        self.lanes = lanes
+        self.zero = 0
+        self.mask = (1 << lanes) - 1
+
+    def plane_from_mask(self, bits: int) -> int:
+        return bits & self.mask
+
+    def plane_to_mask(self, plane: int) -> int:
+        return plane
+
+    def is_zero(self, plane: int) -> bool:
+        return not plane
+
+    def planes_from_masks(self, masks: Sequence[int]) -> List[int]:
+        mask = self.mask
+        return [value & mask for value in masks]
+
+    def planes_to_masks(self, planes: Sequence[int]) -> List[int]:
+        return list(planes)

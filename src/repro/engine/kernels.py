@@ -1,0 +1,106 @@
+"""Backend-generic bit-plane kernels.
+
+Each kernel is written once against the elementwise operator set both
+plane backends share (``&``, ``|``, ``^``, ``~`` plus the context's
+``zero``/``mask`` planes and ``is_zero`` probe).  Under the big-int
+backend the expressions below are *exactly* the historical SWAR
+expressions of :class:`~repro.simulation.batch.BatchInterpreter`, so the
+plan engine is bit-identical to the legacy loop by construction; the
+numpy backend evaluates the same expressions wordwise.
+
+All kernels treat plane lists LSB-first (entry ``i`` = bit ``i``) and
+never mutate their inputs -- see the immutability discipline in
+:mod:`repro.engine.backends`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .backends import LaneContext, Plane
+
+
+def bit_not(ctx: LaneContext, planes: Sequence[Plane]) -> List[Plane]:
+    """Per-lane bitwise NOT, masked so unused high lanes stay clear."""
+    mask = ctx.mask
+    return [plane ^ mask for plane in planes]
+
+
+def ripple_add(a: Sequence[Plane], b: Sequence[Plane], carry: Plane) -> List[Plane]:
+    """Per-lane ``a + b + carry`` over equal-length plane lists.
+
+    The classic software full adder: ``sum = a ^ b ^ c``,
+    ``c = (a & b) | (c & (a ^ b))``, rippled from the LSB plane upward.
+    """
+    out: List[Plane] = []
+    for plane_a, plane_b in zip(a, b):
+        partial = plane_a ^ plane_b
+        out.append(partial ^ carry)
+        carry = (plane_a & plane_b) | (carry & partial)
+    return out
+
+
+def ripple_increment(
+    ctx: LaneContext, planes: Sequence[Plane], carry: Plane
+) -> List[Plane]:
+    """Per-lane ``planes + carry`` where *carry* is a 1-bit plane."""
+    if ctx.is_zero(carry):
+        return list(planes)
+    out: List[Plane] = []
+    for plane in planes:
+        out.append(plane ^ carry)
+        carry = carry & plane
+    return out
+
+
+def negate(ctx: LaneContext, planes: Sequence[Plane]) -> List[Plane]:
+    """Per-lane two's complement: ``~planes + 1``."""
+    mask = ctx.mask
+    out: List[Plane] = []
+    carry = mask
+    for plane in planes:
+        inverted = plane ^ mask
+        out.append(inverted ^ carry)
+        carry = carry & inverted
+    return out
+
+
+def less_than(ctx: LaneContext, a: Sequence[Plane], b: Sequence[Plane]) -> Plane:
+    """Unsigned per-lane ``a < b`` over equal-length plane lists, masked."""
+    lt = ctx.zero
+    for plane_a, plane_b in zip(a, b):
+        equal_mask = ~(plane_a ^ plane_b)
+        lt = (~plane_a & plane_b) | (equal_mask & lt)
+    return lt & ctx.mask
+
+
+def select(
+    mask_plane: Plane,
+    inverse: Plane,
+    when_set: Sequence[Plane],
+    when_clear: Sequence[Plane],
+) -> List[Plane]:
+    """AND-OR lane multiplexer; *inverse* is ``mask_plane ^ ctx.mask``."""
+    return [
+        (mask_plane & set_plane) | (inverse & clear_plane)
+        for set_plane, clear_plane in zip(when_set, when_clear)
+    ]
+
+
+def multiply(
+    ctx: LaneContext, a: Sequence[Plane], b: Sequence[Plane], width: int
+) -> List[Plane]:
+    """Per-lane ``a * b`` modulo ``2**width`` by partial-product ripple."""
+    zero = ctx.zero
+    accumulator: List[Plane] = [zero] * width
+    for shift, multiplier_plane in enumerate(b):
+        if ctx.is_zero(multiplier_plane):
+            continue
+        carry = zero
+        for position in range(shift, width):
+            addend = a[position - shift] & multiplier_plane
+            current = accumulator[position]
+            partial = current ^ addend
+            accumulator[position] = partial ^ carry
+            carry = (current & addend) | (carry & partial)
+    return accumulator

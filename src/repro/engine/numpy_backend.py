@@ -1,0 +1,70 @@
+"""Numpy plane backend: one little-endian ``uint64`` word array per plane.
+
+Word ``k`` of a plane carries lanes ``64*k .. 64*k+63``, mirroring the bit
+order of the big-int backend exactly -- the round trip through
+``to_bytes``/``from_bytes`` with ``'little'`` byte order makes the two
+layouts byte-identical, so conversions are single memcpy-shaped calls.
+
+Planes are created non-writeable wherever numpy allows it, enforcing the
+immutability discipline of :mod:`repro.engine.backends` at runtime: an
+accidental in-place update (``^=`` and friends) raises instead of
+corrupting a shared sign-extension fill.
+
+This backend pays a fixed per-operation dispatch cost, so it only wins
+once planes are wide enough for the word loop to dominate -- the ``auto``
+policy in :mod:`repro.engine` holds it back until
+:data:`~repro.engine.NUMPY_LANE_THRESHOLD` lanes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .backends import LaneContext
+
+try:  # pragma: no cover - import probe
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+
+def available() -> bool:
+    """True when numpy is importable (the backend can be constructed)."""
+    return _np is not None
+
+
+class NumpyContext(LaneContext):
+    """Planes as little-endian ``uint64`` word arrays."""
+
+    backend = "numpy"
+
+    def __init__(self, lanes: int) -> None:
+        if _np is None:
+            raise RuntimeError(
+                "numpy is not importable; install repro[fast] or use the "
+                "bigint backend"
+            )
+        if lanes < 1:
+            raise ValueError(f"lane count must be >= 1, got {lanes}")
+        self.lanes = lanes
+        self.words = (lanes + 63) // 64
+        self._byte_length = self.words * 8
+        self._int_mask = (1 << lanes) - 1
+        zero = _np.zeros(self.words, dtype="<u8")
+        zero.flags.writeable = False
+        self.zero = zero
+        self.mask = self.plane_from_mask(self._int_mask)
+
+    def plane_from_mask(self, bits: int):
+        plane = _np.frombuffer(
+            (bits & self._int_mask).to_bytes(self._byte_length, "little"),
+            dtype="<u8",
+        )
+        # frombuffer over an immutable bytes object is already read-only.
+        return plane
+
+    def plane_to_mask(self, plane) -> int:
+        return int.from_bytes(plane.tobytes(), "little")
+
+    def is_zero(self, plane) -> bool:
+        return not plane.any()

@@ -1,0 +1,474 @@
+"""Compiled evaluation plans for specifications and netlists.
+
+A *plan* lowers an immutable evaluation subject into a flat instruction
+list with every per-operation decision -- operand slicing bounds,
+signedness of the extension fill, constant bit patterns, comparison
+widths, shift amounts, destination offsets -- resolved at compile time.
+Executing a plan is then a single dispatch loop over tuples, with none of
+the attribute walks and property chains the object-graph evaluators pay
+per operation per run.  Plans are backend-agnostic: the same compiled
+program runs over big-int planes or numpy word arrays (see
+:mod:`repro.engine.backends`), and at any lane count.
+
+Two subjects compile:
+
+* :func:`spec_plan` -- the operation list of a
+  :class:`~repro.ir.spec.Specification`, in program order (the IR's
+  sequential semantics already topologically pre-order the dataflow);
+* :func:`netlist_plan` -- the gates of a combinational
+  :class:`~repro.rtl.netlist.Netlist` in levelised order, with nets
+  renumbered into a dense value array.
+
+Compilation is memoized per subject (weak keys; structure versions guard
+against mutation), so a sweep or an equivalence run compiles once and
+evaluates thousands of lanes many times.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..ir.operations import Operation, OpKind
+from ..ir.spec import Specification
+from ..ir.values import Operand
+from ..rtl.netlist import Gate, GateKind, Netlist, NetlistError
+from .backends import LaneContext, Plane
+from .kernels import multiply, negate, ripple_add, ripple_increment, select
+
+# ----------------------------------------------------------------------
+# Operand fetches
+# ----------------------------------------------------------------------
+#: A pre-resolved operand access: ``(uid, lo, stop, signed, width,
+#: pattern)``.  Variable fetches slice ``state[uid][lo:stop]``; constant
+#: fetches (``uid is None``) materialise ``pattern`` (a tuple of bools,
+#: LSB first).  Both are then extended to ``width`` planes, replicating
+#: the top plane when ``signed`` (two's complement sign extension) and
+#: appending zero planes otherwise -- exactly the raw/value semantics of
+#: the scalar and batch interpreters.
+Fetch = Tuple[Optional[int], int, int, bool, int, Optional[Tuple[bool, ...]]]
+
+
+def _fetch_descriptor(operand: Operand, width: int, value: bool) -> Fetch:
+    rng = operand.range
+    signed = bool(value and operand.source.signed and operand.covers_whole_source())
+    if operand.is_constant:
+        bits = operand.constant.bits >> rng.lo
+        pattern = tuple(
+            bool((bits >> index) & 1) for index in range(min(rng.width, width))
+        )
+        return (None, 0, 0, signed, width, pattern)
+    stop = min(rng.lo + width, rng.hi + 1)
+    return (operand.variable.uid, rng.lo, stop, signed, width, None)
+
+
+def _run_fetch(
+    fetch: Fetch, state: Dict[int, List[Plane]], ctx: LaneContext
+) -> List[Plane]:
+    uid, lo, stop, signed, width, pattern = fetch
+    if uid is None:
+        mask = ctx.mask
+        zero = ctx.zero
+        planes = [mask if bit else zero for bit in pattern]  # type: ignore[union-attr]
+    else:
+        planes = state[uid][lo:stop]
+    if len(planes) < width:
+        fill = planes[-1] if (signed and planes) else ctx.zero
+        planes = planes + [fill] * (width - len(planes))
+    return planes
+
+
+# ----------------------------------------------------------------------
+# Specification plans
+# ----------------------------------------------------------------------
+#: Instruction opcodes (dense ints; dispatch is an if/elif ladder).
+_ADD, _SUB, _MUL, _CMP, _MAXMIN, _NEG, _ABS = range(7)
+_AND, _OR, _XOR, _NOT, _SHL, _SHR, _CONCAT, _SELECT, _MOVE = range(7, 16)
+
+#: Comparison selectors for the ``_CMP`` opcode.
+_CMP_SELECT = {
+    OpKind.LT: 0,
+    OpKind.LE: 1,
+    OpKind.GT: 2,
+    OpKind.GE: 3,
+    OpKind.EQ: 4,
+    OpKind.NE: 5,
+}
+
+#: One instruction: ``(code, width, dest_uid, dest_lo, args)`` where the
+#: shape of ``args`` depends on ``code``.
+Instruction = Tuple[int, int, int, int, Tuple[Any, ...]]
+
+
+class SpecPlan:
+    """The compiled program of one specification."""
+
+    __slots__ = ("name", "version", "instructions", "operation_names")
+
+    def __init__(
+        self,
+        name: str,
+        version: int,
+        instructions: List[Instruction],
+        operation_names: List[str],
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.instructions = instructions
+        self.operation_names = operation_names
+
+
+def _carry_fetch(operation: Operation) -> Optional[Fetch]:
+    if operation.carry_in is None:
+        return None
+    return _fetch_descriptor(operation.carry_in, 1, value=False)
+
+
+def _compile_operation(operation: Operation) -> Instruction:
+    kind = operation.kind
+    width = operation.width
+    operands = operation.operands
+    destination = operation.destination
+    dest_uid = destination.variable.uid
+    dest_lo = destination.range.lo
+
+    def value(index: int, req_width: int) -> Fetch:
+        return _fetch_descriptor(operands[index], req_width, value=True)
+
+    def raw(index: int, req_width: int) -> Fetch:
+        return _fetch_descriptor(operands[index], req_width, value=False)
+
+    args: Tuple[Any, ...]
+    if kind is OpKind.ADD:
+        code, args = _ADD, (value(0, width), value(1, width), _carry_fetch(operation))
+    elif kind is OpKind.SUB:
+        code, args = _SUB, (value(0, width), value(1, width), _carry_fetch(operation))
+    elif kind is OpKind.MUL:
+        code, args = _MUL, (value(0, width), value(1, width))
+    elif kind in _CMP_SELECT:
+        compare_width = max(operands[0].width, operands[1].width) + 1
+        code = _CMP
+        args = (value(0, compare_width), value(1, compare_width), _CMP_SELECT[kind])
+    elif kind in (OpKind.MAX, OpKind.MIN):
+        compare_width = max(operands[0].width, operands[1].width) + 1
+        code = _MAXMIN
+        args = (
+            value(0, compare_width),
+            value(1, compare_width),
+            value(0, width),
+            value(1, width),
+            kind is OpKind.MAX,
+        )
+    elif kind is OpKind.NEG:
+        code, args = _NEG, (value(0, width),)
+    elif kind is OpKind.ABS:
+        source = operands[0]
+        sign_fetch: Optional[Fetch] = None
+        if source.source.signed and source.covers_whole_source():
+            sign_fetch = raw(0, source.width)
+        code, args = _ABS, (value(0, width), sign_fetch)
+    elif kind is OpKind.AND:
+        code, args = _AND, (raw(0, width), raw(1, width))
+    elif kind is OpKind.OR:
+        code, args = _OR, (raw(0, width), raw(1, width))
+    elif kind is OpKind.XOR:
+        code, args = _XOR, (raw(0, width), raw(1, width))
+    elif kind is OpKind.NOT:
+        code, args = _NOT, (raw(0, width),)
+    elif kind is OpKind.SHL:
+        amount = int(operation.attributes.get("shift", 0))
+        code, args = _SHL, (raw(0, width), amount)
+    elif kind is OpKind.SHR:
+        amount = int(operation.attributes.get("shift", 0))
+        code, args = _SHR, (raw(0, operands[0].width), amount)
+    elif kind is OpKind.CONCAT:
+        code = _CONCAT
+        args = (tuple(raw(i, operand.width) for i, operand in enumerate(operands)),)
+    elif kind is OpKind.SELECT:
+        code, args = _SELECT, (raw(0, 1), raw(1, width), raw(2, width))
+    elif kind is OpKind.MOVE:
+        code, args = _MOVE, (raw(0, width),)
+    else:
+        raise ValueError(f"plan compiler does not support operation kind {kind}")
+    return (code, width, dest_uid, dest_lo, args)
+
+
+#: Compiled plans shared per specification, guarded by the structure
+#: version (re-resolution after mutation recompiles).
+_SPEC_PLANS: "weakref.WeakKeyDictionary[Specification, SpecPlan]" = (
+    weakref.WeakKeyDictionary()
+)
+
+_NETLIST_PLANS: "weakref.WeakKeyDictionary[Netlist, NetlistPlan]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def clear_plan_memo() -> None:
+    """Drop the compiled-plan memos (perf-measurement / test isolation)."""
+    _SPEC_PLANS.clear()
+    _NETLIST_PLANS.clear()
+
+
+def spec_plan(specification: Specification) -> SpecPlan:
+    """The compiled plan of *specification*, memoized per structure version."""
+    cached = _SPEC_PLANS.get(specification)
+    if cached is not None and cached.version == specification.version:
+        return cached
+    instructions = [_compile_operation(op) for op in specification.operations]
+    names = [op.name for op in specification.operations]
+    plan = SpecPlan(specification.name, specification.version, instructions, names)
+    _SPEC_PLANS[specification] = plan
+    return plan
+
+
+def _compare_planes(
+    ctx: LaneContext, a: List[Plane], b: List[Plane]
+) -> Tuple[Plane, Plane]:
+    """(lt, eq) planes of two value-fetched, width-aligned operand lists.
+
+    Flipping the top (sign) plane reduces the signed comparison to the
+    unsigned borrow ripple, exactly as the batch interpreter does.
+    """
+    mask = ctx.mask
+    a = list(a)
+    b = list(b)
+    a[-1] = a[-1] ^ mask
+    b[-1] = b[-1] ^ mask
+    lt = ctx.zero
+    diff = ctx.zero
+    for plane_a, plane_b in zip(a, b):
+        equal_mask = ~(plane_a ^ plane_b)
+        lt = (~plane_a & plane_b) | (equal_mask & lt)
+        diff = diff | (plane_a ^ plane_b)
+    return lt & mask, (diff ^ mask) & mask
+
+
+def run_spec_plan(
+    plan: SpecPlan,
+    ctx: LaneContext,
+    state: Dict[int, List[Plane]],
+    record: Optional[List[List[Plane]]] = None,
+) -> None:
+    """Execute *plan* over *state* (uid -> plane list), mutating it in place.
+
+    ``record``, when given, receives the result plane list of every
+    instruction in program order (the scalar interpreter's per-operation
+    trace is reconstructed from it).
+    """
+    mask = ctx.mask
+    zero = ctx.zero
+    for code, width, dest_uid, dest_lo, args in plan.instructions:
+        if code == _ADD:
+            fetch_a, fetch_b, carry_fetch = args
+            a = _run_fetch(fetch_a, state, ctx)
+            b = _run_fetch(fetch_b, state, ctx)
+            carry = (
+                zero if carry_fetch is None else _run_fetch(carry_fetch, state, ctx)[0]
+            )
+            result = ripple_add(a, b, carry)
+        elif code == _SUB:
+            fetch_a, fetch_b, carry_fetch = args
+            a = _run_fetch(fetch_a, state, ctx)
+            b = _run_fetch(fetch_b, state, ctx)
+            inverted = [plane ^ mask for plane in b]
+            difference = ripple_add(a, inverted, mask)
+            carry = (
+                zero if carry_fetch is None else _run_fetch(carry_fetch, state, ctx)[0]
+            )
+            result = ripple_increment(ctx, difference, carry)
+        elif code == _MUL:
+            fetch_a, fetch_b = args
+            a = _run_fetch(fetch_a, state, ctx)
+            b = _run_fetch(fetch_b, state, ctx)
+            result = multiply(ctx, a, b, width)
+        elif code == _CMP:
+            fetch_a, fetch_b, selector = args
+            lt, eq = _compare_planes(
+                ctx, _run_fetch(fetch_a, state, ctx), _run_fetch(fetch_b, state, ctx)
+            )
+            if selector == 0:
+                outcome = lt
+            elif selector == 1:
+                outcome = lt | eq
+            elif selector == 2:
+                outcome = (lt | eq) ^ mask
+            elif selector == 3:
+                outcome = lt ^ mask
+            elif selector == 4:
+                outcome = eq
+            else:
+                outcome = eq ^ mask
+            result = [outcome] + [zero] * (width - 1)
+        elif code == _MAXMIN:
+            cmp_a, cmp_b, fetch_a, fetch_b, is_max = args
+            lt, _eq = _compare_planes(
+                ctx, _run_fetch(cmp_a, state, ctx), _run_fetch(cmp_b, state, ctx)
+            )
+            a = _run_fetch(fetch_a, state, ctx)
+            b = _run_fetch(fetch_b, state, ctx)
+            inverse = lt ^ mask
+            result = select(lt, inverse, b, a) if is_max else select(lt, inverse, a, b)
+        elif code == _NEG:
+            result = negate(ctx, _run_fetch(args[0], state, ctx))
+        elif code == _ABS:
+            fetch_value, sign_fetch = args
+            a = _run_fetch(fetch_value, state, ctx)
+            if sign_fetch is None:
+                result = a
+            else:
+                sign = _run_fetch(sign_fetch, state, ctx)[-1]
+                result = select(sign, sign ^ mask, negate(ctx, a), a)
+        elif code == _AND:
+            a = _run_fetch(args[0], state, ctx)
+            b = _run_fetch(args[1], state, ctx)
+            result = [plane_a & plane_b for plane_a, plane_b in zip(a, b)]
+        elif code == _OR:
+            a = _run_fetch(args[0], state, ctx)
+            b = _run_fetch(args[1], state, ctx)
+            result = [plane_a | plane_b for plane_a, plane_b in zip(a, b)]
+        elif code == _XOR:
+            a = _run_fetch(args[0], state, ctx)
+            b = _run_fetch(args[1], state, ctx)
+            result = [plane_a ^ plane_b for plane_a, plane_b in zip(a, b)]
+        elif code == _NOT:
+            result = [plane ^ mask for plane in _run_fetch(args[0], state, ctx)]
+        elif code == _SHL:
+            source_fetch, amount = args
+            source = _run_fetch(source_fetch, state, ctx)
+            result = ([zero] * amount + source)[:width]
+        elif code == _SHR:
+            source_fetch, amount = args
+            planes = _run_fetch(source_fetch, state, ctx)[amount:]
+            if len(planes) < width:
+                planes = planes + [zero] * (width - len(planes))
+            result = planes[:width]
+        elif code == _CONCAT:
+            planes = []
+            for fetch in args[0]:
+                planes.extend(_run_fetch(fetch, state, ctx))
+            planes = planes[:width]
+            if len(planes) < width:
+                planes = planes + [zero] * (width - len(planes))
+            result = planes
+        elif code == _SELECT:
+            condition = _run_fetch(args[0], state, ctx)[0]
+            when_true = _run_fetch(args[1], state, ctx)
+            when_false = _run_fetch(args[2], state, ctx)
+            result = select(condition, condition ^ mask, when_true, when_false)
+        else:  # _MOVE
+            result = _run_fetch(args[0], state, ctx)
+        if record is not None:
+            record.append(result)
+        planes = state[dest_uid]
+        for position, plane in enumerate(result):
+            planes[dest_lo + position] = plane
+
+
+# ----------------------------------------------------------------------
+# Netlist plans
+# ----------------------------------------------------------------------
+_GATE_AND, _GATE_OR, _GATE_XOR, _GATE_NOT, _GATE_BUF, _GATE_C0, _GATE_C1 = range(7)
+
+_GATE_CODES = {
+    GateKind.AND: _GATE_AND,
+    GateKind.OR: _GATE_OR,
+    GateKind.XOR: _GATE_XOR,
+    GateKind.NOT: _GATE_NOT,
+    GateKind.BUF: _GATE_BUF,
+    GateKind.CONST0: _GATE_C0,
+    GateKind.CONST1: _GATE_C1,
+}
+
+
+class NetlistPlan:
+    """The compiled program of one levelised combinational netlist."""
+
+    __slots__ = (
+        "name",
+        "gate_count",
+        "net_index",
+        "input_count",
+        "slot_count",
+        "instructions",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        gate_count: int,
+        net_index: Dict[Any, int],
+        input_count: int,
+        instructions: List[Tuple[int, int, int, int]],
+    ) -> None:
+        self.name = name
+        self.gate_count = gate_count
+        #: every net (inputs first, then gate outputs) -> dense value slot
+        self.net_index = net_index
+        self.input_count = input_count
+        self.slot_count = len(net_index)
+        #: ``(gate code, input slot 0, input slot 1 or -1, output slot)``
+        self.instructions = instructions
+
+
+def netlist_plan(netlist: Netlist, order: Sequence[Gate]) -> NetlistPlan:
+    """Compile *netlist* given its levelised gate *order*, memoized.
+
+    The order comes from the caller (``NetlistSimulator`` already memoizes
+    levelisation); the plan memo is guarded by the gate count, matching
+    the append-only discipline of netlists.
+    """
+    cached = _NETLIST_PLANS.get(netlist)
+    if cached is not None and cached.gate_count == len(netlist.gates):
+        return cached
+    net_index: Dict[Any, int] = {}
+    for net in netlist.inputs:
+        net_index[net] = len(net_index)
+    input_count = len(net_index)
+    instructions: List[Tuple[int, int, int, int]] = []
+    for gate in order:
+        code = _GATE_CODES.get(gate.kind)
+        if code is None:
+            raise NetlistError(f"unknown gate kind {gate.kind}")
+        pins = gate.inputs
+        first = net_index[pins[0]] if pins else -1
+        second = net_index[pins[1]] if len(pins) > 1 else -1
+        output = net_index.setdefault(gate.output, len(net_index))
+        instructions.append((code, first, second, output))
+    plan = NetlistPlan(
+        netlist.name, len(netlist.gates), net_index, input_count, instructions
+    )
+    _NETLIST_PLANS[netlist] = plan
+    return plan
+
+
+def run_netlist_plan(
+    plan: NetlistPlan, ctx: LaneContext, input_planes: Sequence[Plane]
+) -> List[Plane]:
+    """Evaluate *plan* and return the dense value array (one plane per net).
+
+    ``input_planes`` carries one plane per input net, in ``net_index``
+    slot order (slots ``0 .. input_count - 1``).
+    """
+    values: List[Plane] = list(input_planes) + [ctx.zero] * (
+        plan.slot_count - plan.input_count
+    )
+    mask = ctx.mask
+    zero = ctx.zero
+    for code, first, second, output in plan.instructions:
+        if code == _GATE_AND:
+            value = values[first] & values[second]
+        elif code == _GATE_OR:
+            value = values[first] | values[second]
+        elif code == _GATE_XOR:
+            value = values[first] ^ values[second]
+        elif code == _GATE_NOT:
+            value = values[first] ^ mask
+        elif code == _GATE_BUF:
+            value = values[first]
+        elif code == _GATE_C0:
+            value = zero
+        else:
+            value = mask
+        values[output] = value
+    return values

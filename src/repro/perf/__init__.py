@@ -26,6 +26,7 @@ from .harness import (
     run_benchmarks,
     time_check,
     time_emission,
+    time_engine,
     time_faults,
     time_stages,
     time_study,
@@ -61,6 +62,7 @@ __all__ = [
     "run_benchmarks",
     "time_check",
     "time_emission",
+    "time_engine",
     "time_faults",
     "time_stages",
     "time_study",

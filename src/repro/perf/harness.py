@@ -109,10 +109,13 @@ SWEEPS: Dict[str, Tuple[str, str]] = {
     "fullpipe_adpcm_iaq": ("adpcm_iaq", "fullpipe"),
 }
 
-#: The sweep subset measured by ``--quick``.
+#: The sweep subset measured by ``--quick``.  ``fullpipe_adpcm_iaq`` rides
+#: along so the CI smoke job can gate the batched full-pipeline sweep path
+#: (run_batch + paused-GC chunks) against the anchor.
 QUICK_SWEEPS: Dict[str, Tuple[str, str]] = {
     "fig4_chain_3_16": ("chain:3:16", "fig4"),
     "fig4_adpcm_iaq": ("adpcm_iaq", "fig4"),
+    "fullpipe_adpcm_iaq": ("adpcm_iaq", "fullpipe"),
 }
 
 #: (workload, latency) points whose RTL emission timings the full harness
@@ -232,8 +235,7 @@ def time_sweep(
             clear_transform_memo()
             clear_datapath_memo()
             started = time.perf_counter()
-            for config in configs:
-                pipeline.run(config, use_cache=False)
+            pipeline.run_batch(configs, use_cache=False)
             elapsed = time.perf_counter() - started
             if best is None or elapsed < best:
                 best = elapsed
@@ -516,10 +518,123 @@ def time_faults(repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
     }
 
 
-def run_benchmarks(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> Dict:
+#: Stimulus-vector count (lane count) of the engine-core batch benchmarks.
+ENGINE_LANES = 512
+
+#: Scalar-interpreter call count of the engine-core benchmark.
+ENGINE_SCALAR_RUNS = 50
+
+
+def _record_best(best: Dict[str, float], key: str, elapsed: float) -> None:
+    previous = best.get(key)
+    if previous is None or elapsed < previous:
+        best[key] = elapsed
+
+
+def time_engine(repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
+    """Best-of-*repeats* timings of the bit-plane evaluation core.
+
+    Three numbers, all under the session's default engine (set
+    ``REPRO_ENGINE=legacy`` before invoking the harness to record the
+    pre-plan evaluation loops over the very same workloads -- that pairing
+    is what the CI ``engine/*`` speedup floors gate):
+
+    * ``batch_oracle_s`` -- one
+      :class:`~repro.simulation.batch.BatchInterpreter` sweep of the
+      transformed ``adpcm_iaq`` specification over :data:`ENGINE_LANES`
+      random stimulus vectors plus the corner set (the equivalence-oracle
+      hot loop);
+    * ``scalar_interp_s`` -- :data:`ENGINE_SCALAR_RUNS` scalar
+      :class:`~repro.simulation.interpreter.Interpreter` runs of the same
+      specification (the width-1 plan path);
+    * ``rtl_batch_s`` -- the lane-packed cycle-accurate batch simulation of
+      the emitted ``motivational`` design over the same lane count (the
+      levelised netlist walk behind ``emit --check``).
+
+    The compiled evaluation plans are warmed once before timing, so the
+    recorded numbers are the steady state of a verification loop -- which on
+    the legacy engines (no plan to warm) equals their cold time.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    from ..api.config import resolve_workload
+    from ..core.transform import TransformOptions, transform
+    from ..rtl.emit import emit_design
+    from ..simulation.batch import BatchInterpreter
+    from ..simulation.interpreter import Interpreter
+    from ..simulation.vectors import stimulus
+
+    specification = resolve_workload("adpcm_iaq")
+    transformed = transform(
+        specification, 3, TransformOptions(check_equivalence=False)
+    ).transformed
+    vectors = stimulus(transformed, random_count=ENGINE_LANES)
+    oracle = BatchInterpreter(transformed)
+    scalar = Interpreter(transformed)
+
+    artifact = Pipeline().run(
+        FlowConfig(latency=3, mode="fragmented", workload="motivational"),
+        use_cache=False,
+        stop_after="allocate",
+    )
+    design = emit_design(
+        artifact.schedule, artifact.library, datapath=artifact.datapath
+    ).design
+    rtl_vectors = stimulus(
+        artifact.working_specification, random_count=ENGINE_LANES
+    )
+
+    oracle.run_batch(vectors[:2])
+    scalar.run(vectors[0])
+    design.simulate_batch(rtl_vectors[:2])
+
+    best: Dict[str, float] = {}
+    for _ in range(repeats):
+        started = time.perf_counter()
+        oracle.run_batch(vectors)
+        _record_best(best, "batch_oracle_s", time.perf_counter() - started)
+        started = time.perf_counter()
+        for vector in vectors[:ENGINE_SCALAR_RUNS]:
+            scalar.run(vector)
+        _record_best(best, "scalar_interp_s", time.perf_counter() - started)
+        started = time.perf_counter()
+        design.simulate_batch(rtl_vectors)
+        _record_best(best, "rtl_batch_s", time.perf_counter() - started)
+    best["batch_oracle_vectors"] = float(len(vectors))
+    best["batch_oracle_vectors_per_s"] = (
+        len(vectors) / best["batch_oracle_s"] if best["batch_oracle_s"] > 0 else 0.0
+    )
+    best["rtl_batch_vectors_per_s"] = (
+        len(rtl_vectors) / best["rtl_batch_s"] if best["rtl_batch_s"] > 0 else 0.0
+    )
+    return best
+
+
+def _profile_section(label: str, fn) -> None:
+    """Run *fn* under cProfile and print its top-20 cumulative functions."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(20)
+    print(f"--- profile: {label} (top 20 by cumulative time) ---")
+    print(stream.getvalue().rstrip())
+    print()
+
+
+def run_benchmarks(
+    quick: bool = False, repeats: int = DEFAULT_REPEATS, profile: bool = False
+) -> Dict:
     """Measure the current tree and return a serializable result.
 
-    The returned dictionary has five sections:
+    The returned dictionary has these sections:
 
     * ``stages``: ``{workload: {stage: seconds, ..., "total": seconds}}``;
     * ``sweeps``: ``{sweep_name: seconds}``;
@@ -535,34 +650,79 @@ def run_benchmarks(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> Dict:
       fault-tolerance machinery: uninstrumented site-probe tax, the
       injected-failure retry path, and a salvage pass (see
       :func:`time_faults`);
+    * ``engine``: ``{batch_oracle_s, scalar_interp_s, rtl_batch_s, ...}`` --
+      the bit-plane evaluation core in isolation (see :func:`time_engine`);
     * ``meta``: interpreter/platform/timestamp provenance, plus the
       measurement parameters, so baselines recorded on other machines are
       recognisably not comparable.
+
+    With ``profile=True`` every section additionally runs under
+    :mod:`cProfile` and prints its top-20 cumulative-time functions; the
+    recorded timings then include profiler overhead and must not be written
+    to the bench file (the CLI's ``--profile`` flag enforces that).
     """
     points = QUICK_STAGE_POINTS if quick else STAGE_POINTS
     sweeps = QUICK_SWEEPS if quick else SWEEPS
     study_names = QUICK_STUDY_POINTS if quick else STUDY_POINTS
     emit_points = QUICK_EMIT_POINTS if quick else EMIT_POINTS
     check_points = QUICK_CHECK_POINTS if quick else CHECK_POINTS
+
+    def section(label, fn):
+        if profile:
+            _profile_section(label, fn)
+        else:
+            fn()
+
     stages: Dict[str, Dict[str, float]] = {}
     verify: Dict[str, Dict[str, float]] = {}
-    for workload, latency in points:
-        stages[workload] = time_stages(workload, latency, repeats=repeats)
-        verify[workload] = time_verification(workload, latency, repeats=repeats)
+
+    def _stages():
+        for workload, latency in points:
+            stages[workload] = time_stages(workload, latency, repeats=repeats)
+            verify[workload] = time_verification(workload, latency, repeats=repeats)
+
+    section("stages+verify", _stages)
+
     sweep_times: Dict[str, float] = {}
-    for name, (workload, kind) in sweeps.items():
-        sweep_times[name] = time_sweep(
-            workload, latencies=FIG4_LATENCIES, repeats=repeats, kind=kind
-        )
+
+    def _sweeps():
+        for name, (workload, kind) in sweeps.items():
+            sweep_times[name] = time_sweep(
+                workload, latencies=FIG4_LATENCIES, repeats=repeats, kind=kind
+            )
+
+    section("sweeps", _sweeps)
+
     emit: Dict[str, Dict[str, float]] = {}
-    for workload, latency in emit_points:
-        emit[workload] = time_emission(workload, latency, repeats=repeats)
+
+    def _emit():
+        for workload, latency in emit_points:
+            emit[workload] = time_emission(workload, latency, repeats=repeats)
+
+    section("emit", _emit)
+
     check: Dict[str, Dict[str, float]] = {}
-    for workload, latency in check_points:
-        check[workload] = time_check(workload, latency, repeats=repeats)
+
+    def _check():
+        for workload, latency in check_points:
+            check[workload] = time_check(workload, latency, repeats=repeats)
+
+    section("check", _check)
+
     studies: Dict[str, Dict[str, float]] = {}
-    for name in study_names:
-        studies[name] = time_study(name, repeats=repeats)
+
+    def _studies():
+        for name in study_names:
+            studies[name] = time_study(name, repeats=repeats)
+
+    section("studies", _studies)
+
+    faults_times: Dict[str, float] = {}
+    section("faults", lambda: faults_times.update(time_faults(repeats=repeats)))
+
+    engine_times: Dict[str, float] = {}
+    section("engine", lambda: engine_times.update(time_engine(repeats=repeats)))
+
     return {
         "stages": stages,
         "sweeps": sweep_times,
@@ -570,12 +730,15 @@ def run_benchmarks(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> Dict:
         "emit": emit,
         "check": check,
         "studies": studies,
-        "faults": time_faults(repeats=repeats),
+        "faults": faults_times,
+        "engine": engine_times,
         "meta": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
             "quick": quick,
             "repeats": repeats,
+            "profile": profile,
+            "engine_lanes": ENGINE_LANES,
             "stage_latencies": {w: l for w, l in points},
             "sweep_latencies": list(FIG4_LATENCIES),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),

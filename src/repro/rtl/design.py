@@ -21,7 +21,7 @@ after the last schedule cycle has executed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from .netlist import Net, Netlist, NetlistError
 from .simulator import NetlistSimulator
@@ -92,10 +92,10 @@ class RtlDesign:
     # ------------------------------------------------------------------
     # Cycle-accurate simulation
     # ------------------------------------------------------------------
-    def _simulator(self) -> NetlistSimulator:
+    def _simulator(self, engine: Optional[str] = None) -> NetlistSimulator:
         # NetlistSimulator memoizes the levelisation per netlist, so a fresh
         # wrapper per call costs one cache lookup.
-        return NetlistSimulator(self.netlist)
+        return NetlistSimulator(self.netlist, engine=engine)
 
     def _check_inputs(self, inputs: Mapping[str, int]) -> None:
         unknown = set(inputs) - set(self.input_ports)
@@ -142,13 +142,16 @@ class RtlDesign:
         }
 
     def simulate_batch(
-        self, vectors: Sequence[Mapping[str, int]]
+        self,
+        vectors: Sequence[Mapping[str, int]],
+        engine: Optional[str] = None,
     ) -> Dict[str, List[int]]:
         """Lane-packed batch run: one stimulus vector per bit lane.
 
         Returns the raw (unsigned) value of every output port, one integer
         per lane, after ``latency`` cycles -- bit-identical to running
-        :meth:`simulate` once per vector.
+        :meth:`simulate` once per vector.  ``engine`` selects the batch
+        evaluation core (see :class:`~repro.rtl.simulator.NetlistSimulator`).
         """
         lanes = len(vectors)
         if lanes == 0:
@@ -162,7 +165,7 @@ class RtlDesign:
                     f"missing ports {sorted(missing)}"
                 )
         lane_mask = (1 << lanes) - 1
-        simulator = self._simulator()
+        simulator = self._simulator(engine)
         assignment: Dict[Net, int] = {}
         for name, nets in self.input_ports.items():
             for bit, net in enumerate(nets):

@@ -1026,13 +1026,16 @@ def verify_emission(
     random_count: int = 50,
     seed: int = 2005,
     corner_limit: int = 64,
+    backend: Optional[str] = None,
 ) -> EmissionCheck:
     """Batch co-simulation of an emitted design against the behavioural oracle.
 
     Drives the corner + random stimulus set through both the lane-packed
     :class:`~repro.simulation.batch.BatchInterpreter` and the design's
     cycle-accurate batch simulation, and compares every output port's raw
-    bit pattern lane by lane.
+    bit pattern lane by lane.  ``backend`` selects the bit-plane core on
+    both sides (``None``/``"auto"``, ``"bigint"``, ``"numpy"``,
+    ``"legacy"``); every choice is bit-identical.
     """
     from ..simulation.batch import BatchInterpreter
     from ..simulation.vectors import stimulus
@@ -1043,8 +1046,8 @@ def verify_emission(
         seed=seed,
         corner_limit=corner_limit,
     )
-    oracle = BatchInterpreter(specification).run_batch(vectors)
-    actual = design.simulate_batch(vectors)
+    oracle = BatchInterpreter(specification, engine=backend).run_batch(vectors)
+    actual = design.simulate_batch(vectors, engine=backend)
     check = EmissionCheck(design_name=design.name, vectors_checked=len(vectors))
     for name in sorted(actual):
         expected_lanes = oracle.final_state_lanes(name)

@@ -183,11 +183,27 @@ def levelised_order(netlist: Netlist) -> Tuple[List[Gate], Dict[Net, List[Gate]]
 
 
 class NetlistSimulator:
-    """Levelised evaluation of a combinational netlist."""
+    """Levelised evaluation of a combinational netlist.
 
-    def __init__(self, netlist: Netlist, delay_model: Optional[DelayModel] = None) -> None:
+    ``engine`` selects the batch evaluation core (scalar :meth:`run` always
+    uses the per-gate loop): ``None``/``"auto"`` compile the netlist once
+    through :mod:`repro.engine` into a dense-slot gate program and pick
+    the plane backend by lane count; ``"bigint"``/``"numpy"`` force a
+    backend; ``"legacy"`` keeps the original per-gate big-int loop.  All
+    choices are bit-identical.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        delay_model: Optional[DelayModel] = None,
+        engine: Optional[str] = None,
+    ) -> None:
+        from ..engine import resolve_backend
+
         self.netlist = netlist
         self.delay_model = delay_model or unit_full_adder_delay_model()
+        self.engine = resolve_backend(engine)
         self._order, self._consumers = levelised_order(netlist)
         # Arrival times depend only on topology and the delay model, not on
         # input values; computed once per simulator and copied into results.
@@ -235,6 +251,8 @@ class NetlistSimulator:
         """
         if lanes < 1:
             raise NetlistError(f"lane count must be >= 1, got {lanes}")
+        if self.engine != "legacy":
+            return self._run_batch_plan(inputs, lanes)
         lane_mask = (1 << lanes) - 1
         result = BatchNetlistResult(self.netlist.name, lanes)
         values = result.values
@@ -262,6 +280,26 @@ class NetlistSimulator:
             else:
                 raise NetlistError(f"unknown gate kind {kind}")
             values[gate.output] = value
+        result.arrivals = dict(self._arrival_times())
+        return result
+
+    def _run_batch_plan(
+        self, inputs: Mapping[Net, int], lanes: int
+    ) -> BatchNetlistResult:
+        """Batch evaluation through the compiled dense-slot gate program."""
+        from ..engine import context_for, netlist_plan, run_netlist_plan
+
+        plan = netlist_plan(self.netlist, self._order)
+        ctx = context_for(lanes, self.engine)
+        input_planes = []
+        for net in self.netlist.inputs:
+            if net not in inputs:
+                raise NetlistError(f"missing value for input net {net.name}")
+            input_planes.append(ctx.plane_from_mask(inputs[net]))
+        slots = run_netlist_plan(plan, ctx, input_planes)
+        result = BatchNetlistResult(self.netlist.name, lanes)
+        to_mask = ctx.plane_to_mask
+        result.values = {net: to_mask(slots[slot]) for net, slot in plan.net_index.items()}
         result.arrivals = dict(self._arrival_times())
         return result
 

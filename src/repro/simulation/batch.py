@@ -125,10 +125,22 @@ def unpack_planes(planes: Sequence[int], lanes: int) -> List[int]:
 
 
 class BatchInterpreter:
-    """Evaluates a specification on *all* vectors of a stimulus set at once."""
+    """Evaluates a specification on *all* vectors of a stimulus set at once.
 
-    def __init__(self, specification: Specification) -> None:
+    ``engine`` selects the evaluation core: ``None``/``"auto"`` compile the
+    specification once through :mod:`repro.engine` and pick the plane
+    backend by lane count, ``"bigint"``/``"numpy"`` force a backend, and
+    ``"legacy"`` runs the original per-operation SWAR loop kept for
+    differential testing.  Every choice is bit-identical.
+    """
+
+    def __init__(
+        self, specification: Specification, engine: Optional[str] = None
+    ) -> None:
+        from ..engine import resolve_backend
+
         self.specification = specification
+        self.engine = resolve_backend(engine)
 
     # ------------------------------------------------------------------
     def pack_inputs(self, vectors: Sequence[Mapping[str, int]]) -> Dict[str, Planes]:
@@ -191,9 +203,11 @@ class BatchInterpreter:
         lanes = len(vectors)
         if lanes == 0:
             raise SimulationError("batch run needs at least one stimulus vector")
-        lane_mask = (1 << lanes) - 1
         if packed_inputs is None:
             packed_inputs = self.pack_inputs(vectors)
+        if self.engine != "legacy":
+            return self._run_plan(lanes, packed_inputs)
+        lane_mask = (1 << lanes) - 1
         state: Dict[int, Planes] = {}
         for port in self.specification.inputs():
             state[port.uid] = list(packed_inputs[port.name])
@@ -206,6 +220,30 @@ class BatchInterpreter:
             lo = destination.range.lo
             for position, plane in enumerate(result):
                 planes[lo + position] = plane
+        return self._collect(state, lanes)
+
+    def _run_plan(
+        self, lanes: int, packed_inputs: Dict[str, Planes]
+    ) -> BatchSimulationResult:
+        """The compiled-plan path: one flat dispatch loop over the engine core."""
+        from ..engine import context_for, run_spec_plan, spec_plan
+
+        plan = spec_plan(self.specification)
+        ctx = context_for(lanes, self.engine)
+        state: Dict[int, list] = {}
+        for port in self.specification.inputs():
+            state[port.uid] = ctx.planes_from_masks(packed_inputs[port.name])
+        zero = ctx.zero
+        for variable in self.specification.variables:
+            state.setdefault(variable.uid, [zero] * variable.width)
+        run_spec_plan(plan, ctx, state)
+        if ctx.backend != "bigint":
+            state = {
+                uid: ctx.planes_to_masks(planes) for uid, planes in state.items()
+            }
+        return self._collect(state, lanes)
+
+    def _collect(self, state: Dict[int, Planes], lanes: int) -> BatchSimulationResult:
         result = BatchSimulationResult(
             specification_name=self.specification.name, lanes=lanes
         )
@@ -460,7 +498,9 @@ class BatchInterpreter:
 
 
 def simulate_batch(
-    specification: Specification, vectors: Sequence[Mapping[str, int]]
+    specification: Specification,
+    vectors: Sequence[Mapping[str, int]],
+    engine: Optional[str] = None,
 ) -> BatchSimulationResult:
     """One-shot convenience wrapper around :class:`BatchInterpreter`."""
-    return BatchInterpreter(specification).run_batch(vectors)
+    return BatchInterpreter(specification, engine=engine).run_batch(vectors)

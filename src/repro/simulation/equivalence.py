@@ -17,9 +17,11 @@ from .batch import BatchInterpreter, unpack_planes
 from .interpreter import Interpreter, SimulationError
 from .vectors import stimulus
 
-#: Lane count of one batch-engine sweep.  Bounds the big-int width (and the
-#: cost of a mismatch unpack) without changing results: chunks are compared
-#: in vector order, so mismatch ordering matches the scalar engine exactly.
+#: Default lane count of one batch-engine sweep.  Bounds the big-int width
+#: (and the cost of a mismatch unpack) without changing results: chunks are
+#: compared in vector order, so mismatch ordering matches the scalar engine
+#: exactly.  Tunable per run via ``check_equivalence(chunk_lanes=...)`` and
+#: the ``FlowConfig.equivalence_chunk_lanes`` execution field.
 BATCH_CHUNK_LANES = 256
 
 
@@ -101,6 +103,8 @@ def check_equivalence(
     seed: int = 2005,
     stop_at: Optional[int] = 25,
     engine: str = "batch",
+    chunk_lanes: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> EquivalenceReport:
     """Co-simulate both specifications and report mismatching outputs.
 
@@ -114,16 +118,35 @@ def check_equivalence(
     per-vector :class:`~repro.simulation.interpreter.Interpreter`.  Both
     engines produce bit-identical reports -- the batch engine exists because
     it is an order of magnitude faster at sweep-scale vector counts.
+
+    ``chunk_lanes`` bounds the lane count of one batch-engine sweep
+    (default :data:`BATCH_CHUNK_LANES`); any positive value produces the
+    same report, chunks being compared in vector order.
+
+    ``backend`` selects the bit-plane core under the batch engine
+    (``None``/``"auto"``, ``"bigint"``, ``"numpy"``, or ``"legacy"`` for
+    the pre-plan SWAR loop); every choice is bit-identical.
     """
     if engine not in ("batch", "scalar"):
         raise ValueError(f"unknown equivalence engine {engine!r}")
+    if chunk_lanes is not None and chunk_lanes < 1:
+        raise ValueError(f"chunk_lanes must be >= 1, got {chunk_lanes}")
     _common_interface(reference, candidate)
     if vectors is None:
         vectors = stimulus(reference, random_count=random_count, seed=seed)
     report = EquivalenceReport(reference.name, candidate.name)
     output_names = [port.name for port in reference.outputs()]
     if engine == "batch":
-        _check_batch(reference, candidate, vectors, output_names, report, stop_at)
+        _check_batch(
+            reference,
+            candidate,
+            vectors,
+            output_names,
+            report,
+            stop_at,
+            chunk_lanes or BATCH_CHUNK_LANES,
+            backend,
+        )
         return report
     reference_interpreter = Interpreter(reference)
     candidate_interpreter = Interpreter(candidate)
@@ -150,6 +173,8 @@ def _check_batch(
     output_names: Sequence[str],
     report: EquivalenceReport,
     stop_at: Optional[int],
+    chunk_lanes: int = BATCH_CHUNK_LANES,
+    backend: Optional[str] = None,
 ) -> None:
     """Batch-engine comparison, chunked to bound lane width.
 
@@ -158,11 +183,11 @@ def _check_batch(
     fall back to per-lane unpacking, walking lanes in vector order so that
     mismatch ordering and the ``stop_at`` cutoff replicate the scalar engine.
     """
-    reference_interpreter = BatchInterpreter(reference)
-    candidate_interpreter = BatchInterpreter(candidate)
+    reference_interpreter = BatchInterpreter(reference, engine=backend)
+    candidate_interpreter = BatchInterpreter(candidate, engine=backend)
     vectors = list(vectors)
-    for start in range(0, len(vectors), BATCH_CHUNK_LANES):
-        chunk = vectors[start : start + BATCH_CHUNK_LANES]
+    for start in range(0, len(vectors), chunk_lanes):
+        chunk = vectors[start : start + chunk_lanes]
         # Both sides share one input interface (checked above), so each
         # chunk is validated and lane-packed exactly once.
         packed = reference_interpreter.pack_inputs(chunk)

@@ -19,7 +19,7 @@ bits).  Results are wrapped to the destination width.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from ..ir.operations import Operation, OpKind
 from ..ir.spec import Specification
@@ -51,10 +51,32 @@ class SimulationResult:
 
 
 class Interpreter:
-    """Evaluates a :class:`~repro.ir.spec.Specification` on concrete inputs."""
+    """Evaluates a :class:`~repro.ir.spec.Specification` on concrete inputs.
 
-    def __init__(self, specification: Specification) -> None:
+    ``engine`` selects the evaluation core: ``None``/``"auto"``/``"plane"``
+    run the vector as a width-1 batch through the compiled plan of
+    :mod:`repro.engine` (one shared core with the batch oracle);
+    ``"legacy"`` runs the original per-operation integer loop.  Both are
+    bit-identical, traces included.  With no explicit choice a
+    ``REPRO_ENGINE=legacy`` environment override selects the legacy loop
+    (any other override value keeps the plan path), mirroring the batch
+    engines.
+    """
+
+    def __init__(
+        self, specification: Specification, engine: Optional[str] = None
+    ) -> None:
+        if engine is None:
+            import os
+
+            engine = "legacy" if os.environ.get("REPRO_ENGINE") == "legacy" else "plane"
+        if engine not in ("auto", "plane", "legacy"):
+            raise SimulationError(
+                f"unknown interpreter engine {engine!r}; "
+                "expected 'auto', 'plane' or 'legacy'"
+            )
         self.specification = specification
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def run(self, inputs: Mapping[str, int]) -> SimulationResult:
@@ -68,14 +90,17 @@ class Interpreter:
         """
         state = self._initial_state(inputs)
         operation_results: Dict[str, int] = {}
-        for operation in self.specification.operations:
-            result_bits = self._evaluate(operation, state)
-            operation_results[operation.name] = result_bits
-            destination = operation.destination
-            variable = destination.variable
-            state[variable.uid] = insert_bits(
-                state.get(variable.uid, 0), destination.range, result_bits
-            )
+        if self.engine == "legacy":
+            for operation in self.specification.operations:
+                result_bits = self._evaluate(operation, state)
+                operation_results[operation.name] = result_bits
+                destination = operation.destination
+                variable = destination.variable
+                state[variable.uid] = insert_bits(
+                    state.get(variable.uid, 0), destination.range, result_bits
+                )
+        else:
+            self._run_plan(state, operation_results)
         outputs: Dict[str, int] = {}
         final_state: Dict[str, int] = {}
         for variable in self.specification.variables:
@@ -90,6 +115,42 @@ class Interpreter:
             final_state=final_state,
             operation_results=operation_results,
         )
+
+    # ------------------------------------------------------------------
+    def _run_plan(
+        self, state: Dict[int, int], operation_results: Dict[str, int]
+    ) -> None:
+        """Evaluate as a single-lane batch on the shared bit-plane core.
+
+        At one lane the big-int planes degenerate to single bits, so the
+        plane state of a variable *is* its bit pattern transposed; packing
+        and unpacking are simple bit loops over the integer state.
+        """
+        from ..engine import BigIntContext, run_spec_plan, spec_plan
+
+        plan = spec_plan(self.specification)
+        ctx = BigIntContext(1)
+        plane_state: Dict[int, list] = {}
+        for variable in self.specification.variables:
+            bits = state.get(variable.uid, 0)
+            plane_state[variable.uid] = [
+                (bits >> index) & 1 for index in range(variable.width)
+            ]
+        record: list = []
+        run_spec_plan(plan, ctx, plane_state, record=record)
+        for name, planes in zip(plan.operation_names, record):
+            value = 0
+            for index, plane in enumerate(planes):
+                if plane:
+                    value |= 1 << index
+            operation_results[name] = value
+        for variable in self.specification.variables:
+            planes = plane_state[variable.uid]
+            bits = 0
+            for index, plane in enumerate(planes):
+                if plane:
+                    bits |= 1 << index
+            state[variable.uid] = bits
 
     # ------------------------------------------------------------------
     def _initial_state(self, inputs: Mapping[str, int]) -> Dict[int, int]:

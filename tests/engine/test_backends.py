@@ -1,0 +1,188 @@
+"""Backend selection policy and plane-storage round trips of repro.engine."""
+
+import random
+
+import pytest
+
+from repro.engine import (
+    BACKEND_NAMES,
+    BigIntContext,
+    available_backends,
+    bit_not,
+    context_for,
+    has_numpy,
+    less_than,
+    multiply,
+    negate,
+    resolve_backend,
+    ripple_add,
+    ripple_increment,
+    select,
+)
+from repro.engine import numpy_backend
+
+requires_numpy = pytest.mark.skipif(not has_numpy(), reason="numpy not importable")
+
+
+class TestResolveBackend:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_backend(None) == "auto"
+
+    def test_explicit_names_pass_through(self):
+        assert resolve_backend("bigint") == "bigint"
+        assert resolve_backend("legacy") == "legacy"
+        assert resolve_backend("auto") == "auto"
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "legacy")
+        assert resolve_backend(None) == "legacy"
+        monkeypatch.setenv("REPRO_ENGINE", "bigint")
+        assert resolve_backend(None) == "bigint"
+
+    def test_explicit_name_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "legacy")
+        assert resolve_backend("bigint") == "bigint"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_backend("simd")
+
+    def test_forced_numpy_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setattr(numpy_backend, "available", lambda: False)
+        with pytest.raises(RuntimeError, match="numpy"):
+            resolve_backend("numpy")
+
+    def test_available_backends_always_lists_bigint(self):
+        backends = available_backends()
+        assert backends[0] == "bigint"
+        assert ("numpy" in backends) == has_numpy()
+        assert set(backends) <= set(BACKEND_NAMES)
+
+
+class TestContextFor:
+    def test_legacy_is_not_a_backend(self):
+        with pytest.raises(ValueError, match="legacy"):
+            context_for(8, "legacy")
+
+    def test_auto_uses_bigint_below_threshold(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_NUMPY_LANES", raising=False)
+        assert context_for(64, "auto").backend == "bigint"
+
+    @requires_numpy
+    def test_auto_switches_to_numpy_over_threshold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_NUMPY_LANES", "4")
+        assert context_for(8, "auto").backend == "numpy"
+        assert context_for(2, "auto").backend == "bigint"
+
+    def test_auto_without_numpy_stays_bigint(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_NUMPY_LANES", "1")
+        monkeypatch.setattr(numpy_backend, "available", lambda: False)
+        assert context_for(1 << 20, "auto").backend == "bigint"
+
+    @requires_numpy
+    def test_forced_backends(self):
+        assert context_for(8, "bigint").backend == "bigint"
+        assert context_for(8, "numpy").backend == "numpy"
+
+    def test_rejects_nonpositive_lane_counts(self):
+        with pytest.raises(ValueError):
+            BigIntContext(0)
+
+
+#: Lane count of the storage tests; crosses the 64-bit word boundary of the
+#: numpy backend so multi-word planes are exercised.
+LANES = 70
+
+
+def _contexts():
+    contexts = [BigIntContext(LANES)]
+    if has_numpy():
+        contexts.append(numpy_backend.NumpyContext(LANES))
+    return contexts
+
+
+class TestPlaneRoundTrips:
+    def test_mask_round_trip(self):
+        lane_mask = (1 << LANES) - 1
+        patterns = [0, 1, lane_mask, 0x5A5A5A5A5A5A5A5A5A & lane_mask]
+        for ctx in _contexts():
+            for bits in patterns:
+                plane = ctx.plane_from_mask(bits)
+                assert ctx.plane_to_mask(plane) == bits, ctx.backend
+
+    def test_from_mask_truncates_to_lane_count(self):
+        for ctx in _contexts():
+            plane = ctx.plane_from_mask(1 << LANES)
+            assert ctx.plane_to_mask(plane) == 0, ctx.backend
+            assert ctx.is_zero(plane), ctx.backend
+
+    def test_zero_and_mask_planes(self):
+        for ctx in _contexts():
+            assert ctx.plane_to_mask(ctx.zero) == 0, ctx.backend
+            assert ctx.plane_to_mask(ctx.mask) == (1 << LANES) - 1, ctx.backend
+
+    def test_planes_from_masks_round_trip(self):
+        rng = random.Random(3)
+        masks = [rng.getrandbits(LANES) for _ in range(5)]
+        for ctx in _contexts():
+            planes = ctx.planes_from_masks(masks)
+            assert ctx.planes_to_masks(planes) == masks, ctx.backend
+
+
+class TestKernelCrossBackend:
+    """Every kernel computes identical lane masks on every backend."""
+
+    WIDTH = 6
+
+    def _kernel_outcomes(self, ctx, rng):
+        rows = []
+        for _ in range(5):
+            a = [ctx.plane_from_mask(rng.getrandbits(LANES)) for _ in range(self.WIDTH)]
+            b = [ctx.plane_from_mask(rng.getrandbits(LANES)) for _ in range(self.WIDTH)]
+            carry_bits = rng.getrandbits(LANES)
+            carry = ctx.plane_from_mask(carry_bits)
+            lt = less_than(ctx, a, b)
+            inverse = bit_not(ctx, [lt])[0]
+            rows.append(
+                (
+                    ctx.planes_to_masks(ripple_add(a, b, carry)),
+                    ctx.planes_to_masks(ripple_increment(ctx, a, carry)),
+                    ctx.planes_to_masks(negate(ctx, a)),
+                    ctx.plane_to_mask(lt),
+                    ctx.planes_to_masks(bit_not(ctx, a)),
+                    ctx.planes_to_masks(select(lt, inverse, a, b)),
+                    ctx.planes_to_masks(multiply(ctx, a, b, self.WIDTH)),
+                )
+            )
+        return rows
+
+    @requires_numpy
+    def test_kernels_agree_between_backends(self):
+        outcomes = [
+            self._kernel_outcomes(ctx, random.Random(7)) for ctx in _contexts()
+        ]
+        assert outcomes[0] == outcomes[1]
+
+    def test_bigint_kernels_match_scalar_arithmetic(self):
+        """Single-lane planes reduce kernels to ordinary width-limited math."""
+        ctx = BigIntContext(1)
+        width = self.WIDTH
+        for a_value in (0, 1, 19, 63):
+            for b_value in (0, 5, 62):
+                a = [(a_value >> i) & 1 for i in range(width)]
+                b = [(b_value >> i) & 1 for i in range(width)]
+                total = ctx.planes_to_masks(ripple_add(a, b, ctx.zero))
+                assert _to_value(total) == (a_value + b_value) % (1 << width)
+                product = ctx.planes_to_masks(multiply(ctx, a, b, width))
+                assert _to_value(product) == (a_value * b_value) % (1 << width)
+                neg = ctx.planes_to_masks(negate(ctx, a))
+                assert _to_value(neg) == (-a_value) % (1 << width)
+                assert less_than(ctx, a, b) == int(a_value < b_value)
+
+
+def _to_value(plane_bits):
+    value = 0
+    for index, bit in enumerate(plane_bits):
+        value |= (bit & 1) << index
+    return value

@@ -305,8 +305,13 @@ class TestRunBenchmarks:
             "check",
             "studies",
             "faults",
+            "engine",
             "meta",
         }
+        assert result["engine"]["batch_oracle_s"] > 0.0
+        assert result["engine"]["scalar_interp_s"] > 0.0
+        assert result["engine"]["rtl_batch_s"] > 0.0
+        assert result["engine"]["batch_oracle_vectors_per_s"] > 0.0
         assert result["faults"]["site_noplan_s"] > 0.0
         assert result["faults"]["injected_retry_s"] > 0.0
         assert result["faults"]["salvage_s"] > 0.0
