@@ -1,0 +1,69 @@
+"""Experiment E7 -- synthesis as a service: the HTTP job layer end to end.
+
+Boots an in-process :mod:`repro.server` instance over a fresh workspace and
+drives the public client through the service contract:
+
+* a cold submission computes every point of the study and its report rows
+  are identical to a direct :meth:`Workspace.run_study` of the same study;
+* a warm resubmission is pure dedup -- every point loads from the shared
+  content-addressed store (``ran == 0``) and the request loop is far
+  cheaper than the cold one;
+* the server's own metrics agree with the observed behaviour (cache
+  hits/misses count loaded vs executed points exactly).
+"""
+
+import threading
+
+import pytest
+
+from repro.api import Workspace, builtin_study
+from repro.server import SynthesisClient, create_server
+
+
+@pytest.fixture
+def service(tmp_path):
+    server = create_server(tmp_path / "ws", port=0, workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield SynthesisClient(f"http://{host}:{port}")
+    finally:
+        server.shutdown()
+        server.manager.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+@pytest.mark.benchmark(group="server")
+def test_cold_submission_matches_direct_run(benchmark, service, tmp_path):
+    study = builtin_study("table1")
+
+    def cold():
+        submitted = service.submit(study)
+        final = service.wait(submitted["job_id"], timeout_s=120.0)
+        assert final["status"] == "done"
+        return service.report(submitted["job_id"])
+
+    report = benchmark.pedantic(cold, rounds=1, iterations=1)
+    direct = Workspace(tmp_path / "direct").run_study(study)
+    assert report["reports"] == direct.reports()
+    assert report["rows"] == direct.rows()
+
+
+@pytest.mark.benchmark(group="server")
+def test_warm_resubmission_is_pure_dedup(benchmark, service):
+    study = builtin_study("table1")
+    first = service.wait(service.submit(study)["job_id"], timeout_s=120.0)
+    assert first["summary"]["ran"] == len(study)
+
+    def warm():
+        final = service.wait(service.submit(study)["job_id"], timeout_s=120.0)
+        assert final["summary"]["ran"] == 0
+        assert final["summary"]["loaded"] == len(study)
+        return final
+
+    benchmark.pedantic(warm, rounds=3, iterations=1)
+    metrics = service.metrics()
+    assert metrics["counters"]["cache_misses"] == len(study)
+    assert metrics["counters"]["cache_hits"] == 3 * len(study)

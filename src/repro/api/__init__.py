@@ -88,6 +88,7 @@ from .study import (
     available_studies,
     builtin_study,
     fig4_study,
+    study_from_dict,
     table_study,
 )
 from .sweep import SweepEngine, SweepOutcome, SweepPointError, SweepRun
@@ -141,6 +142,7 @@ __all__ = [
     "run_error_title",
     "schedule_pass",
     "specification_fingerprint",
+    "study_from_dict",
     "table_study",
     "time_pass",
     "transform_pass",

@@ -1,6 +1,6 @@
 """``python -m repro`` -- the command-line front end of the flow pipeline.
 
-Eight subcommands, all driving the same :mod:`repro.api` objects a Python
+Eleven subcommands, all driving the same :mod:`repro.api` objects a Python
 caller would use:
 
 * ``repro list-workloads``          -- the registered benchmark specifications;
@@ -16,12 +16,18 @@ caller would use:
 * ``repro sweep <workload>``        -- the Fig. 4 latency sweep, optionally
   parallel (``--workers``/``--executor``);
 * ``repro table table1|table2|table3`` -- reproduce a table of the paper;
-* ``repro study run|status|report|salvage|list`` -- persistent, resumable
+* ``repro study run|status|report|salvage|list|gc`` -- persistent, resumable
   experiment matrices: run a named :class:`~repro.api.study.Study` against an
   on-disk :class:`~repro.api.workspace.Workspace` (with per-point retries,
   timeouts and structured error rows via ``--retries``/``--timeout``/
   ``--on-error``), inspect its completion state, regenerate its rows with
-  zero recomputation, or repair a crashed workspace (``salvage``);
+  zero recomputation, repair a crashed workspace (``salvage``) or prune
+  superseded result objects (``gc --dry-run``);
+* ``repro serve``                   -- the synthesis-as-a-service HTTP API
+  (:mod:`repro.server`): a threaded JSON server over a shared workspace,
+  deduplicating identical configs across jobs and clients;
+* ``repro submit`` / ``repro poll`` -- client verbs against a running
+  server (built-in study names or ``@file.json`` inline descriptions);
 * ``repro perf``                    -- the performance harness: time the
   pipeline stages and the Fig. 4 sweeps, refresh ``BENCH_sched.json`` and
   optionally fail on regressions (``--max-regression``).
@@ -39,6 +45,9 @@ Examples::
     python -m repro study report table2 --workspace .repro-ws
     python -m repro list-workloads
     python -m repro perf --quick --max-regression 2.0
+    python -m repro serve --workspace .repro-ws --port 8321 --workers 2
+    python -m repro submit table1 --url http://127.0.0.1:8321 --wait
+    python -m repro study gc --workspace .repro-ws --dry-run
 """
 
 from __future__ import annotations
@@ -467,6 +476,110 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study_list.add_argument("--json", action="store_true")
 
+    study_gc = study_sub.add_parser(
+        "gc",
+        help="delete stored result objects no manifest record references "
+        "(superseded rows from --fresh re-runs, schema bumps, recomputes)",
+    )
+    study_gc.add_argument("--workspace", "-w", required=True)
+    study_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list what would be collected without deleting anything",
+    )
+    study_gc.add_argument("--json", action="store_true")
+
+    # -- serve ---------------------------------------------------------
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the synthesis-as-a-service HTTP API over a shared workspace",
+    )
+    serve_parser.add_argument(
+        "--workspace",
+        "-w",
+        required=True,
+        help="workspace directory every job persists through (created on "
+        "demand; shared rows dedupe across jobs and clients)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listen port (0 binds an ephemeral port; see --ready-file)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=2,
+        help="concurrent job workers (each drives one study at a time)",
+    )
+    serve_parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="bounded job queue depth; a full queue rejects with SRV005",
+    )
+    serve_parser.add_argument(
+        "--point-workers",
+        type=int,
+        default=None,
+        help="parallel point workers per job (default: serial per job)",
+    )
+    serve_parser.add_argument(
+        "--ready-file",
+        default=None,
+        help="write 'host port' to this file once the socket is bound "
+        "(scripts poll it instead of racing the boot; pairs with --port 0)",
+    )
+
+    # -- submit / poll -------------------------------------------------
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="submit a study to a running repro server "
+        "(built-in name, or @file.json with an inline study description)",
+    )
+    submit_parser.add_argument(
+        "study",
+        help="built-in study name, or @path/to/study.json for an inline "
+        "Study description (the Study.to_dict() form)",
+    )
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8321", help="server base URL"
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll the job to a terminal state and print the final status",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=300.0, help="--wait deadline in seconds"
+    )
+    submit_parser.add_argument("--json", action="store_true")
+
+    poll_parser = subparsers.add_parser(
+        "poll", help="poll a job on a running repro server"
+    )
+    poll_parser.add_argument("job_id")
+    poll_parser.add_argument(
+        "--url", default="http://127.0.0.1:8321", help="server base URL"
+    )
+    poll_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    poll_parser.add_argument(
+        "--timeout", type=float, default=300.0, help="--wait deadline in seconds"
+    )
+    poll_parser.add_argument(
+        "--report",
+        action="store_true",
+        help="fetch the result rows once the job is done",
+    )
+    poll_parser.add_argument("--json", action="store_true")
+
     # -- list-workloads ------------------------------------------------
     list_parser = subparsers.add_parser(
         "list-workloads", help="list the registered benchmark specifications"
@@ -861,6 +974,32 @@ def _cmd_study(args: argparse.Namespace) -> int:
             print(format_records(entries, title="built-in studies"))
         return 0
 
+    if args.study_command == "gc":
+        try:
+            workspace = Workspace(args.workspace, create=False)
+        except WorkspaceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        removed = workspace.gc(dry_run=args.dry_run)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "workspace": str(workspace.root),
+                        "dry_run": args.dry_run,
+                        "removed": removed,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            verb = "would collect" if args.dry_run else "collected"
+            print(f"{workspace.root}: {verb} {len(removed)} object(s)")
+            for address in removed:
+                print(f"  {address}")
+        return 0
+
     if args.study_command == "salvage":
         try:
             # recover=True: a corrupt manifest is exactly what salvage is
@@ -1003,6 +1142,106 @@ def _cmd_study(args: argparse.Namespace) -> int:
                 f"--workspace {workspace.root} --resume` to continue"
             )
     if result.failed:
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..server.app import serve
+
+    return serve(
+        args.workspace,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        point_workers=args.point_workers,
+        ready_file=args.ready_file,
+    )
+
+
+def _resolve_submission(spec: str) -> Any:
+    """CLI study argument -> submit payload (name, or @file.json inline)."""
+    if not spec.startswith("@"):
+        return spec
+    path = spec[1:]
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(f"cannot read study description {path!r}: {error}") from None
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from ..server.client import ClientError, SynthesisClient
+
+    client = SynthesisClient(args.url)
+    try:
+        submitted = client.submit(_resolve_submission(args.study))
+        body: Dict[str, Any] = dict(submitted)
+        if args.wait:
+            body = client.wait(submitted["job_id"], timeout_s=args.timeout)
+    except ClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except TimeoutError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(body, indent=2, sort_keys=True))
+    elif args.wait:
+        summary = body.get("summary") or {}
+        print(
+            f"{body['job_id']}: {body['status']} -- "
+            f"{summary.get('loaded', 0)} loaded, {summary.get('ran', 0)} ran, "
+            f"{summary.get('failed', 0)} failed"
+        )
+    else:
+        dedup = " (deduplicated onto a live job)" if body.get("deduplicated") else ""
+        print(
+            f"{body['job_id']}: {body['status']}, "
+            f"{body['total_points']} point(s){dedup}"
+        )
+    if args.wait and body.get("status") != "done":
+        return 1
+    return 0
+
+
+def _cmd_poll(args: argparse.Namespace) -> int:
+    from ..server.client import ClientError, SynthesisClient
+
+    client = SynthesisClient(args.url)
+    try:
+        if args.wait:
+            body = client.wait(args.job_id, timeout_s=args.timeout)
+        else:
+            body = client.job(args.job_id)
+        report = None
+        if args.report and body.get("status") == "done":
+            report = client.report(args.job_id)
+    except ClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except TimeoutError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        output = dict(body)
+        if report is not None:
+            output["report"] = report
+        print(json.dumps(output, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{body['job_id']}: {body['status']} "
+            f"({body['done_points']}/{body['total_points']} points)"
+        )
+        for row in body.get("errors", []):
+            print(f"  {row['point_id']}: {row['error_code']} {row['message']}")
+        if report is not None:
+            from ..analysis.tables import format_records
+
+            print(format_records(report["rows"], title=f"{report['study']} rows"))
+    if args.report and body.get("status") == "done" and report is None:
         return 1
     return 0
 
@@ -1166,6 +1405,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "table": _cmd_table,
         "study": _cmd_study,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "poll": _cmd_poll,
         "list-workloads": _cmd_list_workloads,
         "perf": _cmd_perf,
     }

@@ -42,6 +42,7 @@ __all__ = [
     "build_rows",
     "builtin_study",
     "fig4_study",
+    "study_from_dict",
     "table_points",
     "table_study",
 ]
@@ -229,6 +230,106 @@ class Study:
             for i in range(lengths.pop())
         ]
         return self.cases(cases)
+
+    # ------------------------------------------------------------------
+    # Serialization (the wire format of inline server submissions)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable description of this study declaration.
+
+        Captures the declaration, not the expansion: base fields, the
+        expansion list in application order, and the presentation/retry
+        policy.  :func:`study_from_dict` inverts it, and the round trip
+        preserves point ids exactly (they derive from the expanded configs'
+        content hashes), so a study shipped over the wire resolves the same
+        workspace rows as the original object.
+        """
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "description": self.description,
+            "base": dict(self.base),
+            "stop_after": self.stop_after,
+            "row_kind": self.row_kind,
+            "expansions": [
+                [kind, payload] for kind, payload in self._expansions
+            ],
+        }
+        if self.retry is not None:
+            data["retry"] = self.retry.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Study":
+        """Inverse of :meth:`to_dict`; malformed input raises StudyError."""
+        if not isinstance(data, dict):
+            raise StudyError(
+                f"study description must be an object, got {type(data).__name__}"
+            )
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            raise StudyError("study description needs a non-empty 'name' string")
+        base = data.get("base", {})
+        if not isinstance(base, dict):
+            raise StudyError("study 'base' must be an object of config fields")
+        raw_expansions = data.get("expansions", [])
+        if not isinstance(raw_expansions, list):
+            raise StudyError("study 'expansions' must be a list")
+        expansions: List[Tuple[str, Any]] = []
+        for position, item in enumerate(raw_expansions):
+            if not (isinstance(item, (list, tuple)) and len(item) == 2):
+                raise StudyError(
+                    f"expansion #{position} must be a [kind, payload] pair"
+                )
+            kind, payload = item
+            if kind == "grid":
+                if not isinstance(payload, dict) or not payload:
+                    raise StudyError(
+                        f"expansion #{position}: grid payload must be a "
+                        "non-empty object of axis lists"
+                    )
+                payload = {key: list(values) for key, values in payload.items()}
+                for key, values in payload.items():
+                    if not values:
+                        raise StudyError(f"grid axis {key!r} is empty")
+            elif kind == "cases":
+                if not isinstance(payload, list) or not payload:
+                    raise StudyError(
+                        f"expansion #{position}: cases payload must be a "
+                        "non-empty list of objects"
+                    )
+                if not all(isinstance(case, dict) for case in payload):
+                    raise StudyError(
+                        f"expansion #{position}: every case must be an object"
+                    )
+                payload = [dict(case) for case in payload]
+            else:
+                raise StudyError(
+                    f"expansion #{position} has unknown kind {kind!r}: "
+                    "expected 'grid' or 'cases'"
+                )
+            expansions.append((kind, payload))
+        retry = None
+        if data.get("retry") is not None:
+            try:
+                retry = RetryPolicy.from_dict(data["retry"])
+            except (TypeError, ValueError) as error:
+                raise StudyError(f"invalid retry policy: {error}") from None
+        description = data.get("description", "")
+        if not isinstance(description, str):
+            raise StudyError("study 'description' must be a string")
+        row_kind = data.get("row_kind", "raw")
+        stop_after = data.get("stop_after")
+        if stop_after is not None and not isinstance(stop_after, str):
+            raise StudyError("study 'stop_after' must be a string or null")
+        return cls(
+            name,
+            base=base,
+            description=description,
+            stop_after=stop_after,
+            row_kind=row_kind,
+            retry=retry,
+            _expansions=tuple(expansions),
+        )
 
     # ------------------------------------------------------------------
     # Expansion product
@@ -502,3 +603,8 @@ def builtin_study(name: str) -> Study:
 def available_studies() -> Dict[str, Study]:
     """Every built-in study, by name (fresh instances)."""
     return {name: factory() for name, factory in BUILTIN_STUDIES.items()}
+
+
+def study_from_dict(data: Dict[str, Any]) -> Study:
+    """Rebuild a study from its :meth:`Study.to_dict` description."""
+    return Study.from_dict(data)

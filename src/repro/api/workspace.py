@@ -84,6 +84,13 @@ _LOCK_NAME = ".lock"
 #: alive (pid reuse); younger locks of dead pids are taken over immediately.
 STALE_LOCK_S = 3600.0
 
+#: How long a *live* foreign lock is waited on before giving up.  Two
+#: processes sharing one workspace (a server plus a CLI, or two sweeps over
+#: disjoint studies) serialize on the advisory lock rather than fail; only
+#: a holder that outlives this window raises.
+LOCK_WAIT_S = 60.0
+_LOCK_POLL_S = 0.05
+
 
 class WorkspaceError(RuntimeError):
     """Raised for unreadable workspaces or incomplete-report requests."""
@@ -339,6 +346,11 @@ class Workspace:
         path = self.manifest_path
         if not path.exists():
             manifest = self._fresh_manifest()
+            # A torn save can lose the manifest outright (first save, or a
+            # crash between unlink and rename on exotic filesystems); the
+            # journal still holds every completed row, so replay before
+            # persisting the rebuilt manifest.
+            self._replay_journal(manifest)
             self._write_json_atomic(path, manifest)
             return manifest
         try:
@@ -586,10 +598,14 @@ class Workspace:
         ``O_CREAT|O_EXCL`` gives atomic acquisition; the lock file records
         the owning pid and creation time.  A lock whose pid is dead -- or
         older than *stale_after_s* even if a (reused) pid is alive -- is
-        taken over.  Re-entry from the owning process is allowed (several
-        Workspace instances in one process share the in-process ``_lock``).
+        taken over.  A lock held by a live foreign process is waited on for
+        up to ``LOCK_WAIT_S`` before raising, so concurrent writers
+        serialize instead of failing.  Re-entry from the owning process is
+        allowed (several Workspace instances in one process share the
+        in-process ``_lock``).
         """
         acquired_here = False
+        give_up_at: Optional[float] = None
         while True:
             try:
                 fd = os.open(
@@ -620,6 +636,12 @@ class Workspace:
                     and time.time() - created > stale_after_s
                 )
                 if not stale:
+                    now = time.monotonic()
+                    if give_up_at is None:
+                        give_up_at = now + LOCK_WAIT_S
+                    if now < give_up_at:
+                        time.sleep(_LOCK_POLL_S)
+                        continue
                     raise WorkspaceError(
                         f"workspace {self.root} is locked by running process "
                         f"{pid} ({self.lock_path}); wait for it, or delete "
@@ -811,11 +833,13 @@ class Workspace:
             entry.setdefault("errors", {})[point.point_id] = row
             self._save_manifest()
 
-    def gc(self) -> int:
-        """Delete row objects no manifest record references; returns the count.
+    def gc(self, dry_run: bool = False) -> List[str]:
+        """Delete row objects no manifest record references.
 
         Superseded rows (``--fresh`` re-runs, schema bumps, tamper-triggered
-        recomputes) leave their old objects on disk; this prunes them.
+        recomputes) leave their old objects on disk; this prunes them and
+        returns the removed addresses.  With ``dry_run=True`` nothing is
+        deleted -- the return value lists what a real pass would collect.
         """
         with self._lock:
             referenced = {
@@ -835,17 +859,68 @@ class Workspace:
                     for entry in (on_disk.get("studies") or {}).values()
                     for record in (entry.get("points") or {}).values()
                 }
-            removed = 0
+            removed: List[str] = []
             objects_dir = self.root / _OBJECTS_DIR
             if objects_dir.is_dir():
-                for path in objects_dir.rglob("*.json"):
-                    if path.stem not in referenced:
-                        try:
-                            path.unlink()
-                            removed += 1
-                        except OSError:
-                            pass
+                for path in sorted(objects_dir.rglob("*.json")):
+                    if path.stem in referenced:
+                        continue
+                    if dry_run:
+                        removed.append(path.stem)
+                        continue
+                    try:
+                        path.unlink()
+                        removed.append(path.stem)
+                    except OSError:
+                        pass
             return removed
+
+    def adopt_rows(self, study: Study) -> int:
+        """Adopt stored rows another study already computed for shared points.
+
+        Point ids derive from config content hashes, so identical configs in
+        different studies share ids.  For every point of ``study`` with no
+        record yet, this scans the other studies' manifest entries for a
+        record of the same point id, validates the object through
+        :meth:`load_row` under this study's entry, and keeps it if intact.
+        Returns the number of rows adopted.  This is the cross-study half of
+        the server's dedup contract: a job never recomputes a config any
+        previous job (whatever its study name) already ran.
+        """
+        candidates: List[StudyPoint] = []
+        with self._lock:
+            studies = self._manifest["studies"]
+            own = (studies.get(study.name) or {}).get("points", {})
+            for point in study.points():
+                if point.point_id in own:
+                    continue
+                for other_name, other_entry in studies.items():
+                    if other_name == study.name:
+                        continue
+                    record = other_entry.get("points", {}).get(point.point_id)
+                    if not record or not record.get("object"):
+                        continue
+                    entry = self._study_entry(study.name)
+                    entry["points"][point.point_id] = dict(record)
+                    own = entry["points"]
+                    candidates.append(point)
+                    break
+        # Validate outside the manifest scan: load_row re-hashes the object
+        # (quarantining corruption), so a candidate that fails is dropped
+        # again and the point re-runs normally.
+        adopted = 0
+        for point in candidates:
+            if self.load_row(study.name, point) is not None:
+                adopted += 1
+                continue
+            with self._lock:
+                entry = self._manifest["studies"].get(study.name)
+                if entry:
+                    entry.get("points", {}).pop(point.point_id, None)
+        if candidates:
+            with self._lock:
+                self._save_manifest()
+        return adopted
 
     # ------------------------------------------------------------------
     # Salvage
@@ -1011,6 +1086,7 @@ class Workspace:
         executor: Optional[str] = None,
         progress: Optional[StudyProgressFn] = None,
         max_points: Optional[int] = None,
+        cancel_event: Optional[threading.Event] = None,
     ) -> StudyRunResult:
         """Run a study against this workspace, resuming from stored rows.
 
@@ -1033,6 +1109,13 @@ class Workspace:
             Cooperatively cancel the run after this many *executed* points
             (loaded points don't count).  The interruption hook: remaining
             points stay missing, and a later ``resume`` run picks them up.
+        cancel_event:
+            External cooperative-cancel signal (e.g. the server's
+            ``DELETE /v1/jobs/{id}``).  Checked before the pending points
+            are submitted and after every settled outcome; a set event
+            cancels the queued remainder exactly like ``max_points`` --
+            completed rows stay persisted and a later resume finishes the
+            study.
 
         The run holds the workspace's advisory lock.  Failed points are
         recorded as error rows (unless their policy says ``skip``) and do
@@ -1098,6 +1181,13 @@ class Workspace:
                 else:
                     pending.append(point)
 
+            if pending and cancel_event is not None and cancel_event.is_set():
+                # Cancelled before any work was submitted: settle the
+                # remainder as cancelled without spinning up the engine.
+                for point in pending:
+                    settle(PointResult(point=point, source="cancelled"))
+                pending = []
+
             if pending:
                 index_to_point = {
                     submit_index: point
@@ -1110,6 +1200,8 @@ class Workspace:
                     for outcome in stream:
                         point = index_to_point[outcome.index]
                         settle(self._settle_outcome(study, point, outcome, engine))
+                        if cancel_event is not None and cancel_event.is_set():
+                            run.cancel()
                         if outcome.cancelled:
                             continue
                         executed += 1

@@ -28,6 +28,7 @@ from .harness import (
     time_emission,
     time_engine,
     time_faults,
+    time_server,
     time_stages,
     time_study,
     time_sweep,
@@ -64,6 +65,7 @@ __all__ = [
     "time_emission",
     "time_engine",
     "time_faults",
+    "time_server",
     "time_stages",
     "time_study",
     "time_sweep",

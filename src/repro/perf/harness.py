@@ -610,6 +610,161 @@ def time_engine(repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
     return best
 
 
+#: Load-generator shape of the server benchmark: concurrent clients x
+#: submit rounds each.  Every round submits the same study, so round 1 of
+#: client 1 computes and everything after it is the warm-cache path.
+SERVER_CLIENTS = 4
+SERVER_ROUNDS = 3
+QUICK_SERVER_CLIENTS = 2
+QUICK_SERVER_ROUNDS = 2
+
+#: Point count of the server-benchmark study (chain latency sweep).
+SERVER_STUDY_POINTS = 4
+
+
+def time_server(
+    repeats: int = DEFAULT_REPEATS,
+    clients: int = SERVER_CLIENTS,
+    rounds: int = SERVER_ROUNDS,
+) -> Dict[str, float]:
+    """Best-of-*repeats* load-generation timings of the HTTP job API.
+
+    Each repeat boots a real :mod:`repro.server` on an ephemeral port over
+    a fresh workspace, then:
+
+    * **cold** -- one client submits the benchmark study and polls it to
+      done: every point executes through the engine (``cold_wall_s``, plus
+      client-side p50/p99 over the individual HTTP requests issued);
+    * **warm** -- ``clients`` concurrent threads each submit the *same*
+      study ``rounds`` times and poll each job to done: every row is served
+      from the workspace store with zero recompute (``warm_wall_s``,
+      per-request ``warm_p50_s``/``warm_p99_s``, and the derived
+      ``warm_rows_per_s`` service throughput).
+
+    The warm numbers are the service's selling point (dedup makes N clients
+    cost one computation), so the CI smoke gate anchors on them.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    import statistics
+    import tempfile
+    import threading as threading_module
+
+    from ..api.study import fig4_study
+    from ..server.app import create_server
+    from ..server.client import SynthesisClient
+
+    study = fig4_study(
+        "chain:3:16",
+        latencies=range(3, 3 + SERVER_STUDY_POINTS),
+        name="perf-server",
+    )
+    best: Dict[str, float] = {}
+    for _ in range(repeats):
+        clear_transform_memo()
+        clear_datapath_memo()
+        with tempfile.TemporaryDirectory(prefix="repro-perf-server-") as tmp:
+            server = create_server(tmp, port=0, workers=2)
+            host, port = server.server_address[0], server.server_address[1]
+            server_thread = threading_module.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            server_thread.start()
+            base_url = f"http://{host}:{port}"
+            try:
+                # -- cold: first computation through the full service stack
+                client = SynthesisClient(base_url, timeout_s=60.0)
+                cold_latencies: List[float] = []
+
+                def timed(call, *args):
+                    started = time.perf_counter()
+                    result = call(*args)
+                    cold_latencies.append(time.perf_counter() - started)
+                    return result
+
+                started = time.perf_counter()
+                job = timed(client.submit, study)
+                while True:
+                    body = timed(client.job, job["job_id"])
+                    if body["status"] not in ("queued", "running"):
+                        break
+                timed(client.report, job["job_id"])
+                cold_wall = time.perf_counter() - started
+                assert body["status"] == "done", body
+                assert body["summary"]["ran"] == len(study), body
+
+                # -- warm: concurrent clients, everything from the store
+                warm_latencies: List[float] = []
+                warm_lock = threading_module.Lock()
+                errors: List[BaseException] = []
+
+                def one_client() -> None:
+                    local = SynthesisClient(base_url, timeout_s=60.0)
+                    mine: List[float] = []
+
+                    def request(call, *args):
+                        begun = time.perf_counter()
+                        result = call(*args)
+                        mine.append(time.perf_counter() - begun)
+                        return result
+
+                    try:
+                        for _ in range(rounds):
+                            submitted = request(local.submit, study)
+                            while True:
+                                state = request(local.job, submitted["job_id"])
+                                if state["status"] not in ("queued", "running"):
+                                    break
+                            assert state["status"] == "done", state
+                            request(local.report, submitted["job_id"])
+                    except BaseException as error:  # noqa: BLE001
+                        with warm_lock:
+                            errors.append(error)
+                        return
+                    with warm_lock:
+                        warm_latencies.extend(mine)
+
+                started = time.perf_counter()
+                threads = [
+                    threading_module.Thread(target=one_client)
+                    for _ in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                warm_wall = time.perf_counter() - started
+                if errors:
+                    raise errors[0]
+                warm_jobs = clients * rounds
+                metrics = server.manager.metrics.snapshot()
+                assert metrics["counters"]["cache_misses"] == len(study), metrics
+            finally:
+                server.shutdown()
+                server.manager.shutdown()
+                server.server_close()
+
+        cold_sorted = sorted(cold_latencies)
+        warm_sorted = sorted(warm_latencies)
+        _record_best(best, "cold_wall_s", cold_wall)
+        _record_best(best, "cold_p50_s", statistics.median(cold_sorted))
+        _record_best(
+            best, "cold_p99_s", cold_sorted[int(0.99 * (len(cold_sorted) - 1))]
+        )
+        _record_best(best, "warm_wall_s", warm_wall)
+        _record_best(best, "warm_p50_s", statistics.median(warm_sorted))
+        _record_best(
+            best, "warm_p99_s", warm_sorted[int(0.99 * (len(warm_sorted) - 1))]
+        )
+        rows_served = warm_jobs * len(study)
+        _record_best(best, "_warm_rows_inv", warm_wall / rows_served)
+    best["clients"] = float(clients)
+    best["rounds"] = float(rounds)
+    best["points"] = float(SERVER_STUDY_POINTS)
+    best["warm_rows_per_s"] = 1.0 / best.pop("_warm_rows_inv")
+    return best
+
+
 def _profile_section(label: str, fn) -> None:
     """Run *fn* under cProfile and print its top-20 cumulative functions."""
     import cProfile
@@ -652,6 +807,11 @@ def run_benchmarks(
       :func:`time_faults`);
     * ``engine``: ``{batch_oracle_s, scalar_interp_s, rtl_batch_s, ...}`` --
       the bit-plane evaluation core in isolation (see :func:`time_engine`);
+    * ``server``: ``{cold_wall_s, cold_p50_s, cold_p99_s, warm_wall_s,
+      warm_p50_s, warm_p99_s, warm_rows_per_s, ...}`` -- the HTTP job API
+      under a concurrent load generator, cold (first computation) versus
+      warm cache (every row deduplicated from the store; see
+      :func:`time_server`);
     * ``meta``: interpreter/platform/timestamp provenance, plus the
       measurement parameters, so baselines recorded on other machines are
       recognisably not comparable.
@@ -723,6 +883,18 @@ def run_benchmarks(
     engine_times: Dict[str, float] = {}
     section("engine", lambda: engine_times.update(time_engine(repeats=repeats)))
 
+    server_times: Dict[str, float] = {}
+    server_clients = QUICK_SERVER_CLIENTS if quick else SERVER_CLIENTS
+    server_rounds = QUICK_SERVER_ROUNDS if quick else SERVER_ROUNDS
+    section(
+        "server",
+        lambda: server_times.update(
+            time_server(
+                repeats=repeats, clients=server_clients, rounds=server_rounds
+            )
+        ),
+    )
+
     return {
         "stages": stages,
         "sweeps": sweep_times,
@@ -732,6 +904,7 @@ def run_benchmarks(
         "studies": studies,
         "faults": faults_times,
         "engine": engine_times,
+        "server": server_times,
         "meta": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),

@@ -41,7 +41,8 @@ def _flatten(measurement: Optional[Dict]) -> Dict[str, float]:
     emission keys are ``"emit/<workload>/<metric>"``, static-verification
     keys are ``"check/<workload>/<metric>"``, study keys are
     ``"study/<name>/<metric>"``, fault-machinery keys are
-    ``"faults/<metric>"`` and evaluation-core keys are ``"engine/<metric>"``;
+    ``"faults/<metric>"``, evaluation-core keys are ``"engine/<metric>"``
+    and HTTP-service keys are ``"server/<metric>"``;
     the flat view drives both the speedup table and the regression check.
     Only seconds-valued metrics are flattened -- derived bigger-is-better
     numbers (``equivalence_vectors_per_s``) and plain counts would invert
@@ -77,6 +78,9 @@ def _flatten(measurement: Optional[Dict]) -> Dict[str, float]:
     for metric, value in (measurement.get("engine") or {}).items():
         if metric.endswith("_s") and not metric.endswith("_per_s"):
             flat[f"engine/{metric}"] = float(value)
+    for metric, value in (measurement.get("server") or {}).items():
+        if metric.endswith("_s") and not metric.endswith("_per_s"):
+            flat[f"server/{metric}"] = float(value)
     return flat
 
 

@@ -1,0 +1,55 @@
+"""Synthesis-as-a-service: an HTTP job layer over Workspace/Study.
+
+The network front door of the reproduction (stdlib-only): a threaded JSON
+API that accepts :class:`~repro.api.study.Study` submissions, feeds them
+through a bounded FIFO queue into worker threads driving
+:meth:`~repro.api.workspace.Workspace.run_study`, and persists every row in
+one shared content-addressed workspace -- so identical configs from
+different jobs and clients cost exactly one computation, resubmitted
+studies replay from the store with zero recompute, and jobs survive server
+restarts (unfinished ones re-attach to the manifest on boot).
+
+Layers (each importable on its own):
+
+* :mod:`repro.server.errors` -- stable ``SRVnnn`` codes + the JSON error
+  envelope (mirrors the runtime's ``RUN0xx`` registry);
+* :mod:`repro.server.metrics` -- counters, cache hit/miss ratio and
+  per-endpoint latency histograms behind ``GET /v1/metrics``;
+* :mod:`repro.server.jobs` -- :class:`JobManager`: dedup by study digest,
+  queue, workers, cancellation, ``server_jobs.json`` persistence;
+* :mod:`repro.server.app` -- the ``http.server`` front end and the
+  ``repro serve`` entry point;
+* :mod:`repro.server.client` -- the ``urllib`` client the CLI verbs,
+  examples and the load benchmark share.
+
+Quick start::
+
+    # terminal 1
+    python -m repro serve --workspace .repro-workspace --port 8321
+
+    # terminal 2
+    python -m repro submit table1 --url http://127.0.0.1:8321 --wait
+"""
+
+from .app import ReproHTTPServer, create_server, serve
+from .client import ClientError, SynthesisClient
+from .errors import SERVER_CODE_REGISTRY, ApiError, error_envelope, server_error_title
+from .jobs import Job, JobManager, study_digest
+from .metrics import LatencyHistogram, ServerMetrics
+
+__all__ = [
+    "SERVER_CODE_REGISTRY",
+    "ApiError",
+    "ClientError",
+    "Job",
+    "JobManager",
+    "LatencyHistogram",
+    "ReproHTTPServer",
+    "ServerMetrics",
+    "SynthesisClient",
+    "create_server",
+    "error_envelope",
+    "serve",
+    "server_error_title",
+    "study_digest",
+]

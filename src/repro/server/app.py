@@ -1,0 +1,287 @@
+"""The HTTP front door: a threaded JSON API over :class:`JobManager`.
+
+Stdlib-only (``http.server``).  Endpoints (all under ``/v1``):
+
+=========  ==============================  =======================================
+Method     Path                            Meaning
+=========  ==============================  =======================================
+POST       ``/v1/studies``                 submit ``{"study": name-or-object}``
+GET        ``/v1/jobs/{id}``               job status + per-point progress
+GET        ``/v1/jobs/{id}/report``        presentation rows + raw reports
+GET        ``/v1/jobs/{id}/verilog/{pt}``  emitted RTL of one point (text/plain)
+DELETE     ``/v1/jobs/{id}``               cooperative cancel
+GET        ``/v1/jobs``                    all jobs (newest state)
+GET        ``/v1/healthz``                 liveness + workspace identity
+GET        ``/v1/metrics``                 counters, queue depth, latency
+=========  ==============================  =======================================
+
+Every error body is the uniform envelope of :mod:`repro.server.errors`.
+Request latencies are recorded per route *template* (``GET /v1/jobs/{id}``),
+never per raw path, so metric labels stay bounded.
+
+:func:`create_server` binds (port 0 = ephemeral) without blocking;
+:func:`serve` is the CLI entry that also writes an optional ready file
+(``host port`` once bound -- the hook CI and tests synchronize on).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..api.workspace import Workspace
+from .errors import ApiError, error_envelope
+from .jobs import JobManager
+from .metrics import ServerMetrics
+
+__all__ = ["ReproHTTPServer", "create_server", "serve"]
+
+_JOB_ROUTE = re.compile(r"^/v1/jobs/([A-Za-z0-9_.-]+)$")
+_REPORT_ROUTE = re.compile(r"^/v1/jobs/([A-Za-z0-9_.-]+)/report$")
+_VERILOG_ROUTE = re.compile(r"^/v1/jobs/([A-Za-z0-9_.-]+)/verilog/([A-Za-z0-9_.:-]+)$")
+
+#: Largest accepted request body; a submit payload is a study description,
+#: anything bigger is a client bug, not a bigger study.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns the job manager and metrics."""
+
+    daemon_threads = True
+
+    def __init__(
+        self, address: Tuple[str, int], manager: JobManager
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.manager = manager
+        self.metrics = manager.metrics
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ReproHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # metrics, not stderr chatter
+
+    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_text(self, status: int, text: str) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "0")
+        except ValueError:
+            raise ApiError("SRV001", "invalid Content-Length header") from None
+        if length <= 0:
+            raise ApiError("SRV001", "request body required")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(
+                "SRV001",
+                f"request body exceeds {MAX_BODY_BYTES} bytes",
+                http_status=413,
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ApiError("SRV001", f"request body is not JSON: {error}") from None
+        if not isinstance(body, dict):
+            raise ApiError("SRV001", "request body must be a JSON object")
+        return body
+
+    # -- routing -------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        endpoint, thunk = self._resolve(method)
+        error = False
+        try:
+            if thunk is None:
+                raise ApiError(
+                    "SRV008", f"no route for {method} {self.path}", http_status=404
+                )
+            thunk()
+        except ApiError as api_error:
+            error = True
+            self._send_json(api_error.http_status, error_envelope(api_error))
+        except Exception as unexpected:  # noqa: BLE001 - never leak a traceback
+            error = True
+            internal = ApiError(
+                "SRV001",
+                f"internal error: {type(unexpected).__name__}: {unexpected}",
+                http_status=500,
+            )
+            self._send_json(internal.http_status, error_envelope(internal))
+        finally:
+            self.server.metrics.observe_request(
+                endpoint, time.perf_counter() - started, error=error
+            )
+
+    def _resolve(self, method: str) -> Tuple[str, Optional[Any]]:
+        """Map the request to (route template, handler thunk).
+
+        The template is resolved *before* the handler runs, so error
+        responses are metered under the same bounded label as successes.
+        Unroutable requests get the catch-all ``<unmatched>`` label (never
+        the raw path -- labels must stay bounded).
+        """
+        manager = self.server.manager
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET" and path == "/v1/healthz":
+            return "GET /v1/healthz", lambda: self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "workspace": str(manager.workspace.root),
+                    "reattached_jobs": manager.reattached_jobs,
+                },
+            )
+        if method == "GET" and path == "/v1/metrics":
+            return "GET /v1/metrics", lambda: self._send_json(
+                200,
+                manager.metrics.snapshot(
+                    jobs_by_state=manager.jobs_by_state(),
+                    queue_depth=manager.queue_depth,
+                ),
+            )
+        if method == "POST" and path == "/v1/studies":
+            def submit() -> None:
+                body = self._read_body()
+                if "study" not in body:
+                    raise ApiError("SRV001", "missing required field 'study'")
+                self._send_json(202, manager.submit(body["study"]))
+
+            return "POST /v1/studies", submit
+        if method == "GET" and path == "/v1/jobs":
+            return "GET /v1/jobs", lambda: self._send_json(
+                200, {"jobs": manager.list_jobs()}
+            )
+        match = _REPORT_ROUTE.match(path)
+        if match and method == "GET":
+            job_id = match.group(1)
+            return "GET /v1/jobs/{id}/report", lambda: self._send_json(
+                200, manager.report(job_id)
+            )
+        match = _VERILOG_ROUTE.match(path)
+        if match and method == "GET":
+            job_id, point_id = match.group(1), match.group(2)
+            return "GET /v1/jobs/{id}/verilog/{point}", lambda: self._send_text(
+                200, manager.verilog(job_id, point_id)
+            )
+        match = _JOB_ROUTE.match(path)
+        if match and method == "GET":
+            job_id = match.group(1)
+            return "GET /v1/jobs/{id}", lambda: self._send_json(
+                200, manager.get(job_id).to_public_dict()
+            )
+        if match and method == "DELETE":
+            job_id = match.group(1)
+            return "DELETE /v1/jobs/{id}", lambda: self._send_json(
+                200, manager.cancel(job_id)
+            )
+        return f"{method} <unmatched>", None
+
+    # -- verbs ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+
+def create_server(
+    workspace: Union[str, Path, Workspace],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 2,
+    queue_size: int = 64,
+    point_workers: Optional[int] = None,
+    metrics: Optional[ServerMetrics] = None,
+) -> ReproHTTPServer:
+    """Bind the API server (without serving) and boot its job manager.
+
+    ``port=0`` binds an ephemeral port -- read the real one from
+    ``server.server_address``.  The caller owns the lifecycle: call
+    ``serve_forever()`` (usually on a thread), then ``shutdown()`` plus
+    ``manager.shutdown()`` to stop.
+    """
+    if not isinstance(workspace, Workspace):
+        workspace = Workspace(workspace)
+    manager = JobManager(
+        workspace,
+        workers=workers,
+        queue_size=queue_size,
+        point_workers=point_workers,
+        metrics=metrics,
+    )
+    return ReproHTTPServer((host, port), manager)
+
+
+def serve(
+    workspace: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    workers: int = 2,
+    queue_size: int = 64,
+    point_workers: Optional[int] = None,
+    ready_file: Optional[str] = None,
+) -> int:
+    """Run the server until interrupted (the ``repro serve`` entry point).
+
+    When ``ready_file`` is given, ``host port`` is written to it once the
+    socket is bound -- scripts and CI poll that file instead of racing the
+    boot (essential with ``--port 0``).
+    """
+    server = create_server(
+        workspace,
+        host=host,
+        port=port,
+        workers=workers,
+        queue_size=queue_size,
+        point_workers=point_workers,
+    )
+    bound_host, bound_port = server.server_address[0], server.server_address[1]
+    if ready_file:
+        ready = Path(ready_file)
+        tmp = ready.with_suffix(ready.suffix + ".tmp")
+        tmp.write_text(f"{bound_host} {bound_port}\n", encoding="utf-8")
+        tmp.replace(ready)
+    print(f"repro server listening on http://{bound_host}:{bound_port}")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        while thread.is_alive():
+            thread.join(0.25)
+        return 0
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        server.shutdown()
+        server.manager.shutdown()
+        server.server_close()

@@ -1,0 +1,146 @@
+"""Stdlib HTTP client for the repro server (``urllib``, no dependencies).
+
+The client the ``repro submit``/``repro poll`` CLI verbs, the examples and
+the load benchmark all share.  Server-side failures surface as
+:class:`ClientError` carrying the ``SRVnnn`` code from the error envelope,
+so callers branch on ``error.code`` exactly like raw-HTTP clients do.
+
+Quick start::
+
+    from repro.server.client import SynthesisClient
+
+    client = SynthesisClient("http://127.0.0.1:8321")
+    job = client.submit("table1")
+    final = client.wait(job["job_id"])
+    rows = client.report(job["job_id"])["rows"]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Union
+
+from ..api.study import Study
+
+__all__ = ["ClientError", "SynthesisClient"]
+
+
+class ClientError(RuntimeError):
+    """An API error response, decoded from the uniform envelope."""
+
+    def __init__(self, http_status: int, code: str, message: str) -> None:
+        self.http_status = http_status
+        self.code = code
+        self.message = message
+        super().__init__(f"[{http_status}] {code}: {message}")
+
+
+class SynthesisClient:
+    """Thin JSON-over-HTTP client for one repro server."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return self._decode(response.headers.get("Content-Type", ""),
+                                    response.read())
+        except urllib.error.HTTPError as error:
+            raise self._as_client_error(error) from None
+
+    @staticmethod
+    def _decode(content_type: str, raw: bytes) -> Any:
+        if content_type.startswith("application/json"):
+            return json.loads(raw.decode("utf-8"))
+        return raw.decode("utf-8")
+
+    @staticmethod
+    def _as_client_error(error: urllib.error.HTTPError) -> ClientError:
+        code, message = "SRV001", error.reason or "request failed"
+        try:
+            body = json.loads(error.read().decode("utf-8"))
+            envelope = body.get("error", {})
+            code = envelope.get("code", code)
+            message = envelope.get("message", message)
+        except Exception:  # noqa: BLE001 - a non-envelope body keeps defaults
+            pass
+        return ClientError(error.code, code, message)
+
+    # ------------------------------------------------------------------
+    # API verbs
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")
+
+    def submit(self, study: Union[str, Study, Dict[str, Any]]) -> Dict[str, Any]:
+        """Submit a built-in name, a :class:`Study` or its dict form."""
+        spec: Union[str, Dict[str, Any]]
+        if isinstance(study, Study):
+            spec = study.to_dict()
+        else:
+            spec = study
+        return self._request("POST", "/v1/studies", {"study": spec})
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/jobs")
+
+    def report(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/report")
+
+    def verilog(self, job_id: str, point_id: str) -> str:
+        return self._request("GET", f"/v1/jobs/{job_id}/verilog/{point_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 120.0,
+        poll_s: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job leaves the queued/running states.
+
+        Returns the final job body whatever the terminal state is (the
+        caller decides whether ``failed``/``cancelled`` is an error);
+        raises :class:`TimeoutError` when the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            body = self.job(job_id)
+            if body.get("status") not in ("queued", "running"):
+                return body
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id!r} still {body.get('status')} "
+                    f"after {timeout_s:g}s"
+                )
+            time.sleep(poll_s)

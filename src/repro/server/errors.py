@@ -1,0 +1,84 @@
+"""Stable API error codes and the uniform JSON error envelope.
+
+Every failure the HTTP API can hand a client carries a ``SRVnnn`` code from
+:data:`SERVER_CODE_REGISTRY` -- the service-layer sibling of the runtime's
+:data:`~repro.api.resilience.RUN_CODE_REGISTRY`.  The namespace is stable:
+append, never renumber.  Handlers raise :class:`ApiError`; the HTTP layer
+turns it into the one envelope shape every error response shares::
+
+    {"error": {"code": "SRV004", "title": "unknown job id",
+               "message": "no job 'job-deadbeef'"}}
+
+so clients can branch on ``error.code`` without parsing prose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "SERVER_CODE_REGISTRY",
+    "ApiError",
+    "error_envelope",
+    "server_error_title",
+]
+
+#: code -> one-line title.  Stable namespace: append, never renumber.
+SERVER_CODE_REGISTRY: Dict[str, str] = {
+    "SRV001": "malformed request",
+    "SRV002": "invalid study or config",
+    "SRV003": "unknown study name",
+    "SRV004": "unknown job id",
+    "SRV005": "job queue full",
+    "SRV006": "job not complete",
+    "SRV007": "artifact not available",
+    "SRV008": "unknown endpoint or method",
+    "SRV009": "server shutting down",
+}
+
+
+def server_error_title(code: str) -> str:
+    """Title of a registered ``SRVnnn`` code; raises on unknown codes.
+
+    Mirrors :func:`repro.api.resilience.run_error_title`: a typo'd code
+    fails loudly instead of minting a new namespace entry.
+    """
+    try:
+        return SERVER_CODE_REGISTRY[code]
+    except KeyError:
+        raise ValueError(f"unregistered server error code {code!r}") from None
+
+
+class ApiError(Exception):
+    """An API failure with a stable code and an HTTP status.
+
+    The handler layer raises these; nothing else escapes to the client.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        http_status: int = 400,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.code = code
+        self.title = server_error_title(code)
+        self.message = message
+        self.http_status = http_status
+        self.detail = detail
+        super().__init__(f"{code}: {message}")
+
+
+def error_envelope(error: ApiError) -> Dict[str, Any]:
+    """The uniform JSON body of every error response."""
+    body: Dict[str, Any] = {
+        "error": {
+            "code": error.code,
+            "title": error.title,
+            "message": error.message,
+        }
+    }
+    if error.detail:
+        body["error"]["detail"] = error.detail
+    return body

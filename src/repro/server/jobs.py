@@ -1,0 +1,481 @@
+"""Job lifecycle behind the HTTP API: bounded queue, workers, persistence.
+
+A *job* is one submitted :class:`~repro.api.study.Study`.  The manager keeps
+a bounded FIFO queue feeding a fixed pool of worker threads; each worker
+drives :meth:`Workspace.run_study` (which itself fans points across the
+:class:`~repro.api.sweep.SweepEngine`), so all persistence, resumability
+and retry semantics are the workspace's -- the job layer adds identity,
+queuing, cancellation and restart re-attach on top:
+
+* **Dedup.** A job's identity is the SHA-256 of its study's canonical
+  :meth:`~repro.api.study.Study.to_dict` form.  Submitting a study already
+  queued or running coalesces onto the live job (no second computation);
+  submitting one that already *ran* creates a new job whose points all
+  replay from the workspace store (zero recompute), and
+  :meth:`Workspace.adopt_rows` extends that to configs computed under any
+  other study name.
+* **Persistence.** Job records live in ``server_jobs.json`` in the
+  workspace root (atomic tmp+rename writes).  On boot the manager reloads
+  it and re-enqueues every job that was queued or running when the previous
+  process died -- their completed rows re-attach from the manifest, so a
+  crash mid-job costs only the points that had not finished.
+* **Cancellation.** ``DELETE`` sets the job's cancel event; a queued job
+  settles immediately, a running one stops cooperatively at the next point
+  boundary (completed rows stay persisted).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..api.study import Study, StudyError, builtin_study, study_from_dict
+from ..api.workspace import PointResult, Workspace
+from .errors import ApiError
+from .metrics import ServerMetrics
+
+__all__ = ["Job", "JobManager", "JOBS_FILE_NAME", "study_digest"]
+
+#: Job records file, kept in the workspace root next to ``manifest.json``.
+JOBS_FILE_NAME = "server_jobs.json"
+
+#: Format marker of ``server_jobs.json``.
+JOBS_SCHEMA_VERSION = 1
+
+#: Job states.  ``queued -> running -> done | failed | cancelled``.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+_ACTIVE_STATES = ("queued", "running")
+
+
+def study_digest(study: Study) -> str:
+    """The job-identity hash: SHA-256 of the canonical study description.
+
+    Covers exactly what :meth:`Study.to_dict` covers -- the declaration
+    (name, base, expansions, retry).  Two submissions with equal digests
+    resolve the same point set, so an active job can absorb the second one.
+    """
+    canonical = json.dumps(study.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def resolve_study(spec: Any) -> Study:
+    """Turn a submission payload into a Study (name or inline description)."""
+    if isinstance(spec, str):
+        try:
+            return builtin_study(spec)
+        except StudyError as error:
+            raise ApiError("SRV003", str(error), http_status=404) from None
+    if isinstance(spec, dict):
+        try:
+            study = study_from_dict(spec)
+            study.points()  # expand now: invalid configs fail at submit time
+            return study
+        except (StudyError, ValueError, TypeError) as error:
+            raise ApiError("SRV002", str(error), http_status=422) from None
+    raise ApiError(
+        "SRV002",
+        f"'study' must be a name or an object, got {type(spec).__name__}",
+        http_status=422,
+    )
+
+
+class Job:
+    """One submitted study and its lifecycle state (thread-safe)."""
+
+    def __init__(self, job_id: str, study: Study, digest: str) -> None:
+        self.job_id = job_id
+        self.study = study
+        self.digest = digest
+        self.cancel_event = threading.Event()
+        self._lock = threading.Lock()
+        self._status = "queued"
+        self._submitted_at = time.time()
+        self._started_at: Optional[float] = None
+        self._finished_at: Optional[float] = None
+        self._done_points = 0
+        self._summary: Optional[Dict[str, Any]] = None
+        self._errors: List[Dict[str, Any]] = []
+        self._failure: Optional[str] = None
+
+    # -- state transitions (called by the manager/worker only) ---------
+    @property
+    def status(self) -> str:
+        with self._lock:
+            return self._status
+
+    def _set_status(self, status: str) -> None:
+        with self._lock:
+            self._status = status
+            if status == "running":
+                self._started_at = time.time()
+            elif status in ("done", "failed", "cancelled"):
+                self._finished_at = time.time()
+
+    def _observe_point(self, result: PointResult) -> None:
+        with self._lock:
+            self._done_points += 1
+            if result.source == "error":
+                self._errors.append(
+                    {
+                        "point_id": result.point.point_id,
+                        "error_code": result.error_code,
+                        "message": result.error,
+                    }
+                )
+
+    def _finish(self, summary: Dict[str, Any], status: str) -> None:
+        with self._lock:
+            self._summary = summary
+        self._set_status(status)
+
+    def _fail(self, message: str) -> None:
+        with self._lock:
+            self._failure = message
+        self._set_status("failed")
+
+    @property
+    def active(self) -> bool:
+        return self.status in _ACTIVE_STATES
+
+    def to_public_dict(self) -> Dict[str, Any]:
+        """The ``GET /v1/jobs/{id}`` body."""
+        with self._lock:
+            body: Dict[str, Any] = {
+                "job_id": self.job_id,
+                "study": self.study.name,
+                "digest": self.digest,
+                "status": self._status,
+                "total_points": len(self.study),
+                "done_points": self._done_points,
+                "errors": list(self._errors),
+                "submitted_at": self._submitted_at,
+                "started_at": self._started_at,
+                "finished_at": self._finished_at,
+            }
+            if self._summary is not None:
+                body["summary"] = dict(self._summary)
+            if self._failure is not None:
+                body["failure"] = self._failure
+            return body
+
+    def to_record(self) -> Dict[str, Any]:
+        """The persisted ``server_jobs.json`` record (includes the study)."""
+        record = self.to_public_dict()
+        record["study_description"] = self.study.to_dict()
+        return record
+
+
+class JobManager:
+    """Bounded FIFO queue + worker pool over one shared workspace."""
+
+    def __init__(
+        self,
+        workspace: Workspace,
+        workers: int = 2,
+        queue_size: int = 64,
+        point_workers: Optional[int] = None,
+        executor: Optional[str] = None,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.workspace = workspace
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.point_workers = point_workers
+        self.executor = executor
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=queue_size)
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._reattached = self._load_records()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-job-worker-{n}", daemon=True
+            )
+            for n in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Persistence / restart re-attach
+    # ------------------------------------------------------------------
+    @property
+    def jobs_path(self) -> Path:
+        return self.workspace.root / JOBS_FILE_NAME
+
+    @property
+    def reattached_jobs(self) -> int:
+        """How many unfinished jobs boot re-enqueued from the records file."""
+        return self._reattached
+
+    def _load_records(self) -> int:
+        """Reload ``server_jobs.json``; re-enqueue unfinished jobs.
+
+        Finished jobs come back verbatim (their reports replay from the
+        manifest).  Jobs that were queued or running when the previous
+        server died are re-enqueued: completed points load from the store,
+        only the remainder runs.  An unreadable records file is ignored --
+        the manifest, not this file, is the source of truth for rows.
+        """
+        reattached = 0
+        try:
+            data = json.loads(self.jobs_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return 0
+        for record in data.get("jobs", []) if isinstance(data, dict) else []:
+            try:
+                study = study_from_dict(record["study_description"])
+                job = Job(record["job_id"], study, record["digest"])
+            except (KeyError, TypeError, StudyError):
+                continue
+            status = record.get("status")
+            if status in _ACTIVE_STATES:
+                job._set_status("queued")
+                try:
+                    self._queue.put_nowait(job)
+                    reattached += 1
+                except queue.Full:
+                    job._fail("job queue full during restart re-attach")
+            else:
+                job._status = status if status in JOB_STATES else "failed"
+                job._summary = record.get("summary")
+                job._done_points = int(record.get("done_points") or 0)
+                job._errors = list(record.get("errors") or [])
+                job._failure = record.get("failure")
+            self._jobs[job.job_id] = job
+        if reattached:
+            self._save_records()
+        return reattached
+
+    def _save_records(self) -> None:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        body = {
+            "schema_version": JOBS_SCHEMA_VERSION,
+            "jobs": [job.to_record() for job in jobs],
+        }
+        tmp = self.jobs_path.with_suffix(".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(body, indent=2, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(self.jobs_path)
+        except OSError:
+            # Job records are an index over the manifest, never the truth;
+            # failing to persist them degrades restart UX, not correctness.
+            pass
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def submit(self, spec: Any) -> Dict[str, Any]:
+        """Submit a study (name or inline dict); returns the submit body.
+
+        An equal-digest job that is still queued or running absorbs the
+        submission (``deduplicated: true``); otherwise a new job is
+        enqueued.  A full queue is a client-visible SRV005, not a block.
+        """
+        if self._shutdown.is_set():
+            raise ApiError("SRV009", "server is shutting down", http_status=503)
+        study = resolve_study(spec)
+        digest = study_digest(study)
+        with self._lock:
+            for existing in self._jobs.values():
+                if existing.digest == digest and existing.active:
+                    self.metrics.inc("jobs_deduplicated")
+                    return {
+                        "job_id": existing.job_id,
+                        "status": existing.status,
+                        "study": existing.study.name,
+                        "total_points": len(existing.study),
+                        "deduplicated": True,
+                    }
+            job = Job(f"job-{uuid.uuid4().hex[:12]}", study, digest)
+            self._jobs[job.job_id] = job
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                self._jobs.pop(job.job_id, None)
+            raise ApiError(
+                "SRV005",
+                f"job queue is full ({self._queue.maxsize} pending)",
+                http_status=429,
+            ) from None
+        self.metrics.inc("jobs_submitted")
+        self._save_records()
+        return {
+            "job_id": job.job_id,
+            "status": job.status,
+            "study": study.name,
+            "total_points": len(study),
+            "deduplicated": False,
+        }
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ApiError("SRV004", f"no job {job_id!r}", http_status=404)
+        return job
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cooperatively cancel a job; idempotent on finished jobs."""
+        job = self.get(job_id)
+        job.cancel_event.set()
+        # A queued job may settle only when a worker picks it up; that is
+        # fine -- the worker sees the set event before submitting any work.
+        return {"job_id": job.job_id, "status": job.status, "cancelling": job.active}
+
+    def report(self, job_id: str) -> Dict[str, Any]:
+        """Presentation rows of a *done* job (SRV006 otherwise)."""
+        job = self.get(job_id)
+        if job.status != "done":
+            raise ApiError(
+                "SRV006",
+                f"job {job_id!r} is {job.status}, not done",
+                http_status=409,
+            )
+        return {
+            "job_id": job.job_id,
+            "study": job.study.name,
+            "row_kind": job.study.row_kind,
+            "rows": self.workspace.rows(job.study),
+            "reports": self.workspace.reports(job.study),
+        }
+
+    def verilog(self, job_id: str, point_id: str) -> str:
+        """Rendered Verilog of one emitted point, cached under the workspace.
+
+        Requires the point's config to have ``emit=True`` (SRV007
+        otherwise).  The text is rendered once per point and cached in
+        ``<workspace>/verilog/<point_id>.v``; the emission re-runs the
+        pipeline for that config, which is deterministic, so the cache is
+        write-once.
+        """
+        job = self.get(job_id)
+        point = next(
+            (p for p in job.study.points() if p.point_id == point_id), None
+        )
+        if point is None:
+            raise ApiError(
+                "SRV007",
+                f"job {job_id!r} has no point {point_id!r}",
+                http_status=404,
+            )
+        if not point.config.emit:
+            raise ApiError(
+                "SRV007",
+                f"point {point_id!r} was not run with emit=true; "
+                "resubmit the study with emit enabled to get RTL",
+                http_status=404,
+            )
+        cache = self.workspace.root / "verilog" / f"{point_id}.v"
+        if cache.exists():
+            return cache.read_text(encoding="utf-8")
+        from ..api.pipeline import Pipeline
+        from ..rtl.verilog import render_verilog
+
+        artifact = Pipeline().run(point.config)
+        assert artifact.emission is not None  # emit=True guarantees the pass
+        text = render_verilog(artifact.emission.design)
+        cache.parent.mkdir(parents=True, exist_ok=True)
+        tmp = cache.with_suffix(".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        tmp.replace(cache)
+        return text
+
+    def jobs_by_state(self) -> Dict[str, int]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        counts = {state: 0 for state in JOB_STATES}
+        for job in jobs:
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda job: job.job_id)
+        return [job.to_public_dict() for job in jobs]
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            try:
+                self._run_job(job)
+            finally:
+                self._queue.task_done()
+                self._save_records()
+
+    def _run_job(self, job: Job) -> None:
+        if job.cancel_event.is_set():
+            job._set_status("cancelled")
+            return
+        job._set_status("running")
+        try:
+            # Cross-study dedup: configs some other study already computed
+            # become this study's rows before the engine sees them.
+            self.workspace.adopt_rows(job.study)
+            result = self.workspace.run_study(
+                job.study,
+                max_workers=self.point_workers,
+                executor=self.executor,
+                progress=lambda point_result, done, total: job._observe_point(
+                    point_result
+                ),
+                cancel_event=job.cancel_event,
+            )
+        except Exception as error:  # noqa: BLE001 - jobs never kill workers
+            job._fail(f"{type(error).__name__}: {error}")
+            return
+        self.metrics.inc("cache_hits", result.loaded)
+        self.metrics.inc("cache_misses", result.ran)
+        if result.cancelled:
+            status = "cancelled"
+        elif result.complete:
+            status = "done"
+        else:
+            status = "failed"
+        job._finish(result.summary(), status)
+
+    def shutdown(self, wait: bool = True, timeout_s: float = 10.0) -> None:
+        """Stop accepting jobs and stop the workers (queued jobs cancel)."""
+        self._shutdown.set()
+        drained: List[Job] = []
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if pending is not None:
+                drained.append(pending)
+            self._queue.task_done()
+        for job in drained:
+            job._set_status("cancelled")
+        for _ in self._workers:
+            self._queue.put(None)
+        if wait:
+            deadline = time.time() + timeout_s
+            for worker in self._workers:
+                worker.join(max(0.0, deadline - time.time()))
+        self._save_records()

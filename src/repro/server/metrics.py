@@ -1,0 +1,129 @@
+"""Server observability: counters and per-endpoint latency histograms.
+
+Everything here is process-local, thread-safe and stdlib-only.  The
+``GET /v1/metrics`` endpoint serializes one :meth:`ServerMetrics.snapshot`;
+the cache hit/miss counters are fed by the job workers (a *hit* is a row
+served from the workspace store, a *miss* is a row the pipeline had to
+compute), so ``cache_hits / (cache_hits + cache_misses)`` is the live dedup
+ratio of the whole service.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+__all__ = ["LATENCY_BUCKETS_S", "LatencyHistogram", "ServerMetrics"]
+
+#: Fixed upper bounds (seconds) of the request-latency histogram buckets.
+#: Fixed buckets keep snapshots mergeable across restarts and scrape-safe
+#: (no re-bucketing); the last bucket is the implicit +Inf overflow.
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (cumulative counts, Prometheus-style)."""
+
+    __slots__ = ("_counts", "_overflow", "_total_s", "_count", "_max_s")
+
+    def __init__(self) -> None:
+        self._counts = [0] * len(LATENCY_BUCKETS_S)
+        self._overflow = 0
+        self._total_s = 0.0
+        self._count = 0
+        self._max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        for index, bound in enumerate(LATENCY_BUCKETS_S):
+            if seconds <= bound:
+                self._counts[index] += 1
+                break
+        else:
+            self._overflow += 1
+        self._total_s += seconds
+        self._count += 1
+        self._max_s = max(self._max_s, seconds)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def to_dict(self) -> Dict[str, object]:
+        buckets: Dict[str, int] = {}
+        cumulative = 0
+        for bound, bucket_count in zip(LATENCY_BUCKETS_S, self._counts):
+            cumulative += bucket_count
+            buckets[f"le_{bound:g}"] = cumulative
+        buckets["le_inf"] = cumulative + self._overflow
+        return {
+            "count": self._count,
+            "total_s": round(self._total_s, 6),
+            "mean_s": round(self._total_s / self._count, 6) if self._count else 0.0,
+            "max_s": round(self._max_s, 6),
+            "buckets": buckets,
+        }
+
+
+class ServerMetrics:
+    """Thread-safe counter set plus per-endpoint latency histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "requests_total": 0,
+            "errors_total": 0,
+            "jobs_submitted": 0,
+            "jobs_deduplicated": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+        self._endpoints: Dict[str, LatencyHistogram] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe_request(
+        self, endpoint: str, seconds: float, error: bool = False
+    ) -> None:
+        """Record one served request under its *route template* label.
+
+        Callers pass the template (``GET /v1/jobs/{id}``), never the raw
+        path -- labels stay bounded no matter how many jobs exist.
+        """
+        with self._lock:
+            self._counters["requests_total"] += 1
+            if error:
+                self._counters["errors_total"] += 1
+            histogram = self._endpoints.get(endpoint)
+            if histogram is None:
+                histogram = self._endpoints[endpoint] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    def snapshot(
+        self,
+        jobs_by_state: Optional[Dict[str, int]] = None,
+        queue_depth: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """One JSON-serializable view of every counter and histogram."""
+        with self._lock:
+            counters = dict(self._counters)
+            endpoints = {
+                endpoint: histogram.to_dict()
+                for endpoint, histogram in sorted(self._endpoints.items())
+            }
+        hits, misses = counters["cache_hits"], counters["cache_misses"]
+        total_rows = hits + misses
+        body: Dict[str, object] = {
+            "counters": counters,
+            "cache_hit_ratio": round(hits / total_rows, 4) if total_rows else None,
+            "endpoints": endpoints,
+        }
+        if jobs_by_state is not None:
+            body["jobs"] = jobs_by_state
+        if queue_depth is not None:
+            body["queue_depth"] = queue_depth
+        return body

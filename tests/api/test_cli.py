@@ -312,6 +312,34 @@ class TestResilienceFlags:
                        str(tmp_path / "nope")) == 1
         assert "no workspace" in capsys.readouterr().err
 
+    def test_study_gc_dry_run_then_collect(self, tmp_path, capsys):
+        workspace = str(tmp_path / "ws")
+        assert run_cli("study", "run", "table1", "--workspace", workspace,
+                       "--quiet", "--json") == 0
+        capsys.readouterr()
+        stray = tmp_path / "ws" / "objects" / "ff" / ("f" * 64 + ".json")
+        stray.parent.mkdir(parents=True, exist_ok=True)
+        stray.write_text("{}")
+        assert run_cli("study", "gc", "--workspace", workspace,
+                       "--dry-run") == 0
+        assert "would collect 1 object(s)" in capsys.readouterr().out
+        assert stray.exists()
+        assert run_cli("study", "gc", "--workspace", workspace, "--json") == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dry_run"] is False
+        assert report["removed"] == ["f" * 64]
+        assert not stray.exists()
+        # Live rows were never collected: the study still loads fully.
+        assert run_cli("study", "run", "table1", "--workspace", workspace,
+                       "--quiet", "--json") == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["loaded"] == 2 and summary["ran"] == 0
+
+    def test_study_gc_missing_workspace_is_an_error(self, tmp_path, capsys):
+        assert run_cli("study", "gc", "--workspace",
+                       str(tmp_path / "nope")) == 1
+        assert "no workspace" in capsys.readouterr().err
+
 
 class TestModuleEntryPoint:
     @pytest.fixture(scope="class")

@@ -211,7 +211,9 @@ class TestReports:
         stray = tmp_path / "ws" / "objects" / "zz" / ("f" * 64 + ".json")
         stray.parent.mkdir(parents=True, exist_ok=True)
         stray.write_text("{}")
-        assert workspace.gc() == 1
+        assert workspace.gc(dry_run=True) == ["f" * 64]
+        assert stray.exists()
+        assert workspace.gc() == ["f" * 64]
         assert not stray.exists()
         # Referenced rows survive and the study still resumes from them.
         result = workspace.run_study(study)
@@ -263,3 +265,58 @@ class TestReports:
         assert set(fresh.studies()) == {"table1", "fig4-one"}
         assert fresh.status(tiny_study())["completed"] == 2
         assert fresh.run_study(tiny_study()).loaded == 2
+
+
+class TestAdoptRows:
+    def test_adopts_identical_points_from_sibling_study(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        workspace.run_study(tiny_study())
+        twin = Study.from_dict(
+            {**tiny_study().to_dict(), "name": "table1-twin"}
+        )
+        assert workspace.adopt_rows(twin) == len(twin)
+        assert workspace.run_study(twin).loaded == len(twin)
+
+    def test_adopt_is_idempotent_and_skips_unknown_points(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        workspace.run_study(tiny_study())
+        twin = Study.from_dict(
+            {**tiny_study().to_dict(), "name": "table1-twin"}
+        )
+        assert workspace.adopt_rows(twin) == len(twin)
+        assert workspace.adopt_rows(twin) == 0  # already adopted
+        stranger = fig4_study(
+            "chain:3:16", latencies=[3], name="stranger"
+        )
+        assert workspace.adopt_rows(stranger) == 0  # nothing to adopt from
+
+
+class TestCancelEvent:
+    def test_preset_event_cancels_every_point(self, tmp_path):
+        import threading
+
+        event = threading.Event()
+        event.set()
+        workspace = Workspace(tmp_path / "ws")
+        result = workspace.run_study(tiny_study(), cancel_event=event)
+        assert not result.complete
+        assert result.cancelled == len(tiny_study())
+        assert result.ran == 0
+
+    def test_event_set_mid_run_stops_remaining_points(self, tmp_path):
+        import threading
+
+        event = threading.Event()
+        workspace = Workspace(tmp_path / "ws")
+        study = fig4_study("chain:3:16", latencies=range(3, 9), name="cancel-mid")
+
+        def trip(*args):
+            event.set()
+
+        result = workspace.run_study(study, cancel_event=event, progress=trip)
+        assert result.cancelled > 0
+        assert result.ran + result.cancelled == len(study)
+        # A later run without the event finishes only the remainder.
+        final = workspace.run_study(study)
+        assert final.complete
+        assert final.loaded == result.ran

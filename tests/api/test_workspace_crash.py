@@ -157,10 +157,13 @@ class TestAdvisoryLock:
         assert workspace.run_study(_study()).complete
         assert not workspace.lock_path.exists()
 
-    def test_live_foreign_lock_refuses(self, tmp_path):
+    def test_live_foreign_lock_refuses(self, tmp_path, monkeypatch):
+        from repro.api import workspace as workspace_module
+
+        monkeypatch.setattr(workspace_module, "LOCK_WAIT_S", 0.1)
         root = tmp_path / "ws"
         workspace = Workspace(root)
-        # pid 1 is alive and is not us.
+        # pid 1 is alive and is not us; the bounded wait expires, then raises.
         workspace.lock_path.write_text(
             json.dumps({"pid": 1, "created_at": time.time()})
         )

@@ -1,0 +1,164 @@
+"""Two OS processes sharing one workspace -- the multi-tenant contract the
+server depends on: merge-on-write manifest races, cross-process advisory-lock
+takeover, and journal replay under interleaved ``store_row``."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.api import Workspace, builtin_study
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def run_python(script, *args):
+    """Run a python snippet in a fresh process with repro importable."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(script), *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+#: Worker snippet: run one half of a latency sweep into a shared workspace.
+#: Each invocation is a *different* study name over *different* configs, so
+#: two concurrent processes interleave store_row calls and manifest rewrites
+#: against the same manifest.json.
+SWEEP_HALF = """
+import sys
+from repro.api import Workspace, fig4_study
+
+workspace_dir, name, lo, hi = sys.argv[1:5]
+study = fig4_study("chain:3:16", latencies=range(int(lo), int(hi)), name=name)
+result = Workspace(workspace_dir).run_study(study)
+assert result.complete, result.summary()
+print(result.total)
+"""
+
+
+class TestMergeOnWriteAcrossProcesses:
+    def test_concurrent_writers_lose_no_rows(self, tmp_path):
+        """Two processes writing disjoint studies merge, never clobber."""
+        workspace_dir = str(tmp_path / "ws")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        first = subprocess.Popen(
+            [sys.executable, "-c", textwrap.dedent(SWEEP_HALF),
+             workspace_dir, "mp-low", "3", "9"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        second = subprocess.Popen(
+            [sys.executable, "-c", textwrap.dedent(SWEEP_HALF),
+             workspace_dir, "mp-high", "9", "15"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        out1, err1 = first.communicate(timeout=120)
+        out2, err2 = second.communicate(timeout=120)
+        assert first.returncode == 0, err1
+        assert second.returncode == 0, err2
+
+        # A third process (and this one) sees every row of both writers.
+        workspace = Workspace(workspace_dir)
+        assert set(workspace.studies()) == {"mp-low", "mp-high"}
+        from repro.api import fig4_study
+
+        low = fig4_study("chain:3:16", latencies=range(3, 9), name="mp-low")
+        high = fig4_study("chain:3:16", latencies=range(9, 15), name="mp-high")
+        assert workspace.run_study(low).loaded == len(low)
+        assert workspace.run_study(high).loaded == len(high)
+
+    def test_writer_joining_after_other_processes_save_keeps_their_rows(
+        self, tmp_path
+    ):
+        """merge-on-write: an in-memory manifest loaded before another
+        process's rows landed must not erase them on its own save."""
+        workspace_dir = str(tmp_path / "ws")
+        # This process opens the workspace (loads an empty manifest)...
+        workspace = Workspace(workspace_dir)
+        # ...then another process completes a whole study...
+        result = run_python(
+            SWEEP_HALF, workspace_dir, "mp-other", "3", "6"
+        )
+        assert result.returncode == 0, result.stderr
+        # ...and only then does this process run (and save) its own study.
+        mine = builtin_study("table1")
+        assert workspace.run_study(mine).complete
+        # Both studies' rows survive in the on-disk manifest.
+        fresh = Workspace(workspace_dir)
+        assert set(fresh.studies()) >= {"mp-other", "table1"}
+        from repro.api import fig4_study
+
+        other = fig4_study("chain:3:16", latencies=range(3, 6), name="mp-other")
+        assert fresh.run_study(other).loaded == len(other)
+
+
+class TestCrossProcessLockTakeover:
+    def test_dead_process_lock_is_taken_over(self, tmp_path):
+        """A lock whose owner pid is a genuinely exited process yields."""
+        workspace_dir = str(tmp_path / "ws")
+        result = run_python(
+            """
+            import json, os, sys
+            from repro.api import Workspace
+
+            workspace = Workspace(sys.argv[1])
+            workspace.lock_path.write_text(
+                json.dumps({"pid": os.getpid(), "created_at": 0})
+            )
+            print(os.getpid())
+            """,
+            workspace_dir,
+        )
+        assert result.returncode == 0, result.stderr
+        dead_pid = int(result.stdout.strip())
+        workspace = Workspace(workspace_dir)
+        assert json.loads(workspace.lock_path.read_text())["pid"] == dead_pid
+        # The writer process is gone; run_study must take the lock over.
+        run = workspace.run_study(builtin_study("table1"))
+        assert run.complete
+        assert not workspace.lock_path.exists()
+
+
+class TestJournalReplayAcrossProcesses:
+    def test_interleaved_store_rows_replay_after_manifest_loss(self, tmp_path):
+        """Rows journalled by two processes survive a torn manifest save.
+
+        Each process appends its rows to the shared fsync'd journal before
+        the manifest rewrite; losing manifest.json afterwards (the torn-save
+        window) must replay every row from the journal on the next load.
+        """
+        workspace_dir = str(tmp_path / "ws")
+        store_script = """
+        import sys
+        from repro.api import Workspace, builtin_study
+        from repro.api.pipeline import Pipeline
+
+        workspace_dir, which = sys.argv[1:3]
+        study = builtin_study("table1")
+        point = study.points()[int(which)]
+        artifact = Pipeline().run(point.config)
+        workspace = Workspace(workspace_dir)
+        workspace.store_row(f"journal-{which}", point, artifact.report)
+        print("stored")
+        """
+        for which in ("0", "1"):
+            result = run_python(store_script, workspace_dir, which)
+            assert result.returncode == 0, result.stderr
+
+        journal = Path(workspace_dir) / "journal.jsonl"
+        assert len(journal.read_text().splitlines()) == 2
+
+        # The torn-save crash window: manifest gone, journal intact.
+        (Path(workspace_dir) / "manifest.json").unlink()
+        workspace = Workspace(workspace_dir)
+        study = builtin_study("table1")
+        assert set(workspace.studies()) == {"journal-0", "journal-1"}
+        assert workspace.load_row("journal-0", study.points()[0]) is not None
+        assert workspace.load_row("journal-1", study.points()[1]) is not None

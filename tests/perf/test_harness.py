@@ -306,8 +306,12 @@ class TestRunBenchmarks:
             "studies",
             "faults",
             "engine",
+            "server",
             "meta",
         }
+        assert result["server"]["cold_p50_s"] > 0.0
+        assert result["server"]["warm_p99_s"] >= result["server"]["warm_p50_s"]
+        assert result["server"]["warm_rows_per_s"] > 0.0
         assert result["engine"]["batch_oracle_s"] > 0.0
         assert result["engine"]["scalar_interp_s"] > 0.0
         assert result["engine"]["rtl_batch_s"] > 0.0

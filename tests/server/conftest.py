@@ -1,0 +1,25 @@
+"""Shared fixtures: a live in-process server over a temp workspace."""
+
+import threading
+
+import pytest
+
+from repro.server import SynthesisClient, create_server
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """A bound, serving repro server; yields (server, workspace_path)."""
+    server = create_server(tmp_path / "ws", port=0, workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.manager.shutdown()
+    server.server_close()
+
+
+@pytest.fixture
+def client(live_server):
+    host, port = live_server.server_address[:2]
+    return SynthesisClient(f"http://{host}:{port}", timeout_s=30.0)

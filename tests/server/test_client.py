@@ -1,0 +1,166 @@
+"""The urllib client and the submit/poll CLI verbs against a live server."""
+
+import json
+
+import pytest
+
+from repro.api import Study, builtin_study, study_from_dict
+from repro.api.cli import main
+from repro.server import ClientError
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+class TestClient:
+    def test_submit_name_and_wait(self, client):
+        submitted = client.submit("table1")
+        final = client.wait(submitted["job_id"])
+        assert final["status"] == "done"
+        assert final["summary"]["complete"] is True
+
+    def test_submit_study_object(self, client):
+        study = builtin_study("table1")
+        final = client.wait(client.submit(study)["job_id"])
+        assert final["summary"]["total"] == len(study)
+
+    def test_report_rows(self, client):
+        submitted = client.submit("table1")
+        client.wait(submitted["job_id"])
+        report = client.report(submitted["job_id"])
+        assert report["row_kind"] == "table"
+        assert len(report["rows"]) == 1
+        assert report["rows"][0]["benchmark"] == "motivational"
+
+    def test_verilog_roundtrip(self, client):
+        study = Study(
+            "client-emit",
+            base={"workload": "motivational", "latency": 3, "emit": True},
+        ).grid(mode=["fragmented"])
+        submitted = client.submit(study)
+        client.wait(submitted["job_id"])
+        text = client.verilog(submitted["job_id"], study.points()[0].point_id)
+        assert "module" in text
+        # Second fetch is served from the workspace cache, byte-identical.
+        assert client.verilog(
+            submitted["job_id"], study.points()[0].point_id
+        ) == text
+
+    def test_errors_surface_codes(self, client):
+        with pytest.raises(ClientError) as excinfo:
+            client.job("job-missing")
+        assert excinfo.value.code == "SRV004"
+        assert excinfo.value.http_status == 404
+
+    def test_wait_timeout(self, client):
+        submitted = client.submit("table2")
+        with pytest.raises((TimeoutError, ClientError)):
+            client.wait(submitted["job_id"], timeout_s=0.0, poll_s=0.001)
+
+
+class TestCliVerbs:
+    def test_submit_wait(self, live_server, capsys):
+        code = run_cli(
+            "submit", "table1", "--url", base_url(live_server), "--wait"
+        )
+        assert code == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_submit_json_then_poll_report(self, live_server, capsys):
+        assert (
+            run_cli("submit", "table1", "--url", base_url(live_server), "--json")
+            == 0
+        )
+        job_id = json.loads(capsys.readouterr().out)["job_id"]
+        assert (
+            run_cli(
+                "poll",
+                job_id,
+                "--url",
+                base_url(live_server),
+                "--wait",
+                "--report",
+                "--json",
+            )
+            == 0
+        )
+        body = json.loads(capsys.readouterr().out)
+        assert body["status"] == "done"
+        assert len(body["report"]["rows"]) == 1
+
+    def test_submit_inline_study_file(self, live_server, tmp_path, capsys):
+        spec = tmp_path / "study.json"
+        spec.write_text(json.dumps(builtin_study("table1").to_dict()))
+        code = run_cli(
+            "submit", f"@{spec}", "--url", base_url(live_server), "--wait"
+        )
+        assert code == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_submit_unreadable_file_exits_2(self, live_server, capsys):
+        code = run_cli(
+            "submit", "@/no/such/file.json", "--url", base_url(live_server)
+        )
+        assert code == 2  # ValueError -> usage-style exit
+
+    def test_submit_unknown_study_exits_1(self, live_server, capsys):
+        code = run_cli(
+            "submit", "not-a-study", "--url", base_url(live_server)
+        )
+        assert code == 1
+        assert "SRV003" in capsys.readouterr().err
+
+    def test_poll_unknown_job_exits_1(self, live_server, capsys):
+        code = run_cli("poll", "job-missing", "--url", base_url(live_server))
+        assert code == 1
+        assert "SRV004" in capsys.readouterr().err
+
+
+class TestJsonRoundTrips:
+    """`study status/list --json` output is machine-readable: the documented
+    contract the server client builds on (inline submissions are
+    Study.to_dict() payloads; status JSON mirrors the job progress rows)."""
+
+    def test_status_json_round_trips_through_server_submission(
+        self, live_server, client, tmp_path, capsys
+    ):
+        submitted = client.submit("table1")
+        client.wait(submitted["job_id"])
+        workspace = str(live_server.manager.workspace.root)
+        assert (
+            run_cli(
+                "study", "status", "table1", "--workspace", workspace, "--json"
+            )
+            == 0
+        )
+        status = json.loads(capsys.readouterr().out)
+        assert status["completed"] == status["total"] == 2
+        assert {row["status"] for row in status["points"]} == {"completed"}
+        # The CLI's view and the server's view agree point-for-point.
+        job = client.job(submitted["job_id"])
+        assert job["done_points"] == status["completed"]
+
+    def test_list_json_names_resolve_as_submissions(self, client, capsys):
+        assert run_cli("study", "list", "--json") == 0
+        entries = json.loads(capsys.readouterr().out)
+        names = [entry["study"] for entry in entries]
+        assert "table1" in names
+        submitted = client.submit(names[names.index("table1")])
+        assert client.wait(submitted["job_id"])["status"] == "done"
+
+    def test_study_to_dict_round_trip(self):
+        for name in ("table1", "table2", "fig4-chain", "emission"):
+            study = builtin_study(name)
+            clone = study_from_dict(json.loads(json.dumps(study.to_dict())))
+            assert [p.point_id for p in clone.points()] == [
+                p.point_id for p in study.points()
+            ]
+            assert clone.row_kind == study.row_kind
+            assert clone.stop_after == study.stop_after
+            assert clone.retry == study.retry

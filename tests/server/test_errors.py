@@ -1,0 +1,53 @@
+"""The SRV error registry and the uniform JSON envelope."""
+
+import pytest
+
+from repro.api import RUN_CODE_REGISTRY
+from repro.server import (
+    SERVER_CODE_REGISTRY,
+    ApiError,
+    error_envelope,
+    server_error_title,
+)
+
+
+class TestRegistry:
+    def test_codes_are_srv_prefixed_and_sequential(self):
+        codes = sorted(SERVER_CODE_REGISTRY)
+        assert codes == [f"SRV{n:03d}" for n in range(1, len(codes) + 1)]
+
+    def test_titles_are_nonempty_one_liners(self):
+        for title in SERVER_CODE_REGISTRY.values():
+            assert title and "\n" not in title
+
+    def test_namespace_is_disjoint_from_run_codes(self):
+        assert not set(SERVER_CODE_REGISTRY) & set(RUN_CODE_REGISTRY)
+
+    def test_title_lookup(self):
+        assert server_error_title("SRV004") == "unknown job id"
+
+    def test_unknown_code_fails_loudly(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            server_error_title("SRV999")
+        with pytest.raises(ValueError, match="unregistered"):
+            ApiError("RUN001", "wrong namespace")
+
+
+class TestEnvelope:
+    def test_envelope_shape(self):
+        error = ApiError("SRV005", "queue full", http_status=429)
+        body = error_envelope(error)
+        assert body == {
+            "error": {
+                "code": "SRV005",
+                "title": "job queue full",
+                "message": "queue full",
+            }
+        }
+
+    def test_detail_is_optional(self):
+        error = ApiError("SRV002", "bad", detail={"field": "latency"})
+        assert error_envelope(error)["error"]["detail"] == {"field": "latency"}
+
+    def test_http_status_defaults_to_400(self):
+        assert ApiError("SRV001", "nope").http_status == 400

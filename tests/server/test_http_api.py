@@ -1,0 +1,174 @@
+"""HTTP surface tests: routing, envelopes, negative SRV codes, metrics."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import builtin_study
+
+
+def http(server, method, path, payload=None):
+    """Raw request helper returning (status, parsed-or-text body)."""
+    host, port = server.server_address[:2]
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            raw, content_type = response.read(), response.headers.get(
+                "Content-Type", ""
+            )
+            status = response.status
+    except urllib.error.HTTPError as error:
+        raw, content_type = error.read(), error.headers.get("Content-Type", "")
+        status = error.code
+    if content_type.startswith("application/json"):
+        return status, json.loads(raw.decode())
+    return status, raw.decode()
+
+
+class TestPositiveRoutes:
+    def test_healthz(self, live_server):
+        status, body = http(live_server, "GET", "/v1/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert "workspace" in body and "reattached_jobs" in body
+
+    def test_submit_returns_202_with_job_id(self, live_server):
+        status, body = http(
+            live_server, "POST", "/v1/studies", {"study": "table1"}
+        )
+        assert status == 202
+        assert body["job_id"].startswith("job-")
+        assert body["total_points"] == 2
+
+    def test_job_listing(self, live_server, client):
+        submitted = client.submit("table1")
+        client.wait(submitted["job_id"])
+        status, body = http(live_server, "GET", "/v1/jobs")
+        assert status == 200
+        assert [job["job_id"] for job in body["jobs"]] == [submitted["job_id"]]
+
+    def test_metrics_shape(self, live_server, client):
+        submitted = client.submit("table1")
+        client.wait(submitted["job_id"])
+        status, body = http(live_server, "GET", "/v1/metrics")
+        assert status == 200
+        assert body["counters"]["jobs_submitted"] == 1
+        assert body["counters"]["cache_misses"] == 2
+        assert body["queue_depth"] == 0
+        assert body["jobs"]["done"] == 1
+        assert any(
+            endpoint.startswith("POST /v1/studies") for endpoint in body["endpoints"]
+        )
+        histogram = body["endpoints"]["POST /v1/studies"]
+        assert histogram["count"] == 1 and histogram["buckets"]["le_inf"] == 1
+
+    def test_delete_cancels(self, live_server, client):
+        submitted = client.submit("table1")
+        status, body = http(
+            live_server, "DELETE", f"/v1/jobs/{submitted['job_id']}"
+        )
+        assert status == 200
+        assert body["job_id"] == submitted["job_id"]
+        final = client.wait(submitted["job_id"])
+        assert final["status"] in ("done", "cancelled")
+
+
+class TestNegativeRoutes:
+    """Every failure is the uniform envelope with a stable SRV code."""
+
+    @staticmethod
+    def assert_envelope(body, code):
+        assert set(body) == {"error"}
+        assert body["error"]["code"] == code
+        assert body["error"]["title"]
+        assert body["error"]["message"]
+
+    def test_unknown_route_is_srv008(self, live_server):
+        status, body = http(live_server, "GET", "/v1/nope")
+        assert status == 404
+        self.assert_envelope(body, "SRV008")
+
+    def test_wrong_method_is_srv008(self, live_server):
+        status, body = http(live_server, "PUT", "/v1/studies", {"study": "x"})
+        assert status == 404
+        self.assert_envelope(body, "SRV008")
+
+    def test_missing_body_is_srv001(self, live_server):
+        status, body = http(live_server, "POST", "/v1/studies")
+        assert status == 400
+        self.assert_envelope(body, "SRV001")
+
+    def test_non_json_body_is_srv001(self, live_server):
+        host, port = live_server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/studies", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        body = json.loads(excinfo.value.read().decode())
+        assert excinfo.value.code == 400
+        self.assert_envelope(body, "SRV001")
+
+    def test_missing_study_field_is_srv001(self, live_server):
+        status, body = http(live_server, "POST", "/v1/studies", {"naem": "x"})
+        assert status == 400
+        self.assert_envelope(body, "SRV001")
+
+    def test_unknown_study_is_srv003(self, live_server):
+        status, body = http(
+            live_server, "POST", "/v1/studies", {"study": "not-a-study"}
+        )
+        assert status == 404
+        self.assert_envelope(body, "SRV003")
+
+    def test_invalid_inline_study_is_srv002(self, live_server):
+        status, body = http(
+            live_server,
+            "POST",
+            "/v1/studies",
+            {"study": {"name": "bad", "expansions": [["wat", {}]]}},
+        )
+        assert status == 422
+        self.assert_envelope(body, "SRV002")
+
+    def test_unknown_job_is_srv004(self, live_server):
+        status, body = http(live_server, "GET", "/v1/jobs/job-missing")
+        assert status == 404
+        self.assert_envelope(body, "SRV004")
+
+    def test_report_of_unknown_job_is_srv004(self, live_server):
+        status, body = http(live_server, "GET", "/v1/jobs/job-missing/report")
+        assert status == 404
+        self.assert_envelope(body, "SRV004")
+
+    def test_verilog_without_emit_is_srv007(self, live_server, client):
+        submitted = client.submit("table1")
+        client.wait(submitted["job_id"])
+        point_id = builtin_study("table1").points()[0].point_id
+        status, body = http(
+            live_server,
+            "GET",
+            f"/v1/jobs/{submitted['job_id']}/verilog/{point_id}",
+        )
+        assert status == 404
+        self.assert_envelope(body, "SRV007")
+
+    def test_verilog_of_unknown_point_is_srv007(self, live_server, client):
+        submitted = client.submit("table1")
+        status, body = http(
+            live_server, "GET", f"/v1/jobs/{submitted['job_id']}/verilog/nope"
+        )
+        assert status == 404
+        self.assert_envelope(body, "SRV007")
+
+    def test_errors_are_counted_in_metrics(self, live_server):
+        http(live_server, "GET", "/v1/jobs/job-missing")
+        _, body = http(live_server, "GET", "/v1/metrics")
+        assert body["counters"]["errors_total"] >= 1
+        assert body["endpoints"]["GET /v1/jobs/{id}"]["count"] >= 1

@@ -1,0 +1,209 @@
+"""JobManager unit tests: queueing, dedup, cancel, persistence, re-attach."""
+
+import json
+import time
+
+import pytest
+
+from repro.api import Study, Workspace, builtin_study, fig4_study
+from repro.server import ApiError, JobManager, study_digest
+from repro.server.jobs import JOBS_FILE_NAME, resolve_study
+
+
+def tiny_study():
+    return builtin_study("table1")
+
+
+def slow_study(name="jobs-slow"):
+    """A many-point sweep: long enough to still be active while we poke."""
+    return fig4_study("chain:3:16", latencies=range(3, 11), name=name)
+
+
+def wait_for(job, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while job.status in ("queued", "running"):
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"job {job.job_id} stuck {job.status}")
+        time.sleep(0.005)
+    return job
+
+
+@pytest.fixture
+def manager(tmp_path):
+    manager = JobManager(Workspace(tmp_path / "ws"), workers=1, queue_size=8)
+    yield manager
+    manager.shutdown()
+
+
+class TestResolveStudy:
+    def test_builtin_name(self):
+        assert resolve_study("table1").name == "table1"
+
+    def test_unknown_name_is_srv003(self):
+        with pytest.raises(ApiError) as excinfo:
+            resolve_study("not-a-study")
+        assert excinfo.value.code == "SRV003"
+        assert excinfo.value.http_status == 404
+
+    def test_inline_dict(self):
+        study = resolve_study(tiny_study().to_dict())
+        assert study.name == "table1" and len(study) == 2
+
+    def test_malformed_dict_is_srv002(self):
+        with pytest.raises(ApiError) as excinfo:
+            resolve_study({"name": "x", "expansions": [["wat", {}]]})
+        assert excinfo.value.code == "SRV002"
+
+    def test_invalid_config_fields_fail_at_submit_time(self):
+        spec = {
+            "name": "bad-config",
+            "base": {"workload": "motivational", "latency": 3},
+            "expansions": [["grid", {"mode": ["no-such-mode"]}]],
+        }
+        with pytest.raises(ApiError) as excinfo:
+            resolve_study(spec)
+        assert excinfo.value.code == "SRV002"
+
+    def test_wrong_type_is_srv002(self):
+        with pytest.raises(ApiError) as excinfo:
+            resolve_study(42)
+        assert excinfo.value.code == "SRV002"
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        assert study_digest(tiny_study()) == study_digest(tiny_study())
+
+    def test_digest_distinguishes_studies(self):
+        assert study_digest(tiny_study()) != study_digest(slow_study())
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done(self, manager):
+        body = manager.submit("table1")
+        assert body["deduplicated"] is False
+        job = wait_for(manager.get(body["job_id"]))
+        assert job.status == "done"
+        public = job.to_public_dict()
+        assert public["summary"]["complete"] is True
+        assert public["done_points"] == public["total_points"] == 2
+
+    def test_resubmit_after_done_loads_everything(self, manager):
+        first = manager.submit("table1")
+        wait_for(manager.get(first["job_id"]))
+        second = manager.submit("table1")
+        assert second["job_id"] != first["job_id"]
+        job = wait_for(manager.get(second["job_id"]))
+        summary = job.to_public_dict()["summary"]
+        assert summary["loaded"] == 2 and summary["ran"] == 0
+
+    def test_active_duplicate_coalesces(self, manager):
+        manager.submit(slow_study("blocker").to_dict())  # occupies the worker
+        first = manager.submit("table1")
+        second = manager.submit("table1")
+        assert second["deduplicated"] is True
+        assert second["job_id"] == first["job_id"]
+        wait_for(manager.get(first["job_id"]))
+
+    def test_unknown_job_is_srv004(self, manager):
+        with pytest.raises(ApiError) as excinfo:
+            manager.get("job-nope")
+        assert excinfo.value.code == "SRV004"
+
+    def test_report_before_done_is_srv006(self, manager):
+        body = manager.submit(slow_study("early-report").to_dict())
+        with pytest.raises(ApiError) as excinfo:
+            manager.report(body["job_id"])
+        assert excinfo.value.code == "SRV006"
+        wait_for(manager.get(body["job_id"]))
+        report = manager.report(body["job_id"])
+        assert len(report["reports"]) == len(slow_study("early-report"))
+
+    def test_cancel_queued_job(self, manager):
+        manager.submit(slow_study("cancel-blocker").to_dict())
+        victim = manager.submit(slow_study("cancel-victim").to_dict())
+        body = manager.cancel(victim["job_id"])
+        assert body["cancelling"] is True
+        job = wait_for(manager.get(victim["job_id"]))
+        assert job.status == "cancelled"
+
+    def test_cross_study_dedup_via_adoption(self, manager):
+        wait_for(manager.get(manager.submit("table1")["job_id"]))
+        twin = Study.from_dict({**tiny_study().to_dict(), "name": "table1-twin"})
+        body = manager.submit(twin.to_dict())
+        job = wait_for(manager.get(body["job_id"]))
+        summary = job.to_public_dict()["summary"]
+        assert summary["loaded"] == 2 and summary["ran"] == 0
+
+
+class TestQueueBounds:
+    def test_full_queue_rejects_with_srv005(self, tmp_path):
+        manager = JobManager(Workspace(tmp_path / "ws"), workers=1, queue_size=1)
+        try:
+            manager.submit(slow_study("q-blocker").to_dict())
+            # Drive distinct digests until the bounded queue overflows.
+            with pytest.raises(ApiError) as excinfo:
+                for n in range(10):
+                    manager.submit(slow_study(f"q-filler-{n}").to_dict())
+            assert excinfo.value.code == "SRV005"
+            assert excinfo.value.http_status == 429
+        finally:
+            manager.shutdown()
+
+
+class TestPersistence:
+    def test_jobs_file_written_and_reloaded(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        manager = JobManager(workspace, workers=1)
+        body = manager.submit("table1")
+        wait_for(manager.get(body["job_id"]))
+        manager.shutdown()
+        records = json.loads((workspace.root / JOBS_FILE_NAME).read_text())
+        assert records["jobs"][0]["status"] == "done"
+
+        reborn = JobManager(Workspace(tmp_path / "ws"), workers=1)
+        try:
+            assert reborn.reattached_jobs == 0
+            job = reborn.get(body["job_id"])
+            assert job.status == "done"
+            assert len(reborn.report(body["job_id"])["reports"]) == 2
+        finally:
+            reborn.shutdown()
+
+    def test_unfinished_job_reattaches_and_completes(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        study = tiny_study()
+        # Simulate a server killed mid-job: a records file whose job never
+        # finished.  Boot must re-enqueue it.
+        (workspace.root / JOBS_FILE_NAME).write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "jobs": [
+                        {
+                            "job_id": "job-interrupted",
+                            "digest": study_digest(study),
+                            "status": "running",
+                            "study_description": study.to_dict(),
+                        }
+                    ],
+                }
+            )
+        )
+        manager = JobManager(Workspace(tmp_path / "ws"), workers=1)
+        try:
+            assert manager.reattached_jobs == 1
+            job = wait_for(manager.get("job-interrupted"))
+            assert job.status == "done"
+        finally:
+            manager.shutdown()
+
+    def test_corrupt_records_file_is_ignored(self, tmp_path):
+        workspace = Workspace(tmp_path / "ws")
+        (workspace.root / JOBS_FILE_NAME).write_text("not json")
+        manager = JobManager(Workspace(tmp_path / "ws"), workers=1)
+        try:
+            assert manager.reattached_jobs == 0
+            assert manager.list_jobs() == []
+        finally:
+            manager.shutdown()

@@ -1,0 +1,64 @@
+"""Latency histograms and the metrics snapshot."""
+
+from repro.server import LatencyHistogram, ServerMetrics
+from repro.server.metrics import LATENCY_BUCKETS_S
+
+
+class TestLatencyHistogram:
+    def test_buckets_are_cumulative(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.0005)
+        histogram.observe(0.004)
+        histogram.observe(0.02)
+        body = histogram.to_dict()
+        assert body["count"] == 3
+        assert body["buckets"]["le_0.001"] == 1
+        assert body["buckets"]["le_0.005"] == 2
+        assert body["buckets"]["le_0.025"] == 3
+        assert body["buckets"]["le_inf"] == 3
+
+    def test_overflow_lands_in_inf(self):
+        histogram = LatencyHistogram()
+        histogram.observe(max(LATENCY_BUCKETS_S) * 10)
+        body = histogram.to_dict()
+        assert body["buckets"][f"le_{max(LATENCY_BUCKETS_S):g}"] == 0
+        assert body["buckets"]["le_inf"] == 1
+
+    def test_mean_and_max(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.1)
+        histogram.observe(0.3)
+        body = histogram.to_dict()
+        assert abs(body["mean_s"] - 0.2) < 1e-9
+        assert abs(body["max_s"] - 0.3) < 1e-9
+
+    def test_negative_clamps_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.observe(-1.0)
+        assert histogram.to_dict()["buckets"]["le_0.001"] == 1
+
+
+class TestServerMetrics:
+    def test_requests_metered_per_template(self):
+        metrics = ServerMetrics()
+        metrics.observe_request("GET /v1/jobs/{id}", 0.002)
+        metrics.observe_request("GET /v1/jobs/{id}", 0.004, error=True)
+        metrics.observe_request("POST /v1/studies", 0.01)
+        body = metrics.snapshot()
+        assert body["counters"]["requests_total"] == 3
+        assert body["counters"]["errors_total"] == 1
+        assert set(body["endpoints"]) == {"GET /v1/jobs/{id}", "POST /v1/studies"}
+        assert body["endpoints"]["GET /v1/jobs/{id}"]["count"] == 2
+
+    def test_cache_hit_ratio(self):
+        metrics = ServerMetrics()
+        assert metrics.snapshot()["cache_hit_ratio"] is None
+        metrics.inc("cache_hits", 3)
+        metrics.inc("cache_misses", 1)
+        assert metrics.snapshot()["cache_hit_ratio"] == 0.75
+
+    def test_snapshot_includes_job_states_when_given(self):
+        metrics = ServerMetrics()
+        body = metrics.snapshot(jobs_by_state={"done": 2}, queue_depth=5)
+        assert body["jobs"] == {"done": 2}
+        assert body["queue_depth"] == 5

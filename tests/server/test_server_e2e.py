@@ -1,0 +1,142 @@
+"""End-to-end acceptance: real HTTP, bit-identical rows, zero recompute,
+and crash-restart durability of a subprocess server."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.api import Workspace, builtin_study, fig4_study
+from repro.server import SynthesisClient
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestInProcessEndToEnd:
+    def test_http_rows_bit_identical_to_direct_run(self, client, tmp_path):
+        """Submit over HTTP -> rows == a direct run_study of the same Study."""
+        study = builtin_study("table1")
+        submitted = client.submit(study)
+        final = client.wait(submitted["job_id"])
+        assert final["status"] == "done"
+        via_http = client.report(submitted["job_id"])
+
+        direct_ws = Workspace(tmp_path / "direct")
+        direct = direct_ws.run_study(study)
+        assert via_http["reports"] == direct.reports()
+        assert via_http["rows"] == direct.rows()
+
+    def test_resubmit_is_zero_recompute_by_counters(self, client):
+        """The dedup contract, asserted via the workspace load counters."""
+        first = client.wait(client.submit("table1")["job_id"])
+        assert first["summary"]["ran"] == 2 and first["summary"]["loaded"] == 0
+        second = client.wait(client.submit("table1")["job_id"])
+        assert second["summary"]["ran"] == 0
+        assert second["summary"]["loaded"] == 2
+        metrics = client.metrics()
+        assert metrics["counters"]["cache_hits"] == 2
+        assert metrics["counters"]["cache_misses"] == 2
+        assert metrics["cache_hit_ratio"] == 0.5
+
+    def test_concurrent_clients_share_one_computation(self, client):
+        """N identical submissions while active coalesce onto one job."""
+        study = fig4_study("chain:3:16", latencies=range(3, 9), name="e2e-share")
+        bodies = [client.submit(study) for _ in range(5)]
+        job_ids = {body["job_id"] for body in bodies}
+        # All five submissions resolved to at most a couple of live jobs
+        # (coalescing is timing-dependent), and in aggregate the engine
+        # computed each point exactly once.
+        for job_id in job_ids:
+            assert client.wait(job_id)["status"] == "done"
+        metrics = client.metrics()
+        assert metrics["counters"]["cache_misses"] == len(study)
+
+
+class TestSubprocessCrashRestart:
+    def _spawn(self, workspace, ready):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--workspace", str(workspace),
+                "--port", "0",
+                "--workers", "1",
+                "--ready-file", str(ready),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    @staticmethod
+    def _await_ready(ready, process, timeout_s=30.0):
+        deadline = time.monotonic() + timeout_s
+        while not ready.exists():
+            assert process.poll() is None, "server died during boot"
+            assert time.monotonic() < deadline, "server never became ready"
+            time.sleep(0.02)
+        host, port = ready.read_text().split()
+        return SynthesisClient(f"http://{host}:{port}", timeout_s=30.0)
+
+    def test_kill_mid_job_restart_loses_no_completed_rows(self, tmp_path):
+        workspace = tmp_path / "ws"
+        study = fig4_study("chain:3:16", latencies=range(3, 16), name="e2e-crash")
+
+        ready1 = tmp_path / "ready1"
+        process = self._spawn(workspace, ready1)
+        try:
+            client = self._await_ready(ready1, process)
+            submitted = client.submit(study)
+            job_id = submitted["job_id"]
+            # Let some points complete, then SIGKILL mid-job (no cleanup,
+            # no flush -- the journal and per-point saves must carry it).
+            observed_done = 0
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                body = client.job(job_id)
+                observed_done = body["done_points"]
+                if observed_done >= 2 or body["status"] not in (
+                    "queued",
+                    "running",
+                ):
+                    break
+                time.sleep(0.002)
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+
+        # Restart over the same workspace: the unfinished job re-attaches,
+        # completed rows replay from the store, the remainder computes.
+        ready2 = tmp_path / "ready2"
+        process = self._spawn(workspace, ready2)
+        try:
+            client = self._await_ready(ready2, process)
+            health = client.healthz()
+            jobs = client.jobs()["jobs"]
+            assert [job["job_id"] for job in jobs] == [job_id]
+            if jobs[0]["status"] in ("queued", "running"):
+                assert health["reattached_jobs"] == 1
+                final = client.wait(job_id, timeout_s=120.0)
+            else:
+                final = jobs[0]
+            assert final["status"] == "done"
+            summary = final["summary"]
+            assert summary["total"] == len(study)
+            # Nothing completed before the kill was recomputed.
+            assert summary["loaded"] >= observed_done
+            assert summary["loaded"] + summary["ran"] == len(study)
+            # And the rows are the complete study, regenerated with zero
+            # further recompute on a fresh resubmission.
+            again = client.wait(client.submit(study)["job_id"], timeout_s=60.0)
+            assert again["summary"]["loaded"] == len(study)
+            assert again["summary"]["ran"] == 0
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
