@@ -20,6 +20,7 @@ from ..core.transform import TransformResult
 from ..hls.datapath import Datapath
 from ..hls.flow import SynthesisResult
 from ..hls.schedule import Schedule
+from ..hls.scheduling.search import SearchProvenance
 from ..hls.timing import CycleTiming
 from ..check.diagnostics import CheckReport
 from ..ir.spec import Specification
@@ -41,6 +42,9 @@ from .config import FlowConfig
 #: Version 4 added the static-verification results (``check_*`` keys, present
 #: when the config requests the check pass) and the new ``check``/
 #: ``check_level`` config fields feeding the content hash.
+#: (Still 4: the ``search_*`` keys follow the same conditional-key pattern as
+#: ``emit_*``/``check_*`` -- they only appear on search-policy configs, which
+#: are new content hashes, so no existing row's layout changed.)
 REPORT_SCHEMA_VERSION = 4
 
 
@@ -68,7 +72,8 @@ class RunArtifact:
     * ``transform_result`` / ``budget`` -- presynthesis transformation output
       and the per-cycle chained-bit budget (``transform``);
     * ``schedule`` (``schedule``), ``timing`` (``time``), ``datapath``
-      (``allocate``);
+      (``allocate``); ``search`` carries the winning-policy provenance when
+      the config's scheduler policy enables search;
     * ``emission`` -- the structural RTL design lowered from the bound
       datapath (``emit``; only when the config requests it);
     * ``check`` -- the static-verification findings over every produced IR
@@ -85,6 +90,7 @@ class RunArtifact:
     transform_result: Optional[TransformResult] = None
     budget: Optional[int] = None
     schedule: Optional[Schedule] = None
+    search: Optional[SearchProvenance] = None
     timing: Optional[CycleTiming] = None
     datapath: Optional[Datapath] = None
     emission: Optional[RtlEmission] = None
@@ -173,6 +179,8 @@ def build_report(artifact: RunArtifact) -> Dict[str, Any]:
         report["check_errors"] = artifact.check.error_count
         report["check_warnings"] = artifact.check.warning_count
         report["check_levels"] = list(artifact.check.levels)
+    if artifact.search is not None:
+        report.update(artifact.search.to_report())
     return report
 
 

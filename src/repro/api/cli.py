@@ -195,6 +195,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable fragment balancing (pure ASAP placement)",
     )
     run_parser.add_argument(
+        "--policy",
+        choices=("paper", "search"),
+        default=None,
+        help="scheduler policy: 'paper' replays the deterministic flow "
+        "bit-identically, 'search' runs beam search + multi-start priority "
+        "draws (default: paper; implied by the flags below)",
+    )
+    run_parser.add_argument(
+        "--beam-width",
+        type=int,
+        default=None,
+        metavar="K",
+        help="beam width of the search scheduler (implies --policy search)",
+    )
+    run_parser.add_argument(
+        "--starts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of seeded priority-weight draws the search scheduler "
+        "tries (implies --policy search)",
+    )
+    run_parser.add_argument(
+        "--policy-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="master seed of the search scheduler's weight draws "
+        "(default: 2005; implies --policy search)",
+    )
+    run_parser.add_argument(
         "--check-equivalence",
         action="store_true",
         help="co-simulate the transformed specification against the original",
@@ -676,6 +707,33 @@ def _print_report(report: Dict[str, Any], as_json: bool) -> None:
             print(f"  {key.ljust(width)} : {value}")
 
 
+def _scheduler_from_args(args: argparse.Namespace) -> Any:
+    """Build the nested scheduler-policy dict from the ``repro run`` flags.
+
+    Returns ``None`` when no policy flag was given (the config defaults to the
+    paper policy), a dict for :class:`FlowConfig`'s ``scheduler`` field when
+    one was, or an error string when the combination is contradictory.  Any
+    search knob implies ``--policy search``; the flat ``--chained-bits`` /
+    ``--no-balance`` flags keep flowing through the mirror fields.
+    """
+    knobs = {
+        "beam_width": ("--beam-width", args.beam_width),
+        "starts": ("--starts", args.starts),
+        "seed": ("--policy-seed", args.policy_seed),
+    }
+    given = {key: value for key, (_flag, value) in knobs.items() if value is not None}
+    if args.policy is None and not given:
+        return None
+    if args.policy == "paper" and given:
+        flags = ", ".join(knobs[key][0] for key in given)
+        return f"--policy paper does not accept search knobs ({flags})"
+    scheduler: Dict[str, Any] = {"policy": "search"}
+    if args.policy == "paper":
+        scheduler["policy"] = "paper"
+    scheduler.update(given)
+    return scheduler
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if (args.workload is None) == (args.spec_file is None):
         print("error: give exactly one of <workload> or --spec-file", file=sys.stderr)
@@ -684,6 +742,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.spec_file is not None:
         with open(args.spec_file, "r", encoding="utf-8") as handle:
             spec_text = handle.read()
+    scheduler = _scheduler_from_args(args)
+    if isinstance(scheduler, str):
+        print(f"error: {scheduler}", file=sys.stderr)
+        return 2
     config = FlowConfig(
         latency=args.latency,
         mode=args.mode,
@@ -693,6 +755,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         multiplier_style=args.multiplier_style,
         chained_bits_per_cycle=args.chained_bits,
         balance_fragments=not args.no_balance,
+        scheduler=scheduler,
         check_equivalence=args.check_equivalence,
         equivalence_vectors=args.equivalence_vectors,
         equivalence_seed=args.equivalence_seed,

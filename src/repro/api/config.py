@@ -27,10 +27,12 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Union
 
 from ..hls.flow import FlowMode
+from ..hls.scheduling.policy import PolicyError, SchedulerPolicy
 from ..ir.spec import Specification
 from ..techlib.adders import AdderStyle
 from ..techlib.library import TechnologyLibrary, default_library
@@ -129,8 +131,25 @@ class FlowConfig:
     chained_bits_per_cycle:
         Explicit per-cycle chained-bit budget.  ``None`` derives it (from the
         transformation for the fragmented flow).  Must be positive when set.
+        Migrating into ``scheduler``: this flat field is kept as a mirror of
+        ``scheduler.chained_bits_per_cycle`` for compatibility.
     balance_fragments:
         Whether the fragment scheduler balances addition bits across cycles.
+        Like ``chained_bits_per_cycle``, a compatibility mirror of
+        ``scheduler.balance_fragments``.
+    scheduler:
+        The nested :class:`~repro.hls.scheduling.policy.SchedulerPolicy`
+        describing how the schedule is constructed: the paper's deterministic
+        heuristics (``policy="paper"``, the default) or beam/multi-start
+        search (``policy="search"``) with its weights and seeds.  Accepts a
+        policy object or its dictionary form; ``None`` builds one from the
+        flat mirror fields.  After construction the mirrors and the policy
+        always agree -- conflicting explicit values raise.  A paper policy
+        with default search knobs serializes in the legacy flat encoding
+        inside :meth:`semantic_dict`, so pre-search configs keep their
+        content hashes; search policies are new content (new hashes).  The
+        ``blc`` flow has no scheduling freedom, so it rejects
+        ``policy="search"``.
     transform:
         Whether to run the presynthesis transformation before scheduling.
         ``None`` derives it from the mode: the fragmented flow transforms,
@@ -206,6 +225,7 @@ class FlowConfig:
     multiplier_style: MultiplierStyle = MultiplierStyle.ARRAY
     chained_bits_per_cycle: Optional[int] = None
     balance_fragments: bool = True
+    scheduler: Optional[Union[SchedulerPolicy, Dict[str, Any]]] = None
     transform: Optional[bool] = None
     validate_input: bool = True
     validate_output: bool = True
@@ -323,6 +343,65 @@ class FlowConfig:
                 "engine must be 'auto', 'bigint', 'numpy' or 'legacy', got "
                 f"{self.engine!r}"
             )
+        self._resolve_scheduler()
+
+    def _resolve_scheduler(self) -> None:
+        """Fold the flat mirror fields and the nested policy into one truth.
+
+        After this runs, ``scheduler`` is always a :class:`SchedulerPolicy`
+        and the flat ``chained_bits_per_cycle`` / ``balance_fragments``
+        mirrors equal its fields, so legacy attribute reads, dataclass
+        equality and both serializations stay consistent.  Explicitly
+        conflicting values (flat budget != policy budget) raise; a flat
+        ``balance_fragments=False`` is an explicit disable and folds in.
+        """
+        policy = self.scheduler
+        try:
+            if isinstance(policy, dict):
+                policy = SchedulerPolicy.from_dict(policy)
+            if policy is None:
+                policy = SchedulerPolicy(
+                    chained_bits_per_cycle=self.chained_bits_per_cycle,
+                    balance_fragments=self.balance_fragments,
+                )
+            else:
+                flat_bits = self.chained_bits_per_cycle
+                if (
+                    flat_bits is not None
+                    and policy.chained_bits_per_cycle is not None
+                    and flat_bits != policy.chained_bits_per_cycle
+                ):
+                    raise ConfigError(
+                        f"chained_bits_per_cycle={flat_bits} conflicts with "
+                        f"scheduler.chained_bits_per_cycle="
+                        f"{policy.chained_bits_per_cycle}; set it in one place"
+                    )
+                merged_bits = (
+                    policy.chained_bits_per_cycle
+                    if policy.chained_bits_per_cycle is not None
+                    else flat_bits
+                )
+                merged_balance = policy.balance_fragments and self.balance_fragments
+                if (
+                    merged_bits != policy.chained_bits_per_cycle
+                    or merged_balance != policy.balance_fragments
+                ):
+                    policy = policy.replace(
+                        chained_bits_per_cycle=merged_bits,
+                        balance_fragments=merged_balance,
+                    )
+        except PolicyError as error:
+            raise ConfigError(str(error)) from None
+        if policy.search_enabled and self.mode is FlowMode.BLC:
+            raise ConfigError(
+                'scheduler.policy="search" is not available for the blc flow '
+                "(full chaining leaves no scheduling freedom to search over)"
+            )
+        object.__setattr__(self, "scheduler", policy)
+        object.__setattr__(
+            self, "chained_bits_per_cycle", policy.chained_bits_per_cycle
+        )
+        object.__setattr__(self, "balance_fragments", policy.balance_fragments)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -337,6 +416,13 @@ class FlowConfig:
     @property
     def has_source(self) -> bool:
         return self.workload is not None or self.spec_text is not None
+
+    @property
+    def scheduler_policy(self) -> SchedulerPolicy:
+        """The resolved scheduler policy (always set after construction)."""
+        policy = self.scheduler
+        assert isinstance(policy, SchedulerPolicy)
+        return policy
 
     def build_library(self) -> TechnologyLibrary:
         """The technology library this config describes."""
@@ -361,7 +447,37 @@ class FlowConfig:
         )
 
     def replace(self, **changes: Any) -> "FlowConfig":
-        """A copy of the config with *changes* applied (validated again)."""
+        """A copy of the config with *changes* applied (validated again).
+
+        The nested policy and its flat mirrors are kept coherent: changing
+        ``scheduler`` carries its budget/balance into the mirrors, and
+        changing a mirror rebuilds the policy around the new value (so
+        ``replace(chained_bits_per_cycle=None)`` genuinely clears the budget
+        instead of resurrecting the old policy's value).
+        """
+        try:
+            if "scheduler" in changes:
+                policy = changes["scheduler"]
+                if isinstance(policy, dict):
+                    policy = SchedulerPolicy.from_dict(policy)
+                if policy is None:
+                    policy = SchedulerPolicy()
+                changes["scheduler"] = policy
+                changes.setdefault(
+                    "chained_bits_per_cycle", policy.chained_bits_per_cycle
+                )
+                changes.setdefault("balance_fragments", policy.balance_fragments)
+            elif "chained_bits_per_cycle" in changes or "balance_fragments" in changes:
+                changes["scheduler"] = self.scheduler_policy.replace(
+                    chained_bits_per_cycle=changes.get(
+                        "chained_bits_per_cycle", self.chained_bits_per_cycle
+                    ),
+                    balance_fragments=changes.get(
+                        "balance_fragments", self.balance_fragments
+                    ),
+                )
+        except PolicyError as error:
+            raise ConfigError(str(error)) from None
         return dataclasses.replace(self, **changes)
 
     # ------------------------------------------------------------------
@@ -377,7 +493,42 @@ class FlowConfig:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FlowConfig":
-        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        """Inverse of :meth:`to_dict`; unknown keys are rejected.
+
+        Accepts two deprecated spellings with a :class:`DeprecationWarning`:
+        the pre-pipeline ``chained_bits_override`` alias, and flat scheduler
+        knobs (a non-null ``chained_bits_per_cycle`` or a disabled
+        ``balance_fragments``) without a nested ``scheduler`` object.  Both
+        map onto the policy with unchanged content hashes.
+        """
+        data = dict(data)
+        if "chained_bits_override" in data:
+            warnings.warn(
+                "FlowConfig key 'chained_bits_override' is deprecated; use "
+                "scheduler.chained_bits_per_cycle",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            override = data.pop("chained_bits_override")
+            existing = data.get("chained_bits_per_cycle")
+            if existing is not None and override is not None and existing != override:
+                raise ConfigError(
+                    f"chained_bits_override={override!r} conflicts with "
+                    f"chained_bits_per_cycle={existing!r}"
+                )
+            if override is not None:
+                data["chained_bits_per_cycle"] = override
+        if "scheduler" not in data and (
+            data.get("chained_bits_per_cycle") is not None
+            or data.get("balance_fragments") is False
+        ):
+            warnings.warn(
+                "flat FlowConfig scheduler knobs (chained_bits_per_cycle, "
+                "balance_fragments) are deprecated; nest them under "
+                "'scheduler'",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         field_names = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - field_names
         if unknown:
@@ -408,10 +559,20 @@ class FlowConfig:
         This is the identity of the *result*: the workspace stores and
         compares this view, and :meth:`content_hash` digests it, so two
         configs differing only in retry policy are the same experiment.
+
+        A paper policy whose search knobs all sit at their defaults is
+        serialized in the **legacy flat encoding** -- the nested ``scheduler``
+        object is dropped, leaving exactly the pre-search dictionary.  That
+        pins the content hash of every historically expressible config, so
+        result-cache entries and stored workspace rows stay valid.  Search
+        policies are new experiments and keep the nested object (new hashes).
         """
         data = self.to_dict()
         for name in self.EXECUTION_FIELDS:
             data.pop(name, None)
+        policy = self.scheduler_policy
+        if policy.policy == "paper" and policy.is_paper_search_surface():
+            data.pop("scheduler", None)
         return data
 
     def to_json(self, **dumps_kwargs: Any) -> str:

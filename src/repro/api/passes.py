@@ -23,7 +23,7 @@ from typing import Callable, Tuple
 
 from ..core.transform import TransformOptions, transform
 from ..hls.datapath import build_datapath
-from ..hls.flow import FlowMode, SynthesisResult, run_schedule, run_timing
+from ..hls.flow import FlowMode, SynthesisResult, run_schedule_with_policy, run_timing
 from ..ir.validate import require_valid
 from .artifacts import RunArtifact, build_report
 
@@ -81,17 +81,23 @@ def transform_pass(artifact: RunArtifact) -> None:
 
 
 def schedule_pass(artifact: RunArtifact) -> None:
-    """Schedule the working specification with the mode's scheduler."""
+    """Schedule the working specification under the config's scheduler policy.
+
+    The paper policy takes the historical deterministic path; a search policy
+    runs the beam/multi-start construction and records the winning start's
+    provenance in the ``search`` slot (surfaced as ``search_*`` report keys).
+    """
     config = artifact.config
-    schedule, budget_used = run_schedule(
+    schedule, budget_used, provenance = run_schedule_with_policy(
         artifact.require("working_specification"),
         config.latency,
         artifact.library,
         config.mode,
+        policy=config.scheduler_policy,
         chained_bits_per_cycle=artifact.budget,
-        balance_fragments=config.balance_fragments,
     )
     artifact.schedule = schedule
+    artifact.search = provenance
     if budget_used is not None:
         artifact.budget = budget_used
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..hls.flow import FlowMode
+from ..hls.scheduling.policy import SchedulerPolicy
 from .config import ConfigError, FlowConfig
 from .resilience import RetryPolicy
 
@@ -42,10 +43,28 @@ __all__ = [
     "build_rows",
     "builtin_study",
     "fig4_study",
+    "scheduler_tuning_study",
     "study_from_dict",
     "table_points",
     "table_study",
 ]
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert config-field values to their wire form, recursively.
+
+    Nested :class:`SchedulerPolicy` objects serialize to their dictionary
+    form so a study declaration dumps to canonical JSON deterministically --
+    the server's job digest hashes that JSON, and ``FlowConfig`` coerces the
+    dictionaries back, so the round trip resolves identical point ids.
+    """
+    if isinstance(value, SchedulerPolicy):
+        return value.to_dict()
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
 
 
 class StudyError(ValueError):
@@ -247,11 +266,11 @@ class Study:
         data: Dict[str, Any] = {
             "name": self.name,
             "description": self.description,
-            "base": dict(self.base),
+            "base": _jsonable(dict(self.base)),
             "stop_after": self.stop_after,
             "row_kind": self.row_kind,
             "expansions": [
-                [kind, payload] for kind, payload in self._expansions
+                [kind, _jsonable(payload)] for kind, payload in self._expansions
             ],
         }
         if self.retry is not None:
@@ -579,6 +598,69 @@ def emission_study() -> Study:
     )
 
 
+def scheduler_tuning_study() -> Study:
+    """The search-based scheduling matrix: beam x starts x weights vs paper.
+
+    Every workload point runs once with the pinned paper policy and then
+    under a grid of search policies (beam widths, multi-start counts, and
+    one explicitly weighted priority).  Rows are raw reports: search points
+    carry ``search_*`` keys (winning start, points probed, baseline vs best
+    objective), so ``search_objective <= search_baseline_objective`` can be
+    asserted per row -- the search never returns a schedule worse than the
+    deterministic baseline.
+    """
+    policy_cases: List[Dict[str, Any]] = [{"label": "paper"}]
+    for beam_width in (2, 4):
+        for starts in (1, 4):
+            policy_cases.append(
+                {
+                    "label": f"search-b{beam_width}-s{starts}",
+                    "scheduler": {
+                        "policy": "search",
+                        "beam_width": beam_width,
+                        "starts": starts,
+                    },
+                }
+            )
+    policy_cases.append(
+        {
+            "label": "search-weighted",
+            "scheduler": {
+                "policy": "search",
+                "beam_width": 2,
+                "starts": 2,
+                "criticality_weight": 1.0,
+                "successor_weight": 0.5,
+            },
+        }
+    )
+    return (
+        Study(
+            "scheduler-tuning",
+            description=(
+                "Search-based scheduling: beam width x multi-starts x "
+                "priority weights against the paper's deterministic baseline"
+            ),
+            row_kind="raw",
+        )
+        .cases(
+            [
+                {
+                    "workload": "motivational",
+                    "latency": 3,
+                    "mode": FlowMode.CONVENTIONAL.value,
+                },
+                {
+                    "workload": "fig3",
+                    "latency": 4,
+                    "mode": FlowMode.CONVENTIONAL.value,
+                },
+            ]
+        )
+        .cases(policy_cases)
+    )
+
+
 #: Factories of the named built-in studies (the paper's artifacts).
 BUILTIN_STUDIES: Dict[str, Callable[[], Study]] = {
     "table1": lambda: table_study("table1"),
@@ -588,6 +670,7 @@ BUILTIN_STUDIES: Dict[str, Callable[[], Study]] = {
     "fig4-motivational": lambda: fig4_study("motivational", name="fig4-motivational"),
     "fig4-adpcm": lambda: fig4_study("adpcm_iaq", name="fig4-adpcm"),
     "emission": emission_study,
+    "scheduler-tuning": scheduler_tuning_study,
 }
 
 

@@ -91,6 +91,7 @@ CODE_REGISTRY: Dict[str, Tuple[str, Severity, str]] = {
     "SCHED003": ("schedule", Severity.ERROR, "data dependence scheduled backwards"),
     "SCHED004": ("schedule", Severity.ERROR, "chained-bit depth exceeds the budget"),
     "SCHED005": ("schedule", Severity.ERROR, "recorded timing disagrees with recomputation"),
+    "SCHED006": ("schedule", Severity.ERROR, "no feasible cycle in an operation's window"),
     # -- allocation level ---------------------------------------------------
     "ALLOC001": ("allocation", Severity.ERROR, "overlapping live intervals in one register"),
     "ALLOC002": ("allocation", Severity.ERROR, "functional-unit conflict within a cycle"),

@@ -44,7 +44,7 @@ from ..techlib.library import default_library
 from ..workloads import ALL_WORKLOADS
 from ._trace import AdditiveTracer, build_writer_map, operand_bit_keys
 from .allocation import check_allocation
-from .diagnostics import CODE_REGISTRY, CheckError, Diagnostic
+from .diagnostics import CODE_REGISTRY, CheckError, Diagnostic, diagnostic
 from .netlist import check_design
 from .schedule import check_schedule
 from .spec import check_specification
@@ -316,6 +316,52 @@ def tampered_timing(rng: Random) -> Tuple[_Findings, _Findings]:
     cycle = _pick(rng, sorted(timing.cycle_chained_bits), "SCHED005")
     timing.cycle_chained_bits[cycle] += 1
     return before, check_schedule(schedule, timing=timing)
+
+
+@_mutation("SCHED006")
+def poisoned_window(rng: Random) -> Tuple[_Findings, _Findings]:
+    """Hand the list scheduler a mobility window past the latency horizon.
+
+    Unlike the other mutations this one corrupts a scheduler *input* rather
+    than a finished artifact: the list scheduler must refuse the infeasible
+    window with a coded :class:`SchedulingError` instead of silently clamping
+    the operation somewhere illegal (the pre-SCHED006 fallback did exactly
+    that).  The coded raise is converted into the matching diagnostic so the
+    harness can assert it fires.
+    """
+    from ..hls.scheduling.asap_alap import (
+        SchedulingError,
+        alap_chained,
+        asap_chained,
+        mobility_windows,
+    )
+    from ..hls.scheduling.list_scheduler import list_schedule, minimize_clock_period
+
+    spec = _fresh_spec()
+    library = default_library()
+    search = minimize_clock_period(spec, MUTATION_LATENCY, library)
+    before = check_schedule(
+        list_schedule(spec, MUTATION_LATENCY, search.clock_period_ns, library)
+    )
+    graph = spec.dataflow_graph()
+    asap = asap_chained(spec, search.clock_period_ns, library, graph)
+    alap = alap_chained(spec, search.clock_period_ns, MUTATION_LATENCY, library, graph)
+    windows = dict(mobility_windows(asap, alap))
+    victim = _pick(rng, sorted(windows, key=lambda op: op.name), "SCHED006")
+    windows[victim] = (MUTATION_LATENCY + 1, MUTATION_LATENCY + 1)
+    try:
+        list_schedule(
+            spec, MUTATION_LATENCY, search.clock_period_ns, library, windows=windows
+        )
+    except SchedulingError as error:
+        if error.code != "SCHED006":
+            raise MutationError(
+                f"expected a SCHED006 refusal, got code {error.code!r}"
+            ) from error
+        after = [diagnostic("SCHED006", str(error))]
+    else:
+        raise MutationError("the scheduler accepted an infeasible window")
+    return before, after
 
 
 # ----------------------------------------------------------------------

@@ -35,6 +35,12 @@ from .schedule import Schedule
 from .scheduling.chaining import schedule_bit_level_chaining
 from .scheduling.fragment_scheduler import FragmentSchedulerOptions, schedule_fragments
 from .scheduling.list_scheduler import schedule_conventional
+from .scheduling.policy import SchedulerPolicy
+from .scheduling.search import (
+    SearchProvenance,
+    search_conventional,
+    search_fragmented,
+)
 from .timing import CycleTiming, analyze_bit_level, analyze_operation_level
 
 
@@ -156,6 +162,59 @@ def resolve_budget(
     return chained_bits_per_cycle
 
 
+def run_schedule_with_policy(
+    specification: Specification,
+    latency: int,
+    library: TechnologyLibrary,
+    mode: FlowModeLike = FlowMode.CONVENTIONAL,
+    policy: Optional[SchedulerPolicy] = None,
+    chained_bits_per_cycle: Optional[int] = None,
+) -> Tuple[Schedule, Optional[int], Optional[SearchProvenance]]:
+    """The scheduling stage under an explicit :class:`SchedulerPolicy`.
+
+    Returns the schedule, the chained-bit budget actually used (``None`` for
+    the conventional flow) and, when the policy enables search, the
+    provenance record of the winning start.  *chained_bits_per_cycle*
+    overrides the policy's budget -- the pipeline passes the budget already
+    derived by the transformation stage here.
+
+    The paper policy (the default) takes exactly the historical code paths,
+    bit-identically.
+    """
+    mode = FlowMode.coerce(mode)
+    policy = policy or SchedulerPolicy()
+    budget_hint = (
+        chained_bits_per_cycle
+        if chained_bits_per_cycle is not None
+        else policy.chained_bits_per_cycle
+    )
+    if mode is FlowMode.CONVENTIONAL:
+        if policy.search_enabled:
+            outcome = search_conventional(specification, latency, library, policy)
+            return outcome.schedule, None, outcome.provenance
+        schedule, _search = schedule_conventional(specification, latency, library)
+        return schedule, None, None
+    if mode is FlowMode.FRAGMENTED:
+        budget = resolve_budget(specification, latency, budget_hint)
+        if policy.search_enabled:
+            outcome = search_fragmented(
+                specification, latency, budget, library, policy
+            )
+            return outcome.schedule, budget, outcome.provenance
+        options = FragmentSchedulerOptions(balance=policy.balance_fragments)
+        schedule = schedule_fragments(specification, latency, budget, options)
+        return schedule, budget, None
+    if mode is FlowMode.BLC:
+        if policy.search_enabled:
+            raise ValueError(
+                "the blc flow has no scheduling freedom to search over; use "
+                'policy="paper" with mode=blc'
+            )
+        blc = schedule_bit_level_chaining(specification, latency)
+        return blc.schedule, blc.chained_bits_per_cycle, None
+    raise ValueError(f"unknown flow mode {mode}")  # pragma: no cover - coerce()
+
+
 def run_schedule(
     specification: Specification,
     latency: int,
@@ -170,19 +229,15 @@ def run_schedule(
     Returns the schedule together with the chained-bit budget actually used
     (``None`` for the conventional flow, which chains whole operations).
     """
-    mode = FlowMode.coerce(mode)
-    if mode is FlowMode.CONVENTIONAL:
-        schedule, _search = schedule_conventional(specification, latency, library)
-        return schedule, None
-    if mode is FlowMode.FRAGMENTED:
-        budget = resolve_budget(specification, latency, chained_bits_per_cycle)
-        options = FragmentSchedulerOptions(balance=balance_fragments)
-        schedule = schedule_fragments(specification, latency, budget, options)
-        return schedule, budget
-    if mode is FlowMode.BLC:
-        blc = schedule_bit_level_chaining(specification, latency)
-        return blc.schedule, blc.chained_bits_per_cycle
-    raise ValueError(f"unknown flow mode {mode}")  # pragma: no cover - coerce()
+    schedule, budget, _provenance = run_schedule_with_policy(
+        specification,
+        latency,
+        library,
+        mode,
+        policy=SchedulerPolicy(balance_fragments=balance_fragments),
+        chained_bits_per_cycle=chained_bits_per_cycle,
+    )
+    return schedule, budget
 
 
 def run_timing(

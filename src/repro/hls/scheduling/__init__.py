@@ -6,7 +6,11 @@
 * :mod:`~repro.hls.scheduling.fragment_scheduler` -- scheduler for the
   transformed specifications produced by :mod:`repro.core`;
 * :mod:`~repro.hls.scheduling.chaining` -- the bit-level chaining baseline of
-  Fig. 1 d.
+  Fig. 1 d;
+* :mod:`~repro.hls.scheduling.policy` -- the :class:`SchedulerPolicy` knob
+  surface shared by the config layer and the search scheduler;
+* :mod:`~repro.hls.scheduling.search` -- beam search + multi-start priority
+  draws over the same construction the deterministic schedulers use.
 """
 
 from .asap_alap import (
@@ -25,9 +29,18 @@ from .fragment_scheduler import (
 )
 from .list_scheduler import (
     ClockSearchResult,
+    ReadyQueuePriority,
     list_schedule,
     minimize_clock_period,
     schedule_conventional,
+)
+from .policy import PolicyError, SchedulerPolicy, draw_weights
+from .search import (
+    SearchOutcome,
+    SearchProvenance,
+    policy_starts,
+    search_conventional,
+    search_fragmented,
 )
 
 __all__ = [
@@ -35,15 +48,24 @@ __all__ = [
     "ChainedPlacement",
     "ClockSearchResult",
     "FragmentSchedulerOptions",
+    "PolicyError",
+    "ReadyQueuePriority",
+    "SchedulerPolicy",
     "SchedulingError",
+    "SearchOutcome",
+    "SearchProvenance",
     "alap_chained",
     "asap_chained",
     "asap_cycles_needed",
+    "draw_weights",
     "list_schedule",
     "minimize_clock_period",
     "mobility_windows",
+    "policy_starts",
     "schedule_bit_level_chaining",
     "schedule_conventional",
     "schedule_fragments",
+    "search_conventional",
+    "search_fragmented",
     "verify_budget",
 ]

@@ -24,7 +24,16 @@ from ...techlib.library import TechnologyLibrary
 
 
 class SchedulingError(ValueError):
-    """Raised when no schedule exists under the given constraints."""
+    """Raised when no schedule exists under the given constraints.
+
+    ``code`` carries the registered diagnostic code (``SCHED*``) when the
+    failure maps to one, so callers can surface it through the check layer
+    without string matching.
+    """
+
+    def __init__(self, message: str, code: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.code = code
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ from ...ir.spec import Specification
 from ..schedule import Schedule, ScheduleError
 from ..timing import bit_level_cycle_depths
 from .asap_alap import SchedulingError
+from .list_scheduler import ReadyQueuePriority, operation_features, priority_bias
 
 
 def _recorded_mobility(operation: Operation, latency: int) -> Optional[Tuple[int, int]]:
@@ -92,6 +93,9 @@ class FragmentSchedulerOptions:
     #: verify the balanced placement against the budget and fall back to the
     #: ASAP placement when the balancing broke a cycle's chained depth.
     verify: bool = True
+    #: parameterized ready-queue priority; the default (None) keeps the
+    #: paper's pure ``(additive_bits, cycle)`` balancing choice.
+    priority: Optional[ReadyQueuePriority] = None
 
 
 class _FragmentPlacer:
@@ -147,7 +151,35 @@ class _FragmentPlacer:
                 )
         return bound
 
-    def place(self, balance: bool) -> Schedule:
+    def materialize(self, additive_cycles: Dict[Operation, int]) -> Schedule:
+        """Build the full schedule from explicit additive-fragment cycles.
+
+        Glue logic is derived the same way :meth:`place` derives it (the
+        cycle of the latest producer), so any additive assignment the search
+        layer produces materialises exactly like a greedy placement would.
+        """
+        schedule = Schedule(self.specification, self.latency)
+        for operation in self.graph.topological_order():
+            if operation.is_additive:
+                schedule.assign(operation, additive_cycles[operation])
+        for operation in self.graph.topological_order():
+            if operation.is_additive:
+                continue
+            cycle = self._glue_lower_bound(operation, schedule)
+            schedule.assign(operation, min(cycle, self.latency))
+        schedule.check_bit_precedence(self.bit_graph)
+        return schedule
+
+    def place(
+        self, balance: bool, priority: Optional[ReadyQueuePriority] = None
+    ) -> Schedule:
+        priority = priority or ReadyQueuePriority()
+        weighted = balance and not priority.is_paper
+        criticality: Dict[Operation, float] = {}
+        fanout: Dict[Operation, float] = {}
+        op_index: Dict[Operation, int] = {}
+        if weighted:
+            criticality, fanout, op_index = operation_features(self.graph)
         schedule = Schedule(self.specification, self.latency)
         additive_bits: Dict[int, int] = {c: 0 for c in range(1, self.latency + 1)}
         for operation in self.graph.topological_order():
@@ -158,7 +190,26 @@ class _FragmentPlacer:
             hi = max(hi, lo)
             lo = min(lo, self.latency)
             hi = min(hi, self.latency)
-            if balance and hi > lo:
+            if weighted and hi > lo:
+                window = (lo, hi)
+
+                def scored(cycle: int, _op: Operation = operation) -> Tuple[float, int]:
+                    return (
+                        additive_bits[cycle]
+                        + priority_bias(
+                            priority,
+                            criticality[_op],
+                            fanout[_op],
+                            op_index[_op],
+                            cycle,
+                            window[0],
+                            window[1],
+                        ),
+                        cycle,
+                    )
+
+                chosen = min(range(lo, hi + 1), key=scored)
+            elif balance and hi > lo:
                 chosen = min(
                     range(lo, hi + 1), key=lambda cycle: (additive_bits[cycle], cycle)
                 )
@@ -176,6 +227,27 @@ class _FragmentPlacer:
         return schedule
 
 
+def fragment_windows(
+    specification: Specification, latency: int, chained_bits_per_cycle: int
+) -> Dict[Operation, Tuple[int, int]]:
+    """Mobility windows of the additive fragments.
+
+    Prefers the windows recorded by the transformation; recomputes them from
+    the bit graph for hand-written fragmented specifications.
+    """
+    windows: Dict[Operation, Tuple[int, int]] = {}
+    for operation in specification.operations:
+        if not operation.is_additive:
+            continue
+        recorded = _recorded_mobility(operation, latency)
+        if recorded is None:
+            return _bit_level_mobility(
+                specification, latency, chained_bits_per_cycle
+            )
+        windows[operation] = recorded
+    return windows
+
+
 def schedule_fragments(
     specification: Specification,
     latency: int,
@@ -191,23 +263,10 @@ def schedule_fragments(
             f"chained-bit budget must be positive, got {chained_bits_per_cycle}"
         )
     graph = specification.dataflow_graph()
-
-    windows: Dict[Operation, Tuple[int, int]] = {}
-    missing_attributes = False
-    for operation in specification.operations:
-        if not operation.is_additive:
-            continue
-        recorded = _recorded_mobility(operation, latency)
-        if recorded is None:
-            missing_attributes = True
-            break
-        windows[operation] = recorded
-    if missing_attributes:
-        windows = _bit_level_mobility(specification, latency, chained_bits_per_cycle)
-
+    windows = fragment_windows(specification, latency, chained_bits_per_cycle)
     bit_graph = specification.bit_dependency_graph()
     placer = _FragmentPlacer(specification, latency, windows, graph, bit_graph)
-    schedule = placer.place(balance=options.balance)
+    schedule = placer.place(balance=options.balance, priority=options.priority)
     if options.balance and options.verify:
         depths = bit_level_cycle_depths(schedule, bit_graph)
         if depths and max(depths.values()) > chained_bits_per_cycle:

@@ -16,8 +16,10 @@ specification (Fig. 1 b, the Table II "original" columns) and, through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from random import Random
+from typing import Dict, List, Optional, Tuple
 
+from ...ir.dfg import DataFlowGraph
 from ...ir.operations import Operation
 from ...ir.spec import Specification
 from ...techlib.library import TechnologyLibrary
@@ -38,6 +40,99 @@ class ClockSearchResult:
 
     clock_period_ns: float
     cycles_needed: int
+
+
+@dataclass(frozen=True)
+class ReadyQueuePriority:
+    """Parameterized ready-queue priority of the schedulers.
+
+    The paper's schedulers pick the candidate cycle minimising a hard-coded
+    load/cycle tuple.  This object generalises that choice: per-operation
+    criticality (longest downstream chain), successor fan-out and mobility
+    usage are folded into the candidate score with configurable weights, and
+    an optional seeded jitter breaks ties deterministically.  The default
+    instance is inert -- every scheduler takes the exact historical code path
+    when :attr:`is_paper` is true, keeping ``policy=paper`` bit-identical.
+    """
+
+    criticality_weight: float = 0.0
+    successor_weight: float = 0.0
+    mobility_weight: float = 0.0
+    tie_break_seed: Optional[int] = None
+
+    @property
+    def is_paper(self) -> bool:
+        return (
+            self.criticality_weight == 0.0
+            and self.successor_weight == 0.0
+            and self.mobility_weight == 0.0
+            and self.tie_break_seed is None
+        )
+
+    def jitter(self, operation_index: int, cycle: int) -> float:
+        """Deterministic tie-break noise, small enough to only break ties.
+
+        Seeded per (operation, cycle) with a string key, so the value is
+        independent of process, platform hash randomisation and placement
+        order -- the determinism contract of ``SchedulerPolicy``.
+        """
+        if self.tie_break_seed is None:
+            return 0.0
+        rng = Random(f"{self.tie_break_seed}/{operation_index}/{cycle}")
+        return rng.random() * 1e-6
+
+
+def operation_features(
+    graph: DataFlowGraph,
+) -> Tuple[Dict[Operation, float], Dict[Operation, float], Dict[Operation, int]]:
+    """Per-operation (criticality, fan-out, index) features for the priority.
+
+    Criticality is the longest downstream chain in operation counts and
+    fan-out the direct successor count, both normalised to [0, 1] so the
+    priority weights act on comparable scales.  The index is the position in
+    topological order -- the stable per-operation identity of the tie-break
+    jitter.
+    """
+    order = graph.topological_order()
+    index = {operation: i for i, operation in enumerate(order)}
+    depth: Dict[Operation, int] = {}
+    for operation in reversed(order):
+        below = [depth[s] for s in graph.successors(operation)]
+        depth[operation] = 1 + max(below) if below else 1
+    fanout = {op: len(graph.successors(op)) for op in order}
+    max_depth = max(depth.values(), default=1) or 1
+    max_fanout = max(fanout.values(), default=1) or 1
+    criticality = {op: depth[op] / max_depth for op in order}
+    fanout_norm = {op: fanout[op] / max_fanout for op in order}
+    return criticality, fanout_norm, index
+
+
+def priority_bias(
+    priority: ReadyQueuePriority,
+    criticality: float,
+    fanout: float,
+    operation_index: int,
+    cycle: int,
+    lo: int,
+    hi: int,
+) -> float:
+    """The weighted additive bias of one candidate cycle.
+
+    Positive weights penalise placing critical / high-fan-out operations late
+    in their mobility window and consuming mobility at all, steering the
+    greedy (or beam) choice away from the pure load-balancing tuple.
+    """
+    span = max(1, hi - lo)
+    late = cycle - lo
+    return (
+        (
+            priority.criticality_weight * criticality
+            + priority.successor_weight * fanout
+        )
+        * late
+        + priority.mobility_weight * late / span
+        + priority.jitter(operation_index, cycle)
+    )
 
 
 def _maximum_operation_delay(
@@ -104,6 +199,8 @@ def list_schedule(
     latency: int,
     clock_period_ns: float,
     library: TechnologyLibrary,
+    priority: Optional[ReadyQueuePriority] = None,
+    windows: Optional[Dict[Operation, Tuple[int, int]]] = None,
 ) -> Schedule:
     """Balance operations across cycles inside their ASAP/ALAP windows.
 
@@ -119,11 +216,24 @@ def list_schedule(
     an already-placed one, so the probe only needs the candidate's own
     chained start (from its placed same-cycle predecessors) and the cycle's
     recorded worst finish -- both maintained incrementally below.
+
+    *priority* generalises the candidate choice (see
+    :class:`ReadyQueuePriority`); the default reproduces the paper's
+    ``(category_load, cycle)`` tuple exactly.  *windows* overrides the
+    computed mobility windows -- the hook the search layer and the window
+    regression tests use.
     """
     graph = specification.dataflow_graph()
     asap = asap_chained(specification, clock_period_ns, library, graph)
     alap = alap_chained(specification, clock_period_ns, latency, library, graph)
-    windows = mobility_windows(asap, alap)
+    if windows is None:
+        windows = mobility_windows(asap, alap)
+    priority = priority or ReadyQueuePriority()
+    criticality: Dict[Operation, float] = {}
+    fanout: Dict[Operation, float] = {}
+    op_index: Dict[Operation, int] = {}
+    if not priority.is_paper:
+        criticality, fanout, op_index = operation_features(graph)
 
     schedule = Schedule(specification, latency)
     placed_by_cycle: Dict[int, List[Operation]] = {c: [] for c in range(1, latency + 1)}
@@ -163,12 +273,33 @@ def list_schedule(
             category_load = (
                 cycle_pressure[cycle].get(unit.category, 0) + 1 if unit else 0
             )
-            candidates.append((category_load, cycle))
+            if priority.is_paper:
+                candidates.append((category_load, cycle))
+            else:
+                score = category_load + priority_bias(
+                    priority,
+                    criticality[operation],
+                    fanout[operation],
+                    op_index[operation],
+                    cycle,
+                    lo,
+                    hi,
+                )
+                candidates.append((score, cycle))
         if not candidates:
-            # Fall back to the ASAP cycle; the chained-ASAP construction
-            # guarantees it fits.
+            # Fall back to the ASAP cycle.  Through the conventional flow the
+            # chained-ASAP construction guarantees it fits, but externally
+            # supplied windows can tighten lo past the latency -- refuse with
+            # a coded diagnostic instead of clamping the operation below its
+            # placed predecessors.
             chosen = max(lo, asap[operation].cycle)
-            chosen = min(chosen, latency)
+            if chosen > latency:
+                raise SchedulingError(
+                    f"operation {operation.name} has no feasible cycle: its "
+                    f"tightened window starts at cycle {chosen} but the "
+                    f"schedule only has {latency} cycles",
+                    code="SCHED006",
+                )
         else:
             candidates.sort()
             chosen = candidates[0][1]
@@ -190,10 +321,13 @@ def schedule_conventional(
     specification: Specification,
     latency: int,
     library: TechnologyLibrary,
+    priority: Optional[ReadyQueuePriority] = None,
 ) -> Tuple[Schedule, ClockSearchResult]:
     """The full conventional flow: minimise the clock, then balance the load."""
     search = minimize_clock_period(specification, latency, library)
-    schedule = list_schedule(specification, latency, search.clock_period_ns, library)
+    schedule = list_schedule(
+        specification, latency, search.clock_period_ns, library, priority=priority
+    )
     # The balancing pass never lengthens the worst chain beyond the searched
     # period, but recompute the exact achieved period for reporting.
     delays = operation_level_cycle_delays(schedule, library)

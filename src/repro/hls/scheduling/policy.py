@@ -1,0 +1,224 @@
+"""First-class scheduler policy: the knobs of schedule construction.
+
+A :class:`SchedulerPolicy` is the serializable description of *how* the
+scheduling stage builds a schedule: the paper's deterministic single-pass
+heuristics (``policy="paper"``, the default) or the search-based construction
+of :mod:`repro.hls.scheduling.search` (``policy="search"``: parameterized
+ready-queue priorities, a beam over partial schedules, and seeded multi-start
+weight draws).
+
+The policy also owns the knobs that historically lived flat on
+:class:`~repro.api.config.FlowConfig` -- the per-cycle chained-bit budget and
+the fragment-balancing switch -- so every scheduler consumer (the pipeline,
+studies, the server, the CLI) shares one surface.  The paper policy with
+default search knobs is *hash-stable*: :meth:`~repro.api.config.FlowConfig.
+semantic_dict` serializes it in the legacy flat encoding, so every pre-search
+config keeps its content hash, cache entries and workspace rows.
+
+Determinism contract: two equal policies produce byte-identical schedules,
+in any process, under any test sharding.  All randomness is derived from the
+``seed``/``tie_break_seed`` fields through :func:`draw_weights`, never from
+global RNG state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Dict, Optional, Tuple
+
+
+class PolicyError(ValueError):
+    """Raised for invalid scheduler-policy descriptions."""
+
+
+#: The recognised policy kinds.
+POLICY_KINDS = ("paper", "search")
+
+#: Upper bounds keeping a single in-pass search affordable; studies wanting
+#: more fan-out split it across points (each point is one policy).
+MAX_BEAM_WIDTH = 64
+MAX_STARTS = 256
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Serializable description of the schedule-construction strategy.
+
+    Parameters
+    ----------
+    policy:
+        ``"paper"`` runs the deterministic heuristics bit-identically to the
+        historical flow; ``"search"`` runs the beam/multi-start construction
+        (which still never returns a schedule worse than the paper baseline:
+        the baseline is always a candidate and wins ties).
+    chained_bits_per_cycle:
+        Explicit per-cycle chained-bit budget of the fragmented flow
+        (``None`` derives it from the transformation).  Migrated from the
+        flat ``FlowConfig`` field of the same name.
+    balance_fragments:
+        Whether the fragment scheduler balances addition bits across cycles.
+        Migrated from the flat ``FlowConfig`` field of the same name.
+    criticality_weight / successor_weight / mobility_weight:
+        Ready-queue priority weights of the parameterized schedulers.  All
+        zero reproduces the paper's hard-coded ``(category_load, cycle)``
+        priority exactly.  Only meaningful with ``policy="search"``.
+    tie_break_seed:
+        Seed of the deterministic tie-break jitter added to candidate
+        priorities (``None`` = no jitter).  Only with ``policy="search"``.
+    beam_width:
+        Number of partial-schedule prefixes kept alive per placement step
+        (1 = greedy).  Only meaningful with ``policy="search"``.
+    starts:
+        Number of seeded multi-start weight draws; start 0 uses this
+        policy's own weights, later starts draw from ``seed``.  Only
+        meaningful with ``policy="search"``.
+    seed:
+        Master seed of the multi-start draws (and of derived tie-break
+        jitter for drawn starts).
+    """
+
+    policy: str = "paper"
+    chained_bits_per_cycle: Optional[int] = None
+    balance_fragments: bool = True
+    criticality_weight: float = 0.0
+    successor_weight: float = 0.0
+    mobility_weight: float = 0.0
+    tie_break_seed: Optional[int] = None
+    beam_width: int = 1
+    starts: int = 1
+    seed: int = 2005
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_KINDS:
+            raise PolicyError(
+                f"policy must be one of {', '.join(POLICY_KINDS)}, "
+                f"got {self.policy!r}"
+            )
+        if self.chained_bits_per_cycle is not None and (
+            not isinstance(self.chained_bits_per_cycle, int)
+            or isinstance(self.chained_bits_per_cycle, bool)
+            or self.chained_bits_per_cycle <= 0
+        ):
+            raise PolicyError(
+                "chained_bits_per_cycle must be positive when given, got "
+                f"{self.chained_bits_per_cycle!r} (use None to derive it)"
+            )
+        if not isinstance(self.balance_fragments, bool):
+            raise PolicyError(
+                f"balance_fragments must be a bool, got {self.balance_fragments!r}"
+            )
+        for name in ("criticality_weight", "successor_weight", "mobility_weight"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise PolicyError(f"{name} must be a number, got {value!r}")
+            if value < 0.0:
+                raise PolicyError(f"{name} must be non-negative, got {value!r}")
+            object.__setattr__(self, name, float(value))
+        if self.tie_break_seed is not None and (
+            not isinstance(self.tie_break_seed, int)
+            or isinstance(self.tie_break_seed, bool)
+        ):
+            raise PolicyError(
+                f"tie_break_seed must be an integer, got {self.tie_break_seed!r}"
+            )
+        for name, limit in (("beam_width", MAX_BEAM_WIDTH), ("starts", MAX_STARTS)):
+            value = getattr(self, name)
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or not 1 <= value <= limit
+            ):
+                raise PolicyError(
+                    f"{name} must be an integer in [1, {limit}], got {value!r}"
+                )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise PolicyError(f"seed must be an integer, got {self.seed!r}")
+        if self.policy == "paper" and not self.is_paper_search_surface():
+            raise PolicyError(
+                "search knobs (weights, tie_break_seed, beam_width, starts) "
+                'require policy="search"; the paper policy is the pinned '
+                "deterministic heuristic"
+            )
+
+    # ------------------------------------------------------------------
+    def is_paper_search_surface(self) -> bool:
+        """True when every search knob sits at its paper default.
+
+        The budget/balance fields are excluded: they predate the search API
+        and are legal with either policy.
+        """
+        return (
+            self.criticality_weight == 0.0
+            and self.successor_weight == 0.0
+            and self.mobility_weight == 0.0
+            and self.tie_break_seed is None
+            and self.beam_width == 1
+            and self.starts == 1
+            and self.seed == SchedulerPolicy.seed
+        )
+
+    @property
+    def search_enabled(self) -> bool:
+        return self.policy == "search"
+
+    def weights(self) -> Tuple[float, float, float]:
+        """The (criticality, successor, mobility) weight triple."""
+        return (
+            self.criticality_weight,
+            self.successor_weight,
+            self.mobility_weight,
+        )
+
+    def replace(self, **changes: Any) -> "SchedulerPolicy":
+        """A copy with *changes* applied (validated again)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable dictionary (stable key set)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SchedulerPolicy":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        if not isinstance(data, dict):
+            raise PolicyError(
+                f"scheduler policy must be an object, got {type(data).__name__}"
+            )
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - field_names
+        if unknown:
+            raise PolicyError(
+                f"unknown SchedulerPolicy keys {sorted(unknown)}; "
+                f"valid keys are {sorted(field_names)}"
+            )
+        return cls(**data)
+
+
+def draw_weights(policy: SchedulerPolicy, start: int) -> Tuple[float, float, float, Optional[int]]:
+    """The (criticality, successor, mobility, tie_break_seed) of one start.
+
+    Start 0 is always the policy's own weights -- multi-start widens the
+    paper/explicit configuration, it never replaces it.  Later starts draw
+    uniformly from ``Random(f"{seed}/{start}")``, a process-independent
+    construction (no hash randomization, no global RNG), so the draw for a
+    given (policy, start) is identical on every machine and worker.
+    """
+    if start == 0:
+        return (
+            policy.criticality_weight,
+            policy.successor_weight,
+            policy.mobility_weight,
+            policy.tie_break_seed,
+        )
+    rng = Random(f"{policy.seed}/{start}")
+    return (
+        round(rng.uniform(0.0, 2.0), 6),
+        round(rng.uniform(0.0, 2.0), 6),
+        round(rng.uniform(0.0, 1.0), 6),
+        rng.randrange(2**31),
+    )

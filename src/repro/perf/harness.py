@@ -146,6 +146,18 @@ STUDY_POINTS: Tuple[str, ...] = ("table1", "fig4-chain")
 #: The study subset measured by ``--quick``.
 QUICK_STUDY_POINTS: Tuple[str, ...] = ("table1",)
 
+#: (workload, latency, mode) points whose search-scheduler timings the full
+#: harness records (see :func:`time_search`).
+SEARCH_POINTS: Tuple[Tuple[str, int, str], ...] = (
+    ("fig3", 4, "conventional"),
+    ("motivational", 3, "fragmented"),
+)
+
+#: The search subset measured by ``--quick``.
+QUICK_SEARCH_POINTS: Tuple[Tuple[str, int, str], ...] = (
+    ("fig3", 4, "conventional"),
+)
+
 
 def _sweep_configs(workload: str, latencies: Sequence[int]) -> List[FlowConfig]:
     """The Fig. 4 point list: both flows at every latency of the axis."""
@@ -385,6 +397,82 @@ def time_check(
             best = elapsed
     assert best is not None
     return {"check_s": best, "check_diagnostics": float(diagnostics)}
+
+
+def time_search(
+    workload: str,
+    latency: int,
+    mode: str,
+    repeats: int = DEFAULT_REPEATS,
+) -> Dict[str, float]:
+    """Best-of-*repeats* scheduler timings, deterministic versus search.
+
+    The pipeline prepares the point outside the measurement (parse +
+    transform, so the fragmented flow times the real transformed
+    specification under its real budget); the recorded numbers isolate the
+    scheduling stage itself: ``paper_s`` is the historical deterministic
+    construction, ``search_s`` the beam/multi-start construction at the
+    smoke policy (beam 2, two starts).  The search run's provenance is also
+    asserted here -- search QoR worse than the deterministic baseline is a
+    broken never-worse guarantee, not a slow benchmark, and must fail the
+    measurement rather than record it.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    from ..hls.flow import run_schedule_with_policy
+    from ..hls.scheduling.policy import SchedulerPolicy
+
+    pipeline = Pipeline()
+    artifact = pipeline.run(
+        FlowConfig(latency=latency, mode=mode, workload=workload),
+        stop_after="transform",
+        use_cache=False,
+    )
+    specification = artifact.require("working_specification")
+    budget = artifact.budget
+    library = artifact.library
+    policy = SchedulerPolicy(policy="search", beam_width=2, starts=2)
+    best_paper: Optional[float] = None
+    best_search: Optional[float] = None
+    provenance = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run_schedule_with_policy(
+            specification, latency, library, mode, chained_bits_per_cycle=budget
+        )
+        elapsed = time.perf_counter() - started
+        if best_paper is None or elapsed < best_paper:
+            best_paper = elapsed
+        started = time.perf_counter()
+        _schedule, _budget, provenance = run_schedule_with_policy(
+            specification,
+            latency,
+            library,
+            mode,
+            policy=policy,
+            chained_bits_per_cycle=budget,
+        )
+        elapsed = time.perf_counter() - started
+        if best_search is None or elapsed < best_search:
+            best_search = elapsed
+    assert best_paper is not None and best_search is not None
+    assert provenance is not None
+    if (provenance.best_objective, provenance.best_area) > (
+        provenance.baseline_objective,
+        provenance.baseline_area,
+    ):
+        raise RuntimeError(
+            f"search QoR regressed past the deterministic baseline on "
+            f"{workload} l{latency} {mode}: "
+            f"{provenance.best_objective}/{provenance.best_area} vs "
+            f"{provenance.baseline_objective}/{provenance.baseline_area}"
+        )
+    return {
+        "paper_s": best_paper,
+        "search_s": best_search,
+        "search_points": float(provenance.points_probed),
+        "search_improved": float(provenance.improved),
+    }
 
 
 def time_study(name: str, repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
@@ -801,6 +889,11 @@ def run_benchmarks(
       verification suite over all four IR levels (see :func:`time_check`);
     * ``studies``: ``{study_name: {cold_s, resume_s}}`` -- workspace-backed
       study runs, cold versus store-resumed (see :func:`time_study`);
+    * ``search``: ``{workload: {paper_s, search_s, search_points,
+      search_improved}}`` -- the scheduling stage, deterministic paper
+      policy versus the beam/multi-start search construction (see
+      :func:`time_search`; the never-worse QoR guarantee is asserted
+      inside the measurement);
     * ``faults``: ``{site_noplan_s, injected_retry_s, salvage_s}`` -- the
       fault-tolerance machinery: uninstrumented site-probe tax, the
       injected-failure retry path, and a salvage pass (see
@@ -826,6 +919,7 @@ def run_benchmarks(
     study_names = QUICK_STUDY_POINTS if quick else STUDY_POINTS
     emit_points = QUICK_EMIT_POINTS if quick else EMIT_POINTS
     check_points = QUICK_CHECK_POINTS if quick else CHECK_POINTS
+    search_points = QUICK_SEARCH_POINTS if quick else SEARCH_POINTS
 
     def section(label, fn):
         if profile:
@@ -877,6 +971,14 @@ def run_benchmarks(
 
     section("studies", _studies)
 
+    search: Dict[str, Dict[str, float]] = {}
+
+    def _search():
+        for workload, latency, mode in search_points:
+            search[workload] = time_search(workload, latency, mode, repeats=repeats)
+
+    section("search", _search)
+
     faults_times: Dict[str, float] = {}
     section("faults", lambda: faults_times.update(time_faults(repeats=repeats)))
 
@@ -902,6 +1004,7 @@ def run_benchmarks(
         "emit": emit,
         "check": check,
         "studies": studies,
+        "search": search,
         "faults": faults_times,
         "engine": engine_times,
         "server": server_times,

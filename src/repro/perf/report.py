@@ -40,7 +40,8 @@ def _flatten(measurement: Optional[Dict]) -> Dict[str, float]:
     ``"sweep/<name>"``, verification keys are ``"verify/<workload>/<metric>"``,
     emission keys are ``"emit/<workload>/<metric>"``, static-verification
     keys are ``"check/<workload>/<metric>"``, study keys are
-    ``"study/<name>/<metric>"``, fault-machinery keys are
+    ``"study/<name>/<metric>"``, scheduler-search keys are
+    ``"search/<workload>/<metric>"``, fault-machinery keys are
     ``"faults/<metric>"``, evaluation-core keys are ``"engine/<metric>"``
     and HTTP-service keys are ``"server/<metric>"``;
     the flat view drives both the speedup table and the regression check.
@@ -72,6 +73,10 @@ def _flatten(measurement: Optional[Dict]) -> Dict[str, float]:
         for metric, value in metrics.items():
             if metric.endswith("_s") and not metric.endswith("_per_s"):
                 flat[f"study/{study}/{metric}"] = float(value)
+    for workload, metrics in (measurement.get("search") or {}).items():
+        for metric, value in metrics.items():
+            if metric.endswith("_s") and not metric.endswith("_per_s"):
+                flat[f"search/{workload}/{metric}"] = float(value)
     for metric, value in (measurement.get("faults") or {}).items():
         if metric.endswith("_s") and not metric.endswith("_per_s"):
             flat[f"faults/{metric}"] = float(value)

@@ -127,6 +127,51 @@ class TestBuiltinStudies:
         workloads = {p.config.workload for p in builtin_study("table3").points()}
         assert workloads == {"adpcm_iaq", "adpcm_ttd", "adpcm_opfc_sca"}
 
+    def test_scheduler_tuning_mixes_paper_and_search_points(self):
+        study = builtin_study("scheduler-tuning")
+        policies = [p.config.scheduler_policy for p in study.points()]
+        kinds = {policy.policy for policy in policies}
+        assert kinds == {"paper", "search"}
+        assert any(policy.beam_width > 1 for policy in policies)
+        assert any(policy.starts > 1 for policy in policies)
+
+
+class TestSerializationRoundTrip:
+    def test_every_builtin_survives_the_wire(self):
+        # to_dict -> canonical JSON -> study_from_dict must resolve the same
+        # point ids for every registered study -- this is exactly what the
+        # server's job digest and submit path do with a study.
+        import json
+
+        from repro.api.study import available_studies, study_from_dict
+
+        for name in available_studies():
+            study = builtin_study(name)
+            payload = json.loads(
+                json.dumps(study.to_dict(), sort_keys=True, separators=(",", ":"))
+            )
+            back = study_from_dict(payload)
+            assert [p.point_id for p in back.points()] == [
+                p.point_id for p in study.points()
+            ], name
+
+    def test_nested_policies_serialize_to_plain_json(self):
+        import json
+
+        study = builtin_study("scheduler-tuning")
+        payload = study.to_dict()
+        # Must be pure JSON types all the way down (the digest canonicalizes
+        # with json.dumps and no default= hook).
+        json.dumps(payload)
+        schedulers = [
+            case["scheduler"]
+            for _kind, spec in payload["expansions"]
+            for case in (spec if isinstance(spec, list) else [])
+            if isinstance(case, dict) and "scheduler" in case
+        ]
+        assert schedulers, "the tuning study lost its scheduler axes"
+        assert all(isinstance(s, dict) for s in schedulers)
+
 
 class TestRows:
     def test_fig4_rows_match_latency_sweep(self):

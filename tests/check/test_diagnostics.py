@@ -62,6 +62,7 @@ class TestRegistry:
             "SCHED003",
             "SCHED004",
             "SCHED005",
+            "SCHED006",
             "SPEC001",
             "SPEC002",
             "SPEC003",

@@ -1,0 +1,311 @@
+"""SchedulerPolicy, parameterized ready-queue priorities and the
+beam/multi-start search layer.
+
+The two contracts under test:
+
+* ``policy="paper"`` is the pinned deterministic heuristic -- schedules,
+  cycle maps and achieved periods are bit-identical to the historical
+  ``schedule_conventional`` / ``schedule_fragments`` outputs;
+* ``policy="search"`` never returns a schedule worse than the paper baseline
+  in the real reported metrics (period, then allocated total area), because
+  the baseline is always a candidate and only a strictly better cost
+  replaces it.
+"""
+
+import pytest
+
+from repro.core import TransformOptions, transform
+from repro.hls.datapath import build_datapath
+from repro.hls.flow import FlowMode, resolve_budget, run_schedule_with_policy
+from repro.hls.scheduling import (
+    PolicyError,
+    ReadyQueuePriority,
+    SchedulerPolicy,
+    SchedulingError,
+    alap_chained,
+    asap_chained,
+    draw_weights,
+    list_schedule,
+    minimize_clock_period,
+    mobility_windows,
+    policy_starts,
+    schedule_conventional,
+    schedule_fragments,
+    search_conventional,
+    search_fragmented,
+    verify_budget,
+)
+from repro.hls.scheduling.search import conventional_cost, fragmented_cost
+from repro.techlib import default_library
+from repro.workloads import ALL_WORKLOADS, fig3_example, motivational_example
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+def transformed(spec_factory, latency):
+    result = transform(spec_factory(), latency, TransformOptions(check_equivalence=False))
+    return result.transformed, result.chained_bits_per_cycle
+
+
+class TestSchedulerPolicy:
+    def test_default_is_paper_surface(self):
+        policy = SchedulerPolicy()
+        assert policy.policy == "paper"
+        assert policy.is_paper_search_surface()
+        assert not policy.search_enabled
+
+    def test_round_trip(self):
+        policy = SchedulerPolicy(
+            policy="search",
+            beam_width=4,
+            starts=8,
+            criticality_weight=1.5,
+            tie_break_seed=7,
+        )
+        assert SchedulerPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(PolicyError) as excinfo:
+            SchedulerPolicy.from_dict({"beam": 3})
+        assert "unknown" in str(excinfo.value)
+
+    def test_search_knobs_require_search_policy(self):
+        with pytest.raises(PolicyError):
+            SchedulerPolicy(beam_width=2)
+        with pytest.raises(PolicyError):
+            SchedulerPolicy(starts=3)
+        with pytest.raises(PolicyError):
+            SchedulerPolicy(criticality_weight=1.0)
+        with pytest.raises(PolicyError):
+            SchedulerPolicy(tie_break_seed=1)
+        with pytest.raises(PolicyError):
+            SchedulerPolicy(seed=42)
+
+    def test_bounds_enforced(self):
+        with pytest.raises(PolicyError):
+            SchedulerPolicy(policy="search", beam_width=0)
+        with pytest.raises(PolicyError):
+            SchedulerPolicy(policy="search", beam_width=65)
+        with pytest.raises(PolicyError):
+            SchedulerPolicy(policy="search", starts=0)
+        with pytest.raises(PolicyError):
+            SchedulerPolicy(policy="search", starts=257)
+        with pytest.raises(PolicyError):
+            SchedulerPolicy(policy="search", mobility_weight=-0.1)
+        with pytest.raises(PolicyError):
+            SchedulerPolicy(chained_bits_per_cycle=0)
+        with pytest.raises(PolicyError):
+            SchedulerPolicy(policy="asap")
+
+    def test_budget_and_balance_legal_with_paper(self):
+        policy = SchedulerPolicy(chained_bits_per_cycle=9, balance_fragments=False)
+        assert policy.is_paper_search_surface()
+
+
+class TestDrawWeights:
+    def test_start_zero_is_the_policy_itself(self):
+        policy = SchedulerPolicy(
+            policy="search", criticality_weight=1.25, tie_break_seed=99
+        )
+        assert draw_weights(policy, 0) == (1.25, 0.0, 0.0, 99)
+
+    def test_draws_are_deterministic_and_distinct(self):
+        policy = SchedulerPolicy(policy="search", starts=8)
+        draws = [draw_weights(policy, s) for s in range(8)]
+        assert draws == [draw_weights(policy, s) for s in range(8)]
+        assert len(set(draws)) == len(draws)
+
+    def test_draws_depend_on_the_master_seed(self):
+        a = SchedulerPolicy(policy="search", seed=263)
+        b = SchedulerPolicy(policy="search", seed=264)
+        assert draw_weights(a, 1) != draw_weights(b, 1)
+
+    def test_policy_starts_materializes_every_draw(self):
+        policy = SchedulerPolicy(policy="search", beam_width=2, starts=4)
+        singles = policy_starts(policy)
+        assert len(singles) == 4
+        for start, single in enumerate(singles):
+            crit, succ, mob, tie = draw_weights(policy, start)
+            assert single.starts == 1
+            assert single.weights() == (crit, succ, mob)
+            assert single.tie_break_seed == tie
+
+
+class TestPaperBitIdentity:
+    def test_default_priority_is_the_paper_priority(self, library):
+        spec = fig3_example()
+        baseline, _search = schedule_conventional(spec, 4, library)
+        explicit, _search = schedule_conventional(
+            spec, 4, library, priority=ReadyQueuePriority()
+        )
+        assert baseline.cycle_of == explicit.cycle_of
+
+    def test_paper_policy_matches_legacy_flow(self, library):
+        for factory, latency, mode in (
+            (motivational_example, 3, FlowMode.CONVENTIONAL),
+            (fig3_example, 4, FlowMode.CONVENTIONAL),
+        ):
+            spec = factory()
+            legacy, _search = schedule_conventional(spec, latency, library)
+            schedule, _budget, provenance = run_schedule_with_policy(
+                spec, latency, library, mode, policy=SchedulerPolicy()
+            )
+            assert provenance is None
+            assert schedule.cycle_of == legacy.cycle_of
+
+    def test_paper_policy_matches_legacy_fragmented_flow(self, library):
+        spec, budget_hint = transformed(motivational_example, 3)
+        legacy = schedule_fragments(spec, 3, resolve_budget(spec, 3, budget_hint))
+        schedule, budget, provenance = run_schedule_with_policy(
+            spec,
+            3,
+            library,
+            FlowMode.FRAGMENTED,
+            policy=SchedulerPolicy(),
+            chained_bits_per_cycle=budget_hint,
+        )
+        assert provenance is None
+        assert budget == resolve_budget(spec, 3, budget_hint)
+        assert schedule.cycle_of == legacy.cycle_of
+
+
+class TestNoCandidateFallback:
+    def test_poisoned_window_raises_coded_error(self, library):
+        spec = motivational_example()
+        search = minimize_clock_period(spec, 3, library)
+        graph = spec.dataflow_graph()
+        asap = asap_chained(spec, search.clock_period_ns, library, graph)
+        alap = alap_chained(spec, search.clock_period_ns, 3, library, graph)
+        windows = dict(mobility_windows(asap, alap))
+        victim = spec.operation_named("add_G")
+        windows[victim] = (4, 4)
+        with pytest.raises(SchedulingError) as excinfo:
+            list_schedule(
+                spec, 3, search.clock_period_ns, library, windows=windows
+            )
+        assert excinfo.value.code == "SCHED006"
+        assert "add_G" in str(excinfo.value)
+
+    def test_unpoisoned_windows_still_schedule(self, library):
+        spec = motivational_example()
+        search = minimize_clock_period(spec, 3, library)
+        graph = spec.dataflow_graph()
+        asap = asap_chained(spec, search.clock_period_ns, library, graph)
+        alap = alap_chained(spec, search.clock_period_ns, 3, library, graph)
+        schedule = list_schedule(
+            spec,
+            3,
+            search.clock_period_ns,
+            library,
+            windows=dict(mobility_windows(asap, alap)),
+        )
+        assert len(schedule.cycle_of) == spec.operation_count()
+
+
+class TestConventionalSearch:
+    def test_never_worse_than_baseline(self, library):
+        policy = SchedulerPolicy(policy="search", beam_width=2, starts=3)
+        for name, latency in (("fig3", 4), ("motivational", 3), ("diffeq", 4)):
+            spec = ALL_WORKLOADS[name]()
+            baseline, _ = schedule_conventional(spec, latency, library)
+            outcome = search_conventional(spec, latency, library, policy)
+            assert conventional_cost(outcome.schedule, library) <= conventional_cost(
+                baseline, library
+            )
+            provenance = outcome.provenance
+            assert provenance.mode == "conventional"
+            assert provenance.points_probed >= 1
+            assert (provenance.best_objective, provenance.best_area) <= (
+                provenance.baseline_objective,
+                provenance.baseline_area,
+            )
+            assert provenance.improved == (
+                (provenance.best_objective, provenance.best_area)
+                < (provenance.baseline_objective, provenance.baseline_area)
+            )
+
+    def test_search_finds_a_strict_improvement(self, library):
+        # fig3 at latency 5: the multi-start draws find a same-period
+        # schedule whose allocation is strictly smaller than the paper's.
+        spec = fig3_example()
+        policy = SchedulerPolicy(policy="search", beam_width=4, starts=6)
+        outcome = search_conventional(spec, 5, library, policy)
+        provenance = outcome.provenance
+        assert provenance.improved
+        assert provenance.start_index >= 0
+        assert provenance.best_objective == provenance.baseline_objective
+        assert provenance.best_area < provenance.baseline_area
+
+    def test_baseline_win_is_recorded_as_such(self, library):
+        spec = motivational_example()
+        policy = SchedulerPolicy(policy="search", beam_width=1, starts=1)
+        outcome = search_conventional(spec, 3, library, policy)
+        assert outcome.provenance.start_index == -1
+        assert not outcome.provenance.improved
+
+    def test_repeatable_in_process(self, library):
+        spec = fig3_example()
+        policy = SchedulerPolicy(policy="search", beam_width=3, starts=4)
+        first = search_conventional(spec, 4, library, policy)
+        second = search_conventional(spec, 4, library, policy)
+        assert first.schedule.cycle_of == second.schedule.cycle_of
+        assert first.provenance == second.provenance
+
+
+class TestFragmentedSearch:
+    def test_never_worse_and_in_budget(self, library):
+        policy = SchedulerPolicy(policy="search", beam_width=2, starts=3)
+        for name, latency in (("motivational", 3), ("fig3", 4)):
+            spec, hint = transformed(ALL_WORKLOADS[name], latency)
+            budget = resolve_budget(spec, latency, hint)
+            baseline = schedule_fragments(spec, latency, budget)
+            outcome = search_fragmented(spec, latency, budget, library, policy)
+            verify_budget(outcome.schedule, budget)
+            assert fragmented_cost(
+                outcome.schedule, budget, library
+            ) <= fragmented_cost(baseline, budget, library)
+            assert outcome.provenance.mode == "fragmented"
+
+    def test_search_improves_a_fragmented_point(self, library):
+        # fig3 l3 fragmented: the weighted placements shave allocated area
+        # at an unchanged bit-level period.
+        spec, hint = transformed(fig3_example, 3)
+        budget = resolve_budget(spec, 3, hint)
+        policy = SchedulerPolicy(policy="search", beam_width=4, starts=6)
+        outcome = search_fragmented(spec, 3, budget, library, policy)
+        assert outcome.provenance.improved
+        assert outcome.provenance.best_area < outcome.provenance.baseline_area
+
+    def test_blc_mode_rejects_search(self, library):
+        spec = motivational_example()
+        with pytest.raises(ValueError) as excinfo:
+            run_schedule_with_policy(
+                spec,
+                1,
+                library,
+                FlowMode.BLC,
+                policy=SchedulerPolicy(policy="search"),
+            )
+        assert "blc" in str(excinfo.value)
+
+
+class TestCostFunctions:
+    def test_conventional_cost_uses_real_allocation(self, library):
+        spec = fig3_example()
+        schedule, _ = schedule_conventional(spec, 4, library)
+        period, area = conventional_cost(schedule, library)
+        assert area == round(build_datapath(schedule, library).total_area, 3)
+        assert period > 0.0
+
+    def test_fragmented_cost_flags_budget_overruns(self, library):
+        spec, hint = transformed(motivational_example, 3)
+        budget = resolve_budget(spec, 3, hint)
+        schedule = schedule_fragments(spec, 3, budget)
+        in_budget = fragmented_cost(schedule, budget, library)
+        assert in_budget[0] == 0
+        starved = fragmented_cost(schedule, 1, library)
+        assert starved[0] == 1
+        assert starved > in_budget

@@ -1,0 +1,114 @@
+"""Seed-determinism of the search scheduler.
+
+The policy docstring promises: two equal policies produce byte-identical
+schedules, in any process, under any test sharding.  These tests hold the
+layer to that -- same-process repeats, fresh subprocesses with *different*
+hash randomization (the condition pytest-xdist workers run under), and a
+property sweep over the seed-263 generated family.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.hls.scheduling import (
+    SchedulerPolicy,
+    schedule_conventional,
+    search_conventional,
+)
+from repro.hls.scheduling.search import conventional_cost
+from repro.techlib import default_library
+from repro.workloads import random_suite
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: The workload/policy fingerprinted across process boundaries.
+_FINGERPRINT_SCRIPT = """
+import json
+from repro.hls.scheduling import SchedulerPolicy, search_conventional
+from repro.techlib import default_library
+from repro.workloads import fig3_example
+
+policy = SchedulerPolicy(policy="search", beam_width=3, starts=4)
+outcome = search_conventional(fig3_example(), 4, default_library(), policy)
+payload = {
+    "cycles": {op.name: c for op, c in outcome.schedule.cycle_of.items()},
+    "report": outcome.provenance.to_report(),
+}
+print(json.dumps(payload, sort_keys=True))
+"""
+
+
+def _fingerprint(hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hashseed
+    result = subprocess.run(
+        [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+class TestCrossProcess:
+    def test_byte_identical_across_hash_randomization(self):
+        # Two fresh interpreters with different PYTHONHASHSEED values -- the
+        # exact condition distinct pytest-xdist workers (or a developer
+        # machine vs CI) differ by.  The serialized schedule and provenance
+        # must be byte-identical.
+        first = _fingerprint("0")
+        second = _fingerprint("424242")
+        assert first == second
+        payload = json.loads(first)
+        assert payload["cycles"]
+        assert payload["report"]["search_starts"] == 4
+
+    def test_subprocess_matches_in_process(self):
+        policy = SchedulerPolicy(policy="search", beam_width=3, starts=4)
+        from repro.workloads import fig3_example
+
+        outcome = search_conventional(fig3_example(), 4, default_library(), policy)
+        local = {
+            "cycles": {op.name: c for op, c in outcome.schedule.cycle_of.items()},
+            "report": outcome.provenance.to_report(),
+        }
+        assert json.loads(_fingerprint("1")) == json.loads(
+            json.dumps(local, sort_keys=True)
+        )
+
+
+class TestSeed263Family:
+    @pytest.fixture(scope="class")
+    def family(self):
+        return random_suite(6, seed=263)
+
+    def test_search_never_worse_across_the_family(self, family):
+        library = default_library()
+        policy = SchedulerPolicy(policy="search", beam_width=2, starts=3, seed=263)
+        improved = 0
+        for spec in family:
+            baseline, _ = schedule_conventional(spec, 4, library)
+            outcome = search_conventional(spec, 4, library, policy)
+            base_cost = conventional_cost(baseline, library)
+            best_cost = conventional_cost(outcome.schedule, library)
+            assert best_cost <= base_cost, spec.name
+            improved += int(best_cost < base_cost)
+        # The family is additive-heavy with real mobility; the draws find at
+        # least one strict improvement (deterministically -- same seeds).
+        assert improved >= 1
+
+    def test_family_results_are_repeatable(self, family):
+        library = default_library()
+        policy = SchedulerPolicy(policy="search", beam_width=2, starts=3, seed=263)
+        for spec in family:
+            first = search_conventional(spec, 4, library, policy)
+            second = search_conventional(spec, 4, library, policy)
+            assert first.schedule.cycle_of == second.schedule.cycle_of
+            assert first.provenance == second.provenance

@@ -295,6 +295,9 @@ class TestRunBenchmarks:
         monkeypatch.setattr(harness, "QUICK_STUDY_POINTS", ("table1",))
         monkeypatch.setattr(harness, "QUICK_EMIT_POINTS", (("chain:2:4", 2),))
         monkeypatch.setattr(harness, "QUICK_CHECK_POINTS", (("chain:2:4", 2),))
+        monkeypatch.setattr(
+            harness, "QUICK_SEARCH_POINTS", (("chain:2:4", 2, "conventional"),)
+        )
         monkeypatch.setattr(harness, "FIG4_LATENCIES", (2, 3))
         result = run_benchmarks(quick=True, repeats=1)
         assert set(result) == {
@@ -304,11 +307,15 @@ class TestRunBenchmarks:
             "emit",
             "check",
             "studies",
+            "search",
             "faults",
             "engine",
             "server",
             "meta",
         }
+        assert result["search"]["chain:2:4"]["paper_s"] > 0.0
+        assert result["search"]["chain:2:4"]["search_s"] > 0.0
+        assert result["search"]["chain:2:4"]["search_points"] >= 1.0
         assert result["server"]["cold_p50_s"] > 0.0
         assert result["server"]["warm_p99_s"] >= result["server"]["warm_p50_s"]
         assert result["server"]["warm_rows_per_s"] > 0.0

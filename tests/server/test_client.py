@@ -94,6 +94,45 @@ class TestCliVerbs:
         assert body["status"] == "done"
         assert len(body["report"]["rows"]) == 1
 
+    def test_submit_scheduler_tuning(self, live_server, capsys):
+        # The tuning study's nested SchedulerPolicy axes survive the CLI
+        # submit -> HTTP -> digest -> resolve -> run round trip, and every
+        # search row honours the never-worse contract.
+        assert (
+            run_cli(
+                "submit",
+                "scheduler-tuning",
+                "--url",
+                base_url(live_server),
+                "--json",
+            )
+            == 0
+        )
+        job_id = json.loads(capsys.readouterr().out)["job_id"]
+        assert (
+            run_cli(
+                "poll",
+                job_id,
+                "--url",
+                base_url(live_server),
+                "--wait",
+                "--report",
+                "--json",
+            )
+            == 0
+        )
+        body = json.loads(capsys.readouterr().out)
+        assert body["status"] == "done"
+        search_rows = [
+            row for row in body["report"]["rows"] if "search_objective" in row
+        ]
+        assert search_rows
+        for row in search_rows:
+            assert (row["search_objective"], row["search_area"]) <= (
+                row["search_baseline_objective"],
+                row["search_baseline_area"],
+            )
+
     def test_submit_inline_study_file(self, live_server, tmp_path, capsys):
         spec = tmp_path / "study.json"
         spec.write_text(json.dumps(builtin_study("table1").to_dict()))

@@ -136,6 +136,39 @@ class TestLifecycle:
         assert summary["loaded"] == 2 and summary["ran"] == 0
 
 
+class TestNestedPolicySubmission:
+    """Studies with nested SchedulerPolicy axes through the job API."""
+
+    def test_digest_is_stable_for_nested_policies(self):
+        a = study_digest(builtin_study("scheduler-tuning"))
+        b = study_digest(builtin_study("scheduler-tuning"))
+        assert a == b
+
+    def test_inline_dict_submission_resolves_identical_points(self):
+        study = builtin_study("scheduler-tuning")
+        resolved = resolve_study(study.to_dict())
+        assert study_digest(resolved) == study_digest(study)
+        assert [p.point_id for p in resolved.points()] == [
+            p.point_id for p in study.points()
+        ]
+
+    def test_tuning_study_runs_and_search_rows_beat_baseline(self, manager):
+        body = manager.submit("scheduler-tuning")
+        job = wait_for(manager.get(body["job_id"]))
+        assert job.status == "done"
+        report = manager.report(body["job_id"])
+        rows = report["reports"]
+        assert len(rows) == len(builtin_study("scheduler-tuning"))
+        search_rows = [r for r in rows if "search_objective" in r]
+        paper_rows = [r for r in rows if "search_objective" not in r]
+        assert search_rows and paper_rows
+        for row in search_rows:
+            assert (row["search_objective"], row["search_area"]) <= (
+                row["search_baseline_objective"],
+                row["search_baseline_area"],
+            )
+
+
 class TestQueueBounds:
     def test_full_queue_rejects_with_srv005(self, tmp_path):
         manager = JobManager(Workspace(tmp_path / "ws"), workers=1, queue_size=1)
